@@ -1,0 +1,327 @@
+// Experiment E13 — ablations of the design choices DESIGN.md calls out.
+//
+// A: delayed cuckoo routing with its mechanisms removed (no P-routing, no
+//    carry-over queues, stash sweep), at and below the design point.  The
+//    honest headline: BELOW the design point (per-queue drain 1/step) the
+//    Q-only variant — which is just backlog-greedy — rejects LESS, because
+//    adaptivity beats a precomputed assignment when drain is scarce; AT the
+//    design point both are clean and only the cuckoo variant carries the
+//    deterministic per-step burst cap (Lemma 4.5) and the q = Θ(log log m)
+//    guarantee.  This is exactly the paper's trade: a stronger worst-case
+//    promise bought with a constant-factor larger g.
+// B: greedy overflow semantics — the §3 "dump the queue" rule vs rejecting
+//    only the arrival, measured where overflows actually occur (d = 1).
+// C: Lemma 4.2's three-group split vs direct capacitated matching — max
+//    per-server load, stash use, construction time.
+// D: threshold routing probe cost vs guarantee, sweeping T.
+// E: LEFT[d] grouped placement vs plain greedy — max backlog across m.
+// F: the §2 "third knob" — the periodic flush's latency-vs-rejection trade,
+//    made visible by running at criticality (g = 1).
+#include <chrono>
+#include <iostream>
+
+#include "common.hpp"
+#include "cuckoo/capacitated.hpp"
+#include "cuckoo/offline_assignment.hpp"
+#include "policies/delayed_cuckoo.hpp"
+#include "policies/factory.hpp"
+#include "report/table.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace {
+
+using namespace rlb;
+
+constexpr std::size_t kM = 1024;
+constexpr std::size_t kSteps = 200;
+constexpr std::size_t kTrials = 6;
+
+void part_a() {
+  std::cout << "\nA: delayed cuckoo variants (m = " << kM
+            << ", repeated workload).\n";
+  report::Table table({"variant", "g", "q/queue", "rejection(pooled)",
+                       "avg_latency", "max_backlog"});
+  struct Variant {
+    const char* name;
+    unsigned g;
+    bool cuckoo;
+    bool carry;
+    std::size_t stash;
+  };
+  const Variant variants[] = {
+      {"full (paper)", 8, true, true, 4},
+      {"full, tight g", 4, true, true, 4},
+      {"no P-routing (Q-only)", 8, false, true, 4},
+      {"no P-routing, tight g", 4, false, true, 4},
+      {"no carry-over", 8, true, false, 4},
+      {"stash 0", 8, true, true, 0},
+      {"stash 1", 8, true, true, 1},
+  };
+  for (const Variant& variant : variants) {
+    const bench::BalancerFactory make_balancer =
+        [variant](std::uint64_t seed) {
+          policies::DelayedCuckooConfig config;
+          config.servers = kM;
+          config.processing_rate = variant.g;
+          config.use_cuckoo_routing = variant.cuckoo;
+          config.carry_over_queues = variant.carry;
+          config.stash_per_group = variant.stash;
+          config.seed = seed;
+          return std::make_unique<policies::DelayedCuckooBalancer>(config);
+        };
+    const bench::WorkloadFactory make_workload = [](std::uint64_t seed) {
+      return std::make_unique<workloads::RepeatedSetWorkload>(
+          kM, 1ULL << 40, stats::derive_seed(seed, 1));
+    };
+    core::SimConfig sim;
+    sim.steps = kSteps;
+    const bench::TrialAggregate agg = bench::run_trials(
+        kTrials, 13000 + variant.g + (variant.cuckoo ? 100 : 0),
+        make_balancer, make_workload, sim);
+    // Probe one instance for the derived q.
+    policies::DelayedCuckooConfig probe;
+    probe.servers = kM;
+    probe.processing_rate = variant.g;
+    probe.use_cuckoo_routing = variant.cuckoo;
+    probe.carry_over_queues = variant.carry;
+    probe.seed = 1;
+    const std::size_t q =
+        policies::DelayedCuckooBalancer(probe).queue_capacity();
+    table.row()
+        .cell(variant.name)
+        .cell(variant.g)
+        .cell(static_cast<std::uint64_t>(q))
+        .cell_sci(agg.pooled_rejection_rate())
+        .cell(agg.average_latency.mean())
+        .cell(agg.max_backlog.mean(), 1);
+  }
+  bench::emit(table);
+  std::cout << "  Note the tight-g inversion: Q-only (greedy) out-rejects "
+               "the full algorithm when drain is scarce — the cuckoo "
+               "machinery buys worst-case structure, not raw throughput.\n";
+}
+
+void part_b() {
+  std::cout << "\nB: greedy overflow semantics at d = 1 (where overflows "
+               "happen), m = "
+            << kM << ", g = 2, q = 8.\n";
+  report::Table table({"overflow rule", "rejection(pooled)", "avg_latency",
+                       "dropped-from-queue share"});
+  for (const auto mode : {policies::OverflowPolicy::kRejectArrival,
+                          policies::OverflowPolicy::kDumpQueue}) {
+    const bench::BalancerFactory make_balancer = [mode](std::uint64_t seed) {
+      policies::PolicyConfig config;
+      config.servers = kM;
+      config.processing_rate = 2;
+      config.queue_capacity = 8;
+      config.overflow = mode;
+      config.seed = seed;
+      return policies::make_policy("greedy-d1", config);
+    };
+    const bench::WorkloadFactory make_workload = [](std::uint64_t seed) {
+      return std::make_unique<workloads::RepeatedSetWorkload>(
+          kM, 1ULL << 40, stats::derive_seed(seed, 2));
+    };
+    core::SimConfig sim;
+    sim.steps = kSteps;
+    const bench::TrialAggregate agg = bench::run_trials(
+        kTrials, 13100, make_balancer, make_workload, sim);
+    table.row()
+        .cell(mode == policies::OverflowPolicy::kDumpQueue
+                  ? "dump queue (paper §3)"
+                  : "reject arrival")
+        .cell_sci(agg.pooled_rejection_rate())
+        .cell(agg.average_latency.mean())
+        .cell("-");
+  }
+  bench::emit(table);
+}
+
+void part_c() {
+  std::cout << "\nC: Lemma 4.2 three-group split vs direct capacitated "
+               "matching (m items -> m servers).\n";
+  report::Table table({"m", "method", "max/server", "stash used",
+                       "construct us"});
+  for (const std::size_t m : {1024u, 8192u}) {
+    stats::Rng rng(13);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> choices;
+    for (std::size_t i = 0; i < m; ++i) {
+      auto a = static_cast<std::uint32_t>(rng.next_below(m));
+      auto b = static_cast<std::uint32_t>(rng.next_below(m));
+      while (b == a) b = static_cast<std::uint32_t>(rng.next_below(m));
+      choices.emplace_back(a, b);
+    }
+    auto measure = [&](const char* name, auto&& fn) {
+      const auto start = std::chrono::steady_clock::now();
+      const cuckoo::OfflineAssignment result = fn();
+      const auto micros =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      std::uint32_t max_count = 0;
+      for (const std::uint32_t c : result.per_server) {
+        max_count = std::max(max_count, c);
+      }
+      table.row()
+          .cell(static_cast<std::uint64_t>(m))
+          .cell(name)
+          .cell(max_count)
+          .cell(static_cast<std::uint64_t>(result.stash_used))
+          .cell(static_cast<std::int64_t>(micros));
+    };
+    measure("3-group split (paper)",
+            [&] { return cuckoo::assign_offline(choices, m, 4); });
+    measure("capacitated c=2",
+            [&] { return cuckoo::assign_offline_capacitated(choices, m, 2); });
+    measure("capacitated c=3",
+            [&] { return cuckoo::assign_offline_capacitated(choices, m, 3); });
+  }
+  bench::emit(table);
+}
+
+void part_d() {
+  std::cout << "\nD: threshold routing probe cost vs guarantee (m = " << kM
+            << ", g = 2, repeated workload).\n";
+  report::Table table({"policy", "T", "rejection(pooled)", "avg_latency"});
+  for (const std::uint32_t threshold : {1u, 2u, 4u}) {
+    const bench::BalancerFactory make_balancer =
+        [threshold](std::uint64_t seed) {
+          policies::PolicyConfig config;
+          config.servers = kM;
+          config.processing_rate = 2;
+          config.queue_capacity = 11;
+          config.threshold = threshold;
+          config.seed = seed;
+          return policies::make_policy("threshold", config);
+        };
+    const bench::WorkloadFactory make_workload = [](std::uint64_t seed) {
+      return std::make_unique<workloads::RepeatedSetWorkload>(
+          kM, 1ULL << 40, stats::derive_seed(seed, 3));
+    };
+    core::SimConfig sim;
+    sim.steps = kSteps;
+    const bench::TrialAggregate agg = bench::run_trials(
+        kTrials, 13200 + threshold, make_balancer, make_workload, sim);
+    table.row()
+        .cell("threshold")
+        .cell(threshold)
+        .cell_sci(agg.pooled_rejection_rate())
+        .cell(agg.average_latency.mean());
+  }
+  {
+    const bench::BalancerFactory make_balancer = [](std::uint64_t seed) {
+      policies::PolicyConfig config;
+      config.servers = kM;
+      config.processing_rate = 2;
+      config.queue_capacity = 11;
+      config.seed = seed;
+      return policies::make_policy("greedy", config);
+    };
+    const bench::WorkloadFactory make_workload = [](std::uint64_t seed) {
+      return std::make_unique<workloads::RepeatedSetWorkload>(
+          kM, 1ULL << 40, stats::derive_seed(seed, 3));
+    };
+    core::SimConfig sim;
+    sim.steps = kSteps;
+    const bench::TrialAggregate agg = bench::run_trials(
+        kTrials, 13250, make_balancer, make_workload, sim);
+    table.row()
+        .cell("greedy (all-d probes)")
+        .cell("-")
+        .cell_sci(agg.pooled_rejection_rate())
+        .cell(agg.average_latency.mean());
+  }
+  bench::emit(table);
+}
+
+void part_e() {
+  std::cout << "\nE: LEFT[d] grouped placement vs plain greedy — max backlog "
+               "(g = 2, repeated workload).\n";
+  report::Table table({"m", "greedy max backlog", "greedy-left max backlog"});
+  for (const std::size_t m : {1024u, 4096u, 16384u}) {
+    auto run = [&](const std::string& name) {
+      const bench::BalancerFactory make_balancer = [&, name](std::uint64_t seed) {
+        policies::PolicyConfig config;
+        config.servers = m;
+        config.processing_rate = 2;
+        config.queue_capacity = 32;
+        config.seed = seed;
+        return policies::make_policy(name, config);
+      };
+      const bench::WorkloadFactory make_workload = [m](std::uint64_t seed) {
+        return std::make_unique<workloads::RepeatedSetWorkload>(
+            m, 1ULL << 40, stats::derive_seed(seed, 4));
+      };
+      core::SimConfig sim;
+      sim.steps = 150;
+      return bench::run_trials(kTrials, 13300 + m, make_balancer,
+                               make_workload, sim);
+    };
+    const auto greedy = run("greedy");
+    const auto left = run("greedy-left");
+    table.row()
+        .cell(static_cast<std::uint64_t>(m))
+        .cell(greedy.max_backlog.mean(), 2)
+        .cell(left.max_backlog.mean(), 2);
+  }
+  bench::emit(table);
+}
+
+void part_f() {
+  std::cout << "\nF: the third knob (§2) — periodic flush at criticality.  "
+               "g = 1 (100% utilization, OUTSIDE every theorem's regime): "
+               "backlog drifts like a random walk; flushing trades "
+               "rejections for latency.\n";
+  report::Table table({"flush_every", "rejection(pooled)", "avg_latency",
+                       "max_latency", "mean_backlog"});
+  for (const std::size_t flush_every : {0u, 25u, 100u}) {
+    const bench::BalancerFactory make_balancer = [](std::uint64_t seed) {
+      policies::PolicyConfig config;
+      config.servers = kM;
+      config.replication = 2;
+      config.processing_rate = 1;  // critical load
+      config.queue_capacity = 64;
+      config.seed = seed;
+      return policies::make_policy("greedy", config);
+    };
+    const bench::WorkloadFactory make_workload = [](std::uint64_t seed) {
+      return std::make_unique<workloads::RepeatedSetWorkload>(
+          kM, 1ULL << 40, stats::derive_seed(seed, 6));
+    };
+    core::SimConfig sim;
+    sim.steps = 400;
+    sim.flush_every = flush_every;
+    const bench::TrialAggregate agg = bench::run_trials(
+        kTrials, 13400 + flush_every, make_balancer, make_workload, sim);
+    table.row()
+        .cell(flush_every == 0 ? "never" : std::to_string(flush_every))
+        .cell_sci(agg.pooled_rejection_rate())
+        .cell(agg.average_latency.mean())
+        .cell(agg.max_latency.mean(), 1)
+        .cell(agg.mean_backlog.mean());
+  }
+  bench::emit(table);
+  std::cout << "  In-regime (g >= 2) the flush never fires on anything at "
+               "laptop scale — its role in Theorem 3.1 is purely to cap the "
+               "damage of 1/poly(m)-probability escapes from the safe "
+               "distribution.  At criticality its latency-vs-rejection "
+               "trade is visible directly.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlb::bench::init_output(argc, argv);
+  bench::print_banner(
+      "E13 / bench_ablations",
+      "design-choice ablations: P-routing, carry-over, stash size, overflow "
+      "rule, split vs capacitated matching, probe thresholds, LEFT[d]",
+      "each mechanism's contribution isolated; see per-part notes");
+  part_a();
+  part_b();
+  part_c();
+  part_d();
+  part_e();
+  part_f();
+  return 0;
+}

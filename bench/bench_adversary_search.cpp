@@ -1,0 +1,82 @@
+// Experiment E18 — adversary search: can randomized search break the
+// algorithms the way the theory says it cannot?
+//
+// For each policy, hill-climb over the oblivious-workload space (working-
+// set size, churn, period, fixed/shuffled order) maximizing the pooled
+// rejection rate.  The search is seeded with the theory-predicted extremal
+// shape (full fixed repeated set) plus random restarts.
+//
+// Expected shape:
+//   * greedy-d1, random-of-d, per-step-greedy, round-robin — the search
+//     lands on (large working set, low churn, often fixed order) and
+//     extracts Ω(1)-ish rejection: the impossibility proofs, rediscovered
+//     by black-box search.
+//   * greedy, greedy-left, delayed-cuckoo, sticky — the best found
+//     workload still rejects nothing (Theorems 3.1 / 4.3 are worst-case
+//     over ALL oblivious adversaries, this searcher included); the only
+//     signal left to maximize is a fraction-of-a-step of average latency.
+#include <iostream>
+
+#include "common.hpp"
+#include "harness/adversary_search.hpp"
+#include "policies/factory.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace rlb;
+
+void run() {
+  bench::print_banner(
+      "E18 / bench_adversary_search",
+      "the theorems hold against every oblivious adversary — including a "
+      "randomized search armed with the theory's own extremal shapes",
+      "baseline rows: Omega(1) rejection at repeated-set-like parameters; "
+      "greedy/delayed-cuckoo rows: 0 rejection at every searched point");
+
+  harness::AdversarySearchConfig search;
+  search.servers = 512;
+  search.steps = 150;
+  search.trials = 3;
+  search.budget = 48;
+  search.seed = 18001;
+
+  report::Table table({"policy", "best rejection found", "best avg latency",
+                       "worst workload found", "evaluations"});
+  for (const std::string name :
+       {"greedy", "greedy-left", "delayed-cuckoo", "sticky", "greedy-d1",
+        "random-of-d", "per-step-greedy", "round-robin"}) {
+    const bench::BalancerFactory make_balancer = [name](std::uint64_t seed) {
+      policies::PolicyConfig config;
+      config.servers = 512;
+      config.replication = 2;
+      config.processing_rate = name == "delayed-cuckoo" ? 8 : 2;
+      config.queue_capacity = name == "delayed-cuckoo" ? 0 : 10;
+      config.seed = seed;
+      return policies::make_policy(name, config);
+    };
+    const harness::AdversarySearchResult result =
+        harness::search_adversary(make_balancer, search);
+    table.row()
+        .cell(name)
+        .cell_sci(result.best_rejection)
+        .cell(result.best_latency, 3)
+        .cell(harness::describe(result.best))
+        .cell(static_cast<std::uint64_t>(result.evaluations));
+  }
+  bench::emit(table);
+  std::cout << "\nReading guide: the search maximizes rejection with latency "
+               "as tie-break, so a 0.00e+00 rejection row means no workload "
+               "in "
+            << search.budget
+            << " evaluated candidates (including the theory's worst case) "
+               "drew blood — the empirical face of a worst-case theorem.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlb::bench::init_output(argc, argv);
+  run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Experiment E3 — the d = 1 impossibility (Section 1, formalized in [34]).
+//
+// Without replication, the servers that receive more than g requests from
+// the repeated set receive them EVERY step; their queues fill and stay
+// full, so a constant fraction of requests is rejected — no matter how
+// large the queues are.
+//
+// We sweep the queue length q over two orders of magnitude at fixed m and
+// show the steady-state rejection rate does not improve; for contrast the
+// same configuration with d = 2 (greedy) is clean, and d = 1 on FRESH
+// traffic is also fine (the collapse needs reappearance).
+#include <iostream>
+
+#include "common.hpp"
+#include "policies/greedy.hpp"
+#include "report/table.hpp"
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace {
+
+using namespace rlb;
+
+void run() {
+  bench::print_banner(
+      "E3 / bench_d1_collapse (Section 1 / Wang et al. [34])",
+      "d = 1 on a repeated working set: rejection rate Omega(1) for ANY "
+      "queue length q",
+      "rejection rate flat (~constant) as q grows 4 -> 256; d = 2 row at "
+      "q = 8 is ~zero; d = 1 on fresh traffic is near zero");
+
+  constexpr std::size_t kM = 1024;
+  constexpr unsigned kG = 2;
+  constexpr std::size_t kSteps = 400;
+  constexpr std::size_t kTrials = 8;
+
+  core::SimConfig sim;
+  sim.steps = kSteps;
+
+  report::Table table({"workload", "d", "q", "rejection(pooled)",
+                       "avg_latency", "mean_backlog", "max_backlog"});
+
+  auto add_row = [&](const std::string& workload_name, unsigned d,
+                     std::size_t q, bool fresh) {
+    const bench::BalancerFactory make_balancer = [=](std::uint64_t seed) {
+      policies::SingleQueueConfig config;
+      config.servers = kM;
+      config.replication = d;
+      config.processing_rate = kG;
+      config.queue_capacity = q;
+      config.seed = seed;
+      config.overflow = policies::OverflowPolicy::kRejectArrival;
+      return std::make_unique<policies::GreedyBalancer>(config);
+    };
+    const bench::WorkloadFactory make_workload =
+        [=](std::uint64_t seed) -> std::unique_ptr<core::Workload> {
+      if (fresh) return std::make_unique<workloads::FreshUniformWorkload>(kM);
+      return std::make_unique<workloads::RepeatedSetWorkload>(
+          kM, 1ULL << 40, stats::derive_seed(seed, 3));
+    };
+    const bench::TrialAggregate agg = bench::run_trials(
+        kTrials, 3000 + q + d, make_balancer, make_workload, sim);
+    table.row()
+        .cell(workload_name)
+        .cell(d)
+        .cell(static_cast<std::uint64_t>(q))
+        .cell_sci(agg.pooled_rejection_rate())
+        .cell(agg.average_latency.mean())
+        .cell(agg.mean_backlog.mean())
+        .cell(agg.max_backlog.mean(), 1);
+  };
+
+  for (const std::size_t q : {4u, 16u, 64u, 256u}) {
+    add_row("repeated", 1, q, /*fresh=*/false);
+  }
+  add_row("repeated", 2, 8, /*fresh=*/false);   // greedy d=2 contrast
+  add_row("fresh", 1, 16, /*fresh=*/true);      // fresh-traffic contrast
+
+  bench::emit(table);
+  std::cout << "\nReading guide: growing q only moves WHERE the overloaded "
+               "queues saturate, not WHETHER they do — the rejection rate "
+               "plateau is the [34] impossibility.  The avg latency grows "
+               "with q because surviving requests sit in ever-longer queues.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlb::bench::init_output(argc, argv);
+  run();
+  return 0;
+}

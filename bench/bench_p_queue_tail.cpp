@@ -1,0 +1,122 @@
+// Experiment E8 — Lemma 4.8: P-queue arrival concentration.
+//
+// For any P_j and any in-phase interval of length ℓ,
+//   Pr[ arrivals to P_j over the interval >= g·ℓ/4 ] <= e^{-ℓ}.
+// We instrument DelayedCuckooBalancer's per-step P arrivals, slide windows
+// of every length ℓ over a long run, and compare the empirical exceedance
+// frequency (per server per window position) against e^{-ℓ}.
+//
+// Workload: 70% hot / 30% fresh mix — reappearances dominate, so the P
+// queues see real traffic; windows that cross phase boundaries are skipped
+// (the lemma is stated within a phase).
+#include <cmath>
+#include <deque>
+#include <iostream>
+
+#include "common.hpp"
+#include "policies/delayed_cuckoo.hpp"
+#include "report/table.hpp"
+#include "workloads/mixed.hpp"
+
+namespace {
+
+using namespace rlb;
+
+void run() {
+  bench::print_banner(
+      "E8 / bench_p_queue_tail (Lemma 4.8)",
+      "Pr[P_j receives >= g*l/4 arrivals over any l-step in-phase window] "
+      "<= e^{-l}",
+      "empirical exceedance column <= the e^{-l} bound column for every l "
+      "(typically far below it)");
+
+  constexpr std::size_t kM = 2048;
+  constexpr unsigned kG = 16;  // threshold g*l/4 = 4*l
+  constexpr std::size_t kSteps = 400;
+  const std::size_t max_window = 6;
+
+  policies::DelayedCuckooConfig config;
+  config.servers = kM;
+  config.processing_rate = kG;
+  config.phase_length = 8;  // long phases → many in-phase windows
+  config.queue_capacity = 32;
+  config.seed = 31;
+  policies::DelayedCuckooBalancer balancer(config);
+  workloads::MixedWorkload workload(kM, 0.7, 31);
+
+  // exceed[l] / samples[l]: windows of length l where some fixed server's
+  // P arrivals reached g*l/4.  Each (server, window-position) is a sample.
+  // max_sum[l] records the worst windowed sum seen, to show the margin to
+  // the threshold even when exceedances are zero.
+  std::vector<std::uint64_t> exceed(max_window + 1, 0);
+  std::vector<std::uint64_t> samples(max_window + 1, 0);
+  std::vector<std::uint64_t> max_sum(max_window + 1, 0);
+
+  std::deque<std::vector<std::uint32_t>> history;  // recent per-step arrivals
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  std::size_t steps_into_phase = 0;
+
+  for (core::Time t = 0; t < static_cast<core::Time>(kSteps); ++t) {
+    if (steps_into_phase == config.phase_length) {
+      steps_into_phase = 0;
+      history.clear();  // windows must not straddle phase boundaries
+    }
+    workload.fill_step(t, batch);
+    balancer.step(t, batch, metrics);
+    history.push_back(balancer.p_arrivals_this_step());
+    if (history.size() > max_window) history.pop_front();
+    ++steps_into_phase;
+
+    // Evaluate every window ending at this step.
+    for (std::size_t window = 1; window <= history.size(); ++window) {
+      const std::uint64_t threshold = static_cast<std::uint64_t>(kG) *
+                                      window / 4;  // g*l/4
+      std::vector<std::uint64_t> sums(kM, 0);
+      for (std::size_t back = 0; back < window; ++back) {
+        const auto& arrivals = history[history.size() - 1 - back];
+        for (std::size_t s = 0; s < kM; ++s) sums[s] += arrivals[s];
+      }
+      for (std::size_t s = 0; s < kM; ++s) {
+        ++samples[window];
+        if (sums[s] >= threshold) ++exceed[window];
+        max_sum[window] = std::max(max_sum[window], sums[s]);
+      }
+    }
+  }
+
+  report::Table table({"l (window)", "threshold g*l/4", "samples",
+                       "exceedances", "max windowed sum", "empirical Pr",
+                       "bound e^-l", "ok?"});
+  for (std::size_t window = 1; window <= max_window; ++window) {
+    const double empirical =
+        samples[window]
+            ? static_cast<double>(exceed[window]) /
+                  static_cast<double>(samples[window])
+            : 0.0;
+    const double bound = std::exp(-static_cast<double>(window));
+    table.row()
+        .cell(static_cast<std::uint64_t>(window))
+        .cell(static_cast<std::uint64_t>(kG * window / 4))
+        .cell(samples[window])
+        .cell(exceed[window])
+        .cell(max_sum[window])
+        .cell_sci(empirical)
+        .cell_sci(bound)
+        .cell(empirical <= bound ? "yes" : "NO");
+  }
+  bench::emit(table);
+  std::cout << "\nReading guide: Lemma 4.5 makes per-step P arrivals <= "
+               "3+stash deterministically, so exceedances need sustained "
+               "near-worst-case cuckoo assignments — the lemma says that is "
+               "exponentially unlikely in the window length, and the "
+               "empirical column confirms it.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlb::bench::init_output(argc, argv);
+  run();
+  return 0;
+}

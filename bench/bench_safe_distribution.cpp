@@ -1,0 +1,118 @@
+// Experiment E2 — Definition 3.2 / Lemma 3.4: the safe distribution holds.
+//
+// Lemma 3.4: starting from a safe backlog distribution, a greedy sub-step
+// ends in a safe distribution w.h.p. — i.e. for every j, at most m/2^j
+// servers have backlog > j, at every step boundary.
+//
+// Part A sweeps (d, g) from the stressed edge of the regime (d = 2, g = 1:
+// 100% utilization, OUTSIDE the theorem's g-sufficiently-large assumption)
+// into it (g >= 2), reporting the worst observed ratio
+//   max_j |{backlog > j}| / (m/2^j)
+// across every step of every trial (safe ⟺ ratio <= 1).  In-regime rows
+// must show zero violations; the g = 1 rows show the checker has teeth.
+// Part B prints the full tail profile |{backlog > j}| vs the m/2^j budget
+// at the end of one long stressed-but-safe run, showing the geometric decay
+// directly.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/safe_distribution.hpp"
+#include "core/simulator.hpp"
+#include "policies/greedy.hpp"
+#include "report/table.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace {
+
+using namespace rlb;
+
+constexpr std::size_t kSteps = 200;
+constexpr std::size_t kTrials = 8;
+
+void part_a() {
+  report::Table table({"m", "d", "g", "in-regime?", "safety_checks",
+                       "violations", "worst_ratio(mean)", "worst_ratio(max)"});
+  struct Combo {
+    unsigned d, g;
+  };
+  for (const std::size_t m : {1024u, 4096u}) {
+    for (const Combo combo : {Combo{2, 1}, Combo{2, 2}, Combo{4, 2},
+                              Combo{6, 6}}) {
+      const bench::BalancerFactory make_balancer = [=](std::uint64_t seed) {
+        auto c = policies::GreedyBalancer::theorem_config(m, combo.d, combo.g,
+                                                          seed);
+        return std::make_unique<policies::GreedyBalancer>(c);
+      };
+      const bench::WorkloadFactory make_workload = [m](std::uint64_t seed) {
+        return std::make_unique<workloads::RepeatedSetWorkload>(
+            m, 1ULL << 40, stats::derive_seed(seed, 5));
+      };
+      core::SimConfig sim;
+      sim.steps = kSteps;
+      sim.check_safety = true;
+      const bench::TrialAggregate agg = bench::run_trials(
+          kTrials, 2000 + m + combo.d * 10 + combo.g, make_balancer,
+          make_workload, sim);
+      table.row()
+          .cell(static_cast<std::uint64_t>(m))
+          .cell(combo.d)
+          .cell(combo.g)
+          .cell(combo.g >= 2 ? "yes" : "no (g too small)")
+          .cell(agg.total_safety_checks)
+          .cell(agg.total_safety_violations)
+          .cell(agg.worst_safety_ratio.mean(), 3)
+          .cell(agg.worst_safety_ratio.max(), 3);
+    }
+  }
+  bench::emit(table);
+}
+
+void part_b() {
+  constexpr std::size_t kM = 4096;
+  constexpr unsigned kD = 2;
+  constexpr unsigned kG = 2;
+  auto config = policies::GreedyBalancer::theorem_config(kM, kD, kG, 77);
+  policies::GreedyBalancer balancer(config);
+  workloads::RepeatedSetWorkload workload(kM, 1ULL << 40, 77);
+  core::SimConfig sim;
+  sim.steps = 300;
+  (void)core::simulate(balancer, workload, sim);
+
+  std::vector<std::uint32_t> backlogs;
+  balancer.backlogs(backlogs);
+  const auto tail = core::backlog_tail_counts(backlogs);
+
+  std::cout << "\nFinal-step backlog tail profile (m = " << kM
+            << ", d = " << kD << ", g = " << kG << "):\n";
+  report::Table table({"j", "servers_with_backlog>j", "budget m/2^j",
+                       "ratio"});
+  for (std::uint32_t j = 0; j < tail.size(); ++j) {
+    const double budget =
+        static_cast<double>(kM) / static_cast<double>(1ULL << j);
+    table.row()
+        .cell(j)
+        .cell(tail[j])
+        .cell(budget, 1)
+        .cell(budget > 0 ? static_cast<double>(tail[j]) / budget : 0.0, 4);
+  }
+  bench::emit(table);
+  std::cout << "\nReading guide: every in-regime row has 0 violations and "
+               "max ratio <= 1 — the Lemma 3.4 induction observed directly.  "
+               "The g = 1 rows run at 100% utilization where the theorem "
+               "makes no promise; their larger ratios show the checker "
+               "detects unsafe shapes when they occur.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlb::bench::init_output(argc, argv);
+  bench::print_banner(
+      "E2 / bench_safe_distribution (Definition 3.2, Lemma 3.4)",
+      "at every step, at most m/2^j servers have backlog > j, w.h.p.",
+      "zero violations and worst ratio <= 1 for every g >= 2 row; tail "
+      "profile decays at least geometrically");
+  part_a();
+  part_b();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Experiment E20 — key→chunk sharding end to end (paper footnote 1).
+//
+// The model's chunks each contain multiple data items; WHICH keys share a
+// chunk is a sharding decision made above the paper's model.  Under skewed
+// key popularity:
+//   * hash sharding scatters the Zipf head → chunk-level load flattens
+//     before routing ever sees it;
+//   * range sharding (HBase/BigTable-style, great for scans) concentrates
+//     the head into few chunks — and a chunk lives on only d servers, so
+//     no routing policy can spread a single molten chunk (the §2 "basic
+//     observation" that ω(1) same-chunk requests/step are hopeless is the
+//     limiting case).
+//
+// We measure both: the chunk-level stream shape (compression, chunk-level
+// reappearance) and the end-to-end outcome per routing policy on the same
+// key stream.
+#include <iostream>
+
+#include "common.hpp"
+#include "policies/factory.hpp"
+#include "report/table.hpp"
+#include "store/key_mapper.hpp"
+#include "store/key_workload_adapter.hpp"
+#include "workloads/reappearance_profile.hpp"
+
+namespace {
+
+using namespace rlb;
+
+constexpr std::size_t kServers = 512;
+constexpr std::size_t kChunks = 2048;
+constexpr store::KeyId kKeySpace = 1 << 20;
+constexpr std::size_t kKeysPerStep = 512;
+constexpr double kSkew = 1.1;
+constexpr std::size_t kSteps = 200;
+constexpr std::size_t kTrials = 4;
+
+std::unique_ptr<store::KeyMapper> make_mapper(const std::string& kind,
+                                              std::uint64_t seed) {
+  if (kind == "hash") {
+    return std::make_unique<store::HashShardMapper>(kChunks, seed);
+  }
+  return std::make_unique<store::RangeShardMapper>(kChunks, kKeySpace);
+}
+
+void part_a() {
+  std::cout << "\nA: what each sharding does to the chunk-level stream "
+               "(Zipf(" << kSkew << ") keys, contiguous popularity).\n";
+  report::Table table({"sharding", "keys/chunk-request", "chunk requests/"
+                       "step", "chunk reappearance", "median reuse dist"});
+  for (const std::string kind : {"hash", "range"}) {
+    const auto mapper = make_mapper(kind, 20001);
+    store::KeyWorkloadAdapter adapter(
+        store::make_zipf_key_generator(kKeysPerStep, kKeySpace, kSkew,
+                                       /*scramble=*/false, 20002),
+        *mapper, kKeysPerStep);
+    const workloads::ReappearanceProfile profile =
+        workloads::profile_workload(adapter, kSteps);
+    table.row()
+        .cell(kind)
+        .cell(adapter.compression(), 2)
+        .cell(static_cast<double>(adapter.chunk_requests_emitted()) /
+                  static_cast<double>(kSteps),
+              1)
+        .cell(profile.reappearance_fraction(), 3)
+        .cell(profile.reuse_distance.quantile(0.5));
+  }
+  bench::emit(table);
+}
+
+void part_b() {
+  std::cout << "\nB: end-to-end — same key stream, both shardings, per "
+               "policy (m = " << kServers << ", d = 2, g = 2).\n";
+  report::Table table({"sharding", "policy", "rejection(pooled)", "avg_lat",
+                       "max_backlog"});
+  for (const std::string kind : {"hash", "range"}) {
+    for (const std::string policy : {"greedy", "delayed-cuckoo"}) {
+      const bench::BalancerFactory make_balancer =
+          [policy](std::uint64_t seed) {
+            policies::PolicyConfig config;
+            config.servers = kServers;
+            config.replication = 2;
+            config.processing_rate = policy == "delayed-cuckoo" ? 8 : 2;
+            config.queue_capacity = 0;
+            config.seed = seed;
+            return policies::make_policy(policy, config);
+          };
+      const bench::WorkloadFactory make_workload =
+          [kind](std::uint64_t seed) -> std::unique_ptr<core::Workload> {
+        struct Owning final : public core::Workload {
+          std::unique_ptr<store::KeyMapper> mapper;
+          std::unique_ptr<store::KeyWorkloadAdapter> adapter;
+          void fill_step(core::Time t,
+                         std::vector<core::ChunkId>& out) override {
+            adapter->fill_step(t, out);
+          }
+          std::size_t max_requests_per_step() const override {
+            return adapter->max_requests_per_step();
+          }
+        };
+        auto owning = std::make_unique<Owning>();
+        owning->mapper = make_mapper(kind, stats::derive_seed(seed, 1));
+        owning->adapter = std::make_unique<store::KeyWorkloadAdapter>(
+            store::make_zipf_key_generator(kKeysPerStep, kKeySpace, kSkew,
+                                           false, stats::derive_seed(seed, 2)),
+            *owning->mapper, kKeysPerStep);
+        return owning;
+      };
+      core::SimConfig sim;
+      sim.steps = kSteps;
+      const bench::TrialAggregate agg = bench::run_trials(
+          kTrials, 20100 + (kind == "hash" ? 0 : 50), make_balancer,
+          make_workload, sim);
+      table.row()
+          .cell(kind)
+          .cell(policy)
+          .cell_sci(agg.pooled_rejection_rate())
+          .cell(agg.average_latency.mean())
+          .cell(agg.max_backlog.mean(), 1);
+    }
+  }
+  bench::emit(table);
+  std::cout << "\nReading guide: with DISTINCT chunks per step the model "
+               "protects range sharding from outright collapse (dedup caps "
+               "each chunk at one request/step), but its hot chunks "
+               "reappear every step with reuse distance 1 — the maximal "
+               "reappearance-dependency regime — while hash sharding "
+               "arrives pre-flattened.  The part-B deltas quantify what "
+               "the sharding layer hands the routing layer.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlb::bench::init_output(argc, argv);
+  bench::print_banner(
+      "E20 / bench_sharding (footnote 1: keys per chunk)",
+      "which keys share a chunk decides how much reappearance dependence "
+      "the routing layer inherits",
+      "range sharding: high compression, reappearance ~1, reuse distance 1; "
+      "hash sharding: flatter stream; policies clean on both at these "
+      "parameters");
+  part_a();
+  part_b();
+  return 0;
+}

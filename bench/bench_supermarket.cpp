@@ -1,0 +1,157 @@
+// Experiment E17 — the supermarket model vs reappearance dependencies
+// (paper Section 6, related work).
+//
+// Part A validates the continuous-time substrate against closed forms:
+// the stationary fraction of queues with >= i customers under JSQ(d) is
+//   s_i = λ^((d^i − 1)/(d − 1))   (Mitzenmacher; λ^i at d = 1 is M/M/1),
+// and the d = 1 mean sojourn is 1/(1 − λ).
+//
+// Part B imports reappearance dependencies into the supermarket world:
+// arrivals carry identities from a finite population whose d candidate
+// servers are FIXED across arrivals.  As the population shrinks toward m,
+// the queue tail departs upward from the classical prediction — the
+// quantitative version of the paper's remark that the supermarket model
+// "cannot be used to address adversarial settings such as ours where the
+// main technical challenge is reappearance dependencies".
+#include <iostream>
+
+#include "common.hpp"
+#include "report/table.hpp"
+#include "supermarket/event_sim.hpp"
+
+namespace {
+
+using namespace rlb;
+
+void part_a() {
+  std::cout << "\nA: validation against closed forms (m = 400, horizon "
+               "1500, warmup 200).\n";
+  report::Table table({"lambda", "d", "i", "measured s_i", "theory s_i",
+                       "rel err"});
+  for (const double lambda : {0.7, 0.9}) {
+    for (const unsigned d : {1u, 2u}) {
+      supermarket::SupermarketConfig config;
+      config.servers = 400;
+      config.lambda = lambda;
+      config.choices = d;
+      config.horizon = 1500.0;
+      config.warmup = 200.0;
+      config.seed = 17000 + d;
+      const supermarket::SupermarketResult result =
+          supermarket::simulate_supermarket(config);
+      for (unsigned i = 1; i <= 4; ++i) {
+        const double theory = supermarket::classical_tail(lambda, d, i);
+        const double measured =
+            i < result.tail_fraction.size() ? result.tail_fraction[i] : 0.0;
+        table.row()
+            .cell(lambda, 2)
+            .cell(d)
+            .cell(i)
+            .cell(measured, 4)
+            .cell(theory, 4)
+            .cell(theory > 0 ? std::abs(measured - theory) / theory : 0.0, 3);
+      }
+    }
+  }
+  bench::emit(table);
+}
+
+void part_b() {
+  std::cout << "\nB: fixed-identity (reappearance) populations vs the "
+               "classical fresh-choice tail (m = 200, lambda = 0.9, d = 2)."
+               "\n";
+  report::Table table({"population/m", "mean sojourn", "s_2", "s_3", "s_4",
+                       "classical s_3 ref"});
+  supermarket::SupermarketConfig config;
+  config.servers = 200;
+  config.lambda = 0.9;
+  config.choices = 2;
+  config.horizon = 1200.0;
+  config.warmup = 200.0;
+  config.seed = 17100;
+
+  auto row_for = [&](const std::string& label,
+                     const supermarket::SupermarketResult& result) {
+    auto tail = [&](unsigned i) {
+      return i < result.tail_fraction.size() ? result.tail_fraction[i] : 0.0;
+    };
+    table.row()
+        .cell(label)
+        .cell(result.sojourn.mean(), 3)
+        .cell(tail(2), 4)
+        .cell(tail(3), 4)
+        .cell(tail(4), 4)
+        .cell(supermarket::classical_tail(0.9, 2, 3), 4);
+  };
+
+  config.mode = supermarket::ChoiceMode::kFresh;
+  row_for("fresh (classical)", supermarket::simulate_supermarket(config));
+
+  config.mode = supermarket::ChoiceMode::kFixedIdentity;
+  for (const std::size_t factor : {32u, 8u, 2u, 1u}) {
+    config.population = factor * config.servers;
+    row_for(std::to_string(factor) + "x m",
+            supermarket::simulate_supermarket(config));
+  }
+  bench::emit(table);
+  std::cout << "\nReading guide: large populations approximate the fresh "
+               "model (every identity is rare); at population ~m the same "
+               "identities recur constantly with fixed servers, fattening "
+               "the tail beyond anything the classical analysis predicts — "
+               "the supermarket model's blind spot that the paper's model "
+               "makes first-class.\n";
+}
+
+void part_c() {
+  std::cout << "\nC: bounded queues (q = 4) — rejection rate vs identity "
+               "population (m = 200, lambda = 0.9, d = 2).\n";
+  report::Table table({"population/m", "rejection rate", "mean sojourn"});
+  supermarket::SupermarketConfig config;
+  config.servers = 200;
+  config.lambda = 0.9;
+  config.choices = 2;
+  config.horizon = 1200.0;
+  config.warmup = 200.0;
+  config.queue_bound = 4;
+  config.seed = 17200;
+
+  config.mode = supermarket::ChoiceMode::kFresh;
+  {
+    const auto result = supermarket::simulate_supermarket(config);
+    table.row()
+        .cell("fresh (classical)")
+        .cell_sci(result.rejection_rate())
+        .cell(result.sojourn.mean(), 3);
+  }
+  config.mode = supermarket::ChoiceMode::kFixedIdentity;
+  for (const std::size_t factor : {32u, 8u, 2u, 1u}) {
+    config.population = factor * config.servers;
+    const auto result = supermarket::simulate_supermarket(config);
+    table.row()
+        .cell(std::to_string(factor) + "x m")
+        .cell_sci(result.rejection_rate())
+        .cell(result.sojourn.mean(), 3);
+  }
+  bench::emit(table);
+  std::cout << "  With bounded queues the fattened tail becomes dropped "
+               "requests — reappearance dependencies converted directly "
+               "into rejection rate, the paper's core metric, in the "
+               "queueing-theory model that cannot analyze them.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlb::bench::init_output(argc, argv);
+  bench::print_banner(
+      "E17 / bench_supermarket (Section 6 related-work contrast)",
+      "JSQ(d) stationary tails s_i = lambda^((d^i-1)/(d-1)); fresh "
+      "per-arrival sampling is what reappearance dependencies remove",
+      "part A matches theory within a few percent; part B's tail grows as "
+      "the identity population shrinks toward m; part C turns that tail "
+      "into rejections under bounded queues");
+  part_a();
+  part_b();
+  part_c();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Experiment E15 — parallel harness scaling (engineering).
+//
+// The experiment suite's wall-clock is bounded by how fast the trial
+// runner fans independent seeded simulations across cores.  This bench
+// measures trials/second vs pool size for a fixed greedy workload, and
+// verifies that results are bit-identical regardless of parallelism (the
+// determinism contract every experiment relies on).
+#include <chrono>
+#include <iostream>
+
+#include "common.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/trial_runner.hpp"
+#include "policies/greedy.hpp"
+#include "report/table.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace {
+
+using namespace rlb;
+
+std::uint64_t one_trial(std::uint64_t seed) {
+  auto config = policies::GreedyBalancer::theorem_config(1024, 4, 4, seed);
+  policies::GreedyBalancer balancer(config);
+  workloads::RepeatedSetWorkload workload(1024, 1ULL << 30, seed);
+  core::SimConfig sim;
+  sim.steps = 100;
+  const core::SimResult result = core::simulate(balancer, workload, sim);
+  // Digest a few outcome fields so the compiler cannot elide work and so
+  // determinism can be compared across pool sizes.
+  return result.metrics.completed() * 1000003ULL +
+         result.max_backlog * 101ULL + result.metrics.rejected();
+}
+
+void run() {
+  bench::print_banner(
+      "E15 / bench_trial_scaling (engineering)",
+      "Monte-Carlo trial runner: throughput vs threads; determinism across "
+      "parallelism",
+      "near-linear scaling to physical cores; identical digests at every "
+      "pool size");
+
+  constexpr std::size_t kTrialCount = 64;
+  const std::function<std::uint64_t(std::uint64_t, std::size_t)> trial =
+      [](std::uint64_t seed, std::size_t) { return one_trial(seed); };
+
+  std::uint64_t reference_digest = 0;
+  report::Table table({"threads", "seconds", "trials/s", "speedup",
+                       "digest matches serial?"});
+  double serial_seconds = 0.0;
+  const unsigned hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> pool_sizes = {1, 2, 4};
+  if (hardware > 4) pool_sizes.push_back(hardware);
+
+  for (const unsigned threads : pool_sizes) {
+    parallel::ThreadPool pool(threads);
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = parallel::run_trials<std::uint64_t>(
+        pool, kTrialCount, /*master_seed=*/15, trial);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::uint64_t digest = 0;
+    for (const std::uint64_t r : results) digest = digest * 31 + r;
+    if (threads == 1) {
+      reference_digest = digest;
+      serial_seconds = seconds;
+    }
+    table.row()
+        .cell(threads)
+        .cell(seconds, 3)
+        .cell(static_cast<double>(kTrialCount) / seconds, 1)
+        .cell(serial_seconds > 0 ? serial_seconds / seconds : 1.0, 2)
+        .cell(digest == reference_digest ? "yes" : "NO");
+  }
+  bench::emit(table);
+  std::cout << "\nDetected hardware threads: " << hardware
+            << ".  Speedup is bounded by physical cores — on a single-core "
+               "host the table verifies only the determinism contract.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlb::bench::init_output(argc, argv);
+  run();
+  return 0;
+}

@@ -1,0 +1,5 @@
+#include "common.hpp"
+
+// All functionality lives in rlb_harness; this translation unit anchors the
+// rlb_bench_common target.
+namespace rlb::bench {}

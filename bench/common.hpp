@@ -1,0 +1,22 @@
+// Bench-binary facade over the experiment harness (src/harness/).
+//
+// The aggregation and output machinery lives in the tested rlb_harness
+// library; this header just pulls it into the rlb::bench namespace the
+// experiment binaries use.
+#pragma once
+
+#include "harness/experiment.hpp"
+#include "harness/output.hpp"
+
+namespace rlb::bench {
+
+using harness::BalancerFactory;
+using harness::TrialAggregate;
+using harness::WorkloadFactory;
+
+using harness::emit;
+using harness::init_output;
+using harness::print_banner;
+using harness::run_trials;
+
+}  // namespace rlb::bench

@@ -1,0 +1,116 @@
+// adversarial_attack — watching the impossibility results happen.
+//
+// Narrative walk-through of the paper's negative results, step by step:
+//
+//   Act 1 (Section 1 / [34]): a d = 1 cluster under a repeated working set.
+//          We print the backlog of the most-overloaded server every few
+//          steps: it climbs linearly until the queue saturates, then the
+//          server rejects a constant stream forever.  Growing q only delays
+//          the inevitable.
+//   Act 2 (Lemma 5.3): the same workload against a time-step-isolated
+//          router (random-of-d).  Despite d = 2, some servers' queues
+//          still fill — per-step randomness cannot cancel reappearance
+//          dependencies.
+//   Act 3 (Sections 3-4): greedy and delayed cuckoo routing on the very
+//          same trace — flat backlogs, zero rejections.
+//
+//   $ ./adversarial_attack
+#include <algorithm>
+#include <iostream>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "report/table.hpp"
+#include "workloads/repeated_set.hpp"
+#include "workloads/trace.hpp"
+
+namespace {
+
+using namespace rlb;
+
+constexpr std::size_t kServers = 512;
+constexpr std::size_t kSteps = 120;
+constexpr std::uint64_t kSeed = 99;
+
+/// Step the balancer through the trace, printing the max backlog and
+/// cumulative rejections at checkpoints.
+void narrate(core::LoadBalancer& balancer, const workloads::Trace& trace,
+             const std::string& title) {
+  std::cout << "\n--- " << title << " ---\n";
+  report::Table table(
+      {"step", "max backlog", "rejected so far", "rejection rate"});
+  core::Metrics metrics;
+  for (std::size_t step = 0; step < kSteps; ++step) {
+    balancer.step(static_cast<core::Time>(step), trace.step(step), metrics);
+    if ((step + 1) % 20 == 0 || step == 0) {
+      std::uint32_t max_backlog = 0;
+      for (core::ServerId s = 0; s < kServers; ++s) {
+        max_backlog = std::max(max_backlog, balancer.backlog(s));
+      }
+      table.row()
+          .cell(static_cast<std::uint64_t>(step + 1))
+          .cell(max_backlog)
+          .cell(metrics.rejected())
+          .cell_sci(metrics.rejection_rate());
+    }
+  }
+  table.print(std::cout);
+}
+
+policies::PolicyConfig base_config() {
+  policies::PolicyConfig config;
+  config.servers = kServers;
+  config.replication = 2;
+  // g = 2 keeps the servers honest: a server needs > 2 arrivals per step to
+  // drown, which is exactly what reappearance dependencies arrange for the
+  // unlucky servers in Acts 1 and 2.
+  config.processing_rate = 2;
+  config.queue_capacity = 16;
+  config.seed = kSeed;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "adversarial_attack — the same " << kServers
+            << "-chunk working set requested every step against four "
+               "routers\n(m = "
+            << kServers << ", g = 2, q = 16, identical trace)\n";
+
+  workloads::RepeatedSetWorkload source(kServers, 1ULL << 40, kSeed,
+                                        /*shuffle_each_step=*/false);
+  const workloads::Trace trace = workloads::Trace::record(source, kSteps);
+
+  {
+    auto config = base_config();
+    auto balancer = policies::make_policy("greedy-d1", config);
+    narrate(*balancer,
+            trace,
+            "Act 1: no replication (d = 1) — the [34] impossibility");
+  }
+  {
+    auto config = base_config();
+    auto balancer = policies::make_policy("random-of-d", config);
+    narrate(*balancer, trace,
+            "Act 2: d = 2 but time-step-isolated routing — Lemma 5.3");
+  }
+  {
+    auto config = base_config();
+    auto balancer = policies::make_policy("greedy", config);
+    narrate(*balancer, trace, "Act 3a: greedy (Theorem 3.1)");
+  }
+  {
+    auto config = base_config();
+    config.processing_rate = 16;  // delayed cuckoo needs g >= 16 for 4 queues
+    auto balancer = policies::make_policy("delayed-cuckoo", config);
+    narrate(*balancer, trace, "Act 3b: delayed cuckoo routing (Theorem 4.3)");
+  }
+
+  std::cout << "\nMoral: replication alone (Act 2) is not enough and no "
+               "replication (Act 1) is hopeless —\novercoming reappearance "
+               "dependencies needs routing that reacts across time steps,\n"
+               "either through backlogs (greedy) or through the previous "
+               "step's cuckoo assignment\n(delayed cuckoo routing).\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// kvstore_tailsim — a distributed key-value store tail-latency study.
+//
+// The scenario the paper's introduction motivates: a KV store with skewed
+// (Zipf) key popularity, where hot chunks are requested on nearly every
+// step (heavy reappearance dependencies on the head of the distribution).
+// We model a 2048-server cluster at ~85% utilization and compare the full
+// latency distribution — p50 / p90 / p99 / p999 / max — across routing
+// policies, the view an SRE would want before picking one.
+//
+//   $ ./kvstore_tailsim
+#include <iostream>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "report/table.hpp"
+#include "workloads/zipf_workload.hpp"
+
+int main() {
+  using namespace rlb;
+
+  constexpr std::size_t kServers = 2048;
+  // Tight capacity: g = 2 per server against a full m-requests-per-step
+  // load (1 arrival per server per step on average) — the regime where
+  // routing quality shows up in the tail.  (delayed-cuckoo runs at g = 4,
+  // the minimum its four-queue discipline supports.)
+  constexpr unsigned kProcessing = 2;
+  const std::size_t kRequestsPerStep = kServers;
+  constexpr std::size_t kSteps = 150;
+  constexpr double kSkew = 0.99;  // YCSB-like
+  constexpr std::uint64_t kSeed = 7;
+
+  std::cout << "kvstore_tailsim — " << kServers << " servers, "
+            << kRequestsPerStep << " requests/step (the m/step model ceiling), Zipf("
+            << kSkew << ") keys, " << kSteps << " steps\n\n";
+
+  report::Table table({"policy", "rejection", "p50", "p90", "p99", "p999",
+                       "max", "mean backlog"});
+
+  for (const std::string& name : policies::policy_names()) {
+    policies::PolicyConfig config;
+    config.servers = kServers;
+    config.replication = 2;
+    config.processing_rate = kProcessing;
+    config.queue_capacity = 0;  // theorem default per policy
+    config.seed = kSeed;
+    auto balancer = policies::make_policy(name, config);
+
+    workloads::ZipfWorkload workload(kRequestsPerStep, 8 * kServers * 4,
+                                     kSkew, kSeed);
+    core::SimConfig sim;
+    sim.steps = kSteps;
+    const core::SimResult r = core::simulate(*balancer, workload, sim);
+
+    table.row()
+        .cell(name)
+        .cell_sci(r.metrics.rejection_rate())
+        .cell(r.metrics.latency_quantile(0.50))
+        .cell(r.metrics.latency_quantile(0.90))
+        .cell(r.metrics.latency_quantile(0.99))
+        .cell(r.metrics.latency_quantile(0.999))
+        .cell(r.metrics.max_latency())
+        .cell(r.metrics.backlog_stats().mean(), 3);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nHow to read this: latencies are in whole time steps (0 = "
+               "served the step it arrived).\nBacklog-aware greedy and "
+               "delayed-cuckoo hold the p99/p999 tail flat; the d = 1 and\n"
+               "time-step-isolated rows show the tail (and rejections) an "
+               "operator would suffer without\nreplication-aware, history-"
+               "aware routing.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: the 60-second tour of the rlb public API.
+//
+// Builds a 1024-server cluster, routes an adversarial repeated workload
+// through the paper's two algorithms (greedy, Section 3; delayed cuckoo
+// routing, Section 4), and prints the metrics the paper optimizes:
+// rejection rate, average latency, max latency.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/simulator.hpp"
+#include "policies/delayed_cuckoo.hpp"
+#include "policies/greedy.hpp"
+#include "report/table.hpp"
+#include "workloads/repeated_set.hpp"
+
+int main() {
+  using namespace rlb;
+
+  constexpr std::size_t kServers = 1024;   // m
+  constexpr std::size_t kSteps = 200;
+  constexpr std::uint64_t kSeed = 2024;
+
+  // The adversary: the same 1024 chunks requested every step — maximal
+  // reappearance dependencies.
+  workloads::RepeatedSetWorkload workload(kServers, /*universe=*/1ULL << 40,
+                                          kSeed);
+
+  // Algorithm 1 — greedy (Theorem 3.1): d = 4 replicas, g = 4, queues of
+  // log2(m) + 1 = 11.
+  auto greedy_config =
+      policies::GreedyBalancer::theorem_config(kServers, /*replication=*/4,
+                                               /*processing_rate=*/4, kSeed);
+  policies::GreedyBalancer greedy(greedy_config);
+
+  // Algorithm 2 — delayed cuckoo routing (Theorem 4.3): d = 2 replicas,
+  // queues of Θ(log log m) ≈ 16, g = 16 split over four queues.
+  policies::DelayedCuckooConfig cuckoo_config;
+  cuckoo_config.servers = kServers;
+  cuckoo_config.processing_rate = 16;
+  cuckoo_config.seed = kSeed;
+  policies::DelayedCuckooBalancer cuckoo(cuckoo_config);
+
+  core::SimConfig sim;
+  sim.steps = kSteps;
+  sim.check_safety = true;  // verify Definition 3.2 each step
+
+  report::Table table({"policy", "queue size", "rejection rate",
+                       "avg latency (steps)", "max latency", "safety "
+                       "violations"});
+
+  {
+    workloads::RepeatedSetWorkload fresh_copy(kServers, 1ULL << 40, kSeed);
+    const core::SimResult r = core::simulate(greedy, fresh_copy, sim);
+    table.row()
+        .cell("greedy (Thm 3.1)")
+        .cell(static_cast<std::uint64_t>(greedy_config.queue_capacity))
+        .cell_sci(r.metrics.rejection_rate())
+        .cell(r.metrics.average_latency(), 3)
+        .cell(r.metrics.max_latency())
+        .cell(r.metrics.safety_violations());
+  }
+  {
+    workloads::RepeatedSetWorkload fresh_copy(kServers, 1ULL << 40, kSeed);
+    const core::SimResult r = core::simulate(cuckoo, fresh_copy, sim);
+    table.row()
+        .cell("delayed cuckoo (Thm 4.3)")
+        .cell(static_cast<std::uint64_t>(4 * cuckoo.queue_capacity()))
+        .cell_sci(r.metrics.rejection_rate())
+        .cell(r.metrics.average_latency(), 3)
+        .cell(r.metrics.max_latency())
+        .cell(r.metrics.safety_violations());
+  }
+
+  std::cout << "rlb quickstart — " << kServers << " servers, " << kSteps
+            << " steps of a fully repeated (adversarial) workload\n\n";
+  table.print(std::cout);
+  std::cout << "\nBoth algorithms keep every request (rejection 0) with O(1) "
+               "average latency,\ndespite every chunk reappearing with the "
+               "same replica servers each step.\nSee bench/ for the full "
+               "experiment suite and DESIGN.md for the map to the paper.\n";
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build, test, and run the full experiment suite.
+#
+#   scripts/run_all.sh              # text tables to results/
+#   scripts/run_all.sh --format csv # CSV tables (for plotting)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FORMAT_ARGS=("$@")
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for bench in build/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name =="
+  "$bench" "${FORMAT_ARGS[@]}" | tee "results/$name.txt"
+done
+
+echo
+echo "All experiments complete; outputs in results/."

@@ -1,0 +1,112 @@
+#include "ballsbins/heavily_loaded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hashing/hash.hpp"
+
+namespace rlb::ballsbins {
+
+HeavilyLoadedProcess::HeavilyLoadedProcess(std::size_t bins, unsigned d,
+                                           std::uint64_t seed)
+    : bins_(bins), d_(d), seed_(seed), loads_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("HeavilyLoadedProcess: zero bins");
+  if (d == 0) throw std::invalid_argument("HeavilyLoadedProcess: d >= 1");
+}
+
+std::vector<std::size_t> HeavilyLoadedProcess::choices(std::uint64_t id) const {
+  std::vector<std::size_t> out;
+  out.reserve(d_);
+  for (unsigned c = 0; c < d_; ++c) {
+    out.push_back(static_cast<std::size_t>(
+        hashing::hash_to_bucket(id, stats::derive_seed(seed_, c), bins_)));
+  }
+  return out;
+}
+
+bool HeavilyLoadedProcess::insert(std::uint64_t id) {
+  if (contains(id)) return false;
+  std::size_t best = 0;
+  bool have = false;
+  for (unsigned c = 0; c < d_; ++c) {
+    const auto bin = static_cast<std::size_t>(
+        hashing::hash_to_bucket(id, stats::derive_seed(seed_, c), bins_));
+    if (!have || loads_[bin] < loads_[best]) {
+      best = bin;
+      have = true;
+    }
+  }
+  ++loads_[best];
+  location_.emplace(id, static_cast<std::uint32_t>(best));
+  return true;
+}
+
+bool HeavilyLoadedProcess::remove(std::uint64_t id) {
+  const auto it = location_.find(id);
+  if (it == location_.end()) return false;
+  --loads_[it->second];
+  location_.erase(it);
+  return true;
+}
+
+std::uint32_t HeavilyLoadedProcess::max_load() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t v : loads_) best = std::max(best, v);
+  return best;
+}
+
+double HeavilyLoadedProcess::gap() const {
+  const double average = static_cast<double>(location_.size()) /
+                         static_cast<double>(bins_);
+  return static_cast<double>(max_load()) - average;
+}
+
+namespace {
+
+/// Runs the shared churn schedule.  `fresh` controls whether reinsertions
+/// reuse the deleted ids (reappearance) or mint new ones.
+std::vector<double> churn_gaps(HeavilyLoadedProcess& process,
+                               std::size_t balls, std::size_t churn,
+                               std::size_t rounds, stats::Rng& rng,
+                               bool fresh) {
+  std::vector<std::uint64_t> present;
+  present.reserve(balls);
+  std::uint64_t next_id = 0;
+  for (std::size_t i = 0; i < balls; ++i) {
+    process.insert(next_id);
+    present.push_back(next_id);
+    ++next_id;
+  }
+
+  std::vector<double> gaps;
+  gaps.reserve(rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t c = 0; c < churn && !present.empty(); ++c) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.next_below(present.size()));
+      const std::uint64_t victim = present[pick];
+      process.remove(victim);
+      const std::uint64_t replacement = fresh ? next_id++ : victim;
+      process.insert(replacement);
+      present[pick] = replacement;
+    }
+    gaps.push_back(process.gap());
+  }
+  return gaps;
+}
+
+}  // namespace
+
+std::vector<double> fixed_id_churn_gaps(HeavilyLoadedProcess& process,
+                                        std::size_t balls, std::size_t churn,
+                                        std::size_t rounds, stats::Rng& rng) {
+  return churn_gaps(process, balls, churn, rounds, rng, /*fresh=*/false);
+}
+
+std::vector<double> fresh_id_churn_gaps(HeavilyLoadedProcess& process,
+                                        std::size_t balls, std::size_t churn,
+                                        std::size_t rounds, stats::Rng& rng) {
+  return churn_gaps(process, balls, churn, rounds, rng, /*fresh=*/true);
+}
+
+}  // namespace rlb::ballsbins

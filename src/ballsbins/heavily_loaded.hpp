@@ -1,0 +1,72 @@
+// The heavily loaded balls-into-bins process with deletions and
+// reappearance dependencies.
+//
+// Context for the paper (Section 1 and Related Work): Berenbrink, Czumaj,
+// Steger & Vöcking [9] showed GREEDY[2] keeps the gap at O(log log m) even
+// with k >> m balls; Bansal & Kuszmaul [5] showed that once balls can be
+// deleted and REINSERTED with the SAME two hashes (reappearance
+// dependencies!), id-oblivious algorithms can be forced to gap k^Ω(1).
+//
+// This component implements the process itself — identity-stable hashes, so
+// a reinserted ball returns with its old choices — plus two churn drivers
+// (fresh ids vs. fixed-id reinsertion) used by experiment E10 to measure the
+// gap trajectories.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace rlb::ballsbins {
+
+/// Greedy d-choice allocation with deletions and identity-stable hashes.
+class HeavilyLoadedProcess {
+ public:
+  /// `bins` bins, `d` choices per ball id, hashes seeded by `seed`.
+  HeavilyLoadedProcess(std::size_t bins, unsigned d, std::uint64_t seed);
+
+  /// Insert ball `id` into the least loaded of its d (stable) choices.
+  /// Reinsertion after deletion sees the SAME choices — the reappearance
+  /// dependency.  No-op if the ball is already present (returns false).
+  bool insert(std::uint64_t id);
+
+  /// Delete ball `id`; false if not present.
+  bool remove(std::uint64_t id);
+
+  bool contains(std::uint64_t id) const {
+    return location_.find(id) != location_.end();
+  }
+
+  std::size_t ball_count() const noexcept { return location_.size(); }
+  const std::vector<std::uint32_t>& loads() const noexcept { return loads_; }
+  std::uint32_t max_load() const;
+  /// Max load minus average load across bins.
+  double gap() const;
+
+  /// The d stable bin choices of ball `id`.
+  std::vector<std::size_t> choices(std::uint64_t id) const;
+
+ private:
+  std::size_t bins_;
+  unsigned d_;
+  std::uint64_t seed_;
+  std::vector<std::uint32_t> loads_;
+  std::unordered_map<std::uint64_t, std::uint32_t> location_;  // id -> bin
+};
+
+/// Gap trajectory of a churn run: start with `balls` balls (ids 0..balls-1),
+/// then per round delete `churn` random *present* balls and reinsert the
+/// same ids (reappearance churn).  Returns the gap after each round.
+std::vector<double> fixed_id_churn_gaps(HeavilyLoadedProcess& process,
+                                        std::size_t balls, std::size_t churn,
+                                        std::size_t rounds, stats::Rng& rng);
+
+/// Baseline: identical schedule, but every reinsertion uses a brand-new id
+/// (fresh randomness — no reappearance dependencies).
+std::vector<double> fresh_id_churn_gaps(HeavilyLoadedProcess& process,
+                                        std::size_t balls, std::size_t churn,
+                                        std::size_t rounds, stats::Rng& rng);
+
+}  // namespace rlb::ballsbins

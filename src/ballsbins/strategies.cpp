@@ -1,0 +1,134 @@
+#include "ballsbins/strategies.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlb::ballsbins {
+
+std::vector<std::uint32_t> one_choice(std::size_t bins, std::size_t balls,
+                                      stats::Rng& rng) {
+  if (bins == 0) throw std::invalid_argument("one_choice: zero bins");
+  std::vector<std::uint32_t> loads(bins, 0);
+  for (std::size_t i = 0; i < balls; ++i) {
+    ++loads[rng.next_below(bins)];
+  }
+  return loads;
+}
+
+std::vector<std::uint32_t> d_choice_greedy(std::size_t bins, std::size_t balls,
+                                           unsigned d, stats::Rng& rng) {
+  if (bins == 0) throw std::invalid_argument("d_choice_greedy: zero bins");
+  if (d == 0) throw std::invalid_argument("d_choice_greedy: d must be >= 1");
+  std::vector<std::uint32_t> loads(bins, 0);
+  for (std::size_t i = 0; i < balls; ++i) {
+    std::size_t best = rng.next_below(bins);
+    for (unsigned c = 1; c < d; ++c) {
+      const std::size_t candidate = rng.next_below(bins);
+      if (loads[candidate] < loads[best]) best = candidate;
+    }
+    ++loads[best];
+  }
+  return loads;
+}
+
+std::vector<std::uint32_t> always_go_left(std::size_t bins, std::size_t balls,
+                                          unsigned d, stats::Rng& rng) {
+  if (bins == 0) throw std::invalid_argument("always_go_left: zero bins");
+  if (d == 0 || d > bins) {
+    throw std::invalid_argument("always_go_left: d out of [1, bins]");
+  }
+  std::vector<std::uint32_t> loads(bins, 0);
+  // Group g covers [offset[g], offset[g+1]); sizes differ by at most one.
+  std::vector<std::size_t> offset(d + 1, 0);
+  for (unsigned g = 0; g < d; ++g) {
+    offset[g + 1] = offset[g] + bins / d + (g < bins % d ? 1 : 0);
+  }
+  for (std::size_t i = 0; i < balls; ++i) {
+    std::size_t best = 0;
+    bool have_best = false;
+    for (unsigned g = 0; g < d; ++g) {
+      const std::size_t span = offset[g + 1] - offset[g];
+      const std::size_t candidate = offset[g] + rng.next_below(span);
+      // Strict < implements the asymmetric tie-break: earlier (leftmost)
+      // groups win ties.
+      if (!have_best || loads[candidate] < loads[best]) {
+        best = candidate;
+        have_best = true;
+      }
+    }
+    ++loads[best];
+  }
+  return loads;
+}
+
+std::vector<std::uint32_t> batched_d_choice_greedy(std::size_t bins,
+                                                   std::size_t balls,
+                                                   unsigned d,
+                                                   std::size_t batch,
+                                                   stats::Rng& rng) {
+  if (bins == 0) throw std::invalid_argument("batched_greedy: zero bins");
+  if (d == 0) throw std::invalid_argument("batched_greedy: d must be >= 1");
+  if (batch == 0) throw std::invalid_argument("batched_greedy: batch >= 1");
+  std::vector<std::uint32_t> loads(bins, 0);
+  std::vector<std::uint32_t> snapshot(bins, 0);
+  std::size_t placed = 0;
+  while (placed < balls) {
+    snapshot = loads;  // decisions in this batch see the batch-start state
+    const std::size_t take = std::min(batch, balls - placed);
+    for (std::size_t i = 0; i < take; ++i) {
+      std::size_t best = rng.next_below(bins);
+      for (unsigned c = 1; c < d; ++c) {
+        const std::size_t candidate = rng.next_below(bins);
+        if (snapshot[candidate] < snapshot[best]) best = candidate;
+      }
+      ++loads[best];
+    }
+    placed += take;
+  }
+  return loads;
+}
+
+std::vector<double> weighted_d_choice_greedy(std::size_t bins,
+                                             const std::vector<double>& weights,
+                                             unsigned d, stats::Rng& rng) {
+  if (bins == 0) throw std::invalid_argument("weighted_greedy: zero bins");
+  if (d == 0) throw std::invalid_argument("weighted_greedy: d must be >= 1");
+  std::vector<double> loads(bins, 0.0);
+  for (const double weight : weights) {
+    std::size_t best = rng.next_below(bins);
+    for (unsigned c = 1; c < d; ++c) {
+      const std::size_t candidate = rng.next_below(bins);
+      if (loads[candidate] < loads[best]) best = candidate;
+    }
+    loads[best] += weight;
+  }
+  return loads;
+}
+
+double weighted_gap(const std::vector<double>& loads) {
+  if (loads.empty()) return 0.0;
+  double total = 0.0;
+  double max_value = loads.front();
+  for (const double v : loads) {
+    total += v;
+    max_value = std::max(max_value, v);
+  }
+  return max_value - total / static_cast<double>(loads.size());
+}
+
+std::uint32_t max_load(const std::vector<std::uint32_t>& loads) {
+  std::uint32_t best = 0;
+  for (std::uint32_t v : loads) best = std::max(best, v);
+  return best;
+}
+
+double load_gap(const std::vector<std::uint32_t>& loads) {
+  if (loads.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (std::uint32_t v : loads) total += v;
+  const double average =
+      static_cast<double>(total) / static_cast<double>(loads.size());
+  return static_cast<double>(max_load(loads)) - average;
+}
+
+}  // namespace rlb::ballsbins

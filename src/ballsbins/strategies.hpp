@@ -1,0 +1,70 @@
+// Classical balls-into-bins allocation strategies.
+//
+// These are the reference processes the paper leans on:
+//   * one_choice            — the d = 1 baseline, max load Θ(log m / log log m)
+//                             at m balls.
+//   * d_choice_greedy       — Azar–Broder–Karlin–Upfal GREEDY[d]: place each
+//                             ball in the least loaded of d random bins; max
+//                             load ln ln m / ln d + Θ(1).
+//   * always_go_left        — Vöcking's LEFT[d]: bins split into d groups,
+//                             one random candidate per group, ties broken to
+//                             the leftmost; max load ln ln m / (d·ln φ_d) + Θ(1).
+// Vöcking's matching lower bound (Theorem 2 of [33]) is what powers the
+// paper's Theorems 5.1 and Lemma 5.3; experiment E5 measures these curves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace rlb::ballsbins {
+
+/// Throw `balls` balls into `bins` bins uniformly; returns final loads.
+[[nodiscard]] std::vector<std::uint32_t> one_choice(std::size_t bins,
+                                                    std::size_t balls,
+                                                    stats::Rng& rng);
+
+/// GREEDY[d]: each ball draws d independent uniform bins and joins the least
+/// loaded (first minimum wins).  Requires d >= 1.
+[[nodiscard]] std::vector<std::uint32_t> d_choice_greedy(std::size_t bins,
+                                                         std::size_t balls,
+                                                         unsigned d,
+                                                         stats::Rng& rng);
+
+/// LEFT[d]: bins are split into d contiguous groups; each ball draws one
+/// uniform bin per group and joins the least loaded, breaking ties toward
+/// the leftmost group.  Requires 1 <= d <= bins.
+[[nodiscard]] std::vector<std::uint32_t> always_go_left(std::size_t bins,
+                                                        std::size_t balls,
+                                                        unsigned d,
+                                                        stats::Rng& rng);
+
+/// b-BATCHED GREEDY[d] (Berenbrink et al. [8]; Los & Sauerwald, SPAA '23
+/// [21], both cited by the paper): balls arrive in batches of `batch`;
+/// every ball in a batch chooses by the loads AS OF THE BATCH START.  The
+/// gap degrades gracefully from log log m (batch 1) toward one-choice
+/// behaviour as batch/m grows — the "tower of two choices".  Requires
+/// d >= 1, batch >= 1.
+[[nodiscard]] std::vector<std::uint32_t> batched_d_choice_greedy(
+    std::size_t bins, std::size_t balls, unsigned d, std::size_t batch,
+    stats::Rng& rng);
+
+/// WEIGHTED GREEDY[d] (Talwar–Wieder): balls carry weights; each joins the
+/// choice with the smallest current total weight.  Models heterogeneous
+/// request costs — a natural extension of the paper's unit-cost model.
+/// Returns per-bin total weights.
+[[nodiscard]] std::vector<double> weighted_d_choice_greedy(
+    std::size_t bins, const std::vector<double>& weights, unsigned d,
+    stats::Rng& rng);
+
+/// Max minus average of a weighted load vector (0 for empty input).
+[[nodiscard]] double weighted_gap(const std::vector<double>& loads);
+
+/// Largest entry of a load vector (0 for empty input).
+[[nodiscard]] std::uint32_t max_load(const std::vector<std::uint32_t>& loads);
+
+/// Max load minus average load.
+[[nodiscard]] double load_gap(const std::vector<std::uint32_t>& loads);
+
+}  // namespace rlb::ballsbins

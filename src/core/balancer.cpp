@@ -1,0 +1,20 @@
+#include "core/balancer.hpp"
+
+namespace rlb::core {
+
+void LoadBalancer::backlogs(std::vector<std::uint32_t>& out) const {
+  out.resize(server_count());
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    out[s] = backlog(static_cast<ServerId>(s));
+  }
+}
+
+std::uint64_t LoadBalancer::total_backlog() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < server_count(); ++s) {
+    total += backlog(static_cast<ServerId>(s));
+  }
+  return total;
+}
+
+}  // namespace rlb::core

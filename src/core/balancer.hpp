@@ -1,0 +1,56 @@
+// The load-balancer abstraction every routing policy implements.
+//
+// A balancer owns the entire queueing discipline of the system — where each
+// request goes, and how servers drain their queues within a step.  The
+// simulator is policy-agnostic: it generates a request batch per time step,
+// hands it to the balancer, and reads metrics and backlogs back out.
+//
+// Contract for step():
+//   * `requests` are the distinct chunks requested during time step `t`
+//     (at most m of them), in arrival order.  Routing must be online: each
+//     request is routed before later ones are seen.
+//   * The balancer interleaves delivery with processing per its own
+//     discipline (e.g. greedy's m/g-per-sub-step schedule) and reports every
+//     submit / accept / reject / completion to `metrics`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/types.hpp"
+
+namespace rlb::core {
+
+/// Abstract routing policy + queueing discipline.
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+
+  /// Human-readable policy name (used in experiment tables).
+  virtual std::string_view name() const = 0;
+
+  /// Number of servers m.
+  virtual std::size_t server_count() const = 0;
+
+  /// Execute one synchronous time step `t` over the given request batch.
+  virtual void step(Time t, std::span<const ChunkId> requests,
+                    Metrics& metrics) = 0;
+
+  /// Outstanding requests currently queued at server s (all of its queues).
+  virtual std::uint32_t backlog(ServerId s) const = 0;
+
+  /// Fill `out` with the backlog of every server (resized to m).
+  virtual void backlogs(std::vector<std::uint32_t>& out) const;
+
+  /// Sum of all backlogs.
+  virtual std::uint64_t total_backlog() const;
+
+  /// Reject every queued request (the paper's periodic "reset" knob),
+  /// reporting the drops to `metrics`.
+  virtual void flush(Metrics& metrics) = 0;
+};
+
+}  // namespace rlb::core

@@ -1,0 +1,45 @@
+#include "core/cluster.hpp"
+
+#include <stdexcept>
+
+namespace rlb::core {
+
+Cluster::Cluster(std::size_t servers, std::size_t queue_capacity)
+    : backlog_(servers, 0), capacity_(queue_capacity) {
+  if (servers == 0) throw std::invalid_argument("Cluster: zero servers");
+  queues_.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i) {
+    queues_.emplace_back(queue_capacity);
+  }
+}
+
+bool Cluster::push(ServerId s, const Request& request) noexcept {
+  if (!queues_[s].push(request)) return false;
+  ++backlog_[s];
+  ++total_backlog_;
+  return true;
+}
+
+Request Cluster::pop(ServerId s) noexcept {
+  Request out = queues_[s].pop();
+  --backlog_[s];
+  --total_backlog_;
+  return out;
+}
+
+std::size_t Cluster::clear_server(ServerId s) noexcept {
+  const std::size_t dropped = queues_[s].clear();
+  total_backlog_ -= dropped;
+  backlog_[s] = 0;
+  return dropped;
+}
+
+std::size_t Cluster::clear_all() noexcept {
+  std::size_t dropped = 0;
+  for (std::size_t s = 0; s < queues_.size(); ++s) {
+    dropped += clear_server(static_cast<ServerId>(s));
+  }
+  return dropped;
+}
+
+}  // namespace rlb::core

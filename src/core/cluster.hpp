@@ -1,0 +1,56 @@
+// A cluster of m servers, each with one bounded FIFO queue.
+//
+// This is the shared substrate for the single-queue-per-server policies
+// (greedy, single-choice, time-step-isolated, round-robin).  Delayed cuckoo
+// routing maintains four queues per server and therefore owns its own
+// structure (see policies/delayed_cuckoo.hpp); both report backlogs through
+// the same interface so the safety checker and metrics are policy-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/server_queue.hpp"
+#include "core/types.hpp"
+
+namespace rlb::core {
+
+/// m bounded FIFO queues plus cached backlog counts for O(1) least-loaded
+/// comparisons on the routing hot path.
+class Cluster {
+ public:
+  Cluster(std::size_t servers, std::size_t queue_capacity);
+
+  std::size_t size() const noexcept { return queues_.size(); }
+  std::size_t queue_capacity() const noexcept { return capacity_; }
+
+  std::uint32_t backlog(ServerId s) const noexcept { return backlog_[s]; }
+  const std::vector<std::uint32_t>& backlogs() const noexcept {
+    return backlog_;
+  }
+  std::uint64_t total_backlog() const noexcept { return total_backlog_; }
+
+  /// Enqueue on server s; false when the queue is full (nothing changes).
+  bool push(ServerId s, const Request& request) noexcept;
+
+  /// Dequeue the oldest request on server s.  Precondition: backlog(s) > 0.
+  Request pop(ServerId s) noexcept;
+
+  bool empty(ServerId s) const noexcept { return backlog_[s] == 0; }
+  bool full(ServerId s) const noexcept { return backlog_[s] == capacity_; }
+
+  /// Drop all requests queued on server s, returning the count dropped.
+  std::size_t clear_server(ServerId s) noexcept;
+
+  /// Drop all requests everywhere, returning the total dropped (the §3
+  /// periodic flush and the overflow queue-dump both land here).
+  std::size_t clear_all() noexcept;
+
+ private:
+  std::vector<ServerQueue> queues_;
+  std::vector<std::uint32_t> backlog_;
+  std::uint64_t total_backlog_ = 0;
+  std::size_t capacity_;
+};
+
+}  // namespace rlb::core

@@ -1,0 +1,16 @@
+#include "core/metrics.hpp"
+
+namespace rlb::core {
+
+void Metrics::merge(const Metrics& other) {
+  submitted_ += other.submitted_;
+  rejected_ += other.rejected_;
+  dropped_ += other.dropped_;
+  completed_ += other.completed_;
+  latency_hist_.merge(other.latency_hist_);
+  backlog_stats_.merge(other.backlog_stats_);
+  safety_checks_ += other.safety_checks_;
+  safety_violations_ += other.safety_violations_;
+}
+
+}  // namespace rlb::core

@@ -1,0 +1,99 @@
+// Request-level and system-level measurement.
+//
+// Tracks exactly the paper's optimization criteria (Definitions 2.1, 2.2):
+//   * rejection rate   = rejected / submitted
+//   * average latency  = mean over completed requests of
+//                        (completion step − arrival step)
+//   * maximum latency  = max of the same
+// plus the backlog observables used by the safety experiments.
+//
+// A request rejected *after* being queued (queue dump / periodic flush)
+// counts as rejected, not accepted — matching Definition 2.1 where T_A(σ)
+// counts requests ultimately accepted.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace rlb::core {
+
+/// Mutable measurement sink threaded through a simulation run.
+class Metrics {
+ public:
+  explicit Metrics(std::size_t latency_hist_max = 1024)
+      : latency_hist_(latency_hist_max) {}
+
+  // -- Request lifecycle -----------------------------------------------
+  void on_submitted(std::uint64_t count = 1) noexcept { submitted_ += count; }
+  /// Rejected at arrival (queue full / routing failure).
+  void on_rejected(std::uint64_t count = 1) noexcept { rejected_ += count; }
+  /// Rejected after having been queued (dump / flush).
+  void on_dropped_from_queue(std::uint64_t count = 1) noexcept {
+    rejected_ += count;
+    dropped_ += count;
+  }
+  /// Served; `latency` in whole time steps (completion − arrival).
+  void on_completed(std::uint64_t latency) noexcept {
+    ++completed_;
+    latency_hist_.add(latency);
+  }
+
+  // -- System observables ----------------------------------------------
+  /// Record one backlog observation (a single server at a single instant).
+  void on_backlog_sample(std::uint64_t backlog) noexcept {
+    backlog_stats_.add(static_cast<double>(backlog));
+  }
+  void on_safety_check(bool safe) noexcept {
+    ++safety_checks_;
+    if (!safe) ++safety_violations_;
+  }
+
+  // -- Read-out ----------------------------------------------------------
+  std::uint64_t submitted() const noexcept { return submitted_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+  std::uint64_t dropped_from_queue() const noexcept { return dropped_; }
+  std::uint64_t completed() const noexcept { return completed_; }
+  /// Accepted per Definition 2.1: submitted minus rejected (includes the
+  /// still-queued tail at the end of a run).
+  std::uint64_t accepted() const noexcept { return submitted_ - rejected_; }
+
+  double rejection_rate() const noexcept {
+    return submitted_ ? static_cast<double>(rejected_) /
+                            static_cast<double>(submitted_)
+                      : 0.0;
+  }
+  double average_latency() const noexcept { return latency_hist_.mean(); }
+  std::uint64_t max_latency() const noexcept {
+    return latency_hist_.max_observed();
+  }
+  std::uint64_t latency_quantile(double q) const noexcept {
+    return latency_hist_.quantile(q);
+  }
+  const stats::CountingHistogram& latency_histogram() const noexcept {
+    return latency_hist_;
+  }
+
+  const stats::OnlineStats& backlog_stats() const noexcept {
+    return backlog_stats_;
+  }
+  std::uint64_t safety_checks() const noexcept { return safety_checks_; }
+  std::uint64_t safety_violations() const noexcept {
+    return safety_violations_;
+  }
+
+  void merge(const Metrics& other);
+
+ private:
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t completed_ = 0;
+  stats::CountingHistogram latency_hist_;
+  stats::OnlineStats backlog_stats_;
+  std::uint64_t safety_checks_ = 0;
+  std::uint64_t safety_violations_ = 0;
+};
+
+}  // namespace rlb::core

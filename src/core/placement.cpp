@@ -1,0 +1,111 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hashing/hash.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::core {
+
+Placement::Placement(std::size_t servers, unsigned replication,
+                     std::uint64_t seed, PlacementMode mode)
+    : servers_(servers), replication_(replication), seed_(seed), mode_(mode) {
+  if (servers == 0) throw std::invalid_argument("Placement: zero servers");
+  if (replication == 0 || replication > kMaxReplication) {
+    throw std::invalid_argument("Placement: replication out of [1, 8]");
+  }
+  if (replication > servers) {
+    throw std::invalid_argument("Placement: replication exceeds server count");
+  }
+  if (mode == PlacementMode::kVirtualRing) {
+    // Build the virtual-node ring once: kVirtualNodesPerServer positions
+    // per server, sorted by ring position.
+    ring_.reserve(servers_ * kVirtualNodesPerServer);
+    for (std::size_t s = 0; s < servers_; ++s) {
+      for (unsigned v = 0; v < kVirtualNodesPerServer; ++v) {
+        const std::uint64_t position = hashing::hash64(
+            (static_cast<std::uint64_t>(s) << 16) | v,
+            stats::derive_seed(seed_, 0x816));
+        ring_.emplace_back(position, static_cast<ServerId>(s));
+      }
+    }
+    std::sort(ring_.begin(), ring_.end());
+  }
+}
+
+std::size_t Placement::group_begin(unsigned group) const noexcept {
+  // Groups of size floor(m/d) with the first m%d groups one larger.
+  const std::size_t base = servers_ / replication_;
+  const std::size_t extra = servers_ % replication_;
+  return static_cast<std::size_t>(group) * base +
+         std::min<std::size_t>(group, extra);
+}
+
+ChoiceList Placement::uniform_choices(ChunkId chunk) const noexcept {
+  ChoiceList list;
+  // Replica i hashes with derived seed (seed, i); collisions with earlier
+  // replicas are resolved by rehashing with a bumped counter, keeping the d
+  // servers distinct while remaining a pure function of (chunk, seed).
+  std::uint64_t salt = 0;
+  for (unsigned i = 0; i < replication_; ++i) {
+    ServerId candidate;
+    do {
+      const std::uint64_t replica_seed =
+          stats::derive_seed(seed_, (static_cast<std::uint64_t>(i) << 32) | salt);
+      candidate = static_cast<ServerId>(
+          hashing::hash_to_bucket(chunk, replica_seed, servers_));
+      ++salt;
+    } while (list.contains(candidate));
+    list.push_back(candidate);
+  }
+  return list;
+}
+
+ChoiceList Placement::grouped_choices(ChunkId chunk) const noexcept {
+  // Replica i lands in group i; groups are disjoint, so distinctness is
+  // automatic.
+  ChoiceList list;
+  for (unsigned i = 0; i < replication_; ++i) {
+    const std::size_t begin = group_begin(i);
+    const std::size_t span = group_begin(i + 1) - begin;
+    const std::uint64_t replica_seed =
+        stats::derive_seed(seed_, (static_cast<std::uint64_t>(i) << 32) | 1u);
+    list.push_back(static_cast<ServerId>(
+        begin + hashing::hash_to_bucket(chunk, replica_seed, span)));
+  }
+  return list;
+}
+
+ChoiceList Placement::ring_choices(ChunkId chunk) const noexcept {
+  // First d distinct servers clockwise from the chunk's ring position.
+  const std::uint64_t position =
+      hashing::hash64(chunk, stats::derive_seed(seed_, 0x817));
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(position, ServerId{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  ChoiceList list;
+  std::size_t index = static_cast<std::size_t>(it - ring_.begin());
+  for (std::size_t scanned = 0;
+       list.size() < replication_ && scanned < ring_.size(); ++scanned) {
+    const ServerId server = ring_[index % ring_.size()].second;
+    if (!list.contains(server)) list.push_back(server);
+    ++index;
+  }
+  return list;
+}
+
+ChoiceList Placement::choices(ChunkId chunk) const noexcept {
+  switch (mode_) {
+    case PlacementMode::kUniform:
+      return uniform_choices(chunk);
+    case PlacementMode::kGrouped:
+      return grouped_choices(chunk);
+    case PlacementMode::kVirtualRing:
+      return ring_choices(chunk);
+  }
+  return uniform_choices(chunk);  // unreachable
+}
+
+}  // namespace rlb::core

@@ -1,0 +1,74 @@
+// Chunk-to-server placement: the paper's h_1(x), ..., h_d(x).
+//
+// Each chunk is replicated on d distinct servers chosen "randomly" — here,
+// by seeded hashing, so placement is stateless, deterministic given the
+// seed, and — crucially for reappearance dependencies — STABLE: the same
+// chunk id always maps to the same d servers, no matter how many times it
+// is requested.  This stability is the entire source of the paper's
+// technical difficulty, so the placement layer is deliberately incapable of
+// refreshing a chunk's choices.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rlb::core {
+
+/// How a chunk's d replica servers are drawn.
+enum class PlacementMode {
+  /// Each replica uniform over all m servers (distinct); the paper's model.
+  kUniform,
+  /// Replica i uniform over the i-th of d contiguous groups of servers —
+  /// the placement Vöcking's LEFT[d] strategy requires (used by the
+  /// "greedy-left" policy).  Groups partition [0, m); sizes differ by at
+  /// most one.
+  kGrouped,
+  /// Dynamo-style consistent hashing: servers own virtual nodes on a hash
+  /// ring; a chunk's d replicas are the first d DISTINCT servers clockwise
+  /// from the chunk's ring position.  Production KV stores (Dynamo,
+  /// Cassandra — both in the paper's related work) place this way to make
+  /// membership changes cheap; the cost is CORRELATED replicas (successors
+  /// on the ring), which experiment E19 measures against the paper's
+  /// independent placement.
+  kVirtualRing,
+};
+
+/// Stateless replicated placement of chunks onto m servers.
+class Placement {
+ public:
+  /// `servers` = m, `replication` = d in [1, kMaxReplication], `seed` drives
+  /// the hash functions.  Requires replication <= servers.
+  Placement(std::size_t servers, unsigned replication, std::uint64_t seed,
+            PlacementMode mode = PlacementMode::kUniform);
+
+  /// The d distinct servers storing chunk x.  Deterministic in (x, seed).
+  [[nodiscard]] ChoiceList choices(ChunkId chunk) const noexcept;
+
+  std::size_t servers() const noexcept { return servers_; }
+  unsigned replication() const noexcept { return replication_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  PlacementMode mode() const noexcept { return mode_; }
+
+  /// First server of group g (kGrouped); group d is one-past-the-end.
+  std::size_t group_begin(unsigned group) const noexcept;
+
+  /// Virtual nodes per server on the ring (kVirtualRing).
+  static constexpr unsigned kVirtualNodesPerServer = 16;
+
+ private:
+  ChoiceList uniform_choices(ChunkId chunk) const noexcept;
+  ChoiceList grouped_choices(ChunkId chunk) const noexcept;
+  ChoiceList ring_choices(ChunkId chunk) const noexcept;
+
+  std::size_t servers_;
+  unsigned replication_;
+  std::uint64_t seed_;
+  PlacementMode mode_;
+  /// Sorted (position, server) virtual nodes; built once for kVirtualRing.
+  std::vector<std::pair<std::uint64_t, ServerId>> ring_;
+};
+
+}  // namespace rlb::core

@@ -1,0 +1,91 @@
+#include "core/placement_graph.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace rlb::core {
+
+namespace {
+
+struct Dsu {
+  std::vector<std::size_t> parent;
+  std::vector<std::size_t> vertices;
+  std::vector<std::size_t> edges;
+
+  explicit Dsu(std::size_t n) : parent(n), vertices(n, 1), edges(n, 0) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void add_edge(std::size_t a, std::size_t b) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
+    if (ra == rb) {
+      ++edges[ra];
+      return;
+    }
+    parent[rb] = ra;
+    vertices[ra] += vertices[rb];
+    edges[ra] += edges[rb] + 1;
+  }
+};
+
+}  // namespace
+
+PlacementGraphStats analyze_edge_list(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+    std::size_t servers, unsigned g) {
+  if (servers == 0) {
+    throw std::invalid_argument("analyze_edge_list: zero servers");
+  }
+  Dsu dsu(servers);
+  for (const auto& [a, b] : edges) {
+    if (a >= servers || b >= servers) {
+      throw std::out_of_range("analyze_edge_list: endpoint out of range");
+    }
+    dsu.add_edge(a, b);
+  }
+
+  PlacementGraphStats stats;
+  stats.servers = servers;
+  stats.chunks = edges.size();
+  for (std::size_t v = 0; v < servers; ++v) {
+    if (dsu.find(v) != v) continue;  // not a component root
+    ++stats.components;
+    const std::size_t vertex_count = dsu.vertices[v];
+    const std::size_t edge_count = dsu.edges[v];
+    stats.largest_component = std::max(stats.largest_component, vertex_count);
+    if (edge_count + 1 <= vertex_count) {
+      ++stats.tree_components;
+    } else if (edge_count == vertex_count) {
+      ++stats.unicyclic_components;
+    } else {
+      ++stats.complex_components;
+    }
+    const std::int64_t excess =
+        static_cast<std::int64_t>(edge_count) -
+        static_cast<std::int64_t>(g) * static_cast<std::int64_t>(vertex_count);
+    stats.max_overload_excess = std::max(stats.max_overload_excess, excess);
+  }
+  return stats;
+}
+
+PlacementGraphStats analyze_placement_graph(const Placement& placement,
+                                            std::size_t chunk_count,
+                                            unsigned g) {
+  if (placement.replication() != 2) {
+    throw std::invalid_argument(
+        "analyze_placement_graph: requires replication d = 2");
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(chunk_count);
+  for (ChunkId x = 0; x < chunk_count; ++x) {
+    const ChoiceList choices = placement.choices(x);
+    edges.emplace_back(choices[0], choices[1]);
+  }
+  return analyze_edge_list(edges, placement.servers(), g);
+}
+
+}  // namespace rlb::core

@@ -1,0 +1,54 @@
+// Structural analysis of a d = 2 placement: the cuckoo/placement graph.
+//
+// Vertices are servers, edges are chunks (endpoints = the chunk's two
+// replicas).  This one object underlies three different results in the
+// paper:
+//   * cuckoo feasibility (Theorem 4.1 / Lemma 4.2): a chunk set is
+//     1-per-server placeable iff every component has edges <= vertices;
+//   * the rejection-rate lower bound (Theorem 5.2): a component with more
+//     chunk-edges than g x vertices is over-subscribed on every step;
+//   * the d = 1 collapse intuition (Section 1): overload is structural,
+//     fixed by the placement, and no routing can undo it.
+// The analyzer computes component statistics in near-linear time with a
+// union-find.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/placement.hpp"
+
+namespace rlb::core {
+
+/// Aggregate structure of one placement graph.
+struct PlacementGraphStats {
+  std::size_t servers = 0;
+  std::size_t chunks = 0;
+  std::size_t components = 0;       // counting isolated servers too
+  std::size_t largest_component = 0;  // in servers
+  /// Components by cyclomatic type: trees (edges = vertices - 1),
+  /// unicyclic (=), complex (>).  Isolated vertices count as trees.
+  std::size_t tree_components = 0;
+  std::size_t unicyclic_components = 0;
+  std::size_t complex_components = 0;
+  /// max over components of (edges - g*vertices); > 0 means some server
+  /// set is over-subscribed at processing rate g (Theorem 5.2's event).
+  /// Negative values report the worst component's remaining slack.
+  std::int64_t max_overload_excess = std::numeric_limits<std::int64_t>::min();
+
+  bool cuckoo_feasible() const { return complex_components == 0; }
+};
+
+/// Analyze the graph formed by chunks [0, chunk_count) under `placement`
+/// (replication must be 2); `g` sets the overload excess reference.
+[[nodiscard]] PlacementGraphStats analyze_placement_graph(
+    const Placement& placement, std::size_t chunk_count, unsigned g = 1);
+
+/// Same, for an explicit edge list over `servers` vertices.
+[[nodiscard]] PlacementGraphStats analyze_edge_list(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+    std::size_t servers, unsigned g = 1);
+
+}  // namespace rlb::core

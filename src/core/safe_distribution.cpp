@@ -1,0 +1,49 @@
+#include "core/safe_distribution.hpp"
+
+#include <algorithm>
+
+namespace rlb::core {
+
+std::vector<std::uint64_t> backlog_tail_counts(
+    const std::vector<std::uint32_t>& backlogs) {
+  std::uint32_t max_backlog = 0;
+  for (std::uint32_t b : backlogs) max_backlog = std::max(max_backlog, b);
+
+  // histogram[v] = #servers with backlog exactly v
+  std::vector<std::uint64_t> histogram(max_backlog + 1, 0);
+  for (std::uint32_t b : backlogs) ++histogram[b];
+
+  // Suffix-sum into tail[j] = #servers with backlog > j.
+  std::vector<std::uint64_t> tail(max_backlog + 1, 0);
+  std::uint64_t acc = 0;
+  for (std::uint32_t j = max_backlog; j + 1 > 0; --j) {
+    // tail[j] counts backlogs strictly greater than j.
+    tail[j] = acc;
+    acc += histogram[j];
+    if (j == 0) break;
+  }
+  return tail;
+}
+
+SafetyReport check_safe_distribution(
+    const std::vector<std::uint32_t>& backlogs) {
+  SafetyReport report;
+  const auto m = static_cast<double>(backlogs.size());
+  if (backlogs.empty()) return report;
+
+  const std::vector<std::uint64_t> tail = backlog_tail_counts(backlogs);
+  double bound = m;  // m / 2^j, starting at j = 0 → m (trivially satisfied)
+  for (std::uint32_t j = 1; j < tail.size(); ++j) {
+    bound = m / static_cast<double>(1ULL << std::min<std::uint32_t>(j, 62));
+    const auto count = static_cast<double>(tail[j]);
+    const double ratio = bound > 0.0 ? count / bound : (count > 0 ? 1e18 : 0.0);
+    if (ratio > report.worst_ratio) report.worst_ratio = ratio;
+    if (count > bound && report.safe) {
+      report.safe = false;
+      report.violated_level = j;
+    }
+  }
+  return report;
+}
+
+}  // namespace rlb::core

@@ -1,0 +1,31 @@
+// The paper's safe-distribution invariant (Definition 3.2).
+//
+// A backlog vector over m servers is "safe" when, for every j >= 1, at most
+// m / 2^j servers have backlog strictly greater than j.  Lemma 3.4 proves
+// greedy preserves safety across sub-steps w.h.p.; experiment E2 checks the
+// invariant empirically at every sub-step boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rlb::core {
+
+/// Outcome of one safety check.
+struct SafetyReport {
+  bool safe = true;
+  /// The smallest level j at which the bound fails (0 when safe).
+  std::uint32_t violated_level = 0;
+  /// max over j of  |{servers with backlog > j}| / (m / 2^j); <= 1 iff safe.
+  double worst_ratio = 0.0;
+};
+
+/// Checks Definition 3.2 against `backlogs` (one entry per server).
+[[nodiscard]] SafetyReport check_safe_distribution(
+    const std::vector<std::uint32_t>& backlogs);
+
+/// tail[j] = number of servers with backlog > j, for j in [0, max backlog].
+[[nodiscard]] std::vector<std::uint64_t> backlog_tail_counts(
+    const std::vector<std::uint32_t>& backlogs);
+
+}  // namespace rlb::core

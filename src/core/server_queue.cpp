@@ -1,0 +1,42 @@
+#include "core/server_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rlb::core {
+
+ServerQueue::ServerQueue(std::size_t capacity)
+    : buffer_(capacity), capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("ServerQueue: capacity must be >= 1");
+  }
+}
+
+bool ServerQueue::push(const Request& request) noexcept {
+  if (size_ == capacity_) return false;
+  buffer_[(head_ + size_) % capacity_] = request;
+  ++size_;
+  return true;
+}
+
+const Request& ServerQueue::front() const noexcept {
+  assert(size_ > 0);
+  return buffer_[head_];
+}
+
+Request ServerQueue::pop() noexcept {
+  assert(size_ > 0);
+  Request out = buffer_[head_];
+  head_ = (head_ + 1) % capacity_;
+  --size_;
+  return out;
+}
+
+std::size_t ServerQueue::clear() noexcept {
+  const std::size_t dropped = size_;
+  head_ = 0;
+  size_ = 0;
+  return dropped;
+}
+
+}  // namespace rlb::core

@@ -1,0 +1,48 @@
+// A bounded FIFO request queue — one server's backlog.
+//
+// Ring-buffer implementation: push/pop are O(1) and allocation-free after
+// construction.  The queue enforces the model's hard length bound q; the
+// *caller* (the routing policy) decides what overflow means — reject just
+// the new request, or dump the whole queue (the §3 greedy variant).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rlb::core {
+
+/// Bounded FIFO of Requests with O(1) push/pop and stable capacity.
+class ServerQueue {
+ public:
+  /// `capacity` = the model's queue length q (>= 1).
+  explicit ServerQueue(std::size_t capacity);
+
+  /// Append if there is room.  Returns false (and changes nothing) when the
+  /// queue already holds `capacity` requests.
+  bool push(const Request& request) noexcept;
+
+  /// True when no request can be accepted.
+  bool full() const noexcept { return size_ == capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Oldest request.  Precondition: !empty().
+  const Request& front() const noexcept;
+
+  /// Remove and return the oldest request.  Precondition: !empty().
+  Request pop() noexcept;
+
+  /// Drop every queued request, returning how many were dropped.
+  std::size_t clear() noexcept;
+
+ private:
+  std::vector<Request> buffer_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of oldest element
+  std::size_t size_ = 0;
+};
+
+}  // namespace rlb::core

@@ -1,0 +1,66 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+
+namespace rlb::core {
+
+SimResult simulate(LoadBalancer& balancer, Workload& workload,
+                   const SimConfig& config) {
+  SimResult result;
+  result.metrics = Metrics(config.latency_hist_max);
+
+  std::vector<ChunkId> batch;
+  batch.reserve(workload.max_requests_per_step());
+  std::vector<std::uint32_t> backlog_snapshot;
+
+  std::uint64_t rejected_before_step = 0;
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    const Time t = static_cast<Time>(step);
+    rejected_before_step = result.metrics.rejected();
+    workload.fill_step(t, batch);
+    balancer.step(t, batch, result.metrics);
+
+    if (config.sample_backlogs || config.check_safety) {
+      balancer.backlogs(backlog_snapshot);
+      if (config.sample_backlogs) {
+        std::uint64_t step_max = 0;
+        for (std::uint32_t b : backlog_snapshot) {
+          result.metrics.on_backlog_sample(b);
+          step_max = std::max<std::uint64_t>(step_max, b);
+        }
+        result.max_backlog = std::max(result.max_backlog, step_max);
+      }
+      if (config.check_safety) {
+        const SafetyReport report = check_safe_distribution(backlog_snapshot);
+        result.metrics.on_safety_check(report.safe);
+        result.worst_safety_ratio =
+            std::max(result.worst_safety_ratio, report.worst_ratio);
+      }
+    }
+
+    if (config.recorder != nullptr) {
+      StepSample sample;
+      sample.step = t;
+      sample.submitted = result.metrics.submitted();
+      sample.rejected = result.metrics.rejected();
+      sample.completed = result.metrics.completed();
+      sample.total_backlog = balancer.total_backlog();
+      sample.step_rejected = result.metrics.rejected() - rejected_before_step;
+      std::uint32_t step_max = 0;
+      balancer.backlogs(backlog_snapshot);
+      for (const std::uint32_t b : backlog_snapshot) {
+        step_max = std::max(step_max, b);
+      }
+      sample.max_backlog = step_max;
+      config.recorder->add(sample);
+    }
+
+    if (config.flush_every != 0 && (step + 1) % config.flush_every == 0) {
+      balancer.flush(result.metrics);
+    }
+    ++result.steps_run;
+  }
+  return result;
+}
+
+}  // namespace rlb::core

@@ -1,0 +1,51 @@
+// The synchronous simulation loop: workload × balancer → metrics.
+//
+// Drives `steps` time steps.  Per step it asks the workload for the batch,
+// hands it to the balancer, optionally samples backlogs and checks the
+// safe-distribution invariant, and applies the periodic flush (the greedy
+// algorithm's every-m^c-steps reset from Section 3).
+#pragma once
+
+#include <cstdint>
+
+#include "core/balancer.hpp"
+#include "core/metrics.hpp"
+#include "core/safe_distribution.hpp"
+#include "core/timeseries.hpp"
+#include "core/workload.hpp"
+
+namespace rlb::core {
+
+/// Knobs for one simulation run.
+struct SimConfig {
+  /// Number of synchronous time steps to simulate.
+  std::size_t steps = 100;
+  /// Flush (reject) all queues every `flush_every` steps; 0 disables.
+  /// Section 3's greedy uses m^c; experiments use small explicit values.
+  std::size_t flush_every = 0;
+  /// Check Definition 3.2 after every step and record violations.
+  bool check_safety = false;
+  /// Sample per-server backlogs into metrics after every step.
+  bool sample_backlogs = true;
+  /// Largest latency tracked exactly by the histogram.
+  std::size_t latency_hist_max = 1024;
+  /// Optional per-step series sink (not owned; may be null).
+  SeriesRecorder* recorder = nullptr;
+};
+
+/// Aggregate outcome of one run.
+struct SimResult {
+  Metrics metrics;
+  /// Largest single-server backlog observed at any step boundary.
+  std::uint64_t max_backlog = 0;
+  /// Worst Definition-3.2 ratio observed (only when check_safety).
+  double worst_safety_ratio = 0.0;
+  std::size_t steps_run = 0;
+};
+
+/// Run the synchronous loop.  Deterministic given the balancer's and
+/// workload's internal seeds.
+SimResult simulate(LoadBalancer& balancer, Workload& workload,
+                   const SimConfig& config);
+
+}  // namespace rlb::core

@@ -1,0 +1,33 @@
+#include "core/timeseries.hpp"
+
+namespace rlb::core {
+
+double SeriesRecorder::windowed_rejection_rate(std::size_t index,
+                                               std::size_t window) const {
+  if (index >= samples_.size() || window == 0) return 0.0;
+  const StepSample& end = samples_[index];
+  const std::size_t start_index = index + 1 >= window ? index + 1 - window : 0;
+  std::uint64_t base_submitted = 0;
+  std::uint64_t base_rejected = 0;
+  if (start_index > 0) {
+    base_submitted = samples_[start_index - 1].submitted;
+    base_rejected = samples_[start_index - 1].rejected;
+  }
+  const std::uint64_t submitted = end.submitted - base_submitted;
+  const std::uint64_t rejected = end.rejected - base_rejected;
+  return submitted ? static_cast<double>(rejected) /
+                         static_cast<double>(submitted)
+                   : 0.0;
+}
+
+void SeriesRecorder::to_csv(std::ostream& os) const {
+  os << "step,submitted,rejected,completed,total_backlog,max_backlog,"
+        "step_rejected\n";
+  for (const StepSample& s : samples_) {
+    os << s.step << ',' << s.submitted << ',' << s.rejected << ','
+       << s.completed << ',' << s.total_backlog << ',' << s.max_backlog
+       << ',' << s.step_rejected << '\n';
+  }
+}
+
+}  // namespace rlb::core

@@ -1,0 +1,53 @@
+// Per-step time series of system observables.
+//
+// The aggregate Metrics answer "what happened overall"; the series answers
+// "when" — convergence of migration (E16), the d = 1 collapse trajectory,
+// burst absorption, warm-up lengths.  The simulator fills a recorder when
+// one is attached to SimConfig; output is CSV-ready for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace rlb::core {
+
+/// One step's snapshot.
+struct StepSample {
+  std::int64_t step = 0;
+  /// Cumulative counters as of the END of the step.
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  /// Instantaneous backlog state at the step boundary.
+  std::uint64_t total_backlog = 0;
+  std::uint32_t max_backlog = 0;
+  /// Rejections during this step alone.
+  std::uint64_t step_rejected = 0;
+};
+
+/// Collects StepSamples; attach via SimConfig::recorder.
+class SeriesRecorder {
+ public:
+  void add(const StepSample& sample) { samples_.push_back(sample); }
+
+  const std::vector<StepSample>& samples() const noexcept { return samples_; }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Rejection rate over a trailing window ending at sample `index`
+  /// (window truncated at the series start).  0 when nothing submitted.
+  double windowed_rejection_rate(std::size_t index,
+                                 std::size_t window) const;
+
+  /// CSV with header: step,submitted,rejected,completed,total_backlog,
+  /// max_backlog,step_rejected.
+  void to_csv(std::ostream& os) const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<StepSample> samples_;
+};
+
+}  // namespace rlb::core

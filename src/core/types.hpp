@@ -1,0 +1,71 @@
+// Fundamental model types shared across the library.
+//
+// Terminology follows the paper (Section 2): data is split into chunks, each
+// replicated on d servers; on every time step up to m requests arrive to
+// distinct chunks; each server has a FIFO queue of length q and processes
+// g requests per step.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace rlb::core {
+
+/// Identifier of a data chunk (the paper's "ball" identity).
+using ChunkId = std::uint64_t;
+
+/// Index of a server (the paper's "bin"), in [0, m).
+using ServerId = std::uint32_t;
+
+/// A synchronous time step index.
+using Time = std::int64_t;
+
+/// Upper bound on the replication factor d supported by the inline choice
+/// list.  The paper's algorithms use d = O(1); 8 comfortably covers every
+/// experiment.
+inline constexpr unsigned kMaxReplication = 8;
+
+/// The d candidate servers h_1(x), ..., h_d(x) for one chunk.  Fixed-capacity
+/// inline storage: routing is on the hot path and must not allocate.
+class ChoiceList {
+ public:
+  ChoiceList() = default;
+
+  void push_back(ServerId s) noexcept {
+    assert(size_ < kMaxReplication);
+    servers_[size_++] = s;
+  }
+
+  ServerId operator[](unsigned i) const noexcept {
+    assert(i < size_);
+    return servers_[i];
+  }
+
+  unsigned size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const ServerId* begin() const noexcept { return servers_.data(); }
+  const ServerId* end() const noexcept { return servers_.data() + size_; }
+
+  bool contains(ServerId s) const noexcept {
+    for (unsigned i = 0; i < size_; ++i) {
+      if (servers_[i] == s) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::array<ServerId, kMaxReplication> servers_{};
+  unsigned size_ = 0;
+};
+
+/// One queued client request: which chunk it asks for and when it arrived
+/// (used for latency accounting; latency = completion step − arrival step).
+struct Request {
+  ChunkId chunk = 0;
+  Time arrival = 0;
+};
+
+}  // namespace rlb::core

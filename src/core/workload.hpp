@@ -1,0 +1,31 @@
+// The request-sequence abstraction (the model's oblivious adversary).
+//
+// A workload emits, for each time step, a batch of up to m DISTINCT chunk
+// ids (the model requires distinctness within a step — see the "basic
+// observations" of Section 2).  Workloads are oblivious: they may not
+// inspect the balancer, the placement seed, or any routing outcome —
+// exactly the paper's adversary model.  Concrete generators live in
+// src/workloads/.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rlb::core {
+
+/// Oblivious request-sequence generator.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Fill `out` with the chunk ids requested on time step `t` (cleared
+  /// first).  Chunks within one batch must be distinct.
+  virtual void fill_step(Time t, std::vector<ChunkId>& out) = 0;
+
+  /// Upper bound on batch size (used for buffer reservation).
+  virtual std::size_t max_requests_per_step() const = 0;
+};
+
+}  // namespace rlb::core

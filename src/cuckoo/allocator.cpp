@@ -1,0 +1,67 @@
+#include "cuckoo/allocator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rlb::cuckoo {
+
+TwoChoiceAllocator::TwoChoiceAllocator(std::size_t slots)
+    : owner_(slots, -1) {
+  if (slots == 0) throw std::invalid_argument("TwoChoiceAllocator: 0 slots");
+}
+
+std::int32_t TwoChoiceAllocator::insert(std::uint32_t item, std::uint32_t a,
+                                        std::uint32_t b) {
+  if (a >= owner_.size() || b >= owner_.size()) {
+    throw std::out_of_range("TwoChoiceAllocator: choice out of range");
+  }
+  if (item >= items_.size()) items_.resize(item + 1);
+  items_[item] = ItemInfo{a, b, -1};
+
+  // Eviction walk.  2·slots + 2 swaps suffice for any feasible instance
+  // (each cuckoo-graph edge is traversed at most twice); exceeding the bound
+  // certifies that the current item set cannot all be placed.
+  const std::size_t max_swaps = 2 * owner_.size() + 2;
+  std::uint32_t held = item;
+  // Prefer the emptier-looking side first (a); correctness does not depend
+  // on the starting side.
+  std::uint32_t slot = owner_[a] == -1 ? a : (owner_[b] == -1 ? b : a);
+
+  for (std::size_t i = 0; i <= max_swaps; ++i) {
+    const std::int32_t occupant = owner_[slot];
+    owner_[slot] = static_cast<std::int32_t>(held);
+    items_[held].slot = static_cast<std::int32_t>(slot);
+    if (occupant == -1) {
+      ++placed_;
+      return -1;
+    }
+    held = static_cast<std::uint32_t>(occupant);
+    items_[held].slot = -1;
+    const ItemInfo& info = items_[held];
+    slot = (info.a == slot) ? info.b : info.a;
+  }
+  // Infeasible: `held` stays unplaced (everything else is consistently
+  // placed).  Note placed_ is unchanged: one item went in, one came out.
+  return static_cast<std::int32_t>(held);
+}
+
+std::int32_t TwoChoiceAllocator::slot_of(std::uint32_t item) const {
+  if (item >= items_.size()) return -1;
+  return items_[item].slot;
+}
+
+std::pair<std::uint32_t, std::uint32_t> TwoChoiceAllocator::choices_of(
+    std::uint32_t item) const {
+  if (item >= items_.size()) {
+    throw std::out_of_range("TwoChoiceAllocator: unknown item");
+  }
+  return {items_[item].a, items_[item].b};
+}
+
+void TwoChoiceAllocator::clear() {
+  owner_.assign(owner_.size(), -1);
+  items_.clear();
+  placed_ = 0;
+}
+
+}  // namespace rlb::cuckoo

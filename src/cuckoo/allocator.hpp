@@ -1,0 +1,64 @@
+// Exact two-choice slot allocation (the combinatorial core of cuckoo
+// hashing).
+//
+// Items arrive with two candidate slots each; every slot may hold at most
+// one item, but items already placed may be relocated to their other slot.
+// Insertion is the classical eviction walk: place the held item, pick up the
+// evicted occupant, move it to its other slot, repeat.  With two choices per
+// item the walk is deterministic, and a standard argument shows it traverses
+// each edge of the cuckoo graph at most twice before terminating whenever a
+// feasible assignment exists — so a walk exceeding 2·slots + O(1) swaps
+// certifies infeasibility.  An insertion therefore fails only when the item
+// set is genuinely unplaceable, which is exactly the failure event the stash
+// analysis of Kirsch–Mitzenmacher–Wieder (paper Theorem 4.1) charges for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rlb::cuckoo {
+
+/// Allocates items (dense indices) to slots, one item per slot, each item in
+/// one of its two choices.
+class TwoChoiceAllocator {
+ public:
+  explicit TwoChoiceAllocator(std::size_t slots);
+
+  /// Place item `item` (a caller-chosen dense index, unique per item) with
+  /// candidate slots `a`, `b`; may relocate previously placed items.
+  ///
+  /// Returns -1 on success.  On failure returns the index of the item left
+  /// unplaced — which, because the walk swaps as it goes, need not be
+  /// `item` itself.  Failure occurs only when the full current item set is
+  /// infeasible; the returned item is the natural stash candidate, and all
+  /// other items remain validly placed.
+  std::int32_t insert(std::uint32_t item, std::uint32_t a, std::uint32_t b);
+
+  /// Slot currently assigned to `item`, or -1 if unplaced/unknown.
+  std::int32_t slot_of(std::uint32_t item) const;
+
+  /// Item currently occupying `slot`, or -1 if free.
+  std::int32_t item_in(std::uint32_t slot) const { return owner_[slot]; }
+
+  /// The two candidate slots registered for `item`.
+  std::pair<std::uint32_t, std::uint32_t> choices_of(std::uint32_t item) const;
+
+  std::size_t slot_count() const noexcept { return owner_.size(); }
+  std::size_t placed_count() const noexcept { return placed_; }
+
+  /// Reset to empty (slot capacity preserved).
+  void clear();
+
+ private:
+  struct ItemInfo {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::int32_t slot = -1;
+  };
+
+  std::vector<std::int32_t> owner_;  // slot -> item (-1 free)
+  std::vector<ItemInfo> items_;      // item -> choices + placement
+  std::size_t placed_ = 0;
+};
+
+}  // namespace rlb::cuckoo

@@ -1,0 +1,163 @@
+#include "cuckoo/capacitated.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace rlb::cuckoo {
+
+CapacitatedAllocator::CapacitatedAllocator(std::size_t servers,
+                                           std::uint32_t capacity)
+    : capacity_(capacity),
+      loads_(servers, 0),
+      resident_(servers),
+      visited_(servers, 0),
+      parent_item_(servers, 0) {
+  if (servers == 0) {
+    throw std::invalid_argument("CapacitatedAllocator: zero servers");
+  }
+  if (capacity == 0) {
+    throw std::invalid_argument("CapacitatedAllocator: capacity >= 1");
+  }
+}
+
+bool CapacitatedAllocator::insert(std::uint32_t item, std::uint32_t a,
+                                  std::uint32_t b) {
+  if (a >= loads_.size() || b >= loads_.size()) {
+    throw std::out_of_range("CapacitatedAllocator: choice out of range");
+  }
+  if (item >= items_.size()) items_.resize(item + 1);
+  items_[item] = ItemInfo{a, b, -1};
+
+  auto place = [&](std::uint32_t it, std::uint32_t server) {
+    items_[it].server = static_cast<std::int32_t>(server);
+    resident_[server].push_back(it);
+    ++loads_[server];
+  };
+  auto unplace = [&](std::uint32_t it) {
+    const auto server = static_cast<std::uint32_t>(items_[it].server);
+    auto& bucket = resident_[server];
+    bucket.erase(std::find(bucket.begin(), bucket.end(), it));
+    --loads_[server];
+    items_[it].server = -1;
+  };
+
+  // Fast path: spare capacity at either choice.
+  if (loads_[a] < capacity_) {
+    place(item, a);
+    ++placed_;
+    return true;
+  }
+  if (loads_[b] < capacity_) {
+    place(item, b);
+    ++placed_;
+    return true;
+  }
+
+  // Augmenting BFS over servers: find a chain of relocations
+  //   item -> s0, evictee(s0) -> s1, evictee(s1) -> s2, ...
+  // ending at a server with spare capacity.  Each server is visited once;
+  // completeness follows from this being unit-capacity flow augmentation
+  // on the cuckoo multigraph.
+  ++epoch_;
+  std::deque<std::uint32_t> frontier;
+  auto visit = [&](std::uint32_t server, std::uint32_t via_item) {
+    if (visited_[server] == epoch_) return;
+    visited_[server] = epoch_;
+    parent_item_[server] = via_item;
+    frontier.push_back(server);
+  };
+  visit(a, item);
+  visit(b, item);
+
+  std::int32_t free_server = -1;
+  while (!frontier.empty() && free_server < 0) {
+    const std::uint32_t server = frontier.front();
+    frontier.pop_front();
+    for (const std::uint32_t resident : resident_[server]) {
+      const std::uint32_t alternative = other(resident, server);
+      if (alternative == server) continue;  // both choices equal: immovable
+      if (loads_[alternative] < capacity_) {
+        // Found an augmenting chain ending at `alternative` via `resident`.
+        // Move `resident`, then walk parents back to the inserted item.
+        unplace(resident);
+        place(resident, alternative);
+        free_server = static_cast<std::int32_t>(server);
+        break;
+      }
+      visit(alternative, resident);
+    }
+    if (free_server >= 0) break;
+    // No direct escape from this server's residents; the chain continues
+    // through the servers just visited.
+  }
+
+  if (free_server < 0) return false;  // genuinely infeasible
+
+  // Walk the parent chain: the server we freed now accepts the item that
+  // reached it in the BFS tree; repeat until we place the new item itself.
+  auto hole = static_cast<std::uint32_t>(free_server);
+  while (true) {
+    const std::uint32_t mover = parent_item_[hole];
+    if (mover == item) {
+      place(item, hole);
+      ++placed_;
+      return true;
+    }
+    // `mover` currently sits at its other choice; shift it into the hole.
+    const auto from = static_cast<std::uint32_t>(items_[mover].server);
+    unplace(mover);
+    place(mover, hole);
+    hole = from;
+  }
+}
+
+std::int32_t CapacitatedAllocator::server_of(std::uint32_t item) const {
+  if (item >= items_.size()) return -1;
+  return items_[item].server;
+}
+
+void CapacitatedAllocator::clear() {
+  std::fill(loads_.begin(), loads_.end(), 0);
+  for (auto& bucket : resident_) bucket.clear();
+  items_.clear();
+  placed_ = 0;
+}
+
+OfflineAssignment assign_offline_capacitated(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& choices,
+    std::size_t servers, std::uint32_t capacity, std::size_t stash_capacity) {
+  OfflineAssignment result;
+  result.groups = 1;
+  result.assignment.assign(choices.size(), 0);
+  result.per_server.assign(servers, 0);
+
+  CapacitatedAllocator allocator(servers, capacity);
+  std::vector<std::uint32_t> stash_items;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (!allocator.insert(static_cast<std::uint32_t>(i), choices[i].first,
+                          choices[i].second)) {
+      stash_items.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    const std::int32_t server = allocator.server_of(
+        static_cast<std::uint32_t>(i));
+    if (server >= 0) {
+      result.assignment[i] = static_cast<std::uint32_t>(server);
+      ++result.per_server[static_cast<std::size_t>(server)];
+    }
+  }
+  result.stash_used = stash_items.size();
+  result.success = result.stash_used <= stash_capacity;
+  for (const std::uint32_t item : stash_items) {
+    const auto [a, b] = choices[item];
+    const std::uint32_t target =
+        result.per_server[a] <= result.per_server[b] ? a : b;
+    result.assignment[item] = target;
+    ++result.per_server[target];
+  }
+  return result;
+}
+
+}  // namespace rlb::cuckoo

@@ -1,0 +1,98 @@
+#include "cuckoo/cuckoo_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlb::cuckoo {
+
+CuckooTable::CuckooTable(std::size_t positions, std::size_t stash_capacity,
+                         std::uint64_t seed)
+    : slots_(positions),
+      stash_capacity_(stash_capacity),
+      seed1_(stats::derive_seed(seed, 1)),
+      seed2_(stats::derive_seed(seed, 2)) {
+  if (positions == 0) throw std::invalid_argument("CuckooTable: 0 positions");
+  stash_.reserve(stash_capacity);
+}
+
+bool CuckooTable::insert(std::uint64_t key) {
+  if (contains(key)) return true;
+
+  // Eviction walk bounded by 2·positions + 2 — complete for two choices
+  // (see allocator.hpp for the argument).  Every swap is journaled so a
+  // failed insertion can be rolled back, leaving the table exactly as it
+  // was.
+  const std::size_t max_swaps = 2 * slots_.size() + 2;
+  std::uint64_t held = key;
+  std::size_t slot = hash1(held);
+  if (slots_[slot].occupied && !slots_[hash2(held)].occupied) {
+    slot = hash2(held);
+  }
+
+  std::vector<std::size_t> journal;
+  for (std::size_t i = 0; i <= max_swaps; ++i) {
+    if (!slots_[slot].occupied) {
+      slots_[slot] = Slot{held, true};
+      ++size_;
+      return true;
+    }
+    journal.push_back(slot);
+    std::swap(held, slots_[slot].key);
+    const std::size_t h1 = hash1(held);
+    slot = (h1 == slot) ? hash2(held) : h1;
+  }
+
+  // Walk exhausted: the current key set is unplaceable in the table alone.
+  // Park the final displaced key in the stash if there is room...
+  if (stash_.size() < stash_capacity_) {
+    stash_.push_back(held);
+    ++size_;
+    return true;
+  }
+  // ...otherwise undo every swap (reverse order restores the exact prior
+  // state, ending with held == key) and report failure.
+  for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+    std::swap(held, slots_[*it].key);
+  }
+  return false;
+}
+
+bool CuckooTable::contains(std::uint64_t key) const {
+  const Slot& s1 = slots_[hash1(key)];
+  if (s1.occupied && s1.key == key) return true;
+  const Slot& s2 = slots_[hash2(key)];
+  if (s2.occupied && s2.key == key) return true;
+  return std::find(stash_.begin(), stash_.end(), key) != stash_.end();
+}
+
+bool CuckooTable::erase(std::uint64_t key) {
+  Slot& s1 = slots_[hash1(key)];
+  if (s1.occupied && s1.key == key) {
+    s1.occupied = false;
+    --size_;
+    return true;
+  }
+  Slot& s2 = slots_[hash2(key)];
+  if (s2.occupied && s2.key == key) {
+    s2.occupied = false;
+    --size_;
+    return true;
+  }
+  const auto it = std::find(stash_.begin(), stash_.end(), key);
+  if (it != stash_.end()) {
+    stash_.erase(it);
+    --size_;
+    return true;
+  }
+  return false;
+}
+
+std::optional<std::size_t> CuckooTable::position_of(std::uint64_t key) const {
+  const std::size_t p1 = hash1(key);
+  if (slots_[p1].occupied && slots_[p1].key == key) return p1;
+  const std::size_t p2 = hash2(key);
+  if (slots_[p2].occupied && slots_[p2].key == key) return p2;
+  return std::nullopt;
+}
+
+}  // namespace rlb::cuckoo

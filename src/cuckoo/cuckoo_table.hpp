@@ -1,0 +1,72 @@
+// Online cuckoo hash table with a stash (Kirsch–Mitzenmacher–Wieder).
+//
+// Background component for Section 4 of the paper: a set of up to ~m/3 keys
+// is stored in m positions, each key at one of its two hash positions, with
+// a constant-size stash absorbing the rare unplaceable keys.  Theorem 4.1:
+// with a stash of size s the failure probability drops to O(1/m^{s+1}) —
+// experiment E9 measures exactly this curve.
+//
+// The table supports the usual online operations (insert / contains / erase)
+// on 64-bit keys; the delayed-cuckoo *routing* algorithm does not use this
+// online table (it needs the offline per-step assignment instead, see
+// offline_assignment.hpp), but tests and E9 exercise it directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hashing/hash.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::cuckoo {
+
+/// Cuckoo hash set over uint64 keys with two seeded hash positions and a
+/// bounded stash.
+class CuckooTable {
+ public:
+  /// `positions` table slots, stash up to `stash_capacity` keys, hashes
+  /// seeded by `seed`.
+  CuckooTable(std::size_t positions, std::size_t stash_capacity,
+              std::uint64_t seed);
+
+  /// Insert `key`.  Returns false when the key cannot be placed even using
+  /// the stash (table unchanged except for relocations, which preserve
+  /// validity).  Duplicate inserts return true without change.
+  bool insert(std::uint64_t key);
+
+  bool contains(std::uint64_t key) const;
+
+  /// Remove `key`; false if absent.  Removing a stashed key frees stash
+  /// space.
+  bool erase(std::uint64_t key);
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t stash_size() const noexcept { return stash_.size(); }
+  std::size_t position_count() const noexcept { return slots_.size(); }
+
+  /// Position of `key` in the table, nullopt if absent or stashed.
+  std::optional<std::size_t> position_of(std::uint64_t key) const;
+
+  std::size_t hash1(std::uint64_t key) const {
+    return hashing::hash_to_bucket(key, seed1_, slots_.size());
+  }
+  std::size_t hash2(std::uint64_t key) const {
+    return hashing::hash_to_bucket(key, seed2_, slots_.size());
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    bool occupied = false;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint64_t> stash_;
+  std::size_t stash_capacity_;
+  std::uint64_t seed1_;
+  std::uint64_t seed2_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rlb::cuckoo

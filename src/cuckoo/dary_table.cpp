@@ -1,0 +1,107 @@
+#include "cuckoo/dary_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlb::cuckoo {
+
+DAryCuckooTable::DAryCuckooTable(std::size_t buckets, unsigned bucket_size,
+                                 unsigned choices, std::size_t stash_capacity,
+                                 std::uint64_t seed)
+    : buckets_(buckets),
+      bucket_size_(bucket_size),
+      choices_(choices),
+      stash_capacity_(stash_capacity),
+      seed_(seed),
+      walk_rng_(stats::derive_seed(seed, 0xD0)) {
+  if (buckets == 0) throw std::invalid_argument("DAryCuckoo: 0 buckets");
+  if (bucket_size == 0) throw std::invalid_argument("DAryCuckoo: b >= 1");
+  if (choices < 2) throw std::invalid_argument("DAryCuckoo: d >= 2");
+  stash_.reserve(stash_capacity);
+}
+
+std::size_t DAryCuckooTable::bucket_of(std::uint64_t key, unsigned c) const {
+  return hashing::hash_to_bucket(key, stats::derive_seed(seed_, c),
+                                 buckets_.size());
+}
+
+bool DAryCuckooTable::bucket_has(const Bucket& bucket,
+                                 std::uint64_t key) const {
+  return std::find(bucket.keys.begin(), bucket.keys.end(), key) !=
+         bucket.keys.end();
+}
+
+bool DAryCuckooTable::contains(std::uint64_t key) const {
+  for (unsigned c = 0; c < choices_; ++c) {
+    if (bucket_has(buckets_[bucket_of(key, c)], key)) return true;
+  }
+  return std::find(stash_.begin(), stash_.end(), key) != stash_.end();
+}
+
+bool DAryCuckooTable::insert(std::uint64_t key) {
+  if (contains(key)) return true;
+
+  // Random-walk eviction: try all choices for a free slot; otherwise evict
+  // a uniformly random resident of a uniformly random choice and continue
+  // with the evictee.  Budget ~ c·log(n) walks suffice w.h.p. below the
+  // load threshold.
+  const std::size_t max_steps =
+      64 + 8 * static_cast<std::size_t>(
+                   std::log2(static_cast<double>(buckets_.size()) + 2.0));
+  std::uint64_t held = key;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    for (unsigned c = 0; c < choices_; ++c) {
+      Bucket& bucket = buckets_[bucket_of(held, c)];
+      if (bucket.keys.size() < bucket_size_) {
+        bucket.keys.push_back(held);
+        ++size_;
+        return true;
+      }
+    }
+    const unsigned victim_choice =
+        static_cast<unsigned>(walk_rng_.next_below(choices_));
+    Bucket& bucket = buckets_[bucket_of(held, victim_choice)];
+    const std::size_t victim_slot =
+        static_cast<std::size_t>(walk_rng_.next_below(bucket.keys.size()));
+    std::swap(held, bucket.keys[victim_slot]);
+  }
+  if (stash_.size() < stash_capacity_) {
+    stash_.push_back(held);
+    ++size_;
+    return true;
+  }
+  // Budget exhausted, stash full: exactly one element is lost.  The walk's
+  // swaps preserve the stored COUNT (the new key is in, `held` — possibly
+  // a different key — is out), so size_ is already correct; callers treat
+  // a false return as the stash-overflow failure event dropping one
+  // element.
+  return false;
+}
+
+bool DAryCuckooTable::erase(std::uint64_t key) {
+  for (unsigned c = 0; c < choices_; ++c) {
+    Bucket& bucket = buckets_[bucket_of(key, c)];
+    const auto it = std::find(bucket.keys.begin(), bucket.keys.end(), key);
+    if (it != bucket.keys.end()) {
+      bucket.keys.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  const auto it = std::find(stash_.begin(), stash_.end(), key);
+  if (it != stash_.end()) {
+    stash_.erase(it);
+    --size_;
+    return true;
+  }
+  return false;
+}
+
+double DAryCuckooTable::load_factor() const noexcept {
+  const double capacity = static_cast<double>(buckets_.size()) *
+                          static_cast<double>(bucket_size_);
+  return capacity > 0 ? static_cast<double>(size_) / capacity : 0.0;
+}
+
+}  // namespace rlb::cuckoo

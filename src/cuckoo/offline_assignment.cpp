@@ -1,0 +1,74 @@
+#include "cuckoo/offline_assignment.hpp"
+
+#include <stdexcept>
+
+#include "cuckoo/allocator.hpp"
+
+namespace rlb::cuckoo {
+
+OfflineAssignment assign_offline(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& choices,
+    std::size_t servers, std::size_t stash_capacity_per_group) {
+  if (servers == 0) throw std::invalid_argument("assign_offline: 0 servers");
+
+  OfflineAssignment result;
+  const std::size_t n = choices.size();
+  result.assignment.assign(n, 0);
+  result.per_server.assign(servers, 0);
+
+  // Three groups of <= ceil(n/3) items each (the paper's Lemma 4.2 split);
+  // more groups if n > m so each group still fits the m/2 - Ω(m) cuckoo
+  // feasibility regime.  In the model n <= m, so groups == 3.
+  constexpr std::size_t kBaseGroups = 3;
+  std::size_t groups = kBaseGroups;
+  while (groups * servers < kBaseGroups * n) ++groups;  // ceil(3n/m) groups
+  result.groups = groups;
+  const std::size_t group_size = (n + groups - 1) / groups;
+
+  std::vector<std::uint32_t> stash_items;  // global indices of stashed items
+  TwoChoiceAllocator allocator(servers);
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t begin = g * group_size;
+    if (begin >= n) break;
+    const std::size_t end = std::min(begin + group_size, n);
+
+    allocator.clear();
+    std::size_t group_stash = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto local = static_cast<std::uint32_t>(i - begin);
+      const std::int32_t displaced =
+          allocator.insert(local, choices[i].first, choices[i].second);
+      if (displaced >= 0) {
+        stash_items.push_back(static_cast<std::uint32_t>(displaced) +
+                              static_cast<std::uint32_t>(begin));
+        ++group_stash;
+        if (group_stash > stash_capacity_per_group) result.success = false;
+      }
+    }
+    // Record the placements of this group.
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto local = static_cast<std::uint32_t>(i - begin);
+      const std::int32_t slot = allocator.slot_of(local);
+      if (slot >= 0) {
+        result.assignment[i] = static_cast<std::uint32_t>(slot);
+        ++result.per_server[static_cast<std::size_t>(slot)];
+      }
+    }
+  }
+
+  // Stash items go to whichever of their two choices currently holds fewer
+  // assignments (adds at most stash_used to any single server).
+  result.stash_used = stash_items.size();
+  for (std::uint32_t item : stash_items) {
+    const auto [a, b] = choices[item];
+    const std::uint32_t target =
+        result.per_server[a] <= result.per_server[b] ? a : b;
+    result.assignment[item] = target;
+    ++result.per_server[target];
+  }
+
+  return result;
+}
+
+}  // namespace rlb::cuckoo

@@ -1,0 +1,46 @@
+// The offline per-time-step assignment of Lemma 4.2.
+//
+// Given the realized request set S_t (up to m items, each with two candidate
+// servers h_1(x), h_2(x)), produce an assignment T_t : S_t -> [m] such that
+// every server receives O(1) requests.  Construction follows the paper:
+// split the items into three groups of at most ceil(m/3); cuckoo-hash each
+// group into the m servers so each server gets at most one item per group
+// (Theorem 4.1), with a bounded stash absorbing unplaceable items; stash
+// items are then assigned to their less-loaded choice.  Per-server total:
+// at most 3 + (stash spill), i.e. O(1).
+//
+// A *failure* (success == false) is the Lemma 4.2 failure event — some group
+// overflowed its stash.  Delayed cuckoo routing responds by rejecting the
+// reappearing requests that would have used this T_t (paper Section 4.1);
+// the assignment returned on failure is still structurally valid and
+// best-effort, so callers may also choose to use it.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rlb::cuckoo {
+
+/// Result of one offline assignment computation.
+struct OfflineAssignment {
+  /// False iff some group overflowed its stash (the Lemma 4.2 failure
+  /// event, probability O(1/m^c) for stash size c-ish).
+  bool success = true;
+  /// assignment[i] = server assigned to item i (always populated).
+  std::vector<std::uint32_t> assignment;
+  /// Requests assigned to each server; max entry is the O(1) of Lemma 4.2.
+  std::vector<std::uint32_t> per_server;
+  /// Total items that fell to stashes across all groups.
+  std::size_t stash_used = 0;
+  std::size_t groups = 0;
+};
+
+/// Compute T_t.  `choices[i]` are the two candidate servers of item i (both
+/// < servers).  `stash_capacity_per_group` is the Theorem 4.1 stash size
+/// (a small constant; 4 gives failure probability O(1/m^5)).
+[[nodiscard]] OfflineAssignment assign_offline(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& choices,
+    std::size_t servers, std::size_t stash_capacity_per_group = 4);
+
+}  // namespace rlb::cuckoo

@@ -1,0 +1,141 @@
+#include "harness/adversary_search.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stats/rng.hpp"
+#include "workloads/phased_churn.hpp"
+
+namespace rlb::harness {
+
+namespace {
+
+/// Lexicographic score: rejection dominates; latency breaks ties.
+bool better(const AdversarySearchResult& a, const AdversarySearchResult& b) {
+  if (a.best_rejection != b.best_rejection) {
+    return a.best_rejection > b.best_rejection;
+  }
+  return a.best_latency > b.best_latency;
+}
+
+AdversaryParams random_params(std::size_t servers, stats::Rng& rng) {
+  AdversaryParams params;
+  params.working_set = 1 + rng.next_below(servers);
+  params.churn = rng.next_double();
+  params.churn_period = 1 + rng.next_below(8);
+  params.shuffle = rng.next_bernoulli(0.5);
+  return params;
+}
+
+AdversaryParams mutate(const AdversaryParams& base, std::size_t servers,
+                       stats::Rng& rng) {
+  AdversaryParams params = base;
+  switch (rng.next_below(4)) {
+    case 0: {
+      // Scale the working set by a factor in [0.5, 2].
+      const double factor = 0.5 + 1.5 * rng.next_double();
+      const auto scaled = static_cast<std::size_t>(
+          factor * static_cast<double>(params.working_set));
+      params.working_set = std::clamp<std::size_t>(scaled, 1, servers);
+      break;
+    }
+    case 1:
+      params.churn =
+          std::clamp(params.churn + 0.4 * (rng.next_double() - 0.5), 0.0, 1.0);
+      break;
+    case 2:
+      params.churn_period = 1 + rng.next_below(8);
+      break;
+    default:
+      params.shuffle = !params.shuffle;
+      break;
+  }
+  return params;
+}
+
+}  // namespace
+
+std::string describe(const AdversaryParams& params) {
+  std::ostringstream oss;
+  oss << "working_set=" << params.working_set << " churn=" << params.churn
+      << "/" << params.churn_period << " order="
+      << (params.shuffle ? "shuffled" : "fixed");
+  return oss.str();
+}
+
+AdversarySearchResult evaluate_adversary(const AdversaryParams& params,
+                                         const BalancerFactory& make_balancer,
+                                         const AdversarySearchConfig& config) {
+  const WorkloadFactory make_workload = [params](std::uint64_t seed) {
+    return std::make_unique<workloads::PhasedChurnWorkload>(
+        params.working_set, params.churn, params.churn_period,
+        stats::derive_seed(seed, 0xAD), params.shuffle);
+  };
+  core::SimConfig sim;
+  sim.steps = config.steps;
+  sim.sample_backlogs = false;
+  const TrialAggregate agg = run_trials(config.trials, config.seed,
+                                        make_balancer, make_workload, sim);
+  AdversarySearchResult result;
+  result.best = params;
+  result.best_rejection = agg.pooled_rejection_rate();
+  result.best_latency = agg.average_latency.mean();
+  result.evaluations = 1;
+  return result;
+}
+
+AdversarySearchResult search_adversary(const BalancerFactory& make_balancer,
+                                       const AdversarySearchConfig& config) {
+  stats::Rng rng(stats::derive_seed(config.seed, 0x5EA));
+  AdversarySearchResult best;
+  bool have_best = false;
+  std::size_t evaluations = 0;
+
+  // Seed the search with the two shapes the theory predicts are extremal,
+  // plus random restarts; each candidate gets a short mutation chain.
+  std::vector<AdversaryParams> starts;
+  {
+    AdversaryParams repeated;  // the §1 / Lemma 5.3 shape
+    repeated.working_set = config.servers;
+    repeated.churn = 0.0;
+    repeated.shuffle = false;
+    starts.push_back(repeated);
+    AdversaryParams fresh;  // the easy extreme, as a control
+    fresh.working_set = config.servers;
+    fresh.churn = 1.0;
+    fresh.shuffle = true;
+    starts.push_back(fresh);
+  }
+  while (starts.size() < std::max<std::size_t>(3, config.budget / 8)) {
+    starts.push_back(random_params(config.servers, rng));
+  }
+
+  for (const AdversaryParams& start : starts) {
+    if (evaluations >= config.budget) break;
+    AdversarySearchResult current =
+        evaluate_adversary(start, make_balancer, config);
+    ++evaluations;
+    if (!have_best || better(current, best)) {
+      best = current;
+      have_best = true;
+    }
+    // Greedy mutation chain from this start.
+    while (evaluations < config.budget) {
+      const AdversaryParams candidate =
+          mutate(current.best, config.servers, rng);
+      AdversarySearchResult scored =
+          evaluate_adversary(candidate, make_balancer, config);
+      ++evaluations;
+      if (better(scored, current)) {
+        current = scored;
+        if (better(current, best)) best = current;
+      } else if (rng.next_bernoulli(0.5)) {
+        break;  // local plateau: spend remaining budget on other starts
+      }
+    }
+  }
+  best.evaluations = evaluations;
+  return best;
+}
+
+}  // namespace rlb::harness

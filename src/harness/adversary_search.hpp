@@ -1,0 +1,82 @@
+// Randomized adversary search: hunt for the worst oblivious workload a
+// policy admits.
+//
+// The paper's lower bounds are constructive in spirit: the bad workloads
+// are structured (fixed repeated sets, fixed arrival orders).  This
+// component searches the parameterized oblivious-workload space
+//   (working-set size, churn fraction, churn period, order fixed/shuffled)
+// by hill climbing with random restarts, scoring each candidate by the
+// policy's pooled rejection rate (average latency breaks ties so the
+// search has gradient even against policies that never reject).
+//
+// Expected outcome — and what the E18 bench verifies:
+//   * against greedy-d1 / the isolated policies, the search rediscovers
+//     the impossibility-proof shape (large fixed working set, no churn);
+//   * against greedy and delayed cuckoo, no searched workload rejects
+//     anything (Theorems 3.1 / 4.3 hold against ALL oblivious adversaries,
+//     and in particular against this one).
+//
+// The search itself is oblivious: candidates are scored by rerunning fresh
+// seeded simulations; the adversary never observes routing outcomes within
+// a run, only the aggregate score across runs — i.e. it adapts across
+// EXPERIMENTS, not within a request sequence, exactly what an oblivious
+// adversary with knowledge of the algorithm (but not the random bits) may
+// do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/balancer.hpp"
+#include "harness/experiment.hpp"
+
+namespace rlb::harness {
+
+/// A point in the oblivious-workload parameter space.
+struct AdversaryParams {
+  /// Working-set size (requests per step), in [1, servers].
+  std::size_t working_set = 64;
+  /// Fraction of the working set replaced every `churn_period` steps.
+  double churn = 0.0;
+  std::size_t churn_period = 1;
+  /// Whether the within-step arrival order is reshuffled per step (an
+  /// oblivious adversary may fix it instead).
+  bool shuffle = false;
+};
+
+/// Search configuration.
+struct AdversarySearchConfig {
+  std::size_t servers = 512;
+  /// Simulation shape per evaluation.
+  std::size_t steps = 150;
+  std::size_t trials = 3;
+  /// Total candidate evaluations (restarts + mutations).
+  std::size_t budget = 48;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of a search.
+struct AdversarySearchResult {
+  AdversaryParams best;
+  /// Pooled rejection rate of the best candidate.
+  double best_rejection = 0.0;
+  /// Mean average-latency of the best candidate (the tie-break signal).
+  double best_latency = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Score one candidate: pooled rejection rate and mean latency across
+/// seeded trials of `make_balancer` under the parameterized workload.
+AdversarySearchResult evaluate_adversary(const AdversaryParams& params,
+                                         const BalancerFactory& make_balancer,
+                                         const AdversarySearchConfig& config);
+
+/// Hill-climb with random restarts over the parameter space.
+AdversarySearchResult search_adversary(const BalancerFactory& make_balancer,
+                                       const AdversarySearchConfig& config);
+
+/// Human-readable one-liner for a parameter point.
+std::string describe(const AdversaryParams& params);
+
+}  // namespace rlb::harness

@@ -1,0 +1,58 @@
+#include "harness/experiment.hpp"
+
+#include <iostream>
+
+#include "parallel/trial_runner.hpp"
+
+namespace rlb::harness {
+
+TrialAggregate run_trials(std::size_t trials, std::uint64_t master_seed,
+                          const BalancerFactory& make_balancer,
+                          const WorkloadFactory& make_workload,
+                          const core::SimConfig& sim) {
+  struct TrialOutcome {
+    core::SimResult result;
+    std::uint64_t final_backlog = 0;
+  };
+
+  const std::function<TrialOutcome(std::uint64_t, std::size_t)> trial =
+      [&](std::uint64_t seed, std::size_t /*index*/) {
+        auto balancer = make_balancer(seed);
+        auto workload = make_workload(seed);
+        TrialOutcome outcome;
+        outcome.result = core::simulate(*balancer, *workload, sim);
+        outcome.final_backlog = balancer->total_backlog();
+        return outcome;
+      };
+
+  const auto outcomes = parallel::run_trials<TrialOutcome>(
+      parallel::default_pool(), trials, master_seed, trial);
+
+  TrialAggregate aggregate;
+  aggregate.trials = trials;
+  for (const TrialOutcome& outcome : outcomes) {
+    const core::Metrics& metrics = outcome.result.metrics;
+    aggregate.rejection_rate.add(metrics.rejection_rate());
+    aggregate.average_latency.add(metrics.average_latency());
+    aggregate.max_latency.add(static_cast<double>(metrics.max_latency()));
+    aggregate.max_backlog.add(static_cast<double>(outcome.result.max_backlog));
+    aggregate.mean_backlog.add(metrics.backlog_stats().mean());
+    aggregate.worst_safety_ratio.add(outcome.result.worst_safety_ratio);
+    aggregate.total_submitted += metrics.submitted();
+    aggregate.total_rejected += metrics.rejected();
+    aggregate.total_safety_checks += metrics.safety_checks();
+    aggregate.total_safety_violations += metrics.safety_violations();
+  }
+  return aggregate;
+}
+
+void print_banner(const std::string& experiment_id, const std::string& claim,
+                  const std::string& expectation) {
+  std::cout << "\n################################################################\n"
+            << "# " << experiment_id << "\n"
+            << "# Paper claim : " << claim << "\n"
+            << "# Expectation : " << expectation << "\n"
+            << "################################################################\n";
+}
+
+}  // namespace rlb::harness

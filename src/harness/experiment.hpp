@@ -1,0 +1,60 @@
+// The experiment harness: parallel seeded trials + cross-trial aggregation.
+//
+// Every experiment follows the same pattern: construct (balancer, workload)
+// pairs from a derived seed, run R independent replicas on the shared
+// thread pool, aggregate the SimResults.  Aggregation is deterministic in
+// the master seed regardless of thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/balancer.hpp"
+#include "core/simulator.hpp"
+#include "core/workload.hpp"
+#include "stats/summary.hpp"
+
+namespace rlb::harness {
+
+using BalancerFactory =
+    std::function<std::unique_ptr<core::LoadBalancer>(std::uint64_t seed)>;
+using WorkloadFactory =
+    std::function<std::unique_ptr<core::Workload>(std::uint64_t seed)>;
+
+/// Cross-trial aggregate of the metrics every experiment reports.
+struct TrialAggregate {
+  stats::OnlineStats rejection_rate;
+  stats::OnlineStats average_latency;
+  stats::OnlineStats max_latency;
+  stats::OnlineStats max_backlog;
+  stats::OnlineStats mean_backlog;
+  stats::OnlineStats worst_safety_ratio;
+  std::uint64_t total_submitted = 0;
+  std::uint64_t total_rejected = 0;
+  std::uint64_t total_safety_checks = 0;
+  std::uint64_t total_safety_violations = 0;
+  std::size_t trials = 0;
+
+  /// Pooled rejection rate over all trials' requests.
+  double pooled_rejection_rate() const {
+    return total_submitted ? static_cast<double>(total_rejected) /
+                                 static_cast<double>(total_submitted)
+                           : 0.0;
+  }
+};
+
+/// Run `trials` seeded replicas of simulate(balancer, workload, sim) on the
+/// shared thread pool and aggregate.  Trial i seeds both factories with
+/// derive_seed(master_seed, i).
+TrialAggregate run_trials(std::size_t trials, std::uint64_t master_seed,
+                          const BalancerFactory& make_balancer,
+                          const WorkloadFactory& make_workload,
+                          const core::SimConfig& sim);
+
+/// Standard experiment banner: id, paper claim, and what to look for.
+void print_banner(const std::string& experiment_id, const std::string& claim,
+                  const std::string& expectation);
+
+}  // namespace rlb::harness

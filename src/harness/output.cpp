@@ -1,0 +1,67 @@
+#include "harness/output.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace rlb::harness {
+
+namespace {
+
+TableFormat g_format = TableFormat::kText;
+
+bool parse_format(const std::string& value, TableFormat& out) {
+  if (value == "text") {
+    out = TableFormat::kText;
+  } else if (value == "csv") {
+    out = TableFormat::kCsv;
+  } else if (value == "markdown" || value == "md") {
+    out = TableFormat::kMarkdown;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void init_output(int argc, char** argv) {
+  // Environment first, flags override.
+  if (const char* env = std::getenv("RLB_TABLE_FORMAT")) {
+    if (!parse_format(env, g_format)) {
+      std::cerr << "rlb: ignoring unknown RLB_TABLE_FORMAT '" << env << "'\n";
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--format" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (!parse_format(value, g_format)) {
+        std::cerr << "rlb: ignoring unknown --format '" << value
+                  << "' (text|csv|markdown)\n";
+      }
+    }
+  }
+}
+
+void set_table_format(TableFormat format) { g_format = format; }
+
+TableFormat table_format() { return g_format; }
+
+void emit(const report::Table& table, std::ostream& os) {
+  switch (g_format) {
+    case TableFormat::kText:
+      table.print(os);
+      break;
+    case TableFormat::kCsv:
+      table.print_csv(os);
+      break;
+    case TableFormat::kMarkdown:
+      table.print_markdown(os);
+      break;
+  }
+}
+
+void emit(const report::Table& table) { emit(table, std::cout); }
+
+}  // namespace rlb::harness

@@ -1,0 +1,33 @@
+// Selectable table output for experiment binaries.
+//
+// Every bench binary emits its tables through emit(); the process-wide
+// format defaults to aligned text and can be switched per run:
+//   ./bench_xyz --format csv        (also: text | markdown)
+//   RLB_TABLE_FORMAT=csv ./bench_xyz
+// so results feed straight into plotting scripts without a parser.
+#pragma once
+
+#include <ostream>
+
+#include "report/table.hpp"
+
+namespace rlb::harness {
+
+enum class TableFormat { kText, kCsv, kMarkdown };
+
+/// Parse --format from argv (and the RLB_TABLE_FORMAT environment variable
+/// as a fallback) and set the process-wide format.  Unknown values keep
+/// text and print a warning to stderr.
+void init_output(int argc, char** argv);
+
+/// Explicitly set the process-wide format (tests).
+void set_table_format(TableFormat format);
+TableFormat table_format();
+
+/// Print `table` to stdout in the configured format.
+void emit(const report::Table& table);
+
+/// Print `table` to `os` in the configured format.
+void emit(const report::Table& table, std::ostream& os);
+
+}  // namespace rlb::harness

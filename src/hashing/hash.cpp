@@ -1,0 +1,5 @@
+#include "hashing/hash.hpp"
+
+// All functions are constexpr/inline in the header; this translation unit
+// anchors the library target.
+namespace rlb::hashing {}

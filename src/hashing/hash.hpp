@@ -1,0 +1,43 @@
+// Seeded 64-bit hash functions.
+//
+// The model's h_1(x), ..., h_d(x) are "fully random" hash functions mapping
+// chunk ids to servers.  We realize them as strong seeded mixers: a distinct
+// derived seed per replica index yields d independent-looking functions of
+// the same chunk id.  For experiments that stress hash quality, the
+// tabulation variant (tabulation.hpp) offers 3-independence with provable
+// Chernoff-style concentration (Pătrașcu–Thorup).
+#pragma once
+
+#include <cstdint>
+
+namespace rlb::hashing {
+
+/// Strong 64 -> 64 bit mixer (xxHash3-style avalanche over splitmix
+/// constants).  Bijective for fixed seed.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Seeded hash of a 64-bit key.
+[[nodiscard]] constexpr std::uint64_t hash64(std::uint64_t key,
+                                             std::uint64_t seed) noexcept {
+  return mix64(key + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// Seeded hash reduced to a bucket in [0, buckets) via the multiply-shift
+/// range reduction (unbiased for buckets << 2^64 in the statistical sense
+/// used here; avoids the modulo's low-bit bias).
+[[nodiscard]] inline std::uint64_t hash_to_bucket(std::uint64_t key,
+                                                  std::uint64_t seed,
+                                                  std::uint64_t buckets) noexcept {
+  const std::uint64_t h = hash64(key, seed);
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(h) * static_cast<__uint128_t>(buckets)) >> 64);
+}
+
+}  // namespace rlb::hashing

@@ -1,0 +1,27 @@
+#include "hashing/tabulation.hpp"
+
+namespace rlb::hashing {
+
+TabulationHash::TabulationHash(std::uint64_t seed) {
+  stats::Xoshiro256StarStar rng(seed);
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = rng.next();
+  }
+}
+
+std::uint64_t TabulationHash::operator()(std::uint64_t key) const noexcept {
+  std::uint64_t h = 0;
+  for (std::size_t c = 0; c < kChars; ++c) {
+    h ^= tables_[c][(key >> (8 * c)) & 0xff];
+  }
+  return h;
+}
+
+std::uint64_t TabulationHash::bucket(std::uint64_t key,
+                                     std::uint64_t buckets) const noexcept {
+  const std::uint64_t h = (*this)(key);
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(h) * static_cast<__uint128_t>(buckets)) >> 64);
+}
+
+}  // namespace rlb::hashing

@@ -1,0 +1,34 @@
+// Simple tabulation hashing (Zobrist / Pătrașcu–Thorup).
+//
+// Splits a 64-bit key into 8 bytes and XORs one random table entry per byte.
+// Only 3-independent, yet provably gives Chernoff-type concentration for
+// balls-into-bins-style applications — the theoretical justification for
+// using it where the paper assumes fully random hash functions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "stats/rng.hpp"
+
+namespace rlb::hashing {
+
+/// A seeded tabulation hash function over 64-bit keys.
+class TabulationHash {
+ public:
+  explicit TabulationHash(std::uint64_t seed);
+
+  /// Hash of `key` to 64 bits.
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t key) const noexcept;
+
+  /// Hash reduced to [0, buckets).
+  [[nodiscard]] std::uint64_t bucket(std::uint64_t key,
+                                     std::uint64_t buckets) const noexcept;
+
+ private:
+  static constexpr std::size_t kChars = 8;    // bytes per key
+  static constexpr std::size_t kRange = 256;  // values per byte
+  std::array<std::array<std::uint64_t, kRange>, kChars> tables_{};
+};
+
+}  // namespace rlb::hashing

@@ -1,0 +1,63 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rlb::parallel {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Join explicitly before any member (mutex_, cv_, tasks_) is destroyed —
+  // workers drain remaining queued tasks first.
+  workers_.clear();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        // stopping_ and no work left.
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t blocks = std::min(n, pool.thread_count() * 4);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t begin = b * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    futures.push_back(pool.submit([begin, end, &body] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace rlb::parallel

@@ -1,0 +1,67 @@
+// A fixed-size thread pool for embarrassingly parallel Monte-Carlo work.
+//
+// The simulation experiments run many independent seeded trials; the pool
+// fans them across hardware threads.  Tasks never share mutable state (each
+// trial owns its RNG, cluster, and metrics), so the pool needs only a
+// mutex-protected queue — no lock-free machinery, no work stealing.  That
+// keeps the component obviously correct (Core Guidelines CP.1/CP.20-style:
+// RAII threads, condition-variable waits, no detached threads).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rlb::parallel {
+
+/// Fixed pool of worker threads executing submitted tasks FIFO.
+/// Destruction waits for all queued tasks to finish.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Submit a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.emplace([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::jthread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run `body(i)` for i in [0, n) across the pool, blocking until done.
+/// Indices are distributed in contiguous blocks.  Exceptions from any body
+/// propagate (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace rlb::parallel

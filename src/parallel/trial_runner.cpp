@@ -1,0 +1,10 @@
+#include "parallel/trial_runner.hpp"
+
+namespace rlb::parallel {
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;  // sized to hardware concurrency
+  return pool;
+}
+
+}  // namespace rlb::parallel

@@ -1,0 +1,35 @@
+// Parallel Monte-Carlo trial execution.
+//
+// Pattern used by every experiment: run R independent replicas of a seeded
+// simulation and aggregate.  Seeds are derived deterministically from a
+// master seed and the trial index, so results are identical no matter how
+// trials are scheduled across threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::parallel {
+
+/// Runs `trials` invocations of `trial(trial_seed, index)` across `pool`,
+/// where trial_seed = derive_seed(master_seed, index).  Results are returned
+/// in index order.
+template <typename T>
+std::vector<T> run_trials(ThreadPool& pool, std::size_t trials,
+                          std::uint64_t master_seed,
+                          const std::function<T(std::uint64_t, std::size_t)>& trial) {
+  std::vector<T> results(trials);
+  parallel_for(pool, trials, [&](std::size_t i) {
+    results[i] = trial(stats::derive_seed(master_seed, i), i);
+  });
+  return results;
+}
+
+/// Shared process-wide pool for benchmarks and examples (lazily created).
+ThreadPool& default_pool();
+
+}  // namespace rlb::parallel

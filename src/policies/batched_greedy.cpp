@@ -1,0 +1,80 @@
+#include "policies/batched_greedy.hpp"
+
+#include <stdexcept>
+
+namespace rlb::policies {
+
+BatchedGreedyBalancer::BatchedGreedyBalancer(const BatchedGreedyConfig& config)
+    : config_(config),
+      cluster_(config.servers, config.queue_capacity),
+      placement_(config.servers, config.replication, config.seed) {
+  if (config.processing_rate == 0) {
+    throw std::invalid_argument("BatchedGreedyBalancer: g >= 1");
+  }
+}
+
+void BatchedGreedyBalancer::decide(std::span<const core::ChunkId> batch) {
+  decisions_.resize(batch.size());
+  auto decide_one = [&](std::size_t i) {
+    const core::ChoiceList choices = placement_.choices(batch[i]);
+    core::ServerId best = choices[0];
+    std::uint32_t best_backlog = snapshot_[best];
+    for (unsigned c = 1; c < choices.size(); ++c) {
+      const core::ServerId candidate = choices[c];
+      if (snapshot_[candidate] < best_backlog) {
+        best = candidate;
+        best_backlog = snapshot_[candidate];
+      }
+    }
+    decisions_[i] = best;
+  };
+  // Decisions read only the snapshot, so parallel and serial execution are
+  // bit-identical; the pool is purely a throughput lever.
+  if (config_.pool != nullptr && batch.size() >= 256) {
+    parallel::parallel_for(*config_.pool, batch.size(), decide_one);
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) decide_one(i);
+  }
+}
+
+void BatchedGreedyBalancer::step(core::Time t,
+                                 std::span<const core::ChunkId> requests,
+                                 core::Metrics& metrics) {
+  const unsigned g = config_.processing_rate;
+  const std::size_t n = requests.size();
+  const std::size_t base = n / g;
+  const std::size_t extra = n % g;
+  std::size_t cursor = 0;
+  for (unsigned sub = 0; sub < g; ++sub) {
+    const std::size_t take = base + (sub < extra ? 1 : 0);
+    const auto batch = requests.subspan(cursor, take);
+    cursor += take;
+
+    // Phase 1: snapshot + parallel decisions.
+    snapshot_ = cluster_.backlogs();
+    decide(batch);
+
+    // Phase 2: serial commit in arrival order (the queue bound is still
+    // enforced against the LIVE state, as a real server would).
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      metrics.on_submitted();
+      if (!cluster_.push(decisions_[i], core::Request{batch[i], t})) {
+        metrics.on_rejected();
+      }
+    }
+
+    // Phase 3: every server consumes one request.
+    for (std::size_t s = 0; s < cluster_.size(); ++s) {
+      const auto server = static_cast<core::ServerId>(s);
+      if (cluster_.empty(server)) continue;
+      const core::Request request = cluster_.pop(server);
+      metrics.on_completed(static_cast<std::uint64_t>(t - request.arrival));
+    }
+  }
+}
+
+void BatchedGreedyBalancer::flush(core::Metrics& metrics) {
+  metrics.on_dropped_from_queue(cluster_.clear_all());
+}
+
+}  // namespace rlb::policies

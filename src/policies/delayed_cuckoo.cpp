@@ -1,0 +1,194 @@
+#include "policies/delayed_cuckoo.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "cuckoo/offline_assignment.hpp"
+
+namespace rlb::policies {
+
+namespace {
+
+/// ceil(log2(log2(m))), floored at 2 — the phase length recipe.
+std::size_t derived_phase_length(std::size_t servers) {
+  const double log_m = std::log2(std::max<double>(4.0, static_cast<double>(servers)));
+  const double loglog_m = std::log2(log_m);
+  return std::max<std::size_t>(2, static_cast<std::size_t>(std::ceil(loglog_m)));
+}
+
+}  // namespace
+
+DelayedCuckooBalancer::DelayedCuckooBalancer(const DelayedCuckooConfig& config)
+    : servers_(config.servers),
+      processing_rate_(config.processing_rate),
+      queue_capacity_(config.queue_capacity),
+      phase_length_(config.phase_length),
+      stash_per_group_(config.stash_per_group),
+      use_cuckoo_routing_(config.use_cuckoo_routing),
+      carry_over_queues_(config.carry_over_queues),
+      placement_(config.servers, /*replication=*/2, config.seed),
+      p_arrivals_(config.servers, 0) {
+  if (processing_rate_ < 4 || processing_rate_ % 4 != 0) {
+    throw std::invalid_argument(
+        "DelayedCuckooBalancer: g must be a positive multiple of 4");
+  }
+  if (phase_length_ == 0) phase_length_ = derived_phase_length(servers_);
+  if (queue_capacity_ == 0) {
+    // 4·L by the theorem recipe, clamped so the drain guarantee below holds
+    // even for small g (the paper assumes g is a sufficiently large
+    // constant; smaller g simply yields shorter queues).
+    queue_capacity_ =
+        std::min<std::size_t>(4 * phase_length_,
+                              (processing_rate_ / 4) * phase_length_);
+    queue_capacity_ = std::max<std::size_t>(queue_capacity_, 1);
+  }
+  // Carried-over queues must drain within one phase: (g/4)·L >= q.
+  // Irrelevant when the carry-over ablation is off (leftovers are dropped
+  // at boundaries instead of moved).
+  if (carry_over_queues_ &&
+      static_cast<std::size_t>(processing_rate_ / 4) * phase_length_ <
+          queue_capacity_) {
+    throw std::invalid_argument(
+        "DelayedCuckooBalancer: (g/4)*phase_length must be >= queue capacity "
+        "or previous-phase queues cannot be guaranteed to drain");
+  }
+  state_.reserve(servers_);
+  for (std::size_t i = 0; i < servers_; ++i) {
+    state_.emplace_back(queue_capacity_);
+  }
+  last_assignment_.reserve(servers_ * 2);
+}
+
+std::uint32_t DelayedCuckooBalancer::backlog(core::ServerId s) const {
+  const ServerState& st = state_[s];
+  return static_cast<std::uint32_t>(st.q.size() + st.p.size() +
+                                    st.q_prev.size() + st.p_prev.size());
+}
+
+void DelayedCuckooBalancer::begin_phase(core::Metrics& metrics) {
+  // Move this phase's leftovers into the previous-phase queues.  By the
+  // drain guarantee ((g/4)·L >= q) the q_prev/p_prev queues are empty at
+  // every boundary; the assert documents the invariant, and any residue
+  // (impossible under the constructor check) would be dropped as rejected.
+  for (ServerState& st : state_) {
+    std::size_t residue = st.q_prev.clear() + st.p_prev.clear();
+    if (!carry_over_queues_) {
+      // Ablation: no carry-over — leftovers are rejected outright.
+      residue += st.q.clear() + st.p.clear();
+    }
+    if (residue > 0) metrics.on_dropped_from_queue(residue);
+    while (!st.q.empty()) {
+      st.q_prev.push(st.q.pop());  // same capacity: cannot fail
+    }
+    while (!st.p.empty()) {
+      st.p_prev.push(st.p.pop());
+    }
+  }
+  // New phase: all chunks count as first access again.
+  last_assignment_.clear();
+  steps_into_phase_ = 0;
+}
+
+void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
+                                    core::Metrics& metrics) {
+  metrics.on_submitted();
+  const auto it = use_cuckoo_routing_ ? last_assignment_.find(x)
+                                      : last_assignment_.end();
+  if (it != last_assignment_.end()) {
+    // Reappearance within the phase: follow the most recent T_{t'}.
+    if (it->second == kAssignmentFailed) {
+      metrics.on_rejected();
+      return;
+    }
+    const auto target = static_cast<core::ServerId>(it->second);
+    ++p_arrivals_[target];
+    if (!state_[target].p.push(core::Request{x, t})) {
+      // Lemma 4.5 says this cannot happen when q = Θ(log log m) with a
+      // sufficient constant; kept for smaller configurations.
+      metrics.on_rejected();
+    }
+    return;
+  }
+  // First access this phase: classic two-choice on the Q queues.
+  const core::ChoiceList choices = placement_.choices(x);
+  const core::ServerId a = choices[0];
+  const core::ServerId b = choices[1];
+  const core::ServerId target =
+      state_[a].q.size() <= state_[b].q.size() ? a : b;
+  if (!state_[target].q.push(core::Request{x, t})) {
+    metrics.on_rejected();
+  }
+}
+
+void DelayedCuckooBalancer::drain_queue(core::ServerQueue& queue,
+                                        unsigned budget, core::Time t,
+                                        core::Metrics& metrics) {
+  for (unsigned i = 0; i < budget && !queue.empty(); ++i) {
+    const core::Request request = queue.pop();
+    metrics.on_completed(static_cast<std::uint64_t>(t - request.arrival));
+  }
+}
+
+void DelayedCuckooBalancer::process(core::Time t, core::Metrics& metrics) {
+  const unsigned per_queue = processing_rate_ / 4;
+  for (ServerState& st : state_) {
+    drain_queue(st.q, per_queue, t, metrics);
+    drain_queue(st.p, per_queue, t, metrics);
+    drain_queue(st.q_prev, per_queue, t, metrics);
+    drain_queue(st.p_prev, per_queue, t, metrics);
+  }
+}
+
+void DelayedCuckooBalancer::compute_assignment(
+    std::span<const core::ChunkId> requests) {
+  // Build the two-choice instance for S_t and run Lemma 4.2's offline
+  // assignment.  The result overwrites each requested chunk's entry — "the
+  // most recent time t' < t that the chunk was requested".
+  choice_scratch_.clear();
+  choice_scratch_.reserve(requests.size());
+  for (const core::ChunkId x : requests) {
+    const core::ChoiceList choices = placement_.choices(x);
+    choice_scratch_.emplace_back(choices[0], choices[1]);
+  }
+  const cuckoo::OfflineAssignment result =
+      cuckoo::assign_offline(choice_scratch_, servers_, stash_per_group_);
+  if (result.success) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      last_assignment_[requests[i]] = result.assignment[i];
+    }
+  } else {
+    ++assignment_failures_;
+    for (const core::ChunkId x : requests) {
+      last_assignment_[x] = kAssignmentFailed;
+    }
+  }
+}
+
+void DelayedCuckooBalancer::step(core::Time t,
+                                 std::span<const core::ChunkId> requests,
+                                 core::Metrics& metrics) {
+  if (steps_into_phase_ == phase_length_) begin_phase(metrics);
+  std::fill(p_arrivals_.begin(), p_arrivals_.end(), 0);
+
+  for (const core::ChunkId x : requests) deliver(t, x, metrics);
+  process(t, metrics);
+
+  // The delayed part: T_t becomes available only now, to guide future
+  // reappearances of S_t within this phase.  (Skipped entirely when the
+  // cuckoo-routing ablation is off — nothing would read it.)
+  if (use_cuckoo_routing_) compute_assignment(requests);
+  ++steps_into_phase_;
+}
+
+void DelayedCuckooBalancer::flush(core::Metrics& metrics) {
+  std::size_t dropped = 0;
+  for (ServerState& st : state_) {
+    dropped += st.q.clear() + st.p.clear() + st.q_prev.clear() +
+               st.p_prev.clear();
+  }
+  metrics.on_dropped_from_queue(dropped);
+}
+
+}  // namespace rlb::policies

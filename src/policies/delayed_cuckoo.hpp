@@ -1,0 +1,141 @@
+// Delayed cuckoo routing (Section 4) — the paper's main algorithm.
+//
+// Uses replication d = 2, constant processing rate g, and queues of only
+// Θ(log log m) — exponentially shorter than greedy's Θ(log m) — while
+// keeping rejection rate O(1/m^c) and expected average latency O(1)
+// (Theorem 4.3).  This is optimal: Theorem 5.1 rules out queues of
+// o(log log m).
+//
+// Mechanics (Section 4.1).  Time is divided into phases of Θ(log log m)
+// steps.  Each server i maintains four FIFO queues, each draining g/4
+// requests per step:
+//   Q_i  — first access of a chunk within the phase: the request joins the
+//          shorter of Q_{h1(x)}, Q_{h2(x)} (fresh randomness ⇒ classical
+//          two-choice bounds apply, Lemma 4.4).
+//   P_i  — reappearance within the phase: the request is routed to
+//          P_{T_{t'}(x)}, where T_{t'} is the OFFLINE cuckoo assignment
+//          (Lemma 4.2) computed at the end of the chunk's most recent
+//          access step t' < t.  Cuckoo guarantees O(1) assignments per
+//          server per step, so P_i receives O(log log m) per phase
+//          DETERMINISTICALLY (Lemma 4.5).
+//   Q'_i, P'_i — the previous phase's leftovers, moved here at the phase
+//          boundary and fully drained within the phase.
+//
+// The "delayed" part: T_t cannot be used during step t (it needs the whole
+// set S_t), so it only guides FUTURE reappearances of step-t chunks.  If
+// computing T_t fails (probability O(1/m^c), Lemma 4.2), reappearances that
+// would consult it are rejected.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "core/placement.hpp"
+#include "core/server_queue.hpp"
+
+namespace rlb::policies {
+
+/// Configuration for DelayedCuckooBalancer.  Zeros mean "derive from m per
+/// the theorem's recipe".
+struct DelayedCuckooConfig {
+  /// m — number of servers.
+  std::size_t servers = 64;
+  /// g — total per-server processing per step; must be a multiple of 4
+  /// and >= 4 (each of the four queues drains g/4).
+  unsigned processing_rate = 16;
+  /// q — per-queue capacity; 0 derives 4 * phase_length (so carried-over
+  /// queues provably drain within one phase: (g/4)·L >= q when g >= 16).
+  std::size_t queue_capacity = 0;
+  /// Phase length in steps; 0 derives ceil(log2 log2 m), minimum 2.
+  std::size_t phase_length = 0;
+  /// Stash size per cuckoo group (Theorem 4.1's constant; failure
+  /// probability falls as m^{-(stash+1)}).
+  std::size_t stash_per_group = 4;
+  /// Placement hash seed (d = 2 always — the algorithm requires it).
+  std::uint64_t seed = 1;
+  /// ABLATION: route reappearances via the previous step's cuckoo
+  /// assignment (the paper's algorithm).  When false, every request is
+  /// treated as a first access (two-choice on the Q queues) — removing
+  /// exactly the mechanism that defeats reappearance dependencies.
+  bool use_cuckoo_routing = true;
+  /// ABLATION: move phase leftovers into the Q'/P' carry-over queues (the
+  /// paper's algorithm).  When false, leftovers are dropped (rejected) at
+  /// each phase boundary — quantifying what the carry-over machinery saves.
+  bool carry_over_queues = true;
+};
+
+/// The delayed cuckoo routing balancer.
+class DelayedCuckooBalancer final : public core::LoadBalancer {
+ public:
+  explicit DelayedCuckooBalancer(const DelayedCuckooConfig& config);
+
+  std::string_view name() const override { return "delayed-cuckoo"; }
+  std::size_t server_count() const override { return servers_; }
+
+  void step(core::Time t, std::span<const core::ChunkId> requests,
+            core::Metrics& metrics) override;
+
+  std::uint32_t backlog(core::ServerId s) const override;
+  void flush(core::Metrics& metrics) override;
+
+  /// Effective (possibly derived) parameters.
+  std::size_t phase_length() const noexcept { return phase_length_; }
+  std::size_t queue_capacity() const noexcept { return queue_capacity_; }
+  unsigned processing_rate() const noexcept { return processing_rate_; }
+
+  /// Observability for tests/experiments: arrivals routed into P_j during
+  /// the current step (index j = server id); reset each step.
+  const std::vector<std::uint32_t>& p_arrivals_this_step() const noexcept {
+    return p_arrivals_;
+  }
+  /// Count of offline-assignment failures so far (the Lemma 4.2 event).
+  std::uint64_t assignment_failures() const noexcept {
+    return assignment_failures_;
+  }
+
+ private:
+  /// Per-server queue block.
+  struct ServerState {
+    core::ServerQueue q;        // fresh (first-in-phase) requests
+    core::ServerQueue p;        // reappearance requests
+    core::ServerQueue q_prev;   // previous phase's Q leftovers
+    core::ServerQueue p_prev;   // previous phase's P leftovers
+    explicit ServerState(std::size_t capacity)
+        : q(capacity), p(capacity), q_prev(capacity), p_prev(capacity) {}
+  };
+
+  void begin_phase(core::Metrics& metrics);
+  void deliver(core::Time t, core::ChunkId x, core::Metrics& metrics);
+  void process(core::Time t, core::Metrics& metrics);
+  void compute_assignment(std::span<const core::ChunkId> requests);
+  void drain_queue(core::ServerQueue& queue, unsigned budget, core::Time t,
+                   core::Metrics& metrics);
+
+  std::size_t servers_;
+  unsigned processing_rate_;
+  std::size_t queue_capacity_;
+  std::size_t phase_length_;
+  std::size_t stash_per_group_;
+  bool use_cuckoo_routing_;
+  bool carry_over_queues_;
+  core::Placement placement_;
+
+  std::vector<ServerState> state_;
+
+  /// Most recent within-phase assignment per chunk.  Value = assigned
+  /// server, or kAssignmentFailed when that step's T_t failed.
+  static constexpr std::uint32_t kAssignmentFailed = 0xffffffffu;
+  std::unordered_map<core::ChunkId, std::uint32_t> last_assignment_;
+
+  std::vector<std::uint32_t> p_arrivals_;
+  std::uint64_t assignment_failures_ = 0;
+  std::size_t steps_into_phase_ = 0;
+
+  // Scratch buffers reused across steps (no per-step allocation).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> choice_scratch_;
+};
+
+}  // namespace rlb::policies

@@ -1,0 +1,119 @@
+#include "policies/factory.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "policies/batched_greedy.hpp"
+#include "policies/greedy.hpp"
+#include "policies/left_greedy.hpp"
+#include "policies/memory.hpp"
+#include "policies/migrating.hpp"
+#include "policies/round_robin.hpp"
+#include "policies/threshold.hpp"
+#include "policies/time_step_isolated.hpp"
+
+namespace rlb::policies {
+
+namespace {
+
+SingleQueueConfig to_single_queue(const PolicyConfig& config,
+                                  unsigned replication_override = 0) {
+  SingleQueueConfig sq;
+  sq.servers = config.servers;
+  sq.replication =
+      replication_override ? replication_override : config.replication;
+  sq.processing_rate = config.processing_rate;
+  sq.queue_capacity =
+      config.queue_capacity
+          ? config.queue_capacity
+          : static_cast<std::size_t>(std::bit_width(config.servers));
+  sq.seed = config.seed;
+  sq.overflow = config.overflow;
+  sq.placement_mode = config.placement_mode;
+  sq.per_server_rate = config.per_server_rate;
+  return sq;
+}
+
+DelayedCuckooConfig to_delayed_cuckoo(const PolicyConfig& config) {
+  DelayedCuckooConfig dc;
+  dc.servers = config.servers;
+  // Round g up to the next multiple of 4 (>= 4) as the algorithm requires.
+  dc.processing_rate = std::max(4u, (config.processing_rate + 3) / 4 * 4);
+  dc.queue_capacity = config.queue_capacity;
+  dc.phase_length = config.phase_length;
+  dc.stash_per_group = config.stash_per_group;
+  dc.seed = config.seed;
+  return dc;
+}
+
+}  // namespace
+
+std::unique_ptr<core::LoadBalancer> make_policy(const std::string& name,
+                                                const PolicyConfig& config) {
+  if (name == "greedy") {
+    return std::make_unique<GreedyBalancer>(to_single_queue(config));
+  }
+  if (name == "greedy-d1") {
+    return std::make_unique<GreedyBalancer>(to_single_queue(config, 1));
+  }
+  if (name == "greedy-left") {
+    return std::make_unique<LeftGreedyBalancer>(to_single_queue(config));
+  }
+  if (name == "threshold") {
+    return std::make_unique<ThresholdBalancer>(to_single_queue(config),
+                                               config.threshold);
+  }
+  if (name == "sticky") {
+    // Reuse the threshold knob as the reassessment trigger.
+    return std::make_unique<StickyBalancer>(to_single_queue(config),
+                                            std::max(1u, config.threshold));
+  }
+  if (name == "delayed-cuckoo") {
+    return std::make_unique<DelayedCuckooBalancer>(to_delayed_cuckoo(config));
+  }
+  if (name == "random-of-d") {
+    return std::make_unique<RandomOfDBalancer>(to_single_queue(config));
+  }
+  if (name == "per-step-greedy") {
+    return std::make_unique<PerStepGreedyBalancer>(to_single_queue(config));
+  }
+  if (name == "round-robin") {
+    return std::make_unique<RoundRobinBalancer>(to_single_queue(config));
+  }
+  if (name == "batched-greedy") {
+    BatchedGreedyConfig bg;
+    bg.servers = config.servers;
+    bg.replication = config.replication;
+    bg.processing_rate = config.processing_rate;
+    bg.queue_capacity =
+        config.queue_capacity
+            ? config.queue_capacity
+            : static_cast<std::size_t>(std::bit_width(config.servers));
+    bg.seed = config.seed;
+    return std::make_unique<BatchedGreedyBalancer>(bg);
+  }
+  if (name == "migrating-d1") {
+    MigratingConfig mg;
+    mg.servers = config.servers;
+    mg.processing_rate = config.processing_rate;
+    mg.queue_capacity =
+        config.queue_capacity
+            ? config.queue_capacity
+            : static_cast<std::size_t>(std::bit_width(config.servers));
+    mg.migration_budget = config.migration_budget;
+    mg.seed = config.seed;
+    return std::make_unique<MigratingBalancer>(mg);
+  }
+  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> names = {
+      "greedy",        "greedy-d1",       "greedy-left", "batched-greedy",
+      "delayed-cuckoo", "random-of-d",    "per-step-greedy",
+      "round-robin",   "threshold",       "sticky",      "migrating-d1",
+  };
+  return names;
+}
+
+}  // namespace rlb::policies

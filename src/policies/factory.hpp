@@ -1,0 +1,59 @@
+// String-keyed policy construction for experiments and examples.
+//
+// One configuration struct covers every policy; each named policy consumes
+// the fields it understands.  Keeps bench binaries and examples free of
+// per-policy construction boilerplate and makes the E11 policy matrix a
+// simple loop over names.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "policies/delayed_cuckoo.hpp"
+#include "policies/single_queue_base.hpp"
+
+namespace rlb::policies {
+
+/// Union of every policy's knobs.
+struct PolicyConfig {
+  std::size_t servers = 64;
+  /// d for the single-queue policies (delayed-cuckoo is always 2).
+  unsigned replication = 2;
+  /// g.
+  unsigned processing_rate = 16;
+  /// q; 0 lets each policy derive its theorem default
+  /// (greedy: log2 m + 1; delayed-cuckoo: 4·phase_length).
+  std::size_t queue_capacity = 0;
+  std::uint64_t seed = 1;
+  OverflowPolicy overflow = OverflowPolicy::kRejectArrival;
+  /// Replica placement scheme for the single-queue policies (greedy-left
+  /// always forces kGrouped; delayed-cuckoo/migrating use their own).
+  core::PlacementMode placement_mode = core::PlacementMode::kUniform;
+  /// Delayed-cuckoo extras (ignored by others).
+  std::size_t phase_length = 0;
+  std::size_t stash_per_group = 4;
+  /// Threshold-policy extra (ignored by others).
+  std::uint32_t threshold = 1;
+  /// Heterogeneous per-server rates (single-queue policies only; empty =
+  /// uniform processing_rate).
+  std::vector<unsigned> per_server_rate;
+  /// Migrating-d1 extra: chunk migrations allowed per step.
+  std::size_t migration_budget = 8;
+};
+
+/// Known policy names:
+///   "greedy", "greedy-d1" (replication forced to 1), "greedy-left"
+///   (Vöcking LEFT[d] over grouped placement), "batched-greedy" (snapshot
+///   decisions per sub-step, parallel-friendly), "delayed-cuckoo",
+///   "random-of-d", "per-step-greedy", "round-robin", "threshold",
+///   "migrating-d1" (the [34] relaxation: no replication, chunks move).
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<core::LoadBalancer> make_policy(
+    const std::string& name, const PolicyConfig& config);
+
+/// All names make_policy accepts, in canonical comparison order.
+[[nodiscard]] const std::vector<std::string>& policy_names();
+
+}  // namespace rlb::policies

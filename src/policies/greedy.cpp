@@ -1,0 +1,37 @@
+#include "policies/greedy.hpp"
+
+#include <bit>
+
+namespace rlb::policies {
+
+core::ServerId GreedyBalancer::pick(core::ChunkId /*x*/,
+                                    const core::ChoiceList& choices) {
+  core::ServerId best = choices[0];
+  std::uint32_t best_backlog = cluster_.backlog(best);
+  for (unsigned i = 1; i < choices.size(); ++i) {
+    const core::ServerId candidate = choices[i];
+    const std::uint32_t backlog = cluster_.backlog(candidate);
+    if (backlog < best_backlog) {
+      best = candidate;
+      best_backlog = backlog;
+    }
+  }
+  return best;
+}
+
+SingleQueueConfig GreedyBalancer::theorem_config(std::size_t servers,
+                                                 unsigned replication,
+                                                 unsigned processing_rate,
+                                                 std::uint64_t seed) {
+  SingleQueueConfig config;
+  config.servers = servers;
+  config.replication = replication;
+  config.processing_rate = processing_rate;
+  // q = log2(m) + 1 (Theorem 3.1); bit_width(m) == floor(log2 m) + 1.
+  config.queue_capacity = static_cast<std::size_t>(std::bit_width(servers));
+  config.seed = seed;
+  config.overflow = OverflowPolicy::kDumpQueue;
+  return config;
+}
+
+}  // namespace rlb::policies

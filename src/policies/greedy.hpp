@@ -1,0 +1,41 @@
+// The greedy algorithm of Section 3.
+//
+// Routes each request to the least-backlogged of its d placement choices.
+// With d and g sufficiently large constants and q = log2 m + 1, Theorem 3.1
+// guarantees expected rejection rate O(1/m^{c-1}), max latency O(log m) and
+// expected average latency O(1) — despite reappearance dependencies, via
+// the safe-distribution induction (Definition 3.2 / Lemma 3.4).
+//
+// The paper's overflow rule (queue dump) and its periodic full flush are
+// supported: the dump is the OverflowPolicy::kDumpQueue default here, and
+// the every-m^c-steps flush is driven by SimConfig::flush_every.
+//
+// GreedyBalancer with replication = 1 *is* the paper's d = 1 baseline that
+// [34] proves cannot achieve o(1) rejection on repeated workloads.
+#pragma once
+
+#include "policies/single_queue_base.hpp"
+
+namespace rlb::policies {
+
+/// Least-backlog-of-d routing (the paper's greedy algorithm).
+class GreedyBalancer final : public SingleQueueBalancer {
+ public:
+  explicit GreedyBalancer(const SingleQueueConfig& config)
+      : SingleQueueBalancer(config) {}
+
+  std::string_view name() const override { return "greedy"; }
+
+  /// Default parameters matching Theorem 3.1's regime for a given m:
+  /// q = log2(m) + 1, d = replication, g = processing = d, dump-on-overflow.
+  static SingleQueueConfig theorem_config(std::size_t servers,
+                                          unsigned replication,
+                                          unsigned processing_rate,
+                                          std::uint64_t seed);
+
+ protected:
+  core::ServerId pick(core::ChunkId x,
+                      const core::ChoiceList& choices) override;
+};
+
+}  // namespace rlb::policies

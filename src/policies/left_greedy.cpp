@@ -1,0 +1,22 @@
+#include "policies/left_greedy.hpp"
+
+namespace rlb::policies {
+
+core::ServerId LeftGreedyBalancer::pick(core::ChunkId /*x*/,
+                                        const core::ChoiceList& choices) {
+  // choices[i] lives in group i (grouped placement), so "first strict
+  // minimum wins" IS the always-go-left tie-break.
+  core::ServerId best = choices[0];
+  std::uint32_t best_backlog = cluster_.backlog(best);
+  for (unsigned i = 1; i < choices.size(); ++i) {
+    const core::ServerId candidate = choices[i];
+    const std::uint32_t backlog = cluster_.backlog(candidate);
+    if (backlog < best_backlog) {
+      best = candidate;
+      best_backlog = backlog;
+    }
+  }
+  return best;
+}
+
+}  // namespace rlb::policies

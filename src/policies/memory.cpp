@@ -1,0 +1,37 @@
+#include "policies/memory.hpp"
+
+#include <stdexcept>
+
+namespace rlb::policies {
+
+StickyBalancer::StickyBalancer(const SingleQueueConfig& config,
+                               std::uint32_t trigger)
+    : SingleQueueBalancer(config), trigger_(trigger) {
+  if (trigger == 0) {
+    throw std::invalid_argument("StickyBalancer: trigger >= 1");
+  }
+}
+
+core::ServerId StickyBalancer::pick(core::ChunkId x,
+                                    const core::ChoiceList& choices) {
+  ++routed_;
+  const auto it = memory_.find(x);
+  if (it != memory_.end() && cluster_.backlog(it->second) < trigger_) {
+    return it->second;  // sticky hit: one probe
+  }
+  // Reassess: full greedy over the d choices, cache the winner.
+  ++reassessments_;
+  core::ServerId best = choices[0];
+  std::uint32_t best_backlog = cluster_.backlog(best);
+  for (unsigned i = 1; i < choices.size(); ++i) {
+    const std::uint32_t backlog = cluster_.backlog(choices[i]);
+    if (backlog < best_backlog) {
+      best = choices[i];
+      best_backlog = backlog;
+    }
+  }
+  memory_[x] = best;
+  return best;
+}
+
+}  // namespace rlb::policies

@@ -1,0 +1,49 @@
+// Sticky routing with backlog-triggered reassessment — per-chunk memory.
+//
+// Real key-value-store clients cache a preferred replica per key ("replica
+// affinity") instead of probing every replica on every request.  This
+// policy models that: each chunk remembers the server chosen at its last
+// reassessment and returns there — ZERO additional probes — unless the
+// remembered server's backlog has reached a trigger threshold, in which
+// case the chunk re-probes all d choices greedily and re-caches the
+// winner.
+//
+// Why it is interesting for THIS paper: stickiness converts reappearance
+// dependencies from an adversary into an asset — the cached decision is
+// only revisited when it demonstrably stopped working, so cross-step
+// information flows exactly where Lemma 5.3 says it must (a time-step
+// isolated policy cannot do this).  The E11 matrix and E13 ablations
+// measure how close 1-probe stickiness gets to full d-probe greedy.
+#pragma once
+
+#include <unordered_map>
+
+#include "policies/single_queue_base.hpp"
+
+namespace rlb::policies {
+
+/// Per-chunk cached-replica routing with greedy reassessment.
+class StickyBalancer final : public SingleQueueBalancer {
+ public:
+  /// Reassess when the cached server's backlog is >= `trigger` (>= 1).
+  StickyBalancer(const SingleQueueConfig& config, std::uint32_t trigger);
+
+  std::string_view name() const override { return "sticky"; }
+
+  std::uint32_t trigger() const noexcept { return trigger_; }
+  /// Reassessments performed (each costs d probes; sticky hits cost 1).
+  std::uint64_t reassessments() const noexcept { return reassessments_; }
+  std::uint64_t requests_routed() const noexcept { return routed_; }
+
+ protected:
+  core::ServerId pick(core::ChunkId x,
+                      const core::ChoiceList& choices) override;
+
+ private:
+  std::uint32_t trigger_;
+  std::unordered_map<core::ChunkId, core::ServerId> memory_;
+  std::uint64_t reassessments_ = 0;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace rlb::policies

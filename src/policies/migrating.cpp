@@ -1,0 +1,109 @@
+#include "policies/migrating.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hashing/hash.hpp"
+
+namespace rlb::policies {
+
+MigratingBalancer::MigratingBalancer(const MigratingConfig& config)
+    : config_(config),
+      cluster_(config.servers, config.queue_capacity),
+      rng_(stats::derive_seed(config.seed, 0xB1)),
+      placement_seed_(stats::derive_seed(config.seed, 0xB2)),
+      arrivals_(config.servers, 0),
+      arrival_chunks_(config.servers),
+      load_ema_(config.servers, 0.0) {
+  if (config.processing_rate == 0) {
+    throw std::invalid_argument("MigratingBalancer: g >= 1");
+  }
+  if (config.load_ema_alpha <= 0.0 || config.load_ema_alpha > 1.0) {
+    throw std::invalid_argument("MigratingBalancer: alpha in (0, 1]");
+  }
+}
+
+core::ServerId MigratingBalancer::home_of(core::ChunkId chunk) const {
+  const auto it = overrides_.find(chunk);
+  if (it != overrides_.end()) return it->second;
+  return static_cast<core::ServerId>(
+      hashing::hash_to_bucket(chunk, placement_seed_, cluster_.size()));
+}
+
+void MigratingBalancer::step(core::Time t,
+                             std::span<const core::ChunkId> requests,
+                             core::Metrics& metrics) {
+  std::fill(arrivals_.begin(), arrivals_.end(), 0);
+  for (auto& chunks : arrival_chunks_) chunks.clear();
+
+  // Same sub-step discipline as the single-queue policies: g sub-steps,
+  // each delivering ~|batch|/g requests then consuming one per server.
+  const unsigned g = config_.processing_rate;
+  const std::size_t n = requests.size();
+  const std::size_t base = n / g;
+  const std::size_t extra = n % g;
+  std::size_t cursor = 0;
+  for (unsigned sub = 0; sub < g; ++sub) {
+    const std::size_t take = base + (sub < extra ? 1 : 0);
+    for (std::size_t i = 0; i < take; ++i) {
+      const core::ChunkId x = requests[cursor++];
+      metrics.on_submitted();
+      const core::ServerId home = home_of(x);
+      ++arrivals_[home];
+      arrival_chunks_[home].push_back(x);
+      if (!cluster_.push(home, core::Request{x, t})) {
+        metrics.on_rejected();
+      }
+    }
+    for (std::size_t s = 0; s < cluster_.size(); ++s) {
+      const auto server = static_cast<core::ServerId>(s);
+      if (cluster_.empty(server)) continue;
+      const core::Request request = cluster_.pop(server);
+      metrics.on_completed(static_cast<std::uint64_t>(t - request.arrival));
+    }
+  }
+
+  // Update the load signal, then shed overload.
+  for (std::size_t s = 0; s < cluster_.size(); ++s) {
+    load_ema_[s] = (1.0 - config_.load_ema_alpha) * load_ema_[s] +
+                   config_.load_ema_alpha * static_cast<double>(arrivals_[s]);
+  }
+  migrate_overloaded(t);
+}
+
+void MigratingBalancer::migrate_overloaded(core::Time /*t*/) {
+  std::size_t budget = config_.migration_budget;
+  if (budget == 0) return;
+  const std::size_t m = cluster_.size();
+  for (std::size_t s = 0; s < m && budget > 0; ++s) {
+    const unsigned g = config_.processing_rate;
+    if (arrivals_[s] <= g) continue;
+    // Shed the excess beyond what this server can process per step.  Move
+    // the most recent arrivals — they are certainly still hot.
+    std::size_t excess = arrivals_[s] - g;
+    auto& chunks = arrival_chunks_[s];
+    while (excess > 0 && budget > 0 && !chunks.empty()) {
+      const core::ChunkId chunk = chunks.back();
+      chunks.pop_back();
+      // Power-of-two sampling on the EMA load estimate: O(1) per
+      // migration, no global scan.
+      const auto a = static_cast<std::size_t>(rng_.next_below(m));
+      const auto b = static_cast<std::size_t>(rng_.next_below(m));
+      const std::size_t target = load_ema_[a] <= load_ema_[b] ? a : b;
+      if (target == s) continue;  // sampled ourselves: skip this candidate
+      overrides_[chunk] = static_cast<core::ServerId>(target);
+      // Account the chunk's unit of load against the target immediately so
+      // several migrations in one step do not all pile onto it.
+      load_ema_[target] += config_.load_ema_alpha;
+      --excess;
+      --budget;
+      ++migrations_;
+    }
+  }
+}
+
+void MigratingBalancer::flush(core::Metrics& metrics) {
+  metrics.on_dropped_from_queue(cluster_.clear_all());
+}
+
+}  // namespace rlb::policies

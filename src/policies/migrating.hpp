@@ -1,0 +1,97 @@
+// d = 1 load balancing with chunk MIGRATION — the Wang et al. [34]
+// (PPoPP '23) approach the paper positions itself against.
+//
+// [34] proves that without replication no routing policy can reach o(1)
+// rejection (our E3), and then recovers a small rejection rate by relaxing
+// the model: chunks may be MOVED from heavily loaded servers to lightly
+// loaded ones over time.  This balancer implements that relaxation in
+// simplified form:
+//
+//   * each chunk has a single, MUTABLE home server (initially random);
+//   * requests are routed to the current home (no choice — d = 1);
+//   * at the end of a step, every server whose arrivals exceeded its
+//     processing rate g sheds its excess chunks: each is re-homed to the
+//     lesser-loaded of two sampled servers (load = exponential moving
+//     average of per-step arrivals), subject to a per-step migration
+//     budget (migrations are expensive in a real store — data moves).
+//
+// Contrast measured by E16: static d = 1 rejects a constant fraction
+// forever; migration drives rejections to ~0 after a convergence period
+// whose length scales inversely with the migration budget.  Replication
+// (the paper's approach) needs no convergence and no data movement — that
+// is exactly the trade the paper's introduction discusses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "core/cluster.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::policies {
+
+/// Configuration for the migrating d = 1 balancer.
+struct MigratingConfig {
+  std::size_t servers = 64;
+  /// g — per-server processing per step.
+  unsigned processing_rate = 2;
+  /// q — queue length bound.
+  std::size_t queue_capacity = 8;
+  /// Max chunk migrations performed per time step (0 = static d = 1).
+  std::size_t migration_budget = 8;
+  /// EMA decay for the per-server load estimate (0 < alpha <= 1).
+  double load_ema_alpha = 0.3;
+  std::uint64_t seed = 1;
+};
+
+/// Single-home routing with end-of-step chunk migration.
+class MigratingBalancer final : public core::LoadBalancer {
+ public:
+  explicit MigratingBalancer(const MigratingConfig& config);
+
+  std::string_view name() const override { return "migrating-d1"; }
+  std::size_t server_count() const override { return cluster_.size(); }
+
+  void step(core::Time t, std::span<const core::ChunkId> requests,
+            core::Metrics& metrics) override;
+
+  std::uint32_t backlog(core::ServerId s) const override {
+    return cluster_.backlog(s);
+  }
+  void backlogs(std::vector<std::uint32_t>& out) const override {
+    out = cluster_.backlogs();
+  }
+  std::uint64_t total_backlog() const override {
+    return cluster_.total_backlog();
+  }
+  void flush(core::Metrics& metrics) override;
+
+  /// Current home server of a chunk (stable until migrated).
+  core::ServerId home_of(core::ChunkId chunk) const;
+
+  /// Total chunk migrations performed so far.
+  std::uint64_t migrations_performed() const noexcept { return migrations_; }
+
+ private:
+  void migrate_overloaded(core::Time t);
+
+  MigratingConfig config_;
+  core::Cluster cluster_;
+  stats::Rng rng_;
+  std::uint64_t placement_seed_;
+
+  /// Chunks whose home differs from the hash default.
+  std::unordered_map<core::ChunkId, core::ServerId> overrides_;
+  /// Per-server arrivals during the current step, and which chunks they
+  /// were (migration candidates).
+  std::vector<std::uint32_t> arrivals_;
+  std::vector<std::vector<core::ChunkId>> arrival_chunks_;
+  /// EMA of per-step arrivals — the load signal migrations steer by.
+  std::vector<double> load_ema_;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace rlb::policies

@@ -1,0 +1,11 @@
+#include "policies/round_robin.hpp"
+
+namespace rlb::policies {
+
+core::ServerId RoundRobinBalancer::pick(core::ChunkId x,
+                                        const core::ChoiceList& choices) {
+  const std::uint32_t count = counters_[x]++;
+  return choices[count % choices.size()];
+}
+
+}  // namespace rlb::policies

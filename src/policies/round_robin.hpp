@@ -1,0 +1,34 @@
+// Per-chunk round-robin over the d replicas.
+//
+// A stateful (NOT time-step-isolated) baseline: each chunk cycles through
+// its d choices on successive requests, spreading a repeated chunk's load
+// evenly across its replicas without ever looking at queue lengths.  On the
+// repeated-set workload every server's average arrival rate becomes
+// (#chunks choosing it)/d per step — better than random-of-d's variance but
+// still blind to placement collisions, so it sits strictly between the
+// isolated strategies and backlog-aware greedy in the policy matrix (E11).
+#pragma once
+
+#include <unordered_map>
+
+#include "policies/single_queue_base.hpp"
+
+namespace rlb::policies {
+
+/// Route request k of chunk x to choice (k mod d).
+class RoundRobinBalancer final : public SingleQueueBalancer {
+ public:
+  explicit RoundRobinBalancer(const SingleQueueConfig& config)
+      : SingleQueueBalancer(config) {}
+
+  std::string_view name() const override { return "round-robin"; }
+
+ protected:
+  core::ServerId pick(core::ChunkId x,
+                      const core::ChoiceList& choices) override;
+
+ private:
+  std::unordered_map<core::ChunkId, std::uint32_t> counters_;
+};
+
+}  // namespace rlb::policies

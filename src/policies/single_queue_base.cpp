@@ -1,0 +1,91 @@
+#include "policies/single_queue_base.hpp"
+
+#include <stdexcept>
+
+namespace rlb::policies {
+
+SingleQueueBalancer::SingleQueueBalancer(const SingleQueueConfig& config)
+    : cluster_(config.servers, config.queue_capacity),
+      placement_(config.servers, config.replication, config.seed,
+                 config.placement_mode),
+      config_(config) {
+  if (config.processing_rate == 0) {
+    throw std::invalid_argument("SingleQueueBalancer: processing rate g >= 1");
+  }
+  if (!config.per_server_rate.empty() &&
+      config.per_server_rate.size() != config.servers) {
+    throw std::invalid_argument(
+        "SingleQueueBalancer: per_server_rate must be empty or size m");
+  }
+}
+
+void SingleQueueBalancer::on_step_begin(core::Time /*t*/,
+                                        std::size_t /*batch_size*/) {}
+
+void SingleQueueBalancer::set_server_rate(core::ServerId server,
+                                          unsigned rate) {
+  if (server >= cluster_.size()) {
+    throw std::out_of_range("set_server_rate: bad server id");
+  }
+  if (config_.per_server_rate.empty()) {
+    config_.per_server_rate.assign(cluster_.size(),
+                                   config_.processing_rate);
+  }
+  config_.per_server_rate[server] = rate;
+}
+
+void SingleQueueBalancer::deliver(core::Time t, core::ChunkId x,
+                                  core::Metrics& metrics) {
+  metrics.on_submitted();
+  const core::ChoiceList choices = placement_.choices(x);
+  const core::ServerId target = pick(x, choices);
+  if (cluster_.push(target, core::Request{x, t})) return;
+
+  // Queue full.
+  if (config_.overflow == OverflowPolicy::kDumpQueue) {
+    metrics.on_dropped_from_queue(cluster_.clear_server(target));
+  }
+  metrics.on_rejected();
+}
+
+void SingleQueueBalancer::process_substep(core::Time t, unsigned substep,
+                                          core::Metrics& metrics) {
+  const std::size_t m = cluster_.size();
+  const bool heterogeneous = !config_.per_server_rate.empty();
+  for (std::size_t s = 0; s < m; ++s) {
+    const auto server = static_cast<core::ServerId>(s);
+    // A server with rate r consumes one request in each of its first r
+    // sub-steps of the time step (homogeneous servers consume in all g).
+    if (heterogeneous && substep >= config_.per_server_rate[s]) continue;
+    if (cluster_.empty(server)) continue;
+    const core::Request request = cluster_.pop(server);
+    metrics.on_completed(static_cast<std::uint64_t>(t - request.arrival));
+  }
+}
+
+void SingleQueueBalancer::step(core::Time t,
+                               std::span<const core::ChunkId> requests,
+                               core::Metrics& metrics) {
+  on_step_begin(t, requests.size());
+  const unsigned g = config_.processing_rate;
+  // Sub-step schedule (Section 3): g sub-steps, each delivering ~|batch|/g
+  // requests followed by one consumption round.  Remainder requests go to
+  // the earliest sub-steps so all are delivered.
+  const std::size_t n = requests.size();
+  const std::size_t base = n / g;
+  const std::size_t extra = n % g;
+  std::size_t cursor = 0;
+  for (unsigned sub = 0; sub < g; ++sub) {
+    const std::size_t take = base + (sub < extra ? 1 : 0);
+    for (std::size_t i = 0; i < take; ++i) {
+      deliver(t, requests[cursor++], metrics);
+    }
+    process_substep(t, sub, metrics);
+  }
+}
+
+void SingleQueueBalancer::flush(core::Metrics& metrics) {
+  metrics.on_dropped_from_queue(cluster_.clear_all());
+}
+
+}  // namespace rlb::policies

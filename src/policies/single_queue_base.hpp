@@ -1,0 +1,103 @@
+// Shared machinery for one-queue-per-server policies.
+//
+// Greedy, single-choice, time-step-isolated, and round-robin all share the
+// same queueing discipline — only the routing decision differs.  The base
+// class implements the paper's sub-step schedule (Section 3): a time step
+// consists of g sub-steps; each sub-step delivers ~|batch|/g requests and
+// then every server consumes one queued request.  Subclasses override
+// pick() to choose among the chunk's d placement choices.
+//
+// Overflow semantics are configurable:
+//   * kRejectArrival — reject just the arriving request (classic bounded
+//     queue).
+//   * kDumpQueue — the §3 greedy behaviour: "if a queue ever overflows,
+//     then it rejects all of its requests" — the queue is cleared and the
+//     arrival is rejected too.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/balancer.hpp"
+#include "core/cluster.hpp"
+#include "core/placement.hpp"
+
+namespace rlb::policies {
+
+/// How a full queue responds to one more arrival.
+enum class OverflowPolicy {
+  kRejectArrival,
+  kDumpQueue,
+};
+
+/// Configuration shared by all single-queue policies.
+struct SingleQueueConfig {
+  /// m — number of servers.
+  std::size_t servers = 64;
+  /// d — replication factor (1 for the no-replication baseline).
+  unsigned replication = 2;
+  /// g — requests each server processes per time step.
+  unsigned processing_rate = 2;
+  /// q — queue length bound.
+  std::size_t queue_capacity = 8;
+  /// Seed for the chunk placement hash functions.
+  std::uint64_t seed = 1;
+  OverflowPolicy overflow = OverflowPolicy::kRejectArrival;
+  /// Replica placement scheme (kGrouped enables the LEFT[d] policy).
+  core::PlacementMode placement_mode = core::PlacementMode::kUniform;
+  /// Optional per-server processing rates (heterogeneous clusters — an
+  /// extension beyond the paper's uniform-g model).  Empty = every server
+  /// processes `processing_rate`.  Entries are clamped to
+  /// [0, processing_rate]; server s consumes one request in each of its
+  /// first rate[s] sub-steps.
+  std::vector<unsigned> per_server_rate;
+};
+
+/// Base class: owns cluster + placement, implements the sub-step loop.
+class SingleQueueBalancer : public core::LoadBalancer {
+ public:
+  explicit SingleQueueBalancer(const SingleQueueConfig& config);
+
+  std::size_t server_count() const override { return cluster_.size(); }
+  std::uint32_t backlog(core::ServerId s) const override {
+    return cluster_.backlog(s);
+  }
+  void backlogs(std::vector<std::uint32_t>& out) const override {
+    out = cluster_.backlogs();
+  }
+  std::uint64_t total_backlog() const override {
+    return cluster_.total_backlog();
+  }
+
+  void step(core::Time t, std::span<const core::ChunkId> requests,
+            core::Metrics& metrics) override;
+
+  void flush(core::Metrics& metrics) override;
+
+  const core::Placement& placement() const noexcept { return placement_; }
+  const SingleQueueConfig& config() const noexcept { return config_; }
+
+  /// Change a server's processing rate at runtime (crash/recovery studies:
+  /// 0 = down).  Rates above processing_rate are clamped by the sub-step
+  /// schedule.  Switches the balancer into heterogeneous mode if it was
+  /// uniform.
+  void set_server_rate(core::ServerId server, unsigned rate);
+
+ protected:
+  /// Routing decision: the server (must be one of `choices`) for chunk `x`.
+  virtual core::ServerId pick(core::ChunkId x,
+                              const core::ChoiceList& choices) = 0;
+
+  /// Hook invoked before the first sub-step of each time step.
+  virtual void on_step_begin(core::Time t, std::size_t batch_size);
+
+  core::Cluster cluster_;
+  core::Placement placement_;
+  SingleQueueConfig config_;
+
+ private:
+  void deliver(core::Time t, core::ChunkId x, core::Metrics& metrics);
+  void process_substep(core::Time t, unsigned substep, core::Metrics& metrics);
+};
+
+}  // namespace rlb::policies

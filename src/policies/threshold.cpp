@@ -1,0 +1,35 @@
+#include "policies/threshold.hpp"
+
+#include <stdexcept>
+
+namespace rlb::policies {
+
+ThresholdBalancer::ThresholdBalancer(const SingleQueueConfig& config,
+                                     std::uint32_t threshold)
+    : SingleQueueBalancer(config), threshold_(threshold) {
+  if (threshold == 0) {
+    throw std::invalid_argument("ThresholdBalancer: threshold >= 1");
+  }
+}
+
+core::ServerId ThresholdBalancer::pick(core::ChunkId /*x*/,
+                                       const core::ChoiceList& choices) {
+  ++routed_;
+  core::ServerId best = choices[0];
+  std::uint32_t best_backlog = cluster_.backlog(best);
+  ++probes_;
+  if (best_backlog < threshold_) return best;
+  for (unsigned i = 1; i < choices.size(); ++i) {
+    const core::ServerId candidate = choices[i];
+    const std::uint32_t backlog = cluster_.backlog(candidate);
+    ++probes_;
+    if (backlog < threshold_) return candidate;
+    if (backlog < best_backlog) {
+      best = candidate;
+      best_backlog = backlog;
+    }
+  }
+  return best;
+}
+
+}  // namespace rlb::policies

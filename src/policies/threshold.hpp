@@ -1,0 +1,46 @@
+// Threshold (probe-until-below-T) routing — a low-information baseline.
+//
+// Probes the chunk's choices in order and routes to the FIRST whose backlog
+// is strictly below the threshold T; if every choice is at or above T, the
+// request falls back to the overall least-backlogged choice.  With T = 1
+// this is "first idle replica, else least loaded".
+//
+// Why it is interesting here: greedy needs all d backlogs per decision; the
+// threshold rule usually needs just one probe, the classic messaging-cost
+// trade-off of the supermarket-model literature.  Experiment E13 measures
+// how much guarantee is lost under reappearance dependencies, and the
+// probes-per-request counter quantifies the saving.
+#pragma once
+
+#include <cstdint>
+
+#include "policies/single_queue_base.hpp"
+
+namespace rlb::policies {
+
+/// First-choice-below-threshold routing with least-loaded fallback.
+class ThresholdBalancer final : public SingleQueueBalancer {
+ public:
+  /// `threshold` >= 1: a choice with backlog < threshold is taken
+  /// immediately.
+  ThresholdBalancer(const SingleQueueConfig& config, std::uint32_t threshold);
+
+  std::string_view name() const override { return "threshold"; }
+
+  std::uint32_t threshold() const noexcept { return threshold_; }
+  /// Total backlog probes issued; probes / requests in [1, d] measures the
+  /// messaging cost relative to greedy's constant d.
+  std::uint64_t probes_issued() const noexcept { return probes_; }
+  std::uint64_t requests_routed() const noexcept { return routed_; }
+
+ protected:
+  core::ServerId pick(core::ChunkId x,
+                      const core::ChoiceList& choices) override;
+
+ private:
+  std::uint32_t threshold_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace rlb::policies

@@ -1,0 +1,32 @@
+#include "policies/time_step_isolated.hpp"
+
+#include <algorithm>
+
+namespace rlb::policies {
+
+core::ServerId RandomOfDBalancer::pick(core::ChunkId /*x*/,
+                                       const core::ChoiceList& choices) {
+  return choices[static_cast<unsigned>(rng_.next_below(choices.size()))];
+}
+
+void PerStepGreedyBalancer::on_step_begin(core::Time /*t*/,
+                                          std::size_t /*batch_size*/) {
+  std::fill(step_arrivals_.begin(), step_arrivals_.end(), 0);
+}
+
+core::ServerId PerStepGreedyBalancer::pick(core::ChunkId /*x*/,
+                                           const core::ChoiceList& choices) {
+  core::ServerId best = choices[0];
+  std::uint32_t best_count = step_arrivals_[best];
+  for (unsigned i = 1; i < choices.size(); ++i) {
+    const core::ServerId candidate = choices[i];
+    if (step_arrivals_[candidate] < best_count) {
+      best = candidate;
+      best_count = step_arrivals_[candidate];
+    }
+  }
+  ++step_arrivals_[best];
+  return best;
+}
+
+}  // namespace rlb::policies

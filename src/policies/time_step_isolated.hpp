@@ -1,0 +1,60 @@
+// Time-step-isolated strategies (Section 5, Lemma 5.3 / Corollary 5.4).
+//
+// A strategy is time-step isolated when its routing decisions within a step
+// use only that step's requests — no queue state, no history.  The paper
+// proves such strategies are non-viable: even on a fixed repeated request
+// set, some server must receive Ω(log log m) average load per step, so with
+// g = O(1) its queue grows without bound and with q = O(1) the rejection
+// rate is Ω(1/m)·ω(1) — they cannot match greedy or delayed cuckoo.
+//
+// Two natural representatives are provided:
+//   * RandomOfDBalancer  — pick one of the d choices uniformly at random
+//     each time (fresh per-request randomness, no state at all).
+//   * PerStepGreedyBalancer — pick the choice that has received the fewest
+//     requests SO FAR THIS STEP (resets every step; uses within-step info
+//     only, which the definition allows).
+#pragma once
+
+#include <vector>
+
+#include "policies/single_queue_base.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::policies {
+
+/// Uniformly random choice among the d replicas, independently per request.
+class RandomOfDBalancer final : public SingleQueueBalancer {
+ public:
+  explicit RandomOfDBalancer(const SingleQueueConfig& config)
+      : SingleQueueBalancer(config),
+        rng_(stats::derive_seed(config.seed, 0xDA)) {}
+
+  std::string_view name() const override { return "random-of-d"; }
+
+ protected:
+  core::ServerId pick(core::ChunkId x,
+                      const core::ChoiceList& choices) override;
+
+ private:
+  stats::Rng rng_;
+};
+
+/// Least-arrivals-this-step choice (time-step isolated "greedy"): tracks
+/// only the current step's arrival counts, never the real backlogs.
+class PerStepGreedyBalancer final : public SingleQueueBalancer {
+ public:
+  explicit PerStepGreedyBalancer(const SingleQueueConfig& config)
+      : SingleQueueBalancer(config), step_arrivals_(config.servers, 0) {}
+
+  std::string_view name() const override { return "per-step-greedy"; }
+
+ protected:
+  core::ServerId pick(core::ChunkId x,
+                      const core::ChoiceList& choices) override;
+  void on_step_begin(core::Time t, std::size_t batch_size) override;
+
+ private:
+  std::vector<std::uint32_t> step_arrivals_;
+};
+
+}  // namespace rlb::policies

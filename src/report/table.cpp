@@ -1,0 +1,113 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlb::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: needs at least one column");
+  }
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  if (rows_.empty()) row();
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+Table& Table::cell(unsigned value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return cell(oss.str());
+}
+
+Table& Table::cell_sci(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::scientific << std::setprecision(precision) << value;
+  return cell(oss.str());
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c])) << text;
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "  " << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      const std::string& text = cells[c];
+      if (text.find(',') != std::string::npos) {
+        os << '"' << text << '"';
+      } else {
+        os << text;
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << ' ' << (c < cells.size() ? cells[c] : std::string()) << " |";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << " --- |";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void print_section(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+void print_kv(std::ostream& os, const std::string& key,
+              const std::string& value) {
+  os << "  " << key << ": " << value << '\n';
+}
+
+}  // namespace rlb::report

@@ -1,0 +1,57 @@
+// Text table rendering for experiment output.
+//
+// Every bench binary prints its results as aligned plain-text tables so that
+// `for b in build/bench/*; do $b; done` yields a readable experiment report.
+// The same table can be emitted as CSV or GitHub-flavoured markdown.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rlb::report {
+
+/// A simple row/column table with string cells and typed add helpers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls append to it.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+  Table& cell(unsigned value);
+  /// Doubles are rendered with `precision` significant decimal places.
+  Table& cell(double value, int precision = 4);
+  /// Scientific notation, for probabilities / rejection rates.
+  Table& cell_sci(double value, int precision = 2);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return headers_.size(); }
+
+  /// Aligned plain text (columns padded, header underlined).
+  void print(std::ostream& os) const;
+  /// Comma-separated values (headers first); cells containing commas are
+  /// quoted.
+  void print_csv(std::ostream& os) const;
+  /// GitHub-flavoured markdown.
+  void print_markdown(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner:  == title ==  surrounded by blank lines.
+void print_section(std::ostream& os, const std::string& title);
+
+/// Prints a short key: value line under a section.
+void print_kv(std::ostream& os, const std::string& key,
+              const std::string& value);
+
+}  // namespace rlb::report

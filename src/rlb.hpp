@@ -1,0 +1,72 @@
+// rlb — umbrella header for the public API.
+//
+// Reproduction of "Distributed Load Balancing in the Face of Reappearance
+// Dependencies" (SPAA '24).  Downstream users can include this single
+// header; fine-grained headers remain available per module.
+//
+//   #include "rlb.hpp"
+//   auto lb = rlb::policies::make_policy("greedy", {.servers = 1024});
+//   rlb::workloads::RepeatedSetWorkload adversary(1024, 1ULL << 40, seed);
+//   auto result = rlb::core::simulate(*lb, adversary, {.steps = 200});
+#pragma once
+
+// Model substrate.
+#include "core/balancer.hpp"
+#include "core/cluster.hpp"
+#include "core/metrics.hpp"
+#include "core/placement.hpp"
+#include "core/placement_graph.hpp"
+#include "core/safe_distribution.hpp"
+#include "core/server_queue.hpp"
+#include "core/simulator.hpp"
+#include "core/timeseries.hpp"
+#include "core/types.hpp"
+#include "core/workload.hpp"
+
+// Routing policies (the paper's algorithms + baselines + extensions).
+#include "policies/batched_greedy.hpp"
+#include "policies/delayed_cuckoo.hpp"
+#include "policies/factory.hpp"
+#include "policies/greedy.hpp"
+#include "policies/left_greedy.hpp"
+#include "policies/memory.hpp"
+#include "policies/migrating.hpp"
+#include "policies/round_robin.hpp"
+#include "policies/threshold.hpp"
+#include "policies/time_step_isolated.hpp"
+
+// Workload generators.
+#include "workloads/bursty.hpp"
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/mixed.hpp"
+#include "workloads/phased_churn.hpp"
+#include "workloads/reappearance_profile.hpp"
+#include "workloads/repeated_set.hpp"
+#include "workloads/sliding_window.hpp"
+#include "workloads/trace.hpp"
+#include "workloads/zipf_workload.hpp"
+
+// Substrates.
+#include "ballsbins/heavily_loaded.hpp"
+#include "ballsbins/strategies.hpp"
+#include "cuckoo/allocator.hpp"
+#include "cuckoo/capacitated.hpp"
+#include "cuckoo/cuckoo_table.hpp"
+#include "cuckoo/dary_table.hpp"
+#include "cuckoo/offline_assignment.hpp"
+#include "supermarket/event_sim.hpp"
+
+// Statistics, hashing, parallel harness, reporting.
+#include "harness/adversary_search.hpp"
+#include "harness/experiment.hpp"
+#include "harness/output.hpp"
+#include "hashing/hash.hpp"
+#include "hashing/tabulation.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/trial_runner.hpp"
+#include "report/table.hpp"
+#include "stats/distributions.hpp"
+#include "stats/fit.hpp"
+#include "stats/histogram.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"

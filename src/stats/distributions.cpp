@@ -1,0 +1,83 @@
+#include "stats/distributions.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rlb::stats {
+
+void shuffle(std::vector<std::uint64_t>& values, Rng& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+std::vector<std::uint64_t> sample_without_replacement(std::uint64_t universe,
+                                                      std::size_t k, Rng& rng) {
+  if (k > universe) {
+    throw std::invalid_argument(
+        "sample_without_replacement: k exceeds universe size");
+  }
+  // Floyd's algorithm: for j in [universe - k, universe), draw t in [0, j];
+  // insert t unless present, else insert j.  Yields a uniform k-subset.
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::uint64_t> result;
+  result.reserve(k);
+  for (std::uint64_t j = universe - k; j < universe; ++j) {
+    const std::uint64_t t = rng.next_below(j + 1);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> random_permutation(std::size_t n, Rng& rng) {
+  std::vector<std::uint64_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  shuffle(perm, rng);
+  return perm;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: empty universe");
+  if (s < 0.0) throw std::invalid_argument("ZipfSampler: negative exponent");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  cut_ = 1.0 - h_inverse(h(1.5) - std::pow(1.0, -s_));
+}
+
+double ZipfSampler::h(double x) const {
+  // Antiderivative of x^{-s}:  x^{1-s}/(1-s), or log(x) at s = 1.
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+double ZipfSampler::h_inverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow((1.0 - s_) * x, 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  if (s_ == 0.0) return rng.next_below(n_) + 1;
+  // Hörmann–Derflinger rejection-inversion over the hat function h.
+  while (true) {
+    const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+    const double x = h_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= cut_) return k;
+    if (u >= h(kd + 0.5) - std::pow(kd, -s_)) return k;
+  }
+}
+
+}  // namespace rlb::stats

@@ -1,0 +1,58 @@
+// Samplers built on top of the rlb RNG stack.
+//
+// The workload generators need: uniform subsets without replacement (the
+// distinct-chunks-per-step constraint of the model), shuffles, and a Zipf
+// sampler for skewed key popularity.  The Zipf sampler uses
+// rejection-inversion (Hörmann & Derflinger 1996), which is O(1) per draw
+// for any universe size — important because lower-bound experiments use
+// universes of size m^3 and larger.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace rlb::stats {
+
+/// Fisher–Yates shuffle of `values` in place.
+void shuffle(std::vector<std::uint64_t>& values, Rng& rng);
+
+/// `k` distinct uniform values from [0, universe).  Uses Floyd's algorithm,
+/// O(k) expected time and memory independent of `universe`.
+/// Requires k <= universe.
+[[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(
+    std::uint64_t universe, std::size_t k, Rng& rng);
+
+/// A uniformly random permutation of [0, n).
+[[nodiscard]] std::vector<std::uint64_t> random_permutation(std::size_t n,
+                                                            Rng& rng);
+
+/// Zipf(s) sampler over ranks {1, ..., n}: P(k) ∝ 1 / k^s.
+///
+/// Rejection-inversion sampling: constant expected time per draw regardless
+/// of n, exact (no truncated-CDF approximation).  s = 0 degenerates to
+/// uniform; s may be any non-negative value except exactly 1 is handled
+/// via the logarithmic integral branch.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// A rank in [1, n], smaller ranks more likely (for s > 0).
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t universe() const noexcept { return n_; }
+  double exponent() const noexcept { return s_; }
+
+ private:
+  double h(double x) const;
+  double h_inverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;        // h(1.5) - 1/1^s
+  double h_n_;         // h(n + 0.5)
+  double cut_;         // 1 - h_inverse(h(1.5) - 1)
+};
+
+}  // namespace rlb::stats

@@ -1,0 +1,64 @@
+#include "stats/fit.hpp"
+
+#include <cmath>
+
+namespace rlb::stats {
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  LinearFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  fit.n = n;
+  if (n < 2) return fit;
+
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit fit_against_log2(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  std::vector<double> tx, ty;
+  tx.reserve(xs.size());
+  ty.reserve(ys.size());
+  for (std::size_t i = 0; i < std::min(xs.size(), ys.size()); ++i) {
+    if (xs[i] <= 0.0) continue;
+    tx.push_back(std::log2(xs[i]));
+    ty.push_back(ys[i]);
+  }
+  return fit_linear(tx, ty);
+}
+
+LinearFit fit_against_loglog2(const std::vector<double>& xs,
+                              const std::vector<double>& ys) {
+  std::vector<double> tx, ty;
+  tx.reserve(xs.size());
+  ty.reserve(ys.size());
+  for (std::size_t i = 0; i < std::min(xs.size(), ys.size()); ++i) {
+    if (xs[i] <= 2.0) continue;
+    tx.push_back(std::log2(std::log2(xs[i])));
+    ty.push_back(ys[i]);
+  }
+  return fit_linear(tx, ty);
+}
+
+}  // namespace rlb::stats

@@ -1,0 +1,37 @@
+// Least-squares fits for scaling-law verification.
+//
+// The experiments validate asymptotic claims (max load ~ ln ln m / ln d,
+// backlog tails ~ m / 2^j, ...) by fitting measured series against candidate
+// growth functions and reporting slope + R².  A claim "grows like f(m)"
+// passes when the fit against f is near-linear with positive slope and the
+// fit against a faster-growing alternative has visibly worse shape.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rlb::stats {
+
+/// Result of an ordinary least-squares line fit y ≈ intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+};
+
+/// OLS fit of y against x.  Requires xs.size() == ys.size(); fewer than two
+/// points yields a degenerate fit (slope 0, r² 0).
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+/// Fit y against log2(x): verifies Θ(log m) growth.
+[[nodiscard]] LinearFit fit_against_log2(const std::vector<double>& xs,
+                                         const std::vector<double>& ys);
+
+/// Fit y against log2(log2(x)): verifies Θ(log log m) growth.
+/// Inputs with x <= 2 are skipped (log log undefined/non-positive).
+[[nodiscard]] LinearFit fit_against_loglog2(const std::vector<double>& xs,
+                                            const std::vector<double>& ys);
+
+}  // namespace rlb::stats

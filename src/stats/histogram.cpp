@@ -1,0 +1,75 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+
+namespace rlb::stats {
+
+CountingHistogram::CountingHistogram(std::size_t max_value)
+    : counts_(max_value + 1, 0) {}
+
+void CountingHistogram::add(std::uint64_t value, std::uint64_t count) noexcept {
+  if (count == 0) return;
+  std::uint64_t attributed = value;
+  if (value < counts_.size()) {
+    counts_[value] += count;
+  } else {
+    overflow_ += count;
+    attributed = counts_.size();  // bucket_limit() + 1
+  }
+  total_ += count;
+  weighted_sum_ += attributed * count;
+  if (!any_ || attributed > max_seen_) max_seen_ = attributed;
+  any_ = true;
+}
+
+void CountingHistogram::merge(const CountingHistogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t v = 0; v < other.counts_.size(); ++v) {
+    counts_[v] += other.counts_[v];
+  }
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  weighted_sum_ += other.weighted_sum_;
+  if (other.any_) {
+    max_seen_ = any_ ? std::max(max_seen_, other.max_seen_) : other.max_seen_;
+    any_ = true;
+  }
+}
+
+std::uint64_t CountingHistogram::count_at(std::uint64_t value) const noexcept {
+  return value < counts_.size() ? counts_[value] : 0;
+}
+
+std::uint64_t CountingHistogram::count_greater_than(
+    std::uint64_t value) const noexcept {
+  std::uint64_t acc = overflow_;
+  for (std::uint64_t v = value + 1; v < counts_.size(); ++v) acc += counts_[v];
+  return acc;
+}
+
+std::uint64_t CountingHistogram::max_observed() const noexcept {
+  return any_ ? max_seen_ : 0;
+}
+
+double CountingHistogram::mean() const noexcept {
+  return total_ ? static_cast<double>(weighted_sum_) /
+                      static_cast<double>(total_)
+                : 0.0;
+}
+
+std::uint64_t CountingHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_) + 0.5);
+  std::uint64_t acc = 0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    acc += counts_[v];
+    if (acc >= target) return v;
+  }
+  return counts_.size();  // overflow bucket
+}
+
+}  // namespace rlb::stats

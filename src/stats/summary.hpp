@@ -1,0 +1,70 @@
+// Streaming and batch summary statistics.
+//
+// OnlineStats is a Welford accumulator (numerically stable single-pass mean
+// and variance, plus min/max) used by every experiment to aggregate across
+// Monte-Carlo trials.  Batch quantiles operate on a copy so callers keep
+// their data untouched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rlb::stats {
+
+/// Single-pass mean / variance / extrema accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (parallel reduction support;
+  /// Chan et al. pairwise update).
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n - 1 denominator); 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 when fewer than two samples.
+  double stderror() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// The q-quantile (q in [0, 1]) of `values` by linear interpolation between
+/// order statistics.  Copies and sorts internally; empty input returns 0.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Convenience: several quantiles of the same data with one sort.
+[[nodiscard]] std::vector<double> quantiles(std::vector<double> values,
+                                            const std::vector<double>& qs);
+
+/// Mean of a vector; 0 for empty input.
+[[nodiscard]] double mean_of(const std::vector<double>& values);
+
+/// A two-sided confidence interval for a binomial proportion.
+struct ProportionInterval {
+  double center = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at ~confidence
+/// `z` standard normal quantiles (z = 1.96 → 95%).  Well-behaved near 0
+/// and 1, unlike the normal approximation — used for the failure-rate
+/// columns in the experiment tables.
+[[nodiscard]] ProportionInterval wilson_interval(std::uint64_t successes,
+                                                 std::uint64_t trials,
+                                                 double z = 1.96);
+
+}  // namespace rlb::stats

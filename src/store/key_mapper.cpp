@@ -1,0 +1,35 @@
+#include "store/key_mapper.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hashing/hash.hpp"
+
+namespace rlb::store {
+
+HashShardMapper::HashShardMapper(std::size_t chunks, std::uint64_t seed)
+    : chunks_(chunks), seed_(seed) {
+  if (chunks == 0) throw std::invalid_argument("HashShardMapper: 0 chunks");
+}
+
+core::ChunkId HashShardMapper::chunk_of(KeyId key) const {
+  return hashing::hash_to_bucket(key, seed_, chunks_);
+}
+
+RangeShardMapper::RangeShardMapper(std::size_t chunks, KeyId key_space)
+    : chunks_(chunks), key_space_(key_space) {
+  if (chunks == 0) throw std::invalid_argument("RangeShardMapper: 0 chunks");
+  if (key_space < chunks) {
+    throw std::invalid_argument("RangeShardMapper: key space < chunks");
+  }
+  width_ = key_space / chunks;
+}
+
+core::ChunkId RangeShardMapper::chunk_of(KeyId key) const {
+  if (key >= key_space_) key %= key_space_;  // wrap out-of-space keys
+  const core::ChunkId chunk = key / width_;
+  // The last range absorbs the division remainder.
+  return std::min<core::ChunkId>(chunk, chunks_ - 1);
+}
+
+}  // namespace rlb::store

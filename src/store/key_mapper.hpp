@@ -1,0 +1,66 @@
+// Key → chunk mapping: the sharding layer above the paper's model.
+//
+// The paper's footnote 1: "each chunk contains multiple data items."  A
+// real store serves GET(key) requests; which KEYS share a CHUNK is a
+// sharding decision with direct consequences for the model:
+//
+//   * hash sharding  — chunk = h(key) mod n: popular keys scatter across
+//     chunks, so key-level skew flattens at chunk level;
+//   * range sharding — contiguous key ranges per chunk (HBase/BigTable
+//     style): a popular key RANGE concentrates into few chunks, amplifying
+//     per-chunk skew and, because a chunk lives on only d servers, turning
+//     key hot-spots into server hot-spots no routing policy can split.
+//
+// The adapter (key_workload_adapter.hpp) turns key-level request streams
+// into the model's distinct-chunks-per-step batches through either mapper;
+// E20 measures the difference end to end.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace rlb::store {
+
+/// Key identifier (opaque 64-bit, like a hashed row key).
+using KeyId = std::uint64_t;
+
+/// Abstract sharding function.
+class KeyMapper {
+ public:
+  virtual ~KeyMapper() = default;
+  /// The chunk storing `key`.  Total over all keys; deterministic.
+  virtual core::ChunkId chunk_of(KeyId key) const = 0;
+  /// Number of chunks n.
+  virtual std::size_t chunk_count() const = 0;
+};
+
+/// Hash sharding: chunk = seeded-hash(key) mod n.
+class HashShardMapper final : public KeyMapper {
+ public:
+  HashShardMapper(std::size_t chunks, std::uint64_t seed);
+  core::ChunkId chunk_of(KeyId key) const override;
+  std::size_t chunk_count() const override { return chunks_; }
+
+ private:
+  std::size_t chunks_;
+  std::uint64_t seed_;
+};
+
+/// Range sharding: the key space [0, key_space) splits into n contiguous
+/// ranges of (near-)equal width; chunk i owns keys
+/// [i·W, (i+1)·W) for W = key_space/n (last range absorbs the remainder).
+class RangeShardMapper final : public KeyMapper {
+ public:
+  RangeShardMapper(std::size_t chunks, KeyId key_space);
+  core::ChunkId chunk_of(KeyId key) const override;
+  std::size_t chunk_count() const override { return chunks_; }
+  KeyId key_space() const { return key_space_; }
+
+ private:
+  std::size_t chunks_;
+  KeyId key_space_;
+  KeyId width_;
+};
+
+}  // namespace rlb::store

@@ -1,0 +1,62 @@
+#include "store/key_workload_adapter.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "hashing/hash.hpp"
+
+namespace rlb::store {
+
+KeyWorkloadAdapter::KeyWorkloadAdapter(KeyGenerator generator,
+                                       const KeyMapper& mapper,
+                                       std::size_t max_keys_per_step)
+    : generator_(std::move(generator)),
+      mapper_(mapper),
+      max_keys_per_step_(max_keys_per_step) {
+  if (!generator_) {
+    throw std::invalid_argument("KeyWorkloadAdapter: null generator");
+  }
+  if (max_keys_per_step == 0) {
+    throw std::invalid_argument("KeyWorkloadAdapter: zero batch bound");
+  }
+}
+
+void KeyWorkloadAdapter::fill_step(core::Time t,
+                                   std::vector<core::ChunkId>& out) {
+  key_scratch_.clear();
+  generator_(t, key_scratch_);
+  keys_seen_ += key_scratch_.size();
+
+  out.clear();
+  seen_scratch_.clear();
+  for (const KeyId key : key_scratch_) {
+    const core::ChunkId chunk = mapper_.chunk_of(key);
+    if (seen_scratch_.insert(chunk).second) out.push_back(chunk);
+  }
+  emitted_ += out.size();
+}
+
+KeyGenerator make_zipf_key_generator(std::size_t count, KeyId key_space,
+                                     double skew, bool scramble,
+                                     std::uint64_t seed) {
+  if (count == 0) throw std::invalid_argument("zipf keys: empty batch");
+  if (key_space == 0) throw std::invalid_argument("zipf keys: empty space");
+  auto sampler = std::make_shared<stats::ZipfSampler>(key_space, skew);
+  auto rng = std::make_shared<stats::Rng>(stats::derive_seed(seed, 0x5E1));
+  const std::uint64_t scramble_seed = stats::derive_seed(seed, 0x5E2);
+  return [=](core::Time /*t*/, std::vector<KeyId>& keys) {
+    keys.clear();
+    keys.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t rank = sampler->sample(*rng) - 1;  // 0-based
+      // Identity keeps popularity contiguous in key space (hot RANGE);
+      // scrambling spreads it uniformly.
+      const KeyId key =
+          scramble ? hashing::hash_to_bucket(rank, scramble_seed, key_space)
+                   : rank;
+      keys.push_back(key);
+    }
+  };
+}
+
+}  // namespace rlb::store

@@ -1,0 +1,69 @@
+// Adapting key-level request streams to the model's chunk-level batches.
+//
+// A key-level generator emits GET(key) requests per step; the adapter maps
+// each key through a KeyMapper and DEDUPLICATES chunks within the step —
+// several keys of the same chunk need one chunk fetch, and the model
+// requires distinct chunks per step (§2).  The adapter also reports how
+// much the mapping compressed the stream (keys per distinct chunk), the
+// knob that differentiates hash from range sharding under skew.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+#include "store/key_mapper.hpp"
+
+namespace rlb::store {
+
+/// Per-step key generator: fills `keys` for step t (duplicates allowed —
+/// the adapter handles chunk-level dedup).
+using KeyGenerator =
+    std::function<void(core::Time t, std::vector<KeyId>& keys)>;
+
+/// Wraps (KeyGenerator, KeyMapper) into a core::Workload.
+class KeyWorkloadAdapter final : public core::Workload {
+ public:
+  /// `max_keys_per_step` bounds the underlying generator's batch (used for
+  /// buffer reservation); the mapper is borrowed, not owned.
+  KeyWorkloadAdapter(KeyGenerator generator, const KeyMapper& mapper,
+                     std::size_t max_keys_per_step);
+
+  void fill_step(core::Time t, std::vector<core::ChunkId>& out) override;
+  std::size_t max_requests_per_step() const override {
+    return max_keys_per_step_;
+  }
+
+  std::uint64_t keys_seen() const noexcept { return keys_seen_; }
+  std::uint64_t chunk_requests_emitted() const noexcept { return emitted_; }
+  /// Mean keys folded into each emitted chunk request (>= 1).
+  double compression() const noexcept {
+    return emitted_ ? static_cast<double>(keys_seen_) /
+                          static_cast<double>(emitted_)
+                    : 0.0;
+  }
+
+ private:
+  KeyGenerator generator_;
+  const KeyMapper& mapper_;
+  std::size_t max_keys_per_step_;
+  std::vector<KeyId> key_scratch_;
+  std::unordered_set<core::ChunkId> seen_scratch_;
+  std::uint64_t keys_seen_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+/// A ready-made Zipf key generator over [0, key_space): `count` keys per
+/// step, rank r mapped to key position (r·PHI mod key_space) so that
+/// POPULARITY NEIGHBORS ARE KEY-SPACE NEIGHBORS ONLY UNDER identity
+/// mapping — pass scramble = false to keep hot keys contiguous (the
+/// range-sharding worst case) or true to scatter them.
+KeyGenerator make_zipf_key_generator(std::size_t count, KeyId key_space,
+                                     double skew, bool scramble,
+                                     std::uint64_t seed);
+
+}  // namespace rlb::store

@@ -1,0 +1,172 @@
+#include "supermarket/event_sim.hpp"
+
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+#include "hashing/hash.hpp"
+
+namespace rlb::supermarket {
+
+double classical_tail(double lambda, unsigned d, unsigned i) {
+  if (i == 0) return 1.0;
+  if (d <= 1) return std::pow(lambda, static_cast<double>(i));
+  const double exponent =
+      (std::pow(static_cast<double>(d), static_cast<double>(i)) - 1.0) /
+      (static_cast<double>(d) - 1.0);
+  return std::pow(lambda, exponent);
+}
+
+namespace {
+
+/// Event kinds in the continuous-time simulation.
+enum class EventType { kArrival, kDeparture };
+
+struct Event {
+  double time = 0.0;
+  EventType type = EventType::kArrival;
+  std::uint32_t server = 0;  // departure only
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+double exponential(stats::Rng& rng, double rate) {
+  // Inverse CDF; 1 − U in (0, 1] avoids log(0).
+  return -std::log(1.0 - rng.next_double()) / rate;
+}
+
+}  // namespace
+
+SupermarketResult simulate_supermarket(const SupermarketConfig& config) {
+  if (config.servers == 0) {
+    throw std::invalid_argument("supermarket: zero servers");
+  }
+  if (config.choices == 0) {
+    throw std::invalid_argument("supermarket: d >= 1");
+  }
+  if (config.lambda <= 0.0 || config.lambda >= 1.0) {
+    throw std::invalid_argument("supermarket: lambda in (0, 1)");
+  }
+  if (config.mode == ChoiceMode::kFixedIdentity && config.population == 0) {
+    throw std::invalid_argument("supermarket: empty identity population");
+  }
+
+  const std::size_t m = config.servers;
+  stats::Rng rng(config.seed);
+  const std::uint64_t placement_seed = stats::derive_seed(config.seed, 0x5A);
+
+  // Per-server FIFO of arrival times (front = in service).
+  std::vector<std::deque<double>> queues(m);
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  const double aggregate_rate =
+      config.lambda * static_cast<double>(m);  // Poisson arrivals
+  events.push(Event{exponential(rng, aggregate_rate), EventType::kArrival, 0});
+
+  SupermarketResult result;
+  // PASTA sampling accumulators: tail_count[i] += (#queues with length >= i)
+  // at each post-warmup arrival instant.
+  std::vector<std::uint64_t> tail_count;
+  std::uint64_t tail_samples = 0;
+  // len_count[L] = #servers currently holding exactly L customers.
+  std::vector<std::uint64_t> len_count(1, m);
+  std::size_t max_len = 0;
+
+  auto bump_length = [&](std::size_t from, std::size_t to) {
+    if (to >= len_count.size()) len_count.resize(to + 1, 0);
+    --len_count[from];
+    ++len_count[to];
+    max_len = std::max(max_len, to);
+  };
+
+  const double horizon = config.horizon;
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    if (event.time > horizon) break;
+    const double now = event.time;
+
+    if (event.type == EventType::kArrival) {
+      ++result.arrivals;
+      // PASTA sample before admitting the new customer:
+      // tail_count[i] += #queues with length >= i, suffix-summed top-down.
+      if (now >= config.warmup) {
+        ++tail_samples;
+        if (tail_count.size() < max_len + 1) {
+          tail_count.resize(max_len + 1, 0);
+        }
+        std::uint64_t acc = 0;
+        for (std::size_t level = max_len; level >= 1; --level) {
+          acc += len_count[level];
+          tail_count[level] += acc;
+          if (level == 1) break;
+        }
+      }
+
+      // Choose the target server.
+      std::uint32_t best = 0;
+      std::size_t best_len = 0;
+      std::uint64_t identity = 0;
+      if (config.mode == ChoiceMode::kFixedIdentity) {
+        identity = rng.next_below(config.population);
+      }
+      for (unsigned c = 0; c < config.choices; ++c) {
+        std::uint32_t candidate;
+        if (config.mode == ChoiceMode::kFresh) {
+          candidate = static_cast<std::uint32_t>(rng.next_below(m));
+        } else {
+          candidate = static_cast<std::uint32_t>(hashing::hash_to_bucket(
+              identity, stats::derive_seed(placement_seed, c), m));
+        }
+        if (c == 0 || queues[candidate].size() < best_len) {
+          best = candidate;
+          best_len = queues[candidate].size();
+        }
+      }
+
+      const std::size_t old_len = queues[best].size();
+      if (config.queue_bound > 0 && old_len >= config.queue_bound) {
+        ++result.rejections;  // bounded queue full: arrival rejected
+      } else {
+        queues[best].push_back(now);
+        bump_length(old_len, old_len + 1);
+        if (old_len == 0) {
+          // Server was idle: the new customer enters service immediately.
+          events.push(Event{now + exponential(rng, 1.0),
+                            EventType::kDeparture, best});
+        }
+      }
+      events.push(
+          Event{now + exponential(rng, aggregate_rate), EventType::kArrival,
+                0});
+    } else {
+      auto& queue = queues[event.server];
+      const double arrival_time = queue.front();
+      queue.pop_front();
+      bump_length(queue.size() + 1, queue.size());
+      ++result.completions;
+      if (arrival_time >= config.warmup) {
+        result.sojourn.add(now - arrival_time);
+      }
+      if (!queue.empty()) {
+        events.push(Event{now + exponential(rng, 1.0), EventType::kDeparture,
+                          event.server});
+      }
+    }
+  }
+
+  result.max_queue_seen = static_cast<double>(max_len);
+  result.tail_fraction.assign(max_len + 2, 0.0);
+  result.tail_fraction[0] = 1.0;
+  for (std::size_t i = 1; i < result.tail_fraction.size(); ++i) {
+    const std::uint64_t count = i < tail_count.size() ? tail_count[i] : 0;
+    result.tail_fraction[i] =
+        tail_samples
+            ? static_cast<double>(count) /
+                  (static_cast<double>(tail_samples) * static_cast<double>(m))
+            : 0.0;
+  }
+  return result;
+}
+
+}  // namespace rlb::supermarket

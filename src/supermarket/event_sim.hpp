@@ -1,0 +1,89 @@
+// The supermarket model — continuous-time JSQ(d) — and a reappearance
+// variant.
+//
+// Related-work contrast (paper Section 6): the queueing-theory literature
+// [15, 24, 25, 31] studies Poisson arrivals that each sample d servers
+// FRESH and join the shortest queue.  Mitzenmacher's classical result: as
+// m → ∞ the fraction of queues with length >= i converges to
+//     s_i = λ^((d^i - 1) / (d - 1))      (λ^i for d = 1, plain M/M/1),
+// a doubly-exponential tail for d >= 2.  Experiment E17 verifies our
+// event-driven simulation against this closed form — a strong correctness
+// check on the whole continuous-time substrate.
+//
+// The paper's point is that this model CANNOT express its problem: fresh
+// per-arrival sampling is exactly what reappearance dependencies destroy.
+// ChoiceMode::kFixedIdentity makes the contrast measurable: arrivals carry
+// identities from a finite population, and an identity's d candidate
+// servers are FIXED across its arrivals (hashed), importing reappearance
+// dependencies into the supermarket world.  E17 part B measures how the
+// queue-tail departs from the classical prediction as the population
+// shrinks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace rlb::supermarket {
+
+/// How an arrival obtains its d candidate servers.
+enum class ChoiceMode {
+  /// d i.i.d. uniform servers per arrival — the classical model.
+  kFresh,
+  /// The arrival carries an identity from [population]; its d servers are
+  /// a fixed hash of the identity (reappearance dependencies).
+  kFixedIdentity,
+};
+
+/// Simulation parameters.
+struct SupermarketConfig {
+  /// Number of servers m.
+  std::size_t servers = 100;
+  /// Arrival rate per server (λ < 1 for stability); aggregate rate λ·m.
+  double lambda = 0.9;
+  /// Choices per arrival (d >= 1).
+  unsigned choices = 2;
+  /// Mean service time is 1 (exponential); simulate until this time.
+  double horizon = 1000.0;
+  /// Ignore statistics before this time (warm-up).
+  double warmup = 100.0;
+  ChoiceMode mode = ChoiceMode::kFresh;
+  /// Identity population for kFixedIdentity (ignored for kFresh).
+  std::size_t population = 1000;
+  /// Queue bound q (0 = unbounded, the classical model).  With a bound,
+  /// an arrival whose chosen queue already holds q customers is REJECTED —
+  /// the continuous-time face of the paper's bounded queues, letting
+  /// Theorem 5.1's q-vs-rejection trade-off be read off in this model too.
+  std::size_t queue_bound = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregated outcome of one run.
+struct SupermarketResult {
+  /// tail_fraction[i] = time-stationary fraction of queues with length
+  /// >= i, estimated at arrival instants (PASTA).  Index 0 is 1.0.
+  std::vector<double> tail_fraction;
+  /// Sojourn (wait + service) time statistics of completed customers.
+  stats::OnlineStats sojourn;
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t rejections = 0;  // only with queue_bound > 0
+  double max_queue_seen = 0;
+
+  double rejection_rate() const {
+    return arrivals ? static_cast<double>(rejections) /
+                          static_cast<double>(arrivals)
+                    : 0.0;
+  }
+};
+
+/// Mitzenmacher's limiting tail: s_i = λ^((d^i − 1)/(d − 1)).
+[[nodiscard]] double classical_tail(double lambda, unsigned d, unsigned i);
+
+/// Run one event-driven simulation.
+[[nodiscard]] SupermarketResult simulate_supermarket(
+    const SupermarketConfig& config);
+
+}  // namespace rlb::supermarket

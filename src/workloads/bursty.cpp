@@ -1,0 +1,33 @@
+#include "workloads/bursty.hpp"
+
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace rlb::workloads {
+
+BurstyWorkload::BurstyWorkload(std::size_t count, std::size_t burst_steps,
+                               std::size_t idle_steps, std::size_t idle_count,
+                               std::uint64_t seed)
+    : burst_steps_(burst_steps),
+      idle_steps_(idle_steps),
+      idle_count_(idle_count),
+      rng_(stats::derive_seed(seed, 11)) {
+  if (count == 0) throw std::invalid_argument("BurstyWorkload: empty set");
+  if (burst_steps == 0) {
+    throw std::invalid_argument("BurstyWorkload: burst_steps >= 1");
+  }
+  if (idle_count > count) {
+    throw std::invalid_argument("BurstyWorkload: idle_count > count");
+  }
+  stats::Rng pick_rng(stats::derive_seed(seed, 12));
+  chunks_ = stats::sample_without_replacement(1ULL << 40, count, pick_rng);
+}
+
+void BurstyWorkload::fill_step(core::Time t, std::vector<core::ChunkId>& out) {
+  out = chunks_;
+  stats::shuffle(out, rng_);
+  if (!in_burst(t)) out.resize(idle_count_);
+}
+
+}  // namespace rlb::workloads

@@ -1,0 +1,47 @@
+// On/off bursty traffic from a fixed working set.
+//
+// The oblivious adversary alternates `burst_steps` of full-rate requests
+// (the whole working set, maximal reappearance pressure) with `idle_steps`
+// of a small trickle.  Bursts test how much queue headroom a policy really
+// has: the time-average load can be far below capacity while the
+// instantaneous load during a burst matches the model ceiling — exactly
+// the regime where q = Θ(log m) vs Θ(log log m) queue budgets differ in
+// their absorption capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::workloads {
+
+/// Alternating full-set bursts and near-idle valleys.
+class BurstyWorkload final : public core::Workload {
+ public:
+  /// Working set of `count` chunks; cycles of `burst_steps` steps emitting
+  /// all of them followed by `idle_steps` steps emitting `idle_count`
+  /// (<= count) of them.
+  BurstyWorkload(std::size_t count, std::size_t burst_steps,
+                 std::size_t idle_steps, std::size_t idle_count,
+                 std::uint64_t seed);
+
+  void fill_step(core::Time t, std::vector<core::ChunkId>& out) override;
+  std::size_t max_requests_per_step() const override { return chunks_.size(); }
+
+  bool in_burst(core::Time t) const noexcept {
+    const auto cycle = static_cast<std::size_t>(t) %
+                       (burst_steps_ + idle_steps_);
+    return cycle < burst_steps_;
+  }
+
+ private:
+  std::vector<core::ChunkId> chunks_;
+  std::size_t burst_steps_;
+  std::size_t idle_steps_;
+  std::size_t idle_count_;
+  stats::Rng rng_;
+};
+
+}  // namespace rlb::workloads

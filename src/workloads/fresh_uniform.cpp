@@ -1,0 +1,20 @@
+#include "workloads/fresh_uniform.hpp"
+
+#include <stdexcept>
+
+namespace rlb::workloads {
+
+FreshUniformWorkload::FreshUniformWorkload(std::size_t count,
+                                           std::uint64_t id_offset)
+    : count_(count), next_id_(id_offset) {
+  if (count == 0) throw std::invalid_argument("FreshUniformWorkload: empty");
+}
+
+void FreshUniformWorkload::fill_step(core::Time /*t*/,
+                                     std::vector<core::ChunkId>& out) {
+  out.clear();
+  out.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) out.push_back(next_id_++);
+}
+
+}  // namespace rlb::workloads

@@ -1,0 +1,31 @@
+// The easiest workload: every request is to a never-before-seen chunk.
+//
+// With no reappearances, each request's placement randomness is fresh and
+// classical balls-and-bins analysis applies directly — the control case for
+// every experiment, and the workload used by the Theorem 5.1 lower-bound
+// measurement (a single step of m requests to independently random chunks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.hpp"
+
+namespace rlb::workloads {
+
+/// Requests `count` brand-new chunk ids per step (sequential ids; the seeded
+/// placement hash turns them into independent uniform server choices).
+class FreshUniformWorkload final : public core::Workload {
+ public:
+  /// `id_offset` shifts the id space so multiple instances don't collide.
+  explicit FreshUniformWorkload(std::size_t count, std::uint64_t id_offset = 0);
+
+  void fill_step(core::Time t, std::vector<core::ChunkId>& out) override;
+  std::size_t max_requests_per_step() const override { return count_; }
+
+ private:
+  std::size_t count_;
+  std::uint64_t next_id_;
+};
+
+}  // namespace rlb::workloads

@@ -1,0 +1,36 @@
+#include "workloads/mixed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace rlb::workloads {
+
+MixedWorkload::MixedWorkload(std::size_t count, double hot_fraction,
+                             std::uint64_t seed)
+    : count_(count),
+      rng_(stats::derive_seed(seed, 3)),
+      next_fresh_id_(1ULL << 32) {
+  if (count == 0) throw std::invalid_argument("MixedWorkload: empty");
+  hot_fraction = std::clamp(hot_fraction, 0.0, 1.0);
+  hot_per_step_ =
+      static_cast<std::size_t>(hot_fraction * static_cast<double>(count));
+  hot_set_.reserve(hot_per_step_);
+  for (std::size_t i = 0; i < hot_per_step_; ++i) {
+    hot_set_.push_back(static_cast<core::ChunkId>(i));
+  }
+}
+
+void MixedWorkload::fill_step(core::Time /*t*/,
+                              std::vector<core::ChunkId>& out) {
+  out.clear();
+  out.reserve(count_);
+  out.insert(out.end(), hot_set_.begin(), hot_set_.end());
+  for (std::size_t i = hot_per_step_; i < count_; ++i) {
+    out.push_back(next_fresh_id_++);
+  }
+  stats::shuffle(out, rng_);
+}
+
+}  // namespace rlb::workloads

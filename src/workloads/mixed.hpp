@@ -1,0 +1,40 @@
+// Mixed repeated + fresh traffic within every step.
+//
+// A fraction of each step's batch comes from a fixed "hot" set (maximal
+// reappearance dependencies) and the remainder is never-seen "cold" traffic
+// (fresh randomness).  This is the workload shape delayed cuckoo routing is
+// explicitly designed for: its Q-queues absorb the cold part with classical
+// two-choice arguments while the P-queues absorb the hot part via the
+// previous step's cuckoo assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::workloads {
+
+/// Per step: `hot_fraction`·count chunks from a fixed hot set + the rest
+/// fresh, interleaved in random order.
+class MixedWorkload final : public core::Workload {
+ public:
+  /// hot_fraction in [0, 1].  Hot ids live below 2^32; fresh ids above, so
+  /// the two populations never collide.
+  MixedWorkload(std::size_t count, double hot_fraction, std::uint64_t seed);
+
+  void fill_step(core::Time t, std::vector<core::ChunkId>& out) override;
+  std::size_t max_requests_per_step() const override { return count_; }
+
+  std::size_t hot_per_step() const noexcept { return hot_per_step_; }
+
+ private:
+  std::size_t count_;
+  std::size_t hot_per_step_;
+  std::vector<core::ChunkId> hot_set_;
+  stats::Rng rng_;
+  std::uint64_t next_fresh_id_;
+};
+
+}  // namespace rlb::workloads

@@ -1,0 +1,49 @@
+#include "workloads/phased_churn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace rlb::workloads {
+
+PhasedChurnWorkload::PhasedChurnWorkload(std::size_t count,
+                                         double churn_fraction,
+                                         std::size_t period,
+                                         std::uint64_t seed,
+                                         bool shuffle_each_step)
+    : churn_(std::clamp(churn_fraction, 0.0, 1.0)),
+      period_(std::max<std::size_t>(1, period)),
+      rng_(stats::derive_seed(seed, 7)),
+      next_fresh_id_(0),
+      shuffle_(shuffle_each_step) {
+  if (count == 0) throw std::invalid_argument("PhasedChurnWorkload: empty");
+  working_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) working_.push_back(next_fresh_id_++);
+}
+
+void PhasedChurnWorkload::rotate() {
+  const auto replace =
+      static_cast<std::size_t>(churn_ * static_cast<double>(working_.size()));
+  // Replace `replace` uniformly chosen members with fresh ids (partial
+  // Fisher–Yates selects victims without repetition).
+  for (std::size_t i = 0; i < replace; ++i) {
+    const std::size_t victim =
+        i + static_cast<std::size_t>(rng_.next_below(working_.size() - i));
+    std::swap(working_[i], working_[victim]);
+    working_[i] = next_fresh_id_++;
+  }
+}
+
+void PhasedChurnWorkload::fill_step(core::Time t,
+                                    std::vector<core::ChunkId>& out) {
+  if (t != 0 && t % static_cast<core::Time>(period_) == 0 &&
+      t != last_rotation_) {
+    rotate();
+    last_rotation_ = t;
+  }
+  out = working_;
+  if (shuffle_) stats::shuffle(out, rng_);
+}
+
+}  // namespace rlb::workloads

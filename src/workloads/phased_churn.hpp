@@ -1,0 +1,49 @@
+// Working-set churn: a repeated set whose membership rotates over time.
+//
+// Each step requests the current working set; every `period` steps a
+// fraction `churn` of the set is replaced by never-seen chunks.  Sweeping
+// churn from 0 (pure repeated set) to 1 (pure fresh) traces the transition
+// between the paper's two extreme regimes (Section 4's intuition: greedy is
+// fine when chunks rarely repeat, cuckoo pre-computation handles persistent
+// repeats — this workload probes every mix in between).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::workloads {
+
+/// Repeated working set with periodic partial replacement.
+class PhasedChurnWorkload final : public core::Workload {
+ public:
+  /// `count` chunks per step; every `period` steps replace ~`churn_fraction`
+  /// of the working set with fresh ids.  churn_fraction in [0, 1].
+  /// `shuffle_each_step` randomizes the within-step arrival order (an
+  /// oblivious adversary may also fix it).
+  PhasedChurnWorkload(std::size_t count, double churn_fraction,
+                      std::size_t period, std::uint64_t seed,
+                      bool shuffle_each_step = true);
+
+  void fill_step(core::Time t, std::vector<core::ChunkId>& out) override;
+  std::size_t max_requests_per_step() const override { return working_.size(); }
+
+  const std::vector<core::ChunkId>& working_set() const noexcept {
+    return working_;
+  }
+
+ private:
+  void rotate();
+
+  std::vector<core::ChunkId> working_;
+  double churn_;
+  std::size_t period_;
+  stats::Rng rng_;
+  std::uint64_t next_fresh_id_;
+  core::Time last_rotation_ = -1;
+  bool shuffle_;
+};
+
+}  // namespace rlb::workloads

@@ -1,0 +1,31 @@
+#include "workloads/reappearance_profile.hpp"
+
+namespace rlb::workloads {
+
+void ReappearanceAnalyzer::observe_step(
+    core::Time t, const std::vector<core::ChunkId>& batch) {
+  for (const core::ChunkId x : batch) {
+    ++profile_.total_requests;
+    const auto [it, inserted] = last_seen_.try_emplace(x, t);
+    if (inserted) {
+      ++profile_.distinct_chunks;
+    } else {
+      ++profile_.reappearances;
+      profile_.reuse_distance.add(static_cast<std::uint64_t>(t - it->second));
+      it->second = t;
+    }
+  }
+}
+
+ReappearanceProfile profile_workload(core::Workload& workload,
+                                     std::size_t steps) {
+  ReappearanceAnalyzer analyzer;
+  std::vector<core::ChunkId> batch;
+  for (std::size_t step = 0; step < steps; ++step) {
+    workload.fill_step(static_cast<core::Time>(step), batch);
+    analyzer.observe_step(static_cast<core::Time>(step), batch);
+  }
+  return analyzer.profile();
+}
+
+}  // namespace rlb::workloads

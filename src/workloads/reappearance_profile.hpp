@@ -1,0 +1,61 @@
+// Quantifying reappearance dependencies in a request sequence.
+//
+// The paper's difficulty is parameterized by how often chunks reappear and
+// how soon.  This analyzer consumes any workload (or trace) and reports:
+//   * reappearance fraction  — requests whose chunk was seen before;
+//   * mean / p50 / p95 reuse distance — steps since the chunk's previous
+//     request (1 = requested in consecutive steps);
+//   * distinct chunks seen, and working-set ratio (distinct / requests).
+// The repeated-set workload scores reappearance ≈ 1 with reuse distance 1
+// (the hardest instance); fresh-uniform scores exactly 0; Zipf and churn
+// interpolate.  Experiment tables and the quickstart use this to label how
+// adversarial each generator really is.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/workload.hpp"
+#include "stats/histogram.hpp"
+
+namespace rlb::workloads {
+
+/// Reappearance statistics of a finite request sequence.
+struct ReappearanceProfile {
+  std::uint64_t total_requests = 0;
+  std::uint64_t distinct_chunks = 0;
+  std::uint64_t reappearances = 0;
+  /// Histogram of reuse distances in steps (only reappearances).
+  stats::CountingHistogram reuse_distance{4096};
+
+  double reappearance_fraction() const {
+    return total_requests ? static_cast<double>(reappearances) /
+                                static_cast<double>(total_requests)
+                          : 0.0;
+  }
+  double working_set_ratio() const {
+    return total_requests ? static_cast<double>(distinct_chunks) /
+                                static_cast<double>(total_requests)
+                          : 0.0;
+  }
+};
+
+/// Streaming analyzer: feed step batches in order.
+class ReappearanceAnalyzer {
+ public:
+  /// Record one step's batch.
+  void observe_step(core::Time t, const std::vector<core::ChunkId>& batch);
+
+  const ReappearanceProfile& profile() const noexcept { return profile_; }
+
+ private:
+  ReappearanceProfile profile_;
+  std::unordered_map<core::ChunkId, core::Time> last_seen_;
+};
+
+/// Convenience: profile the first `steps` steps of a workload (consumes
+/// them).
+[[nodiscard]] ReappearanceProfile profile_workload(core::Workload& workload,
+                                                   std::size_t steps);
+
+}  // namespace rlb::workloads

@@ -1,0 +1,34 @@
+#include "workloads/repeated_set.hpp"
+
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace rlb::workloads {
+
+RepeatedSetWorkload::RepeatedSetWorkload(std::size_t count,
+                                         std::uint64_t universe,
+                                         std::uint64_t seed,
+                                         bool shuffle_each_step)
+    : rng_(stats::derive_seed(seed, 1)), shuffle_(shuffle_each_step) {
+  if (count == 0) throw std::invalid_argument("RepeatedSetWorkload: empty");
+  stats::Rng pick_rng(stats::derive_seed(seed, 0));
+  chunks_ = stats::sample_without_replacement(universe, count, pick_rng);
+}
+
+RepeatedSetWorkload::RepeatedSetWorkload(std::vector<core::ChunkId> chunks,
+                                         std::uint64_t seed,
+                                         bool shuffle_each_step)
+    : chunks_(std::move(chunks)),
+      rng_(stats::derive_seed(seed, 1)),
+      shuffle_(shuffle_each_step) {
+  if (chunks_.empty()) throw std::invalid_argument("RepeatedSetWorkload: empty");
+}
+
+void RepeatedSetWorkload::fill_step(core::Time /*t*/,
+                                    std::vector<core::ChunkId>& out) {
+  out = chunks_;
+  if (shuffle_) stats::shuffle(out, rng_);
+}
+
+}  // namespace rlb::workloads

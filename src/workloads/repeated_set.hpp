@@ -1,0 +1,44 @@
+// The paper's canonical hard workload: the same set S of chunks is requested
+// on every time step.
+//
+// This maximizes reappearance dependencies — every request after step 0 is a
+// reappearance, so routing can never rely on fresh placement randomness.
+// It is the workload behind the d = 1 impossibility (Section 1 / [34]) and
+// behind the time-step-isolated lower bound (Lemma 5.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::workloads {
+
+/// Requests the same `count` distinct chunks every step.
+class RepeatedSetWorkload final : public core::Workload {
+ public:
+  /// `count` chunks drawn once from `universe` (seeded); if
+  /// `shuffle_each_step`, the within-step arrival order is re-randomized
+  /// per step (routing must be online, so order matters to the policies).
+  RepeatedSetWorkload(std::size_t count, std::uint64_t universe,
+                      std::uint64_t seed, bool shuffle_each_step = true);
+
+  /// Build directly from an explicit chunk set (must be distinct).
+  RepeatedSetWorkload(std::vector<core::ChunkId> chunks, std::uint64_t seed,
+                      bool shuffle_each_step = true);
+
+  void fill_step(core::Time t, std::vector<core::ChunkId>& out) override;
+  std::size_t max_requests_per_step() const override { return chunks_.size(); }
+
+  const std::vector<core::ChunkId>& chunk_set() const noexcept {
+    return chunks_;
+  }
+
+ private:
+  std::vector<core::ChunkId> chunks_;
+  stats::Rng rng_;
+  bool shuffle_;
+};
+
+}  // namespace rlb::workloads

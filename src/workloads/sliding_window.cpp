@@ -1,0 +1,35 @@
+#include "workloads/sliding_window.hpp"
+
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace rlb::workloads {
+
+SlidingWindowWorkload::SlidingWindowWorkload(std::size_t count,
+                                             std::size_t drift,
+                                             std::uint64_t seed,
+                                             bool shuffle_each_step)
+    : count_(count),
+      drift_(drift),
+      rng_(stats::derive_seed(seed, 21)),
+      shuffle_(shuffle_each_step) {
+  if (count == 0) throw std::invalid_argument("SlidingWindow: empty window");
+  if (drift > count) {
+    throw std::invalid_argument("SlidingWindow: drift exceeds window size");
+  }
+}
+
+void SlidingWindowWorkload::fill_step(core::Time t,
+                                      std::vector<core::ChunkId>& out) {
+  const auto base = static_cast<core::ChunkId>(t) *
+                    static_cast<core::ChunkId>(drift_);
+  out.clear();
+  out.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(base + static_cast<core::ChunkId>(i));
+  }
+  if (shuffle_) stats::shuffle(out, rng_);
+}
+
+}  // namespace rlb::workloads

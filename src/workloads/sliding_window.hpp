@@ -1,0 +1,37 @@
+// Sliding-window working set: smooth drift instead of phased churn.
+//
+// The working set is a contiguous window [base, base + count) over the
+// chunk-id space that advances by `drift` chunks per step.  Every chunk is
+// therefore requested on exactly count/drift consecutive steps and then
+// retired forever — an LRU-like popularity lifecycle (content caches, news
+// feeds).  Reappearance fraction = 1 − drift/count, tunable continuously,
+// with reuse distance exactly 1 — the smooth counterpart of
+// PhasedChurnWorkload's bulk rotations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::workloads {
+
+/// Window of `count` chunks advancing by `drift` ids per step.
+class SlidingWindowWorkload final : public core::Workload {
+ public:
+  /// Requires drift <= count (a window cannot skip past itself).
+  SlidingWindowWorkload(std::size_t count, std::size_t drift,
+                        std::uint64_t seed, bool shuffle_each_step = true);
+
+  void fill_step(core::Time t, std::vector<core::ChunkId>& out) override;
+  std::size_t max_requests_per_step() const override { return count_; }
+
+ private:
+  std::size_t count_;
+  std::size_t drift_;
+  stats::Rng rng_;
+  bool shuffle_;
+};
+
+}  // namespace rlb::workloads

@@ -1,0 +1,72 @@
+#include "workloads/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlb::workloads {
+
+Trace Trace::record(core::Workload& source, std::size_t steps) {
+  Trace trace;
+  std::vector<core::ChunkId> batch;
+  for (std::size_t i = 0; i < steps; ++i) {
+    source.fill_step(static_cast<core::Time>(i), batch);
+    trace.append_step(batch);
+  }
+  return trace;
+}
+
+void Trace::append_step(std::vector<core::ChunkId> batch) {
+  max_batch_ = std::max(max_batch_, batch.size());
+  total_ += batch.size();
+  steps_.push_back(std::move(batch));
+}
+
+void Trace::save(std::ostream& os) const {
+  for (const auto& step : steps_) {
+    for (std::size_t i = 0; i < step.size(); ++i) {
+      if (i) os << ' ';
+      os << step[i];
+    }
+    os << '\n';
+  }
+}
+
+void Trace::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Trace::save_file: cannot open " + path);
+  save(out);
+}
+
+Trace Trace::load(std::istream& is) {
+  Trace trace;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream fields(line);
+    std::vector<core::ChunkId> batch;
+    core::ChunkId chunk = 0;
+    while (fields >> chunk) batch.push_back(chunk);
+    trace.append_step(std::move(batch));
+  }
+  return trace;
+}
+
+Trace Trace::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Trace::load_file: cannot open " + path);
+  return load(in);
+}
+
+TraceWorkload::TraceWorkload(const Trace& trace) : trace_(trace) {
+  if (trace.step_count() == 0) {
+    throw std::invalid_argument("TraceWorkload: empty trace");
+  }
+}
+
+void TraceWorkload::fill_step(core::Time t, std::vector<core::ChunkId>& out) {
+  const std::size_t index =
+      static_cast<std::size_t>(t) % trace_.step_count();
+  out = trace_.step(index);
+}
+
+}  // namespace rlb::workloads

@@ -1,0 +1,39 @@
+#include "workloads/zipf_workload.hpp"
+
+#include <stdexcept>
+
+namespace rlb::workloads {
+
+ZipfWorkload::ZipfWorkload(std::size_t count, std::uint64_t universe, double s,
+                           std::uint64_t seed)
+    : count_(count), sampler_(universe, s), rng_(seed) {
+  if (count == 0) throw std::invalid_argument("ZipfWorkload: empty");
+  if (universe < 2 * count) {
+    throw std::invalid_argument(
+        "ZipfWorkload: universe must be >= 2x count for distinct sampling");
+  }
+}
+
+void ZipfWorkload::fill_step(core::Time /*t*/,
+                             std::vector<core::ChunkId>& out) {
+  out.clear();
+  out.reserve(count_);
+  seen_.clear();
+  // Rejection of duplicates.  For moderate skew (s <= ~1.2) redraws are
+  // cheap; for extreme skew the head exhausts and rejection could stall, so
+  // after an attempt budget we complete the batch deterministically with the
+  // smallest unused ranks (these are exactly the high-popularity chunks an
+  // adversary would re-request anyway).
+  const std::size_t attempt_budget = 64 * count_ + 1024;
+  std::size_t attempts = 0;
+  while (out.size() < count_ && attempts < attempt_budget) {
+    ++attempts;
+    const core::ChunkId candidate = sampler_.sample(rng_);  // rank in [1, n]
+    if (seen_.insert(candidate).second) out.push_back(candidate);
+  }
+  for (core::ChunkId rank = 1; out.size() < count_; ++rank) {
+    if (seen_.insert(rank).second) out.push_back(rank);
+  }
+}
+
+}  // namespace rlb::workloads

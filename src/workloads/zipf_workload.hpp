@@ -1,0 +1,40 @@
+// Skewed-popularity workload: per step, `count` DISTINCT chunks sampled with
+// Zipf(s) popularity over a fixed universe.
+//
+// Popular chunks reappear on almost every step (heavy reappearance
+// dependencies on the head of the distribution) while the tail contributes
+// fresh randomness — the realistic key-value-store middle ground between
+// the repeated-set and fresh-uniform extremes (cf. the YCSB-style skewed
+// workloads the paper's introduction motivates).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::workloads {
+
+/// Distinct Zipf-popularity sample per step.
+class ZipfWorkload final : public core::Workload {
+ public:
+  /// `count` distinct chunks per step from a universe of `universe` chunks
+  /// (requires universe >= 2 * count so dedup terminates quickly), skew
+  /// exponent `s` (0 = uniform, 0.99 ≈ YCSB-zipfian).
+  ZipfWorkload(std::size_t count, std::uint64_t universe, double s,
+               std::uint64_t seed);
+
+  void fill_step(core::Time t, std::vector<core::ChunkId>& out) override;
+  std::size_t max_requests_per_step() const override { return count_; }
+
+ private:
+  std::size_t count_;
+  stats::ZipfSampler sampler_;
+  stats::Rng rng_;
+  std::unordered_set<core::ChunkId> seen_;  // scratch, reused across steps
+};
+
+}  // namespace rlb::workloads

@@ -1,0 +1,181 @@
+// Tests for the delayed-cuckoo ablation switches, the bursty workload, and
+// the Wilson interval helper.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/simulator.hpp"
+#include "policies/delayed_cuckoo.hpp"
+#include "stats/summary.hpp"
+#include "workloads/bursty.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace rlb {
+namespace {
+
+// ----------------------------------------------------- cuckoo ablations
+policies::DelayedCuckooConfig cuckoo_config() {
+  policies::DelayedCuckooConfig config;
+  config.servers = 256;
+  config.processing_rate = 8;
+  config.seed = 23;
+  return config;
+}
+
+TEST(CuckooAblation, NoCuckooRoutingSendsNothingToPQueues) {
+  auto config = cuckoo_config();
+  config.use_cuckoo_routing = false;
+  policies::DelayedCuckooBalancer balancer(config);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::ChunkId x = 0; x < 256; ++x) batch.push_back(x);
+  balancer.step(0, batch, metrics);
+  balancer.step(1, batch, metrics);  // reappearances — but ablated
+  for (const std::uint32_t v : balancer.p_arrivals_this_step()) {
+    EXPECT_EQ(v, 0u);
+  }
+  EXPECT_EQ(balancer.assignment_failures(), 0u);
+}
+
+TEST(CuckooAblation, NoCarryOverDropsLeftoversAtBoundary) {
+  auto config = cuckoo_config();
+  config.processing_rate = 4;  // slow drain so leftovers exist
+  config.phase_length = 2;
+  config.queue_capacity = 8;
+  config.carry_over_queues = false;
+  policies::DelayedCuckooBalancer balancer(config);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::ChunkId x = 0; x < 256; ++x) batch.push_back(x);
+  for (core::Time t = 0; t < 8; ++t) balancer.step(t, batch, metrics);
+  // With drain 1/queue/step and arrival ~1/server/step there MUST be
+  // leftovers at the 2-step boundaries, all converted to drops.
+  EXPECT_GT(metrics.dropped_from_queue(), 0u);
+
+  // Contrast: the paper's carry-over machinery drops nothing here.
+  auto faithful_config = cuckoo_config();
+  faithful_config.processing_rate = 4;
+  faithful_config.phase_length = 2;
+  faithful_config.queue_capacity = 2;
+  policies::DelayedCuckooBalancer faithful(faithful_config);
+  core::Metrics faithful_metrics;
+  workloads::RepeatedSetWorkload workload(256, 1u << 18, 29);
+  std::vector<core::ChunkId> wbatch;
+  for (core::Time t = 0; t < 8; ++t) {
+    workload.fill_step(t, wbatch);
+    faithful.step(t, wbatch, faithful_metrics);
+  }
+  EXPECT_EQ(faithful_metrics.dropped_from_queue(), 0u);
+}
+
+TEST(CuckooAblation, BothVariantsCleanAtDesignPoint) {
+  // At the algorithm's design point (per-queue drain 2/step, derived q)
+  // both the full algorithm and the Q-only ablation keep every request on
+  // the pure repeated workload — the cuckoo machinery's *provable* win is
+  // the q = Θ(log log m) worst-case guarantee, which the Q-only variant
+  // (essentially greedy) cannot promise.  The E13 ablation bench reports
+  // the measured trade-offs, including the regimes where the variants
+  // diverge; this test pins the design-point behaviour.
+  for (const bool use_cuckoo : {true, false}) {
+    auto config = cuckoo_config();
+    config.use_cuckoo_routing = use_cuckoo;
+    policies::DelayedCuckooBalancer balancer(config);
+    workloads::RepeatedSetWorkload workload(256, 1u << 18, 31);
+    core::SimConfig sim;
+    sim.steps = 100;
+    const auto result = core::simulate(balancer, workload, sim);
+    EXPECT_EQ(result.metrics.rejected(), 0u)
+        << "use_cuckoo_routing=" << use_cuckoo;
+  }
+}
+
+TEST(CuckooAblation, PRouteBoundsBurstsDeterministically) {
+  // The structural difference the ablation removes: with cuckoo routing,
+  // per-server P arrivals per step are capped by Lemma 4.2's O(1); the
+  // Q-only variant's per-server arrival concentration is whatever the
+  // two-choice process yields, with no deterministic cap.
+  auto config = cuckoo_config();
+  policies::DelayedCuckooBalancer balancer(config);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::ChunkId x = 0; x < 256; ++x) batch.push_back(x);
+  for (core::Time t = 0; t < 30; ++t) {
+    balancer.step(t, batch, metrics);
+    for (const std::uint32_t v : balancer.p_arrivals_this_step()) {
+      ASSERT_LE(v, 7u) << "step " << t;  // 3 groups + stash 4
+    }
+  }
+}
+
+// ------------------------------------------------------------ bursty load
+TEST(Bursty, ValidatesArguments) {
+  EXPECT_THROW(workloads::BurstyWorkload(0, 2, 2, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(workloads::BurstyWorkload(8, 0, 2, 4, 1),
+               std::invalid_argument);
+  EXPECT_THROW(workloads::BurstyWorkload(8, 2, 2, 9, 1),
+               std::invalid_argument);
+}
+
+TEST(Bursty, AlternatesBurstAndIdle) {
+  workloads::BurstyWorkload workload(64, 3, 2, 8, 7);
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 10; ++t) {
+    workload.fill_step(t, batch);
+    const auto cycle = static_cast<std::size_t>(t) % 5;
+    if (cycle < 3) {
+      EXPECT_EQ(batch.size(), 64u) << "step " << t;
+      EXPECT_TRUE(workload.in_burst(t));
+    } else {
+      EXPECT_EQ(batch.size(), 8u) << "step " << t;
+      EXPECT_FALSE(workload.in_burst(t));
+    }
+  }
+}
+
+TEST(Bursty, DistinctWithinStepAndFromFixedSet) {
+  workloads::BurstyWorkload workload(32, 2, 2, 4, 9);
+  std::vector<core::ChunkId> first, later;
+  workload.fill_step(0, first);
+  std::unordered_set<core::ChunkId> set(first.begin(), first.end());
+  EXPECT_EQ(set.size(), 32u);
+  workload.fill_step(3, later);  // idle step
+  for (const core::ChunkId x : later) EXPECT_EQ(set.count(x), 1u);
+}
+
+// --------------------------------------------------------- Wilson interval
+TEST(WilsonInterval, ZeroTrials) {
+  const auto interval = stats::wilson_interval(0, 0);
+  EXPECT_EQ(interval.center, 0.0);
+  EXPECT_EQ(interval.low, 0.0);
+  EXPECT_EQ(interval.high, 0.0);
+}
+
+TEST(WilsonInterval, ZeroSuccessesHasPositiveUpperBound) {
+  const auto interval = stats::wilson_interval(0, 100);
+  EXPECT_EQ(interval.low, 0.0);
+  EXPECT_GT(interval.high, 0.0);
+  EXPECT_LT(interval.high, 0.05);  // rule of three-ish
+}
+
+TEST(WilsonInterval, ContainsTrueProportion) {
+  const auto interval = stats::wilson_interval(30, 100);
+  EXPECT_GT(interval.low, 0.2);
+  EXPECT_LT(interval.high, 0.41);
+  EXPECT_NEAR(interval.center, 0.3, 0.02);
+}
+
+TEST(WilsonInterval, SymmetricEdges) {
+  const auto all = stats::wilson_interval(100, 100);
+  EXPECT_NEAR(all.high, 1.0, 1e-9);
+  EXPECT_GT(all.low, 0.95);
+}
+
+TEST(WilsonInterval, WidthShrinksWithTrials) {
+  const auto small = stats::wilson_interval(5, 10);
+  const auto large = stats::wilson_interval(500, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+}  // namespace
+}  // namespace rlb

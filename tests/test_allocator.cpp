@@ -1,0 +1,169 @@
+// Unit + property tests for TwoChoiceAllocator (cuckoo/allocator.hpp).
+//
+// The key property test verifies the completeness claim: the eviction walk
+// fails exactly when the cuckoo graph is infeasible (some connected
+// component has more items than slots).
+#include "cuckoo/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace rlb::cuckoo {
+namespace {
+
+TEST(TwoChoiceAllocator, RejectsZeroSlots) {
+  EXPECT_THROW(TwoChoiceAllocator(0), std::invalid_argument);
+}
+
+TEST(TwoChoiceAllocator, SimplePlacements) {
+  TwoChoiceAllocator alloc(4);
+  EXPECT_EQ(alloc.insert(0, 0, 1), -1);
+  EXPECT_EQ(alloc.insert(1, 0, 1), -1);  // relocates item 0 if needed
+  EXPECT_EQ(alloc.placed_count(), 2u);
+  // Each item must sit at one of its choices.
+  for (std::uint32_t item : {0u, 1u}) {
+    const std::int32_t slot = alloc.slot_of(item);
+    ASSERT_GE(slot, 0);
+    EXPECT_TRUE(slot == 0 || slot == 1);
+  }
+  EXPECT_NE(alloc.slot_of(0), alloc.slot_of(1));
+}
+
+TEST(TwoChoiceAllocator, DetectsInfeasibleTriple) {
+  // Three items all restricted to slots {0, 1}: only two can fit.
+  TwoChoiceAllocator alloc(4);
+  EXPECT_EQ(alloc.insert(0, 0, 1), -1);
+  EXPECT_EQ(alloc.insert(1, 0, 1), -1);
+  const std::int32_t displaced = alloc.insert(2, 0, 1);
+  EXPECT_GE(displaced, 0);
+  EXPECT_EQ(alloc.placed_count(), 2u);
+}
+
+TEST(TwoChoiceAllocator, EvictionChainSucceeds) {
+  // item0: {0,1}, item1: {1,2}, item2: {0,1} forces a chain into slot 2.
+  TwoChoiceAllocator alloc(3);
+  EXPECT_EQ(alloc.insert(0, 0, 1), -1);
+  EXPECT_EQ(alloc.insert(1, 1, 2), -1);
+  EXPECT_EQ(alloc.insert(2, 0, 1), -1);
+  EXPECT_EQ(alloc.placed_count(), 3u);
+  // Verify validity: all items placed at one of their choices, all slots
+  // distinct.
+  std::vector<std::int32_t> slots = {alloc.slot_of(0), alloc.slot_of(1),
+                                     alloc.slot_of(2)};
+  for (std::int32_t s : slots) EXPECT_GE(s, 0);
+  std::sort(slots.begin(), slots.end());
+  EXPECT_TRUE(std::unique(slots.begin(), slots.end()) == slots.end());
+}
+
+TEST(TwoChoiceAllocator, EqualChoicesItem) {
+  TwoChoiceAllocator alloc(3);
+  EXPECT_EQ(alloc.insert(0, 1, 1), -1);  // pinned to slot 1
+  EXPECT_EQ(alloc.slot_of(0), 1);
+  EXPECT_EQ(alloc.insert(1, 1, 2), -1);  // must take slot 2
+  EXPECT_EQ(alloc.slot_of(1), 2);
+  // A second pinned item on slot 1 is infeasible.
+  EXPECT_GE(alloc.insert(2, 1, 1), 0);
+}
+
+TEST(TwoChoiceAllocator, ClearResets) {
+  TwoChoiceAllocator alloc(2);
+  alloc.insert(0, 0, 1);
+  alloc.clear();
+  EXPECT_EQ(alloc.placed_count(), 0u);
+  EXPECT_EQ(alloc.slot_of(0), -1);
+  EXPECT_EQ(alloc.insert(1, 0, 0), -1);
+}
+
+TEST(TwoChoiceAllocator, ThrowsOnOutOfRangeChoice) {
+  TwoChoiceAllocator alloc(2);
+  EXPECT_THROW(alloc.insert(0, 0, 5), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------
+// Property: walk failure <=> graph infeasibility.
+//
+// Feasibility ground truth: in the cuckoo (multi)graph whose vertices are
+// slots and whose edges are items, a set of items is placeable iff every
+// connected component has #edges <= #vertices (Hall / pseudo-forest
+// condition for 2-choice matchings).
+// ---------------------------------------------------------------------
+
+struct Dsu {
+  std::vector<std::size_t> parent, vertices, edges;
+  explicit Dsu(std::size_t n) : parent(n), vertices(n, 1), edges(n, 0) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void add_edge(std::size_t a, std::size_t b) {
+    std::size_t ra = find(a), rb = find(b);
+    if (ra == rb) {
+      ++edges[ra];
+      return;
+    }
+    parent[rb] = ra;
+    vertices[ra] += vertices[rb];
+    edges[ra] += edges[rb] + 1;
+  }
+  bool feasible(std::size_t a) {
+    const std::size_t r = find(a);
+    return edges[r] <= vertices[r];
+  }
+  /// Un-count one edge in a's component (an item that ended up unplaced no
+  /// longer consumes slot capacity).
+  void drop_edge(std::size_t a) { --edges[find(a)]; }
+};
+
+class AllocatorFeasibilityProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorFeasibilityProperty, WalkFailureMatchesGraphInfeasibility) {
+  stats::Rng rng(GetParam());
+  constexpr std::size_t kSlots = 64;
+  constexpr std::size_t kItems = 80;  // above capacity → failures guaranteed
+  TwoChoiceAllocator alloc(kSlots);
+  Dsu dsu(kSlots);
+  std::size_t unplaced = 0;
+
+  for (std::uint32_t item = 0; item < kItems; ++item) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(kSlots));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(kSlots));
+    dsu.add_edge(a, b);
+    const std::int32_t displaced = alloc.insert(item, a, b);
+    // Invariant: the walk fails exactly when adding this edge made its
+    // component infeasible (counting only items that are actually placed).
+    EXPECT_EQ(displaced >= 0, !dsu.feasible(a))
+        << "item " << item << " seed " << GetParam();
+    if (displaced >= 0) {
+      ++unplaced;
+      dsu.drop_edge(a);  // the unplaced item consumes no capacity
+    }
+  }
+  EXPECT_EQ(alloc.placed_count() + unplaced, kItems);
+
+  // Final assignment validity: every placed item sits at one of its
+  // choices, and no slot holds two items.
+  std::vector<int> seen(kSlots, 0);
+  for (std::uint32_t item = 0; item < kItems; ++item) {
+    const std::int32_t slot = alloc.slot_of(item);
+    if (slot < 0) continue;
+    const auto [a, b] = alloc.choices_of(item);
+    EXPECT_TRUE(static_cast<std::uint32_t>(slot) == a ||
+                static_cast<std::uint32_t>(slot) == b);
+    EXPECT_EQ(seen[slot]++, 0);
+    EXPECT_EQ(alloc.item_in(static_cast<std::uint32_t>(slot)),
+              static_cast<std::int32_t>(item));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, AllocatorFeasibilityProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace rlb::cuckoo

@@ -1,0 +1,201 @@
+// Unit tests for batched greedy (policies/batched_greedy.hpp) and the
+// per-step series recorder (core/timeseries.hpp).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/simulator.hpp"
+#include "core/timeseries.hpp"
+#include "parallel/thread_pool.hpp"
+#include "policies/batched_greedy.hpp"
+#include "policies/factory.hpp"
+#include "policies/greedy.hpp"
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace rlb {
+namespace {
+
+policies::BatchedGreedyConfig batched_config() {
+  policies::BatchedGreedyConfig config;
+  config.servers = 256;
+  config.replication = 2;
+  config.processing_rate = 2;
+  config.queue_capacity = 16;
+  config.seed = 61;
+  return config;
+}
+
+TEST(BatchedGreedy, RejectsZeroRate) {
+  auto config = batched_config();
+  config.processing_rate = 0;
+  EXPECT_THROW(policies::BatchedGreedyBalancer{config},
+               std::invalid_argument);
+}
+
+TEST(BatchedGreedy, SnapshotSemanticsSendWholeBatchToOneServer) {
+  // m = 2, d = 2, one sub-step (g = 1): all requests in a step see the same
+  // (equal) snapshot, so all pick the same first-minimum server — the
+  // defining difference from sequential greedy, which alternates.
+  policies::BatchedGreedyConfig config;
+  config.servers = 2;
+  config.replication = 2;
+  config.processing_rate = 1;
+  config.queue_capacity = 100;
+  config.seed = 63;
+  policies::BatchedGreedyBalancer balancer(config);
+  // Pick 4 chunks whose FIRST placement choice is the same server, so the
+  // equal-backlog snapshot tie-break (first minimum) sends all of them
+  // there.  (Sequential greedy would alternate after the first arrival.)
+  std::vector<core::ChunkId> batch;
+  const core::ServerId target = balancer.placement().choices(0)[0];
+  for (core::ChunkId x = 0; batch.size() < 4; ++x) {
+    if (balancer.placement().choices(x)[0] == target) batch.push_back(x);
+  }
+  core::Metrics metrics;
+  balancer.step(0, batch, metrics);
+  // After the step: 4 arrivals on `target`, each server consumed <= 1.
+  const core::ServerId other = 1 - target;
+  EXPECT_EQ(balancer.backlog(target), 3u);  // 4 queued, 1 consumed
+  EXPECT_EQ(balancer.backlog(other), 0u);   // snapshot never updated
+}
+
+TEST(BatchedGreedy, ParallelAndSerialDecisionsBitIdentical) {
+  parallel::ThreadPool pool(4);
+  auto run = [&](parallel::ThreadPool* p) {
+    auto config = batched_config();
+    config.pool = p;
+    policies::BatchedGreedyBalancer balancer(config);
+    workloads::RepeatedSetWorkload workload(512, 1u << 20, 65);
+    core::SimConfig sim;
+    sim.steps = 40;
+    return core::simulate(balancer, workload, sim);
+  };
+  const core::SimResult serial = run(nullptr);
+  const core::SimResult parallel_run = run(&pool);
+  EXPECT_EQ(serial.metrics.completed(), parallel_run.metrics.completed());
+  EXPECT_EQ(serial.metrics.rejected(), parallel_run.metrics.rejected());
+  EXPECT_EQ(serial.max_backlog, parallel_run.max_backlog);
+  EXPECT_DOUBLE_EQ(serial.metrics.average_latency(),
+                   parallel_run.metrics.average_latency());
+}
+
+TEST(BatchedGreedy, QualityCloseToSequentialGreedy) {
+  // Batched decisions lose a little quality (the batch collides with
+  // itself) but must stay in the same class as sequential greedy — small
+  // constant backlogs, zero rejections at theorem parameters.
+  workloads::RepeatedSetWorkload workload_a(1024, 1u << 20, 67);
+  workloads::RepeatedSetWorkload workload_b(1024, 1u << 20, 67);
+  core::SimConfig sim;
+  sim.steps = 100;
+
+  auto batched = batched_config();
+  batched.servers = 1024;
+  batched.queue_capacity = 11;
+  policies::BatchedGreedyBalancer batched_balancer(batched);
+  const auto batched_result = core::simulate(batched_balancer, workload_a, sim);
+
+  policies::SingleQueueConfig sequential;
+  sequential.servers = 1024;
+  sequential.replication = 2;
+  sequential.processing_rate = 2;
+  sequential.queue_capacity = 11;
+  sequential.seed = 61;
+  policies::GreedyBalancer sequential_balancer(sequential);
+  const auto sequential_result =
+      core::simulate(sequential_balancer, workload_b, sim);
+
+  EXPECT_EQ(batched_result.metrics.rejected(), 0u);
+  EXPECT_EQ(sequential_result.metrics.rejected(), 0u);
+  EXPECT_LE(batched_result.max_backlog, sequential_result.max_backlog + 4);
+}
+
+TEST(BatchedGreedy, ConservationInvariant) {
+  policies::BatchedGreedyBalancer balancer(batched_config());
+  workloads::RepeatedSetWorkload workload(256, 1u << 18, 69);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 30; ++t) {
+    workload.fill_step(t, batch);
+    balancer.step(t, batch, metrics);
+    ASSERT_EQ(metrics.submitted(),
+              metrics.completed() + metrics.rejected() +
+                  balancer.total_backlog());
+  }
+}
+
+TEST(BatchedGreedy, FactoryConstructsIt) {
+  policies::PolicyConfig config;
+  config.servers = 64;
+  config.seed = 71;
+  auto policy = policies::make_policy("batched-greedy", config);
+  EXPECT_EQ(policy->name(), "batched-greedy");
+}
+
+// ----------------------------------------------------------- timeseries
+TEST(SeriesRecorder, SimulatorFillsOneSamplePerStep) {
+  policies::SingleQueueConfig config;
+  config.servers = 32;
+  config.replication = 2;
+  config.processing_rate = 2;
+  config.queue_capacity = 8;
+  config.seed = 73;
+  policies::GreedyBalancer balancer(config);
+  workloads::FreshUniformWorkload workload(32);
+  core::SeriesRecorder recorder;
+  core::SimConfig sim;
+  sim.steps = 25;
+  sim.recorder = &recorder;
+  (void)core::simulate(balancer, workload, sim);
+  ASSERT_EQ(recorder.size(), 25u);
+  EXPECT_EQ(recorder.samples().front().step, 0);
+  EXPECT_EQ(recorder.samples().back().step, 24);
+  // Cumulative counters are monotone.
+  for (std::size_t i = 1; i < recorder.size(); ++i) {
+    EXPECT_GE(recorder.samples()[i].submitted,
+              recorder.samples()[i - 1].submitted);
+    EXPECT_GE(recorder.samples()[i].completed,
+              recorder.samples()[i - 1].completed);
+  }
+  EXPECT_EQ(recorder.samples().back().submitted, 32u * 25);
+}
+
+TEST(SeriesRecorder, WindowedRejectionRate) {
+  core::SeriesRecorder recorder;
+  // Construct by hand: 10 requests per step, step 1 rejects 5.
+  core::StepSample s0;
+  s0.step = 0;
+  s0.submitted = 10;
+  s0.rejected = 0;
+  recorder.add(s0);
+  core::StepSample s1;
+  s1.step = 1;
+  s1.submitted = 20;
+  s1.rejected = 5;
+  s1.step_rejected = 5;
+  recorder.add(s1);
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(1, 2), 0.25);
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(0, 5), 0.0);
+  EXPECT_EQ(recorder.windowed_rejection_rate(9, 1), 0.0);  // out of range
+}
+
+TEST(SeriesRecorder, CsvFormat) {
+  core::SeriesRecorder recorder;
+  core::StepSample s;
+  s.step = 3;
+  s.submitted = 7;
+  s.rejected = 1;
+  s.completed = 5;
+  s.total_backlog = 1;
+  s.max_backlog = 1;
+  s.step_rejected = 1;
+  recorder.add(s);
+  std::ostringstream oss;
+  recorder.to_csv(oss);
+  EXPECT_NE(oss.str().find("step,submitted,rejected"), std::string::npos);
+  EXPECT_NE(oss.str().find("3,7,1,5,1,1,1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlb

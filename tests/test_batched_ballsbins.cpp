@@ -1,0 +1,81 @@
+// Unit tests for b-batched GREEDY[d] (ballsbins/strategies.hpp).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ballsbins/strategies.hpp"
+
+namespace rlb::ballsbins {
+namespace {
+
+std::uint64_t total(const std::vector<std::uint32_t>& loads) {
+  return std::accumulate(loads.begin(), loads.end(), std::uint64_t{0});
+}
+
+TEST(BatchedGreedyBins, RejectsBadArguments) {
+  stats::Rng rng(1);
+  EXPECT_THROW(batched_d_choice_greedy(0, 5, 2, 4, rng),
+               std::invalid_argument);
+  EXPECT_THROW(batched_d_choice_greedy(4, 5, 0, 4, rng),
+               std::invalid_argument);
+  EXPECT_THROW(batched_d_choice_greedy(4, 5, 2, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(BatchedGreedyBins, ConservesBalls) {
+  stats::Rng rng(2);
+  EXPECT_EQ(total(batched_d_choice_greedy(32, 1000, 2, 64, rng)), 1000u);
+  EXPECT_EQ(total(batched_d_choice_greedy(32, 7, 2, 64, rng)), 7u);  // short
+}
+
+TEST(BatchedGreedyBins, BatchOneMatchesSequentialDistributionally) {
+  // batch = 1 IS sequential greedy (snapshot refreshed per ball); compare
+  // average max loads over trials.
+  constexpr std::size_t kBins = 1024;
+  double batched = 0, sequential = 0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    stats::Rng r1(100 + t), r2(200 + t);
+    batched += max_load(batched_d_choice_greedy(kBins, kBins, 2, 1, r1));
+    sequential += max_load(d_choice_greedy(kBins, kBins, 2, r2));
+  }
+  EXPECT_NEAR(batched / kTrials, sequential / kTrials, 1.0);
+}
+
+TEST(BatchedGreedyBins, GapGrowsWithBatchSize) {
+  // The tower-of-two-choices effect: m-sized batches behave like
+  // one-choice within a batch, so the gap grows from ~loglog m (batch 1)
+  // toward the one-choice scale (batch >> m).
+  constexpr std::size_t kBins = 1024;
+  constexpr std::size_t kBalls = 16 * kBins;
+  auto mean_gap = [&](std::size_t batch) {
+    double acc = 0;
+    constexpr int kTrials = 8;
+    for (int t = 0; t < kTrials; ++t) {
+      stats::Rng rng(300 + t);
+      acc += load_gap(batched_d_choice_greedy(kBins, kBalls, 2, batch, rng));
+    }
+    return acc / kTrials;
+  };
+  const double small_batch = mean_gap(1);
+  const double medium_batch = mean_gap(kBins);
+  const double huge_batch = mean_gap(8 * kBins);
+  EXPECT_LE(small_batch, medium_batch + 0.5);
+  EXPECT_LT(medium_batch, huge_batch);
+  EXPECT_GT(huge_batch, small_batch + 2.0);
+}
+
+TEST(BatchedGreedyBins, WholeRunInOneBatchIsOneChoiceLike) {
+  // With batch >= balls, every decision sees the all-zero snapshot: for
+  // d = 2 the target is min(u1, u2)-biased but ignores actual loads — the
+  // max load must far exceed sequential greedy's.
+  constexpr std::size_t kBins = 2048;
+  stats::Rng r1(7), r2(7);
+  const auto one_batch =
+      batched_d_choice_greedy(kBins, kBins, 2, kBins * 2, r1);
+  const auto sequential = d_choice_greedy(kBins, kBins, 2, r2);
+  EXPECT_GT(max_load(one_batch), max_load(sequential));
+}
+
+}  // namespace
+}  // namespace rlb::ballsbins

@@ -1,0 +1,80 @@
+// Unit tests for the server cluster (core/cluster.hpp).
+#include "core/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlb::core {
+namespace {
+
+TEST(Cluster, RejectsZeroServers) {
+  EXPECT_THROW(Cluster(0, 4), std::invalid_argument);
+}
+
+TEST(Cluster, InitialStateAllEmpty) {
+  Cluster cluster(8, 3);
+  EXPECT_EQ(cluster.size(), 8u);
+  EXPECT_EQ(cluster.queue_capacity(), 3u);
+  EXPECT_EQ(cluster.total_backlog(), 0u);
+  for (ServerId s = 0; s < 8; ++s) {
+    EXPECT_EQ(cluster.backlog(s), 0u);
+    EXPECT_TRUE(cluster.empty(s));
+    EXPECT_FALSE(cluster.full(s));
+  }
+}
+
+TEST(Cluster, PushUpdatesBacklogCaches) {
+  Cluster cluster(4, 2);
+  EXPECT_TRUE(cluster.push(1, Request{10, 0}));
+  EXPECT_TRUE(cluster.push(1, Request{11, 0}));
+  EXPECT_EQ(cluster.backlog(1), 2u);
+  EXPECT_TRUE(cluster.full(1));
+  EXPECT_EQ(cluster.total_backlog(), 2u);
+  EXPECT_FALSE(cluster.push(1, Request{12, 0}));
+  EXPECT_EQ(cluster.total_backlog(), 2u);
+}
+
+TEST(Cluster, PopPreservesFifoAndCounts) {
+  Cluster cluster(2, 4);
+  cluster.push(0, Request{1, 5});
+  cluster.push(0, Request{2, 6});
+  const Request first = cluster.pop(0);
+  EXPECT_EQ(first.chunk, 1u);
+  EXPECT_EQ(first.arrival, 5);
+  EXPECT_EQ(cluster.backlog(0), 1u);
+  EXPECT_EQ(cluster.total_backlog(), 1u);
+}
+
+TEST(Cluster, ClearServerOnlyAffectsThatServer) {
+  Cluster cluster(3, 4);
+  cluster.push(0, Request{1, 0});
+  cluster.push(1, Request{2, 0});
+  cluster.push(1, Request{3, 0});
+  EXPECT_EQ(cluster.clear_server(1), 2u);
+  EXPECT_EQ(cluster.backlog(1), 0u);
+  EXPECT_EQ(cluster.backlog(0), 1u);
+  EXPECT_EQ(cluster.total_backlog(), 1u);
+}
+
+TEST(Cluster, ClearAllReturnsTotal) {
+  Cluster cluster(3, 4);
+  cluster.push(0, Request{1, 0});
+  cluster.push(1, Request{2, 0});
+  cluster.push(2, Request{3, 0});
+  EXPECT_EQ(cluster.clear_all(), 3u);
+  EXPECT_EQ(cluster.total_backlog(), 0u);
+}
+
+TEST(Cluster, BacklogsVectorMatchesIndividuals) {
+  Cluster cluster(5, 4);
+  cluster.push(2, Request{1, 0});
+  cluster.push(2, Request{2, 0});
+  cluster.push(4, Request{3, 0});
+  const auto& backlogs = cluster.backlogs();
+  ASSERT_EQ(backlogs.size(), 5u);
+  EXPECT_EQ(backlogs[2], 2u);
+  EXPECT_EQ(backlogs[4], 1u);
+  EXPECT_EQ(backlogs[0], 0u);
+}
+
+}  // namespace
+}  // namespace rlb::core

@@ -1,0 +1,164 @@
+// Parameterized property tests that every (policy × workload × seed)
+// combination must satisfy — the model's conservation laws and the
+// balancer contract, checked uniformly across the whole design space.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/mixed.hpp"
+#include "workloads/phased_churn.hpp"
+#include "workloads/repeated_set.hpp"
+#include "workloads/zipf_workload.hpp"
+
+namespace rlb {
+namespace {
+
+constexpr std::size_t kServers = 128;
+constexpr std::size_t kSteps = 40;
+
+std::unique_ptr<core::Workload> make_workload(const std::string& name,
+                                              std::uint64_t seed) {
+  if (name == "repeated") {
+    return std::make_unique<workloads::RepeatedSetWorkload>(
+        kServers, 1ULL << 30, seed);
+  }
+  if (name == "fresh") {
+    return std::make_unique<workloads::FreshUniformWorkload>(kServers);
+  }
+  if (name == "zipf") {
+    return std::make_unique<workloads::ZipfWorkload>(kServers, 4 * kServers,
+                                                     0.99, seed);
+  }
+  if (name == "churn") {
+    return std::make_unique<workloads::PhasedChurnWorkload>(kServers, 0.3, 3,
+                                                            seed);
+  }
+  return std::make_unique<workloads::MixedWorkload>(kServers, 0.5, seed);
+}
+
+using Combo = std::tuple<std::string, std::string, std::uint64_t>;
+
+class CrossPolicyProperty : public ::testing::TestWithParam<Combo> {
+ protected:
+  std::unique_ptr<core::LoadBalancer> make_balancer(std::uint64_t seed) {
+    policies::PolicyConfig config;
+    config.servers = kServers;
+    config.replication = 2;
+    // g = 16 keeps every policy inside its constructible regime (delayed
+    // cuckoo needs (g/4)*phase_length >= q with q = 8 and derived phase 3).
+    config.processing_rate = 16;
+    config.queue_capacity = 8;
+    config.seed = seed;
+    return policies::make_policy(std::get<0>(GetParam()), config);
+  }
+};
+
+TEST_P(CrossPolicyProperty, ConservationHoldsAfterEveryStep) {
+  const auto& [policy_name, workload_name, seed] = GetParam();
+  auto balancer = make_balancer(seed);
+  auto workload = make_workload(workload_name, seed);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < static_cast<core::Time>(kSteps); ++t) {
+    workload->fill_step(t, batch);
+    balancer->step(t, batch, metrics);
+    ASSERT_EQ(metrics.submitted(),
+              metrics.completed() + metrics.rejected() +
+                  balancer->total_backlog())
+        << policy_name << "/" << workload_name << " step " << t;
+  }
+}
+
+TEST_P(CrossPolicyProperty, BacklogsNeverExceedConfiguredCapacity) {
+  const auto& [policy_name, workload_name, seed] = GetParam();
+  auto balancer = make_balancer(seed);
+  auto workload = make_workload(workload_name, seed);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  std::vector<std::uint32_t> backlogs;
+  // delayed-cuckoo holds 4 queues of q; single-queue policies hold one.
+  const std::uint32_t limit = policy_name == "delayed-cuckoo" ? 4 * 8 : 8;
+  for (core::Time t = 0; t < static_cast<core::Time>(kSteps); ++t) {
+    workload->fill_step(t, batch);
+    balancer->step(t, batch, metrics);
+    balancer->backlogs(backlogs);
+    for (const std::uint32_t b : backlogs) {
+      ASSERT_LE(b, limit) << policy_name << "/" << workload_name;
+    }
+  }
+}
+
+TEST_P(CrossPolicyProperty, DeterministicReplay) {
+  const auto& [policy_name, workload_name, seed] = GetParam();
+  auto run = [&] {
+    auto balancer = make_balancer(seed);
+    auto workload = make_workload(workload_name, seed);
+    core::SimConfig sim;
+    sim.steps = kSteps;
+    return core::simulate(*balancer, *workload, sim);
+  };
+  const core::SimResult a = run();
+  const core::SimResult b = run();
+  EXPECT_EQ(a.metrics.submitted(), b.metrics.submitted());
+  EXPECT_EQ(a.metrics.completed(), b.metrics.completed());
+  EXPECT_EQ(a.metrics.rejected(), b.metrics.rejected());
+  EXPECT_EQ(a.max_backlog, b.max_backlog);
+}
+
+TEST_P(CrossPolicyProperty, FlushEmptiesEverythingAndCounts) {
+  const auto& [policy_name, workload_name, seed] = GetParam();
+  auto balancer = make_balancer(seed);
+  auto workload = make_workload(workload_name, seed);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 10; ++t) {
+    workload->fill_step(t, batch);
+    balancer->step(t, batch, metrics);
+  }
+  const std::uint64_t queued = balancer->total_backlog();
+  const std::uint64_t dropped_before = metrics.dropped_from_queue();
+  balancer->flush(metrics);
+  EXPECT_EQ(balancer->total_backlog(), 0u);
+  EXPECT_EQ(metrics.dropped_from_queue() - dropped_before, queued);
+}
+
+TEST_P(CrossPolicyProperty, LatencyBoundedByQueueSojourn) {
+  // A request can wait at most (queue capacity) consumption opportunities;
+  // with per-queue drain >= 1/step that is <= total-capacity steps.  Checks
+  // the latency accounting cannot run away.
+  const auto& [policy_name, workload_name, seed] = GetParam();
+  auto balancer = make_balancer(seed);
+  auto workload = make_workload(workload_name, seed);
+  core::SimConfig sim;
+  sim.steps = kSteps;
+  const core::SimResult r = core::simulate(*balancer, *workload, sim);
+  const std::uint64_t limit = policy_name == "delayed-cuckoo" ? 4 * 8 : 8;
+  EXPECT_LE(r.metrics.max_latency(), limit + 1)
+      << policy_name << "/" << workload_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, CrossPolicyProperty,
+    ::testing::Combine(::testing::Values("greedy", "greedy-d1", "greedy-left",
+                                         "delayed-cuckoo", "random-of-d",
+                                         "per-step-greedy", "round-robin",
+                                         "threshold"),
+                       ::testing::Values("repeated", "fresh", "zipf"),
+                       ::testing::Values<std::uint64_t>(7, 1234)),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param) + "_s" +
+                         std::to_string(std::get<2>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace rlb

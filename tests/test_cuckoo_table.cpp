@@ -1,0 +1,119 @@
+// Unit tests for the online cuckoo table with stash (cuckoo/cuckoo_table.hpp).
+#include "cuckoo/cuckoo_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "stats/rng.hpp"
+
+namespace rlb::cuckoo {
+namespace {
+
+TEST(CuckooTable, RejectsZeroPositions) {
+  EXPECT_THROW(CuckooTable(0, 2, 1), std::invalid_argument);
+}
+
+TEST(CuckooTable, InsertContainsErase) {
+  CuckooTable table(64, 2, 1);
+  EXPECT_FALSE(table.contains(42));
+  EXPECT_TRUE(table.insert(42));
+  EXPECT_TRUE(table.contains(42));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.erase(42));
+  EXPECT_FALSE(table.contains(42));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.erase(42));
+}
+
+TEST(CuckooTable, DuplicateInsertIsIdempotent) {
+  CuckooTable table(64, 2, 1);
+  EXPECT_TRUE(table.insert(7));
+  EXPECT_TRUE(table.insert(7));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(CuckooTable, PlacedKeysAreAtOneOfTheirHashes) {
+  CuckooTable table(128, 4, 3);
+  for (std::uint64_t key = 0; key < 40; ++key) {
+    ASSERT_TRUE(table.insert(key));
+  }
+  for (std::uint64_t key = 0; key < 40; ++key) {
+    const auto pos = table.position_of(key);
+    if (!pos.has_value()) continue;  // stashed
+    EXPECT_TRUE(*pos == table.hash1(key) || *pos == table.hash2(key))
+        << "key " << key;
+  }
+}
+
+TEST(CuckooTable, LoadThirdSucceedsWithSmallStash) {
+  // m/3 keys into m positions with stash 4 — the Theorem 4.1 regime; at
+  // this density failures should not occur for moderate m.
+  constexpr std::size_t kPositions = 999;
+  CuckooTable table(kPositions, 4, 17);
+  for (std::uint64_t key = 0; key < kPositions / 3; ++key) {
+    ASSERT_TRUE(table.insert(key)) << "key " << key;
+  }
+  EXPECT_EQ(table.size(), kPositions / 3);
+  EXPECT_LE(table.stash_size(), 4u);
+  for (std::uint64_t key = 0; key < kPositions / 3; ++key) {
+    EXPECT_TRUE(table.contains(key));
+  }
+}
+
+TEST(CuckooTable, OverfullTableEventuallyFailsButStaysConsistent) {
+  // Push far past the 50% feasibility threshold; inserts must start
+  // failing, and every key reported as contained must actually be findable.
+  CuckooTable table(32, 2, 5);
+  std::unordered_set<std::uint64_t> inserted;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    if (table.insert(key)) inserted.insert(key);
+  }
+  EXPECT_LT(inserted.size(), 64u);
+  EXPECT_GE(inserted.size(), 16u);
+  for (std::uint64_t key : inserted) {
+    EXPECT_TRUE(table.contains(key)) << "lost key " << key;
+  }
+  EXPECT_EQ(table.size(), inserted.size());
+}
+
+TEST(CuckooTable, FailedInsertRollsBackCleanly) {
+  CuckooTable table(8, 0, 7);  // no stash: failures come early
+  std::unordered_set<std::uint64_t> inserted;
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    if (table.insert(key)) inserted.insert(key);
+  }
+  // After any number of failures the resident set must be exactly the
+  // successfully inserted keys.
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    EXPECT_EQ(table.contains(key), inserted.count(key) > 0) << key;
+  }
+}
+
+TEST(CuckooTable, EraseFromStashFreesSpace) {
+  CuckooTable table(16, 1, 11);
+  // Fill until something lands in the stash.
+  std::uint64_t key = 0;
+  while (table.stash_size() == 0 && key < 1000) {
+    table.insert(key++);
+  }
+  ASSERT_EQ(table.stash_size(), 1u);
+  // Find the stashed key by elimination: it is in the table but not at
+  // either hash position.
+  std::uint64_t stashed = 0;
+  bool found = false;
+  for (std::uint64_t k = 0; k < key; ++k) {
+    if (table.contains(k) && !table.position_of(k).has_value()) {
+      stashed = k;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_TRUE(table.erase(stashed));
+  EXPECT_EQ(table.stash_size(), 0u);
+  EXPECT_FALSE(table.contains(stashed));
+}
+
+}  // namespace
+}  // namespace rlb::cuckoo

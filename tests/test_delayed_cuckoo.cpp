@@ -1,0 +1,235 @@
+// Unit tests for delayed cuckoo routing (policies/delayed_cuckoo.hpp).
+#include "policies/delayed_cuckoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/simulator.hpp"
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/mixed.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace rlb::policies {
+namespace {
+
+DelayedCuckooConfig small_config() {
+  DelayedCuckooConfig config;
+  config.servers = 128;
+  config.processing_rate = 16;
+  config.seed = 21;
+  return config;
+}
+
+TEST(DelayedCuckoo, RejectsBadProcessingRate) {
+  DelayedCuckooConfig config = small_config();
+  config.processing_rate = 6;  // not a multiple of 4
+  EXPECT_THROW(DelayedCuckooBalancer{config}, std::invalid_argument);
+  config.processing_rate = 0;
+  EXPECT_THROW(DelayedCuckooBalancer{config}, std::invalid_argument);
+}
+
+TEST(DelayedCuckoo, RejectsUndrainableConfiguration) {
+  DelayedCuckooConfig config = small_config();
+  config.processing_rate = 4;   // drains 1 per queue per step
+  config.phase_length = 2;
+  config.queue_capacity = 100;  // (g/4)·L = 2 < 100
+  EXPECT_THROW(DelayedCuckooBalancer{config}, std::invalid_argument);
+}
+
+TEST(DelayedCuckoo, DerivedParameters) {
+  DelayedCuckooBalancer balancer(small_config());
+  // m = 128: log2 m = 7, ceil(log2 7) = 3.
+  EXPECT_EQ(balancer.phase_length(), 3u);
+  EXPECT_EQ(balancer.queue_capacity(), 12u);  // 4 * phase_length
+  EXPECT_EQ(balancer.processing_rate(), 16u);
+  EXPECT_EQ(balancer.name(), "delayed-cuckoo");
+  EXPECT_EQ(balancer.server_count(), 128u);
+}
+
+TEST(DelayedCuckoo, FirstStepUsesQQueuesOnly) {
+  DelayedCuckooBalancer balancer(small_config());
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::ChunkId x = 0; x < 128; ++x) batch.push_back(x);
+  balancer.step(0, batch, metrics);
+  // No chunk has appeared before, so no P-queue arrivals.
+  const auto& p_arrivals = balancer.p_arrivals_this_step();
+  EXPECT_TRUE(std::all_of(p_arrivals.begin(), p_arrivals.end(),
+                          [](std::uint32_t v) { return v == 0; }));
+  EXPECT_EQ(metrics.rejected(), 0u);
+}
+
+TEST(DelayedCuckoo, ReappearancesRouteThroughPQueues) {
+  DelayedCuckooBalancer balancer(small_config());
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::ChunkId x = 0; x < 128; ++x) batch.push_back(x);
+  balancer.step(0, batch, metrics);
+  balancer.step(1, batch, metrics);  // same chunks: all reappearances
+  const auto& p_arrivals = balancer.p_arrivals_this_step();
+  std::uint64_t total_p = 0;
+  for (const std::uint32_t v : p_arrivals) total_p += v;
+  EXPECT_EQ(total_p, 128u);  // every request went via its T_0 assignment
+}
+
+TEST(DelayedCuckoo, PArrivalsPerServerAreConstantBounded) {
+  // Lemma 4.2 ⇒ per-step P arrivals per server <= 3 + stash (7 with the
+  // default stash of 4) — deterministically, given assignment success.
+  DelayedCuckooBalancer balancer(small_config());
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::ChunkId x = 0; x < 128; ++x) batch.push_back(x);
+  for (core::Time t = 0; t < 20; ++t) {
+    balancer.step(t, batch, metrics);
+    const auto& p_arrivals = balancer.p_arrivals_this_step();
+    for (const std::uint32_t v : p_arrivals) {
+      EXPECT_LE(v, 7u) << "step " << t;
+    }
+  }
+  EXPECT_EQ(balancer.assignment_failures(), 0u);
+}
+
+TEST(DelayedCuckoo, RepeatedSetProducesNoRejections) {
+  DelayedCuckooBalancer balancer(small_config());
+  workloads::RepeatedSetWorkload workload(128, 1u << 20, 23);
+  core::SimConfig sim;
+  sim.steps = 200;
+  const core::SimResult result = core::simulate(balancer, workload, sim);
+  EXPECT_EQ(result.metrics.rejected(), 0u);
+  EXPECT_LT(result.metrics.average_latency(), 2.0);
+  // Max latency bounded by O(log log m): with q = 12 per queue and 4
+  // queues, waits stay far below greedy's log-m scale.
+  EXPECT_LE(result.metrics.max_latency(), 12u);
+}
+
+TEST(DelayedCuckoo, FreshWorkloadAlsoClean) {
+  DelayedCuckooBalancer balancer(small_config());
+  workloads::FreshUniformWorkload workload(128);
+  core::SimConfig sim;
+  sim.steps = 100;
+  const core::SimResult result = core::simulate(balancer, workload, sim);
+  EXPECT_EQ(result.metrics.rejected(), 0u);
+}
+
+TEST(DelayedCuckoo, MixedWorkloadClean) {
+  DelayedCuckooBalancer balancer(small_config());
+  workloads::MixedWorkload workload(128, 0.5, 29);
+  core::SimConfig sim;
+  sim.steps = 150;
+  const core::SimResult result = core::simulate(balancer, workload, sim);
+  EXPECT_EQ(result.metrics.rejected(), 0u);
+}
+
+TEST(DelayedCuckoo, ConservationInvariant) {
+  DelayedCuckooBalancer balancer(small_config());
+  workloads::RepeatedSetWorkload workload(128, 1u << 16, 31);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 37; ++t) {
+    workload.fill_step(t, batch);
+    balancer.step(t, batch, metrics);
+    EXPECT_EQ(metrics.submitted(),
+              metrics.completed() + metrics.rejected() +
+                  balancer.total_backlog())
+        << "step " << t;
+  }
+}
+
+TEST(DelayedCuckoo, FlushEmptiesAllFourQueues) {
+  DelayedCuckooConfig config = small_config();
+  config.processing_rate = 4;  // slow drain so backlog accumulates
+  config.phase_length = 8;
+  config.queue_capacity = 8;
+  DelayedCuckooBalancer balancer(config);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::ChunkId x = 0; x < 128; ++x) batch.push_back(x);
+  for (core::Time t = 0; t < 10; ++t) balancer.step(t, batch, metrics);
+  const std::uint64_t queued = balancer.total_backlog();
+  balancer.flush(metrics);
+  EXPECT_EQ(balancer.total_backlog(), 0u);
+  EXPECT_GE(metrics.dropped_from_queue(), queued);
+}
+
+TEST(DelayedCuckoo, PhaseBoundaryResetsReappearanceTracking) {
+  DelayedCuckooConfig config = small_config();
+  config.phase_length = 2;
+  config.queue_capacity = 8;
+  DelayedCuckooBalancer balancer(config);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::ChunkId x = 0; x < 64; ++x) batch.push_back(x);
+
+  balancer.step(0, batch, metrics);  // phase 0, step 0: all fresh
+  balancer.step(1, batch, metrics);  // phase 0, step 1: all reappear
+  {
+    std::uint64_t total_p = 0;
+    for (const std::uint32_t v : balancer.p_arrivals_this_step()) {
+      total_p += v;
+    }
+    EXPECT_EQ(total_p, 64u);
+  }
+  balancer.step(2, batch, metrics);  // phase 1, step 0: fresh again
+  {
+    std::uint64_t total_p = 0;
+    for (const std::uint32_t v : balancer.p_arrivals_this_step()) {
+      total_p += v;
+    }
+    EXPECT_EQ(total_p, 0u);
+  }
+}
+
+TEST(DelayedCuckoo, AssignmentFailurePathRejectsReappearances) {
+  // With stash 0 at small m, Lemma 4.2 failures occur at a visible rate;
+  // the paper specifies that reappearances consulting a failed T_t are
+  // rejected.  Scan seeds deterministically until a failing configuration
+  // is found, then verify the consequences.
+  // The same set repeats, so T_t is recomputed identically each step: a
+  // seed either fails at step 0 or never.  Group load is always <= 1/3,
+  // putting the stash-0 failure probability at a small multiple of 1/m —
+  // scan a few thousand seeds with 3-step runs (cheap at m = 24).
+  for (std::uint64_t seed = 1; seed <= 4000; ++seed) {
+    DelayedCuckooConfig config;
+    config.servers = 24;
+    config.processing_rate = 16;
+    config.phase_length = 4;
+    config.queue_capacity = 16;
+    config.stash_per_group = 0;
+    config.seed = seed;
+    DelayedCuckooBalancer balancer(config);
+    core::Metrics metrics;
+    std::vector<core::ChunkId> batch;
+    for (core::ChunkId x = 0; x < 24; ++x) batch.push_back(x);
+    for (core::Time t = 0; t < 3; ++t) balancer.step(t, batch, metrics);
+    if (balancer.assignment_failures() == 0) continue;
+    // Found one: every rejection in this run is the kFailed path (queues
+    // are far from full at g = 16, q = 16).
+    EXPECT_GT(metrics.rejected(), 0u) << "seed " << seed;
+    // And conservation still holds despite the failure path.
+    EXPECT_EQ(metrics.submitted(),
+              metrics.completed() + metrics.rejected() +
+                  balancer.total_backlog());
+    return;
+  }
+  GTEST_SKIP() << "no assignment failure in 4000 seeds (stash 0, m = 24) — "
+                  "environment RNG differs";
+}
+
+TEST(DelayedCuckoo, DeterministicReplay) {
+  auto run = [] {
+    DelayedCuckooBalancer balancer(small_config());
+    workloads::RepeatedSetWorkload workload(128, 4096, 33);
+    core::SimConfig sim;
+    sim.steps = 60;
+    return core::simulate(balancer, workload, sim);
+  };
+  const core::SimResult a = run();
+  const core::SimResult b = run();
+  EXPECT_EQ(a.metrics.completed(), b.metrics.completed());
+  EXPECT_EQ(a.max_backlog, b.max_backlog);
+  EXPECT_DOUBLE_EQ(a.metrics.average_latency(), b.metrics.average_latency());
+}
+
+}  // namespace
+}  // namespace rlb::policies

@@ -1,0 +1,185 @@
+// Differential test: DelayedCuckooBalancer vs an independent, deliberately
+// naive re-implementation of the Section 4.1 algorithm.
+//
+// The reference uses plain std::deques, no ring buffers, no backlog caches,
+// and recomputes everything from the algorithm's prose: phases of L steps,
+// four queues per server draining g/4 each, first-access-per-phase → lesser
+// Q, reappearance → P at the previous step's offline cuckoo assignment,
+// leftovers moved to carry-over queues at phase boundaries.  Both
+// implementations share only core::Placement and cuckoo::assign_offline
+// (deterministic pure functions), so any disagreement in per-step
+// submitted/rejected/completed counts or per-server backlogs is a routing
+// or queueing bug in one of them.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_map>
+
+#include "core/placement.hpp"
+#include "cuckoo/offline_assignment.hpp"
+#include "policies/delayed_cuckoo.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb {
+namespace {
+
+struct ReferenceDelayedCuckoo {
+  std::size_t m;
+  unsigned g;
+  std::size_t q;
+  std::size_t phase_length;
+  std::size_t stash;
+  core::Placement placement;
+
+  struct Server {
+    std::deque<core::ChunkId> queue_q, queue_p, prev_q, prev_p;
+  };
+  std::vector<Server> servers;
+  static constexpr std::uint32_t kFailed = 0xffffffffu;
+  std::unordered_map<core::ChunkId, std::uint32_t> assignment;
+  std::size_t steps_into_phase = 0;
+
+  std::uint64_t submitted = 0, rejected = 0, completed = 0;
+
+  ReferenceDelayedCuckoo(std::size_t m_, unsigned g_, std::size_t q_,
+                         std::size_t phase_, std::size_t stash_,
+                         std::uint64_t seed)
+      : m(m_),
+        g(g_),
+        q(q_),
+        phase_length(phase_),
+        stash(stash_),
+        placement(m_, 2, seed),
+        servers(m_) {}
+
+  void step(const std::vector<core::ChunkId>& requests) {
+    if (steps_into_phase == phase_length) {
+      for (Server& server : servers) {
+        // Prev queues are guaranteed empty by the drain inequality.
+        server.prev_q = std::move(server.queue_q);
+        server.queue_q.clear();
+        server.prev_p = std::move(server.queue_p);
+        server.queue_p.clear();
+      }
+      assignment.clear();
+      steps_into_phase = 0;
+    }
+
+    // Deliver.
+    for (const core::ChunkId x : requests) {
+      ++submitted;
+      const auto it = assignment.find(x);
+      if (it != assignment.end()) {
+        if (it->second == kFailed) {
+          ++rejected;
+          continue;
+        }
+        Server& target = servers[it->second];
+        if (target.queue_p.size() >= q) {
+          ++rejected;
+        } else {
+          target.queue_p.push_back(x);
+        }
+        continue;
+      }
+      const core::ChoiceList choices = placement.choices(x);
+      Server& a = servers[choices[0]];
+      Server& b = servers[choices[1]];
+      Server& target = a.queue_q.size() <= b.queue_q.size() ? a : b;
+      if (target.queue_q.size() >= q) {
+        ++rejected;
+      } else {
+        target.queue_q.push_back(x);
+      }
+    }
+
+    // Process g/4 from each queue.
+    const unsigned per_queue = g / 4;
+    for (Server& server : servers) {
+      for (auto* queue :
+           {&server.queue_q, &server.queue_p, &server.prev_q,
+            &server.prev_p}) {
+        for (unsigned i = 0; i < per_queue && !queue->empty(); ++i) {
+          queue->pop_front();
+          ++completed;
+        }
+      }
+    }
+
+    // Offline assignment for this step's set.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> choices;
+    choices.reserve(requests.size());
+    for (const core::ChunkId x : requests) {
+      const core::ChoiceList list = placement.choices(x);
+      choices.emplace_back(list[0], list[1]);
+    }
+    const cuckoo::OfflineAssignment result =
+        cuckoo::assign_offline(choices, m, stash);
+    if (result.success) {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        assignment[requests[i]] = result.assignment[i];
+      }
+    } else {
+      for (const core::ChunkId x : requests) assignment[x] = kFailed;
+    }
+    ++steps_into_phase;
+  }
+
+  std::uint32_t backlog(std::size_t s) const {
+    const Server& server = servers[s];
+    return static_cast<std::uint32_t>(
+        server.queue_q.size() + server.queue_p.size() +
+        server.prev_q.size() + server.prev_p.size());
+  }
+};
+
+class DelayedCuckooDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DelayedCuckooDifferential, MatchesNaiveReference) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::size_t kM = 64;
+  constexpr unsigned kG = 8;
+  constexpr std::size_t kQ = 6;
+  constexpr std::size_t kPhase = 3;
+  constexpr std::size_t kStash = 4;
+
+  policies::DelayedCuckooConfig config;
+  config.servers = kM;
+  config.processing_rate = kG;
+  config.queue_capacity = kQ;
+  config.phase_length = kPhase;
+  config.stash_per_group = kStash;
+  config.seed = seed;
+  policies::DelayedCuckooBalancer balancer(config);
+  ReferenceDelayedCuckoo reference(kM, kG, kQ, kPhase, kStash, seed);
+
+  stats::Rng workload_rng(stats::derive_seed(seed, 50));
+  core::Metrics metrics;
+  for (core::Time t = 0; t < 50; ++t) {
+    // Varying batch sizes from a small universe → heavy reappearance, and
+    // phases see partially-overlapping sets.
+    const std::size_t count = 1 + workload_rng.next_below(kM);
+    const std::vector<core::ChunkId> batch =
+        stats::sample_without_replacement(2 * kM, count, workload_rng);
+
+    balancer.step(t, batch, metrics);
+    reference.step(batch);
+
+    ASSERT_EQ(metrics.submitted(), reference.submitted) << "step " << t;
+    ASSERT_EQ(metrics.rejected(), reference.rejected) << "step " << t;
+    ASSERT_EQ(metrics.completed(), reference.completed) << "step " << t;
+    for (std::size_t s = 0; s < kM; ++s) {
+      ASSERT_EQ(balancer.backlog(static_cast<core::ServerId>(s)),
+                reference.backlog(s))
+          << "server " << s << " step " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelayedCuckooDifferential,
+                         ::testing::Range<std::uint64_t>(40, 52));
+
+}  // namespace
+}  // namespace rlb

@@ -1,0 +1,200 @@
+// Differential tests: core components fuzzed against independent reference
+// models.
+//
+//   * ServerQueue vs std::deque with a capacity guard
+//   * Cluster backlog caches vs recomputation from scratch
+//   * GreedyBalancer's full step vs a from-scratch reference simulator
+//     (separate code path: no Cluster, no sub-step helper — just the
+//     model's definition executed naively)
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "core/cluster.hpp"
+#include "core/placement.hpp"
+#include "core/server_queue.hpp"
+#include "policies/greedy.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb {
+namespace {
+
+// ------------------------------------------------------- ServerQueue fuzz
+class ServerQueueDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ServerQueueDifferential, MatchesDequeReference) {
+  stats::Rng rng(GetParam());
+  const std::size_t capacity = 1 + rng.next_below(16);
+  core::ServerQueue queue(capacity);
+  std::deque<core::Request> reference;
+
+  for (int op = 0; op < 2000; ++op) {
+    const std::uint64_t action = rng.next_below(10);
+    if (action < 5) {  // push
+      const core::Request request{rng.next(), static_cast<core::Time>(op)};
+      const bool expect_ok = reference.size() < capacity;
+      EXPECT_EQ(queue.push(request), expect_ok);
+      if (expect_ok) reference.push_back(request);
+    } else if (action < 9) {  // pop
+      if (reference.empty()) {
+        EXPECT_TRUE(queue.empty());
+      } else {
+        const core::Request popped = queue.pop();
+        EXPECT_EQ(popped.chunk, reference.front().chunk);
+        EXPECT_EQ(popped.arrival, reference.front().arrival);
+        reference.pop_front();
+      }
+    } else {  // clear
+      EXPECT_EQ(queue.clear(), reference.size());
+      reference.clear();
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+    ASSERT_EQ(queue.empty(), reference.empty());
+    ASSERT_EQ(queue.full(), reference.size() == capacity);
+    if (!reference.empty()) {
+      ASSERT_EQ(queue.front().chunk, reference.front().chunk);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServerQueueDifferential,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ----------------------------------------------------------- Cluster fuzz
+TEST(ClusterDifferential, BacklogCachesMatchRecomputation) {
+  stats::Rng rng(99);
+  core::Cluster cluster(16, 4);
+  std::vector<std::deque<core::Request>> reference(16);
+
+  for (int op = 0; op < 5000; ++op) {
+    const auto server = static_cast<core::ServerId>(rng.next_below(16));
+    const std::uint64_t action = rng.next_below(10);
+    if (action < 5) {
+      const core::Request request{rng.next(), 0};
+      const bool expect_ok = reference[server].size() < 4;
+      ASSERT_EQ(cluster.push(server, request), expect_ok);
+      if (expect_ok) reference[server].push_back(request);
+    } else if (action < 8) {
+      if (!reference[server].empty()) {
+        ASSERT_EQ(cluster.pop(server).chunk,
+                  reference[server].front().chunk);
+        reference[server].pop_front();
+      }
+    } else if (action < 9) {
+      ASSERT_EQ(cluster.clear_server(server), reference[server].size());
+      reference[server].clear();
+    }
+    // Cross-check every cached count against the reference.
+    std::uint64_t total = 0;
+    for (core::ServerId s = 0; s < 16; ++s) {
+      ASSERT_EQ(cluster.backlog(s), reference[s].size());
+      total += reference[s].size();
+    }
+    ASSERT_EQ(cluster.total_backlog(), total);
+  }
+}
+
+// --------------------------------------------- Greedy reference simulator
+// An independent, deliberately naive implementation of the §3 greedy step:
+// plain vectors of requests, argmin recomputed per routing decision,
+// reject-arrival overflow.
+struct ReferenceGreedy {
+  std::size_t m;
+  unsigned d, g;
+  std::size_t q;
+  const core::Placement& placement;
+  std::vector<std::vector<core::Request>> queues;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+
+  ReferenceGreedy(std::size_t m_, unsigned d_, unsigned g_, std::size_t q_,
+                  const core::Placement& p)
+      : m(m_), d(d_), g(g_), q(q_), placement(p), queues(m_) {}
+
+  void step(core::Time t, const std::vector<core::ChunkId>& requests) {
+    std::size_t cursor = 0;
+    const std::size_t base = requests.size() / g;
+    const std::size_t extra = requests.size() % g;
+    for (unsigned sub = 0; sub < g; ++sub) {
+      const std::size_t take = base + (sub < extra ? 1 : 0);
+      for (std::size_t i = 0; i < take; ++i) {
+        const core::ChunkId x = requests[cursor++];
+        const core::ChoiceList choices = placement.choices(x);
+        core::ServerId best = choices[0];
+        for (const core::ServerId candidate : choices) {
+          if (queues[candidate].size() < queues[best].size()) {
+            best = candidate;
+          }
+        }
+        if (queues[best].size() >= q) {
+          ++rejected;
+        } else {
+          queues[best].push_back(core::Request{x, t});
+        }
+      }
+      for (auto& queue : queues) {
+        if (!queue.empty()) {
+          queue.erase(queue.begin());
+          ++completed;
+        }
+      }
+    }
+  }
+
+  std::uint64_t total_backlog() const {
+    std::uint64_t total = 0;
+    for (const auto& queue : queues) total += queue.size();
+    return total;
+  }
+};
+
+class GreedyDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyDifferential, FullStepMatchesNaiveReference) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::size_t kM = 32;
+  constexpr unsigned kD = 2;
+  constexpr unsigned kG = 2;
+  constexpr std::size_t kQ = 4;
+
+  policies::SingleQueueConfig config;
+  config.servers = kM;
+  config.replication = kD;
+  config.processing_rate = kG;
+  config.queue_capacity = kQ;
+  config.seed = seed;
+  config.overflow = policies::OverflowPolicy::kRejectArrival;
+  policies::GreedyBalancer balancer(config);
+  ReferenceGreedy reference(kM, kD, kG, kQ, balancer.placement());
+
+  stats::Rng workload_rng(stats::derive_seed(seed, 5));
+  core::Metrics metrics;
+  for (core::Time t = 0; t < 60; ++t) {
+    // Random batch size up to m of distinct chunks from a small universe
+    // (reappearances guaranteed).
+    const std::size_t count = 1 + workload_rng.next_below(kM);
+    std::vector<core::ChunkId> batch =
+        stats::sample_without_replacement(3 * kM, count, workload_rng);
+
+    balancer.step(t, batch, metrics);
+    reference.step(t, batch);
+
+    ASSERT_EQ(metrics.rejected(), reference.rejected) << "step " << t;
+    ASSERT_EQ(metrics.completed(), reference.completed) << "step " << t;
+    ASSERT_EQ(balancer.total_backlog(), reference.total_backlog())
+        << "step " << t;
+    for (core::ServerId s = 0; s < kM; ++s) {
+      ASSERT_EQ(balancer.backlog(s), reference.queues[s].size())
+          << "server " << s << " step " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyDifferential,
+                         ::testing::Range<std::uint64_t>(20, 32));
+
+}  // namespace
+}  // namespace rlb

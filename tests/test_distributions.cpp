@@ -1,0 +1,151 @@
+// Unit tests for samplers (stats/distributions.hpp).
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+namespace rlb::stats {
+namespace {
+
+TEST(Shuffle, PreservesMultiset) {
+  Rng rng(1);
+  std::vector<std::uint64_t> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = values;
+  shuffle(copy, rng);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, values);
+}
+
+TEST(Shuffle, EmptyAndSingletonAreNoOps) {
+  Rng rng(2);
+  std::vector<std::uint64_t> empty;
+  shuffle(empty, rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<std::uint64_t> one = {42};
+  shuffle(one, rng);
+  EXPECT_EQ(one, std::vector<std::uint64_t>{42});
+}
+
+TEST(Shuffle, ProducesDifferentOrders) {
+  Rng rng(3);
+  std::vector<std::uint64_t> values(50);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = i;
+  const auto original = values;
+  shuffle(values, rng);
+  EXPECT_NE(values, original);  // probability 1/50! of flaking
+}
+
+TEST(Shuffle, AllPermutationsOfThreeAppear) {
+  Rng rng(5);
+  std::set<std::vector<std::uint64_t>> seen;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint64_t> values = {0, 1, 2};
+    shuffle(values, rng);
+    seen.insert(values);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(SampleWithoutReplacement, CorrectSizeAndDistinct) {
+  Rng rng(7);
+  const auto sample = sample_without_replacement(1000, 100, rng);
+  EXPECT_EQ(sample.size(), 100u);
+  std::unordered_set<std::uint64_t> set(sample.begin(), sample.end());
+  EXPECT_EQ(set.size(), 100u);
+  for (std::uint64_t v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(SampleWithoutReplacement, FullUniverse) {
+  Rng rng(9);
+  auto sample = sample_without_replacement(20, 20, rng);
+  std::sort(sample.begin(), sample.end());
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(SampleWithoutReplacement, RejectsOversizedRequest) {
+  Rng rng(11);
+  EXPECT_THROW(sample_without_replacement(5, 6, rng), std::invalid_argument);
+}
+
+TEST(SampleWithoutReplacement, HugeUniverseWorks) {
+  Rng rng(13);
+  const auto sample = sample_without_replacement(1ULL << 60, 1000, rng);
+  std::unordered_set<std::uint64_t> set(sample.begin(), sample.end());
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  Rng rng(15);
+  const auto perm = random_permutation(64, rng);
+  std::vector<bool> seen(64, false);
+  for (std::uint64_t v : perm) {
+    ASSERT_LT(v, 64u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(ZipfSampler, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfSampler, SingletonUniverse) {
+  Rng rng(17);
+  ZipfSampler sampler(1, 1.0);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(ZipfSampler, StaysInRange) {
+  Rng rng(19);
+  ZipfSampler sampler(100, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = sampler.sample(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  Rng rng(21);
+  ZipfSampler sampler(10, 0.0);
+  std::vector<int> counts(11, 0);
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.sample(rng)];
+  for (int r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(counts[r], kDraws / 10.0, 5 * std::sqrt(kDraws / 10.0));
+  }
+}
+
+TEST(ZipfSampler, HeadHeavierThanTail) {
+  Rng rng(23);
+  ZipfSampler sampler(1000, 1.0);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = sampler.sample(rng);
+    if (v <= 10) ++head;
+    if (v > 500) ++tail;
+  }
+  EXPECT_GT(head, tail * 2);
+}
+
+TEST(ZipfSampler, MatchesTheoreticalHeadProbability) {
+  // For Zipf(1) over n=100: P(rank 1) = 1/H_100 ≈ 0.1928.
+  Rng rng(25);
+  ZipfSampler sampler(100, 1.0);
+  constexpr int kDraws = 100000;
+  int rank1 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (sampler.sample(rng) == 1) ++rank1;
+  }
+  double h100 = 0;
+  for (int k = 1; k <= 100; ++k) h100 += 1.0 / k;
+  EXPECT_NEAR(static_cast<double>(rank1) / kDraws, 1.0 / h100, 0.01);
+}
+
+}  // namespace
+}  // namespace rlb::stats

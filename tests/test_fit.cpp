@@ -1,0 +1,96 @@
+// Unit tests for least-squares fits (stats/fit.hpp).
+#include "stats/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rlb::stats {
+namespace {
+
+TEST(FitLinear, PerfectLine) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x + 2.0);
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 5u);
+}
+
+TEST(FitLinear, DegenerateInputs) {
+  EXPECT_EQ(fit_linear({}, {}).n, 0u);
+  EXPECT_EQ(fit_linear({1.0}, {2.0}).slope, 0.0);
+  // All-equal x: no slope derivable.
+  const LinearFit fit = fit_linear({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(fit.slope, 0.0);
+}
+
+TEST(FitLinear, NoisyLineHasHighRSquared) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 1.0 + 0.01 * std::sin(i * 12.9898));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(FitLinear, ConstantYHasRSquaredOne) {
+  const LinearFit fit = fit_linear({1, 2, 3}, {5, 5, 5});
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_EQ(fit.intercept, 5.0);
+  EXPECT_EQ(fit.r_squared, 1.0);
+}
+
+TEST(FitAgainstLog2, RecoversLogGrowth) {
+  std::vector<double> xs, ys;
+  for (int k = 4; k <= 20; ++k) {
+    const double m = std::pow(2.0, k);
+    xs.push_back(m);
+    ys.push_back(1.5 * k + 4.0);  // y = 1.5·log2(m) + 4
+  }
+  const LinearFit fit = fit_against_log2(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-9);
+  EXPECT_GT(fit.r_squared, 0.9999);
+}
+
+TEST(FitAgainstLogLog2, RecoversLogLogGrowth) {
+  std::vector<double> xs, ys;
+  for (int k = 4; k <= 24; ++k) {
+    const double m = std::pow(2.0, k);
+    xs.push_back(m);
+    ys.push_back(2.0 * std::log2(std::log2(m)) + 1.0);
+  }
+  const LinearFit fit = fit_against_loglog2(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+}
+
+TEST(FitAgainstLog2, SkipsNonPositiveX) {
+  const LinearFit fit =
+      fit_against_log2({-1.0, 0.0, 2.0, 4.0}, {9.0, 9.0, 1.0, 2.0});
+  EXPECT_EQ(fit.n, 2u);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-12);  // y = log2(x) over the kept points
+}
+
+TEST(FitAgainstLogLog2, LogGrowthFitsWorseThanLogLog) {
+  // If y truly grows like log2(m), the log-log fit should show a visibly
+  // larger slope spread — sanity that the two transforms distinguish the
+  // hypotheses the experiments compare.
+  std::vector<double> xs, ys;
+  for (int k = 3; k <= 24; ++k) {
+    xs.push_back(std::pow(2.0, k));
+    ys.push_back(static_cast<double>(k));  // y = log2(m)
+  }
+  const LinearFit log_fit = fit_against_log2(xs, ys);
+  const LinearFit loglog_fit = fit_against_loglog2(xs, ys);
+  EXPECT_GT(log_fit.r_squared, 0.9999);
+  EXPECT_LT(loglog_fit.r_squared, log_fit.r_squared);
+}
+
+}  // namespace
+}  // namespace rlb::stats

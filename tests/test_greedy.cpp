@@ -1,0 +1,176 @@
+// Unit tests for the greedy balancer (policies/greedy.hpp).
+#include "policies/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace rlb::policies {
+namespace {
+
+SingleQueueConfig small_config() {
+  SingleQueueConfig config;
+  config.servers = 64;
+  config.replication = 2;
+  config.processing_rate = 2;
+  config.queue_capacity = 16;
+  config.seed = 42;
+  return config;
+}
+
+TEST(Greedy, RejectsZeroProcessingRate) {
+  SingleQueueConfig config = small_config();
+  config.processing_rate = 0;
+  EXPECT_THROW(GreedyBalancer{config}, std::invalid_argument);
+}
+
+TEST(Greedy, NameAndServerCount) {
+  GreedyBalancer balancer(small_config());
+  EXPECT_EQ(balancer.name(), "greedy");
+  EXPECT_EQ(balancer.server_count(), 64u);
+  EXPECT_EQ(balancer.total_backlog(), 0u);
+}
+
+TEST(Greedy, TheoremConfigValues) {
+  const SingleQueueConfig config =
+      GreedyBalancer::theorem_config(1024, 4, 4, 7);
+  EXPECT_EQ(config.servers, 1024u);
+  EXPECT_EQ(config.replication, 4u);
+  EXPECT_EQ(config.queue_capacity, 11u);  // log2(1024) + 1
+  EXPECT_EQ(config.overflow, OverflowPolicy::kDumpQueue);
+}
+
+TEST(Greedy, BalancesBetweenTwoServers) {
+  // m = 2, d = 2: every chunk may go to either server, so greedy must keep
+  // the two backlogs within 1 of each other at all times.
+  SingleQueueConfig config;
+  config.servers = 2;
+  config.replication = 2;
+  config.processing_rate = 1;
+  config.queue_capacity = 100;
+  config.seed = 1;
+  GreedyBalancer balancer(config);
+
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch = {1, 2, 3, 4, 5, 6};
+  for (core::Time t = 0; t < 10; ++t) {
+    balancer.step(t, batch, metrics);
+    const auto diff =
+        static_cast<std::int64_t>(balancer.backlog(0)) -
+        static_cast<std::int64_t>(balancer.backlog(1));
+    EXPECT_LE(std::abs(diff), 1) << "step " << t;
+  }
+  EXPECT_EQ(metrics.rejected(), 0u);
+}
+
+TEST(Greedy, CompletesRequestsWithLatencyAccounting) {
+  SingleQueueConfig config = small_config();
+  GreedyBalancer balancer(config);
+  core::Metrics metrics;
+  const std::vector<core::ChunkId> batch = {10, 20, 30};
+  balancer.step(0, batch, metrics);
+  EXPECT_EQ(metrics.submitted(), 3u);
+  // 64 servers, 3 requests, g = 2 sub-steps: everything completes in-step.
+  EXPECT_EQ(metrics.completed(), 3u);
+  EXPECT_EQ(metrics.max_latency(), 0u);
+  EXPECT_EQ(balancer.total_backlog(), 0u);
+}
+
+TEST(Greedy, OverflowRejectArrival) {
+  SingleQueueConfig config;
+  config.servers = 2;
+  config.replication = 2;
+  config.processing_rate = 1;
+  config.queue_capacity = 1;
+  config.seed = 3;
+  config.overflow = OverflowPolicy::kRejectArrival;
+  GreedyBalancer balancer(config);
+  core::Metrics metrics;
+  // 8 requests into 2 servers with q = 1, g = 1: most must be rejected but
+  // queued ones stay queued.
+  const std::vector<core::ChunkId> batch = {1, 2, 3, 4, 5, 6, 7, 8};
+  balancer.step(0, batch, metrics);
+  EXPECT_GT(metrics.rejected(), 0u);
+  EXPECT_EQ(metrics.dropped_from_queue(), 0u);  // no dumps in this mode
+}
+
+TEST(Greedy, OverflowDumpQueueDropsContents) {
+  SingleQueueConfig config;
+  config.servers = 2;
+  config.replication = 2;
+  config.processing_rate = 1;
+  config.queue_capacity = 2;
+  config.seed = 3;
+  config.overflow = OverflowPolicy::kDumpQueue;
+  GreedyBalancer balancer(config);
+  core::Metrics metrics;
+  const std::vector<core::ChunkId> batch = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  balancer.step(0, batch, metrics);
+  EXPECT_GT(metrics.dropped_from_queue(), 0u);
+}
+
+TEST(Greedy, FlushDropsEverythingQueued) {
+  SingleQueueConfig config = small_config();
+  config.processing_rate = 1;
+  GreedyBalancer balancer(config);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::ChunkId x = 0; x < 64; ++x) batch.push_back(x);
+  balancer.step(0, batch, metrics);
+  const std::uint64_t queued = balancer.total_backlog();
+  ASSERT_GT(queued, 0u);
+  balancer.flush(metrics);
+  EXPECT_EQ(balancer.total_backlog(), 0u);
+  EXPECT_EQ(metrics.dropped_from_queue(), queued);
+}
+
+TEST(Greedy, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    GreedyBalancer balancer(small_config());
+    workloads::RepeatedSetWorkload workload(64, 10000, 5);
+    core::SimConfig sim;
+    sim.steps = 50;
+    return core::simulate(balancer, workload, sim);
+  };
+  const core::SimResult a = run();
+  const core::SimResult b = run();
+  EXPECT_EQ(a.metrics.submitted(), b.metrics.submitted());
+  EXPECT_EQ(a.metrics.rejected(), b.metrics.rejected());
+  EXPECT_EQ(a.metrics.completed(), b.metrics.completed());
+  EXPECT_EQ(a.max_backlog, b.max_backlog);
+  EXPECT_DOUBLE_EQ(a.metrics.average_latency(), b.metrics.average_latency());
+}
+
+TEST(Greedy, FreshWorkloadHasNoRejectionsAtTheoremParameters) {
+  const SingleQueueConfig config =
+      GreedyBalancer::theorem_config(256, 4, 4, 11);
+  GreedyBalancer balancer(config);
+  workloads::FreshUniformWorkload workload(256);
+  core::SimConfig sim;
+  sim.steps = 100;
+  const core::SimResult result = core::simulate(balancer, workload, sim);
+  EXPECT_EQ(result.metrics.rejected(), 0u);
+  EXPECT_LT(result.metrics.average_latency(), 2.0);
+}
+
+TEST(Greedy, RepeatedSetAtTheoremParametersStaysClean) {
+  // The headline positive result (Theorem 3.1) at small scale: the fully
+  // adversarial repeated workload produces no rejections and O(1) average
+  // latency with d = g = 6 and q = log2 m + 1.
+  const SingleQueueConfig config =
+      GreedyBalancer::theorem_config(256, 6, 6, 13);
+  GreedyBalancer balancer(config);
+  workloads::RepeatedSetWorkload workload(256, 1u << 20, 13);
+  core::SimConfig sim;
+  sim.steps = 200;
+  sim.check_safety = true;
+  const core::SimResult result = core::simulate(balancer, workload, sim);
+  EXPECT_EQ(result.metrics.rejected(), 0u);
+  EXPECT_EQ(result.metrics.safety_violations(), 0u);
+  EXPECT_LT(result.metrics.average_latency(), 2.0);
+}
+
+}  // namespace
+}  // namespace rlb::policies

@@ -1,0 +1,139 @@
+// Unit tests for the experiment harness (harness/*).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hpp"
+#include "harness/output.hpp"
+#include "policies/greedy.hpp"
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace rlb::harness {
+namespace {
+
+class OutputFormatGuard {
+ public:
+  OutputFormatGuard() : saved_(table_format()) {}
+  ~OutputFormatGuard() { set_table_format(saved_); }
+
+ private:
+  TableFormat saved_;
+};
+
+TEST(HarnessOutput, DefaultIsText) {
+  OutputFormatGuard guard;
+  set_table_format(TableFormat::kText);
+  report::Table table({"abc"});
+  table.row().cell("v");
+  std::ostringstream oss;
+  emit(table, oss);
+  // Text mode underlines each header with '-' to its width.
+  EXPECT_NE(oss.str().find("---"), std::string::npos);
+}
+
+TEST(HarnessOutput, CsvAndMarkdownModes) {
+  OutputFormatGuard guard;
+  report::Table table({"x", "y"});
+  table.row().cell(1).cell(2);
+
+  set_table_format(TableFormat::kCsv);
+  std::ostringstream csv;
+  emit(table, csv);
+  EXPECT_EQ(csv.str().substr(0, 4), "x,y\n");
+
+  set_table_format(TableFormat::kMarkdown);
+  std::ostringstream md;
+  emit(table, md);
+  EXPECT_NE(md.str().find("| --- |"), std::string::npos);
+}
+
+TEST(HarnessOutput, InitParsesFormatFlag) {
+  OutputFormatGuard guard;
+  set_table_format(TableFormat::kText);
+  const char* argv[] = {"prog", "--format", "csv"};
+  init_output(3, const_cast<char**>(argv));
+  EXPECT_EQ(table_format(), TableFormat::kCsv);
+}
+
+TEST(HarnessOutput, InitIgnoresUnknownFormat) {
+  OutputFormatGuard guard;
+  set_table_format(TableFormat::kMarkdown);
+  const char* argv[] = {"prog", "--format", "yaml"};
+  init_output(3, const_cast<char**>(argv));
+  EXPECT_EQ(table_format(), TableFormat::kMarkdown);  // unchanged
+}
+
+TEST(HarnessTrials, AggregatesAcrossSeeds) {
+  const BalancerFactory make_balancer = [](std::uint64_t seed) {
+    policies::SingleQueueConfig config;
+    config.servers = 64;
+    config.replication = 2;
+    config.processing_rate = 2;
+    config.queue_capacity = 8;
+    config.seed = seed;
+    return std::make_unique<policies::GreedyBalancer>(config);
+  };
+  const WorkloadFactory make_workload = [](std::uint64_t seed) {
+    return std::make_unique<workloads::RepeatedSetWorkload>(
+        64, 1u << 16, stats::derive_seed(seed, 1));
+  };
+  core::SimConfig sim;
+  sim.steps = 20;
+  sim.check_safety = true;
+  const TrialAggregate agg =
+      run_trials(6, 77, make_balancer, make_workload, sim);
+  EXPECT_EQ(agg.trials, 6u);
+  EXPECT_EQ(agg.total_submitted, 6u * 64 * 20);
+  EXPECT_EQ(agg.rejection_rate.count(), 6u);
+  EXPECT_EQ(agg.total_safety_checks, 6u * 20);
+  EXPECT_EQ(agg.pooled_rejection_rate(),
+            static_cast<double>(agg.total_rejected) /
+                static_cast<double>(agg.total_submitted));
+}
+
+TEST(HarnessTrials, DeterministicAggregation) {
+  const BalancerFactory make_balancer = [](std::uint64_t seed) {
+    policies::SingleQueueConfig config;
+    config.servers = 32;
+    config.seed = seed;
+    config.processing_rate = 2;
+    config.queue_capacity = 8;
+    return std::make_unique<policies::GreedyBalancer>(config);
+  };
+  const WorkloadFactory make_workload = [](std::uint64_t seed) {
+    return std::make_unique<workloads::RepeatedSetWorkload>(
+        32, 1u << 16, stats::derive_seed(seed, 2));
+  };
+  core::SimConfig sim;
+  sim.steps = 15;
+  const TrialAggregate a =
+      run_trials(8, 123, make_balancer, make_workload, sim);
+  const TrialAggregate b =
+      run_trials(8, 123, make_balancer, make_workload, sim);
+  EXPECT_EQ(a.total_submitted, b.total_submitted);
+  EXPECT_EQ(a.total_rejected, b.total_rejected);
+  EXPECT_DOUBLE_EQ(a.average_latency.mean(), b.average_latency.mean());
+  EXPECT_DOUBLE_EQ(a.max_backlog.max(), b.max_backlog.max());
+}
+
+TEST(HarnessTrials, EmptyAggregateIsZero) {
+  const BalancerFactory make_balancer = [](std::uint64_t seed) {
+    policies::SingleQueueConfig config;
+    config.servers = 8;
+    config.seed = seed;
+    return std::make_unique<policies::GreedyBalancer>(config);
+  };
+  const WorkloadFactory make_workload = [](std::uint64_t) {
+    return std::make_unique<workloads::FreshUniformWorkload>(8);
+  };
+  core::SimConfig sim;
+  sim.steps = 5;
+  const TrialAggregate agg =
+      run_trials(0, 1, make_balancer, make_workload, sim);
+  EXPECT_EQ(agg.trials, 0u);
+  EXPECT_EQ(agg.pooled_rejection_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rlb::harness

@@ -1,0 +1,118 @@
+// Unit tests for seeded hashing (hashing/hash.hpp, hashing/tabulation.hpp).
+#include "hashing/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "hashing/tabulation.hpp"
+
+namespace rlb::hashing {
+namespace {
+
+TEST(Mix64, IsDeterministic) { EXPECT_EQ(mix64(12345), mix64(12345)); }
+
+TEST(Mix64, IsBijectiveOnSample) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 10000; ++x) outputs.insert(mix64(x));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flipped = 0;
+  constexpr int kTrials = 64;
+  for (int b = 0; b < kTrials; ++b) {
+    const std::uint64_t base = mix64(0x123456789abcdefULL);
+    const std::uint64_t flipped = mix64(0x123456789abcdefULL ^ (1ULL << b));
+    total_flipped += std::popcount(base ^ flipped);
+  }
+  const double average = static_cast<double>(total_flipped) / kTrials;
+  EXPECT_NEAR(average, 32.0, 6.0);
+}
+
+TEST(Hash64, SeedChangesOutput) {
+  EXPECT_NE(hash64(42, 1), hash64(42, 2));
+}
+
+TEST(Hash64, KeyChangesOutput) {
+  EXPECT_NE(hash64(42, 1), hash64(43, 1));
+}
+
+TEST(HashToBucket, StaysInRange) {
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_LT(hash_to_bucket(key, 7, 13), 13u);
+  }
+}
+
+TEST(HashToBucket, IsRoughlyUniform) {
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr int kKeys = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    ++counts[hash_to_bucket(key, 99, kBuckets)];
+  }
+  const double expected = static_cast<double>(kKeys) / kBuckets;
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(HashToBucket, SingleBucketAlwaysZero) {
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(hash_to_bucket(key, 3, 1), 0u);
+  }
+}
+
+TEST(Tabulation, Deterministic) {
+  TabulationHash h(5);
+  EXPECT_EQ(h(777), h(777));
+}
+
+TEST(Tabulation, SeedsDiffer) {
+  TabulationHash a(1), b(2);
+  int agreements = 0;
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    if (a(key) == b(key)) ++agreements;
+  }
+  EXPECT_EQ(agreements, 0);
+}
+
+TEST(Tabulation, BucketInRange) {
+  TabulationHash h(3);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_LT(h.bucket(key, 7), 7u);
+  }
+}
+
+TEST(Tabulation, RoughlyUniformOverBuckets) {
+  TabulationHash h(11);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kKeys = 40000;
+  std::vector<int> counts(kBuckets, 0);
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    ++counts[h.bucket(key, kBuckets)];
+  }
+  const double expected = static_cast<double>(kKeys) / kBuckets;
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(Tabulation, XorStructureOverBytes) {
+  // Tabulation hashing is linear over byte tables:
+  // h(k) = XOR of per-byte entries, so keys differing in one byte differ by
+  // the XOR of two table entries — verify h(a) ^ h(b) depends only on the
+  // differing byte values, not the rest of the key.
+  TabulationHash h(13);
+  const std::uint64_t k1 = 0x1111111111111100ULL;
+  const std::uint64_t k2 = 0x11111111111111ffULL;
+  const std::uint64_t k3 = 0x2222222222222200ULL;
+  const std::uint64_t k4 = 0x22222222222222ffULL;
+  EXPECT_EQ(h(k1) ^ h(k2), h(k3) ^ h(k4));
+}
+
+}  // namespace
+}  // namespace rlb::hashing

@@ -1,0 +1,94 @@
+// Unit tests for the insert/delete/reinsert process
+// (ballsbins/heavily_loaded.hpp).
+#include "ballsbins/heavily_loaded.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlb::ballsbins {
+namespace {
+
+TEST(HeavilyLoaded, RejectsInvalidArguments) {
+  EXPECT_THROW(HeavilyLoadedProcess(0, 2, 1), std::invalid_argument);
+  EXPECT_THROW(HeavilyLoadedProcess(8, 0, 1), std::invalid_argument);
+}
+
+TEST(HeavilyLoaded, InsertRemoveRoundTrip) {
+  HeavilyLoadedProcess process(16, 2, 1);
+  EXPECT_TRUE(process.insert(5));
+  EXPECT_TRUE(process.contains(5));
+  EXPECT_EQ(process.ball_count(), 1u);
+  EXPECT_EQ(process.max_load(), 1u);
+  EXPECT_TRUE(process.remove(5));
+  EXPECT_FALSE(process.contains(5));
+  EXPECT_EQ(process.ball_count(), 0u);
+  EXPECT_EQ(process.max_load(), 0u);
+}
+
+TEST(HeavilyLoaded, DuplicateInsertAndMissingRemove) {
+  HeavilyLoadedProcess process(16, 2, 2);
+  EXPECT_TRUE(process.insert(1));
+  EXPECT_FALSE(process.insert(1));
+  EXPECT_EQ(process.ball_count(), 1u);
+  EXPECT_FALSE(process.remove(99));
+}
+
+TEST(HeavilyLoaded, ChoicesAreStableAcrossReinsertion) {
+  // THE reappearance dependency: deleting and reinserting a ball gives it
+  // the same two candidate bins.
+  HeavilyLoadedProcess process(64, 2, 3);
+  const auto before = process.choices(42);
+  process.insert(42);
+  process.remove(42);
+  process.insert(42);
+  EXPECT_EQ(process.choices(42), before);
+  // And the ball actually sits at one of them.
+  ASSERT_EQ(before.size(), 2u);
+}
+
+TEST(HeavilyLoaded, BallAlwaysPlacedAtAChoice) {
+  HeavilyLoadedProcess process(32, 3, 4);
+  for (std::uint64_t id = 0; id < 100; ++id) process.insert(id);
+  // Remove half, reinsert, loads must stay consistent.
+  for (std::uint64_t id = 0; id < 50; ++id) process.remove(id);
+  for (std::uint64_t id = 0; id < 50; ++id) process.insert(id);
+  EXPECT_EQ(process.ball_count(), 100u);
+  std::uint64_t total = 0;
+  for (const std::uint32_t load : process.loads()) total += load;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(HeavilyLoaded, GapMatchesDefinition) {
+  HeavilyLoadedProcess process(4, 2, 5);
+  for (std::uint64_t id = 0; id < 8; ++id) process.insert(id);
+  // gap = max - avg, avg = 2.
+  EXPECT_DOUBLE_EQ(process.gap(),
+                   static_cast<double>(process.max_load()) - 2.0);
+}
+
+TEST(HeavilyLoaded, FixedIdChurnKeepsBallCount) {
+  HeavilyLoadedProcess process(64, 2, 6);
+  stats::Rng rng(7);
+  const auto gaps = fixed_id_churn_gaps(process, 256, 64, 10, rng);
+  EXPECT_EQ(gaps.size(), 10u);
+  EXPECT_EQ(process.ball_count(), 256u);
+}
+
+TEST(HeavilyLoaded, FreshChurnKeepsBallCount) {
+  HeavilyLoadedProcess process(64, 2, 8);
+  stats::Rng rng(9);
+  const auto gaps = fresh_id_churn_gaps(process, 256, 64, 10, rng);
+  EXPECT_EQ(gaps.size(), 10u);
+  EXPECT_EQ(process.ball_count(), 256u);
+}
+
+TEST(HeavilyLoaded, TwoChoiceChurnGapStaysBounded) {
+  // Stochastic churn (not the Bansal–Kuszmaul adversary) keeps the
+  // two-choice gap small even heavily loaded: k = 8m.
+  HeavilyLoadedProcess process(256, 2, 10);
+  stats::Rng rng(11);
+  const auto gaps = fixed_id_churn_gaps(process, 8 * 256, 256, 20, rng);
+  for (const double gap : gaps) EXPECT_LE(gap, 10.0);
+}
+
+}  // namespace
+}  // namespace rlb::ballsbins

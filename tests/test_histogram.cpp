@@ -1,0 +1,97 @@
+// Unit tests for CountingHistogram (stats/histogram.hpp).
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlb::stats {
+namespace {
+
+TEST(CountingHistogram, EmptyState) {
+  CountingHistogram h(10);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max_observed(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(CountingHistogram, CountsExactValues) {
+  CountingHistogram h(10);
+  h.add(3);
+  h.add(3);
+  h.add(7);
+  EXPECT_EQ(h.count_at(3), 2u);
+  EXPECT_EQ(h.count_at(7), 1u);
+  EXPECT_EQ(h.count_at(5), 0u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(CountingHistogram, WeightedAdd) {
+  CountingHistogram h(10);
+  h.add(2, 5);
+  EXPECT_EQ(h.count_at(2), 5u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.mean(), 2.0);
+}
+
+TEST(CountingHistogram, OverflowBucket) {
+  CountingHistogram h(4);
+  h.add(100);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+  // Overflow attributed as bucket_limit + 1.
+  EXPECT_EQ(h.max_observed(), 5u);
+}
+
+TEST(CountingHistogram, MeanIncludesWeights) {
+  CountingHistogram h(16);
+  h.add(0, 3);
+  h.add(4, 1);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+}
+
+TEST(CountingHistogram, CountGreaterThan) {
+  CountingHistogram h(16);
+  for (std::uint64_t v = 0; v <= 10; ++v) h.add(v);
+  EXPECT_EQ(h.count_greater_than(5), 5u);
+  EXPECT_EQ(h.count_greater_than(10), 0u);
+  h.add(100);  // overflow counts as greater than anything tracked
+  EXPECT_EQ(h.count_greater_than(10), 1u);
+}
+
+TEST(CountingHistogram, Quantiles) {
+  CountingHistogram h(16);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v % 10);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_LE(h.quantile(0.5), 5u);
+  EXPECT_GE(h.quantile(1.0), 9u);
+}
+
+TEST(CountingHistogram, MergeCombines) {
+  CountingHistogram a(8), b(16);
+  a.add(1, 2);
+  a.add(20);  // overflow of a
+  b.add(12, 3);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 6u);
+  EXPECT_EQ(a.count_at(1), 2u);
+  EXPECT_EQ(a.count_at(12), 3u);  // resized to b's limit
+  EXPECT_EQ(a.overflow_count(), 1u);
+}
+
+TEST(CountingHistogram, MaxObservedTracksLargest) {
+  CountingHistogram h(64);
+  h.add(5);
+  h.add(17);
+  h.add(3);
+  EXPECT_EQ(h.max_observed(), 17u);
+}
+
+TEST(CountingHistogram, ZeroCountAddIsNoOp) {
+  CountingHistogram h(8);
+  h.add(3, 0);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_observed(), 0u);
+}
+
+}  // namespace
+}  // namespace rlb::stats

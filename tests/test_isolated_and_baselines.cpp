@@ -1,0 +1,162 @@
+// Unit tests for the time-step-isolated policies and round-robin baseline.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/greedy.hpp"
+#include "policies/round_robin.hpp"
+#include "policies/time_step_isolated.hpp"
+#include "workloads/repeated_set.hpp"
+#include "workloads/trace.hpp"
+
+namespace rlb::policies {
+namespace {
+
+SingleQueueConfig base_config() {
+  SingleQueueConfig config;
+  config.servers = 256;
+  config.replication = 2;
+  config.processing_rate = 4;
+  config.queue_capacity = 8;
+  config.seed = 5;
+  return config;
+}
+
+TEST(RandomOfD, Names) {
+  RandomOfDBalancer balancer(base_config());
+  EXPECT_EQ(balancer.name(), "random-of-d");
+}
+
+TEST(PerStepGreedy, Names) {
+  PerStepGreedyBalancer balancer(base_config());
+  EXPECT_EQ(balancer.name(), "per-step-greedy");
+}
+
+TEST(RoundRobin, Names) {
+  RoundRobinBalancer balancer(base_config());
+  EXPECT_EQ(balancer.name(), "round-robin");
+}
+
+TEST(RandomOfD, RoutesOnlyToPlacementChoices) {
+  // With m = 2 and d = 1 there is exactly one choice; the random policy
+  // must still respect placement.
+  SingleQueueConfig config = base_config();
+  config.servers = 4;
+  config.replication = 1;
+  config.queue_capacity = 64;
+  RandomOfDBalancer balancer(config);
+  core::Metrics metrics;
+  const std::vector<core::ChunkId> batch = {9};
+  balancer.step(0, batch, metrics);
+  // The request either completed on or is queued at the unique choice.
+  const core::ServerId expected = balancer.placement().choices(9)[0];
+  std::uint64_t elsewhere = 0;
+  for (core::ServerId s = 0; s < 4; ++s) {
+    if (s != expected) elsewhere += balancer.backlog(s);
+  }
+  EXPECT_EQ(elsewhere, 0u);
+}
+
+TEST(RoundRobin, CyclesThroughReplicas) {
+  // m = d = 4: a chunk's choices are all four servers in a fixed order;
+  // round-robin must cycle deterministically.
+  SingleQueueConfig config = base_config();
+  config.servers = 4;
+  config.replication = 4;
+  config.processing_rate = 1;
+  config.queue_capacity = 100;
+  RoundRobinBalancer balancer(config);
+  core::Metrics metrics;
+  const std::vector<core::ChunkId> batch = {7};
+  const core::ChoiceList choices = balancer.placement().choices(7);
+  // Step many times; arrival i goes to choices[i % 4].  With g = 1 each
+  // step also completes one request, so backlogs stay small and even.
+  for (core::Time t = 0; t < 8; ++t) balancer.step(t, batch, metrics);
+  EXPECT_EQ(metrics.submitted(), 8u);
+  EXPECT_EQ(metrics.rejected(), 0u);
+  // Each of the four replicas received exactly 2 of the 8 arrivals;
+  // everything processed the step it arrived.
+  EXPECT_EQ(metrics.completed(), 8u);
+  (void)choices;
+}
+
+TEST(IsolatedPolicies, BacklogGrowsOnRepeatedSetUnlikeGreedy) {
+  // Lemma 5.3's consequence at small scale: on the fixed repeated set with
+  // matched parameters, isolated strategies leave some server with a
+  // persistently growing/full queue, producing rejections, while greedy
+  // stays clean.  All policies see the identical trace.
+  SingleQueueConfig config = base_config();
+  config.processing_rate = 2;
+  config.queue_capacity = 8;
+
+  // Unshuffled: the oblivious adversary may fix the within-step arrival
+  // order, which makes per-step-greedy's overload pattern persistent.
+  workloads::RepeatedSetWorkload source(256, 1u << 20, 17,
+                                        /*shuffle_each_step=*/false);
+  const workloads::Trace trace = workloads::Trace::record(source, 120);
+
+  auto run = [&](SingleQueueBalancer& balancer) {
+    workloads::TraceWorkload workload(trace);
+    core::SimConfig sim;
+    sim.steps = 120;
+    return core::simulate(balancer, workload, sim);
+  };
+
+  GreedyBalancer greedy(config);
+  RandomOfDBalancer random_of_d(config);
+  PerStepGreedyBalancer per_step(config);
+
+  const auto greedy_result = run(greedy);
+  const auto random_result = run(random_of_d);
+  const auto per_step_result = run(per_step);
+
+  EXPECT_EQ(greedy_result.metrics.rejected(), 0u);
+  EXPECT_GT(random_result.metrics.rejection_rate(),
+            greedy_result.metrics.rejection_rate());
+  EXPECT_GT(per_step_result.metrics.rejection_rate(),
+            greedy_result.metrics.rejection_rate());
+  // The isolated policies' rejection rates are Ω(1)-ish here, not merely
+  // nonzero (per-step-greedy balances better within a step than random, so
+  // its constant is smaller at this scale).
+  EXPECT_GT(random_result.metrics.rejection_rate(), 0.01);
+  EXPECT_GT(per_step_result.metrics.rejection_rate(), 0.003);
+}
+
+TEST(IsolatedPolicies, ConservationInvariant) {
+  SingleQueueConfig config = base_config();
+  workloads::RepeatedSetWorkload workload(256, 1u << 18, 19);
+  std::vector<core::ChunkId> batch;
+
+  RandomOfDBalancer random_of_d(config);
+  PerStepGreedyBalancer per_step(config);
+  RoundRobinBalancer round_robin(config);
+  core::Metrics m1, m2, m3;
+  for (core::Time t = 0; t < 50; ++t) {
+    workload.fill_step(t, batch);
+    random_of_d.step(t, batch, m1);
+    per_step.step(t, batch, m2);
+    round_robin.step(t, batch, m3);
+  }
+  EXPECT_EQ(m1.submitted(),
+            m1.completed() + m1.rejected() + random_of_d.total_backlog());
+  EXPECT_EQ(m2.submitted(),
+            m2.completed() + m2.rejected() + per_step.total_backlog());
+  EXPECT_EQ(m3.submitted(),
+            m3.completed() + m3.rejected() + round_robin.total_backlog());
+}
+
+TEST(RandomOfD, DeterministicGivenSeed) {
+  auto run = [] {
+    RandomOfDBalancer balancer(base_config());
+    workloads::RepeatedSetWorkload workload(256, 4096, 23);
+    core::SimConfig sim;
+    sim.steps = 40;
+    return core::simulate(balancer, workload, sim);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.metrics.rejected(), b.metrics.rejected());
+  EXPECT_EQ(a.max_backlog, b.max_backlog);
+}
+
+}  // namespace
+}  // namespace rlb::policies

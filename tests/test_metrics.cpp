@@ -1,0 +1,93 @@
+// Unit tests for metrics accounting (core/metrics.hpp).
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlb::core {
+namespace {
+
+TEST(Metrics, EmptyState) {
+  Metrics m;
+  EXPECT_EQ(m.submitted(), 0u);
+  EXPECT_EQ(m.rejected(), 0u);
+  EXPECT_EQ(m.completed(), 0u);
+  EXPECT_EQ(m.rejection_rate(), 0.0);
+  EXPECT_EQ(m.average_latency(), 0.0);
+  EXPECT_EQ(m.max_latency(), 0u);
+}
+
+TEST(Metrics, RejectionRateDefinition21) {
+  Metrics m;
+  m.on_submitted(10);
+  m.on_rejected(3);
+  EXPECT_DOUBLE_EQ(m.rejection_rate(), 0.3);
+  EXPECT_EQ(m.accepted(), 7u);
+}
+
+TEST(Metrics, QueueDropsCountAsRejections) {
+  // Definition 2.1: T_A counts ultimately accepted requests, so a queued
+  // request dropped by a flush/dump is a rejection.
+  Metrics m;
+  m.on_submitted(5);
+  m.on_dropped_from_queue(2);
+  EXPECT_EQ(m.rejected(), 2u);
+  EXPECT_EQ(m.dropped_from_queue(), 2u);
+  EXPECT_DOUBLE_EQ(m.rejection_rate(), 0.4);
+}
+
+TEST(Metrics, LatencyStatistics) {
+  Metrics m;
+  m.on_completed(0);
+  m.on_completed(2);
+  m.on_completed(10);
+  EXPECT_EQ(m.completed(), 3u);
+  EXPECT_DOUBLE_EQ(m.average_latency(), 4.0);
+  EXPECT_EQ(m.max_latency(), 10u);
+  EXPECT_LE(m.latency_quantile(0.5), 2u);
+}
+
+TEST(Metrics, BacklogSamples) {
+  Metrics m;
+  m.on_backlog_sample(0);
+  m.on_backlog_sample(4);
+  EXPECT_EQ(m.backlog_stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(m.backlog_stats().mean(), 2.0);
+  EXPECT_EQ(m.backlog_stats().max(), 4.0);
+}
+
+TEST(Metrics, SafetyCheckCounting) {
+  Metrics m;
+  m.on_safety_check(true);
+  m.on_safety_check(false);
+  m.on_safety_check(true);
+  EXPECT_EQ(m.safety_checks(), 3u);
+  EXPECT_EQ(m.safety_violations(), 1u);
+}
+
+TEST(Metrics, MergeAddsEverything) {
+  Metrics a, b;
+  a.on_submitted(4);
+  a.on_rejected(1);
+  a.on_completed(3);
+  b.on_submitted(6);
+  b.on_dropped_from_queue(2);
+  b.on_completed(5);
+  b.on_safety_check(false);
+  a.merge(b);
+  EXPECT_EQ(a.submitted(), 10u);
+  EXPECT_EQ(a.rejected(), 3u);
+  EXPECT_EQ(a.completed(), 2u);
+  EXPECT_DOUBLE_EQ(a.average_latency(), 4.0);
+  EXPECT_EQ(a.safety_violations(), 1u);
+}
+
+TEST(Metrics, LatencyHistogramOverflowStillCounted) {
+  Metrics m(8);
+  m.on_completed(100);  // beyond histogram limit
+  EXPECT_EQ(m.completed(), 1u);
+  EXPECT_EQ(m.latency_histogram().overflow_count(), 1u);
+  EXPECT_GE(m.max_latency(), 9u);  // attributed to overflow bucket
+}
+
+}  // namespace
+}  // namespace rlb::core

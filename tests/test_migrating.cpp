@@ -1,0 +1,138 @@
+// Unit tests for the migrating d = 1 balancer (policies/migrating.hpp).
+#include "policies/migrating.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "workloads/repeated_set.hpp"
+#include "workloads/trace.hpp"
+
+namespace rlb::policies {
+namespace {
+
+MigratingConfig base_config() {
+  MigratingConfig config;
+  config.servers = 256;
+  config.processing_rate = 2;
+  config.queue_capacity = 8;
+  config.migration_budget = 16;
+  config.seed = 41;
+  return config;
+}
+
+TEST(Migrating, RejectsBadArguments) {
+  MigratingConfig config = base_config();
+  config.processing_rate = 0;
+  EXPECT_THROW(MigratingBalancer{config}, std::invalid_argument);
+  config = base_config();
+  config.load_ema_alpha = 0.0;
+  EXPECT_THROW(MigratingBalancer{config}, std::invalid_argument);
+  config.load_ema_alpha = 1.5;
+  EXPECT_THROW(MigratingBalancer{config}, std::invalid_argument);
+}
+
+TEST(Migrating, NameAndBasics) {
+  MigratingBalancer balancer(base_config());
+  EXPECT_EQ(balancer.name(), "migrating-d1");
+  EXPECT_EQ(balancer.server_count(), 256u);
+  EXPECT_EQ(balancer.migrations_performed(), 0u);
+}
+
+TEST(Migrating, HomeIsStableUntilMigrated) {
+  MigratingBalancer balancer(base_config());
+  const core::ServerId before = balancer.home_of(1234);
+  EXPECT_EQ(balancer.home_of(1234), before);
+}
+
+TEST(Migrating, ZeroBudgetNeverMigrates) {
+  MigratingConfig config = base_config();
+  config.migration_budget = 0;
+  MigratingBalancer balancer(config);
+  workloads::RepeatedSetWorkload workload(256, 1u << 20, 43);
+  core::SimConfig sim;
+  sim.steps = 100;
+  (void)core::simulate(balancer, workload, sim);
+  EXPECT_EQ(balancer.migrations_performed(), 0u);
+}
+
+TEST(Migrating, MigratesAwayFromOverloadedServers) {
+  MigratingBalancer balancer(base_config());
+  workloads::RepeatedSetWorkload workload(256, 1u << 20, 45);
+  core::SimConfig sim;
+  sim.steps = 50;
+  (void)core::simulate(balancer, workload, sim);
+  // With a random initial placement some servers get > g = 2 chunks, so
+  // migrations must fire.
+  EXPECT_GT(balancer.migrations_performed(), 0u);
+}
+
+TEST(Migrating, ConservationInvariant) {
+  MigratingBalancer balancer(base_config());
+  workloads::RepeatedSetWorkload workload(256, 1u << 20, 47);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 40; ++t) {
+    workload.fill_step(t, batch);
+    balancer.step(t, batch, metrics);
+    ASSERT_EQ(metrics.submitted(),
+              metrics.completed() + metrics.rejected() +
+                  balancer.total_backlog());
+  }
+}
+
+TEST(Migrating, ConvergesWhereStaticD1CannotOnTheSameTrace) {
+  // The [34] story: static d = 1 rejects a constant fraction forever;
+  // migration drives the steady-state rejection rate down by moving chunks
+  // off overloaded servers.  Compare late-window rejection on an identical
+  // trace.
+  workloads::RepeatedSetWorkload source(256, 1u << 20, 49,
+                                        /*shuffle_each_step=*/false);
+  const workloads::Trace trace = workloads::Trace::record(source, 200);
+
+  auto run = [&](std::size_t budget) {
+    MigratingConfig config = base_config();
+    config.migration_budget = budget;
+    MigratingBalancer balancer(config);
+    workloads::TraceWorkload workload(trace);
+    core::SeriesRecorder recorder;
+    core::SimConfig sim;
+    sim.steps = 200;
+    sim.recorder = &recorder;
+    (void)core::simulate(balancer, workload, sim);
+    // Rejection rate over the last 50 steps (steady state).
+    return recorder.windowed_rejection_rate(199, 50);
+  };
+
+  const double static_d1 = run(0);
+  const double migrating = run(16);
+  EXPECT_GT(static_d1, 0.01);          // the impossibility in action
+  EXPECT_LT(migrating, static_d1 / 4)  // migration rescues d = 1
+      << "static " << static_d1 << " migrating " << migrating;
+}
+
+TEST(Migrating, FactoryConstructsIt) {
+  PolicyConfig config;
+  config.servers = 64;
+  config.migration_budget = 4;
+  config.seed = 51;
+  auto policy = make_policy("migrating-d1", config);
+  EXPECT_EQ(policy->name(), "migrating-d1");
+}
+
+TEST(Migrating, DeterministicReplay) {
+  auto run = [] {
+    MigratingBalancer balancer(base_config());
+    workloads::RepeatedSetWorkload workload(256, 1u << 18, 53);
+    core::SimConfig sim;
+    sim.steps = 60;
+    return core::simulate(balancer, workload, sim);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.metrics.rejected(), b.metrics.rejected());
+  EXPECT_EQ(a.max_backlog, b.max_backlog);
+}
+
+}  // namespace
+}  // namespace rlb::policies

@@ -1,0 +1,220 @@
+// Unit tests for the extension policies: LEFT[d] greedy, threshold routing,
+// grouped placement, and heterogeneous per-server rates.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "policies/greedy.hpp"
+#include "policies/left_greedy.hpp"
+#include "policies/threshold.hpp"
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace rlb::policies {
+namespace {
+
+SingleQueueConfig base_config() {
+  SingleQueueConfig config;
+  config.servers = 256;
+  config.replication = 2;
+  config.processing_rate = 2;
+  config.queue_capacity = 16;
+  config.seed = 3;
+  return config;
+}
+
+// ---------------------------------------------------------------- grouped
+TEST(GroupedPlacement, ReplicaIInGroupI) {
+  const core::Placement placement(10, 3, 7, core::PlacementMode::kGrouped);
+  // Groups over 10 servers with d = 3: sizes 4, 3, 3.
+  EXPECT_EQ(placement.group_begin(0), 0u);
+  EXPECT_EQ(placement.group_begin(1), 4u);
+  EXPECT_EQ(placement.group_begin(2), 7u);
+  EXPECT_EQ(placement.group_begin(3), 10u);
+  for (core::ChunkId x = 0; x < 500; ++x) {
+    const core::ChoiceList choices = placement.choices(x);
+    ASSERT_EQ(choices.size(), 3u);
+    EXPECT_LT(choices[0], 4u);
+    EXPECT_GE(choices[1], 4u);
+    EXPECT_LT(choices[1], 7u);
+    EXPECT_GE(choices[2], 7u);
+    EXPECT_LT(choices[2], 10u);
+  }
+}
+
+TEST(GroupedPlacement, StableAcrossCalls) {
+  const core::Placement placement(64, 2, 9, core::PlacementMode::kGrouped);
+  for (core::ChunkId x = 0; x < 100; ++x) {
+    const auto first = placement.choices(x);
+    const auto second = placement.choices(x);
+    EXPECT_EQ(first[0], second[0]);
+    EXPECT_EQ(first[1], second[1]);
+  }
+}
+
+// ------------------------------------------------------------ left greedy
+TEST(LeftGreedy, ForcesGroupedPlacement) {
+  LeftGreedyBalancer balancer(base_config());
+  EXPECT_EQ(balancer.name(), "greedy-left");
+  EXPECT_EQ(balancer.placement().mode(), core::PlacementMode::kGrouped);
+}
+
+TEST(LeftGreedy, CleanOnRepeatedSetLikeGreedy) {
+  SingleQueueConfig config = base_config();
+  LeftGreedyBalancer balancer(config);
+  workloads::RepeatedSetWorkload workload(256, 1u << 20, 11);
+  core::SimConfig sim;
+  sim.steps = 150;
+  const core::SimResult r = core::simulate(balancer, workload, sim);
+  EXPECT_EQ(r.metrics.rejected(), 0u);
+  EXPECT_LT(r.metrics.average_latency(), 1.0);
+}
+
+TEST(LeftGreedy, TieBreaksLeftOnEmptyCluster) {
+  // On an empty cluster every choice has backlog 0; the pick must be the
+  // group-0 replica for every chunk.
+  SingleQueueConfig config = base_config();
+  config.servers = 8;
+  LeftGreedyBalancer balancer(config);
+  core::Metrics metrics;
+  // g = 2 sub-steps process everything in-step; backlog checks need g = 1
+  // and a fresh balancer per request, so verify through a single delivery.
+  config.processing_rate = 1;
+  LeftGreedyBalancer probe(config);
+  const std::vector<core::ChunkId> batch = {42};
+  probe.step(0, batch, metrics);
+  const core::ChoiceList choices = probe.placement().choices(42);
+  // Request either completed (processed sub-step) or queued at choices[0];
+  // either way nothing may sit on the right replica.
+  EXPECT_EQ(probe.backlog(choices[1]), 0u);
+}
+
+// -------------------------------------------------------------- threshold
+TEST(Threshold, RejectsZeroThreshold) {
+  EXPECT_THROW(ThresholdBalancer(base_config(), 0), std::invalid_argument);
+}
+
+TEST(Threshold, CountsProbes) {
+  ThresholdBalancer balancer(base_config(), 1);
+  core::Metrics metrics;
+  const std::vector<core::ChunkId> batch = {1, 2, 3, 4};
+  balancer.step(0, batch, metrics);
+  EXPECT_EQ(balancer.requests_routed(), 4u);
+  // Empty cluster: every request takes its first probe.
+  EXPECT_EQ(balancer.probes_issued(), 4u);
+}
+
+TEST(Threshold, ProbesAtMostD) {
+  ThresholdBalancer balancer(base_config(), 1);
+  workloads::RepeatedSetWorkload workload(256, 1u << 18, 13);
+  core::SimConfig sim;
+  sim.steps = 50;
+  (void)core::simulate(balancer, workload, sim);
+  EXPECT_GE(balancer.probes_issued(), balancer.requests_routed());
+  EXPECT_LE(balancer.probes_issued(), 2 * balancer.requests_routed());
+}
+
+TEST(Threshold, StillCleanOnEasyTraffic) {
+  ThresholdBalancer balancer(base_config(), 2);
+  workloads::FreshUniformWorkload workload(256);
+  core::SimConfig sim;
+  sim.steps = 100;
+  const core::SimResult r = core::simulate(balancer, workload, sim);
+  EXPECT_EQ(r.metrics.rejected(), 0u);
+}
+
+// ---------------------------------------------------------- heterogeneous
+TEST(Heterogeneous, RejectsWrongRateVectorSize) {
+  SingleQueueConfig config = base_config();
+  config.per_server_rate.assign(3, 1);  // != servers
+  EXPECT_THROW(GreedyBalancer{config}, std::invalid_argument);
+}
+
+TEST(Heterogeneous, ZeroRateClusterNeverCompletes) {
+  SingleQueueConfig config = base_config();
+  config.servers = 2;
+  config.replication = 2;
+  config.processing_rate = 2;
+  config.queue_capacity = 4;
+  config.per_server_rate = {0, 0};  // all servers dead
+  GreedyBalancer balancer(config);
+  core::Metrics metrics;
+  const std::vector<core::ChunkId> batch = {1, 2};
+  for (core::Time t = 0; t < 10; ++t) balancer.step(t, batch, metrics);
+  EXPECT_EQ(metrics.submitted(), 20u);
+  EXPECT_EQ(metrics.completed(), 0u);
+  // Queues fill to capacity (2 x 4 = 8), everything else rejected.
+  EXPECT_EQ(balancer.total_backlog(), 8u);
+  EXPECT_EQ(metrics.rejected(), 12u);
+}
+
+TEST(Heterogeneous, SetServerRateValidatesAndTakesEffect) {
+  SingleQueueConfig config = base_config();
+  config.servers = 2;
+  config.replication = 2;
+  config.processing_rate = 2;
+  config.queue_capacity = 4;
+  GreedyBalancer balancer(config);
+  EXPECT_THROW(balancer.set_server_rate(9, 1), std::out_of_range);
+
+  // Kill both servers mid-run: completions stop from that step on.
+  core::Metrics metrics;
+  const std::vector<core::ChunkId> batch = {1, 2};
+  balancer.step(0, batch, metrics);
+  const std::uint64_t completed_before = metrics.completed();
+  EXPECT_GT(completed_before, 0u);
+  balancer.set_server_rate(0, 0);
+  balancer.set_server_rate(1, 0);
+  for (core::Time t = 1; t < 6; ++t) balancer.step(t, batch, metrics);
+  EXPECT_EQ(metrics.completed(), completed_before);
+  // Revive: completions resume.
+  balancer.set_server_rate(0, 2);
+  balancer.set_server_rate(1, 2);
+  balancer.step(6, batch, metrics);
+  EXPECT_GT(metrics.completed(), completed_before);
+}
+
+TEST(Heterogeneous, StragglersSlowButDoNotStall) {
+  SingleQueueConfig config = base_config();
+  config.processing_rate = 4;
+  config.per_server_rate.assign(config.servers, 4);
+  for (std::size_t s = 0; s < config.servers; s += 10) {
+    config.per_server_rate[s] = 1;  // 10% stragglers at quarter speed
+  }
+  GreedyBalancer balancer(config);
+  workloads::RepeatedSetWorkload workload(256, 1u << 20, 17);
+  core::SimConfig sim;
+  sim.steps = 150;
+  const core::SimResult r = core::simulate(balancer, workload, sim);
+  // Greedy routes around stragglers: still no rejections at this load.
+  EXPECT_EQ(r.metrics.rejected(), 0u);
+}
+
+// ----------------------------------------------------------------- factory
+TEST(FactoryExtensions, NewPoliciesConstructAndRun) {
+  for (const std::string name : {"greedy-left", "threshold"}) {
+    PolicyConfig config;
+    config.servers = 128;
+    config.processing_rate = 4;
+    config.seed = 19;
+    auto policy = make_policy(name, config);
+    workloads::FreshUniformWorkload workload(128);
+    core::SimConfig sim;
+    sim.steps = 20;
+    const core::SimResult r = core::simulate(*policy, workload, sim);
+    EXPECT_EQ(r.metrics.rejected(), 0u) << name;
+  }
+}
+
+TEST(FactoryExtensions, PolicyNamesContainsAll) {
+  const auto& names = policy_names();
+  for (const char* expected : {"greedy-left", "threshold", "batched-greedy",
+                               "migrating-d1", "sticky"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_EQ(names.size(), 11u);
+}
+
+}  // namespace
+}  // namespace rlb::policies

@@ -1,0 +1,153 @@
+// Unit + property tests for the Lemma 4.2 offline assignment
+// (cuckoo/offline_assignment.hpp).
+#include "cuckoo/offline_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/placement.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::cuckoo {
+namespace {
+
+using ChoicePairs = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+ChoicePairs random_instance(std::size_t items, std::size_t servers,
+                            std::uint64_t seed) {
+  stats::Rng rng(seed);
+  ChoicePairs choices;
+  choices.reserve(items);
+  for (std::size_t i = 0; i < items; ++i) {
+    auto a = static_cast<std::uint32_t>(rng.next_below(servers));
+    auto b = static_cast<std::uint32_t>(rng.next_below(servers));
+    while (b == a) b = static_cast<std::uint32_t>(rng.next_below(servers));
+    choices.emplace_back(a, b);
+  }
+  return choices;
+}
+
+TEST(OfflineAssignment, RejectsZeroServers) {
+  EXPECT_THROW(assign_offline({}, 0), std::invalid_argument);
+}
+
+TEST(OfflineAssignment, EmptyInstanceSucceeds) {
+  const OfflineAssignment result = assign_offline({}, 16);
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.assignment.empty());
+  EXPECT_EQ(result.stash_used, 0u);
+}
+
+TEST(OfflineAssignment, AssignsEveryItemToOneOfItsChoices) {
+  const auto choices = random_instance(100, 128, 1);
+  const OfflineAssignment result = assign_offline(choices, 128);
+  ASSERT_EQ(result.assignment.size(), 100u);
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    const std::uint32_t assigned = result.assignment[i];
+    EXPECT_TRUE(assigned == choices[i].first || assigned == choices[i].second)
+        << "item " << i;
+  }
+}
+
+TEST(OfflineAssignment, PerServerCountsMatchAssignment) {
+  const auto choices = random_instance(200, 256, 2);
+  const OfflineAssignment result = assign_offline(choices, 256);
+  std::vector<std::uint32_t> recount(256, 0);
+  for (const std::uint32_t s : result.assignment) ++recount[s];
+  EXPECT_EQ(recount, result.per_server);
+}
+
+TEST(OfflineAssignment, FullLoadKeepsConstantPerServer) {
+  // The Lemma 4.2 headline: m items into m servers, max O(1) per server —
+  // concretely <= 3 + stash when the three-group split succeeds.
+  constexpr std::size_t kServers = 512;
+  const auto choices = random_instance(kServers, kServers, 3);
+  const OfflineAssignment result = assign_offline(choices, kServers);
+  EXPECT_TRUE(result.success);
+  std::uint32_t max_count = 0;
+  for (const std::uint32_t c : result.per_server) {
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_LE(max_count, 3u + result.stash_used);
+  EXPECT_LE(max_count, 7u);  // 3 groups + default stash 4
+}
+
+TEST(OfflineAssignment, UsesThreeGroupsInModelRegime) {
+  const auto choices = random_instance(90, 100, 4);
+  EXPECT_EQ(assign_offline(choices, 100).groups, 3u);
+}
+
+TEST(OfflineAssignment, MoreGroupsWhenOverloaded) {
+  // n > m items (outside the model, but the API stays safe): group count
+  // grows so each group still fits the feasible cuckoo density.
+  const auto choices = random_instance(300, 100, 5);
+  const OfflineAssignment result = assign_offline(choices, 100);
+  EXPECT_GT(result.groups, 3u);
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    const std::uint32_t assigned = result.assignment[i];
+    EXPECT_TRUE(assigned == choices[i].first || assigned == choices[i].second);
+  }
+}
+
+TEST(OfflineAssignment, AdversarialCollisionsFailGracefully) {
+  // Many items sharing the same two servers: only 2 per group are
+  // placeable; the rest overflow the stash → success == false, but the
+  // assignment must still map every item to one of its choices.
+  ChoicePairs choices(64, {3, 7});
+  const OfflineAssignment result =
+      assign_offline(choices, 16, /*stash_capacity_per_group=*/2);
+  EXPECT_FALSE(result.success);
+  for (const std::uint32_t s : result.assignment) {
+    EXPECT_TRUE(s == 3u || s == 7u);
+  }
+}
+
+class OfflineAssignmentProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OfflineAssignmentProperty, ValidAndBalancedOnRandomFullLoads) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::size_t kServers = 256;
+  const auto choices = random_instance(kServers, kServers, seed);
+  const OfflineAssignment result = assign_offline(choices, kServers);
+
+  // Validity.
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    const std::uint32_t s = result.assignment[i];
+    ASSERT_TRUE(s == choices[i].first || s == choices[i].second);
+  }
+  // Balance: per-server load stays a small constant whenever the
+  // construction succeeded (it should, at these sizes).
+  EXPECT_TRUE(result.success);
+  std::uint32_t max_count = 0;
+  for (const std::uint32_t c : result.per_server) {
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_LE(max_count, 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, OfflineAssignmentProperty,
+                         ::testing::Range<std::uint64_t>(10, 30));
+
+TEST(OfflineAssignment, WorksWithPlacementChoices) {
+  // End-to-end with the real Placement (d = 2), the way delayed cuckoo
+  // routing uses it.
+  constexpr std::size_t kServers = 128;
+  const core::Placement placement(kServers, 2, 77);
+  ChoicePairs choices;
+  for (core::ChunkId x = 0; x < kServers; ++x) {
+    const core::ChoiceList list = placement.choices(x);
+    choices.emplace_back(list[0], list[1]);
+  }
+  const OfflineAssignment result = assign_offline(choices, kServers);
+  EXPECT_TRUE(result.success);
+  std::uint32_t max_count = 0;
+  for (const std::uint32_t c : result.per_server) {
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_LE(max_count, 7u);
+}
+
+}  // namespace
+}  // namespace rlb::cuckoo

@@ -1,0 +1,114 @@
+// Unit tests for chunk placement (core/placement.hpp).
+//
+// The stability property tested here IS the paper's reappearance
+// dependency: a chunk's d candidate servers never change across accesses.
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rlb::core {
+namespace {
+
+TEST(Placement, RejectsInvalidArguments) {
+  EXPECT_THROW(Placement(0, 2, 1), std::invalid_argument);
+  EXPECT_THROW(Placement(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Placement(10, 9, 1), std::invalid_argument);   // > kMax
+  EXPECT_THROW(Placement(3, 4, 1), std::invalid_argument);    // d > m
+}
+
+TEST(Placement, ChoicesAreStableAcrossCalls) {
+  const Placement placement(128, 3, 42);
+  for (ChunkId x = 0; x < 200; ++x) {
+    const ChoiceList first = placement.choices(x);
+    const ChoiceList second = placement.choices(x);
+    ASSERT_EQ(first.size(), second.size());
+    for (unsigned i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i], second[i]) << "chunk " << x << " replica " << i;
+    }
+  }
+}
+
+TEST(Placement, ChoicesAreDistinctServers) {
+  const Placement placement(16, 4, 7);
+  for (ChunkId x = 0; x < 500; ++x) {
+    const ChoiceList choices = placement.choices(x);
+    ASSERT_EQ(choices.size(), 4u);
+    std::set<ServerId> unique(choices.begin(), choices.end());
+    EXPECT_EQ(unique.size(), 4u) << "chunk " << x;
+  }
+}
+
+TEST(Placement, ChoicesInRange) {
+  const Placement placement(10, 2, 3);
+  for (ChunkId x = 0; x < 300; ++x) {
+    for (ServerId s : placement.choices(x)) EXPECT_LT(s, 10u);
+  }
+}
+
+TEST(Placement, DifferentSeedsGiveDifferentPlacements) {
+  const Placement a(1024, 2, 1), b(1024, 2, 2);
+  int agreements = 0;
+  for (ChunkId x = 0; x < 100; ++x) {
+    if (a.choices(x)[0] == b.choices(x)[0]) ++agreements;
+  }
+  EXPECT_LT(agreements, 10);  // ~100/1024 expected by chance
+}
+
+TEST(Placement, FirstReplicaIsRoughlyUniform) {
+  constexpr std::size_t kServers = 16;
+  const Placement placement(kServers, 2, 99);
+  std::vector<int> counts(kServers, 0);
+  constexpr int kChunks = 48000;
+  for (ChunkId x = 0; x < kChunks; ++x) ++counts[placement.choices(x)[0]];
+  const double expected = static_cast<double>(kChunks) / kServers;
+  for (std::size_t s = 0; s < kServers; ++s) {
+    EXPECT_NEAR(counts[s], expected, 5 * std::sqrt(expected)) << "server " << s;
+  }
+}
+
+TEST(Placement, ReplicationEqualsServerCountCoversAll) {
+  // Extreme case d == m: each chunk must hit every server exactly once.
+  const Placement placement(4, 4, 5);
+  for (ChunkId x = 0; x < 50; ++x) {
+    const ChoiceList choices = placement.choices(x);
+    std::set<ServerId> unique(choices.begin(), choices.end());
+    EXPECT_EQ(unique.size(), 4u);
+  }
+}
+
+TEST(Placement, PairDistributionHitsAllPairs) {
+  // With d = 2 over 6 servers, all 15 unordered pairs should appear among
+  // enough chunks.
+  const Placement placement(6, 2, 11);
+  std::set<std::pair<ServerId, ServerId>> pairs;
+  for (ChunkId x = 0; x < 2000; ++x) {
+    const ChoiceList choices = placement.choices(x);
+    ServerId a = choices[0], b = choices[1];
+    if (a > b) std::swap(a, b);
+    pairs.emplace(a, b);
+  }
+  EXPECT_EQ(pairs.size(), 15u);
+}
+
+TEST(ChoiceList, ContainsAndIteration) {
+  ChoiceList list;
+  list.push_back(3);
+  list.push_back(9);
+  EXPECT_TRUE(list.contains(3));
+  EXPECT_TRUE(list.contains(9));
+  EXPECT_FALSE(list.contains(4));
+  EXPECT_EQ(list.size(), 2u);
+  unsigned visited = 0;
+  for (ServerId s : list) {
+    EXPECT_TRUE(s == 3 || s == 9);
+    ++visited;
+  }
+  EXPECT_EQ(visited, 2u);
+}
+
+}  // namespace
+}  // namespace rlb::core

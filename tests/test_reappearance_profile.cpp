@@ -1,0 +1,86 @@
+// Unit tests for the reappearance analyzer
+// (workloads/reappearance_profile.hpp).
+#include "workloads/reappearance_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/mixed.hpp"
+#include "workloads/phased_churn.hpp"
+#include "workloads/repeated_set.hpp"
+#include "workloads/zipf_workload.hpp"
+
+namespace rlb::workloads {
+namespace {
+
+TEST(ReappearanceProfile, EmptyProfile) {
+  ReappearanceAnalyzer analyzer;
+  EXPECT_EQ(analyzer.profile().total_requests, 0u);
+  EXPECT_EQ(analyzer.profile().reappearance_fraction(), 0.0);
+  EXPECT_EQ(analyzer.profile().working_set_ratio(), 0.0);
+}
+
+TEST(ReappearanceProfile, HandComputedSequence) {
+  ReappearanceAnalyzer analyzer;
+  analyzer.observe_step(0, {1, 2, 3});
+  analyzer.observe_step(1, {1, 4});
+  analyzer.observe_step(3, {1, 2});
+  const ReappearanceProfile& profile = analyzer.profile();
+  EXPECT_EQ(profile.total_requests, 7u);
+  EXPECT_EQ(profile.distinct_chunks, 4u);
+  EXPECT_EQ(profile.reappearances, 3u);  // 1@t1, 1@t3, 2@t3
+  // Reuse distances: chunk 1 at t=1 (dist 1), chunk 1 at t=3 (dist 2),
+  // chunk 2 at t=3 (dist 3).
+  EXPECT_EQ(profile.reuse_distance.count_at(1), 1u);
+  EXPECT_EQ(profile.reuse_distance.count_at(2), 1u);
+  EXPECT_EQ(profile.reuse_distance.count_at(3), 1u);
+}
+
+TEST(ReappearanceProfile, RepeatedSetIsMaximallyDependent) {
+  RepeatedSetWorkload workload(64, 1u << 20, 3);
+  const ReappearanceProfile profile = profile_workload(workload, 20);
+  EXPECT_EQ(profile.total_requests, 64u * 20);
+  EXPECT_EQ(profile.distinct_chunks, 64u);
+  // Everything after step 0 is a reappearance at distance exactly 1.
+  EXPECT_DOUBLE_EQ(profile.reappearance_fraction(), 19.0 / 20.0);
+  EXPECT_EQ(profile.reuse_distance.count_at(1), 64u * 19);
+}
+
+TEST(ReappearanceProfile, FreshUniformHasNoReappearances) {
+  FreshUniformWorkload workload(64);
+  const ReappearanceProfile profile = profile_workload(workload, 20);
+  EXPECT_EQ(profile.reappearances, 0u);
+  EXPECT_DOUBLE_EQ(profile.working_set_ratio(), 1.0);
+}
+
+TEST(ReappearanceProfile, MixedMatchesItsHotFraction) {
+  MixedWorkload workload(100, 0.4, 5);
+  const ReappearanceProfile profile = profile_workload(workload, 30);
+  // 40 hot chunks reappear every step after the first; 60 fresh never do.
+  EXPECT_NEAR(profile.reappearance_fraction(), 0.4 * 29.0 / 30.0, 1e-9);
+}
+
+TEST(ReappearanceProfile, ChurnReducesDependenceMonotonically) {
+  auto fraction_for = [](double churn) {
+    PhasedChurnWorkload workload(128, churn, 1, 7);
+    return profile_workload(workload, 40).reappearance_fraction();
+  };
+  const double none = fraction_for(0.0);
+  const double some = fraction_for(0.3);
+  const double all = fraction_for(1.0);
+  EXPECT_GT(none, some);
+  EXPECT_GT(some, all);
+  EXPECT_NEAR(all, 0.0, 1e-9);
+}
+
+TEST(ReappearanceProfile, ZipfHeadDrivesShortReuseDistances) {
+  ZipfWorkload workload(64, 1024, 1.1, 9);
+  const ReappearanceProfile profile = profile_workload(workload, 50);
+  EXPECT_GT(profile.reappearance_fraction(), 0.3);
+  // The hot head reappears within a couple of steps: the median reuse
+  // distance is small.
+  EXPECT_LE(profile.reuse_distance.quantile(0.5), 4u);
+}
+
+}  // namespace
+}  // namespace rlb::workloads

@@ -1,0 +1,148 @@
+// Unit tests for virtual-ring placement (core/placement.hpp kVirtualRing)
+// and the sliding-window workload (workloads/sliding_window.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "core/placement.hpp"
+#include "workloads/reappearance_profile.hpp"
+#include "workloads/sliding_window.hpp"
+
+namespace rlb {
+namespace {
+
+// ----------------------------------------------------------- ring placement
+TEST(RingPlacement, ChoicesAreDistinctAndStable) {
+  const core::Placement placement(64, 3, 7, core::PlacementMode::kVirtualRing);
+  for (core::ChunkId x = 0; x < 300; ++x) {
+    const core::ChoiceList first = placement.choices(x);
+    ASSERT_EQ(first.size(), 3u);
+    std::set<core::ServerId> unique(first.begin(), first.end());
+    EXPECT_EQ(unique.size(), 3u);
+    const core::ChoiceList second = placement.choices(x);
+    for (unsigned i = 0; i < 3; ++i) EXPECT_EQ(first[i], second[i]);
+  }
+}
+
+TEST(RingPlacement, ChoicesInRange) {
+  const core::Placement placement(10, 2, 9, core::PlacementMode::kVirtualRing);
+  for (core::ChunkId x = 0; x < 200; ++x) {
+    for (const core::ServerId s : placement.choices(x)) EXPECT_LT(s, 10u);
+  }
+}
+
+TEST(RingPlacement, PrimaryIsRoughlyBalanced) {
+  // Virtual nodes smooth the ring: primary ownership should be within a
+  // few x of fair share.
+  constexpr std::size_t kServers = 16;
+  const core::Placement placement(kServers, 2, 11,
+                                  core::PlacementMode::kVirtualRing);
+  std::vector<int> counts(kServers, 0);
+  constexpr int kChunks = 32000;
+  for (core::ChunkId x = 0; x < kChunks; ++x) {
+    ++counts[placement.choices(x)[0]];
+  }
+  // With 16 vnodes per server the classic consistent-hashing imbalance is
+  // ~1 ± 1/sqrt(v): allow [0.25, 2.5]x fair share.
+  const double fair = static_cast<double>(kChunks) / kServers;
+  for (const int c : counts) {
+    EXPECT_GT(c, fair * 0.25);
+    EXPECT_LT(c, fair * 2.5);
+  }
+}
+
+TEST(RingPlacement, ReplicasAreRingSuccessors) {
+  // The defining correlation: two chunks landing in the same ring arc get
+  // the SAME successor list.  Verify by checking that the replica-pair
+  // distribution is far more concentrated than independent placement's:
+  // count distinct (primary -> secondary) pairs across many chunks.
+  constexpr std::size_t kServers = 64;
+  const core::Placement ring(kServers, 2, 13,
+                             core::PlacementMode::kVirtualRing);
+  const core::Placement independent(kServers, 2, 13,
+                                    core::PlacementMode::kUniform);
+  std::set<std::pair<core::ServerId, core::ServerId>> ring_pairs;
+  std::set<std::pair<core::ServerId, core::ServerId>> independent_pairs;
+  for (core::ChunkId x = 0; x < 4000; ++x) {
+    const auto rc = ring.choices(x);
+    ring_pairs.emplace(rc[0], rc[1]);
+    const auto ic = independent.choices(x);
+    independent_pairs.emplace(ic[0], ic[1]);
+  }
+  // Ring: each server has ~kVirtualNodesPerServer arcs, each with a fixed
+  // successor → pair variety is bounded by vnode count, far below the
+  // ~m^2 variety of independent placement.
+  EXPECT_LT(ring_pairs.size(), independent_pairs.size() / 2);
+}
+
+TEST(RingPlacement, FullReplicationCoversAllServers) {
+  const core::Placement placement(4, 4, 15,
+                                  core::PlacementMode::kVirtualRing);
+  for (core::ChunkId x = 0; x < 40; ++x) {
+    const core::ChoiceList choices = placement.choices(x);
+    std::set<core::ServerId> unique(choices.begin(), choices.end());
+    EXPECT_EQ(unique.size(), 4u);
+  }
+}
+
+// --------------------------------------------------------- sliding window
+TEST(SlidingWindow, RejectsBadArguments) {
+  EXPECT_THROW(workloads::SlidingWindowWorkload(0, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(workloads::SlidingWindowWorkload(4, 5, 1),
+               std::invalid_argument);
+}
+
+TEST(SlidingWindow, WindowAdvancesByDrift) {
+  workloads::SlidingWindowWorkload workload(8, 2, 3,
+                                            /*shuffle_each_step=*/false);
+  std::vector<core::ChunkId> step0, step1;
+  workload.fill_step(0, step0);
+  workload.fill_step(1, step1);
+  EXPECT_EQ(step0.front(), 0u);
+  EXPECT_EQ(step0.back(), 7u);
+  EXPECT_EQ(step1.front(), 2u);
+  EXPECT_EQ(step1.back(), 9u);
+}
+
+TEST(SlidingWindow, DistinctWithinStep) {
+  workloads::SlidingWindowWorkload workload(32, 4, 5);
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 10; ++t) {
+    workload.fill_step(t, batch);
+    std::unordered_set<core::ChunkId> unique(batch.begin(), batch.end());
+    EXPECT_EQ(unique.size(), 32u);
+  }
+}
+
+TEST(SlidingWindow, ReappearanceFractionMatchesDriftRatio) {
+  // Per step, count - drift chunks are repeats: fraction → 1 - drift/count
+  // (after step 0).
+  workloads::SlidingWindowWorkload workload(40, 10, 7);
+  const workloads::ReappearanceProfile profile =
+      workloads::profile_workload(workload, 50);
+  const double expected = (1.0 - 10.0 / 40.0) * 49.0 / 50.0;
+  EXPECT_NEAR(profile.reappearance_fraction(), expected, 1e-9);
+  // Reuse distance is always exactly 1.
+  EXPECT_EQ(profile.reuse_distance.quantile(0.99), 1u);
+}
+
+TEST(SlidingWindow, ZeroDriftIsRepeatedSet) {
+  workloads::SlidingWindowWorkload workload(16, 0, 9);
+  const workloads::ReappearanceProfile profile =
+      workloads::profile_workload(workload, 20);
+  EXPECT_EQ(profile.distinct_chunks, 16u);
+  EXPECT_DOUBLE_EQ(profile.reappearance_fraction(), 19.0 / 20.0);
+}
+
+TEST(SlidingWindow, FullDriftIsFresh) {
+  workloads::SlidingWindowWorkload workload(16, 16, 11);
+  const workloads::ReappearanceProfile profile =
+      workloads::profile_workload(workload, 20);
+  EXPECT_EQ(profile.reappearances, 0u);
+}
+
+}  // namespace
+}  // namespace rlb

@@ -1,0 +1,127 @@
+// Unit tests for the RNG stack (stats/rng.hpp).
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rlb::stats {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromZeroSeed) {
+  // Reference values of splitmix64(seed = 0) from the public-domain
+  // reference implementation.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(DeriveSeed, IsDeterministic) {
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+}
+
+TEST(DeriveSeed, StreamsDiffer) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seen.insert(derive_seed(42, stream));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Xoshiro, SameSeedSameSequence) {
+  Xoshiro256StarStar a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDifferentSequences) {
+  Xoshiro256StarStar a(123), b(124);
+  int agreements = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++agreements;
+  }
+  EXPECT_EQ(agreements, 0);
+}
+
+TEST(Xoshiro, NextBelowStaysInRange) {
+  Xoshiro256StarStar rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, NextBelowOneAlwaysZero) {
+  Xoshiro256StarStar rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro, NextBelowIsRoughlyUniform) {
+  Xoshiro256StarStar rng(11);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected))
+        << "bucket " << b;
+  }
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256StarStar rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, BernoulliEdgeCases) {
+  Xoshiro256StarStar rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+  Xoshiro256StarStar rng(19);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.next_bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Xoshiro, JumpDecorrelatesStreams) {
+  Xoshiro256StarStar base(23);
+  Xoshiro256StarStar jumped = base.split(1);
+  int agreements = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (base.next() == jumped.next()) ++agreements;
+  }
+  EXPECT_EQ(agreements, 0);
+}
+
+TEST(Xoshiro, SplitIsDeterministic) {
+  Xoshiro256StarStar a(29), b(29);
+  Xoshiro256StarStar ca = a.split(2), cb = b.split(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+}  // namespace
+}  // namespace rlb::stats

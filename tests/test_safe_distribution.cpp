@@ -1,0 +1,92 @@
+// Unit tests for the Definition 3.2 safety checker
+// (core/safe_distribution.hpp).
+#include "core/safe_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlb::core {
+namespace {
+
+TEST(BacklogTailCounts, AllZeroBacklogs) {
+  const auto tail = backlog_tail_counts({0, 0, 0, 0});
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0], 0u);  // nobody has backlog > 0
+}
+
+TEST(BacklogTailCounts, MixedBacklogs) {
+  // backlogs: 0, 1, 1, 3
+  const auto tail = backlog_tail_counts({0, 1, 1, 3});
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail[0], 3u);  // > 0: three servers
+  EXPECT_EQ(tail[1], 1u);  // > 1: one server
+  EXPECT_EQ(tail[2], 1u);  // > 2: one server
+  EXPECT_EQ(tail[3], 0u);  // > 3: none
+}
+
+TEST(SafeDistribution, AllEmptyIsSafe) {
+  const SafetyReport report = check_safe_distribution({0, 0, 0, 0});
+  EXPECT_TRUE(report.safe);
+  EXPECT_EQ(report.worst_ratio, 0.0);
+}
+
+TEST(SafeDistribution, ExactBoundaryIsSafe) {
+  // m = 8.  Bound at j=1: 8/2 = 4 servers may have backlog > 1;
+  // at j=2: 2 servers; at j=3: 1 server.
+  // backlogs: four 2s would be > 1 (exactly 4 = bound), two of them 3
+  // (> 2, exactly 2 = bound), one of them 4 (> 3, exactly 1 = bound).
+  const std::vector<std::uint32_t> backlogs = {2, 2, 3, 4, 0, 0, 0, 0};
+  const SafetyReport report = check_safe_distribution(backlogs);
+  EXPECT_TRUE(report.safe);
+  EXPECT_DOUBLE_EQ(report.worst_ratio, 1.0);
+}
+
+TEST(SafeDistribution, ViolationDetectedAtCorrectLevel) {
+  // m = 8, j = 2 bound is 2, but three servers have backlog > 2.
+  const std::vector<std::uint32_t> backlogs = {3, 3, 3, 0, 0, 0, 0, 0};
+  const SafetyReport report = check_safe_distribution(backlogs);
+  EXPECT_FALSE(report.safe);
+  EXPECT_EQ(report.violated_level, 2u);
+  EXPECT_GT(report.worst_ratio, 1.0);
+}
+
+TEST(SafeDistribution, SingleHugeBacklogViolates) {
+  // m = 4: at j = 3, bound = 0.5 servers, one server with backlog 10 > 3.
+  const SafetyReport report = check_safe_distribution({10, 0, 0, 0});
+  EXPECT_FALSE(report.safe);
+}
+
+TEST(SafeDistribution, UniformOnesAreSafe) {
+  // Everyone has backlog 1: nobody exceeds 1, trivially safe.
+  const std::vector<std::uint32_t> backlogs(64, 1);
+  EXPECT_TRUE(check_safe_distribution(backlogs).safe);
+}
+
+TEST(SafeDistribution, UniformTwosViolate) {
+  // m = 64: at j = 1 bound is 32, but all 64 servers have backlog > 1.
+  const std::vector<std::uint32_t> backlogs(64, 2);
+  const SafetyReport report = check_safe_distribution(backlogs);
+  EXPECT_FALSE(report.safe);
+  EXPECT_EQ(report.violated_level, 1u);
+  EXPECT_DOUBLE_EQ(report.worst_ratio, 2.0);
+}
+
+TEST(SafeDistribution, GeometricDecayIsSafe) {
+  // Construct exactly the m/2^j profile: m/2 servers with backlog 1,
+  // m/4 with 2, m/8 with 3, ... — the canonical safe shape.
+  std::vector<std::uint32_t> backlogs;
+  std::uint32_t level = 1;
+  for (std::size_t count = 64; count >= 1; count /= 2, ++level) {
+    for (std::size_t i = 0; i < count; ++i) {
+      backlogs.push_back(level - 1);
+    }
+  }
+  const SafetyReport report = check_safe_distribution(backlogs);
+  EXPECT_TRUE(report.safe) << "violated at level " << report.violated_level;
+}
+
+TEST(SafeDistribution, EmptyInputIsSafe) {
+  EXPECT_TRUE(check_safe_distribution({}).safe);
+}
+
+}  // namespace
+}  // namespace rlb::core

@@ -1,0 +1,84 @@
+// Unit tests for the bounded FIFO (core/server_queue.hpp).
+#include "core/server_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlb::core {
+namespace {
+
+TEST(ServerQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(ServerQueue(0), std::invalid_argument);
+}
+
+TEST(ServerQueue, StartsEmpty) {
+  ServerQueue q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 4u);
+}
+
+TEST(ServerQueue, PushPopFifoOrder) {
+  ServerQueue q(8);
+  for (Time t = 0; t < 5; ++t) {
+    ASSERT_TRUE(q.push(Request{static_cast<ChunkId>(t * 10), t}));
+  }
+  for (Time t = 0; t < 5; ++t) {
+    const Request r = q.pop();
+    EXPECT_EQ(r.chunk, static_cast<ChunkId>(t * 10));
+    EXPECT_EQ(r.arrival, t);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ServerQueue, PushFailsWhenFull) {
+  ServerQueue q(2);
+  EXPECT_TRUE(q.push(Request{1, 0}));
+  EXPECT_TRUE(q.push(Request{2, 0}));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(Request{3, 0}));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.front().chunk, 1u);  // unchanged
+}
+
+TEST(ServerQueue, WrapsAroundRingBuffer) {
+  ServerQueue q(3);
+  // Fill, drain partially, refill repeatedly to force wrap.
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    ASSERT_TRUE(q.push(Request{static_cast<ChunkId>(cycle), 0}));
+    ASSERT_TRUE(q.push(Request{static_cast<ChunkId>(cycle + 100), 0}));
+    EXPECT_EQ(q.pop().chunk, static_cast<ChunkId>(cycle));
+    EXPECT_EQ(q.pop().chunk, static_cast<ChunkId>(cycle + 100));
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ServerQueue, ClearReturnsDroppedCount) {
+  ServerQueue q(5);
+  q.push(Request{1, 0});
+  q.push(Request{2, 0});
+  q.push(Request{3, 0});
+  EXPECT_EQ(q.clear(), 3u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.clear(), 0u);
+}
+
+TEST(ServerQueue, UsableAfterClear) {
+  ServerQueue q(2);
+  q.push(Request{1, 0});
+  q.clear();
+  EXPECT_TRUE(q.push(Request{7, 3}));
+  EXPECT_EQ(q.front().chunk, 7u);
+}
+
+TEST(ServerQueue, CapacityOneBehaves) {
+  ServerQueue q(1);
+  EXPECT_TRUE(q.push(Request{5, 1}));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(Request{6, 1}));
+  EXPECT_EQ(q.pop().chunk, 5u);
+  EXPECT_TRUE(q.push(Request{6, 2}));
+}
+
+}  // namespace
+}  // namespace rlb::core

@@ -1,0 +1,109 @@
+// Unit tests for the simulation loop (core/simulator.hpp).
+#include "core/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/greedy.hpp"
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace rlb::core {
+namespace {
+
+policies::SingleQueueConfig config_for(std::size_t servers) {
+  policies::SingleQueueConfig config;
+  config.servers = servers;
+  config.replication = 2;
+  config.processing_rate = 2;
+  config.queue_capacity = 16;
+  config.seed = 9;
+  return config;
+}
+
+TEST(Simulator, RunsRequestedSteps) {
+  policies::GreedyBalancer balancer(config_for(32));
+  workloads::FreshUniformWorkload workload(32);
+  SimConfig sim;
+  sim.steps = 17;
+  const SimResult result = simulate(balancer, workload, sim);
+  EXPECT_EQ(result.steps_run, 17u);
+  EXPECT_EQ(result.metrics.submitted(), 32u * 17);
+}
+
+TEST(Simulator, ZeroStepsIsEmptyRun) {
+  policies::GreedyBalancer balancer(config_for(8));
+  workloads::FreshUniformWorkload workload(8);
+  SimConfig sim;
+  sim.steps = 0;
+  const SimResult result = simulate(balancer, workload, sim);
+  EXPECT_EQ(result.metrics.submitted(), 0u);
+  EXPECT_EQ(result.steps_run, 0u);
+}
+
+TEST(Simulator, FlushEveryDropsBacklogPeriodically) {
+  // g = 1, heavy repeated load: backlog builds up; with flush_every = 5 the
+  // queues reset and drops are recorded.
+  policies::SingleQueueConfig config = config_for(16);
+  config.processing_rate = 1;
+  config.queue_capacity = 32;
+  policies::GreedyBalancer balancer(config);
+  workloads::RepeatedSetWorkload workload(32, 4096, 3);  // 2 requests/server
+  SimConfig sim;
+  sim.steps = 20;
+  sim.flush_every = 5;
+  const SimResult result = simulate(balancer, workload, sim);
+  EXPECT_GT(result.metrics.dropped_from_queue(), 0u);
+  // After the final step's flush boundary (step 20 % 5 == 0), empty queues.
+  EXPECT_EQ(balancer.total_backlog(), 0u);
+}
+
+TEST(Simulator, SafetyCheckingCountsChecks) {
+  policies::GreedyBalancer balancer(config_for(64));
+  workloads::FreshUniformWorkload workload(64);
+  SimConfig sim;
+  sim.steps = 25;
+  sim.check_safety = true;
+  const SimResult result = simulate(balancer, workload, sim);
+  EXPECT_EQ(result.metrics.safety_checks(), 25u);
+  EXPECT_GE(result.worst_safety_ratio, 0.0);
+}
+
+TEST(Simulator, BacklogSamplingTracksMax) {
+  policies::SingleQueueConfig config = config_for(8);
+  config.processing_rate = 1;
+  config.queue_capacity = 64;
+  policies::GreedyBalancer balancer(config);
+  workloads::RepeatedSetWorkload workload(24, 4096, 5);  // 3 requests/server
+  SimConfig sim;
+  sim.steps = 10;
+  const SimResult result = simulate(balancer, workload, sim);
+  EXPECT_GT(result.max_backlog, 0u);
+  EXPECT_EQ(result.metrics.backlog_stats().count(), 8u * 10);
+  EXPECT_EQ(result.max_backlog,
+            static_cast<std::uint64_t>(result.metrics.backlog_stats().max()));
+}
+
+TEST(Simulator, SamplingCanBeDisabled) {
+  policies::GreedyBalancer balancer(config_for(8));
+  workloads::FreshUniformWorkload workload(8);
+  SimConfig sim;
+  sim.steps = 5;
+  sim.sample_backlogs = false;
+  const SimResult result = simulate(balancer, workload, sim);
+  EXPECT_EQ(result.metrics.backlog_stats().count(), 0u);
+  EXPECT_EQ(result.max_backlog, 0u);
+}
+
+TEST(Simulator, ConservationAcrossWholeRun) {
+  policies::GreedyBalancer balancer(config_for(64));
+  workloads::RepeatedSetWorkload workload(64, 4096, 7);
+  SimConfig sim;
+  sim.steps = 100;
+  const SimResult result = simulate(balancer, workload, sim);
+  EXPECT_EQ(result.metrics.submitted(),
+            result.metrics.completed() + result.metrics.rejected() +
+                balancer.total_backlog());
+}
+
+}  // namespace
+}  // namespace rlb::core

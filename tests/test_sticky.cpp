@@ -1,0 +1,101 @@
+// Unit tests for sticky (cached-replica) routing (policies/memory.hpp).
+#include "policies/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "policies/factory.hpp"
+#include "workloads/repeated_set.hpp"
+
+namespace rlb::policies {
+namespace {
+
+SingleQueueConfig base_config() {
+  SingleQueueConfig config;
+  config.servers = 256;
+  config.replication = 2;
+  config.processing_rate = 2;
+  config.queue_capacity = 11;
+  config.seed = 83;
+  return config;
+}
+
+TEST(Sticky, RejectsZeroTrigger) {
+  EXPECT_THROW(StickyBalancer(base_config(), 0), std::invalid_argument);
+}
+
+TEST(Sticky, FirstAccessReassesses) {
+  StickyBalancer balancer(base_config(), 4);
+  core::Metrics metrics;
+  const std::vector<core::ChunkId> batch = {1, 2, 3};
+  balancer.step(0, batch, metrics);
+  EXPECT_EQ(balancer.requests_routed(), 3u);
+  EXPECT_EQ(balancer.reassessments(), 3u);  // nothing cached yet
+}
+
+TEST(Sticky, SubsequentAccessesHitTheCache) {
+  StickyBalancer balancer(base_config(), 4);
+  core::Metrics metrics;
+  const std::vector<core::ChunkId> batch = {1, 2, 3};
+  for (core::Time t = 0; t < 10; ++t) balancer.step(t, batch, metrics);
+  // Light load: backlogs stay below the trigger, so only the first step
+  // reassesses.
+  EXPECT_EQ(balancer.requests_routed(), 30u);
+  EXPECT_EQ(balancer.reassessments(), 3u);
+}
+
+TEST(Sticky, ReassessesWhenCachedServerBacklogs) {
+  // Trigger 1: any nonzero backlog on the cached server forces a re-probe.
+  SingleQueueConfig config = base_config();
+  config.servers = 2;
+  config.processing_rate = 1;
+  config.queue_capacity = 100;
+  StickyBalancer balancer(config, 1);
+  core::Metrics metrics;
+  // 4 requests per step into 2 servers at drain 1 each: backlog builds, so
+  // reassessments must keep firing after the first step.
+  const std::vector<core::ChunkId> batch = {1, 2, 3, 4};
+  for (core::Time t = 0; t < 5; ++t) balancer.step(t, batch, metrics);
+  EXPECT_GT(balancer.reassessments(), 4u);
+}
+
+TEST(Sticky, CleanOnRepeatedSetAtTheoremScale) {
+  StickyBalancer balancer(base_config(), 2);
+  workloads::RepeatedSetWorkload workload(256, 1u << 20, 85);
+  core::SimConfig sim;
+  sim.steps = 200;
+  const core::SimResult result = core::simulate(balancer, workload, sim);
+  EXPECT_EQ(result.metrics.rejected(), 0u);
+  EXPECT_LT(result.metrics.average_latency(), 1.0);
+  // The whole point: amortized probes ~1/request once caches warm up.
+  const double reassess_fraction =
+      static_cast<double>(balancer.reassessments()) /
+      static_cast<double>(balancer.requests_routed());
+  EXPECT_LT(reassess_fraction, 0.25);
+}
+
+TEST(Sticky, ConservationInvariant) {
+  StickyBalancer balancer(base_config(), 2);
+  workloads::RepeatedSetWorkload workload(256, 1u << 18, 87);
+  core::Metrics metrics;
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 30; ++t) {
+    workload.fill_step(t, batch);
+    balancer.step(t, batch, metrics);
+    ASSERT_EQ(metrics.submitted(),
+              metrics.completed() + metrics.rejected() +
+                  balancer.total_backlog());
+  }
+}
+
+TEST(Sticky, FactoryUsesThresholdKnobAsTrigger) {
+  PolicyConfig config;
+  config.servers = 64;
+  config.threshold = 3;
+  config.seed = 89;
+  auto policy = make_policy("sticky", config);
+  EXPECT_EQ(policy->name(), "sticky");
+}
+
+}  // namespace
+}  // namespace rlb::policies

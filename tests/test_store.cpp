@@ -1,0 +1,137 @@
+// Unit tests for the key→chunk sharding layer (store/*).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "store/key_mapper.hpp"
+#include "store/key_workload_adapter.hpp"
+#include "workloads/reappearance_profile.hpp"
+
+namespace rlb::store {
+namespace {
+
+// ----------------------------------------------------------------- mappers
+TEST(HashShardMapper, RejectsZeroChunks) {
+  EXPECT_THROW(HashShardMapper(0, 1), std::invalid_argument);
+}
+
+TEST(HashShardMapper, DeterministicAndInRange) {
+  HashShardMapper mapper(32, 7);
+  for (KeyId key = 0; key < 500; ++key) {
+    const core::ChunkId chunk = mapper.chunk_of(key);
+    EXPECT_LT(chunk, 32u);
+    EXPECT_EQ(chunk, mapper.chunk_of(key));
+  }
+}
+
+TEST(HashShardMapper, RoughlyUniform) {
+  HashShardMapper mapper(16, 11);
+  std::vector<int> counts(16, 0);
+  for (KeyId key = 0; key < 32000; ++key) ++counts[mapper.chunk_of(key)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 1500);
+    EXPECT_LT(c, 2500);
+  }
+}
+
+TEST(RangeShardMapper, RejectsBadArguments) {
+  EXPECT_THROW(RangeShardMapper(0, 100), std::invalid_argument);
+  EXPECT_THROW(RangeShardMapper(10, 5), std::invalid_argument);
+}
+
+TEST(RangeShardMapper, ContiguousRanges) {
+  RangeShardMapper mapper(4, 100);  // width 25
+  EXPECT_EQ(mapper.chunk_of(0), 0u);
+  EXPECT_EQ(mapper.chunk_of(24), 0u);
+  EXPECT_EQ(mapper.chunk_of(25), 1u);
+  EXPECT_EQ(mapper.chunk_of(99), 3u);
+}
+
+TEST(RangeShardMapper, RemainderGoesToLastChunk) {
+  RangeShardMapper mapper(3, 10);  // width 3, keys 9 in the remainder
+  EXPECT_EQ(mapper.chunk_of(9), 2u);
+  // Out-of-space keys wrap.
+  EXPECT_EQ(mapper.chunk_of(10), mapper.chunk_of(0));
+}
+
+// ----------------------------------------------------------------- adapter
+TEST(KeyWorkloadAdapter, ValidatesArguments) {
+  HashShardMapper mapper(8, 1);
+  EXPECT_THROW(KeyWorkloadAdapter(nullptr, mapper, 8), std::invalid_argument);
+  EXPECT_THROW(KeyWorkloadAdapter([](core::Time, std::vector<KeyId>&) {},
+                                  mapper, 0),
+               std::invalid_argument);
+}
+
+TEST(KeyWorkloadAdapter, DeduplicatesChunksWithinStep) {
+  RangeShardMapper mapper(4, 100);
+  // Keys 0, 1, 2 share chunk 0; keys 30, 55 are chunks 1, 2.
+  KeyWorkloadAdapter adapter(
+      [](core::Time, std::vector<KeyId>& keys) {
+        keys = {0, 1, 2, 30, 55};
+      },
+      mapper, 5);
+  std::vector<core::ChunkId> batch;
+  adapter.fill_step(0, batch);
+  EXPECT_EQ(batch, (std::vector<core::ChunkId>{0, 1, 2}));
+  EXPECT_EQ(adapter.keys_seen(), 5u);
+  EXPECT_EQ(adapter.chunk_requests_emitted(), 3u);
+  EXPECT_NEAR(adapter.compression(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(KeyWorkloadAdapter, OutputAlwaysDistinct) {
+  HashShardMapper mapper(16, 3);
+  KeyGenerator generator =
+      make_zipf_key_generator(200, 10000, 1.1, true, 5);
+  KeyWorkloadAdapter adapter(generator, mapper, 200);
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 20; ++t) {
+    adapter.fill_step(t, batch);
+    std::unordered_set<core::ChunkId> unique(batch.begin(), batch.end());
+    EXPECT_EQ(unique.size(), batch.size()) << "step " << t;
+    EXPECT_LE(batch.size(), 16u);  // at most one per chunk
+  }
+}
+
+TEST(ShardingComparison, RangeShardingConcentratesZipfHeads) {
+  // Zipf keys with CONTIGUOUS popularity (scramble = false): range
+  // sharding folds the whole head into few chunks (high compression);
+  // hash sharding spreads it (compression near 1 per hot chunk ... lower).
+  constexpr std::size_t kChunks = 64;
+  constexpr KeyId kKeySpace = 64000;
+  constexpr std::size_t kKeysPerStep = 512;
+
+  RangeShardMapper range(kChunks, kKeySpace);
+  HashShardMapper hash(kChunks, 9);
+  KeyGenerator gen_a =
+      make_zipf_key_generator(kKeysPerStep, kKeySpace, 1.1, false, 7);
+  KeyGenerator gen_b =
+      make_zipf_key_generator(kKeysPerStep, kKeySpace, 1.1, false, 7);
+
+  KeyWorkloadAdapter range_adapter(gen_a, range, kKeysPerStep);
+  KeyWorkloadAdapter hash_adapter(gen_b, hash, kKeysPerStep);
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 30; ++t) {
+    range_adapter.fill_step(t, batch);
+    hash_adapter.fill_step(t, batch);
+  }
+  // Range sharding folds many more keys per chunk request.
+  EXPECT_GT(range_adapter.compression(), hash_adapter.compression() * 1.5);
+}
+
+TEST(ShardingComparison, ChunkLevelReappearanceDiffers) {
+  // The downstream consequence: range sharding's few hot chunks reappear
+  // every step (reappearance fraction ~1 on the emitted stream).
+  constexpr std::size_t kChunks = 64;
+  RangeShardMapper range(kChunks, 64000);
+  KeyGenerator generator =
+      make_zipf_key_generator(512, 64000, 1.1, false, 11);
+  KeyWorkloadAdapter adapter(generator, range, 512);
+  const workloads::ReappearanceProfile profile =
+      workloads::profile_workload(adapter, 40);
+  EXPECT_GT(profile.reappearance_fraction(), 0.8);
+  EXPECT_LE(profile.reuse_distance.quantile(0.5), 1u);
+}
+
+}  // namespace
+}  // namespace rlb::store

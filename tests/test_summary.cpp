@@ -1,0 +1,111 @@
+// Unit tests for summary statistics (stats/summary.hpp).
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rlb::stats {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderror(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats a_copy = a;
+  a.merge(b);  // empty rhs: no change
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs: becomes rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(Quantile, EmptyReturnsZero) {
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, MedianOfOddCount) {
+  EXPECT_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  // Sorted: 1, 2, 3, 4.  q=0.5 → position 1.5 → 2.5.
+  EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+}
+
+TEST(Quantile, ExtremesAreMinMax) {
+  const std::vector<double> values = {5.0, 1.0, 9.0, 3.0};
+  EXPECT_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_EQ(quantile(values, 1.0), 9.0);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> values = {1.0, 2.0};
+  EXPECT_EQ(quantile(values, -1.0), 1.0);
+  EXPECT_EQ(quantile(values, 2.0), 2.0);
+}
+
+TEST(Quantiles, BatchMatchesSingle) {
+  const std::vector<double> values = {7.0, 1.0, 5.0, 3.0, 9.0};
+  const auto result = quantiles(values, {0.0, 0.25, 0.5, 0.75, 1.0});
+  ASSERT_EQ(result.size(), 5u);
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result[i],
+                     quantile(values, std::vector<double>{0.0, 0.25, 0.5,
+                                                          0.75, 1.0}[i]));
+  }
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_EQ(mean_of({4.0}), 4.0);
+  EXPECT_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace rlb::stats

@@ -1,0 +1,201 @@
+// Unit + validation tests for the supermarket model (supermarket/*).
+//
+// The headline test validates the event-driven engine against closed-form
+// queueing theory: for d = 1 the tail must match M/M/1 (λ^i) and the mean
+// sojourn 1/(1−λ); for d = 2 the tail must match Mitzenmacher's
+// double-exponential λ^(2^i − 1).
+#include "supermarket/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rlb::supermarket {
+namespace {
+
+TEST(ClassicalTail, KnownValues) {
+  EXPECT_DOUBLE_EQ(classical_tail(0.9, 1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(classical_tail(0.9, 1, 2), 0.81);
+  // d = 2: exponent (2^i - 1): i=1 → 1, i=2 → 3, i=3 → 7.
+  EXPECT_DOUBLE_EQ(classical_tail(0.5, 2, 1), 0.5);
+  EXPECT_DOUBLE_EQ(classical_tail(0.5, 2, 2), 0.125);
+  EXPECT_NEAR(classical_tail(0.5, 2, 3), std::pow(0.5, 7), 1e-12);
+  // d = 3: exponent (3^i - 1)/2: i=2 → 4.
+  EXPECT_NEAR(classical_tail(0.5, 3, 2), std::pow(0.5, 4), 1e-12);
+}
+
+TEST(Supermarket, ValidatesArguments) {
+  SupermarketConfig config;
+  config.servers = 0;
+  EXPECT_THROW(simulate_supermarket(config), std::invalid_argument);
+  config = SupermarketConfig{};
+  config.choices = 0;
+  EXPECT_THROW(simulate_supermarket(config), std::invalid_argument);
+  config = SupermarketConfig{};
+  config.lambda = 1.0;
+  EXPECT_THROW(simulate_supermarket(config), std::invalid_argument);
+  config = SupermarketConfig{};
+  config.mode = ChoiceMode::kFixedIdentity;
+  config.population = 0;
+  EXPECT_THROW(simulate_supermarket(config), std::invalid_argument);
+}
+
+TEST(Supermarket, ArrivalRateApproximatelyLambdaM) {
+  SupermarketConfig config;
+  config.servers = 100;
+  config.lambda = 0.5;
+  config.horizon = 500.0;
+  config.seed = 3;
+  const SupermarketResult result = simulate_supermarket(config);
+  const double expected = 0.5 * 100 * 500.0;
+  EXPECT_NEAR(static_cast<double>(result.arrivals), expected,
+              5 * std::sqrt(expected));
+  // Stable system: completions track arrivals up to in-flight work.
+  EXPECT_GT(result.completions, result.arrivals * 9 / 10);
+}
+
+TEST(Supermarket, MM1SojournMatchesTheory) {
+  // d = 1 is m independent M/M/1 queues: E[sojourn] = 1/(1 − λ).
+  SupermarketConfig config;
+  config.servers = 200;
+  config.lambda = 0.6;
+  config.choices = 1;
+  config.horizon = 1500.0;
+  config.warmup = 200.0;
+  config.seed = 5;
+  const SupermarketResult result = simulate_supermarket(config);
+  EXPECT_NEAR(result.sojourn.mean(), 1.0 / (1.0 - 0.6), 0.15);
+}
+
+TEST(Supermarket, MM1TailMatchesLambdaToTheI) {
+  SupermarketConfig config;
+  config.servers = 200;
+  config.lambda = 0.7;
+  config.choices = 1;
+  config.horizon = 1500.0;
+  config.warmup = 200.0;
+  config.seed = 7;
+  const SupermarketResult result = simulate_supermarket(config);
+  for (unsigned i = 1; i <= 4; ++i) {
+    ASSERT_LT(i, result.tail_fraction.size());
+    EXPECT_NEAR(result.tail_fraction[i], classical_tail(0.7, 1, i),
+                0.05 * classical_tail(0.7, 1, i) + 0.01)
+        << "tail level " << i;
+  }
+}
+
+TEST(Supermarket, TwoChoiceTailMatchesMitzenmacher) {
+  SupermarketConfig config;
+  config.servers = 400;
+  config.lambda = 0.9;
+  config.choices = 2;
+  config.horizon = 1500.0;
+  config.warmup = 200.0;
+  config.seed = 9;
+  const SupermarketResult result = simulate_supermarket(config);
+  // i = 1: 0.9; i = 2: 0.9^3 = 0.729; i = 3: 0.9^7 ≈ 0.478.
+  for (unsigned i = 1; i <= 3; ++i) {
+    ASSERT_LT(i, result.tail_fraction.size());
+    const double expected = classical_tail(0.9, 2, i);
+    EXPECT_NEAR(result.tail_fraction[i], expected, 0.1 * expected + 0.01)
+        << "tail level " << i;
+  }
+  // The doubly-exponential decay: i = 5 tail (0.9^31 ≈ 0.038) must already
+  // be far below the single-choice λ^5 ≈ 0.59.
+  ASSERT_LT(5u, result.tail_fraction.size());
+  EXPECT_LT(result.tail_fraction[5], 0.09);
+}
+
+TEST(Supermarket, TwoChoicesBeatOneChoiceOnSojourn) {
+  SupermarketConfig config;
+  config.servers = 200;
+  config.lambda = 0.9;
+  config.horizon = 800.0;
+  config.warmup = 100.0;
+  config.seed = 11;
+  config.choices = 1;
+  const SupermarketResult one = simulate_supermarket(config);
+  config.choices = 2;
+  const SupermarketResult two = simulate_supermarket(config);
+  EXPECT_LT(two.sojourn.mean(), one.sojourn.mean() * 0.6);
+}
+
+TEST(Supermarket, FixedIdentityRunsAndDegradesWithTinyPopulation) {
+  // With a small identity population, the fixed hashes concentrate load on
+  // the unlucky servers arrival after arrival — the queue tail must be at
+  // least as heavy as the fresh-choice model's.
+  SupermarketConfig config;
+  config.servers = 100;
+  config.lambda = 0.8;
+  config.choices = 2;
+  config.horizon = 800.0;
+  config.warmup = 100.0;
+  config.seed = 13;
+
+  config.mode = ChoiceMode::kFresh;
+  const SupermarketResult fresh = simulate_supermarket(config);
+  config.mode = ChoiceMode::kFixedIdentity;
+  config.population = 120;  // barely above m: strong reappearance
+  const SupermarketResult fixed = simulate_supermarket(config);
+
+  ASSERT_GT(fresh.tail_fraction.size(), 3u);
+  ASSERT_GT(fixed.tail_fraction.size(), 3u);
+  EXPECT_GE(fixed.tail_fraction[3] + 0.02, fresh.tail_fraction[3]);
+  EXPECT_GT(fixed.sojourn.mean(), fresh.sojourn.mean() * 0.9);
+}
+
+TEST(Supermarket, BoundedQueuesRejectAndUnboundedNever) {
+  SupermarketConfig config;
+  config.servers = 100;
+  config.lambda = 0.9;
+  config.choices = 2;
+  config.horizon = 600.0;
+  config.warmup = 100.0;
+  config.seed = 21;
+
+  config.queue_bound = 0;
+  const SupermarketResult unbounded = simulate_supermarket(config);
+  EXPECT_EQ(unbounded.rejections, 0u);
+
+  config.queue_bound = 2;
+  const SupermarketResult tight = simulate_supermarket(config);
+  EXPECT_GT(tight.rejections, 0u);
+  // Tail at i = 1 is ~0.9, so a q = 2 bound must reject a visible share.
+  EXPECT_GT(tight.rejection_rate(), 0.01);
+}
+
+TEST(Supermarket, RejectionFallsWithQueueBound) {
+  // The Theorem 5.1 trade-off, continuous-time edition: rejection decays
+  // steeply (doubly exponentially for d = 2) as q grows.
+  SupermarketConfig config;
+  config.servers = 200;
+  config.lambda = 0.9;
+  config.choices = 2;
+  config.horizon = 800.0;
+  config.warmup = 100.0;
+  config.seed = 23;
+  double previous = 1.0;
+  for (const std::size_t bound : {1u, 2u, 4u, 8u}) {
+    config.queue_bound = bound;
+    const SupermarketResult result = simulate_supermarket(config);
+    EXPECT_LT(result.rejection_rate(), previous);
+    previous = result.rejection_rate();
+  }
+  EXPECT_LT(previous, 1e-3);  // q = 8 at d = 2: tail ~ 0.9^255
+}
+
+TEST(Supermarket, DeterministicGivenSeed) {
+  SupermarketConfig config;
+  config.servers = 50;
+  config.lambda = 0.7;
+  config.horizon = 200.0;
+  config.seed = 15;
+  const SupermarketResult a = simulate_supermarket(config);
+  const SupermarketResult b = simulate_supermarket(config);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_DOUBLE_EQ(a.sojourn.mean(), b.sojourn.mean());
+}
+
+}  // namespace
+}  // namespace rlb::supermarket

@@ -1,0 +1,91 @@
+// Unit tests for table rendering (report/table.hpp).
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rlb::report {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, BuildsRowsFluently) {
+  Table table({"a", "b"});
+  table.row().cell(1).cell(2.5);
+  table.row().cell("x").cell_sci(0.001);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.column_count(), 2u);
+}
+
+TEST(Table, PlainTextContainsHeadersAndCells) {
+  Table table({"metric", "value"});
+  table.row().cell("rejection").cell(0.25, 2);
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("metric"), std::string::npos);
+  EXPECT_NE(out.find("rejection"), std::string::npos);
+  EXPECT_NE(out.find("0.25"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);  // underline
+}
+
+TEST(Table, CsvQuotesCommas) {
+  Table table({"name", "note"});
+  table.row().cell("x").cell("a,b");
+  std::ostringstream oss;
+  table.print_csv(oss);
+  EXPECT_NE(oss.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderLine) {
+  Table table({"c1", "c2"});
+  table.row().cell(1).cell(2);
+  std::ostringstream oss;
+  table.print_csv(oss);
+  EXPECT_EQ(oss.str().substr(0, 6), "c1,c2\n");
+}
+
+TEST(Table, MarkdownHasSeparatorRow) {
+  Table table({"h"});
+  table.row().cell("v");
+  std::ostringstream oss;
+  table.print_markdown(oss);
+  EXPECT_NE(oss.str().find("| --- |"), std::string::npos);
+  EXPECT_NE(oss.str().find("| v |"), std::string::npos);
+}
+
+TEST(Table, ScientificFormatting) {
+  Table table({"p"});
+  table.row().cell_sci(0.000123, 2);
+  std::ostringstream oss;
+  table.print(oss);
+  EXPECT_NE(oss.str().find("1.23e-04"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table table({"a", "b", "c"});
+  table.row().cell("only-one");
+  std::ostringstream oss;
+  table.print(oss);  // must not crash; short row padded
+  EXPECT_NE(oss.str().find("only-one"), std::string::npos);
+}
+
+TEST(Table, CellBeforeRowStartsARow) {
+  Table table({"a"});
+  table.cell("implicit");
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(SectionHelpers, Format) {
+  std::ostringstream oss;
+  print_section(oss, "Title");
+  print_kv(oss, "key", "value");
+  EXPECT_NE(oss.str().find("== Title =="), std::string::npos);
+  EXPECT_NE(oss.str().find("key: value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlb::report

@@ -1,0 +1,106 @@
+// Unit tests for the thread pool and trial runner (parallel/*).
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "parallel/trial_runner.hpp"
+
+namespace rlb::parallel {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTask) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 42; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto future =
+      pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    // Pool destroyed immediately; all 50 queued tasks must still run.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  parallel_for(pool, 1000, [&](std::size_t i) { ++touched[i]; });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SmallerThanThreadCount) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 3, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(TrialRunner, ResultsInIndexOrderAndDeterministic) {
+  ThreadPool pool(4);
+  const std::function<std::uint64_t(std::uint64_t, std::size_t)> trial =
+      [](std::uint64_t seed, std::size_t index) {
+        return seed ^ static_cast<std::uint64_t>(index);
+      };
+  const auto a = run_trials<std::uint64_t>(pool, 64, 7, trial);
+  const auto b = run_trials<std::uint64_t>(pool, 64, 7, trial);
+  ASSERT_EQ(a.size(), 64u);
+  EXPECT_EQ(a, b);  // identical regardless of scheduling
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], stats::derive_seed(7, i) ^ i);
+  }
+}
+
+TEST(TrialRunner, DistinctSeedsPerTrial) {
+  ThreadPool pool(2);
+  const std::function<std::uint64_t(std::uint64_t, std::size_t)> trial =
+      [](std::uint64_t seed, std::size_t) { return seed; };
+  const auto seeds = run_trials<std::uint64_t>(pool, 32, 1, trial);
+  std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 32u);
+}
+
+TEST(DefaultPool, IsSingleton) {
+  EXPECT_EQ(&default_pool(), &default_pool());
+}
+
+}  // namespace
+}  // namespace rlb::parallel

@@ -1,0 +1,80 @@
+// Tests for trace serialization (workloads/trace.hpp save/load).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/repeated_set.hpp"
+#include "workloads/trace.hpp"
+
+namespace rlb::workloads {
+namespace {
+
+TEST(TracePersistence, RoundTripsThroughStream) {
+  FreshUniformWorkload source(5);
+  const Trace original = Trace::record(source, 4);
+  std::stringstream buffer;
+  original.save(buffer);
+  const Trace restored = Trace::load(buffer);
+  EXPECT_EQ(restored, original);
+  EXPECT_EQ(restored.step_count(), 4u);
+  EXPECT_EQ(restored.total_requests(), 20u);
+  EXPECT_EQ(restored.max_batch_size(), 5u);
+}
+
+TEST(TracePersistence, PreservesEmptySteps) {
+  Trace trace;
+  trace.append_step({1, 2, 3});
+  trace.append_step({});
+  trace.append_step({9});
+  std::stringstream buffer;
+  trace.save(buffer);
+  const Trace restored = Trace::load(buffer);
+  ASSERT_EQ(restored.step_count(), 3u);
+  EXPECT_TRUE(restored.step(1).empty());
+  EXPECT_EQ(restored.step(2), (std::vector<core::ChunkId>{9}));
+}
+
+TEST(TracePersistence, HandlesLargeChunkIds) {
+  Trace trace;
+  trace.append_step({0xffffffffffffffffULL, 0});
+  std::stringstream buffer;
+  trace.save(buffer);
+  const Trace restored = Trace::load(buffer);
+  EXPECT_EQ(restored.step(0)[0], 0xffffffffffffffffULL);
+}
+
+TEST(TracePersistence, FileRoundTrip) {
+  RepeatedSetWorkload source(8, 1000, 3);
+  const Trace original = Trace::record(source, 3);
+  const std::string path = "/tmp/rlb_trace_test.txt";
+  original.save_file(path);
+  const Trace restored = Trace::load_file(path);
+  EXPECT_EQ(restored, original);
+  std::remove(path.c_str());
+}
+
+TEST(TracePersistence, MissingFileThrows) {
+  EXPECT_THROW(Trace::load_file("/nonexistent/dir/trace.txt"),
+               std::runtime_error);
+  Trace trace;
+  trace.append_step({1});
+  EXPECT_THROW(trace.save_file("/nonexistent/dir/trace.txt"),
+               std::runtime_error);
+}
+
+TEST(TracePersistence, LoadedTraceDrivesWorkload) {
+  FreshUniformWorkload source(4);
+  const Trace original = Trace::record(source, 2);
+  std::stringstream buffer;
+  original.save(buffer);
+  const Trace restored = Trace::load(buffer);
+  TraceWorkload replay(restored);
+  std::vector<core::ChunkId> batch;
+  replay.fill_step(0, batch);
+  EXPECT_EQ(batch, original.step(0));
+}
+
+}  // namespace
+}  // namespace rlb::workloads

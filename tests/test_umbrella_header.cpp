@@ -1,0 +1,36 @@
+// Compile-and-use test for the umbrella header (src/rlb.hpp): the single
+// include must be self-sufficient for the quickstart flow.
+#include "rlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, QuickstartFlowCompilesAndRuns) {
+  rlb::policies::PolicyConfig config;
+  config.servers = 64;
+  config.processing_rate = 4;
+  config.seed = 1;
+  auto balancer = rlb::policies::make_policy("greedy", config);
+
+  rlb::workloads::RepeatedSetWorkload adversary(64, 1ULL << 20, 1);
+  rlb::core::SimConfig sim;
+  sim.steps = 25;
+  sim.check_safety = true;
+  const rlb::core::SimResult result =
+      rlb::core::simulate(*balancer, adversary, sim);
+  EXPECT_EQ(result.metrics.rejected(), 0u);
+  EXPECT_EQ(result.steps_run, 25u);
+}
+
+TEST(UmbrellaHeader, SubstratesReachable) {
+  rlb::stats::Rng rng(3);
+  EXPECT_EQ(rlb::ballsbins::one_choice(4, 10, rng).size(), 4u);
+  rlb::cuckoo::CuckooTable table(32, 2, 3);
+  EXPECT_TRUE(table.insert(7));
+  const rlb::core::Placement placement(16, 2, 3);
+  EXPECT_EQ(
+      rlb::core::analyze_placement_graph(placement, 8).chunks, 8u);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Unit tests for weighted GREEDY[d] (ballsbins/strategies.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "ballsbins/strategies.hpp"
+#include "stats/distributions.hpp"
+
+namespace rlb::ballsbins {
+namespace {
+
+TEST(WeightedGreedy, RejectsBadArguments) {
+  stats::Rng rng(1);
+  EXPECT_THROW(weighted_d_choice_greedy(0, {1.0}, 2, rng),
+               std::invalid_argument);
+  EXPECT_THROW(weighted_d_choice_greedy(4, {1.0}, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(WeightedGreedy, ConservesTotalWeight) {
+  stats::Rng rng(2);
+  std::vector<double> weights = {1.0, 2.5, 0.5, 3.0};
+  const auto loads = weighted_d_choice_greedy(8, weights, 2, rng);
+  double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 7.0);
+}
+
+TEST(WeightedGreedy, UnitWeightsMatchUnweightedDistributionally) {
+  constexpr std::size_t kBins = 512;
+  std::vector<double> weights(kBins, 1.0);
+  double weighted_mean = 0, unit_mean = 0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    stats::Rng r1(10 + t), r2(20 + t);
+    weighted_mean += weighted_gap(
+        weighted_d_choice_greedy(kBins, weights, 2, r1));
+    unit_mean += load_gap(d_choice_greedy(kBins, kBins, 2, r2));
+  }
+  EXPECT_NEAR(weighted_mean / kTrials, unit_mean / kTrials, 1.0);
+}
+
+TEST(WeightedGreedy, TwoChoicesBeatOneOnLightTailedWeights) {
+  // Exponential (light-tailed) weights: two-choice keeps the weighted gap
+  // well below one-choice, as in the unit-weight case.
+  constexpr std::size_t kBins = 512;
+  stats::Rng weight_rng(5);
+  std::vector<double> weights;
+  for (int i = 0; i < 8192; ++i) {
+    weights.push_back(-std::log(1.0 - weight_rng.next_double()));
+  }
+  double one = 0, two = 0;
+  constexpr int kTrials = 8;
+  for (int t = 0; t < kTrials; ++t) {
+    stats::Rng r1(100 + t), r2(100 + t);
+    one += weighted_gap(weighted_d_choice_greedy(kBins, weights, 1, r1));
+    two += weighted_gap(weighted_d_choice_greedy(kBins, weights, 2, r2));
+  }
+  EXPECT_LT(two, one * 0.6);
+}
+
+TEST(WeightedGreedy, HeavyTailGapIsMaxWeightDominatedForBothStrategies) {
+  // Talwar–Wieder's caveat: with heavy-tailed weights the gap is
+  // Θ(max weight) no matter how many choices — the giant ball sits
+  // somewhere.  Both strategies' gaps are within 2x of the max weight.
+  constexpr std::size_t kBins = 512;
+  stats::Rng weight_rng(6);
+  std::vector<double> weights;
+  double max_weight = 0;
+  for (int i = 0; i < 4096; ++i) {
+    const double w = 1.0 / std::pow(weight_rng.next_double() + 1e-9, 0.7);
+    weights.push_back(w);
+    max_weight = std::max(max_weight, w);
+  }
+  stats::Rng r1(7), r2(7);
+  const double one =
+      weighted_gap(weighted_d_choice_greedy(kBins, weights, 1, r1));
+  const double two =
+      weighted_gap(weighted_d_choice_greedy(kBins, weights, 2, r2));
+  EXPECT_GT(one, max_weight * 0.4);
+  EXPECT_GT(two, max_weight * 0.4);
+}
+
+TEST(WeightedGap, Basics) {
+  EXPECT_EQ(weighted_gap({}), 0.0);
+  EXPECT_DOUBLE_EQ(weighted_gap({2.0, 2.0, 2.0, 6.0}), 3.0);
+  EXPECT_DOUBLE_EQ(weighted_gap({5.0}), 0.0);
+}
+
+TEST(WeightedGreedy, SingleGiantBallDominatesGap) {
+  stats::Rng rng(7);
+  std::vector<double> weights(100, 0.01);
+  weights.push_back(50.0);
+  const auto loads = weighted_d_choice_greedy(10, weights, 2, rng);
+  // The giant sits somewhere; gap ≈ its weight minus ~average.
+  EXPECT_GT(weighted_gap(loads), 40.0);
+}
+
+}  // namespace
+}  // namespace rlb::ballsbins

@@ -1,0 +1,220 @@
+// Unit tests for the workload generators (workloads/*).
+//
+// Shared invariant across all workloads: within a step all chunks are
+// distinct (the model's Section 2 requirement).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/mixed.hpp"
+#include "workloads/phased_churn.hpp"
+#include "workloads/repeated_set.hpp"
+#include "workloads/trace.hpp"
+#include "workloads/zipf_workload.hpp"
+
+namespace rlb::workloads {
+namespace {
+
+bool all_distinct(const std::vector<core::ChunkId>& batch) {
+  std::unordered_set<core::ChunkId> seen(batch.begin(), batch.end());
+  return seen.size() == batch.size();
+}
+
+TEST(RepeatedSet, RejectsEmpty) {
+  EXPECT_THROW(RepeatedSetWorkload(0, 100, 1), std::invalid_argument);
+}
+
+TEST(RepeatedSet, SameSetEveryStep) {
+  RepeatedSetWorkload workload(32, 1000, 7);
+  std::vector<core::ChunkId> a, b;
+  workload.fill_step(0, a);
+  workload.fill_step(1, b);
+  EXPECT_TRUE(all_distinct(a));
+  auto sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(RepeatedSet, ShuffleChangesOrderButNotSet) {
+  RepeatedSetWorkload workload(64, 10000, 9, /*shuffle_each_step=*/true);
+  std::vector<core::ChunkId> a, b;
+  workload.fill_step(0, a);
+  workload.fill_step(1, b);
+  EXPECT_NE(a, b);  // order differs (prob. ~1/64!)
+}
+
+TEST(RepeatedSet, NoShuffleKeepsOrder) {
+  RepeatedSetWorkload workload(16, 100, 11, /*shuffle_each_step=*/false);
+  std::vector<core::ChunkId> a, b;
+  workload.fill_step(0, a);
+  workload.fill_step(5, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RepeatedSet, ExplicitChunkConstructor) {
+  RepeatedSetWorkload workload({10, 20, 30}, 1, false);
+  std::vector<core::ChunkId> batch;
+  workload.fill_step(0, batch);
+  EXPECT_EQ(batch, (std::vector<core::ChunkId>{10, 20, 30}));
+  EXPECT_EQ(workload.max_requests_per_step(), 3u);
+}
+
+TEST(FreshUniform, NeverRepeatsAcrossSteps) {
+  FreshUniformWorkload workload(16);
+  std::unordered_set<core::ChunkId> all;
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 10; ++t) {
+    workload.fill_step(t, batch);
+    EXPECT_EQ(batch.size(), 16u);
+    for (const core::ChunkId x : batch) {
+      EXPECT_TRUE(all.insert(x).second) << "repeated chunk " << x;
+    }
+  }
+}
+
+TEST(FreshUniform, OffsetSeparatesInstances) {
+  FreshUniformWorkload a(8, 0), b(8, 1'000'000);
+  std::vector<core::ChunkId> ba, bb;
+  a.fill_step(0, ba);
+  b.fill_step(0, bb);
+  for (const core::ChunkId x : ba) {
+    EXPECT_EQ(std::find(bb.begin(), bb.end(), x), bb.end());
+  }
+}
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfWorkload(0, 100, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(ZipfWorkload(60, 100, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Zipf, DistinctWithinStep) {
+  ZipfWorkload workload(50, 200, 0.99, 3);
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 20; ++t) {
+    workload.fill_step(t, batch);
+    EXPECT_EQ(batch.size(), 50u);
+    EXPECT_TRUE(all_distinct(batch));
+  }
+}
+
+TEST(Zipf, HotChunksReappearAcrossSteps) {
+  ZipfWorkload workload(20, 10000, 1.1, 5);
+  std::vector<core::ChunkId> batch;
+  int rank1_appearances = 0;
+  for (core::Time t = 0; t < 50; ++t) {
+    workload.fill_step(t, batch);
+    if (std::find(batch.begin(), batch.end(), 1u) != batch.end()) {
+      ++rank1_appearances;
+    }
+  }
+  EXPECT_GT(rank1_appearances, 25);  // the head is requested most steps
+}
+
+TEST(Zipf, ExtremeSkewStillCompletesBatch) {
+  ZipfWorkload workload(100, 1000, 3.0, 7);
+  std::vector<core::ChunkId> batch;
+  workload.fill_step(0, batch);
+  EXPECT_EQ(batch.size(), 100u);
+  EXPECT_TRUE(all_distinct(batch));
+}
+
+TEST(PhasedChurn, NoChurnEqualsRepeatedSet) {
+  PhasedChurnWorkload workload(32, 0.0, 4, 9);
+  std::vector<core::ChunkId> a, b;
+  workload.fill_step(0, a);
+  workload.fill_step(8, b);  // across a rotation boundary
+  auto sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(PhasedChurn, FullChurnReplacesEverything) {
+  PhasedChurnWorkload workload(16, 1.0, 1, 11);
+  std::vector<core::ChunkId> a, b;
+  workload.fill_step(0, a);
+  workload.fill_step(1, b);
+  std::unordered_set<core::ChunkId> sa(a.begin(), a.end());
+  for (const core::ChunkId x : b) EXPECT_EQ(sa.count(x), 0u);
+}
+
+TEST(PhasedChurn, PartialChurnKeepsSomeChunks) {
+  PhasedChurnWorkload workload(100, 0.25, 1, 13);
+  std::vector<core::ChunkId> a, b;
+  workload.fill_step(0, a);
+  workload.fill_step(1, b);
+  std::unordered_set<core::ChunkId> sa(a.begin(), a.end());
+  std::size_t kept = 0;
+  for (const core::ChunkId x : b) kept += sa.count(x);
+  EXPECT_EQ(kept, 75u);
+  EXPECT_TRUE(all_distinct(b));
+}
+
+TEST(PhasedChurn, RotationOnlyAtPeriodBoundaries) {
+  PhasedChurnWorkload workload(50, 0.5, 10, 15);
+  std::vector<core::ChunkId> a, b;
+  workload.fill_step(3, a);
+  workload.fill_step(7, b);  // same period: identical set
+  auto sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(Mixed, HotAndColdSplit) {
+  MixedWorkload workload(40, 0.5, 17);
+  EXPECT_EQ(workload.hot_per_step(), 20u);
+  std::vector<core::ChunkId> a, b;
+  workload.fill_step(0, a);
+  workload.fill_step(1, b);
+  EXPECT_TRUE(all_distinct(a));
+  std::unordered_set<core::ChunkId> sa(a.begin(), a.end());
+  std::size_t shared = 0;
+  for (const core::ChunkId x : b) shared += sa.count(x);
+  EXPECT_EQ(shared, 20u);  // exactly the hot set reappears
+}
+
+TEST(Mixed, ZeroHotFractionIsAllFresh) {
+  MixedWorkload workload(10, 0.0, 19);
+  std::vector<core::ChunkId> a, b;
+  workload.fill_step(0, a);
+  workload.fill_step(1, b);
+  std::unordered_set<core::ChunkId> sa(a.begin(), a.end());
+  for (const core::ChunkId x : b) EXPECT_EQ(sa.count(x), 0u);
+}
+
+TEST(Trace, RecordAndReplayExactly) {
+  FreshUniformWorkload source(8);
+  const Trace trace = Trace::record(source, 5);
+  EXPECT_EQ(trace.step_count(), 5u);
+  EXPECT_EQ(trace.total_requests(), 40u);
+  EXPECT_EQ(trace.max_batch_size(), 8u);
+
+  TraceWorkload replay(trace);
+  std::vector<core::ChunkId> batch;
+  for (core::Time t = 0; t < 5; ++t) {
+    replay.fill_step(t, batch);
+    EXPECT_EQ(batch, trace.step(static_cast<std::size_t>(t)));
+  }
+}
+
+TEST(Trace, ReplayCyclesPastEnd) {
+  FreshUniformWorkload source(4);
+  const Trace trace = Trace::record(source, 3);
+  TraceWorkload replay(trace);
+  std::vector<core::ChunkId> early, late;
+  replay.fill_step(1, early);
+  replay.fill_step(4, late);  // 4 % 3 == 1
+  EXPECT_EQ(early, late);
+}
+
+TEST(Trace, EmptyTraceRejected) {
+  const Trace trace;
+  EXPECT_THROW(TraceWorkload{trace}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlb::workloads
