@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_adversary_search.cpp" "bench/CMakeFiles/bench_adversary_search.dir/bench_adversary_search.cpp.o" "gcc" "bench/CMakeFiles/bench_adversary_search.dir/bench_adversary_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rlb_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/rlb_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/rlb_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/ballsbins/CMakeFiles/rlb_ballsbins.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rlb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/rlb_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rlb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuckoo/CMakeFiles/rlb_cuckoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/supermarket/CMakeFiles/rlb_supermarket.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/rlb_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/rlb_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlb_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

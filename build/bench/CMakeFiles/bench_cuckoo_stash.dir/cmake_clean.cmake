@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cuckoo_stash.dir/bench_cuckoo_stash.cpp.o"
+  "CMakeFiles/bench_cuckoo_stash.dir/bench_cuckoo_stash.cpp.o.d"
+  "bench_cuckoo_stash"
+  "bench_cuckoo_stash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cuckoo_stash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

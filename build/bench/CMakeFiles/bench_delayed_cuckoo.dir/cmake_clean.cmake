@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delayed_cuckoo.dir/bench_delayed_cuckoo.cpp.o"
+  "CMakeFiles/bench_delayed_cuckoo.dir/bench_delayed_cuckoo.cpp.o.d"
+  "bench_delayed_cuckoo"
+  "bench_delayed_cuckoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delayed_cuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_greedy_upper.dir/bench_greedy_upper.cpp.o"
+  "CMakeFiles/bench_greedy_upper.dir/bench_greedy_upper.cpp.o.d"
+  "bench_greedy_upper"
+  "bench_greedy_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

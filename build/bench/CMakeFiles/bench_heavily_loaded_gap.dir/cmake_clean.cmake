@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heavily_loaded_gap.dir/bench_heavily_loaded_gap.cpp.o"
+  "CMakeFiles/bench_heavily_loaded_gap.dir/bench_heavily_loaded_gap.cpp.o.d"
+  "bench_heavily_loaded_gap"
+  "bench_heavily_loaded_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heavily_loaded_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

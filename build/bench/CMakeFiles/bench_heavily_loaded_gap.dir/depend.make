@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_heavily_loaded_gap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isolated_fails.dir/bench_isolated_fails.cpp.o"
+  "CMakeFiles/bench_isolated_fails.dir/bench_isolated_fails.cpp.o.d"
+  "bench_isolated_fails"
+  "bench_isolated_fails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isolated_fails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

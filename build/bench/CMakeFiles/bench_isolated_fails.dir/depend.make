@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_isolated_fails.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p_queue_tail.dir/bench_p_queue_tail.cpp.o"
+  "CMakeFiles/bench_p_queue_tail.dir/bench_p_queue_tail.cpp.o.d"
+  "bench_p_queue_tail"
+  "bench_p_queue_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p_queue_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_placement_modes.dir/bench_placement_modes.cpp.o"
+  "CMakeFiles/bench_placement_modes.dir/bench_placement_modes.cpp.o.d"
+  "bench_placement_modes"
+  "bench_placement_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_placement_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trial_scaling.dir/bench_trial_scaling.cpp.o"
+  "CMakeFiles/bench_trial_scaling.dir/bench_trial_scaling.cpp.o.d"
+  "bench_trial_scaling"
+  "bench_trial_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trial_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_bench_common.dir/common.cpp.o"
+  "CMakeFiles/rlb_bench_common.dir/common.cpp.o.d"
+  "librlb_bench_common.a"
+  "librlb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

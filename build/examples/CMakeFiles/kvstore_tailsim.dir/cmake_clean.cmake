@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_tailsim.dir/kvstore_tailsim.cpp.o"
+  "CMakeFiles/kvstore_tailsim.dir/kvstore_tailsim.cpp.o.d"
+  "kvstore_tailsim"
+  "kvstore_tailsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_tailsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reappearance_audit.dir/reappearance_audit.cpp.o"
+  "CMakeFiles/reappearance_audit.dir/reappearance_audit.cpp.o.d"
+  "reappearance_audit"
+  "reappearance_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reappearance_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

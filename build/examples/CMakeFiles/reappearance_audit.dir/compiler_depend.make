@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reappearance_audit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("hashing")
+subdirs("parallel")
+subdirs("report")
+subdirs("core")
+subdirs("ballsbins")
+subdirs("cuckoo")
+subdirs("workloads")
+subdirs("policies")
+subdirs("supermarket")
+subdirs("harness")
+subdirs("store")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_ballsbins.dir/heavily_loaded.cpp.o"
+  "CMakeFiles/rlb_ballsbins.dir/heavily_loaded.cpp.o.d"
+  "CMakeFiles/rlb_ballsbins.dir/strategies.cpp.o"
+  "CMakeFiles/rlb_ballsbins.dir/strategies.cpp.o.d"
+  "librlb_ballsbins.a"
+  "librlb_ballsbins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_ballsbins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balancer.cpp" "src/core/CMakeFiles/rlb_core.dir/balancer.cpp.o" "gcc" "src/core/CMakeFiles/rlb_core.dir/balancer.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/rlb_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/rlb_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/rlb_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/rlb_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/rlb_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/rlb_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/placement_graph.cpp" "src/core/CMakeFiles/rlb_core.dir/placement_graph.cpp.o" "gcc" "src/core/CMakeFiles/rlb_core.dir/placement_graph.cpp.o.d"
+  "/root/repo/src/core/safe_distribution.cpp" "src/core/CMakeFiles/rlb_core.dir/safe_distribution.cpp.o" "gcc" "src/core/CMakeFiles/rlb_core.dir/safe_distribution.cpp.o.d"
+  "/root/repo/src/core/server_queue.cpp" "src/core/CMakeFiles/rlb_core.dir/server_queue.cpp.o" "gcc" "src/core/CMakeFiles/rlb_core.dir/server_queue.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/rlb_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/rlb_core.dir/simulator.cpp.o.d"
+  "/root/repo/src/core/timeseries.cpp" "src/core/CMakeFiles/rlb_core.dir/timeseries.cpp.o" "gcc" "src/core/CMakeFiles/rlb_core.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/rlb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/rlb_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_core.dir/balancer.cpp.o"
+  "CMakeFiles/rlb_core.dir/balancer.cpp.o.d"
+  "CMakeFiles/rlb_core.dir/cluster.cpp.o"
+  "CMakeFiles/rlb_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/rlb_core.dir/metrics.cpp.o"
+  "CMakeFiles/rlb_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/rlb_core.dir/placement.cpp.o"
+  "CMakeFiles/rlb_core.dir/placement.cpp.o.d"
+  "CMakeFiles/rlb_core.dir/placement_graph.cpp.o"
+  "CMakeFiles/rlb_core.dir/placement_graph.cpp.o.d"
+  "CMakeFiles/rlb_core.dir/safe_distribution.cpp.o"
+  "CMakeFiles/rlb_core.dir/safe_distribution.cpp.o.d"
+  "CMakeFiles/rlb_core.dir/server_queue.cpp.o"
+  "CMakeFiles/rlb_core.dir/server_queue.cpp.o.d"
+  "CMakeFiles/rlb_core.dir/simulator.cpp.o"
+  "CMakeFiles/rlb_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/rlb_core.dir/timeseries.cpp.o"
+  "CMakeFiles/rlb_core.dir/timeseries.cpp.o.d"
+  "librlb_core.a"
+  "librlb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cuckoo/allocator.cpp" "src/cuckoo/CMakeFiles/rlb_cuckoo.dir/allocator.cpp.o" "gcc" "src/cuckoo/CMakeFiles/rlb_cuckoo.dir/allocator.cpp.o.d"
+  "/root/repo/src/cuckoo/capacitated.cpp" "src/cuckoo/CMakeFiles/rlb_cuckoo.dir/capacitated.cpp.o" "gcc" "src/cuckoo/CMakeFiles/rlb_cuckoo.dir/capacitated.cpp.o.d"
+  "/root/repo/src/cuckoo/cuckoo_table.cpp" "src/cuckoo/CMakeFiles/rlb_cuckoo.dir/cuckoo_table.cpp.o" "gcc" "src/cuckoo/CMakeFiles/rlb_cuckoo.dir/cuckoo_table.cpp.o.d"
+  "/root/repo/src/cuckoo/dary_table.cpp" "src/cuckoo/CMakeFiles/rlb_cuckoo.dir/dary_table.cpp.o" "gcc" "src/cuckoo/CMakeFiles/rlb_cuckoo.dir/dary_table.cpp.o.d"
+  "/root/repo/src/cuckoo/offline_assignment.cpp" "src/cuckoo/CMakeFiles/rlb_cuckoo.dir/offline_assignment.cpp.o" "gcc" "src/cuckoo/CMakeFiles/rlb_cuckoo.dir/offline_assignment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/rlb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/rlb_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

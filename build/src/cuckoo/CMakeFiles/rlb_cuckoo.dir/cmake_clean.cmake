@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_cuckoo.dir/allocator.cpp.o"
+  "CMakeFiles/rlb_cuckoo.dir/allocator.cpp.o.d"
+  "CMakeFiles/rlb_cuckoo.dir/capacitated.cpp.o"
+  "CMakeFiles/rlb_cuckoo.dir/capacitated.cpp.o.d"
+  "CMakeFiles/rlb_cuckoo.dir/cuckoo_table.cpp.o"
+  "CMakeFiles/rlb_cuckoo.dir/cuckoo_table.cpp.o.d"
+  "CMakeFiles/rlb_cuckoo.dir/dary_table.cpp.o"
+  "CMakeFiles/rlb_cuckoo.dir/dary_table.cpp.o.d"
+  "CMakeFiles/rlb_cuckoo.dir/offline_assignment.cpp.o"
+  "CMakeFiles/rlb_cuckoo.dir/offline_assignment.cpp.o.d"
+  "librlb_cuckoo.a"
+  "librlb_cuckoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_cuckoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librlb_cuckoo.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_harness.dir/adversary_search.cpp.o"
+  "CMakeFiles/rlb_harness.dir/adversary_search.cpp.o.d"
+  "CMakeFiles/rlb_harness.dir/experiment.cpp.o"
+  "CMakeFiles/rlb_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/rlb_harness.dir/output.cpp.o"
+  "CMakeFiles/rlb_harness.dir/output.cpp.o.d"
+  "librlb_harness.a"
+  "librlb_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

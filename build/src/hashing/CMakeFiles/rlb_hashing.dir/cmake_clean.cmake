@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_hashing.dir/hash.cpp.o"
+  "CMakeFiles/rlb_hashing.dir/hash.cpp.o.d"
+  "CMakeFiles/rlb_hashing.dir/tabulation.cpp.o"
+  "CMakeFiles/rlb_hashing.dir/tabulation.cpp.o.d"
+  "librlb_hashing.a"
+  "librlb_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/rlb_parallel.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/rlb_parallel.dir/trial_runner.cpp.o"
+  "CMakeFiles/rlb_parallel.dir/trial_runner.cpp.o.d"
+  "librlb_parallel.a"
+  "librlb_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/batched_greedy.cpp" "src/policies/CMakeFiles/rlb_policies.dir/batched_greedy.cpp.o" "gcc" "src/policies/CMakeFiles/rlb_policies.dir/batched_greedy.cpp.o.d"
+  "/root/repo/src/policies/delayed_cuckoo.cpp" "src/policies/CMakeFiles/rlb_policies.dir/delayed_cuckoo.cpp.o" "gcc" "src/policies/CMakeFiles/rlb_policies.dir/delayed_cuckoo.cpp.o.d"
+  "/root/repo/src/policies/factory.cpp" "src/policies/CMakeFiles/rlb_policies.dir/factory.cpp.o" "gcc" "src/policies/CMakeFiles/rlb_policies.dir/factory.cpp.o.d"
+  "/root/repo/src/policies/greedy.cpp" "src/policies/CMakeFiles/rlb_policies.dir/greedy.cpp.o" "gcc" "src/policies/CMakeFiles/rlb_policies.dir/greedy.cpp.o.d"
+  "/root/repo/src/policies/left_greedy.cpp" "src/policies/CMakeFiles/rlb_policies.dir/left_greedy.cpp.o" "gcc" "src/policies/CMakeFiles/rlb_policies.dir/left_greedy.cpp.o.d"
+  "/root/repo/src/policies/memory.cpp" "src/policies/CMakeFiles/rlb_policies.dir/memory.cpp.o" "gcc" "src/policies/CMakeFiles/rlb_policies.dir/memory.cpp.o.d"
+  "/root/repo/src/policies/migrating.cpp" "src/policies/CMakeFiles/rlb_policies.dir/migrating.cpp.o" "gcc" "src/policies/CMakeFiles/rlb_policies.dir/migrating.cpp.o.d"
+  "/root/repo/src/policies/round_robin.cpp" "src/policies/CMakeFiles/rlb_policies.dir/round_robin.cpp.o" "gcc" "src/policies/CMakeFiles/rlb_policies.dir/round_robin.cpp.o.d"
+  "/root/repo/src/policies/single_queue_base.cpp" "src/policies/CMakeFiles/rlb_policies.dir/single_queue_base.cpp.o" "gcc" "src/policies/CMakeFiles/rlb_policies.dir/single_queue_base.cpp.o.d"
+  "/root/repo/src/policies/threshold.cpp" "src/policies/CMakeFiles/rlb_policies.dir/threshold.cpp.o" "gcc" "src/policies/CMakeFiles/rlb_policies.dir/threshold.cpp.o.d"
+  "/root/repo/src/policies/time_step_isolated.cpp" "src/policies/CMakeFiles/rlb_policies.dir/time_step_isolated.cpp.o" "gcc" "src/policies/CMakeFiles/rlb_policies.dir/time_step_isolated.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuckoo/CMakeFiles/rlb_cuckoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rlb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/rlb_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_policies.dir/batched_greedy.cpp.o"
+  "CMakeFiles/rlb_policies.dir/batched_greedy.cpp.o.d"
+  "CMakeFiles/rlb_policies.dir/delayed_cuckoo.cpp.o"
+  "CMakeFiles/rlb_policies.dir/delayed_cuckoo.cpp.o.d"
+  "CMakeFiles/rlb_policies.dir/factory.cpp.o"
+  "CMakeFiles/rlb_policies.dir/factory.cpp.o.d"
+  "CMakeFiles/rlb_policies.dir/greedy.cpp.o"
+  "CMakeFiles/rlb_policies.dir/greedy.cpp.o.d"
+  "CMakeFiles/rlb_policies.dir/left_greedy.cpp.o"
+  "CMakeFiles/rlb_policies.dir/left_greedy.cpp.o.d"
+  "CMakeFiles/rlb_policies.dir/memory.cpp.o"
+  "CMakeFiles/rlb_policies.dir/memory.cpp.o.d"
+  "CMakeFiles/rlb_policies.dir/migrating.cpp.o"
+  "CMakeFiles/rlb_policies.dir/migrating.cpp.o.d"
+  "CMakeFiles/rlb_policies.dir/round_robin.cpp.o"
+  "CMakeFiles/rlb_policies.dir/round_robin.cpp.o.d"
+  "CMakeFiles/rlb_policies.dir/single_queue_base.cpp.o"
+  "CMakeFiles/rlb_policies.dir/single_queue_base.cpp.o.d"
+  "CMakeFiles/rlb_policies.dir/threshold.cpp.o"
+  "CMakeFiles/rlb_policies.dir/threshold.cpp.o.d"
+  "CMakeFiles/rlb_policies.dir/time_step_isolated.cpp.o"
+  "CMakeFiles/rlb_policies.dir/time_step_isolated.cpp.o.d"
+  "librlb_policies.a"
+  "librlb_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_report.dir/table.cpp.o"
+  "CMakeFiles/rlb_report.dir/table.cpp.o.d"
+  "librlb_report.a"
+  "librlb_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

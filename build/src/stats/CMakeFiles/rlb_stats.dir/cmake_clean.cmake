@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_stats.dir/distributions.cpp.o"
+  "CMakeFiles/rlb_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/rlb_stats.dir/fit.cpp.o"
+  "CMakeFiles/rlb_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/rlb_stats.dir/histogram.cpp.o"
+  "CMakeFiles/rlb_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/rlb_stats.dir/rng.cpp.o"
+  "CMakeFiles/rlb_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/rlb_stats.dir/summary.cpp.o"
+  "CMakeFiles/rlb_stats.dir/summary.cpp.o.d"
+  "librlb_stats.a"
+  "librlb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

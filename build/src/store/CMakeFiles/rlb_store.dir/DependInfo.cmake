@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/key_mapper.cpp" "src/store/CMakeFiles/rlb_store.dir/key_mapper.cpp.o" "gcc" "src/store/CMakeFiles/rlb_store.dir/key_mapper.cpp.o.d"
+  "/root/repo/src/store/key_workload_adapter.cpp" "src/store/CMakeFiles/rlb_store.dir/key_workload_adapter.cpp.o" "gcc" "src/store/CMakeFiles/rlb_store.dir/key_workload_adapter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/rlb_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlb_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

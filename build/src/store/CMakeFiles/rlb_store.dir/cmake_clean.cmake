@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_store.dir/key_mapper.cpp.o"
+  "CMakeFiles/rlb_store.dir/key_mapper.cpp.o.d"
+  "CMakeFiles/rlb_store.dir/key_workload_adapter.cpp.o"
+  "CMakeFiles/rlb_store.dir/key_workload_adapter.cpp.o.d"
+  "librlb_store.a"
+  "librlb_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

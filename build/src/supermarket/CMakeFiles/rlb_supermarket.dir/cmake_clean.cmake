@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_supermarket.dir/event_sim.cpp.o"
+  "CMakeFiles/rlb_supermarket.dir/event_sim.cpp.o.d"
+  "librlb_supermarket.a"
+  "librlb_supermarket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_supermarket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bursty.cpp" "src/workloads/CMakeFiles/rlb_workloads.dir/bursty.cpp.o" "gcc" "src/workloads/CMakeFiles/rlb_workloads.dir/bursty.cpp.o.d"
+  "/root/repo/src/workloads/fresh_uniform.cpp" "src/workloads/CMakeFiles/rlb_workloads.dir/fresh_uniform.cpp.o" "gcc" "src/workloads/CMakeFiles/rlb_workloads.dir/fresh_uniform.cpp.o.d"
+  "/root/repo/src/workloads/mixed.cpp" "src/workloads/CMakeFiles/rlb_workloads.dir/mixed.cpp.o" "gcc" "src/workloads/CMakeFiles/rlb_workloads.dir/mixed.cpp.o.d"
+  "/root/repo/src/workloads/phased_churn.cpp" "src/workloads/CMakeFiles/rlb_workloads.dir/phased_churn.cpp.o" "gcc" "src/workloads/CMakeFiles/rlb_workloads.dir/phased_churn.cpp.o.d"
+  "/root/repo/src/workloads/reappearance_profile.cpp" "src/workloads/CMakeFiles/rlb_workloads.dir/reappearance_profile.cpp.o" "gcc" "src/workloads/CMakeFiles/rlb_workloads.dir/reappearance_profile.cpp.o.d"
+  "/root/repo/src/workloads/repeated_set.cpp" "src/workloads/CMakeFiles/rlb_workloads.dir/repeated_set.cpp.o" "gcc" "src/workloads/CMakeFiles/rlb_workloads.dir/repeated_set.cpp.o.d"
+  "/root/repo/src/workloads/sliding_window.cpp" "src/workloads/CMakeFiles/rlb_workloads.dir/sliding_window.cpp.o" "gcc" "src/workloads/CMakeFiles/rlb_workloads.dir/sliding_window.cpp.o.d"
+  "/root/repo/src/workloads/trace.cpp" "src/workloads/CMakeFiles/rlb_workloads.dir/trace.cpp.o" "gcc" "src/workloads/CMakeFiles/rlb_workloads.dir/trace.cpp.o.d"
+  "/root/repo/src/workloads/zipf_workload.cpp" "src/workloads/CMakeFiles/rlb_workloads.dir/zipf_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/rlb_workloads.dir/zipf_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rlb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/rlb_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlb_workloads.dir/bursty.cpp.o"
+  "CMakeFiles/rlb_workloads.dir/bursty.cpp.o.d"
+  "CMakeFiles/rlb_workloads.dir/fresh_uniform.cpp.o"
+  "CMakeFiles/rlb_workloads.dir/fresh_uniform.cpp.o.d"
+  "CMakeFiles/rlb_workloads.dir/mixed.cpp.o"
+  "CMakeFiles/rlb_workloads.dir/mixed.cpp.o.d"
+  "CMakeFiles/rlb_workloads.dir/phased_churn.cpp.o"
+  "CMakeFiles/rlb_workloads.dir/phased_churn.cpp.o.d"
+  "CMakeFiles/rlb_workloads.dir/reappearance_profile.cpp.o"
+  "CMakeFiles/rlb_workloads.dir/reappearance_profile.cpp.o.d"
+  "CMakeFiles/rlb_workloads.dir/repeated_set.cpp.o"
+  "CMakeFiles/rlb_workloads.dir/repeated_set.cpp.o.d"
+  "CMakeFiles/rlb_workloads.dir/sliding_window.cpp.o"
+  "CMakeFiles/rlb_workloads.dir/sliding_window.cpp.o.d"
+  "CMakeFiles/rlb_workloads.dir/trace.cpp.o"
+  "CMakeFiles/rlb_workloads.dir/trace.cpp.o.d"
+  "CMakeFiles/rlb_workloads.dir/zipf_workload.cpp.o"
+  "CMakeFiles/rlb_workloads.dir/zipf_workload.cpp.o.d"
+  "librlb_workloads.a"
+  "librlb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ablations_and_extras.cpp" "tests/CMakeFiles/rlb_tests.dir/test_ablations_and_extras.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_ablations_and_extras.cpp.o.d"
+  "/root/repo/tests/test_adversary_search.cpp" "tests/CMakeFiles/rlb_tests.dir/test_adversary_search.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_adversary_search.cpp.o.d"
+  "/root/repo/tests/test_allocator.cpp" "tests/CMakeFiles/rlb_tests.dir/test_allocator.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_allocator.cpp.o.d"
+  "/root/repo/tests/test_ballsbins.cpp" "tests/CMakeFiles/rlb_tests.dir/test_ballsbins.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_ballsbins.cpp.o.d"
+  "/root/repo/tests/test_batched_and_timeseries.cpp" "tests/CMakeFiles/rlb_tests.dir/test_batched_and_timeseries.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_batched_and_timeseries.cpp.o.d"
+  "/root/repo/tests/test_batched_ballsbins.cpp" "tests/CMakeFiles/rlb_tests.dir/test_batched_ballsbins.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_batched_ballsbins.cpp.o.d"
+  "/root/repo/tests/test_capacitated.cpp" "tests/CMakeFiles/rlb_tests.dir/test_capacitated.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_capacitated.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/rlb_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_cross_policy_properties.cpp" "tests/CMakeFiles/rlb_tests.dir/test_cross_policy_properties.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_cross_policy_properties.cpp.o.d"
+  "/root/repo/tests/test_cuckoo_table.cpp" "tests/CMakeFiles/rlb_tests.dir/test_cuckoo_table.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_cuckoo_table.cpp.o.d"
+  "/root/repo/tests/test_dary_cuckoo.cpp" "tests/CMakeFiles/rlb_tests.dir/test_dary_cuckoo.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_dary_cuckoo.cpp.o.d"
+  "/root/repo/tests/test_delayed_cuckoo.cpp" "tests/CMakeFiles/rlb_tests.dir/test_delayed_cuckoo.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_delayed_cuckoo.cpp.o.d"
+  "/root/repo/tests/test_delayed_cuckoo_differential.cpp" "tests/CMakeFiles/rlb_tests.dir/test_delayed_cuckoo_differential.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_delayed_cuckoo_differential.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/rlb_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/rlb_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_factory.cpp" "tests/CMakeFiles/rlb_tests.dir/test_factory.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_factory.cpp.o.d"
+  "/root/repo/tests/test_fit.cpp" "tests/CMakeFiles/rlb_tests.dir/test_fit.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_fit.cpp.o.d"
+  "/root/repo/tests/test_greedy.cpp" "tests/CMakeFiles/rlb_tests.dir/test_greedy.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_greedy.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/rlb_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_hash.cpp" "tests/CMakeFiles/rlb_tests.dir/test_hash.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_hash.cpp.o.d"
+  "/root/repo/tests/test_heavily_loaded.cpp" "tests/CMakeFiles/rlb_tests.dir/test_heavily_loaded.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_heavily_loaded.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/rlb_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_isolated_and_baselines.cpp" "tests/CMakeFiles/rlb_tests.dir/test_isolated_and_baselines.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_isolated_and_baselines.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/rlb_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_migrating.cpp" "tests/CMakeFiles/rlb_tests.dir/test_migrating.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_migrating.cpp.o.d"
+  "/root/repo/tests/test_new_policies.cpp" "tests/CMakeFiles/rlb_tests.dir/test_new_policies.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_new_policies.cpp.o.d"
+  "/root/repo/tests/test_offline_assignment.cpp" "tests/CMakeFiles/rlb_tests.dir/test_offline_assignment.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_offline_assignment.cpp.o.d"
+  "/root/repo/tests/test_placement.cpp" "tests/CMakeFiles/rlb_tests.dir/test_placement.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_placement.cpp.o.d"
+  "/root/repo/tests/test_placement_graph.cpp" "tests/CMakeFiles/rlb_tests.dir/test_placement_graph.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_placement_graph.cpp.o.d"
+  "/root/repo/tests/test_reappearance_profile.cpp" "tests/CMakeFiles/rlb_tests.dir/test_reappearance_profile.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_reappearance_profile.cpp.o.d"
+  "/root/repo/tests/test_ring_and_sliding.cpp" "tests/CMakeFiles/rlb_tests.dir/test_ring_and_sliding.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_ring_and_sliding.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/rlb_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_safe_distribution.cpp" "tests/CMakeFiles/rlb_tests.dir/test_safe_distribution.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_safe_distribution.cpp.o.d"
+  "/root/repo/tests/test_server_queue.cpp" "tests/CMakeFiles/rlb_tests.dir/test_server_queue.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_server_queue.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/rlb_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_sticky.cpp" "tests/CMakeFiles/rlb_tests.dir/test_sticky.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_sticky.cpp.o.d"
+  "/root/repo/tests/test_store.cpp" "tests/CMakeFiles/rlb_tests.dir/test_store.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_store.cpp.o.d"
+  "/root/repo/tests/test_summary.cpp" "tests/CMakeFiles/rlb_tests.dir/test_summary.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_summary.cpp.o.d"
+  "/root/repo/tests/test_supermarket.cpp" "tests/CMakeFiles/rlb_tests.dir/test_supermarket.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_supermarket.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/rlb_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_theorem_shapes.cpp" "tests/CMakeFiles/rlb_tests.dir/test_theorem_shapes.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_theorem_shapes.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/rlb_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_trace_persistence.cpp" "tests/CMakeFiles/rlb_tests.dir/test_trace_persistence.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_trace_persistence.cpp.o.d"
+  "/root/repo/tests/test_umbrella_header.cpp" "tests/CMakeFiles/rlb_tests.dir/test_umbrella_header.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_umbrella_header.cpp.o.d"
+  "/root/repo/tests/test_varying_load.cpp" "tests/CMakeFiles/rlb_tests.dir/test_varying_load.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_varying_load.cpp.o.d"
+  "/root/repo/tests/test_weighted_ballsbins.cpp" "tests/CMakeFiles/rlb_tests.dir/test_weighted_ballsbins.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_weighted_ballsbins.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/rlb_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/rlb_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/rlb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/rlb_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rlb_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/rlb_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ballsbins/CMakeFiles/rlb_ballsbins.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuckoo/CMakeFiles/rlb_cuckoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rlb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/rlb_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/supermarket/CMakeFiles/rlb_supermarket.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/rlb_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/rlb_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
