@@ -17,12 +17,12 @@
 // E: LEFT[d] grouped placement vs plain greedy — max backlog across m.
 // F: the §2 "third knob" — the periodic flush's latency-vs-rejection trade,
 //    made visible by running at criticality (g = 1).
-#include <chrono>
 #include <iostream>
 
 #include "common.hpp"
 #include "cuckoo/capacitated.hpp"
 #include "cuckoo/offline_assignment.hpp"
+#include "obs/obs.hpp"
 #include "policies/delayed_cuckoo.hpp"
 #include "policies/factory.hpp"
 #include "report/table.hpp"
@@ -152,12 +152,9 @@ void part_c() {
       choices.emplace_back(a, b);
     }
     auto measure = [&](const char* name, auto&& fn) {
-      const auto start = std::chrono::steady_clock::now();
+      obs::ObsTimer timer(name);
       const cuckoo::OfflineAssignment result = fn();
-      const auto micros =
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - start)
-              .count();
+      const auto micros = static_cast<std::int64_t>(timer.stop() * 1e6);
       std::uint32_t max_count = 0;
       for (const std::uint32_t c : result.per_server) {
         max_count = std::max(max_count, c);

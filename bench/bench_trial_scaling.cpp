@@ -5,10 +5,10 @@
 // measures trials/second vs pool size for a fixed greedy workload, and
 // verifies that results are bit-identical regardless of parallelism (the
 // determinism contract every experiment relies on).
-#include <chrono>
 #include <iostream>
 
 #include "common.hpp"
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parallel/trial_runner.hpp"
 #include "policies/greedy.hpp"
@@ -55,13 +55,10 @@ void run() {
 
   for (const unsigned threads : pool_sizes) {
     parallel::ThreadPool pool(threads);
-    const auto start = std::chrono::steady_clock::now();
+    obs::ObsTimer timer("bench.trial_batch", nullptr, threads);
     const auto results = parallel::run_trials<std::uint64_t>(
         pool, kTrialCount, /*master_seed=*/15, trial);
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    const double seconds = timer.stop();
     std::uint64_t digest = 0;
     for (const std::uint64_t r : results) digest = digest * 31 + r;
     if (threads == 1) {

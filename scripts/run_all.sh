@@ -3,14 +3,23 @@
 #
 #   scripts/run_all.sh              # text tables to results/
 #   scripts/run_all.sh --format csv # CSV tables (for plotting)
+#
+# Extra arguments are passed through to every bench binary, so
+# `scripts/run_all.sh --probes` also works.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FORMAT_ARGS=("$@")
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+# Respect an existing build directory's generator; otherwise prefer Ninja
+# when available and fall back to CMake's default (usually Makefiles).
+GENERATOR_ARGS=()
+if [ ! -f build/CMakeCache.txt ] && command -v ninja > /dev/null 2>&1; then
+  GENERATOR_ARGS=(-G Ninja)
+fi
+cmake -B build "${GENERATOR_ARGS[@]}"
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 mkdir -p results
 for bench in build/bench/bench_*; do

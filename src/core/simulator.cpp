@@ -2,10 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace rlb::core {
 
 SimResult simulate(LoadBalancer& balancer, Workload& workload,
                    const SimConfig& config) {
+  static obs::Histogram sim_time_hist("time.simulate_ns");
+  static obs::Histogram step_time_hist("time.step_ns");
+  static obs::Gauge safety_gauge("safety.worst_ratio");
+  static obs::Counter flush_counter("sim.flushes");
+  obs::ObsTimer sim_timer("simulate", &sim_time_hist,
+                          static_cast<std::uint64_t>(config.steps));
+
   SimResult result;
   result.metrics = Metrics(config.latency_hist_max);
 
@@ -18,7 +27,15 @@ SimResult simulate(LoadBalancer& balancer, Workload& workload,
     const Time t = static_cast<Time>(step);
     rejected_before_step = result.metrics.rejected();
     workload.fill_step(t, batch);
-    balancer.step(t, batch, result.metrics);
+    // Time the step only when obs is live — the timer's two clock reads
+    // per step are the one per-step cost tracing-off would otherwise pay.
+    if (obs::enabled()) {
+      obs::ObsTimer step_timer("sim.step", &step_time_hist,
+                               static_cast<std::uint64_t>(step));
+      balancer.step(t, batch, result.metrics);
+    } else {
+      balancer.step(t, batch, result.metrics);
+    }
 
     if (config.sample_backlogs || config.check_safety) {
       balancer.backlogs(backlog_snapshot);
@@ -35,6 +52,13 @@ SimResult simulate(LoadBalancer& balancer, Workload& workload,
         result.metrics.on_safety_check(report.safe);
         result.worst_safety_ratio =
             std::max(result.worst_safety_ratio, report.worst_ratio);
+        safety_gauge.set(report.worst_ratio);
+        if (!report.safe) {
+          RLB_TRACE_EVENT(obs::EventKind::kCounter, "safety.violation",
+                          static_cast<std::uint64_t>(step),
+                          static_cast<std::uint64_t>(report.worst_ratio *
+                                                     1000.0));
+        }
       }
     }
 
@@ -56,6 +80,10 @@ SimResult simulate(LoadBalancer& balancer, Workload& workload,
     }
 
     if (config.flush_every != 0 && (step + 1) % config.flush_every == 0) {
+      flush_counter.add();
+      RLB_TRACE_EVENT(obs::EventKind::kFlush, "sim.flush",
+                      static_cast<std::uint64_t>(step),
+                      balancer.total_backlog());
       balancer.flush(result.metrics);
     }
     ++result.steps_run;

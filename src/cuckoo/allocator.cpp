@@ -33,6 +33,7 @@ std::int32_t TwoChoiceAllocator::insert(std::uint32_t item, std::uint32_t a,
     items_[held].slot = static_cast<std::int32_t>(slot);
     if (occupant == -1) {
       ++placed_;
+      last_walk_length_ = i;
       return -1;
     }
     held = static_cast<std::uint32_t>(occupant);
@@ -42,6 +43,7 @@ std::int32_t TwoChoiceAllocator::insert(std::uint32_t item, std::uint32_t a,
   }
   // Infeasible: `held` stays unplaced (everything else is consistently
   // placed).  Note placed_ is unchanged: one item went in, one came out.
+  last_walk_length_ = max_swaps;
   return static_cast<std::int32_t>(held);
 }
 

@@ -46,6 +46,11 @@ class TwoChoiceAllocator {
   std::size_t slot_count() const noexcept { return owner_.size(); }
   std::size_t placed_count() const noexcept { return placed_; }
 
+  /// Eviction-walk length (number of displacements) of the most recent
+  /// insert — the kick-chain length instrumentation reads this instead of
+  /// paying a per-insert callback.  0 when the item landed in a free slot.
+  std::size_t last_walk_length() const noexcept { return last_walk_length_; }
+
   /// Reset to empty (slot capacity preserved).
   void clear();
 
@@ -59,6 +64,7 @@ class TwoChoiceAllocator {
   std::vector<std::int32_t> owner_;  // slot -> item (-1 free)
   std::vector<ItemInfo> items_;      // item -> choices + placement
   std::size_t placed_ = 0;
+  std::size_t last_walk_length_ = 0;
 };
 
 }  // namespace rlb::cuckoo

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace rlb::cuckoo {
 
 CuckooTable::CuckooTable(std::size_t positions, std::size_t stash_capacity,
@@ -45,8 +47,12 @@ bool CuckooTable::insert(std::uint64_t key) {
   // Walk exhausted: the current key set is unplaceable in the table alone.
   // Park the final displaced key in the stash if there is room...
   if (stash_.size() < stash_capacity_) {
+    static obs::Counter stash_hits("cuckoo.table_stash_hits");
     stash_.push_back(held);
     ++size_;
+    stash_hits.add();
+    RLB_TRACE_EVENT(obs::EventKind::kStashHit, "cuckoo.table_stash", held,
+                    stash_.size());
     return true;
   }
   // ...otherwise undo every swap (reverse order restores the exact prior

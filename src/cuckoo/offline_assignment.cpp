@@ -1,8 +1,10 @@
 #include "cuckoo/offline_assignment.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "cuckoo/allocator.hpp"
+#include "obs/obs.hpp"
 
 namespace rlb::cuckoo {
 
@@ -10,6 +12,19 @@ OfflineAssignment assign_offline(
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& choices,
     std::size_t servers, std::size_t stash_capacity_per_group) {
   if (servers == 0) throw std::invalid_argument("assign_offline: 0 servers");
+
+  static obs::Histogram build_time_hist("time.cuckoo_assign_ns");
+  static obs::Histogram kick_chain_hist("cuckoo.kick_chain_len");
+  static obs::Counter stash_counter("cuckoo.stash_used");
+  // Latched once: per-insert sites below branch on a plain bool, and the
+  // build timer's clock reads are skipped entirely when obs is off (this
+  // runs once per simulation step).
+  const bool obs_active = obs::enabled();
+  std::optional<obs::ObsTimer> build_timer;
+  if (obs_active) {
+    build_timer.emplace("cuckoo.offline_assign", &build_time_hist,
+                        choices.size());
+  }
 
   OfflineAssignment result;
   const std::size_t n = choices.size();
@@ -39,11 +54,22 @@ OfflineAssignment assign_offline(
       const auto local = static_cast<std::uint32_t>(i - begin);
       const std::int32_t displaced =
           allocator.insert(local, choices[i].first, choices[i].second);
+      if (obs_active) {
+        kick_chain_hist.observe(
+            static_cast<double>(allocator.last_walk_length()));
+        obs::emit(obs::EventKind::kKickChain, "cuckoo.kick",
+                  static_cast<std::uint64_t>(i),
+                  allocator.last_walk_length());
+      }
       if (displaced >= 0) {
-        stash_items.push_back(static_cast<std::uint32_t>(displaced) +
-                              static_cast<std::uint32_t>(begin));
+        const auto global = static_cast<std::uint32_t>(displaced) +
+                            static_cast<std::uint32_t>(begin);
+        stash_items.push_back(global);
         ++group_stash;
         if (group_stash > stash_capacity_per_group) result.success = false;
+        if (obs_active) {
+          obs::emit(obs::EventKind::kStashHit, "cuckoo.stash", global, g);
+        }
       }
     }
     // Record the placements of this group.
@@ -60,6 +86,7 @@ OfflineAssignment assign_offline(
   // Stash items go to whichever of their two choices currently holds fewer
   // assignments (adds at most stash_used to any single server).
   result.stash_used = stash_items.size();
+  if (!stash_items.empty()) stash_counter.add(stash_items.size());
   for (std::uint32_t item : stash_items) {
     const auto [a, b] = choices[item];
     const std::uint32_t target =

@@ -1,8 +1,11 @@
 #include "harness/output.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+
+#include "obs/obs.hpp"
 
 namespace rlb::harness {
 
@@ -23,6 +26,36 @@ bool parse_format(const std::string& value, TableFormat& out) {
   return true;
 }
 
+void emit_probes_at_exit() { emit_probes(); }
+
+void enable_probes() {
+  static bool atexit_registered = false;
+  obs::set_enabled(true);
+  if (!atexit_registered) {
+    atexit_registered = true;
+    std::atexit(&emit_probes_at_exit);
+  }
+}
+
+bool env_truthy(const char* value) {
+  const std::string v = value;
+  return !v.empty() && v != "0" && v != "false" && v != "off";
+}
+
+// The trace is only written at exit, so an unwritable path would otherwise
+// fail silently after the whole run; probe it up front.
+void set_trace_file_checked(const std::string& path) {
+  {
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+      std::cerr << "rlb: cannot open trace file '" << path
+                << "' — tracing disabled\n";
+      return;
+    }
+  }
+  obs::set_trace_file(path);
+}
+
 }  // namespace
 
 void init_output(int argc, char** argv) {
@@ -32,6 +65,15 @@ void init_output(int argc, char** argv) {
       std::cerr << "rlb: ignoring unknown RLB_TABLE_FORMAT '" << env << "'\n";
     }
   }
+  if (const char* env = std::getenv("RLB_TRACE")) {
+    if (*env != '\0') set_trace_file_checked(env);
+  }
+  if (const char* env = std::getenv("RLB_TRACE_DETAIL")) {
+    if (env_truthy(env)) obs::set_detail(true);
+  }
+  if (const char* env = std::getenv("RLB_PROBES")) {
+    if (env_truthy(env)) enable_probes();
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--format" && i + 1 < argc) {
@@ -40,6 +82,14 @@ void init_output(int argc, char** argv) {
         std::cerr << "rlb: ignoring unknown --format '" << value
                   << "' (text|csv|markdown)\n";
       }
+    } else if (flag == "--trace" && i + 1 < argc) {
+      set_trace_file_checked(argv[++i]);
+    } else if (flag == "--trace") {
+      std::cerr << "rlb: --trace requires a file path\n";
+    } else if (flag == "--trace-detail") {
+      obs::set_detail(true);
+    } else if (flag == "--probes") {
+      enable_probes();
     }
   }
 }
@@ -63,5 +113,14 @@ void emit(const report::Table& table, std::ostream& os) {
 }
 
 void emit(const report::Table& table) { emit(table, std::cout); }
+
+void emit_probes(std::ostream& os) {
+  const report::Table table = obs::ProbeRegistry::instance().to_table();
+  if (table.row_count() == 0) return;
+  os << "\n== probes ==\n";
+  emit(table, os);
+}
+
+void emit_probes() { emit_probes(std::cout); }
 
 }  // namespace rlb::harness

@@ -5,6 +5,15 @@
 //   ./bench_xyz --format csv        (also: text | markdown)
 //   RLB_TABLE_FORMAT=csv ./bench_xyz
 // so results feed straight into plotting scripts without a parser.
+//
+// The same init also wires up the observability layer (src/obs/):
+//   ./bench_xyz --trace /tmp/t.json   (or RLB_TRACE=/tmp/t.json)
+//       enable tracing and write the event trace at exit — Chrome
+//       trace-event JSON by default, JSON Lines when the path ends .jsonl.
+//   ./bench_xyz --trace-detail        (or RLB_TRACE_DETAIL=1)
+//       also trace per-request lifecycle events (very chatty).
+//   ./bench_xyz --probes              (or RLB_PROBES=1)
+//       enable probe recording and print the merged probe table at exit.
 #pragma once
 
 #include <ostream>
@@ -15,9 +24,10 @@ namespace rlb::harness {
 
 enum class TableFormat { kText, kCsv, kMarkdown };
 
-/// Parse --format from argv (and the RLB_TABLE_FORMAT environment variable
-/// as a fallback) and set the process-wide format.  Unknown values keep
-/// text and print a warning to stderr.
+/// Parse --format/--trace/--probes from argv (and the RLB_TABLE_FORMAT,
+/// RLB_TRACE, RLB_PROBES environment variables as fallbacks) and configure
+/// the process-wide output + observability state.  Unknown values keep the
+/// defaults and print a warning to stderr.
 void init_output(int argc, char** argv);
 
 /// Explicitly set the process-wide format (tests).
@@ -29,5 +39,10 @@ void emit(const report::Table& table);
 
 /// Print `table` to `os` in the configured format.
 void emit(const report::Table& table, std::ostream& os);
+
+/// Print the merged obs probe table (counters/gauges/histograms recorded
+/// so far) through emit().  No-op when nothing has been recorded.
+void emit_probes();
+void emit_probes(std::ostream& os);
 
 }  // namespace rlb::harness

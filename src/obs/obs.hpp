@@ -1,0 +1,11 @@
+// Umbrella header for the observability layer: event tracing (trace.hpp),
+// the probe registry (probes.hpp), and RAII profiling scopes (timer.hpp).
+//
+// Instrumented components include this one header.  Everything is gated on
+// obs::enabled() (one relaxed atomic load when off) and compiles out
+// entirely under RLB_OBS_DISABLED (CMake: -DRLB_OBS_ENABLED=OFF).
+#pragma once
+
+#include "obs/probes.hpp"   // IWYU pragma: export
+#include "obs/timer.hpp"    // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export

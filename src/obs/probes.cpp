@@ -1,0 +1,212 @@
+#include "obs/probes.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace rlb::obs {
+
+namespace {
+
+/// Log2 bucket of a (clamped, floored) value: 0 for v < 1, else
+/// bit_width(floor(v)).  64 buckets cover the full uint64 range.
+constexpr std::size_t kBucketCount = 65;
+
+std::size_t bucket_of(double value) noexcept {
+  if (!(value >= 1.0)) return 0;  // NaN and v < 1 land in bucket 0
+  const double floored = std::floor(value);
+  if (floored >= 18446744073709551615.0) return kBucketCount - 1;
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(floored)));
+}
+
+}  // namespace
+
+const char* to_string(ProbeKind kind) noexcept {
+  switch (kind) {
+    case ProbeKind::kCounter:
+      return "counter";
+    case ProbeKind::kGauge:
+      return "gauge";
+    case ProbeKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+double ProbeSnapshot::value() const noexcept {
+  switch (kind) {
+    case ProbeKind::kCounter:
+      return sum;
+    case ProbeKind::kGauge:
+      return count ? max : 0.0;
+    case ProbeKind::kHistogram:
+      return mean();
+  }
+  return 0.0;
+}
+
+double ProbeSnapshot::quantile(double q) const noexcept {
+  if (buckets.empty() || count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank && buckets[b] > 0) {
+      // Upper bound of bucket b: 0 -> values < 1; b -> values < 2^b.
+      return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+    }
+  }
+  return max;
+}
+
+void ProbeRegistry::Cell::add(double value, bool histogram) {
+  ++count;
+  sum += value;
+  min = std::min(min, value);
+  max = std::max(max, value);
+  if (histogram) {
+    if (buckets.empty()) buckets.assign(kBucketCount, 0);
+    ++buckets[bucket_of(value)];
+  }
+}
+
+void ProbeRegistry::Cell::merge_into(Cell& target) const {
+  if (count == 0) return;
+  target.count += count;
+  target.sum += sum;
+  target.min = std::min(target.min, min);
+  target.max = std::max(target.max, max);
+  if (!buckets.empty()) {
+    if (target.buckets.empty()) target.buckets.assign(kBucketCount, 0);
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      target.buckets[b] += buckets[b];
+    }
+  }
+}
+
+ProbeRegistry& ProbeRegistry::instance() {
+  // Intentionally leaked: worker threads retiring their shards at thread
+  // exit must find the registry alive regardless of static-destructor
+  // ordering across translation units.
+  static ProbeRegistry* registry = new ProbeRegistry();
+  return *registry;
+}
+
+std::size_t ProbeRegistry::register_probe(const std::string& name,
+                                          ProbeKind kind) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const std::size_t id = probes_.size();
+  probes_.emplace_back(name, kind);
+  index_.emplace(name, id);
+  return id;
+}
+
+struct ProbeRegistry::ThreadShardHolder {
+  Shard shard;
+  ProbeRegistry* registry = nullptr;
+  ~ThreadShardHolder() {
+    if (registry != nullptr) registry->retire(&shard);
+  }
+};
+
+ProbeRegistry::Shard& ProbeRegistry::local_shard() {
+  thread_local ThreadShardHolder holder;
+  if (holder.registry == nullptr) {
+    holder.registry = this;
+    std::lock_guard lock(mutex_);
+    live_.push_back(&holder.shard);
+  }
+  return holder.shard;
+}
+
+void ProbeRegistry::retire(Shard* shard) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t id = 0; id < shard->cells.size(); ++id) {
+    if (retired_.cells.size() <= id) retired_.cells.resize(id + 1);
+    shard->cells[id].merge_into(retired_.cells[id]);
+  }
+  live_.erase(std::remove(live_.begin(), live_.end(), shard), live_.end());
+}
+
+void ProbeRegistry::record(std::size_t id, double value, bool histogram) {
+  Shard& shard = local_shard();
+  if (shard.cells.size() <= id) shard.cells.resize(id + 1);
+  shard.cells[id].add(value, histogram);
+}
+
+void ProbeRegistry::merge_shard_locked(const Shard& shard,
+                                       std::vector<Cell>& into) const {
+  for (std::size_t id = 0; id < shard.cells.size() && id < into.size();
+       ++id) {
+    shard.cells[id].merge_into(into[id]);
+  }
+}
+
+std::vector<ProbeSnapshot> ProbeRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Cell> merged(probes_.size());
+  merge_shard_locked(retired_, merged);
+  for (const Shard* shard : live_) merge_shard_locked(*shard, merged);
+
+  std::vector<ProbeSnapshot> out;
+  out.reserve(probes_.size());
+  for (std::size_t id = 0; id < probes_.size(); ++id) {
+    ProbeSnapshot snap;
+    snap.name = probes_[id].first;
+    snap.kind = probes_[id].second;
+    snap.count = merged[id].count;
+    snap.sum = merged[id].sum;
+    snap.min = merged[id].min;
+    snap.max = merged[id].max;
+    snap.buckets = std::move(merged[id].buckets);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+bool ProbeRegistry::find(const std::string& name, ProbeSnapshot& out) const {
+  for (ProbeSnapshot& snap : snapshot()) {
+    if (snap.name == name) {
+      out = std::move(snap);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t ProbeRegistry::probe_count() const {
+  std::lock_guard lock(mutex_);
+  return probes_.size();
+}
+
+void ProbeRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  retired_ = Shard{};
+  for (Shard* shard : live_) shard->cells.clear();
+}
+
+report::Table ProbeRegistry::to_table() const {
+  report::Table table({"probe", "kind", "count", "value", "mean", "min",
+                       "max", "p50", "p99"});
+  for (const ProbeSnapshot& snap : snapshot()) {
+    if (snap.count == 0) continue;
+    table.row()
+        .cell(snap.name)
+        .cell(to_string(snap.kind))
+        .cell(snap.count)
+        .cell(snap.value())
+        .cell(snap.mean())
+        .cell(snap.min)
+        .cell(snap.max)
+        .cell(snap.kind == ProbeKind::kHistogram ? snap.quantile(0.50) : 0.0)
+        .cell(snap.kind == ProbeKind::kHistogram ? snap.quantile(0.99) : 0.0);
+  }
+  return table;
+}
+
+}  // namespace rlb::obs

@@ -1,0 +1,61 @@
+// RAII wall-clock profiling scopes.
+//
+// ObsTimer always measures (two steady-clock reads bound its cost), so
+// benches can read elapsed_seconds() directly — this replaces the
+// copy-pasted std::chrono stopwatches the experiment binaries used to
+// carry.  Emission is separate from measurement: when obs is enabled the
+// scope additionally lands in the trace (a Chrome "X" complete event) and,
+// if a Histogram is supplied, in the probe registry (duration in ns).
+#pragma once
+
+#include "obs/probes.hpp"
+#include "obs/trace.hpp"
+
+namespace rlb::obs {
+
+/// Times the enclosing scope; see file comment for emission semantics.
+class ObsTimer {
+ public:
+  /// `name` must be a string literal (it is stored in trace events).
+  /// `hist` (optional, not owned) receives the duration in nanoseconds.
+  /// `a0` is attached to the emitted scope event (e.g. a trial index).
+  explicit ObsTimer(const char* name, Histogram* hist = nullptr,
+                    std::uint64_t a0 = 0)
+      : name_(name), hist_(hist), a0_(a0), start_ns_(now_ns()) {}
+
+  ~ObsTimer() { stop(); }
+
+  ObsTimer(const ObsTimer&) = delete;
+  ObsTimer& operator=(const ObsTimer&) = delete;
+
+  /// End the scope now (idempotent) and return its duration in seconds.
+  double stop() {
+    if (stopped_) return elapsed_seconds_;
+    stopped_ = true;
+    const std::uint64_t dur_ns = now_ns() - start_ns_;
+    elapsed_seconds_ = static_cast<double>(dur_ns) * 1e-9;
+#if !defined(RLB_OBS_DISABLED)
+    if (enabled()) {
+      emit_scope(name_, start_ns_, dur_ns, a0_);
+      if (hist_ != nullptr) hist_->observe(static_cast<double>(dur_ns));
+    }
+#endif
+    return elapsed_seconds_;
+  }
+
+  /// Seconds since construction (running) or the final duration (stopped).
+  double elapsed_seconds() const {
+    if (stopped_) return elapsed_seconds_;
+    return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+  }
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  std::uint64_t a0_;
+  std::uint64_t start_ns_;
+  double elapsed_seconds_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace rlb::obs

@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/rng.hpp"
 
@@ -18,12 +19,22 @@ namespace rlb::parallel {
 /// Runs `trials` invocations of `trial(trial_seed, index)` across `pool`,
 /// where trial_seed = derive_seed(master_seed, index).  Results are returned
 /// in index order.
+///
+/// Each trial runs inside an obs profiling scope ("trial", histogram
+/// "time.trial_ns") on its worker thread; probe values the trial records
+/// land in that thread's registry shard and are merged by
+/// obs::ProbeRegistry::snapshot() — per-thread sharding means trials never
+/// contend on probe storage.
 template <typename T>
 std::vector<T> run_trials(ThreadPool& pool, std::size_t trials,
                           std::uint64_t master_seed,
                           const std::function<T(std::uint64_t, std::size_t)>& trial) {
+  static obs::Histogram trial_time_hist("time.trial_ns");
+  static obs::Counter trial_counter("trial.runs");
   std::vector<T> results(trials);
   parallel_for(pool, trials, [&](std::size_t i) {
+    obs::ObsTimer timer("trial", &trial_time_hist, i);
+    trial_counter.add();
     results[i] = trial(stats::derive_seed(master_seed, i), i);
   });
   return results;

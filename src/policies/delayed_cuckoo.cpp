@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "cuckoo/offline_assignment.hpp"
+#include "obs/obs.hpp"
 
 namespace rlb::policies {
 
@@ -29,7 +30,8 @@ DelayedCuckooBalancer::DelayedCuckooBalancer(const DelayedCuckooConfig& config)
       use_cuckoo_routing_(config.use_cuckoo_routing),
       carry_over_queues_(config.carry_over_queues),
       placement_(config.servers, /*replication=*/2, config.seed),
-      p_arrivals_(config.servers, 0) {
+      p_arrivals_(config.servers, 0),
+      p_arrivals_phase_(config.servers, 0) {
   if (processing_rate_ < 4 || processing_rate_ % 4 != 0) {
     throw std::invalid_argument(
         "DelayedCuckooBalancer: g must be a positive multiple of 4");
@@ -68,6 +70,23 @@ std::uint32_t DelayedCuckooBalancer::backlog(core::ServerId s) const {
 }
 
 void DelayedCuckooBalancer::begin_phase(core::Metrics& metrics) {
+  // Record the finished phase's per-P_j arrival counts (the Lemma 4.5
+  // quantity) before resetting them, then mark the boundary in the trace.
+  if (obs_active_) {
+    static obs::Histogram p_arrivals_hist("pqueue.arrivals_per_phase");
+    for (std::size_t j = 0; j < p_arrivals_phase_.size(); ++j) {
+      p_arrivals_hist.observe(static_cast<double>(p_arrivals_phase_[j]));
+      if (p_arrivals_phase_[j] > 0) {
+        obs::emit(obs::EventKind::kPArrival, "pqueue.arrivals_per_phase",
+                  static_cast<std::uint64_t>(j), p_arrivals_phase_[j]);
+      }
+    }
+    obs::emit(obs::EventKind::kPhaseBegin, "cuckoo.phase", phase_index_ + 1,
+              static_cast<std::uint64_t>(phase_length_));
+  }
+  std::fill(p_arrivals_phase_.begin(), p_arrivals_phase_.end(), 0);
+  ++phase_index_;
+
   // Move this phase's leftovers into the previous-phase queues.  By the
   // drain guarantee ((g/4)·L >= q) the q_prev/p_prev queues are empty at
   // every boundary; the assert documents the invariant, and any residue
@@ -100,14 +119,25 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
     // Reappearance within the phase: follow the most recent T_{t'}.
     if (it->second == kAssignmentFailed) {
       metrics.on_rejected();
+      if (obs_active_) {
+        obs::emit(obs::EventKind::kReject, "cuckoo.reject_failed_assign", x,
+                  t);
+      }
       return;
     }
     const auto target = static_cast<core::ServerId>(it->second);
     ++p_arrivals_[target];
+    if (obs_active_) ++p_arrivals_phase_[target];
+    if (obs_detail_) {
+      obs::emit(obs::EventKind::kRoute, "cuckoo.route_p", x, target);
+    }
     if (!state_[target].p.push(core::Request{x, t})) {
       // Lemma 4.5 says this cannot happen when q = Θ(log log m) with a
       // sufficient constant; kept for smaller configurations.
       metrics.on_rejected();
+      if (obs_active_) {
+        obs::emit(obs::EventKind::kReject, "cuckoo.reject_p_full", x, target);
+      }
     }
     return;
   }
@@ -117,8 +147,14 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
   const core::ServerId b = choices[1];
   const core::ServerId target =
       state_[a].q.size() <= state_[b].q.size() ? a : b;
+  if (obs_detail_) {
+    obs::emit(obs::EventKind::kRoute, "cuckoo.route_q", x, target);
+  }
   if (!state_[target].q.push(core::Request{x, t})) {
     metrics.on_rejected();
+    if (obs_active_) {
+      obs::emit(obs::EventKind::kReject, "cuckoo.reject_q_full", x, target);
+    }
   }
 }
 
@@ -159,7 +195,11 @@ void DelayedCuckooBalancer::compute_assignment(
       last_assignment_[requests[i]] = result.assignment[i];
     }
   } else {
+    static obs::Counter failure_counter("cuckoo.assign_failures");
     ++assignment_failures_;
+    failure_counter.add();
+    RLB_TRACE_EVENT(obs::EventKind::kAssignFail, "cuckoo.assign_fail",
+                    requests.size(), result.stash_used);
     for (const core::ChunkId x : requests) {
       last_assignment_[x] = kAssignmentFailed;
     }
@@ -169,6 +209,8 @@ void DelayedCuckooBalancer::compute_assignment(
 void DelayedCuckooBalancer::step(core::Time t,
                                  std::span<const core::ChunkId> requests,
                                  core::Metrics& metrics) {
+  obs_active_ = obs::enabled();
+  obs_detail_ = obs::detail_enabled();
   if (steps_into_phase_ == phase_length_) begin_phase(metrics);
   std::fill(p_arrivals_.begin(), p_arrivals_.end(), 0);
 
@@ -189,6 +231,7 @@ void DelayedCuckooBalancer::flush(core::Metrics& metrics) {
                st.p_prev.clear();
   }
   metrics.on_dropped_from_queue(dropped);
+  RLB_TRACE_EVENT(obs::EventKind::kFlush, "cuckoo.flush", dropped, servers_);
 }
 
 }  // namespace rlb::policies

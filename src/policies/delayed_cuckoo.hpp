@@ -91,10 +91,20 @@ class DelayedCuckooBalancer final : public core::LoadBalancer {
   const std::vector<std::uint32_t>& p_arrivals_this_step() const noexcept {
     return p_arrivals_;
   }
+  /// Arrivals routed into P_j since the current phase began (the Lemma 4.5
+  /// quantity: deterministically O(log log m) per phase).  Recorded into
+  /// the "pqueue.arrivals_per_phase" probe at every phase boundary.  Only
+  /// maintained while obs is enabled — all zeros otherwise, keeping the
+  /// per-request delivery path free of the extra counter array.
+  const std::vector<std::uint32_t>& p_arrivals_this_phase() const noexcept {
+    return p_arrivals_phase_;
+  }
   /// Count of offline-assignment failures so far (the Lemma 4.2 event).
   std::uint64_t assignment_failures() const noexcept {
     return assignment_failures_;
   }
+  /// Phases completed so far (phase 0 runs until the first boundary).
+  std::uint64_t phases_completed() const noexcept { return phase_index_; }
 
  private:
   /// Per-server queue block.
@@ -131,8 +141,13 @@ class DelayedCuckooBalancer final : public core::LoadBalancer {
   std::unordered_map<core::ChunkId, std::uint32_t> last_assignment_;
 
   std::vector<std::uint32_t> p_arrivals_;
+  std::vector<std::uint32_t> p_arrivals_phase_;
   std::uint64_t assignment_failures_ = 0;
   std::size_t steps_into_phase_ = 0;
+  std::uint64_t phase_index_ = 0;
+  /// obs::enabled() latched once per step (see SingleQueueBalancer).
+  bool obs_active_ = false;
+  bool obs_detail_ = false;
 
   // Scratch buffers reused across steps (no per-step allocation).
   std::vector<std::pair<std::uint32_t, std::uint32_t>> choice_scratch_;

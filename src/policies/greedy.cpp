@@ -1,10 +1,36 @@
 #include "policies/greedy.hpp"
 
+#include <algorithm>
 #include <bit>
 
-namespace rlb::policies {
+#include "obs/obs.hpp"
 
-core::ServerId GreedyBalancer::pick(core::ChunkId /*x*/,
+namespace rlb::policies {
+namespace {
+
+// Out of line and cold so the obs-off pick() stays a frame-less leaf: inlining
+// this (static guard + second backlog pass) forces callee-saved spills in the
+// hot path even when the branch is never taken.
+[[gnu::noinline, gnu::cold]] void observe_pick(const core::Cluster& cluster,
+                                               const core::ChoiceList& choices,
+                                               core::ChunkId x,
+                                               core::ServerId best,
+                                               std::uint32_t best_backlog,
+                                               bool detail) {
+  // Gap between the chosen (least) and the most loaded of the d choices —
+  // the margin the two-choice argument of Lemma 3.4 lives on.
+  static obs::Histogram gap_hist("greedy.choice_gap");
+  std::uint32_t worst_backlog = best_backlog;
+  for (const core::ServerId candidate : choices) {
+    worst_backlog = std::max(worst_backlog, cluster.backlog(candidate));
+  }
+  gap_hist.observe(static_cast<double>(worst_backlog - best_backlog));
+  if (detail) obs::emit(obs::EventKind::kRoute, "greedy.pick", x, best);
+}
+
+}  // namespace
+
+core::ServerId GreedyBalancer::pick(core::ChunkId x,
                                     const core::ChoiceList& choices) {
   core::ServerId best = choices[0];
   std::uint32_t best_backlog = cluster_.backlog(best);
@@ -15,6 +41,9 @@ core::ServerId GreedyBalancer::pick(core::ChunkId /*x*/,
       best = candidate;
       best_backlog = backlog;
     }
+  }
+  if (obs_active()) [[unlikely]] {
+    observe_pick(cluster_, choices, x, best, best_backlog, obs_detail());
   }
   return best;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "hashing/hash.hpp"
+#include "obs/obs.hpp"
 
 namespace rlb::policies {
 
@@ -91,6 +92,10 @@ void MigratingBalancer::migrate_overloaded(core::Time /*t*/) {
       const auto b = static_cast<std::size_t>(rng_.next_below(m));
       const std::size_t target = load_ema_[a] <= load_ema_[b] ? a : b;
       if (target == s) continue;  // sampled ourselves: skip this candidate
+      static obs::Counter migration_counter("migrating.migrations");
+      migration_counter.add();
+      RLB_TRACE_EVENT(obs::EventKind::kMigration, "migrating.move", chunk,
+                      target);
       overrides_[chunk] = static_cast<core::ServerId>(target);
       // Account the chunk's unit of load against the target immediately so
       // several migrations in one step do not all pile onto it.

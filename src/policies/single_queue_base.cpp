@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace rlb::policies {
 
 SingleQueueBalancer::SingleQueueBalancer(const SingleQueueConfig& config)
@@ -39,13 +41,29 @@ void SingleQueueBalancer::deliver(core::Time t, core::ChunkId x,
   metrics.on_submitted();
   const core::ChoiceList choices = placement_.choices(x);
   const core::ServerId target = pick(x, choices);
-  if (cluster_.push(target, core::Request{x, t})) return;
+  if (obs_detail_) [[unlikely]] {
+    obs::emit(obs::EventKind::kSubmit, "sq.submit", x, t);
+    obs::emit(obs::EventKind::kRoute, "sq.route", x, target);
+  }
+  if (cluster_.push(target, core::Request{x, t})) {
+    if (obs_detail_) [[unlikely]] {
+      obs::emit(obs::EventKind::kEnqueue, "sq.enqueue", x, target);
+    }
+    return;
+  }
 
   // Queue full.
   if (config_.overflow == OverflowPolicy::kDumpQueue) {
-    metrics.on_dropped_from_queue(cluster_.clear_server(target));
+    static obs::Counter dump_counter("sq.queue_dumps");
+    const std::size_t dumped = cluster_.clear_server(target);
+    metrics.on_dropped_from_queue(dumped);
+    dump_counter.add();
+    if (obs_active_) {
+      obs::emit(obs::EventKind::kFlush, "sq.queue_dump", target, dumped);
+    }
   }
   metrics.on_rejected();
+  if (obs_active_) obs::emit(obs::EventKind::kReject, "sq.reject", x, target);
 }
 
 void SingleQueueBalancer::process_substep(core::Time t, unsigned substep,
@@ -60,12 +78,18 @@ void SingleQueueBalancer::process_substep(core::Time t, unsigned substep,
     if (cluster_.empty(server)) continue;
     const core::Request request = cluster_.pop(server);
     metrics.on_completed(static_cast<std::uint64_t>(t - request.arrival));
+    if (obs_detail_) [[unlikely]] {
+      obs::emit(obs::EventKind::kServe, "sq.serve", request.chunk,
+                static_cast<std::uint64_t>(t - request.arrival));
+    }
   }
 }
 
 void SingleQueueBalancer::step(core::Time t,
                                std::span<const core::ChunkId> requests,
                                core::Metrics& metrics) {
+  obs_active_ = obs::enabled();
+  obs_detail_ = obs::detail_enabled();
   on_step_begin(t, requests.size());
   const unsigned g = config_.processing_rate;
   // Sub-step schedule (Section 3): g sub-steps, each delivering ~|batch|/g
@@ -85,7 +109,10 @@ void SingleQueueBalancer::step(core::Time t,
 }
 
 void SingleQueueBalancer::flush(core::Metrics& metrics) {
-  metrics.on_dropped_from_queue(cluster_.clear_all());
+  const std::size_t dropped = cluster_.clear_all();
+  metrics.on_dropped_from_queue(dropped);
+  RLB_TRACE_EVENT(obs::EventKind::kFlush, "sq.flush", dropped,
+                  cluster_.size());
 }
 
 }  // namespace rlb::policies

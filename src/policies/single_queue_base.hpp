@@ -91,6 +91,16 @@ class SingleQueueBalancer : public core::LoadBalancer {
   /// Hook invoked before the first sub-step of each time step.
   virtual void on_step_begin(core::Time t, std::size_t batch_size);
 
+  /// Whether obs instrumentation is live for the current step.  Latched
+  /// once per step so per-request sites branch on a plain bool instead of
+  /// re-reading the global atomic in the delivery loop.
+  bool obs_active() const noexcept { return obs_active_; }
+
+  /// Whether per-request firehose events should also be traced (the
+  /// detail level, see obs::detail_enabled()).  Latched per step like
+  /// obs_active().
+  bool obs_detail() const noexcept { return obs_detail_; }
+
   core::Cluster cluster_;
   core::Placement placement_;
   SingleQueueConfig config_;
@@ -98,6 +108,9 @@ class SingleQueueBalancer : public core::LoadBalancer {
  private:
   void deliver(core::Time t, core::ChunkId x, core::Metrics& metrics);
   void process_substep(core::Time t, unsigned substep, core::Metrics& metrics);
+
+  bool obs_active_ = false;
+  bool obs_detail_ = false;
 };
 
 }  // namespace rlb::policies

@@ -56,6 +56,9 @@
 #include "cuckoo/offline_assignment.hpp"
 #include "supermarket/event_sim.hpp"
 
+// Observability: event traces, probe registry, profiling scopes.
+#include "obs/obs.hpp"
+
 // Statistics, hashing, parallel harness, reporting.
 #include "harness/adversary_search.hpp"
 #include "harness/experiment.hpp"

@@ -180,6 +180,67 @@ TEST(SeriesRecorder, WindowedRejectionRate) {
   EXPECT_EQ(recorder.windowed_rejection_rate(9, 1), 0.0);  // out of range
 }
 
+TEST(SeriesRecorder, WindowLargerThanSeriesTruncatesAtStart) {
+  core::SeriesRecorder recorder;
+  core::StepSample s0;
+  s0.step = 0;
+  s0.submitted = 10;
+  s0.rejected = 2;
+  recorder.add(s0);
+  core::StepSample s1;
+  s1.step = 1;
+  s1.submitted = 20;
+  s1.rejected = 6;
+  recorder.add(s1);
+  // A window of 100 over a 2-sample series is the whole series: 6/20.
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(1, 100), 0.3);
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(0, 100), 0.2);
+}
+
+TEST(SeriesRecorder, ZeroSubmissionsGiveZeroRate) {
+  core::SeriesRecorder recorder;
+  // Two idle steps: nothing submitted, nothing rejected.
+  core::StepSample s0;
+  s0.step = 0;
+  recorder.add(s0);
+  core::StepSample s1;
+  s1.step = 1;
+  recorder.add(s1);
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(1, 2), 0.0);
+  // An idle window inside an otherwise busy series is also 0, not NaN.
+  core::StepSample s2;
+  s2.step = 2;
+  s2.submitted = 5;
+  s2.rejected = 5;
+  recorder.add(s2);
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(2, 1), 1.0);
+}
+
+TEST(SeriesRecorder, WindowOfOneIsolatesSingleSteps) {
+  core::SeriesRecorder recorder;
+  // Per-step rejections 0, 3, 1 out of 10 submissions each.
+  const std::uint64_t step_rejected[] = {0, 3, 1};
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  for (int i = 0; i < 3; ++i) {
+    submitted += 10;
+    rejected += step_rejected[i];
+    core::StepSample s;
+    s.step = i;
+    s.submitted = submitted;
+    s.rejected = rejected;
+    s.step_rejected = step_rejected[i];
+    recorder.add(s);
+  }
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(1, 1), 0.3);
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(2, 1), 0.1);
+  // window == 0 is defined as 0, not a division by zero.
+  EXPECT_DOUBLE_EQ(recorder.windowed_rejection_rate(2, 0), 0.0);
+}
+
 TEST(SeriesRecorder, CsvFormat) {
   core::SeriesRecorder recorder;
   core::StepSample s;
