@@ -1,5 +1,72 @@
 #include "common.hpp"
 
-// All functionality lives in rlb_harness; this translation unit anchors the
-// rlb_bench_common target.
-namespace rlb::bench {}
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace rlb::bench {
+
+namespace {
+
+bool parse_nonnegative(const std::string& text, double& out) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size() || value < 0.0) return false;
+    out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+FaultFlags parse_fault_flags(int argc, char** argv) {
+  FaultFlags flags;
+  // Environment first, flags override (same contract as init_output).
+  if (const char* env = std::getenv("RLB_FAIL_RATE")) {
+    if (parse_nonnegative(env, flags.fail_rate) && flags.fail_rate <= 1.0) {
+      flags.any = true;
+    } else {
+      std::cerr << "rlb: ignoring bad RLB_FAIL_RATE '" << env << "'\n";
+      flags.fail_rate = 0.0;
+    }
+  }
+  if (const char* env = std::getenv("RLB_MTTR")) {
+    if (parse_nonnegative(env, flags.mttr)) {
+      flags.any = true;
+    } else {
+      std::cerr << "rlb: ignoring bad RLB_MTTR '" << env << "'\n";
+      flags.mttr = 0.0;
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--fail-rate" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (parse_nonnegative(value, flags.fail_rate) &&
+          flags.fail_rate <= 1.0) {
+        flags.any = true;
+      } else {
+        std::cerr << "rlb: ignoring bad --fail-rate '" << value
+                  << "' (want a probability in [0, 1])\n";
+        flags.fail_rate = 0.0;
+      }
+    } else if (flag == "--mttr" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (parse_nonnegative(value, flags.mttr)) {
+        flags.any = true;
+      } else {
+        std::cerr << "rlb: ignoring bad --mttr '" << value
+                  << "' (want steps >= 0)\n";
+        flags.mttr = 0.0;
+      }
+    } else if (flag == "--fail-rate" || flag == "--mttr") {
+      std::cerr << "rlb: " << flag << " requires a value\n";
+    }
+  }
+  return flags;
+}
+
+}  // namespace rlb::bench

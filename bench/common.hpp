@@ -19,4 +19,20 @@ using harness::init_output;
 using harness::print_banner;
 using harness::run_trials;
 
+/// Fault-injection overrides shared by the experiment binaries:
+///   --fail-rate <p>    per-server per-step crash probability in [0, 1]
+///   --mttr <steps>     mean time to recovery in steps (0 = never recover)
+/// with RLB_FAIL_RATE / RLB_MTTR environment fallbacks.  When either is
+/// given (`any`), fault-aware benches replace their built-in sweep with the
+/// single requested operating point.
+struct FaultFlags {
+  bool any = false;
+  double fail_rate = 0.0;
+  double mttr = 0.0;
+};
+
+/// Parse the fault flags from argv (env vars first, flags override).
+/// Unparseable values warn on stderr and keep the defaults.
+FaultFlags parse_fault_flags(int argc, char** argv);
+
 }  // namespace rlb::bench

@@ -17,4 +17,9 @@ std::uint64_t LoadBalancer::total_backlog() const {
   return total;
 }
 
+void LoadBalancer::set_server_up(ServerId /*s*/, bool /*up*/,
+                                 bool /*dump_queue*/, Metrics& /*metrics*/) {}
+
+bool LoadBalancer::server_up(ServerId /*s*/) const { return true; }
+
 }  // namespace rlb::core

@@ -51,6 +51,25 @@ class LoadBalancer {
   /// Reject every queued request (the paper's periodic "reset" knob),
   /// reporting the drops to `metrics`.
   virtual void flush(Metrics& metrics) = 0;
+
+  // -- Fault injection ---------------------------------------------------
+
+  /// Apply an up/down transition to server s.  Down means the server stops
+  /// processing and the policy must fail over — route each request to an up
+  /// server among its d choices, rejecting only when all d are down.  When
+  /// `dump_queue` is set, a crash also rejects everything queued on s
+  /// (reported through `metrics` as dropped-from-queue); otherwise the
+  /// queue survives and resumes draining on recovery.
+  ///
+  /// The default is a no-op: policies without fault support silently keep
+  /// routing to down servers (and fault-injection experiments should not be
+  /// run against them — see server_up()).
+  virtual void set_server_up(ServerId s, bool up, bool dump_queue,
+                             Metrics& metrics);
+
+  /// Current up/down state of server s.  Policies without fault support
+  /// report every server as up.
+  virtual bool server_up(ServerId s) const;
 };
 
 }  // namespace rlb::core

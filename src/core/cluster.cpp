@@ -5,7 +5,7 @@
 namespace rlb::core {
 
 Cluster::Cluster(std::size_t servers, std::size_t queue_capacity)
-    : backlog_(servers, 0), capacity_(queue_capacity) {
+    : backlog_(servers, 0), up_(servers, 1), capacity_(queue_capacity) {
   if (servers == 0) throw std::invalid_argument("Cluster: zero servers");
   queues_.reserve(servers);
   for (std::size_t i = 0; i < servers; ++i) {
@@ -32,6 +32,17 @@ std::size_t Cluster::clear_server(ServerId s) noexcept {
   total_backlog_ -= dropped;
   backlog_[s] = 0;
   return dropped;
+}
+
+void Cluster::set_up(ServerId s, bool up) noexcept {
+  const std::uint8_t next = up ? 1 : 0;
+  if (up_[s] == next) return;
+  up_[s] = next;
+  if (up) {
+    --down_count_;
+  } else {
+    ++down_count_;
+  }
 }
 
 std::size_t Cluster::clear_all() noexcept {

@@ -46,9 +46,22 @@ class Cluster {
   /// periodic flush and the overflow queue-dump both land here).
   std::size_t clear_all() noexcept;
 
+  // -- Fault state -------------------------------------------------------
+  // Per-server up/down flags for the failure/recovery extension.  The
+  // cluster only *records* the state; the routing policy decides what a
+  // down server means (skip it among the d choices, stop draining its
+  // queue, optionally dump it).  All servers start up.
+  bool is_up(ServerId s) const noexcept { return up_[s] != 0; }
+  void set_up(ServerId s, bool up) noexcept;
+  /// Number of servers currently down (O(1): maintained on transitions).
+  std::size_t down_count() const noexcept { return down_count_; }
+  bool all_up() const noexcept { return down_count_ == 0; }
+
  private:
   std::vector<ServerQueue> queues_;
   std::vector<std::uint32_t> backlog_;
+  std::vector<std::uint8_t> up_;
+  std::size_t down_count_ = 0;
   std::uint64_t total_backlog_ = 0;
   std::size_t capacity_;
 };

@@ -12,6 +12,9 @@ SimResult simulate(LoadBalancer& balancer, Workload& workload,
   static obs::Histogram step_time_hist("time.step_ns");
   static obs::Gauge safety_gauge("safety.worst_ratio");
   static obs::Counter flush_counter("sim.flushes");
+  static obs::Counter crash_counter("fault.crashes");
+  static obs::Counter recovery_counter("fault.recoveries");
+  static obs::Gauge down_gauge("fault.servers_down");
   obs::ObsTimer sim_timer("simulate", &sim_time_hist,
                           static_cast<std::uint64_t>(config.steps));
 
@@ -22,10 +25,50 @@ SimResult simulate(LoadBalancer& balancer, Workload& workload,
   batch.reserve(workload.max_requests_per_step());
   std::vector<std::uint32_t> backlog_snapshot;
 
+  // Fault state lives with the run, not the schedule: the schedule only
+  // proposes transitions, the simulator is the single writer of `up`.
+  std::vector<std::uint8_t> up;
+  std::vector<FailureTransition> transitions;
+  std::size_t servers_down = 0;
+  if (config.failure_schedule != nullptr) {
+    up.assign(balancer.server_count(), 1);
+  }
+
   std::uint64_t rejected_before_step = 0;
   for (std::size_t step = 0; step < config.steps; ++step) {
     const Time t = static_cast<Time>(step);
     rejected_before_step = result.metrics.rejected();
+
+    if (config.failure_schedule != nullptr) {
+      transitions.clear();
+      config.failure_schedule->transitions(t, up, transitions);
+      for (const FailureTransition& tr : transitions) {
+        if (tr.server >= up.size()) continue;
+        if (up[tr.server] == static_cast<std::uint8_t>(tr.up ? 1 : 0)) {
+          continue;  // no-op transition (already in the requested state)
+        }
+        up[tr.server] = tr.up ? 1 : 0;
+        balancer.set_server_up(tr.server, tr.up, config.dump_queue_on_crash,
+                               result.metrics);
+        if (tr.up) {
+          --servers_down;
+          ++result.recoveries;
+          recovery_counter.add();
+          RLB_TRACE_EVENT(obs::EventKind::kFault, "fault.up", tr.server,
+                          static_cast<std::uint64_t>(step));
+        } else {
+          ++servers_down;
+          ++result.crashes;
+          crash_counter.add();
+          RLB_TRACE_EVENT(obs::EventKind::kFault, "fault.down", tr.server,
+                          static_cast<std::uint64_t>(step));
+        }
+      }
+      if (!transitions.empty()) {
+        down_gauge.set(static_cast<double>(servers_down));
+      }
+    }
+
     workload.fill_step(t, batch);
     // Time the step only when obs is live — the timer's two clock reads
     // per step are the one per-step cost tracing-off would otherwise pay.
@@ -88,6 +131,7 @@ SimResult simulate(LoadBalancer& balancer, Workload& workload,
     }
     ++result.steps_run;
   }
+  result.down_at_end = servers_down;
   return result;
 }
 

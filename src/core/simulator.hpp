@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "core/balancer.hpp"
+#include "core/failure.hpp"
 #include "core/metrics.hpp"
 #include "core/safe_distribution.hpp"
 #include "core/timeseries.hpp"
@@ -31,6 +32,13 @@ struct SimConfig {
   std::size_t latency_hist_max = 1024;
   /// Optional per-step series sink (not owned; may be null).
   SeriesRecorder* recorder = nullptr;
+  /// Optional fault injector (not owned; may be null).  Consulted at the
+  /// start of every step; transitions are applied through
+  /// LoadBalancer::set_server_up before the step's batch is generated.
+  FailureSchedule* failure_schedule = nullptr;
+  /// Crash semantics: dump (reject) a failed server's queue at crash time.
+  /// When false the queue is preserved and resumes draining on recovery.
+  bool dump_queue_on_crash = true;
 };
 
 /// Aggregate outcome of one run.
@@ -41,6 +49,11 @@ struct SimResult {
   /// Worst Definition-3.2 ratio observed (only when check_safety).
   double worst_safety_ratio = 0.0;
   std::size_t steps_run = 0;
+  /// Fault-injection outcome (only when failure_schedule is set).
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  /// Servers still down when the run ended.
+  std::size_t down_at_end = 0;
 };
 
 /// Run the synchronous loop.  Deterministic given the balancer's and

@@ -6,10 +6,13 @@
 
 namespace rlb::harness {
 
-TrialAggregate run_trials(std::size_t trials, std::uint64_t master_seed,
-                          const BalancerFactory& make_balancer,
-                          const WorkloadFactory& make_workload,
-                          const core::SimConfig& sim) {
+namespace {
+
+TrialAggregate run_trials_impl(std::size_t trials, std::uint64_t master_seed,
+                               const BalancerFactory& make_balancer,
+                               const WorkloadFactory& make_workload,
+                               const core::SimConfig& sim,
+                               const FailureScheduleFactory* make_schedule) {
   struct TrialOutcome {
     core::SimResult result;
     std::uint64_t final_backlog = 0;
@@ -20,7 +23,16 @@ TrialAggregate run_trials(std::size_t trials, std::uint64_t master_seed,
         auto balancer = make_balancer(seed);
         auto workload = make_workload(seed);
         TrialOutcome outcome;
-        outcome.result = core::simulate(*balancer, *workload, sim);
+        if (make_schedule != nullptr) {
+          // Each trial owns its schedule and a private SimConfig pointing
+          // at it; the shared `sim` is never mutated.
+          auto schedule = (*make_schedule)(seed);
+          core::SimConfig trial_sim = sim;
+          trial_sim.failure_schedule = schedule.get();
+          outcome.result = core::simulate(*balancer, *workload, trial_sim);
+        } else {
+          outcome.result = core::simulate(*balancer, *workload, sim);
+        }
         outcome.final_backlog = balancer->total_backlog();
         return outcome;
       };
@@ -42,8 +54,29 @@ TrialAggregate run_trials(std::size_t trials, std::uint64_t master_seed,
     aggregate.total_rejected += metrics.rejected();
     aggregate.total_safety_checks += metrics.safety_checks();
     aggregate.total_safety_violations += metrics.safety_violations();
+    aggregate.total_crashes += outcome.result.crashes;
+    aggregate.total_recoveries += outcome.result.recoveries;
   }
   return aggregate;
+}
+
+}  // namespace
+
+TrialAggregate run_trials(std::size_t trials, std::uint64_t master_seed,
+                          const BalancerFactory& make_balancer,
+                          const WorkloadFactory& make_workload,
+                          const core::SimConfig& sim) {
+  return run_trials_impl(trials, master_seed, make_balancer, make_workload,
+                         sim, nullptr);
+}
+
+TrialAggregate run_trials(std::size_t trials, std::uint64_t master_seed,
+                          const BalancerFactory& make_balancer,
+                          const WorkloadFactory& make_workload,
+                          const core::SimConfig& sim,
+                          const FailureScheduleFactory& make_schedule) {
+  return run_trials_impl(trials, master_seed, make_balancer, make_workload,
+                         sim, &make_schedule);
 }
 
 void print_banner(const std::string& experiment_id, const std::string& claim,

@@ -22,6 +22,10 @@ using BalancerFactory =
     std::function<std::unique_ptr<core::LoadBalancer>(std::uint64_t seed)>;
 using WorkloadFactory =
     std::function<std::unique_ptr<core::Workload>(std::uint64_t seed)>;
+/// Per-trial fault injector.  Each trial owns its own schedule (schedules
+/// are stateful), so parallel trials stay deterministic in the master seed.
+using FailureScheduleFactory =
+    std::function<std::unique_ptr<core::FailureSchedule>(std::uint64_t seed)>;
 
 /// Cross-trial aggregate of the metrics every experiment reports.
 struct TrialAggregate {
@@ -35,6 +39,8 @@ struct TrialAggregate {
   std::uint64_t total_rejected = 0;
   std::uint64_t total_safety_checks = 0;
   std::uint64_t total_safety_violations = 0;
+  std::uint64_t total_crashes = 0;
+  std::uint64_t total_recoveries = 0;
   std::size_t trials = 0;
 
   /// Pooled rejection rate over all trials' requests.
@@ -52,6 +58,17 @@ TrialAggregate run_trials(std::size_t trials, std::uint64_t master_seed,
                           const BalancerFactory& make_balancer,
                           const WorkloadFactory& make_workload,
                           const core::SimConfig& sim);
+
+/// Fault-injection variant: trial i additionally builds its own
+/// FailureSchedule from derive_seed(master_seed, i) and runs with it wired
+/// into a per-trial copy of `sim` (SimConfig::failure_schedule is not
+/// shared across threads).  `make_schedule` may return nullptr (no faults
+/// for that trial).
+TrialAggregate run_trials(std::size_t trials, std::uint64_t master_seed,
+                          const BalancerFactory& make_balancer,
+                          const WorkloadFactory& make_workload,
+                          const core::SimConfig& sim,
+                          const FailureScheduleFactory& make_schedule);
 
 /// Standard experiment banner: id, paper claim, and what to look for.
 void print_banner(const std::string& experiment_id, const std::string& claim,

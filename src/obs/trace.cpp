@@ -39,6 +39,7 @@ constexpr KindName kKindNames[] = {
     {EventKind::kStashHit, "stash-hit"},
     {EventKind::kAssignFail, "assign-fail"},
     {EventKind::kMigration, "migration"},
+    {EventKind::kFault, "fault"},
     {EventKind::kScope, "scope"},
     {EventKind::kCounter, "counter"},
 };

@@ -42,6 +42,7 @@ enum class EventKind : std::uint8_t {
   kStashHit,
   kAssignFail,
   kMigration,
+  kFault,
   kScope,
   kCounter,
 };

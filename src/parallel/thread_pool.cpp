@@ -57,7 +57,18 @@ void parallel_for(ThreadPool& pool, std::size_t n,
       for (std::size_t i = begin; i < end; ++i) body(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Await every block before rethrowing: still-queued blocks hold a
+  // reference to `body`, so unwinding on the first exception would leave
+  // workers calling through a dangling reference.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace rlb::parallel

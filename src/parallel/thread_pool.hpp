@@ -14,6 +14,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -34,6 +35,9 @@ class ThreadPool {
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
   /// Submit a task; the future resolves with its result (or exception).
+  /// Throws std::runtime_error once destruction has begun: a task enqueued
+  /// after the workers start exiting may never run, so its future would
+  /// never resolve and the caller would deadlock in get().
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -42,6 +46,9 @@ class ThreadPool {
     std::future<R> future = packaged->get_future();
     {
       std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit: pool is stopping");
+      }
       tasks_.emplace([packaged] { (*packaged)(); });
     }
     cv_.notify_one();

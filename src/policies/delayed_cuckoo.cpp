@@ -30,6 +30,7 @@ DelayedCuckooBalancer::DelayedCuckooBalancer(const DelayedCuckooConfig& config)
       use_cuckoo_routing_(config.use_cuckoo_routing),
       carry_over_queues_(config.carry_over_queues),
       placement_(config.servers, /*replication=*/2, config.seed),
+      up_(config.servers, 1),
       p_arrivals_(config.servers, 0),
       p_arrivals_phase_(config.servers, 0) {
   if (processing_rate_ < 4 || processing_rate_ % 4 != 0) {
@@ -126,25 +127,52 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
       return;
     }
     const auto target = static_cast<core::ServerId>(it->second);
-    ++p_arrivals_[target];
-    if (obs_active_) ++p_arrivals_phase_[target];
-    if (obs_detail_) {
-      obs::emit(obs::EventKind::kRoute, "cuckoo.route_p", x, target);
+    // If the assigned server crashed after T_{t'} was computed, fall
+    // through to the Q path, which fails over to the live replica (the
+    // assigned server is always one of the chunk's two choices, so the Q
+    // path also accounts the failover).
+    if (down_count_ == 0 || up_[target] != 0) {
+      ++p_arrivals_[target];
+      if (obs_active_) ++p_arrivals_phase_[target];
+      if (obs_detail_) {
+        obs::emit(obs::EventKind::kRoute, "cuckoo.route_p", x, target);
+      }
+      if (!state_[target].p.push(core::Request{x, t})) {
+        // Lemma 4.5 says this cannot happen when q = Θ(log log m) with a
+        // sufficient constant; kept for smaller configurations.
+        metrics.on_rejected();
+        if (obs_active_) {
+          obs::emit(obs::EventKind::kReject, "cuckoo.reject_p_full", x,
+                    target);
+        }
+      }
+      return;
     }
-    if (!state_[target].p.push(core::Request{x, t})) {
-      // Lemma 4.5 says this cannot happen when q = Θ(log log m) with a
-      // sufficient constant; kept for smaller configurations.
+  }
+  // First access this phase (or a reappearance failing over from a crashed
+  // assignment): classic two-choice on the Q queues, up replicas only.
+  const core::ChoiceList choices = placement_.choices(x);
+  core::ServerId a = choices[0];
+  core::ServerId b = choices[1];
+  if (down_count_ > 0) [[unlikely]] {
+    static obs::Counter failover_counter("fault.failovers");
+    static obs::Counter all_down_counter("fault.all_replicas_down");
+    const bool a_up = up_[a] != 0;
+    const bool b_up = up_[b] != 0;
+    if (!a_up && !b_up) {
+      all_down_counter.add();
       metrics.on_rejected();
       if (obs_active_) {
-        obs::emit(obs::EventKind::kReject, "cuckoo.reject_p_full", x, target);
+        obs::emit(obs::EventKind::kReject, "cuckoo.reject_all_down", x, t);
       }
+      return;
     }
-    return;
+    if (a_up != b_up) {
+      failover_counter.add();
+      if (!a_up) a = b;
+      if (!b_up) b = a;
+    }
   }
-  // First access this phase: classic two-choice on the Q queues.
-  const core::ChoiceList choices = placement_.choices(x);
-  const core::ServerId a = choices[0];
-  const core::ServerId b = choices[1];
   const core::ServerId target =
       state_[a].q.size() <= state_[b].q.size() ? a : b;
   if (obs_detail_) {
@@ -169,7 +197,12 @@ void DelayedCuckooBalancer::drain_queue(core::ServerQueue& queue,
 
 void DelayedCuckooBalancer::process(core::Time t, core::Metrics& metrics) {
   const unsigned per_queue = processing_rate_ / 4;
-  for (ServerState& st : state_) {
+  const bool faults = down_count_ > 0;
+  for (std::size_t s = 0; s < state_.size(); ++s) {
+    // Down servers process nothing; any surviving queues (no dump-on-crash)
+    // are frozen until recovery.
+    if (faults && up_[s] == 0) continue;
+    ServerState& st = state_[s];
     drain_queue(st.q, per_queue, t, metrics);
     drain_queue(st.p, per_queue, t, metrics);
     drain_queue(st.q_prev, per_queue, t, metrics);
@@ -182,17 +215,38 @@ void DelayedCuckooBalancer::compute_assignment(
   // Build the two-choice instance for S_t and run Lemma 4.2's offline
   // assignment.  The result overwrites each requested chunk's entry — "the
   // most recent time t' < t that the chunk was requested".
+  //
+  // Down servers are removed cuckoo slots: a chunk with one live replica
+  // enters the instance as a forced (live, live) item, and a chunk with
+  // both replicas down is left out entirely (its entry is erased, so a
+  // reappearance takes the Q path and is rejected there unless a replica
+  // has recovered by then).
   choice_scratch_.clear();
   choice_scratch_.reserve(requests.size());
-  for (const core::ChunkId x : requests) {
-    const core::ChoiceList choices = placement_.choices(x);
-    choice_scratch_.emplace_back(choices[0], choices[1]);
+  assign_items_.clear();
+  const bool faults = down_count_ > 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const core::ChoiceList choices = placement_.choices(requests[i]);
+    std::uint32_t a = choices[0];
+    std::uint32_t b = choices[1];
+    if (faults) [[unlikely]] {
+      const bool a_up = up_[a] != 0;
+      const bool b_up = up_[b] != 0;
+      if (!a_up && !b_up) {
+        last_assignment_.erase(requests[i]);
+        continue;
+      }
+      if (!a_up) a = b;
+      if (!b_up) b = a;
+    }
+    choice_scratch_.emplace_back(a, b);
+    assign_items_.push_back(static_cast<std::uint32_t>(i));
   }
   const cuckoo::OfflineAssignment result =
       cuckoo::assign_offline(choice_scratch_, servers_, stash_per_group_);
   if (result.success) {
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      last_assignment_[requests[i]] = result.assignment[i];
+    for (std::size_t k = 0; k < assign_items_.size(); ++k) {
+      last_assignment_[requests[assign_items_[k]]] = result.assignment[k];
     }
   } else {
     static obs::Counter failure_counter("cuckoo.assign_failures");
@@ -200,8 +254,8 @@ void DelayedCuckooBalancer::compute_assignment(
     failure_counter.add();
     RLB_TRACE_EVENT(obs::EventKind::kAssignFail, "cuckoo.assign_fail",
                     requests.size(), result.stash_used);
-    for (const core::ChunkId x : requests) {
-      last_assignment_[x] = kAssignmentFailed;
+    for (const std::uint32_t i : assign_items_) {
+      last_assignment_[requests[i]] = kAssignmentFailed;
     }
   }
 }
@@ -222,6 +276,31 @@ void DelayedCuckooBalancer::step(core::Time t,
   // cuckoo-routing ablation is off — nothing would read it.)
   if (use_cuckoo_routing_) compute_assignment(requests);
   ++steps_into_phase_;
+}
+
+void DelayedCuckooBalancer::set_server_up(core::ServerId s, bool up,
+                                          bool dump_queue,
+                                          core::Metrics& metrics) {
+  if (s >= servers_) {
+    throw std::out_of_range("set_server_up: bad server id");
+  }
+  const bool was_up = up_[s] != 0;
+  if (was_up == up) return;
+  up_[s] = up ? 1 : 0;
+  if (up) {
+    --down_count_;
+  } else {
+    ++down_count_;
+  }
+  if (!up && dump_queue) {
+    ServerState& st = state_[s];
+    const std::size_t dropped = st.q.clear() + st.p.clear() +
+                                st.q_prev.clear() + st.p_prev.clear();
+    if (dropped > 0) {
+      metrics.on_dropped_from_queue(dropped);
+      RLB_TRACE_EVENT(obs::EventKind::kFlush, "fault.queue_dump", s, dropped);
+    }
+  }
 }
 
 void DelayedCuckooBalancer::flush(core::Metrics& metrics) {

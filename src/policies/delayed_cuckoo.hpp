@@ -81,6 +81,16 @@ class DelayedCuckooBalancer final : public core::LoadBalancer {
   std::uint32_t backlog(core::ServerId s) const override;
   void flush(core::Metrics& metrics) override;
 
+  /// Fault transition.  A down server is treated as a removed cuckoo slot
+  /// when the next T_t is planned; reappearances whose recorded assignment
+  /// points at a crashed server fail over to the chunk's live replica via
+  /// the Q (two-choice) path; requests with BOTH replicas down are
+  /// rejected.  `dump_queue` rejects everything in the server's four
+  /// queues at crash time.
+  void set_server_up(core::ServerId s, bool up, bool dump_queue,
+                     core::Metrics& metrics) override;
+  bool server_up(core::ServerId s) const override { return up_[s] != 0; }
+
   /// Effective (possibly derived) parameters.
   std::size_t phase_length() const noexcept { return phase_length_; }
   std::size_t queue_capacity() const noexcept { return queue_capacity_; }
@@ -134,6 +144,9 @@ class DelayedCuckooBalancer final : public core::LoadBalancer {
   core::Placement placement_;
 
   std::vector<ServerState> state_;
+  /// Per-server up/down flags (all up initially); see set_server_up.
+  std::vector<std::uint8_t> up_;
+  std::size_t down_count_ = 0;
 
   /// Most recent within-phase assignment per chunk.  Value = assigned
   /// server, or kAssignmentFailed when that step's T_t failed.
@@ -151,6 +164,9 @@ class DelayedCuckooBalancer final : public core::LoadBalancer {
 
   // Scratch buffers reused across steps (no per-step allocation).
   std::vector<std::pair<std::uint32_t, std::uint32_t>> choice_scratch_;
+  /// With faults: request indices included in the cuckoo instance (chunks
+  /// with both replicas down are excluded).
+  std::vector<std::uint32_t> assign_items_;
 };
 
 }  // namespace rlb::policies

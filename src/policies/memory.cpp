@@ -16,7 +16,10 @@ core::ServerId StickyBalancer::pick(core::ChunkId x,
                                     const core::ChoiceList& choices) {
   ++routed_;
   const auto it = memory_.find(x);
-  if (it != memory_.end() && cluster_.backlog(it->second) < trigger_) {
+  // A cached replica that has gone down forces reassessment: `choices` has
+  // already been filtered to up servers, and pick() must return one of it.
+  if (it != memory_.end() && cluster_.is_up(it->second) &&
+      cluster_.backlog(it->second) < trigger_) {
     return it->second;  // sticky hit: one probe
   }
   // Reassess: full greedy over the d choices, cache the winner.

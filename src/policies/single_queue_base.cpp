@@ -39,7 +39,28 @@ void SingleQueueBalancer::set_server_rate(core::ServerId server,
 void SingleQueueBalancer::deliver(core::Time t, core::ChunkId x,
                                   core::Metrics& metrics) {
   metrics.on_submitted();
-  const core::ChoiceList choices = placement_.choices(x);
+  core::ChoiceList choices = placement_.choices(x);
+  if (!cluster_.all_up()) [[unlikely]] {
+    // Failover: restrict the routing decision to the up replicas.  The
+    // placement itself never changes (reappearance dependencies!), so a
+    // down server simply removes one of the chunk's few fixed options.
+    static obs::Counter failover_counter("fault.failovers");
+    static obs::Counter all_down_counter("fault.all_replicas_down");
+    core::ChoiceList live;
+    for (const core::ServerId s : choices) {
+      if (cluster_.is_up(s)) live.push_back(s);
+    }
+    if (live.empty()) {
+      all_down_counter.add();
+      metrics.on_rejected();
+      if (obs_active_) {
+        obs::emit(obs::EventKind::kReject, "sq.reject_all_down", x, t);
+      }
+      return;
+    }
+    if (live.size() < choices.size()) failover_counter.add();
+    choices = live;
+  }
   const core::ServerId target = pick(x, choices);
   if (obs_detail_) [[unlikely]] {
     obs::emit(obs::EventKind::kSubmit, "sq.submit", x, t);
@@ -70,11 +91,15 @@ void SingleQueueBalancer::process_substep(core::Time t, unsigned substep,
                                           core::Metrics& metrics) {
   const std::size_t m = cluster_.size();
   const bool heterogeneous = !config_.per_server_rate.empty();
+  const bool faults = !cluster_.all_up();
   for (std::size_t s = 0; s < m; ++s) {
     const auto server = static_cast<core::ServerId>(s);
     // A server with rate r consumes one request in each of its first r
     // sub-steps of the time step (homogeneous servers consume in all g).
     if (heterogeneous && substep >= config_.per_server_rate[s]) continue;
+    // Down servers process nothing; any surviving queue (no dump-on-crash)
+    // is frozen until recovery.
+    if (faults && !cluster_.is_up(server)) continue;
     if (cluster_.empty(server)) continue;
     const core::Request request = cluster_.pop(server);
     metrics.on_completed(static_cast<std::uint64_t>(t - request.arrival));
@@ -105,6 +130,22 @@ void SingleQueueBalancer::step(core::Time t,
       deliver(t, requests[cursor++], metrics);
     }
     process_substep(t, sub, metrics);
+  }
+}
+
+void SingleQueueBalancer::set_server_up(core::ServerId s, bool up,
+                                        bool dump_queue,
+                                        core::Metrics& metrics) {
+  if (s >= cluster_.size()) {
+    throw std::out_of_range("set_server_up: bad server id");
+  }
+  cluster_.set_up(s, up);
+  if (!up && dump_queue) {
+    const std::size_t dropped = cluster_.clear_server(s);
+    if (dropped > 0) {
+      metrics.on_dropped_from_queue(dropped);
+      RLB_TRACE_EVENT(obs::EventKind::kFlush, "fault.queue_dump", s, dropped);
+    }
   }
 }
 

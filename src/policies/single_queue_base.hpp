@@ -74,6 +74,16 @@ class SingleQueueBalancer : public core::LoadBalancer {
 
   void flush(core::Metrics& metrics) override;
 
+  /// Fault transition: a down server is skipped among each request's d
+  /// choices (requests are rejected only when ALL d replicas are down),
+  /// stops consuming in the sub-step schedule, and — when `dump_queue` —
+  /// has its queue rejected at crash time.
+  void set_server_up(core::ServerId s, bool up, bool dump_queue,
+                     core::Metrics& metrics) override;
+  bool server_up(core::ServerId s) const override {
+    return cluster_.is_up(s);
+  }
+
   const core::Placement& placement() const noexcept { return placement_; }
   const SingleQueueConfig& config() const noexcept { return config_; }
 

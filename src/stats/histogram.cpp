@@ -62,8 +62,11 @@ double CountingHistogram::mean() const noexcept {
 std::uint64_t CountingHistogram::quantile(double q) const noexcept {
   if (total_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
-      q * static_cast<double>(total_) + 0.5);
+  // Rank target of at least 1: for q small enough that q·total + 0.5
+  // truncates to 0, the scan below would otherwise stop at bucket 0 even
+  // when no sample landed there.  quantile(0) is the minimum observed value.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(total_) + 0.5));
   std::uint64_t acc = 0;
   for (std::size_t v = 0; v < counts_.size(); ++v) {
     acc += counts_[v];

@@ -66,6 +66,24 @@ TEST(CountingHistogram, Quantiles) {
   EXPECT_GE(h.quantile(1.0), 9u);
 }
 
+// Regression: for q small enough that q·total + 0.5 rounds to rank 0, the
+// scan used to stop at bucket 0 even when no sample was ever recorded
+// there.  quantile(0) must be the minimum observed value.
+TEST(CountingHistogram, LowQuantileIsMinimumObserved) {
+  CountingHistogram h(16);
+  h.add(5);
+  h.add(7);
+  EXPECT_EQ(h.quantile(0.0), 5u);
+  EXPECT_EQ(h.quantile(0.001), 5u);
+  EXPECT_EQ(h.quantile(1.0), 7u);
+}
+
+TEST(CountingHistogram, LowQuantileWithOnlyOverflowSamples) {
+  CountingHistogram h(4);
+  h.add(100);  // lands in the overflow bucket
+  EXPECT_EQ(h.quantile(0.0), 5u);  // one past the tracking limit
+}
+
 TEST(CountingHistogram, MergeCombines) {
   CountingHistogram a(8), b(16);
   a.add(1, 2);
