@@ -1,0 +1,413 @@
+// rlb_loadgen — closed-loop load generator for rlbd.
+//
+// Opens C connections (one thread each); every connection keeps a window of
+// K requests outstanding (send K, then one new request per response) until
+// its share of --requests completes.  Keys come from any core::Workload
+// (the simulator's generators, flattened into a key stream) or from a
+// recorded workloads::Trace — run rlbd with `--mapper range --chunks
+// <universe>` for the identity key->chunk map and the engine sees exactly
+// the model's chunk sequence.
+//
+// Reports throughput, rejection/error rates, and end-to-end latency
+// quantiles (p50/p95/p99, microseconds, via stats::CountingHistogram), plus
+// the server-assigned wait_steps distribution.  --json <path> additionally
+// writes the summary as a machine-readable JSON object.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/wire.hpp"
+#include "stats/histogram.hpp"
+#include "stats/rng.hpp"
+#include "workloads/fresh_uniform.hpp"
+#include "workloads/repeated_set.hpp"
+#include "workloads/trace.hpp"
+#include "workloads/zipf_workload.hpp"
+
+namespace {
+
+using namespace rlb;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 4117;
+  std::size_t connections = 4;
+  std::size_t concurrency = 32;  // outstanding requests per connection
+  std::uint64_t requests = 100000;
+  // uniform | fresh | repeated-set | zipf | trace
+  std::string workload = "uniform";
+  std::uint64_t keys = 1 << 20;  // key universe / repeated-set size source
+  std::size_t set_size = 0;      // repeated-set |S|; 0 = keys per batch cap
+  double zipf_s = 0.99;
+  std::string trace_path;
+  std::uint64_t seed = 1;
+  std::string json_path;
+  std::size_t latency_cap_us = 200000;  // histogram exact range
+};
+
+struct WorkerResult {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t protocol_errors = 0;
+  stats::CountingHistogram latency_us{0};
+  stats::CountingHistogram wait_steps{1024};
+};
+
+// Flattens a Workload's per-step batches into an endless key stream.
+class KeyStream {
+ public:
+  explicit KeyStream(std::unique_ptr<core::Workload> source)
+      : source_(std::move(source)) {}
+
+  std::uint64_t next() {
+    while (cursor_ >= batch_.size()) {
+      source_->fill_step(t_++, batch_);
+      cursor_ = 0;
+      if (batch_.empty() && ++empty_streak_ > 1024) {
+        // A pathological workload that emits nothing would spin forever;
+        // fall back to the step counter as a key.
+        return t_;
+      }
+      if (!batch_.empty()) empty_streak_ = 0;
+    }
+    return batch_[cursor_++];
+  }
+
+ private:
+  std::unique_ptr<core::Workload> source_;
+  std::vector<core::ChunkId> batch_;
+  std::size_t cursor_ = 0;
+  core::Time t_ = 0;
+  std::size_t empty_streak_ = 0;
+};
+
+std::unique_ptr<KeyStream> make_stream(const Options& options,
+                                       std::size_t worker,
+                                       const workloads::Trace* trace) {
+  const std::uint64_t seed =
+      stats::derive_seed(options.seed, 0x10ull + worker);
+  std::unique_ptr<core::Workload> source;
+  if (options.workload == "uniform") {
+    // Uniform keys: fresh ids hashed over the key universe via zipf s=0
+    // would work, but a plain seeded Rng stream is cheaper.
+    class UniformWorkload final : public core::Workload {
+     public:
+      UniformWorkload(std::uint64_t keys, std::uint64_t seed)
+          : keys_(keys), rng_(seed) {}
+      void fill_step(core::Time, std::vector<core::ChunkId>& out) override {
+        out.clear();
+        for (int i = 0; i < 64; ++i) {
+          out.push_back(static_cast<core::ChunkId>(rng_.next_below(keys_)));
+        }
+      }
+      std::size_t max_requests_per_step() const override { return 64; }
+
+     private:
+      std::uint64_t keys_;
+      stats::Rng rng_;
+    };
+    source = std::make_unique<UniformWorkload>(options.keys, seed);
+  } else if (options.workload == "fresh") {
+    // Disjoint id ranges per worker so keys stay globally fresh.
+    source = std::make_unique<workloads::FreshUniformWorkload>(
+        64, static_cast<std::uint64_t>(worker) << 48);
+  } else if (options.workload == "repeated-set") {
+    const std::size_t count =
+        options.set_size ? options.set_size
+                         : static_cast<std::size_t>(
+                               std::min<std::uint64_t>(options.keys, 4096));
+    // Same seed on every worker: all connections request the same set S —
+    // the paper's hardest reappearance pattern.
+    source = std::make_unique<workloads::RepeatedSetWorkload>(
+        count, options.keys, stats::derive_seed(options.seed, 0x5e7ull));
+  } else if (options.workload == "zipf") {
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(options.keys / 2, 256));
+    source = std::make_unique<workloads::ZipfWorkload>(
+        std::max<std::size_t>(count, 1), options.keys, options.zipf_s, seed);
+  } else if (options.workload == "trace") {
+    if (trace == nullptr) return nullptr;
+    source = std::make_unique<workloads::TraceWorkload>(*trace);
+  } else {
+    return nullptr;
+  }
+  return std::make_unique<KeyStream>(std::move(source));
+}
+
+void run_worker(const Options& options, std::size_t worker,
+                std::uint64_t quota, const workloads::Trace* trace,
+                WorkerResult& result) {
+  result.latency_us = stats::CountingHistogram(options.latency_cap_us);
+  std::unique_ptr<KeyStream> stream = make_stream(options, worker, trace);
+  net::Client client;
+  try {
+    client.connect(options.host, options.port);
+  } catch (const std::exception& e) {
+    std::cerr << "rlb_loadgen: worker " << worker << ": " << e.what() << "\n";
+    result.errors += quota;
+    return;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::unordered_map<std::uint64_t, Clock::time_point> in_flight;
+  in_flight.reserve(options.concurrency * 2);
+  std::uint64_t next_id = (static_cast<std::uint64_t>(worker) << 40) + 1;
+  std::uint64_t completed = 0;
+
+  auto send_one = [&] {
+    const std::uint64_t id = next_id++;
+    in_flight.emplace(id, Clock::now());
+    client.send_request(id, stream->next());
+    ++result.sent;
+  };
+
+  try {
+    const std::uint64_t window =
+        std::min<std::uint64_t>(options.concurrency, quota);
+    for (std::uint64_t i = 0; i < window; ++i) send_one();
+    client.flush();
+
+    net::ResponseMsg response;
+    while (completed < quota) {
+      if (!client.read_response(response)) {
+        // Server went away mid-run; everything still in flight is lost.
+        result.errors += quota - completed;
+        break;
+      }
+      const auto it = in_flight.find(response.request_id);
+      if (it == in_flight.end()) {
+        ++result.protocol_errors;
+        break;
+      }
+      const auto now = Clock::now();
+      const std::uint64_t us =
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - it->second)
+                  .count());
+      in_flight.erase(it);
+      ++completed;
+      switch (response.status) {
+        case net::Status::kOk:
+          ++result.ok;
+          result.latency_us.add(us);
+          result.wait_steps.add(response.wait_steps);
+          break;
+        case net::Status::kReject:
+          ++result.rejected;
+          result.latency_us.add(us);
+          break;
+        default:
+          ++result.errors;
+          break;
+      }
+      if (result.sent < quota) {
+        send_one();
+        client.flush();
+      }
+    }
+  } catch (const net::ProtocolError& e) {
+    std::cerr << "rlb_loadgen: worker " << worker << ": " << e.what() << "\n";
+    ++result.protocol_errors;
+  } catch (const std::exception& e) {
+    std::cerr << "rlb_loadgen: worker " << worker << ": " << e.what() << "\n";
+    result.errors += quota - completed;
+  }
+  client.close();
+}
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [flags]\n"
+      << "  --host <addr>          server address (default 127.0.0.1)\n"
+      << "  --port <p>             server port (default 4117)\n"
+      << "  --connections <c>      client connections/threads (default 4)\n"
+      << "  --concurrency <k>      outstanding requests per connection\n"
+      << "  --requests <n>         total requests across connections\n"
+      << "  --workload <name>      uniform|fresh|repeated-set|zipf|trace\n"
+      << "  --keys <n>             key universe (default 2^20)\n"
+      << "  --set-size <n>         repeated-set size |S|\n"
+      << "  --zipf-s <s>           zipf exponent (default 0.99)\n"
+      << "  --trace-file <path>    trace for --workload trace (text or\n"
+      << "                         binary format, auto-detected)\n"
+      << "  --seed <s>             master seed (default 1)\n"
+      << "  --json <path>          also write the summary as JSON\n";
+}
+
+bool parse_u64_flag(const char* name, const std::string& value,
+                    std::uint64_t& out) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long parsed = std::stoull(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    out = parsed;
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "rlb_loadgen: bad value for " << name << ": '" << value
+              << "'\n";
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const bool has_value = i + 1 < argc;
+    auto value = [&]() -> std::string { return argv[++i]; };
+    std::uint64_t u64 = 0;
+    if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (flag == "--host" && has_value) {
+      options.host = value();
+    } else if (flag == "--port" && has_value) {
+      if (!parse_u64_flag("--port", value(), u64) || u64 > 65535) return 2;
+      options.port = static_cast<std::uint16_t>(u64);
+    } else if (flag == "--connections" && has_value) {
+      if (!parse_u64_flag("--connections", value(), u64) || u64 == 0) return 2;
+      options.connections = static_cast<std::size_t>(u64);
+    } else if (flag == "--concurrency" && has_value) {
+      if (!parse_u64_flag("--concurrency", value(), u64) || u64 == 0) return 2;
+      options.concurrency = static_cast<std::size_t>(u64);
+    } else if (flag == "--requests" && has_value) {
+      if (!parse_u64_flag("--requests", value(), u64)) return 2;
+      options.requests = u64;
+    } else if (flag == "--workload" && has_value) {
+      options.workload = value();
+    } else if (flag == "--keys" && has_value) {
+      if (!parse_u64_flag("--keys", value(), u64) || u64 == 0) return 2;
+      options.keys = u64;
+    } else if (flag == "--set-size" && has_value) {
+      if (!parse_u64_flag("--set-size", value(), u64)) return 2;
+      options.set_size = static_cast<std::size_t>(u64);
+    } else if (flag == "--zipf-s" && has_value) {
+      try {
+        options.zipf_s = std::stod(value());
+      } catch (const std::exception&) {
+        std::cerr << "rlb_loadgen: bad --zipf-s\n";
+        return 2;
+      }
+    } else if (flag == "--trace-file" && has_value) {
+      options.trace_path = value();
+    } else if (flag == "--seed" && has_value) {
+      if (!parse_u64_flag("--seed", value(), u64)) return 2;
+      options.seed = u64;
+    } else if (flag == "--json" && has_value) {
+      options.json_path = value();
+    } else {
+      std::cerr << "rlb_loadgen: unknown flag '" << flag << "'\n";
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::unique_ptr<workloads::Trace> trace;
+  if (options.workload == "trace") {
+    if (options.trace_path.empty()) {
+      std::cerr << "rlb_loadgen: --workload trace needs --trace-file\n";
+      return 2;
+    }
+    try {
+      trace = std::make_unique<workloads::Trace>(
+          workloads::Trace::load_auto_file(options.trace_path));
+    } catch (const std::exception& e) {
+      std::cerr << "rlb_loadgen: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  const std::size_t workers = options.connections;
+  std::vector<WorkerResult> results(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::uint64_t quota =
+        options.requests / workers + (w < options.requests % workers ? 1 : 0);
+    threads.emplace_back([&options, w, quota, &results, &trace] {
+      run_worker(options, w, quota, trace.get(), results[w]);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  WorkerResult total;
+  total.latency_us = stats::CountingHistogram(options.latency_cap_us);
+  for (const WorkerResult& r : results) {
+    total.sent += r.sent;
+    total.ok += r.ok;
+    total.rejected += r.rejected;
+    total.errors += r.errors;
+    total.protocol_errors += r.protocol_errors;
+    total.latency_us.merge(r.latency_us);
+    total.wait_steps.merge(r.wait_steps);
+  }
+  const std::uint64_t answered = total.ok + total.rejected;
+  const double reject_rate =
+      answered ? static_cast<double>(total.rejected) /
+                     static_cast<double>(answered)
+               : 0.0;
+  const double throughput = elapsed > 0.0
+                                ? static_cast<double>(answered) / elapsed
+                                : 0.0;
+
+  std::cout << "rlb_loadgen: " << answered << " answered in " << elapsed
+            << "s (" << static_cast<std::uint64_t>(throughput) << " req/s)\n"
+            << "  ok=" << total.ok << " rejected=" << total.rejected
+            << " (rate=" << reject_rate << ")"
+            << " errors=" << total.errors
+            << " protocol_errors=" << total.protocol_errors << "\n"
+            << "  latency_us p50=" << total.latency_us.quantile(0.50)
+            << " p95=" << total.latency_us.quantile(0.95)
+            << " p99=" << total.latency_us.quantile(0.99)
+            << " max=" << total.latency_us.max_observed() << "\n"
+            << "  wait_steps p50=" << total.wait_steps.quantile(0.50)
+            << " p99=" << total.wait_steps.quantile(0.99)
+            << " max=" << total.wait_steps.max_observed() << std::endl;
+
+  if (!options.json_path.empty()) {
+    std::ofstream os(options.json_path);
+    if (!os) {
+      std::cerr << "rlb_loadgen: cannot write " << options.json_path << "\n";
+      return 1;
+    }
+    os << "{\n"
+       << "  \"answered\": " << answered << ",\n"
+       << "  \"ok\": " << total.ok << ",\n"
+       << "  \"rejected\": " << total.rejected << ",\n"
+       << "  \"errors\": " << total.errors << ",\n"
+       << "  \"protocol_errors\": " << total.protocol_errors << ",\n"
+       << "  \"elapsed_seconds\": " << elapsed << ",\n"
+       << "  \"throughput_rps\": " << throughput << ",\n"
+       << "  \"rejection_rate\": " << reject_rate << ",\n"
+       << "  \"latency_us\": {\"p50\": " << total.latency_us.quantile(0.50)
+       << ", \"p95\": " << total.latency_us.quantile(0.95) << ", \"p99\": "
+       << total.latency_us.quantile(0.99) << ", \"max\": "
+       << total.latency_us.max_observed() << "},\n"
+       << "  \"wait_steps\": {\"p50\": " << total.wait_steps.quantile(0.50)
+       << ", \"p99\": " << total.wait_steps.quantile(0.99) << ", \"max\": "
+       << total.wait_steps.max_observed() << "}\n"
+       << "}\n";
+  }
+
+  return total.protocol_errors == 0 ? 0 : 1;
+}

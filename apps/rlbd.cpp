@@ -1,0 +1,239 @@
+// rlbd — the live serving daemon.
+//
+// Wires the three layers of the serving stack together:
+//   net::NetServer    — loopback TCP listener + wire protocol framing
+//   engine::ServingEngine — sharded workers embedding a core::LoadBalancer
+//   store::KeyMapper  — GET(key) -> chunk (inside the engine)
+// Every REQUEST frame becomes engine.submit(); every balancer outcome comes
+// back through the RequestSink path as a RESPONSE frame (OK with the
+// serving server id and queueing delay, or REJECT when the paper's bounded
+// queue — or the engine's admission control — says no).
+//
+// SIGINT/SIGTERM triggers a graceful drain: the engine stops admitting,
+// answers everything queued, then the listener flushes and closes.
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+#include "engine/engine.hpp"
+#include "harness/output.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_signal(int) { g_stop_requested = 1; }
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [flags]\n"
+      << "  --policy <name>        routing policy (default greedy)\n"
+      << "  --m <servers>          total servers (default 64)\n"
+      << "  --d <replication>      replicas per chunk (default 2)\n"
+      << "  --g <rate>             service per server per tick (default 2)\n"
+      << "  --q <capacity>         queue bound; 0 = theorem default\n"
+      << "  --shards <n>           worker threads (default 1)\n"
+      << "  --chunks <n>           chunk count (default 2^20)\n"
+      << "  --mapper <hash|range>  key->chunk scheme (default hash)\n"
+      << "  --key-space <n>        range-mapper key space; 0 = chunks\n"
+      << "  --port <p>             listen port; 0 = ephemeral (default 4117)\n"
+      << "  --host <addr>          bind address (default 127.0.0.1)\n"
+      << "  --seed <s>             master seed (default 1)\n"
+      << "  --max-batch <n>        distinct chunks per tick per shard\n"
+      << "  --waiting-limit <n>    per-shard admission bound\n"
+      << "  --tick-us <us>         minimum tick period; 0 = free-running\n"
+      << "  --failure-schedule <spec>\n"
+      << "                         script:t,s,down|up;...  bernoulli:p,mttr\n"
+      << "                         rack:racks,p,mttr (ticks as the clock)\n"
+      << "  --dump-on-crash        reject a crashed server's queue\n"
+      << "  --stats-interval <s>   print live stats every s seconds (0=off)\n"
+      << "  (plus --probes / --trace <path> from the obs layer)\n";
+}
+
+bool parse_u64_flag(const char* name, const std::string& value,
+                    std::uint64_t& out) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long parsed = std::stoull(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    out = parsed;
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "rlbd: bad value for " << name << ": '" << value << "'\n";
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rlb;
+
+  harness::init_output(argc, argv);
+
+  engine::EngineConfig config;
+  net::ServerConfig net_config;
+  net_config.port = 4117;
+  std::uint64_t stats_interval_s = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const bool has_value = i + 1 < argc;
+    auto value = [&]() -> std::string { return argv[++i]; };
+    std::uint64_t u64 = 0;
+    if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (flag == "--policy" && has_value) {
+      config.policy = value();
+    } else if (flag == "--m" && has_value) {
+      if (!parse_u64_flag("--m", value(), u64)) return 2;
+      config.servers = static_cast<std::size_t>(u64);
+    } else if (flag == "--d" && has_value) {
+      if (!parse_u64_flag("--d", value(), u64)) return 2;
+      config.replication = static_cast<unsigned>(u64);
+    } else if (flag == "--g" && has_value) {
+      if (!parse_u64_flag("--g", value(), u64)) return 2;
+      config.processing_rate = static_cast<unsigned>(u64);
+    } else if (flag == "--q" && has_value) {
+      if (!parse_u64_flag("--q", value(), u64)) return 2;
+      config.queue_capacity = static_cast<std::size_t>(u64);
+    } else if (flag == "--shards" && has_value) {
+      if (!parse_u64_flag("--shards", value(), u64)) return 2;
+      config.shards = static_cast<std::size_t>(u64);
+    } else if (flag == "--chunks" && has_value) {
+      if (!parse_u64_flag("--chunks", value(), u64)) return 2;
+      config.chunks = static_cast<std::size_t>(u64);
+    } else if (flag == "--mapper" && has_value) {
+      config.mapper = value();
+    } else if (flag == "--key-space" && has_value) {
+      if (!parse_u64_flag("--key-space", value(), u64)) return 2;
+      config.key_space = u64;
+    } else if (flag == "--port" && has_value) {
+      if (!parse_u64_flag("--port", value(), u64) || u64 > 65535) return 2;
+      net_config.port = static_cast<std::uint16_t>(u64);
+    } else if (flag == "--host" && has_value) {
+      net_config.host = value();
+    } else if (flag == "--seed" && has_value) {
+      if (!parse_u64_flag("--seed", value(), u64)) return 2;
+      config.seed = u64;
+    } else if (flag == "--max-batch" && has_value) {
+      if (!parse_u64_flag("--max-batch", value(), u64)) return 2;
+      config.max_batch = static_cast<std::size_t>(u64);
+    } else if (flag == "--waiting-limit" && has_value) {
+      if (!parse_u64_flag("--waiting-limit", value(), u64)) return 2;
+      config.waiting_limit = static_cast<std::size_t>(u64);
+    } else if (flag == "--tick-us" && has_value) {
+      if (!parse_u64_flag("--tick-us", value(), u64)) return 2;
+      config.tick_interval_us = u64;
+    } else if (flag == "--failure-schedule" && has_value) {
+      config.failure_spec = value();
+    } else if (flag == "--dump-on-crash") {
+      config.dump_queue_on_crash = true;
+    } else if (flag == "--stats-interval" && has_value) {
+      if (!parse_u64_flag("--stats-interval", value(), u64)) return 2;
+      stats_interval_s = u64;
+    } else if (flag == "--format" || flag == "--trace" ||
+               flag == "--fail-rate" || flag == "--mttr") {
+      ++i;  // consumed by init_output / reserved
+    } else if (flag == "--probes" || flag == "--trace-detail") {
+      // consumed by init_output
+    } else {
+      std::cerr << "rlbd: unknown flag '" << flag << "'\n";
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Server and engine reference each other (requests flow down, responses
+  // flow back up); both lambdas capture through pointers filled in below.
+  engine::ServingEngine* engine_raw = nullptr;
+  net::NetServer server(
+      net_config, [&engine_raw, &server](std::uint64_t conn_token,
+                                         const net::RequestMsg& request) {
+        if (!engine_raw->submit(conn_token, request.request_id, request.key)) {
+          net::ResponseMsg msg;
+          msg.request_id = request.request_id;
+          msg.status = net::Status::kError;
+          server.send_response(conn_token, msg);
+        }
+      });
+  std::unique_ptr<engine::ServingEngine> engine_ptr;
+  try {
+    engine_ptr = std::make_unique<engine::ServingEngine>(
+        config, [&server](const engine::EngineResponse& r) {
+          net::ResponseMsg msg;
+          msg.request_id = r.request_id;
+          msg.status = static_cast<net::Status>(r.status);
+          msg.server = static_cast<std::uint32_t>(r.server);
+          msg.wait_steps = r.wait_steps;
+          server.send_response(r.conn_token, msg);
+        });
+  } catch (const std::exception& e) {
+    std::cerr << "rlbd: " << e.what() << "\n";
+    return 2;
+  }
+  engine::ServingEngine& engine = *engine_ptr;
+  engine_raw = engine_ptr.get();
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  engine.start();
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "rlbd: " << e.what() << "\n";
+    engine.stop();
+    return 1;
+  }
+
+  std::cout << "rlbd: serving policy=" << config.policy
+            << " m=" << config.servers << " d=" << config.replication
+            << " g=" << config.processing_rate
+            << " shards=" << config.shards << " on " << net_config.host << ":"
+            << server.port() << std::endl;
+
+  std::uint64_t seconds = 0;
+  while (!g_stop_requested) {
+    ::usleep(200 * 1000);
+    if (stats_interval_s > 0 && ++seconds % (5 * stats_interval_s) == 0) {
+      const engine::EngineStats s = engine.stats();
+      const net::ServerStats n = server.stats();
+      std::cout << "rlbd: submitted=" << s.submitted
+                << " completed=" << s.completed << " rejected=" << s.rejected
+                << " overload=" << s.overload_rejected
+                << " backlog=" << s.backlog << " ticks=" << s.ticks
+                << " down=" << s.servers_down
+                << " conns=" << (n.connections_accepted - n.connections_closed)
+                << " proto_errors=" << n.protocol_errors << std::endl;
+    }
+  }
+
+  std::cout << "rlbd: draining..." << std::endl;
+  // Drain order matters: the engine answers everything in flight first
+  // (responses land in the listener's outbound buffers), then the listener
+  // flushes those buffers and closes.
+  engine.stop();
+  server.stop();
+
+  const engine::EngineStats s = engine.stats();
+  const net::ServerStats n = server.stats();
+  std::cout << "rlbd: done. submitted=" << s.submitted
+            << " completed=" << s.completed << " rejected=" << s.rejected
+            << " overload=" << s.overload_rejected
+            << " crashes=" << s.crashes << " recoveries=" << s.recoveries
+            << " bytes_in=" << n.bytes_in << " bytes_out=" << n.bytes_out
+            << " proto_errors=" << n.protocol_errors << std::endl;
+  harness::emit_probes();
+  return 0;
+}

@@ -7,6 +7,9 @@
 // delayed cuckoo routing's extra machinery relative to greedy.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/placement.hpp"
 #include "core/simulator.hpp"
 #include "cuckoo/cuckoo_table.hpp"
@@ -125,4 +128,32 @@ BENCHMARK(BM_FullSimulation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translate the repo-wide
+// `--json <path>` flag (see harness/output.hpp) into google-benchmark's
+// native JSON reporter so bench_micro emits machine-readable results the
+// same way the table-based experiment binaries do.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  storage.reserve(2);
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json" && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      storage.push_back("--benchmark_out_format=json");
+      args.push_back(storage[storage.size() - 2].data());
+      args.push_back(storage[storage.size() - 1].data());
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,8 +16,11 @@ using harness::WorkloadFactory;
 
 using harness::emit;
 using harness::init_output;
+using harness::json_enabled;
+using harness::json_value;
 using harness::print_banner;
 using harness::run_trials;
+using harness::write_json;
 
 /// Fault-injection overrides shared by the experiment binaries:
 ///   --fail-rate <p>    per-server per-step crash probability in [0, 1]

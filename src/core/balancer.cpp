@@ -22,4 +22,6 @@ void LoadBalancer::set_server_up(ServerId /*s*/, bool /*up*/,
 
 bool LoadBalancer::server_up(ServerId /*s*/) const { return true; }
 
+bool LoadBalancer::set_request_sink(RequestSink* /*sink*/) { return false; }
+
 }  // namespace rlb::core

@@ -24,6 +24,28 @@
 
 namespace rlb::core {
 
+/// Per-request lifecycle observer for live serving (src/engine/).
+///
+/// Metrics aggregates counts; a serving engine additionally needs to know
+/// WHICH request finished so it can answer the waiting client.  Policies
+/// that support sinks call back synchronously from step()/flush()/
+/// set_server_up() with the chunk identity: every request delivered to
+/// step() eventually produces exactly one on_served or on_rejected (queue
+/// dumps and flushes report each dropped request individually).
+class RequestSink {
+ public:
+  virtual ~RequestSink() = default;
+
+  /// A queued request for chunk x finished on `server` after waiting
+  /// `wait_steps` whole time steps (completion − arrival).
+  virtual void on_served(ChunkId x, ServerId server,
+                         std::uint64_t wait_steps) = 0;
+
+  /// A request for chunk x was rejected — at admission (full queue / all
+  /// replicas down), in a queue dump, at a crash, or in a flush.
+  virtual void on_rejected(ChunkId x) = 0;
+};
+
 /// Abstract routing policy + queueing discipline.
 class LoadBalancer {
  public:
@@ -70,6 +92,13 @@ class LoadBalancer {
   /// Current up/down state of server s.  Policies without fault support
   /// report every server as up.
   virtual bool server_up(ServerId s) const;
+
+  // -- Live serving ------------------------------------------------------
+
+  /// Install a per-request lifecycle sink (nullptr detaches).  Returns
+  /// false when the policy cannot report per-request outcomes — the
+  /// default — in which case it must not be used for live serving.
+  virtual bool set_request_sink(RequestSink* sink);
 };
 
 }  // namespace rlb::core

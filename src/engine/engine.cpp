@@ -1,0 +1,637 @@
+#include "engine/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/balancer.hpp"
+#include "core/metrics.hpp"
+#include "hashing/hash.hpp"
+#include "obs/probes.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "policies/factory.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb::engine {
+
+namespace {
+
+// Internal parsed form of a failure spec; shards derive their local
+// schedules from it, parse_failure_spec() builds the global one.
+struct FailureSpec {
+  enum class Kind { kNone, kScript, kBernoulli, kRack };
+  Kind kind = Kind::kNone;
+  std::vector<core::ScriptedFailureSchedule::Event> events;  // kScript
+  double rate = 0.0;                                         // fail rate
+  double mttr = 0.0;
+  std::size_t racks = 0;  // kRack
+};
+
+[[noreturn]] void bad_spec(const std::string& spec, const char* why) {
+  throw std::invalid_argument("failure spec '" + spec + "': " + why);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& spec, const std::string& field) {
+  std::size_t pos = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(field, &pos);
+  } catch (const std::exception&) {
+    bad_spec(spec, "expected a non-negative integer");
+  }
+  if (pos != field.size()) bad_spec(spec, "trailing junk after integer");
+  return static_cast<std::uint64_t>(value);
+}
+
+double parse_double(const std::string& spec, const std::string& field) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(field, &pos);
+  } catch (const std::exception&) {
+    bad_spec(spec, "expected a number");
+  }
+  if (pos != field.size()) bad_spec(spec, "trailing junk after number");
+  return value;
+}
+
+FailureSpec parse_spec(const std::string& spec, std::size_t servers) {
+  FailureSpec out;
+  if (spec.empty()) return out;
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) bad_spec(spec, "missing ':' after kind");
+  const std::string kind = spec.substr(0, colon);
+  const std::string body = spec.substr(colon + 1);
+  if (kind == "script") {
+    out.kind = FailureSpec::Kind::kScript;
+    for (const std::string& part : split(body, ';')) {
+      if (part.empty()) continue;
+      const std::vector<std::string> fields = split(part, ',');
+      if (fields.size() != 3) bad_spec(spec, "script events are tick,server,down|up");
+      core::ScriptedFailureSchedule::Event event;
+      event.step = static_cast<core::Time>(parse_u64(spec, fields[0]));
+      event.server = static_cast<core::ServerId>(parse_u64(spec, fields[1]));
+      if (event.server >= servers) bad_spec(spec, "server id out of range");
+      if (fields[2] == "down") {
+        event.up = false;
+      } else if (fields[2] == "up") {
+        event.up = true;
+      } else {
+        bad_spec(spec, "event state must be 'down' or 'up'");
+      }
+      out.events.push_back(event);
+    }
+    if (out.events.empty()) bad_spec(spec, "script has no events");
+  } else if (kind == "bernoulli") {
+    out.kind = FailureSpec::Kind::kBernoulli;
+    const std::vector<std::string> fields = split(body, ',');
+    if (fields.size() != 2) bad_spec(spec, "bernoulli takes fail_rate,mttr");
+    out.rate = parse_double(spec, fields[0]);
+    out.mttr = parse_double(spec, fields[1]);
+    if (out.rate < 0.0 || out.rate > 1.0) bad_spec(spec, "fail_rate not in [0,1]");
+    if (out.mttr < 0.0) bad_spec(spec, "mttr must be >= 0");
+  } else if (kind == "rack") {
+    out.kind = FailureSpec::Kind::kRack;
+    const std::vector<std::string> fields = split(body, ',');
+    if (fields.size() != 3) bad_spec(spec, "rack takes racks,rack_fail_rate,mttr");
+    out.racks = static_cast<std::size_t>(parse_u64(spec, fields[0]));
+    out.rate = parse_double(spec, fields[1]);
+    out.mttr = parse_double(spec, fields[2]);
+    if (out.racks == 0) bad_spec(spec, "racks must be >= 1");
+    if (out.rate < 0.0 || out.rate > 1.0) bad_spec(spec, "rack_fail_rate not in [0,1]");
+    if (out.mttr < 0.0) bad_spec(spec, "mttr must be >= 0");
+  } else {
+    bad_spec(spec, "unknown kind (want script/bernoulli/rack)");
+  }
+  return out;
+}
+
+// The per-shard schedule over [base, base+count) local servers.  Scripted
+// events are filtered and remapped to local ids; stochastic schedules get
+// an independent derived seed per shard (each shard has its own tick
+// clock, so one global schedule cannot be shared across workers).  A rack
+// spec splits its racks across shards proportionally, at least one each.
+std::unique_ptr<core::FailureSchedule> make_shard_schedule(
+    const FailureSpec& spec, std::size_t shard, std::size_t base,
+    std::size_t count, std::size_t total_servers, std::size_t total_shards,
+    std::uint64_t seed) {
+  const std::uint64_t shard_seed =
+      stats::derive_seed(seed, 0x9f0bull + static_cast<std::uint64_t>(shard));
+  switch (spec.kind) {
+    case FailureSpec::Kind::kNone:
+      return nullptr;
+    case FailureSpec::Kind::kScript: {
+      std::vector<core::ScriptedFailureSchedule::Event> local;
+      for (const auto& event : spec.events) {
+        if (event.server < base || event.server >= base + count) continue;
+        core::ScriptedFailureSchedule::Event remapped = event;
+        remapped.server = event.server - static_cast<core::ServerId>(base);
+        local.push_back(remapped);
+      }
+      if (local.empty()) return nullptr;
+      return std::make_unique<core::ScriptedFailureSchedule>(std::move(local));
+    }
+    case FailureSpec::Kind::kBernoulli:
+      return std::make_unique<core::BernoulliFailureSchedule>(
+          spec.rate, spec.mttr, shard_seed);
+    case FailureSpec::Kind::kRack: {
+      // Proportional share of the racks, minimum one per shard.
+      std::size_t racks = spec.racks * count / std::max<std::size_t>(total_servers, 1);
+      if (racks == 0) racks = 1;
+      if (racks > count) racks = count;
+      (void)total_shards;
+      return std::make_unique<core::RackFailureSchedule>(racks, spec.rate,
+                                                         spec.mttr, shard_seed);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<core::FailureSchedule> parse_failure_spec(
+    const std::string& spec, std::size_t servers, std::uint64_t seed) {
+  const FailureSpec parsed = parse_spec(spec, servers);
+  switch (parsed.kind) {
+    case FailureSpec::Kind::kNone:
+      return nullptr;
+    case FailureSpec::Kind::kScript:
+      return std::make_unique<core::ScriptedFailureSchedule>(parsed.events);
+    case FailureSpec::Kind::kBernoulli:
+      return std::make_unique<core::BernoulliFailureSchedule>(
+          parsed.rate, parsed.mttr, seed);
+    case FailureSpec::Kind::kRack:
+      return std::make_unique<core::RackFailureSchedule>(parsed.racks,
+                                                         parsed.rate,
+                                                         parsed.mttr, seed);
+  }
+  return nullptr;
+}
+
+namespace {
+
+// One inbound GET waiting to be routed.
+struct Waiting {
+  std::uint64_t conn_token = 0;
+  std::uint64_t request_id = 0;
+  core::ChunkId chunk = 0;
+  std::uint64_t enqueue_tick = 0;
+};
+
+// One request delivered into the balancer, awaiting its sink event.
+struct Pending {
+  std::uint64_t conn_token = 0;
+  std::uint64_t request_id = 0;
+  // Ticks spent in the waiting room before delivery (added to the
+  // balancer-reported wait for the end-to-end wait_steps).
+  std::uint32_t waited = 0;
+};
+
+}  // namespace
+
+struct ServingEngine::Impl {
+  // One worker thread owning a contiguous server partition and a private
+  // balancer over it.  Implements RequestSink to turn the balancer's
+  // chunk-level outcomes back into per-request responses via the per-chunk
+  // in-flight FIFO (sound because step() consumes distinct chunks and the
+  // balancer's queues are FIFO per chunk delivery order).
+  struct Shard final : core::RequestSink {
+    Impl* owner = nullptr;
+    std::size_t index = 0;
+    core::ServerId base = 0;
+    std::size_t server_span = 0;
+    std::unique_ptr<core::LoadBalancer> balancer;
+    std::unique_ptr<core::FailureSchedule> schedule;
+    core::Metrics metrics;
+    std::thread thread;
+
+    // Producer side (submit) — guarded by mutex.
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<Waiting> inbound;
+    bool stopping = false;
+
+    // Worker-private state.
+    std::deque<Waiting> waiting;
+    std::unordered_map<core::ChunkId, std::deque<Pending>> inflight;
+    std::vector<std::uint8_t> up_state;
+    std::uint64_t tick = 0;
+
+    // Live counters (worker writes, stats() reads).
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> overload_rejected{0};
+    std::atomic<std::uint64_t> ticks{0};
+    std::atomic<std::uint64_t> crashes{0};
+    std::atomic<std::uint64_t> recoveries{0};
+    std::atomic<std::uint64_t> backlog{0};
+    std::atomic<std::size_t> down{0};
+
+    void on_served(core::ChunkId x, core::ServerId server,
+                   std::uint64_t wait_steps) override {
+      Pending pending;
+      if (!pop_pending(x, pending)) return;
+      EngineResponse response;
+      response.conn_token = pending.conn_token;
+      response.request_id = pending.request_id;
+      response.status = kEngineOk;
+      response.server = base + server;
+      response.wait_steps =
+          pending.waited + static_cast<std::uint32_t>(wait_steps);
+      completed.fetch_add(1, std::memory_order_relaxed);
+      owner->respond(response);
+    }
+
+    void on_rejected(core::ChunkId x) override {
+      Pending pending;
+      if (!pop_pending(x, pending)) return;
+      EngineResponse response;
+      response.conn_token = pending.conn_token;
+      response.request_id = pending.request_id;
+      response.status = kEngineReject;
+      rejected.fetch_add(1, std::memory_order_relaxed);
+      owner->respond(response);
+    }
+
+    bool pop_pending(core::ChunkId x, Pending& out) {
+      const auto it = inflight.find(x);
+      if (it == inflight.end() || it->second.empty()) {
+        // A sink event with no matching delivery would mean the balancer
+        // broke the one-event-per-request contract; count, don't crash.
+        static obs::Counter orphans("engine.sink_orphans");
+        orphans.add();
+        return false;
+      }
+      out = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) inflight.erase(it);
+      return true;
+    }
+
+    void run();
+    void apply_failures();
+    std::size_t build_batch(std::vector<core::ChunkId>& batch,
+                            std::size_t max_batch);
+  };
+
+  EngineConfig config;
+  ResponseFn on_response;
+  std::unique_ptr<store::KeyMapper> mapper;
+  std::uint64_t shard_hash_seed = 0;
+  std::size_t max_batch = 0;
+  std::size_t waiting_limit = 0;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::atomic<bool> accepting{false};
+  std::atomic<std::uint64_t> submitted{0};
+  bool started = false;
+  bool stopped = false;
+
+  void respond(const EngineResponse& response) { on_response(response); }
+};
+
+void ServingEngine::Impl::Shard::apply_failures() {
+  if (!schedule) return;
+  std::vector<core::FailureTransition> transitions;
+  schedule->transitions(static_cast<core::Time>(tick), up_state, transitions);
+  for (const auto& transition : transitions) {
+    if (transition.server >= server_span) continue;
+    const bool was_up = up_state[transition.server] != 0;
+    if (was_up == transition.up) continue;  // no-op transition
+    up_state[transition.server] = transition.up ? 1 : 0;
+    balancer->set_server_up(transition.server, transition.up,
+                            owner->config.dump_queue_on_crash, metrics);
+    if (transition.up) {
+      recoveries.fetch_add(1, std::memory_order_relaxed);
+      down.fetch_sub(1, std::memory_order_relaxed);
+      RLB_TRACE_EVENT(obs::EventKind::kFault, "engine.recover",
+                      base + transition.server, tick);
+    } else {
+      crashes.fetch_add(1, std::memory_order_relaxed);
+      down.fetch_add(1, std::memory_order_relaxed);
+      RLB_TRACE_EVENT(obs::EventKind::kFault, "engine.crash",
+                      base + transition.server, tick);
+    }
+  }
+}
+
+std::size_t ServingEngine::Impl::Shard::build_batch(
+    std::vector<core::ChunkId>& batch, std::size_t max_batch) {
+  batch.clear();
+  std::unordered_set<core::ChunkId> in_batch;
+  std::vector<Waiting> deferred;  // duplicate chunks -> next tick
+  while (!waiting.empty() && batch.size() < max_batch) {
+    Waiting request = waiting.front();
+    waiting.pop_front();
+    if (!in_batch.insert(request.chunk).second) {
+      deferred.push_back(request);
+      continue;
+    }
+    batch.push_back(request.chunk);
+    Pending pending;
+    pending.conn_token = request.conn_token;
+    pending.request_id = request.request_id;
+    pending.waited = static_cast<std::uint32_t>(tick - request.enqueue_tick);
+    inflight[request.chunk].push_back(pending);
+  }
+  // Deferred requests keep their arrival-order priority.
+  waiting.insert(waiting.begin(), deferred.begin(), deferred.end());
+  return batch.size();
+}
+
+void ServingEngine::Impl::Shard::run() {
+  static obs::Counter tick_counter("engine.ticks");
+  static obs::Histogram batch_hist("engine.batch_size");
+  static obs::Histogram step_hist("engine.step_ns");
+  static obs::Gauge backlog_gauge("engine.backlog");
+
+  std::vector<core::ChunkId> batch;
+  std::vector<Waiting> incoming;
+  const std::uint64_t interval_us = owner->config.tick_interval_us;
+  auto next_tick = std::chrono::steady_clock::now();
+  std::uint64_t last_backlog = 0;
+  bool last_backlog_valid = false;
+
+  for (;;) {
+    const std::uint64_t balancer_backlog = balancer->total_backlog();
+    backlog.store(balancer_backlog, std::memory_order_relaxed);
+    bool shutting_down = false;
+    {
+      std::unique_lock lock(mutex);
+      if (inbound.empty() && !stopping && waiting.empty() &&
+          balancer_backlog == 0) {
+        cv.wait(lock, [&] { return !inbound.empty() || stopping; });
+      }
+      incoming.swap(inbound);
+      shutting_down = stopping;
+    }
+
+    // Admission control: the waiting room bounds pre-routing memory; an
+    // overflowing arrival is the engine's own rejection, before the
+    // policy ever sees it.
+    for (const Waiting& request : incoming) {
+      if (waiting.size() >= owner->waiting_limit) {
+        overload_rejected.fetch_add(1, std::memory_order_relaxed);
+        EngineResponse response;
+        response.conn_token = request.conn_token;
+        response.request_id = request.request_id;
+        response.status = kEngineReject;
+        owner->respond(response);
+        continue;
+      }
+      Waiting admitted = request;
+      admitted.enqueue_tick = tick;
+      waiting.push_back(admitted);
+    }
+    incoming.clear();
+
+    apply_failures();
+
+    const std::size_t batch_size = build_batch(batch, owner->max_batch);
+    if (batch_size > 0 || balancer_backlog > 0) {
+      obs::ObsTimer step_timer("engine.step",
+                               obs::enabled() ? &step_hist : nullptr, index);
+      balancer->step(static_cast<core::Time>(tick), batch, metrics);
+      batch_hist.observe(static_cast<double>(batch_size));
+    }
+    ++tick;
+    ticks.fetch_add(1, std::memory_order_relaxed);
+    tick_counter.add();
+    backlog_gauge.set(static_cast<double>(balancer->total_backlog()));
+
+    if (shutting_down) {
+      std::unique_lock lock(mutex);
+      const bool drained =
+          inbound.empty() && waiting.empty() && balancer->total_backlog() == 0;
+      if (drained) break;
+      // Progress detection: with every remaining server down (or a policy
+      // that cannot drain), backlog freezes — flush rejects the residue so
+      // every client still gets an answer before the thread exits.
+      const std::uint64_t now_backlog = balancer->total_backlog();
+      if (batch_size == 0 && last_backlog_valid && now_backlog == last_backlog &&
+          inbound.empty()) {
+        lock.unlock();
+        balancer->flush(metrics);
+        for (auto& [chunk, queue] : inflight) {
+          // Anything the balancer could not attribute (sink unsupported
+          // paths) is answered as rejected rather than leaked.
+          for (const Pending& pending : queue) {
+            EngineResponse response;
+            response.conn_token = pending.conn_token;
+            response.request_id = pending.request_id;
+            response.status = kEngineReject;
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            owner->respond(response);
+          }
+          queue.clear();
+        }
+        inflight.clear();
+        break;
+      }
+      last_backlog = now_backlog;
+      last_backlog_valid = true;
+      continue;  // keep draining as fast as possible, skip pacing
+    }
+    last_backlog_valid = false;
+
+    if (interval_us > 0) {
+      next_tick += std::chrono::microseconds(interval_us);
+      const auto now = std::chrono::steady_clock::now();
+      if (next_tick > now) {
+        std::this_thread::sleep_until(next_tick);
+      } else {
+        next_tick = now;  // behind schedule: don't accumulate debt
+      }
+    }
+  }
+  backlog.store(0, std::memory_order_relaxed);
+}
+
+ServingEngine::ServingEngine(const EngineConfig& config, ResponseFn on_response)
+    : impl_(new Impl) {
+  impl_->config = config;
+  impl_->on_response = std::move(on_response);
+  if (!impl_->on_response) {
+    delete impl_;
+    throw std::invalid_argument("ServingEngine: null response callback");
+  }
+  try {
+    if (config.servers == 0) {
+      throw std::invalid_argument("ServingEngine: servers must be >= 1");
+    }
+    if (config.shards == 0 || config.shards > config.servers) {
+      throw std::invalid_argument(
+          "ServingEngine: shards must be in [1, servers]");
+    }
+    if (config.chunks == 0) {
+      throw std::invalid_argument("ServingEngine: chunks must be >= 1");
+    }
+    if (config.mapper == "hash") {
+      impl_->mapper = std::make_unique<store::HashShardMapper>(
+          config.chunks, stats::derive_seed(config.seed, 0x5eedull));
+    } else if (config.mapper == "range") {
+      const std::uint64_t key_space =
+          config.key_space ? config.key_space : config.chunks;
+      impl_->mapper =
+          std::make_unique<store::RangeShardMapper>(config.chunks, key_space);
+    } else {
+      throw std::invalid_argument("ServingEngine: unknown mapper '" +
+                                  config.mapper + "' (want hash|range)");
+    }
+    impl_->shard_hash_seed = stats::derive_seed(config.seed, 0x51a2dull);
+
+    const FailureSpec failure_spec =
+        parse_spec(config.failure_spec, config.servers);
+
+    const std::size_t shard_count = config.shards;
+    const std::size_t per_shard = config.servers / shard_count;
+    const std::size_t remainder = config.servers % shard_count;
+    core::ServerId base = 0;
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      const std::size_t span = per_shard + (i < remainder ? 1 : 0);
+      auto shard = std::make_unique<Impl::Shard>();
+      shard->owner = impl_;
+      shard->index = i;
+      shard->base = base;
+      shard->server_span = span;
+      policies::PolicyConfig policy_config;
+      policy_config.servers = span;
+      policy_config.replication = config.replication;
+      policy_config.processing_rate = config.processing_rate;
+      policy_config.queue_capacity = config.queue_capacity;
+      policy_config.seed =
+          stats::derive_seed(config.seed, 1 + static_cast<std::uint64_t>(i));
+      shard->balancer = policies::make_policy(config.policy, policy_config);
+      if (!shard->balancer->set_request_sink(shard.get())) {
+        throw std::invalid_argument(
+            "ServingEngine: policy '" + config.policy +
+            "' cannot report per-request outcomes (no RequestSink support)");
+      }
+      shard->schedule = make_shard_schedule(failure_spec, i, base, span,
+                                            config.servers, shard_count,
+                                            config.seed);
+      shard->up_state.assign(span, 1);
+      base += static_cast<core::ServerId>(span);
+      impl_->shards.push_back(std::move(shard));
+    }
+
+    impl_->max_batch = config.max_batch;
+    if (impl_->max_batch == 0) {
+      impl_->max_batch = per_shard + (remainder ? 1 : 0);
+    }
+    impl_->waiting_limit =
+        config.waiting_limit ? config.waiting_limit : 8 * impl_->max_batch;
+  } catch (...) {
+    delete impl_;
+    throw;
+  }
+}
+
+ServingEngine::~ServingEngine() {
+  stop();
+  delete impl_;
+}
+
+void ServingEngine::start() {
+  if (impl_->started) return;
+  impl_->started = true;
+  impl_->accepting.store(true, std::memory_order_release);
+  for (auto& shard : impl_->shards) {
+    shard->thread = std::thread([s = shard.get()] { s->run(); });
+  }
+}
+
+void ServingEngine::stop() {
+  if (!impl_->started || impl_->stopped) return;
+  impl_->stopped = true;
+  impl_->accepting.store(false, std::memory_order_release);
+  for (auto& shard : impl_->shards) {
+    {
+      std::lock_guard lock(shard->mutex);
+      shard->stopping = true;
+    }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : impl_->shards) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+bool ServingEngine::submit(std::uint64_t conn_token, std::uint64_t request_id,
+                           store::KeyId key) {
+  if (!impl_->accepting.load(std::memory_order_acquire)) return false;
+  const core::ChunkId chunk = impl_->mapper->chunk_of(key);
+  Impl::Shard& shard = *impl_->shards[hashing::hash_to_bucket(
+      chunk, impl_->shard_hash_seed, impl_->shards.size())];
+  Waiting request;
+  request.conn_token = conn_token;
+  request.request_id = request_id;
+  request.chunk = chunk;
+  bool was_empty = false;
+  {
+    std::lock_guard lock(shard.mutex);
+    if (shard.stopping) return false;
+    was_empty = shard.inbound.empty();
+    shard.inbound.push_back(request);
+  }
+  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+  if (was_empty) shard.cv.notify_one();
+  return true;
+}
+
+EngineStats ServingEngine::stats() const {
+  EngineStats out;
+  out.submitted = impl_->submitted.load(std::memory_order_relaxed);
+  for (const auto& shard : impl_->shards) {
+    out.completed += shard->completed.load(std::memory_order_relaxed);
+    out.rejected += shard->rejected.load(std::memory_order_relaxed);
+    out.overload_rejected +=
+        shard->overload_rejected.load(std::memory_order_relaxed);
+    out.ticks += shard->ticks.load(std::memory_order_relaxed);
+    out.crashes += shard->crashes.load(std::memory_order_relaxed);
+    out.recoveries += shard->recoveries.load(std::memory_order_relaxed);
+    out.backlog += shard->backlog.load(std::memory_order_relaxed);
+    out.servers_down += shard->down.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::size_t ServingEngine::shard_count() const { return impl_->shards.size(); }
+
+const EngineConfig& ServingEngine::config() const { return impl_->config; }
+
+core::ChunkId ServingEngine::chunk_of(store::KeyId key) const {
+  return impl_->mapper->chunk_of(key);
+}
+
+std::size_t ServingEngine::shard_of_chunk(core::ChunkId chunk) const {
+  return static_cast<std::size_t>(hashing::hash_to_bucket(
+      chunk, impl_->shard_hash_seed, impl_->shards.size()));
+}
+
+}  // namespace rlb::engine

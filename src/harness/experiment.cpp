@@ -2,6 +2,7 @@
 
 #include <iostream>
 
+#include "harness/output.hpp"
 #include "parallel/trial_runner.hpp"
 
 namespace rlb::harness {
@@ -81,6 +82,7 @@ TrialAggregate run_trials(std::size_t trials, std::uint64_t master_seed,
 
 void print_banner(const std::string& experiment_id, const std::string& claim,
                   const std::string& expectation) {
+  set_json_experiment(experiment_id);
   std::cout << "\n################################################################\n"
             << "# " << experiment_id << "\n"
             << "# Paper claim : " << claim << "\n"

@@ -24,11 +24,39 @@ namespace rlb::harness {
 
 enum class TableFormat { kText, kCsv, kMarkdown };
 
-/// Parse --format/--trace/--probes from argv (and the RLB_TABLE_FORMAT,
-/// RLB_TRACE, RLB_PROBES environment variables as fallbacks) and configure
-/// the process-wide output + observability state.  Unknown values keep the
-/// defaults and print a warning to stderr.
+/// Parse --format/--trace/--probes/--json from argv (and the
+/// RLB_TABLE_FORMAT, RLB_TRACE, RLB_PROBES, RLB_JSON environment variables
+/// as fallbacks) and configure the process-wide output + observability
+/// state.  Unknown values keep the defaults and print a warning to stderr.
 void init_output(int argc, char** argv);
+
+// -- Machine-readable results (--json <path>) ----------------------------
+//
+// When a JSON path is configured, every table passed to emit() is also
+// captured, and at process exit (or on write_json()) the accumulated run —
+// experiment id, free-form config/metric values, and all tables — is
+// written as one JSON document:
+//   {"experiment": ..., "values": {...},
+//    "tables": [{"headers": [...], "rows": [[...], ...]}, ...]}
+// Cells that parse as numbers are emitted as JSON numbers, so BENCH_*.json
+// perf trajectories can be diffed across PRs without a table parser.
+
+/// Route captured results to `path` ("" disables).  Registers the at-exit
+/// writer; also called by init_output for --json/RLB_JSON.
+void set_json_file(const std::string& path);
+bool json_enabled();
+
+/// Set the "experiment" field (print_banner calls this with its id).
+void set_json_experiment(const std::string& id);
+
+/// Record a scalar config/metric value into the "values" object.
+void json_value(const std::string& key, const std::string& value);
+void json_value(const std::string& key, double value);
+void json_value(const std::string& key, std::uint64_t value);
+
+/// Write the accumulated document now (also happens at exit).  No-op when
+/// disabled.
+void write_json();
 
 /// Explicitly set the process-wide format (tests).
 void set_table_format(TableFormat format);

@@ -1,0 +1,91 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rlb::net {
+
+Client::~Client() { close(); }
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("Client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("Client: bad host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    close();
+    throw std::runtime_error("Client: connect to " + host + ":" +
+                             std::to_string(port) + " failed: " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Client::send_request(std::uint64_t request_id, std::uint64_t key) {
+  encode_request(RequestMsg{request_id, key}, send_buffer_);
+}
+
+void Client::flush() {
+  std::size_t offset = 0;
+  while (offset < send_buffer_.size()) {
+    const ssize_t n = ::write(fd_, send_buffer_.data() + offset,
+                              send_buffer_.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("Client: write failed: ") +
+                               std::strerror(errno));
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  send_buffer_.clear();
+}
+
+bool Client::read_response(ResponseMsg& out) {
+  for (;;) {
+    if (decoder_.next(payload_)) {
+      RequestMsg request;
+      const Decoded decoded =
+          decode_payload(payload_.data(), payload_.size(), request, out);
+      if (decoded != Decoded::kResponse) {
+        throw ProtocolError("Client: unexpected frame from server");
+      }
+      return true;
+    }
+    if (decoder_.error()) throw ProtocolError("Client: bad frame length");
+    std::uint8_t buffer[16384];
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("Client: read failed: ") +
+                               std::strerror(errno));
+    }
+    if (!decoder_.feed(buffer, static_cast<std::size_t>(n))) {
+      throw ProtocolError("Client: bad frame length");
+    }
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  send_buffer_.clear();
+  decoder_ = FrameDecoder();
+}
+
+}  // namespace rlb::net

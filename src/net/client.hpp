@@ -1,0 +1,58 @@
+// Blocking client connection for rlb_loadgen, tests, and benches.
+//
+// One Client is one TCP connection, used by one thread.  Requests may be
+// pipelined: send_request() appends to an application-side buffer, flush()
+// writes it in a single syscall, and read_response() blocks for the next
+// RESPONSE frame (responses arrive in SERVICE order, so callers match on
+// request_id).  Protocol violations throw ProtocolError.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace rlb::net {
+
+/// The peer broke framing or sent an unexpected message type.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Blocking connect; throws std::runtime_error on failure.
+  void connect(const std::string& host, std::uint16_t port);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Buffer one REQUEST frame (no I/O until flush()).
+  void send_request(std::uint64_t request_id, std::uint64_t key);
+
+  /// Write every buffered frame; throws std::runtime_error on I/O failure.
+  void flush();
+
+  /// Block for the next RESPONSE frame.  Returns false on clean EOF;
+  /// throws ProtocolError on framing violations or non-RESPONSE frames,
+  /// std::runtime_error on I/O errors.
+  bool read_response(ResponseMsg& out);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> send_buffer_;
+  FrameDecoder decoder_;
+  std::vector<std::uint8_t> payload_;
+};
+
+}  // namespace rlb::net

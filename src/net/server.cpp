@@ -1,0 +1,408 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace rlb::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::uint64_t make_token(std::size_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         static_cast<std::uint64_t>(slot);
+}
+
+}  // namespace
+
+struct NetServer::Impl {
+  struct Conn {
+    int fd = -1;
+    std::uint32_t gen = 0;
+    bool open = false;
+    FrameDecoder decoder;
+    // Outbound bytes; guarded by NetServer::Impl::mutex (written by engine
+    // worker threads via send_response, drained by the event loop).
+    std::vector<std::uint8_t> outbound;
+    std::size_t out_offset = 0;
+  };
+
+  ServerConfig config;
+  RequestHandler on_request;
+
+  int listen_fd = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+  std::thread loop_thread;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<std::uint64_t> flush_deadline_ms{0};
+
+  // Guards every Conn's open/gen/outbound plus the stats block: the event
+  // loop and the engine's shard workers both touch them.  All critical
+  // sections are short (slot lookup + buffer append/drain bookkeeping).
+  mutable std::mutex mutex;
+  std::vector<Conn> conns;
+  ServerStats stats;
+
+  // Event-loop-private scratch.
+  std::vector<pollfd> pollfds;
+  std::vector<std::size_t> poll_slots;
+  std::vector<std::uint8_t> payload;
+
+  void wake() {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_write, &byte, 1);
+  }
+
+  void close_conn(std::size_t slot, bool error) {
+    std::lock_guard lock(mutex);
+    Conn& conn = conns[slot];
+    if (!conn.open) return;
+    ::close(conn.fd);
+    conn.fd = -1;
+    conn.open = false;
+    ++conn.gen;
+    conn.outbound.clear();
+    conn.out_offset = 0;
+    // Reset framing state for the slot's next tenant.
+    conn.decoder = FrameDecoder();
+    ++stats.connections_closed;
+    // Protocol errors are counted at their detection sites; `error` only
+    // labels the trace event.
+    RLB_TRACE_EVENT(obs::EventKind::kNet,
+                    error ? "net.close_error" : "net.close", slot, conn.gen);
+  }
+
+  void accept_ready() {
+    static obs::Counter accept_counter("net.accepted");
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        return;
+      }
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::lock_guard lock(mutex);
+      std::size_t slot = conns.size();
+      for (std::size_t i = 0; i < conns.size(); ++i) {
+        if (!conns[i].open) {
+          slot = i;
+          break;
+        }
+      }
+      if (slot == conns.size()) {
+        if (conns.size() >= config.max_connections) {
+          ::close(fd);
+          continue;
+        }
+        conns.emplace_back();
+      }
+      Conn& conn = conns[slot];
+      conn.fd = fd;
+      conn.open = true;
+      ++stats.connections_accepted;
+      accept_counter.add();
+      RLB_TRACE_EVENT(obs::EventKind::kNet, "net.accept", slot, conn.gen);
+    }
+  }
+
+  /// Drain readable bytes, reassemble frames, dispatch requests.  Returns
+  /// false when the connection must close (EOF, error, protocol violation).
+  bool read_ready(std::size_t slot) {
+    static obs::Counter request_counter("net.requests");
+    static obs::Counter protocol_error_counter("net.protocol_errors");
+    static obs::Histogram decode_hist("net.decode_ns");
+    Conn& conn = conns[slot];
+    std::uint8_t buffer[16384];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+      if (n == 0) return false;  // clean EOF
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        return false;
+      }
+      {
+        std::lock_guard lock(mutex);
+        stats.bytes_in += static_cast<std::uint64_t>(n);
+      }
+      obs::ObsTimer decode_timer("net.decode",
+                                 obs::enabled() ? &decode_hist : nullptr,
+                                 slot);
+      if (!conn.decoder.feed(buffer, static_cast<std::size_t>(n))) {
+        protocol_error_counter.add();
+        RLB_TRACE_EVENT(obs::EventKind::kNet, "net.bad_frame", slot, 0);
+        std::lock_guard lock(mutex);
+        ++stats.protocol_errors;
+        return false;
+      }
+      const std::uint64_t token = make_token(slot, conn.gen);
+      while (conn.decoder.next(payload)) {
+        RequestMsg request;
+        ResponseMsg response;
+        const Decoded decoded = decode_payload(payload.data(), payload.size(),
+                                               request, response);
+        if (decoded != Decoded::kRequest) {
+          // Clients may only send REQUEST frames.
+          protocol_error_counter.add();
+          RLB_TRACE_EVENT(obs::EventKind::kNet, "net.bad_message", slot,
+                          payload.empty() ? 0 : payload[0]);
+          std::lock_guard lock(mutex);
+          ++stats.protocol_errors;
+          return false;
+        }
+        {
+          std::lock_guard lock(mutex);
+          ++stats.requests_decoded;
+        }
+        request_counter.add();
+        on_request(token, request);
+      }
+      if (conn.decoder.error()) {
+        protocol_error_counter.add();
+        std::lock_guard lock(mutex);
+        ++stats.protocol_errors;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Write as much pending outbound as the socket accepts.  Returns false
+  /// on a fatal write error.
+  bool write_ready(std::size_t slot) {
+    std::lock_guard lock(mutex);
+    Conn& conn = conns[slot];
+    if (!conn.open) return true;
+    while (conn.out_offset < conn.outbound.size()) {
+      const ssize_t n =
+          ::write(conn.fd, conn.outbound.data() + conn.out_offset,
+                  conn.outbound.size() - conn.out_offset);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        return false;
+      }
+      conn.out_offset += static_cast<std::size_t>(n);
+      stats.bytes_out += static_cast<std::uint64_t>(n);
+    }
+    conn.outbound.clear();
+    conn.out_offset = 0;
+    return true;
+  }
+
+  bool any_outbound() const {
+    std::lock_guard lock(mutex);
+    for (const Conn& conn : conns) {
+      if (conn.open && conn.out_offset < conn.outbound.size()) return true;
+    }
+    return false;
+  }
+
+  void run_loop() {
+    while (running.load(std::memory_order_acquire)) {
+      const bool draining = stopping.load(std::memory_order_acquire);
+      if (draining) {
+        // Flush phase: exit once everything pending went out (or the
+        // stop() deadline passed — checked by stop() via running).
+        if (!any_outbound()) break;
+      }
+      pollfds.clear();
+      poll_slots.clear();
+      if (!draining) {
+        pollfds.push_back({listen_fd, POLLIN, 0});
+        poll_slots.push_back(SIZE_MAX);
+      }
+      pollfds.push_back({wake_read, POLLIN, 0});
+      poll_slots.push_back(SIZE_MAX);
+      {
+        std::lock_guard lock(mutex);
+        for (std::size_t i = 0; i < conns.size(); ++i) {
+          const Conn& conn = conns[i];
+          if (!conn.open) continue;
+          short events = POLLIN;
+          if (conn.out_offset < conn.outbound.size()) events |= POLLOUT;
+          pollfds.push_back({conn.fd, events, 0});
+          poll_slots.push_back(i);
+        }
+      }
+      const int ready = ::poll(pollfds.data(),
+                               static_cast<nfds_t>(pollfds.size()), 100);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (std::size_t i = 0; i < pollfds.size(); ++i) {
+        const pollfd& pfd = pollfds[i];
+        if (pfd.revents == 0) continue;
+        if (pfd.fd == wake_read) {
+          std::uint8_t drain[256];
+          while (::read(wake_read, drain, sizeof(drain)) > 0) {
+          }
+          continue;
+        }
+        if (pfd.fd == listen_fd) {
+          accept_ready();
+          continue;
+        }
+        const std::size_t slot = poll_slots[i];
+        bool ok = true;
+        if (pfd.revents & (POLLERR | POLLNVAL)) ok = false;
+        if (ok && (pfd.revents & POLLOUT)) ok = write_ready(slot);
+        if (ok && (pfd.revents & (POLLIN | POLLHUP))) ok = read_ready(slot);
+        if (!ok) close_conn(slot, /*error=*/false);
+      }
+    }
+    // Loop exit: close every socket.
+    std::lock_guard lock(mutex);
+    for (Conn& conn : conns) {
+      if (conn.open) {
+        ::close(conn.fd);
+        conn.fd = -1;
+        conn.open = false;
+        ++conn.gen;
+        ++stats.connections_closed;
+      }
+    }
+  }
+};
+
+NetServer::NetServer(const ServerConfig& config, RequestHandler on_request)
+    : impl_(new Impl) {
+  impl_->config = config;
+  impl_->on_request = std::move(on_request);
+}
+
+NetServer::~NetServer() {
+  stop(0);
+  delete impl_;
+}
+
+void NetServer::start() {
+  if (impl_->running.load()) return;
+  impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (impl_->listen_fd < 0) {
+    throw std::runtime_error("NetServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(impl_->config.port);
+  if (::inet_pton(AF_INET, impl_->config.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    throw std::runtime_error("NetServer: bad host '" + impl_->config.host +
+                             "'");
+  }
+  if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    throw std::runtime_error("NetServer: bind failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::listen(impl_->listen_fd, 128) != 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    throw std::runtime_error("NetServer: listen failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                &addr_len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(impl_->listen_fd);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    throw std::runtime_error("NetServer: pipe failed");
+  }
+  impl_->wake_read = pipe_fds[0];
+  impl_->wake_write = pipe_fds[1];
+  set_nonblocking(impl_->wake_read);
+  set_nonblocking(impl_->wake_write);
+
+  impl_->running.store(true, std::memory_order_release);
+  impl_->stopping.store(false, std::memory_order_release);
+  impl_->loop_thread = std::thread([this] { impl_->run_loop(); });
+}
+
+void NetServer::stop(std::uint64_t flush_timeout_ms) {
+  if (!impl_->running.load()) return;
+  impl_->stopping.store(true, std::memory_order_release);
+  impl_->wake();
+  // Give the loop its flush window, then force it down.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(flush_timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!impl_->any_outbound()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  impl_->running.store(false, std::memory_order_release);
+  impl_->wake();
+  if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  if (impl_->wake_read >= 0) {
+    ::close(impl_->wake_read);
+    ::close(impl_->wake_write);
+    impl_->wake_read = impl_->wake_write = -1;
+  }
+}
+
+bool NetServer::send_response(std::uint64_t conn_token,
+                              const ResponseMsg& response) {
+  static obs::Counter response_counter("net.responses");
+  const std::size_t slot = static_cast<std::size_t>(conn_token & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(conn_token >> 32);
+  bool need_wake = false;
+  {
+    std::lock_guard lock(impl_->mutex);
+    if (slot >= impl_->conns.size()) return false;
+    Impl::Conn& conn = impl_->conns[slot];
+    if (!conn.open || conn.gen != gen) return false;
+    need_wake = conn.out_offset >= conn.outbound.size();
+    encode_response(response, conn.outbound);
+    ++impl_->stats.responses_sent;
+  }
+  response_counter.add();
+  // Only the empty -> non-empty transition needs a wake: once armed, the
+  // loop keeps POLLOUT until the buffer drains.
+  if (need_wake) impl_->wake();
+  return true;
+}
+
+ServerStats NetServer::stats() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->stats;
+}
+
+}  // namespace rlb::net

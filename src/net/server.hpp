@@ -1,0 +1,82 @@
+// Non-blocking loopback TCP listener + event loop for the serving engine.
+//
+// One event-loop thread owns every socket: it accepts connections, reads
+// and reassembles frames (net/wire.hpp), and hands decoded REQUEST
+// messages to the registered handler.  Responses are pushed from OTHER
+// threads (the engine's shard workers) through send_response(), which
+// appends to the connection's outbound buffer and wakes the loop through a
+// self-pipe; the loop then drives the non-blocking writes.  This is the
+// classic single-reactor shape: all socket state is loop-owned, the only
+// cross-thread surface is the outbound buffers behind one mutex.
+//
+// Connections are addressed by opaque 64-bit tokens (slot index + a
+// generation counter), so a late response for a connection that already
+// closed is dropped instead of reaching a recycled socket.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/wire.hpp"
+
+namespace rlb::net {
+
+struct ServerConfig {
+  /// Bind address.  The serving engine is loopback-only for now.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Concurrent connection cap; accepts beyond it are closed immediately.
+  std::size_t max_connections = 256;
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  /// Framing/decode violations (each also closes its connection).
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t requests_decoded = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// Called on the event-loop thread for every decoded REQUEST frame.
+using RequestHandler =
+    std::function<void(std::uint64_t conn_token, const RequestMsg& request)>;
+
+class NetServer {
+ public:
+  explicit NetServer(const ServerConfig& config, RequestHandler on_request);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Bind + listen + spawn the event loop.  Throws std::runtime_error on
+  /// socket failures (port in use, etc.).
+  void start();
+
+  /// The bound port (after start(); resolves port 0 to the real one).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Graceful shutdown: stop accepting, flush pending outbound bytes for
+  /// up to `flush_timeout_ms`, close everything, join the loop thread.
+  /// Idempotent.
+  void stop(std::uint64_t flush_timeout_ms = 1000);
+
+  /// Queue a response for delivery.  Thread-safe; callable from engine
+  /// worker threads.  Returns false when the connection is gone (the
+  /// response is dropped).
+  bool send_response(std::uint64_t conn_token, const ResponseMsg& response);
+
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace rlb::net

@@ -1,0 +1,135 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace rlb::net {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(Status status) noexcept {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kReject:
+      return "reject";
+    case Status::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void encode_request(const RequestMsg& msg, std::vector<std::uint8_t>& out) {
+  put_u32(out, static_cast<std::uint32_t>(kRequestPayloadSize));
+  out.push_back(static_cast<std::uint8_t>(MsgType::kRequest));
+  put_u64(out, msg.request_id);
+  put_u64(out, msg.key);
+}
+
+void encode_response(const ResponseMsg& msg, std::vector<std::uint8_t>& out) {
+  put_u32(out, static_cast<std::uint32_t>(kResponsePayloadSize));
+  out.push_back(static_cast<std::uint8_t>(MsgType::kResponse));
+  put_u64(out, msg.request_id);
+  out.push_back(static_cast<std::uint8_t>(msg.status));
+  put_u32(out, msg.server);
+  put_u32(out, msg.wait_steps);
+}
+
+Decoded decode_payload(const std::uint8_t* data, std::size_t size,
+                       RequestMsg& request, ResponseMsg& response) {
+  if (size == 0) return Decoded::kMalformed;
+  switch (static_cast<MsgType>(data[0])) {
+    case MsgType::kRequest:
+      if (size != kRequestPayloadSize) return Decoded::kMalformed;
+      request.request_id = get_u64(data + 1);
+      request.key = get_u64(data + 9);
+      return Decoded::kRequest;
+    case MsgType::kResponse: {
+      if (size != kResponsePayloadSize) return Decoded::kMalformed;
+      response.request_id = get_u64(data + 1);
+      const std::uint8_t status = data[9];
+      if (status > static_cast<std::uint8_t>(Status::kError)) {
+        return Decoded::kMalformed;
+      }
+      response.status = static_cast<Status>(status);
+      response.server = get_u32(data + 10);
+      response.wait_steps = get_u32(data + 14);
+      return Decoded::kResponse;
+    }
+  }
+  return Decoded::kMalformed;
+}
+
+bool FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (error_) return false;
+  // Compact once the consumed prefix dominates — amortized O(1) per byte.
+  if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+  // Validate eagerly so a poisoned stream is detected at feed time, not
+  // only when the caller drains frames.
+  if (buffer_.size() - offset_ >= 4) {
+    const std::uint32_t length = get_u32(buffer_.data() + offset_);
+    if (length == 0 || length > kMaxFramePayload) {
+      error_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FrameDecoder::next(std::vector<std::uint8_t>& out) {
+  if (error_) return false;
+  const std::size_t available = buffer_.size() - offset_;
+  if (available < 4) return false;
+  const std::uint32_t length = get_u32(buffer_.data() + offset_);
+  if (length == 0 || length > kMaxFramePayload) {
+    error_ = true;
+    return false;
+  }
+  if (available < 4 + static_cast<std::size_t>(length)) return false;
+  const std::uint8_t* payload = buffer_.data() + offset_ + 4;
+  out.assign(payload, payload + length);
+  offset_ += 4 + static_cast<std::size_t>(length);
+  if (offset_ == buffer_.size()) {
+    buffer_.clear();
+    offset_ = 0;
+  } else if (buffer_.size() - offset_ >= 4) {
+    // Eager validation of the next frame header (see feed()).
+    const std::uint32_t next_length = get_u32(buffer_.data() + offset_);
+    if (next_length == 0 || next_length > kMaxFramePayload) error_ = true;
+  }
+  return true;
+}
+
+}  // namespace rlb::net

@@ -1,0 +1,93 @@
+// The rlb serving wire protocol: length-prefixed binary frames.
+//
+// Everything on the wire is a frame: a little-endian u32 payload length
+// followed by that many payload bytes.  The first payload byte is the
+// message type; all integers are little-endian and fixed-width, so a frame
+// decodes with no lookahead beyond its length prefix and encodes with no
+// allocation beyond the output buffer.
+//
+//   REQUEST  (client -> rlbd):  u8 type=1, u64 request_id, u64 key
+//   RESPONSE (rlbd -> client):  u8 type=2, u64 request_id, u8 status,
+//                               u32 server, u32 wait_steps
+//
+// `request_id` is client-assigned and echoed verbatim; responses may come
+// back in any order (the engine answers in service order, not arrival
+// order), so clients must match on it.  `status` is the paper's rejection
+// rule surfaced as backpressure: kOk = served, kReject = the bounded queue
+// (or the engine's waiting room) was full, kError = the daemon could not
+// process the request (e.g. shutting down).  `server` and `wait_steps`
+// (drain-clock steps spent queued) are meaningful for kOk only.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace rlb::net {
+
+/// Hard ceiling on a frame's payload size.  Both message types are tiny;
+/// anything larger is a corrupt or hostile stream and kills the connection.
+inline constexpr std::uint32_t kMaxFramePayload = 1024;
+
+enum class MsgType : std::uint8_t { kRequest = 1, kResponse = 2 };
+
+enum class Status : std::uint8_t { kOk = 0, kReject = 1, kError = 2 };
+
+const char* to_string(Status status) noexcept;
+
+struct RequestMsg {
+  std::uint64_t request_id = 0;
+  std::uint64_t key = 0;
+};
+
+struct ResponseMsg {
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  /// Global server id that served the request (kOk only).
+  std::uint32_t server = 0;
+  /// Drain-clock steps the request spent queued (kOk only).
+  std::uint32_t wait_steps = 0;
+};
+
+/// Encoded sizes (frame = 4-byte length prefix + payload).
+inline constexpr std::size_t kRequestPayloadSize = 17;
+inline constexpr std::size_t kResponsePayloadSize = 18;
+
+/// Append one framed message to `out`.
+void encode_request(const RequestMsg& msg, std::vector<std::uint8_t>& out);
+void encode_response(const ResponseMsg& msg, std::vector<std::uint8_t>& out);
+
+/// What a payload decoded to.
+enum class Decoded : std::uint8_t { kRequest, kResponse, kMalformed };
+
+/// Decode one frame payload (no length prefix).  Exactly one of
+/// `request` / `response` is filled on success.
+Decoded decode_payload(const std::uint8_t* data, std::size_t size,
+                       RequestMsg& request, ResponseMsg& response);
+
+/// Incremental frame reassembly over an arbitrary byte stream.
+///
+/// feed() buffers bytes; next() pops complete payloads in order.  A frame
+/// with a zero or oversize length poisons the decoder (error() becomes
+/// true, feed() returns false) — the connection must be closed; framing
+/// cannot resynchronize.
+class FrameDecoder {
+ public:
+  /// Buffer `size` bytes.  Returns false once the stream is poisoned.
+  bool feed(const std::uint8_t* data, std::size_t size);
+
+  /// Pop the next complete payload into `out` (resized).  False when no
+  /// complete frame is buffered (or the decoder is poisoned).
+  bool next(std::vector<std::uint8_t>& out);
+
+  bool error() const noexcept { return error_; }
+  /// Bytes buffered but not yet popped (length prefixes included).
+  std::size_t buffered() const noexcept { return buffer_.size() - offset_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;  // consumed prefix of buffer_
+  bool error_ = false;
+};
+
+}  // namespace rlb::net

@@ -40,6 +40,7 @@ constexpr KindName kKindNames[] = {
     {EventKind::kAssignFail, "assign-fail"},
     {EventKind::kMigration, "migration"},
     {EventKind::kFault, "fault"},
+    {EventKind::kNet, "net"},
     {EventKind::kScope, "scope"},
     {EventKind::kCounter, "counter"},
 };

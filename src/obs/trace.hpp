@@ -27,8 +27,9 @@ namespace rlb::obs {
 
 /// What happened.  Request lifecycle (submit/route/enqueue/serve/reject/
 /// flush), delayed-cuckoo internals (phase boundary, per-P_j arrivals,
-/// kick chains, stash hits, assignment failures), migration, profiling
-/// scopes, and free-form counter samples.
+/// kick chains, stash hits, assignment failures), migration, serving-engine
+/// network events (accept/close/protocol errors), profiling scopes, and
+/// free-form counter samples.
 enum class EventKind : std::uint8_t {
   kSubmit,
   kRoute,
@@ -43,6 +44,7 @@ enum class EventKind : std::uint8_t {
   kAssignFail,
   kMigration,
   kFault,
+  kNet,
   kScope,
   kCounter,
 };

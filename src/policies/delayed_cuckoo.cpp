@@ -93,10 +93,10 @@ void DelayedCuckooBalancer::begin_phase(core::Metrics& metrics) {
   // every boundary; the assert documents the invariant, and any residue
   // (impossible under the constructor check) would be dropped as rejected.
   for (ServerState& st : state_) {
-    std::size_t residue = st.q_prev.clear() + st.p_prev.clear();
+    std::size_t residue = drop_queue(st.q_prev) + drop_queue(st.p_prev);
     if (!carry_over_queues_) {
       // Ablation: no carry-over — leftovers are rejected outright.
-      residue += st.q.clear() + st.p.clear();
+      residue += drop_queue(st.q) + drop_queue(st.p);
     }
     if (residue > 0) metrics.on_dropped_from_queue(residue);
     while (!st.q.empty()) {
@@ -120,6 +120,7 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
     // Reappearance within the phase: follow the most recent T_{t'}.
     if (it->second == kAssignmentFailed) {
       metrics.on_rejected();
+      if (sink_ != nullptr) sink_->on_rejected(x);
       if (obs_active_) {
         obs::emit(obs::EventKind::kReject, "cuckoo.reject_failed_assign", x,
                   t);
@@ -141,6 +142,7 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
         // Lemma 4.5 says this cannot happen when q = Θ(log log m) with a
         // sufficient constant; kept for smaller configurations.
         metrics.on_rejected();
+        if (sink_ != nullptr) sink_->on_rejected(x);
         if (obs_active_) {
           obs::emit(obs::EventKind::kReject, "cuckoo.reject_p_full", x,
                     target);
@@ -162,6 +164,7 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
     if (!a_up && !b_up) {
       all_down_counter.add();
       metrics.on_rejected();
+      if (sink_ != nullptr) sink_->on_rejected(x);
       if (obs_active_) {
         obs::emit(obs::EventKind::kReject, "cuckoo.reject_all_down", x, t);
       }
@@ -180,6 +183,7 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
   }
   if (!state_[target].q.push(core::Request{x, t})) {
     metrics.on_rejected();
+    if (sink_ != nullptr) sink_->on_rejected(x);
     if (obs_active_) {
       obs::emit(obs::EventKind::kReject, "cuckoo.reject_q_full", x, target);
     }
@@ -187,12 +191,27 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
 }
 
 void DelayedCuckooBalancer::drain_queue(core::ServerQueue& queue,
+                                        core::ServerId server,
                                         unsigned budget, core::Time t,
                                         core::Metrics& metrics) {
   for (unsigned i = 0; i < budget && !queue.empty(); ++i) {
     const core::Request request = queue.pop();
     metrics.on_completed(static_cast<std::uint64_t>(t - request.arrival));
+    if (sink_ != nullptr) {
+      sink_->on_served(request.chunk, server,
+                       static_cast<std::uint64_t>(t - request.arrival));
+    }
   }
+}
+
+std::size_t DelayedCuckooBalancer::drop_queue(core::ServerQueue& queue) {
+  if (sink_ == nullptr) return queue.clear();
+  std::size_t dropped = 0;
+  while (!queue.empty()) {
+    sink_->on_rejected(queue.pop().chunk);
+    ++dropped;
+  }
+  return dropped;
 }
 
 void DelayedCuckooBalancer::process(core::Time t, core::Metrics& metrics) {
@@ -203,10 +222,11 @@ void DelayedCuckooBalancer::process(core::Time t, core::Metrics& metrics) {
     // are frozen until recovery.
     if (faults && up_[s] == 0) continue;
     ServerState& st = state_[s];
-    drain_queue(st.q, per_queue, t, metrics);
-    drain_queue(st.p, per_queue, t, metrics);
-    drain_queue(st.q_prev, per_queue, t, metrics);
-    drain_queue(st.p_prev, per_queue, t, metrics);
+    const auto server = static_cast<core::ServerId>(s);
+    drain_queue(st.q, server, per_queue, t, metrics);
+    drain_queue(st.p, server, per_queue, t, metrics);
+    drain_queue(st.q_prev, server, per_queue, t, metrics);
+    drain_queue(st.p_prev, server, per_queue, t, metrics);
   }
 }
 
@@ -294,8 +314,8 @@ void DelayedCuckooBalancer::set_server_up(core::ServerId s, bool up,
   }
   if (!up && dump_queue) {
     ServerState& st = state_[s];
-    const std::size_t dropped = st.q.clear() + st.p.clear() +
-                                st.q_prev.clear() + st.p_prev.clear();
+    const std::size_t dropped = drop_queue(st.q) + drop_queue(st.p) +
+                                drop_queue(st.q_prev) + drop_queue(st.p_prev);
     if (dropped > 0) {
       metrics.on_dropped_from_queue(dropped);
       RLB_TRACE_EVENT(obs::EventKind::kFlush, "fault.queue_dump", s, dropped);
@@ -306,8 +326,8 @@ void DelayedCuckooBalancer::set_server_up(core::ServerId s, bool up,
 void DelayedCuckooBalancer::flush(core::Metrics& metrics) {
   std::size_t dropped = 0;
   for (ServerState& st : state_) {
-    dropped += st.q.clear() + st.p.clear() + st.q_prev.clear() +
-               st.p_prev.clear();
+    dropped += drop_queue(st.q) + drop_queue(st.p) + drop_queue(st.q_prev) +
+               drop_queue(st.p_prev);
   }
   metrics.on_dropped_from_queue(dropped);
   RLB_TRACE_EVENT(obs::EventKind::kFlush, "cuckoo.flush", dropped, servers_);

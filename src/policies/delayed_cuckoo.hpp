@@ -91,6 +91,14 @@ class DelayedCuckooBalancer final : public core::LoadBalancer {
                      core::Metrics& metrics) override;
   bool server_up(core::ServerId s) const override { return up_[s] != 0; }
 
+  /// Per-request reporting for live serving: phase-boundary drops, crash
+  /// dumps, and flushes report each dropped request individually when a
+  /// sink is installed.
+  bool set_request_sink(core::RequestSink* sink) override {
+    sink_ = sink;
+    return true;
+  }
+
   /// Effective (possibly derived) parameters.
   std::size_t phase_length() const noexcept { return phase_length_; }
   std::size_t queue_capacity() const noexcept { return queue_capacity_; }
@@ -131,8 +139,11 @@ class DelayedCuckooBalancer final : public core::LoadBalancer {
   void deliver(core::Time t, core::ChunkId x, core::Metrics& metrics);
   void process(core::Time t, core::Metrics& metrics);
   void compute_assignment(std::span<const core::ChunkId> requests);
-  void drain_queue(core::ServerQueue& queue, unsigned budget, core::Time t,
-                   core::Metrics& metrics);
+  void drain_queue(core::ServerQueue& queue, core::ServerId server,
+                   unsigned budget, core::Time t, core::Metrics& metrics);
+  /// Drop everything in `queue`, reporting each request to the sink when
+  /// one is installed; returns the number dropped.
+  std::size_t drop_queue(core::ServerQueue& queue);
 
   std::size_t servers_;
   unsigned processing_rate_;
@@ -155,6 +166,7 @@ class DelayedCuckooBalancer final : public core::LoadBalancer {
 
   std::vector<std::uint32_t> p_arrivals_;
   std::vector<std::uint32_t> p_arrivals_phase_;
+  core::RequestSink* sink_ = nullptr;
   std::uint64_t assignment_failures_ = 0;
   std::size_t steps_into_phase_ = 0;
   std::uint64_t phase_index_ = 0;

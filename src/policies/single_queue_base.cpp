@@ -53,6 +53,7 @@ void SingleQueueBalancer::deliver(core::Time t, core::ChunkId x,
     if (live.empty()) {
       all_down_counter.add();
       metrics.on_rejected();
+      if (sink_ != nullptr) sink_->on_rejected(x);
       if (obs_active_) {
         obs::emit(obs::EventKind::kReject, "sq.reject_all_down", x, t);
       }
@@ -76,7 +77,7 @@ void SingleQueueBalancer::deliver(core::Time t, core::ChunkId x,
   // Queue full.
   if (config_.overflow == OverflowPolicy::kDumpQueue) {
     static obs::Counter dump_counter("sq.queue_dumps");
-    const std::size_t dumped = cluster_.clear_server(target);
+    const std::size_t dumped = drop_queue(target);
     metrics.on_dropped_from_queue(dumped);
     dump_counter.add();
     if (obs_active_) {
@@ -84,7 +85,19 @@ void SingleQueueBalancer::deliver(core::Time t, core::ChunkId x,
     }
   }
   metrics.on_rejected();
+  if (sink_ != nullptr) sink_->on_rejected(x);
   if (obs_active_) obs::emit(obs::EventKind::kReject, "sq.reject", x, target);
+}
+
+std::size_t SingleQueueBalancer::drop_queue(core::ServerId server) {
+  if (sink_ == nullptr) return cluster_.clear_server(server);
+  std::size_t dropped = 0;
+  while (!cluster_.empty(server)) {
+    const core::Request request = cluster_.pop(server);
+    sink_->on_rejected(request.chunk);
+    ++dropped;
+  }
+  return dropped;
 }
 
 void SingleQueueBalancer::process_substep(core::Time t, unsigned substep,
@@ -103,6 +116,10 @@ void SingleQueueBalancer::process_substep(core::Time t, unsigned substep,
     if (cluster_.empty(server)) continue;
     const core::Request request = cluster_.pop(server);
     metrics.on_completed(static_cast<std::uint64_t>(t - request.arrival));
+    if (sink_ != nullptr) {
+      sink_->on_served(request.chunk, server,
+                       static_cast<std::uint64_t>(t - request.arrival));
+    }
     if (obs_detail_) [[unlikely]] {
       obs::emit(obs::EventKind::kServe, "sq.serve", request.chunk,
                 static_cast<std::uint64_t>(t - request.arrival));
@@ -141,7 +158,7 @@ void SingleQueueBalancer::set_server_up(core::ServerId s, bool up,
   }
   cluster_.set_up(s, up);
   if (!up && dump_queue) {
-    const std::size_t dropped = cluster_.clear_server(s);
+    const std::size_t dropped = drop_queue(s);
     if (dropped > 0) {
       metrics.on_dropped_from_queue(dropped);
       RLB_TRACE_EVENT(obs::EventKind::kFlush, "fault.queue_dump", s, dropped);
@@ -150,7 +167,14 @@ void SingleQueueBalancer::set_server_up(core::ServerId s, bool up,
 }
 
 void SingleQueueBalancer::flush(core::Metrics& metrics) {
-  const std::size_t dropped = cluster_.clear_all();
+  std::size_t dropped = 0;
+  if (sink_ == nullptr) {
+    dropped = cluster_.clear_all();
+  } else {
+    for (std::size_t s = 0; s < cluster_.size(); ++s) {
+      dropped += drop_queue(static_cast<core::ServerId>(s));
+    }
+  }
   metrics.on_dropped_from_queue(dropped);
   RLB_TRACE_EVENT(obs::EventKind::kFlush, "sq.flush", dropped,
                   cluster_.size());

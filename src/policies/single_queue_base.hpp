@@ -84,6 +84,14 @@ class SingleQueueBalancer : public core::LoadBalancer {
     return cluster_.is_up(s);
   }
 
+  /// Per-request reporting for live serving: every delivered request
+  /// produces exactly one sink callback (queue dumps report each dropped
+  /// request individually instead of bulk-clearing).
+  bool set_request_sink(core::RequestSink* sink) override {
+    sink_ = sink;
+    return true;
+  }
+
   const core::Placement& placement() const noexcept { return placement_; }
   const SingleQueueConfig& config() const noexcept { return config_; }
 
@@ -118,7 +126,11 @@ class SingleQueueBalancer : public core::LoadBalancer {
  private:
   void deliver(core::Time t, core::ChunkId x, core::Metrics& metrics);
   void process_substep(core::Time t, unsigned substep, core::Metrics& metrics);
+  /// Drop everything queued on `server`, reporting each request to the
+  /// sink when one is installed; returns the number dropped.
+  std::size_t drop_queue(core::ServerId server);
 
+  core::RequestSink* sink_ = nullptr;
   bool obs_active_ = false;
   bool obs_detail_ = false;
 };

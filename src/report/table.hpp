@@ -34,6 +34,12 @@ class Table {
   std::size_t row_count() const noexcept { return rows_.size(); }
   std::size_t column_count() const noexcept { return headers_.size(); }
 
+  /// Raw cell access (JSON export and tests).
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
   /// Aligned plain text (columns padded, header underlined).
   void print(std::ostream& os) const;
   /// Comma-separated values (headers first); cells containing commas are

@@ -1,5 +1,6 @@
 #include "workloads/trace.hpp"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -55,6 +56,115 @@ Trace Trace::load_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("Trace::load_file: cannot open " + path);
   return load(in);
+}
+
+namespace {
+
+constexpr char kTraceMagic[4] = {'R', 'L', 'B', 'T'};
+constexpr std::uint32_t kTraceVersion = 1;
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  os.write(bytes, 4);
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  os.write(bytes, 8);
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  char bytes[4];
+  if (!is.read(bytes, 4)) {
+    throw std::runtime_error("Trace::load_binary: truncated stream");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  char bytes[8];
+  if (!is.read(bytes, 8)) {
+    throw std::runtime_error("Trace::load_binary: truncated stream");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void Trace::save_binary(std::ostream& os) const {
+  os.write(kTraceMagic, sizeof(kTraceMagic));
+  put_u32(os, kTraceVersion);
+  put_u64(os, static_cast<std::uint64_t>(steps_.size()));
+  for (const auto& step : steps_) {
+    put_u32(os, static_cast<std::uint32_t>(step.size()));
+    for (const core::ChunkId chunk : step) put_u64(os, chunk);
+  }
+  if (!os) throw std::runtime_error("Trace::save_binary: write failed");
+}
+
+void Trace::save_binary_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("Trace::save_binary_file: cannot open " + path);
+  }
+  save_binary(out);
+}
+
+Trace Trace::load_binary(std::istream& is) {
+  char magic[4];
+  if (!is.read(magic, 4) ||
+      std::memcmp(magic, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    throw std::runtime_error("Trace::load_binary: bad magic (not a trace?)");
+  }
+  const std::uint32_t version = get_u32(is);
+  if (version != kTraceVersion) {
+    throw std::runtime_error("Trace::load_binary: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t step_count = get_u64(is);
+  Trace trace;
+  for (std::uint64_t s = 0; s < step_count; ++s) {
+    const std::uint32_t batch_size = get_u32(is);
+    std::vector<core::ChunkId> batch;
+    batch.reserve(batch_size);
+    for (std::uint32_t i = 0; i < batch_size; ++i) batch.push_back(get_u64(is));
+    trace.append_step(std::move(batch));
+  }
+  return trace;
+}
+
+Trace Trace::load_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("Trace::load_binary_file: cannot open " + path);
+  }
+  return load_binary(in);
+}
+
+Trace Trace::load_auto_file(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) {
+    throw std::runtime_error("Trace::load_auto_file: cannot open " + path);
+  }
+  char magic[4] = {0, 0, 0, 0};
+  probe.read(magic, 4);
+  probe.close();
+  if (std::memcmp(magic, kTraceMagic, sizeof(kTraceMagic)) == 0) {
+    return load_binary_file(path);
+  }
+  return load_file(path);
 }
 
 TraceWorkload::TraceWorkload(const Trace& trace) : trace_(trace) {

@@ -1,0 +1,186 @@
+// Tests for the serving wire protocol (net/wire.hpp): frame encoding,
+// payload decoding, and incremental stream reassembly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace rlb::net {
+namespace {
+
+TEST(Wire, RequestRoundTrips) {
+  const RequestMsg original{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  std::vector<std::uint8_t> wire;
+  encode_request(original, wire);
+  ASSERT_EQ(wire.size(), 4 + kRequestPayloadSize);
+  // Little-endian length prefix, then the type byte.
+  EXPECT_EQ(wire[0], kRequestPayloadSize);
+  EXPECT_EQ(wire[1], 0u);
+  EXPECT_EQ(wire[4], static_cast<std::uint8_t>(MsgType::kRequest));
+
+  RequestMsg request;
+  ResponseMsg response;
+  const Decoded decoded =
+      decode_payload(wire.data() + 4, kRequestPayloadSize, request, response);
+  ASSERT_EQ(decoded, Decoded::kRequest);
+  EXPECT_EQ(request.request_id, original.request_id);
+  EXPECT_EQ(request.key, original.key);
+}
+
+TEST(Wire, ResponseRoundTrips) {
+  ResponseMsg original;
+  original.request_id = 77;
+  original.status = Status::kReject;
+  original.server = 0xdeadbeef;
+  original.wait_steps = 12345;
+  std::vector<std::uint8_t> wire;
+  encode_response(original, wire);
+  ASSERT_EQ(wire.size(), 4 + kResponsePayloadSize);
+
+  RequestMsg request;
+  ResponseMsg response;
+  const Decoded decoded =
+      decode_payload(wire.data() + 4, kResponsePayloadSize, request, response);
+  ASSERT_EQ(decoded, Decoded::kResponse);
+  EXPECT_EQ(response.request_id, 77u);
+  EXPECT_EQ(response.status, Status::kReject);
+  EXPECT_EQ(response.server, 0xdeadbeefu);
+  EXPECT_EQ(response.wait_steps, 12345u);
+}
+
+TEST(Wire, DecodeRejectsBadPayloads) {
+  RequestMsg request;
+  ResponseMsg response;
+  // Empty payload.
+  EXPECT_EQ(decode_payload(nullptr, 0, request, response), Decoded::kMalformed);
+  // Unknown type byte.
+  std::vector<std::uint8_t> unknown(kRequestPayloadSize, 0);
+  unknown[0] = 99;
+  EXPECT_EQ(decode_payload(unknown.data(), unknown.size(), request, response),
+            Decoded::kMalformed);
+  // Right type, wrong size.
+  std::vector<std::uint8_t> wire;
+  encode_request(RequestMsg{1, 2}, wire);
+  EXPECT_EQ(decode_payload(wire.data() + 4, kRequestPayloadSize - 1, request,
+                           response),
+            Decoded::kMalformed);
+  EXPECT_EQ(decode_payload(wire.data() + 4, kRequestPayloadSize + 1, request,
+                           response),
+            Decoded::kMalformed);
+}
+
+TEST(Wire, DecoderReassemblesByteByByte) {
+  std::vector<std::uint8_t> wire;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    encode_request(RequestMsg{i, i * 1000}, wire);
+  }
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t seen = 0;
+  for (const std::uint8_t byte : wire) {
+    ASSERT_TRUE(decoder.feed(&byte, 1));
+    while (decoder.next(payload)) {
+      RequestMsg request;
+      ResponseMsg response;
+      ASSERT_EQ(decode_payload(payload.data(), payload.size(), request,
+                               response),
+                Decoded::kRequest);
+      EXPECT_EQ(request.request_id, seen);
+      EXPECT_EQ(request.key, seen * 1000);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 5u);
+  EXPECT_EQ(decoder.buffered(), 0u);
+  EXPECT_FALSE(decoder.error());
+}
+
+TEST(Wire, DecoderHandlesCoalescedFrames) {
+  std::vector<std::uint8_t> wire;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    encode_response(ResponseMsg{i, Status::kOk, 0, 0}, wire);
+  }
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size()));
+  std::vector<std::uint8_t> payload;
+  std::size_t frames = 0;
+  while (decoder.next(payload)) ++frames;
+  EXPECT_EQ(frames, 100u);
+}
+
+TEST(Wire, ZeroLengthFramePoisons) {
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.feed(zeros, 4));
+  EXPECT_TRUE(decoder.error());
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(decoder.next(payload));
+  // Poisoned decoders stay poisoned.
+  std::vector<std::uint8_t> valid;
+  encode_request(RequestMsg{1, 1}, valid);
+  EXPECT_FALSE(decoder.feed(valid.data(), valid.size()));
+}
+
+TEST(Wire, OversizeFramePoisons) {
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::uint8_t prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.feed(prefix, 4));
+  EXPECT_TRUE(decoder.error());
+}
+
+TEST(Wire, PartialHeaderDoesNotPoison) {
+  // A split length prefix must wait for its remaining bytes, not error.
+  std::vector<std::uint8_t> wire;
+  encode_request(RequestMsg{42, 43}, wire);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(wire.data(), 2));
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(decoder.next(payload));
+  EXPECT_FALSE(decoder.error());
+  ASSERT_TRUE(decoder.feed(wire.data() + 2, wire.size() - 2));
+  EXPECT_TRUE(decoder.next(payload));
+}
+
+TEST(Wire, DecoderCompactionKeepsStreamIntact) {
+  // Push enough traffic through to trigger the internal buffer compaction
+  // and verify no frame is lost or reordered across it.
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> wire;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (int round = 0; round < 200; ++round) {
+    wire.clear();
+    for (int i = 0; i < 50; ++i) {
+      encode_request(RequestMsg{sent++, 0}, wire);
+    }
+    // Feed in odd-sized slices so frames straddle feed boundaries.
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+      const std::size_t slice = std::min<std::size_t>(37, wire.size() - offset);
+      ASSERT_TRUE(decoder.feed(wire.data() + offset, slice));
+      offset += slice;
+      while (decoder.next(payload)) {
+        RequestMsg request;
+        ResponseMsg response;
+        ASSERT_EQ(decode_payload(payload.data(), payload.size(), request,
+                                 response),
+                  Decoded::kRequest);
+        ASSERT_EQ(request.request_id, received);
+        ++received;
+      }
+    }
+  }
+  EXPECT_EQ(received, sent);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace rlb::net
