@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "harness/output.hpp"
 #include "net/client.hpp"
 #include "net/wire.hpp"
 #include "stats/histogram.hpp"
@@ -244,7 +245,8 @@ void usage(const char* argv0) {
       << "  --trace-file <path>    trace for --workload trace (text or\n"
       << "                         binary format, auto-detected)\n"
       << "  --seed <s>             master seed (default 1)\n"
-      << "  --json <path>          also write the summary as JSON\n";
+      << "  --json <path>          also write the summary as JSON\n"
+      << "  (plus --probes / --trace <path> from the obs layer)\n";
 }
 
 bool parse_u64_flag(const char* name, const std::string& value,
@@ -265,6 +267,23 @@ bool parse_u64_flag(const char* name, const std::string& value,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Route through the shared obs init path (--trace / --probes /
+  // RLB_TRACE...) like rlbd, but hide our own --json from it: the loadgen
+  // writes its summary JSON itself, and the harness's at-exit document
+  // would clobber it.
+  {
+    std::vector<char*> obs_argv;
+    obs_argv.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        ++i;
+        continue;
+      }
+      obs_argv.push_back(argv[i]);
+    }
+    harness::init_output(static_cast<int>(obs_argv.size()), obs_argv.data());
+  }
+
   Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -310,6 +329,10 @@ int main(int argc, char** argv) {
       options.seed = u64;
     } else if (flag == "--json" && has_value) {
       options.json_path = value();
+    } else if (flag == "--format" || flag == "--trace") {
+      ++i;  // consumed by init_output
+    } else if (flag == "--probes" || flag == "--trace-detail") {
+      // consumed by init_output
     } else {
       std::cerr << "rlb_loadgen: unknown flag '" << flag << "'\n";
       usage(argv[0]);

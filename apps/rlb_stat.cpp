@@ -1,0 +1,186 @@
+// rlb_stat — poll a running rlbd for its live metrics snapshot.
+//
+// Opens a dedicated admin connection (STATS frames never share a
+// connection with request traffic), sends one STATS frame per poll, and
+// renders the STATS_RESP snapshot: an aligned per-shard table plus the
+// safe-set monitor by default, Prometheus text with --prom, one JSON line
+// with --json, or a continuously refreshed view with --watch.
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "net/client.hpp"
+#include "net/stats.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_signal(int) { g_stop_requested = 1; }
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [flags]\n"
+            << "  --host <addr>     daemon address (default 127.0.0.1)\n"
+            << "  --port <p>        daemon port (default 4117)\n"
+            << "  --watch [s]       refresh every s seconds (default 1)\n"
+            << "  --prom            Prometheus text exposition\n"
+            << "  --json            one JSON object per snapshot\n";
+}
+
+void print_pretty(const rlb::net::StatsSnapshot& snapshot) {
+  using rlb::report::Table;
+  const rlb::net::ShardStats totals = snapshot.totals();
+
+  std::cout << "rlbd " << snapshot.policy << " m=" << snapshot.servers
+            << " d=" << snapshot.replication << " g="
+            << snapshot.processing_rate << " q=" << snapshot.queue_capacity
+            << " shards=" << snapshot.shard_count << " uptime="
+            << snapshot.uptime_ms / 1000 << "s\n";
+
+  Table shards({"shard", "submitted", "completed", "rej_q", "rej_down",
+                "rej_adm", "rej_drop", "inbound", "waiting", "inflight",
+                "backlog", "down", "ticks"});
+  for (const rlb::net::ShardStats& s : snapshot.shards) {
+    shards.row()
+        .cell(static_cast<std::uint64_t>(s.shard))
+        .cell(s.submitted)
+        .cell(s.completed)
+        .cell(s.rejected_queue_full)
+        .cell(s.rejected_all_down)
+        .cell(s.rejected_admission)
+        .cell(s.rejected_drop)
+        .cell(s.inbound_depth)
+        .cell(s.waiting_depth)
+        .cell(s.inflight)
+        .cell(s.backlog)
+        .cell(s.servers_down)
+        .cell(s.ticks);
+  }
+  shards.row()
+      .cell("total")
+      .cell(totals.submitted)
+      .cell(totals.completed)
+      .cell(totals.rejected_queue_full)
+      .cell(totals.rejected_all_down)
+      .cell(totals.rejected_admission)
+      .cell(totals.rejected_drop)
+      .cell(totals.inbound_depth)
+      .cell(totals.waiting_depth)
+      .cell(totals.inflight)
+      .cell(totals.backlog)
+      .cell(totals.servers_down)
+      .cell(totals.ticks);
+  shards.print(std::cout);
+
+  std::cout << "latency_us: count=" << snapshot.latency.count
+            << " p50=" << snapshot.latency.quantile_us(0.5)
+            << " p95=" << snapshot.latency.quantile_us(0.95)
+            << " p99=" << snapshot.latency.quantile_us(0.99)
+            << " max=" << snapshot.latency.max_us << "\n";
+
+  std::cout << "safe-set (Def 3.2): worst_ratio=" << snapshot.safe_worst_ratio
+            << (snapshot.safe_violated_level
+                    ? " VIOLATED at level " +
+                          std::to_string(snapshot.safe_violated_level)
+                    : " (safe)")
+            << "\n";
+  if (!snapshot.safe_set.empty()) {
+    Table levels({"level_j", "backlog_gt_j", "bound_m_2j", "ratio"});
+    for (const rlb::net::SafeSetLevelStats& level : snapshot.safe_set) {
+      levels.row()
+          .cell(static_cast<std::uint64_t>(level.level))
+          .cell(level.observed)
+          .cell(level.bound, 2)
+          .cell(level.ratio, 3);
+    }
+    levels.print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rlb;
+
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 4117;
+  bool watch = false;
+  bool prom = false;
+  bool json = false;
+  std::uint64_t interval_s = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (flag == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (flag == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (flag == "--watch") {
+      watch = true;
+      // Optional numeric operand.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        interval_s = std::strtoull(argv[++i], nullptr, 10);
+        if (interval_s == 0) interval_s = 1;
+      }
+    } else if (flag == "--prom") {
+      prom = true;
+    } else if (flag == "--json") {
+      json = true;
+    } else {
+      std::cerr << "rlb_stat: unknown flag '" << flag << "'\n";
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  net::Client client;
+  try {
+    client.connect(host, port);
+  } catch (const std::exception& e) {
+    std::cerr << "rlb_stat: " << e.what() << "\n";
+    return 1;
+  }
+
+  do {
+    net::StatsSnapshot snapshot;
+    try {
+      client.send_stats_request();
+      client.flush();
+      if (!client.read_stats_response(snapshot)) {
+        std::cerr << "rlb_stat: daemon closed the connection\n";
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "rlb_stat: " << e.what() << "\n";
+      return 1;
+    }
+    if (prom) {
+      std::cout << net::render_prometheus(snapshot);
+    } else if (json) {
+      std::cout << net::render_json(snapshot) << "\n";
+    } else {
+      if (watch) std::cout << "\033[H\033[2J";  // clear screen per refresh
+      print_pretty(snapshot);
+    }
+    std::cout.flush();
+    if (watch) {
+      for (std::uint64_t s = 0; s < interval_s * 10 && !g_stop_requested;
+           ++s) {
+        ::usleep(100 * 1000);
+      }
+    }
+  } while (watch && !g_stop_requested);
+
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -24,6 +25,7 @@
 #include "engine/engine.hpp"
 #include "harness/output.hpp"
 #include "net/server.hpp"
+#include "net/stats.hpp"
 #include "net/wire.hpp"
 
 namespace {
@@ -55,7 +57,10 @@ void usage(const char* argv0) {
       << "                         rack:racks,p,mttr (ticks as the clock)\n"
       << "  --dump-on-crash        reject a crashed server's queue\n"
       << "  --stats-interval <s>   print live stats every s seconds (0=off)\n"
-      << "  (plus --probes / --trace <path> from the obs layer)\n";
+      << "  --safe-set-log <path>  append one safe-set JSONL record per\n"
+      << "                         stats interval (forces 1s when unset)\n"
+      << "  (plus --probes / --trace <path> from the obs layer)\n"
+      << "rlb_stat polls the STATS admin opcode on the same port.\n";
 }
 
 bool parse_u64_flag(const char* name, const std::string& value,
@@ -83,6 +88,7 @@ int main(int argc, char** argv) {
   net::ServerConfig net_config;
   net_config.port = 4117;
   std::uint64_t stats_interval_s = 0;
+  std::string safe_set_log_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -141,6 +147,8 @@ int main(int argc, char** argv) {
     } else if (flag == "--stats-interval" && has_value) {
       if (!parse_u64_flag("--stats-interval", value(), u64)) return 2;
       stats_interval_s = u64;
+    } else if (flag == "--safe-set-log" && has_value) {
+      safe_set_log_path = value();
     } else if (flag == "--format" || flag == "--trace" ||
                flag == "--fail-rate" || flag == "--mttr") {
       ++i;  // consumed by init_output / reserved
@@ -184,6 +192,23 @@ int main(int argc, char** argv) {
   engine::ServingEngine& engine = *engine_ptr;
   engine_raw = engine_ptr.get();
 
+  // STATS admin frames answer from the event-loop thread: snapshot() is a
+  // lock-free merge of shard atomics, so no worker tick ever blocks on it.
+  server.set_stats_handler(
+      [&engine, &server](std::uint64_t conn_token, const net::StatsRequestMsg&) {
+        server.send_stats(conn_token, engine.snapshot());
+      });
+
+  std::ofstream safe_set_log;
+  if (!safe_set_log_path.empty()) {
+    safe_set_log.open(safe_set_log_path, std::ios::app);
+    if (!safe_set_log) {
+      std::cerr << "rlbd: cannot open --safe-set-log path '"
+                << safe_set_log_path << "'\n";
+      return 2;
+    }
+  }
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGPIPE, SIG_IGN);
@@ -203,10 +228,19 @@ int main(int argc, char** argv) {
             << " shards=" << config.shards << " on " << net_config.host << ":"
             << server.port() << std::endl;
 
-  std::uint64_t seconds = 0;
+  // One loop iteration = 200ms.  The safe-set log samples every
+  // stats-interval (1s when --stats-interval is unset).
+  const std::uint64_t log_period =
+      5 * (stats_interval_s > 0 ? stats_interval_s : 1);
+  std::uint64_t iterations = 0;
   while (!g_stop_requested) {
     ::usleep(200 * 1000);
-    if (stats_interval_s > 0 && ++seconds % (5 * stats_interval_s) == 0) {
+    ++iterations;
+    if (safe_set_log.is_open() && iterations % log_period == 0) {
+      safe_set_log << net::render_json(engine.snapshot()) << "\n";
+      safe_set_log.flush();
+    }
+    if (stats_interval_s > 0 && iterations % (5 * stats_interval_s) == 0) {
       const engine::EngineStats s = engine.stats();
       const net::ServerStats n = server.stats();
       std::cout << "rlbd: submitted=" << s.submitted

@@ -9,9 +9,17 @@
 // steps (cf. Aktaş et al.'s argument that redundancy-aware routing must be
 // judged by served-request latency in a running store).
 //
+// While each configuration runs, a scraper thread polls engine.snapshot()
+// (the same lock-free merge the STATS wire opcode serves) every
+// --scrape-ms milliseconds and the run emits the samples as a time-series
+// table, so a --json run records how backlog, in-flight depth, and the
+// safe-set ratio evolve over the run rather than just the end state.
+//
 // Flags: --requests <n> per configuration (default 200000), --connections
 // <c> client threads (default 4), --concurrency <k> outstanding per
-// connection (default 64), plus the shared --format/--json/--probes flags.
+// connection (default 64), --scrape-ms <ms> snapshot period (default 100,
+// 0 disables), plus the shared --format/--json/--probes flags.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -25,6 +33,7 @@
 #include "engine/engine.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "net/stats.hpp"
 #include "stats/histogram.hpp"
 #include "stats/rng.hpp"
 
@@ -39,6 +48,19 @@ struct RunResult {
   std::uint64_t protocol_errors = 0;
   double elapsed_seconds = 0.0;
   stats::CountingHistogram latency_us{200000};
+};
+
+// One in-run engine.snapshot() sample (see the scraper thread below).
+struct ScrapeSample {
+  std::uint64_t t_ms = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t backlog = 0;
+  std::uint64_t inflight = 0;
+  std::uint64_t waiting = 0;
+  double safe_worst_ratio = 0.0;
+  std::uint64_t wire_p99_us = 0;
 };
 
 void client_worker(std::uint16_t port, std::uint64_t quota, std::uint64_t seed,
@@ -105,7 +127,8 @@ void client_worker(std::uint16_t port, std::uint64_t quota, std::uint64_t seed,
 
 RunResult run_config(const std::string& policy, std::size_t shards,
                      std::uint64_t requests, std::size_t connections,
-                     std::size_t concurrency) {
+                     std::size_t concurrency, std::uint64_t scrape_ms,
+                     std::vector<ScrapeSample>* samples) {
   engine::EngineConfig config;
   config.policy = policy;
   config.servers = 64;
@@ -144,6 +167,36 @@ RunResult run_config(const std::string& policy, std::size_t shards,
   std::vector<RunResult> partials(connections);
   std::vector<std::thread> threads;
   const auto start = std::chrono::steady_clock::now();
+
+  // The scraper exercises exactly the path rlb_stat hits over the wire:
+  // snapshot() merges shard atomics without taking any engine lock, so the
+  // sampling itself should not perturb the run.
+  std::atomic<bool> scrape_stop{false};
+  std::thread scraper;
+  if (scrape_ms > 0 && samples != nullptr) {
+    scraper = std::thread([&] {
+      while (!scrape_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(scrape_ms));
+        const net::StatsSnapshot snapshot = engine.snapshot();
+        const net::ShardStats totals = snapshot.totals();
+        ScrapeSample sample;
+        sample.t_ms = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        sample.submitted = totals.submitted;
+        sample.completed = totals.completed;
+        sample.rejected = totals.rejected_total();
+        sample.backlog = totals.backlog;
+        sample.inflight = totals.inflight;
+        sample.waiting = totals.waiting_depth;
+        sample.safe_worst_ratio = snapshot.safe_worst_ratio;
+        sample.wire_p99_us = snapshot.latency.quantile_us(0.99);
+        samples->push_back(sample);
+      }
+    });
+  }
+
   for (std::size_t w = 0; w < connections; ++w) {
     const std::uint64_t quota =
         requests / connections + (w < requests % connections ? 1 : 0);
@@ -156,6 +209,10 @@ RunResult run_config(const std::string& policy, std::size_t shards,
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (scraper.joinable()) {
+    scrape_stop.store(true, std::memory_order_relaxed);
+    scraper.join();
+  }
   engine.stop();
   server.stop();
 
@@ -178,6 +235,7 @@ int main(int argc, char** argv) {
   std::uint64_t requests = 200000;
   std::size_t connections = 4;
   std::size_t concurrency = 64;
+  std::uint64_t scrape_ms = 100;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--requests" && i + 1 < argc) {
@@ -186,6 +244,8 @@ int main(int argc, char** argv) {
       connections = std::stoull(argv[++i]);
     } else if (flag == "--concurrency" && i + 1 < argc) {
       concurrency = std::stoull(argv[++i]);
+    } else if (flag == "--scrape-ms" && i + 1 < argc) {
+      scrape_ms = std::stoull(argv[++i]);
     }
   }
 
@@ -202,11 +262,29 @@ int main(int argc, char** argv) {
   report::Table table({"policy", "shards", "throughput_rps", "reject_rate",
                        "p50_us", "p95_us", "p99_us", "errors",
                        "protocol_errors"});
+  report::Table series({"policy", "shards", "t_ms", "submitted", "completed",
+                        "rejected", "backlog", "inflight", "waiting",
+                        "safe_worst_ratio", "wire_p99_us"});
   const std::vector<std::pair<std::string, std::size_t>> configs = {
       {"greedy", 1}, {"greedy", 4}, {"random-of-d", 4}, {"round-robin", 4}};
   for (const auto& [policy, shards] : configs) {
-    const RunResult r =
-        run_config(policy, shards, requests, connections, concurrency);
+    std::vector<ScrapeSample> samples;
+    const RunResult r = run_config(policy, shards, requests, connections,
+                                   concurrency, scrape_ms, &samples);
+    for (const ScrapeSample& sample : samples) {
+      series.row()
+          .cell(policy)
+          .cell(static_cast<std::uint64_t>(shards))
+          .cell(sample.t_ms)
+          .cell(sample.submitted)
+          .cell(sample.completed)
+          .cell(sample.rejected)
+          .cell(sample.backlog)
+          .cell(sample.inflight)
+          .cell(sample.waiting)
+          .cell(sample.safe_worst_ratio, 3)
+          .cell(sample.wire_p99_us);
+    }
     const std::uint64_t answered = r.ok + r.rejected;
     const double throughput =
         r.elapsed_seconds > 0 ? static_cast<double>(answered) / r.elapsed_seconds
@@ -227,5 +305,10 @@ int main(int argc, char** argv) {
         .cell(r.protocol_errors);
   }
   rlb::bench::emit(table);
+  if (series.row_count() > 0) {
+    std::cout << "\n== snapshot time-series (every " << scrape_ms
+              << "ms) ==\n";
+    rlb::bench::emit(series);
+  }
   return 0;
 }

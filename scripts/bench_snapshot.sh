@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Record a performance snapshot: run bench_micro (google-benchmark hot
+# paths) and bench_serving (end-to-end engine throughput + in-run STATS
+# time-series) at fixed parameters and merge both JSON documents into
+# BENCH_<date>.json at the repo root.  Intended for the non-gating CI job
+# so perf history accumulates as artifacts; also handy before/after a
+# local optimisation.
+#
+# Usage: scripts/bench_snapshot.sh [build-dir] [out-path]
+#   build-dir  default: build
+#   out-path   default: BENCH_$(date -u +%Y%m%d).json in the repo root
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${2:-$REPO_ROOT/BENCH_$(date -u +%Y%m%d).json}"
+MICRO="$BUILD_DIR/bench/bench_micro"
+SERVING="$BUILD_DIR/bench/bench_serving"
+
+for bin in "$MICRO" "$SERVING"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_snapshot: missing binary $bin (build first)" >&2
+    exit 1
+  fi
+done
+
+MICRO_JSON="$(mktemp /tmp/rlb_bench_micro.XXXXXX.json)"
+SERVING_JSON="$(mktemp /tmp/rlb_bench_serving.XXXXXX.json)"
+trap 'rm -f "$MICRO_JSON" "$SERVING_JSON"' EXIT
+
+# Fixed parameters so snapshots stay comparable run to run; bench_serving
+# runs its built-in (policy, shards) matrix with the default 100ms
+# snapshot scrape.
+echo "bench_snapshot: running bench_micro..." >&2
+"$MICRO" --json "$MICRO_JSON" > /dev/null
+
+echo "bench_snapshot: running bench_serving..." >&2
+"$SERVING" --json "$SERVING_JSON" \
+  --requests 100000 --connections 4 --concurrency 64 --scrape-ms 100 \
+  > /dev/null
+
+python3 - "$MICRO_JSON" "$SERVING_JSON" "$OUT" <<'EOF'
+import json, sys
+
+micro = json.load(open(sys.argv[1]))
+serving = json.load(open(sys.argv[2]))
+
+snapshot = {
+    "schema": "rlb-bench-snapshot-v1",
+    # google-benchmark's context block carries host/clock/build info.
+    "context": micro.get("context", {}),
+    "micro": [
+        {k: b.get(k) for k in
+         ("name", "iterations", "real_time", "cpu_time", "time_unit",
+          "items_per_second") if k in b}
+        for b in micro.get("benchmarks", [])
+    ],
+    "serving": serving,
+}
+with open(sys.argv[3], "w") as f:
+    json.dump(snapshot, f, indent=1)
+    f.write("\n")
+print(f"bench_snapshot: wrote {sys.argv[3]} "
+      f"({len(snapshot['micro'])} micro benchmarks, "
+      f"{len(serving.get('tables', []))} serving tables)")
+EOF

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Loopback smoke run for the serving stack: start rlbd, hammer it with
-# rlb_loadgen for a couple of seconds, and assert a clean outcome —
-# zero protocol errors and a non-zero completed count.
+# rlb_loadgen for a couple of seconds, scrape the STATS admin opcode with
+# rlb_stat while the load is still running, and assert a clean outcome —
+# zero protocol errors, a non-zero completed count, and a mid-run
+# snapshot with non-zero accepts and a parsable Prometheus rendering.
 #
 # Usage: scripts/serving_smoke.sh [build-dir]      (default: build)
 set -euo pipefail
@@ -9,10 +11,13 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 RLBD="$BUILD_DIR/apps/rlbd"
 LOADGEN="$BUILD_DIR/apps/rlb_loadgen"
+RLB_STAT="$BUILD_DIR/apps/rlb_stat"
 PORT="${RLB_SMOKE_PORT:-4917}"
 JSON="$(mktemp /tmp/rlb_smoke.XXXXXX.json)"
+STAT_JSON="$(mktemp /tmp/rlb_smoke_stat.XXXXXX.json)"
+STAT_PROM="$(mktemp /tmp/rlb_smoke_stat.XXXXXX.prom)"
 
-for bin in "$RLBD" "$LOADGEN"; do
+for bin in "$RLBD" "$LOADGEN" "$RLB_STAT"; do
   if [[ ! -x "$bin" ]]; then
     echo "serving_smoke: missing binary $bin (build first)" >&2
     exit 1
@@ -21,10 +26,12 @@ done
 
 "$RLBD" --policy greedy --m 64 --d 2 --g 4 --shards 4 --port "$PORT" &
 RLBD_PID=$!
+LOADGEN_PID=""
 cleanup() {
+  [[ -n "$LOADGEN_PID" ]] && wait "$LOADGEN_PID" 2>/dev/null || true
   kill -INT "$RLBD_PID" 2>/dev/null || true
   wait "$RLBD_PID" 2>/dev/null || true
-  rm -f "$JSON"
+  rm -f "$JSON" "$STAT_JSON" "$STAT_PROM"
 }
 trap cleanup EXIT
 
@@ -38,24 +45,60 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 
-# ~2 seconds of closed-loop traffic.  Exit status is non-zero on any
-# protocol error, which fails the script via set -e.
+# ~2 seconds of closed-loop traffic, in the background so we can scrape
+# the STATS admin opcode mid-run.  Exit status is collected by `wait`
+# below — non-zero on any protocol error fails the script via set -e.
 "$LOADGEN" --port "$PORT" --connections 4 --concurrency 64 \
-  --requests 200000 --workload uniform --json "$JSON"
+  --requests 200000 --workload uniform --json "$JSON" &
+LOADGEN_PID=$!
 
-python3 - "$JSON" <<'EOF'
+# Mid-run STATS scrape on a dedicated admin connection: one JSON snapshot
+# (machine-checked below) and one Prometheus rendering (must parse).
+sleep 0.5
+"$RLB_STAT" --port "$PORT" --json > "$STAT_JSON"
+"$RLB_STAT" --port "$PORT" --prom > "$STAT_PROM"
+
+wait "$LOADGEN_PID"
+LOADGEN_PID=""
+
+python3 - "$JSON" "$STAT_JSON" "$STAT_PROM" <<'EOF'
 import json, sys
 summary = json.load(open(sys.argv[1]))
 completed = int(summary["ok"]) + int(summary["rejected"])
 protocol_errors = int(summary["protocol_errors"])
 assert protocol_errors == 0, f"protocol_errors = {protocol_errors}"
 assert completed > 0, "no requests completed"
-print(f"serving_smoke: OK — {completed} completed, 0 protocol errors")
+
+# The mid-run snapshot must show live traffic: non-zero accepts, no
+# server-side protocol errors, and a sane safe-set report.
+snap = json.load(open(sys.argv[2]))
+assert int(snap["completed"]) > 0, "mid-run snapshot saw no accepts"
+assert int(snap["errors"]) == 0, "mid-run snapshot saw errors"
+assert "safe_worst_ratio" in snap, "snapshot missing safe-set monitor"
+
+# Prometheus text exposition: every non-comment line is `name{labels} value`
+# with a float-parsable value, and the key engine families are present.
+names = set()
+for line in open(sys.argv[3]):
+    line = line.rstrip("\n")
+    if not line or line.startswith("#"):
+        continue
+    body, _, value = line.rpartition(" ")
+    assert body, f"unparsable exposition line: {line!r}"
+    float(value)  # raises if not a number
+    names.add(body.split("{", 1)[0])
+for family in ("rlb_up", "rlb_engine_submitted_total",
+               "rlb_engine_completed_total", "rlb_safe_set_worst_ratio"):
+    assert family in names, f"missing metric family {family}"
+assert "rlb_engine_latency_us_bucket" in names, "missing latency histogram"
+
+print(f"serving_smoke: OK — {completed} completed, 0 protocol errors, "
+      f"mid-run STATS snapshot + Prometheus rendering verified")
 EOF
 
 # Graceful drain must answer everything and exit cleanly.
 kill -INT "$RLBD_PID"
 wait "$RLBD_PID"
 trap - EXIT
-rm -f "$JSON"
+rm -f "$JSON" "$STAT_JSON" "$STAT_PROM"
 echo "serving_smoke: rlbd drained and exited cleanly"

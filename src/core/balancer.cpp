@@ -2,6 +2,18 @@
 
 namespace rlb::core {
 
+const char* to_string(RejectCause cause) noexcept {
+  switch (cause) {
+    case RejectCause::kQueueFull:
+      return "queue_full";
+    case RejectCause::kAllReplicasDown:
+      return "all_replicas_down";
+    case RejectCause::kQueueDrop:
+      return "queue_drop";
+  }
+  return "unknown";
+}
+
 void LoadBalancer::backlogs(std::vector<std::uint32_t>& out) const {
   out.resize(server_count());
   for (std::size_t s = 0; s < out.size(); ++s) {

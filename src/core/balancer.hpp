@@ -24,6 +24,19 @@
 
 namespace rlb::core {
 
+/// Why a request was rejected.  The live metrics plane (engine STATS)
+/// reports rejections by cause, so policies attribute each one.
+enum class RejectCause : std::uint8_t {
+  /// The chosen server's bounded queue was full (the paper's q-bound rule).
+  kQueueFull = 0,
+  /// Every one of the request's d replicas was down.
+  kAllReplicasDown = 1,
+  /// Dropped from a queue: crash-time dump, overflow dump, or flush().
+  kQueueDrop = 2,
+};
+
+const char* to_string(RejectCause cause) noexcept;
+
 /// Per-request lifecycle observer for live serving (src/engine/).
 ///
 /// Metrics aggregates counts; a serving engine additionally needs to know
@@ -44,6 +57,13 @@ class RequestSink {
   /// A request for chunk x was rejected — at admission (full queue / all
   /// replicas down), in a queue dump, at a crash, or in a flush.
   virtual void on_rejected(ChunkId x) = 0;
+
+  /// Cause-attributed form; policies call this one.  The default forwards
+  /// to on_rejected(x), so sinks that do not care about causes need not
+  /// override it.
+  virtual void on_rejected(ChunkId x, RejectCause /*cause*/) {
+    on_rejected(x);
+  }
 };
 
 /// Abstract routing policy + queueing discipline.

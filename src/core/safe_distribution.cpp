@@ -46,4 +46,25 @@ SafetyReport check_safe_distribution(
   return report;
 }
 
+std::vector<SafeSetLevel> safe_set_levels(
+    const std::vector<std::uint32_t>& backlogs) {
+  std::vector<SafeSetLevel> levels;
+  if (backlogs.empty()) return levels;
+  const auto m = static_cast<double>(backlogs.size());
+
+  const std::vector<std::uint64_t> tail = backlog_tail_counts(backlogs);
+  levels.reserve(tail.size() > 0 ? tail.size() - 1 : 0);
+  for (std::uint32_t j = 1; j < tail.size(); ++j) {
+    SafeSetLevel level;
+    level.level = j;
+    level.observed = tail[j];
+    level.bound = m / static_cast<double>(1ULL << std::min<std::uint32_t>(j, 62));
+    const auto count = static_cast<double>(tail[j]);
+    level.ratio =
+        level.bound > 0.0 ? count / level.bound : (count > 0 ? 1e18 : 0.0);
+    levels.push_back(level);
+  }
+  return levels;
+}
+
 }  // namespace rlb::core

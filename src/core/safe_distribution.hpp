@@ -28,4 +28,21 @@ struct SafetyReport {
 [[nodiscard]] std::vector<std::uint64_t> backlog_tail_counts(
     const std::vector<std::uint32_t>& backlogs);
 
+/// One level of the Definition 3.2 envelope, as exposed by the live
+/// safe-set monitor: at level j the bound is m / 2^j and `observed` counts
+/// servers with backlog strictly greater than j.
+struct SafeSetLevel {
+  std::uint32_t level = 0;   ///< j
+  std::uint64_t observed = 0;
+  double bound = 0.0;        ///< m / 2^j
+  double ratio = 0.0;        ///< observed / bound; > 1 means violated
+};
+
+/// The full per-level view of check_safe_distribution: one entry per level
+/// j in [1, max backlog], in increasing j.  Empty when no server has
+/// backlog > 1 (every level trivially holds) or `backlogs` is empty.
+/// max over entries of `ratio` equals SafetyReport::worst_ratio.
+[[nodiscard]] std::vector<SafeSetLevel> safe_set_levels(
+    const std::vector<std::uint32_t>& backlogs);
+
 }  // namespace rlb::core

@@ -1,6 +1,8 @@
 #include "engine/engine.hpp"
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
@@ -16,6 +18,7 @@
 
 #include "core/balancer.hpp"
 #include "core/metrics.hpp"
+#include "core/safe_distribution.hpp"
 #include "hashing/hash.hpp"
 #include "obs/probes.hpp"
 #include "obs/timer.hpp"
@@ -202,6 +205,8 @@ struct Waiting {
   std::uint64_t request_id = 0;
   core::ChunkId chunk = 0;
   std::uint64_t enqueue_tick = 0;
+  // obs::now_ns() at submit(); anchors the wire-to-response latency probe.
+  std::uint64_t submit_ns = 0;
 };
 
 // One request delivered into the balancer, awaiting its sink event.
@@ -211,6 +216,7 @@ struct Pending {
   // Ticks spent in the waiting room before delivery (added to the
   // balancer-reported wait for the end-to-end wait_steps).
   std::uint32_t waited = 0;
+  std::uint64_t submit_ns = 0;
 };
 
 }  // namespace
@@ -243,15 +249,56 @@ struct ServingEngine::Impl {
     std::vector<std::uint8_t> up_state;
     std::uint64_t tick = 0;
 
-    // Live counters (worker writes, stats() reads).
+    // Live counters (worker writes, stats()/snapshot() read).  The STATS
+    // plane reads these directly, so they stay live with obs compiled out.
+    std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> completed{0};
     std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> rejected_queue_full{0};
+    std::atomic<std::uint64_t> rejected_all_down{0};
+    std::atomic<std::uint64_t> rejected_drop{0};
     std::atomic<std::uint64_t> overload_rejected{0};
     std::atomic<std::uint64_t> ticks{0};
     std::atomic<std::uint64_t> crashes{0};
     std::atomic<std::uint64_t> recoveries{0};
     std::atomic<std::uint64_t> backlog{0};
     std::atomic<std::size_t> down{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> batched_chunks{0};
+    std::atomic<std::uint64_t> max_batch_seen{0};
+    std::atomic<std::uint64_t> step_ns{0};
+    std::atomic<std::uint64_t> inbound_depth{0};
+    std::atomic<std::uint64_t> waiting_depth{0};
+    std::atomic<std::uint64_t> inflight_count{0};
+
+    // Wire-to-response latency in log2-microsecond buckets (the layout the
+    // STATS snapshot ships; see net::LatencyStats).
+    std::atomic<std::uint64_t> lat_count{0};
+    std::atomic<std::uint64_t> lat_sum_us{0};
+    std::atomic<std::uint64_t> lat_max_us{0};
+    std::array<std::atomic<std::uint64_t>, net::kLatencyBuckets> lat_buckets{};
+
+    // Per-server backlog, refreshed once per tick from the balancer.  The
+    // scrape-side safe-set monitor merges these across shards to rebuild
+    // the global backlog vector without touching any worker lock.
+    std::unique_ptr<std::atomic<std::uint32_t>[]> backlog_by_server;
+    std::vector<std::uint32_t> backlog_scratch;  // worker-private
+
+    void record_latency(std::uint64_t submit_ns) {
+      if (submit_ns == 0) return;
+      const std::uint64_t now = obs::now_ns();
+      const std::uint64_t us = now > submit_ns ? (now - submit_ns) / 1000 : 0;
+      lat_count.fetch_add(1, std::memory_order_relaxed);
+      lat_sum_us.fetch_add(us, std::memory_order_relaxed);
+      std::uint64_t prev = lat_max_us.load(std::memory_order_relaxed);
+      while (us > prev && !lat_max_us.compare_exchange_weak(
+                              prev, us, std::memory_order_relaxed)) {
+      }
+      std::size_t bucket =
+          us <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(us) - 1);
+      if (bucket >= net::kLatencyBuckets) bucket = net::kLatencyBuckets - 1;
+      lat_buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    }
 
     void on_served(core::ChunkId x, core::ServerId server,
                    std::uint64_t wait_steps) override {
@@ -265,6 +312,7 @@ struct ServingEngine::Impl {
       response.wait_steps =
           pending.waited + static_cast<std::uint32_t>(wait_steps);
       completed.fetch_add(1, std::memory_order_relaxed);
+      record_latency(pending.submit_ns);
       owner->respond(response);
     }
 
@@ -276,7 +324,23 @@ struct ServingEngine::Impl {
       response.request_id = pending.request_id;
       response.status = kEngineReject;
       rejected.fetch_add(1, std::memory_order_relaxed);
+      record_latency(pending.submit_ns);
       owner->respond(response);
+    }
+
+    void on_rejected(core::ChunkId x, core::RejectCause cause) override {
+      switch (cause) {
+        case core::RejectCause::kQueueFull:
+          rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case core::RejectCause::kAllReplicasDown:
+          rejected_all_down.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case core::RejectCause::kQueueDrop:
+          rejected_drop.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      on_rejected(x);
     }
 
     bool pop_pending(core::ChunkId x, Pending& out) {
@@ -291,6 +355,7 @@ struct ServingEngine::Impl {
       out = it->second.front();
       it->second.pop_front();
       if (it->second.empty()) inflight.erase(it);
+      inflight_count.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
 
@@ -309,6 +374,7 @@ struct ServingEngine::Impl {
   std::vector<std::unique_ptr<Shard>> shards;
   std::atomic<bool> accepting{false};
   std::atomic<std::uint64_t> submitted{0};
+  std::uint64_t start_ns = 0;  // obs::now_ns() at start(); 0 until then
   bool started = false;
   bool stopped = false;
 
@@ -357,7 +423,9 @@ std::size_t ServingEngine::Impl::Shard::build_batch(
     pending.conn_token = request.conn_token;
     pending.request_id = request.request_id;
     pending.waited = static_cast<std::uint32_t>(tick - request.enqueue_tick);
+    pending.submit_ns = request.submit_ns;
     inflight[request.chunk].push_back(pending);
+    inflight_count.fetch_add(1, std::memory_order_relaxed);
   }
   // Deferred requests keep their arrival-order priority.
   waiting.insert(waiting.begin(), deferred.begin(), deferred.end());
@@ -369,6 +437,14 @@ void ServingEngine::Impl::Shard::run() {
   static obs::Histogram batch_hist("engine.batch_size");
   static obs::Histogram step_hist("engine.step_ns");
   static obs::Gauge backlog_gauge("engine.backlog");
+  static obs::Gauge waiting_gauge("engine.waiting_depth");
+  // Per-shard probes: the registry's per-thread shards merge counters on
+  // scrape, but gauges merge as min/max, so per-shard visibility in
+  // --probes output needs per-shard names.
+  const std::string shard_tag = "engine.shard" + std::to_string(index);
+  obs::Gauge shard_backlog_gauge(shard_tag + ".backlog");
+  obs::Gauge shard_waiting_gauge(shard_tag + ".waiting_depth");
+  obs::Gauge shard_inbound_gauge(shard_tag + ".inbound_depth");
 
   std::vector<core::ChunkId> batch;
   std::vector<Waiting> incoming;
@@ -378,9 +454,18 @@ void ServingEngine::Impl::Shard::run() {
   bool last_backlog_valid = false;
 
   for (;;) {
-    const std::uint64_t balancer_backlog = balancer->total_backlog();
+    // Refresh the per-server backlog view (feeds the safe-set monitor) and
+    // derive the total from the same sample.
+    balancer->backlogs(backlog_scratch);
+    std::uint64_t balancer_backlog = 0;
+    for (std::size_t s = 0; s < backlog_scratch.size(); ++s) {
+      backlog_by_server[s].store(backlog_scratch[s],
+                                 std::memory_order_relaxed);
+      balancer_backlog += backlog_scratch[s];
+    }
     backlog.store(balancer_backlog, std::memory_order_relaxed);
     bool shutting_down = false;
+    std::size_t drained = 0;
     {
       std::unique_lock lock(mutex);
       if (inbound.empty() && !stopping && waiting.empty() &&
@@ -389,6 +474,10 @@ void ServingEngine::Impl::Shard::run() {
       }
       incoming.swap(inbound);
       shutting_down = stopping;
+      drained = incoming.size();
+    }
+    if (drained > 0) {
+      inbound_depth.fetch_sub(drained, std::memory_order_relaxed);
     }
 
     // Admission control: the waiting room bounds pre-routing memory; an
@@ -401,6 +490,7 @@ void ServingEngine::Impl::Shard::run() {
         response.conn_token = request.conn_token;
         response.request_id = request.request_id;
         response.status = kEngineReject;
+        record_latency(request.submit_ns);
         owner->respond(response);
         continue;
       }
@@ -413,16 +503,36 @@ void ServingEngine::Impl::Shard::run() {
     apply_failures();
 
     const std::size_t batch_size = build_batch(batch, owner->max_batch);
+    waiting_depth.store(waiting.size(), std::memory_order_relaxed);
     if (batch_size > 0 || balancer_backlog > 0) {
       obs::ObsTimer step_timer("engine.step",
                                obs::enabled() ? &step_hist : nullptr, index);
       balancer->step(static_cast<core::Time>(tick), batch, metrics);
+      const double step_seconds = step_timer.stop();
+      step_ns.fetch_add(static_cast<std::uint64_t>(step_seconds * 1e9),
+                        std::memory_order_relaxed);
       batch_hist.observe(static_cast<double>(batch_size));
+    }
+    if (batch_size > 0) {
+      batches.fetch_add(1, std::memory_order_relaxed);
+      batched_chunks.fetch_add(batch_size, std::memory_order_relaxed);
+      std::uint64_t prev = max_batch_seen.load(std::memory_order_relaxed);
+      while (batch_size > prev &&
+             !max_batch_seen.compare_exchange_weak(
+                 prev, batch_size, std::memory_order_relaxed)) {
+      }
     }
     ++tick;
     ticks.fetch_add(1, std::memory_order_relaxed);
     tick_counter.add();
     backlog_gauge.set(static_cast<double>(balancer->total_backlog()));
+    waiting_gauge.set(static_cast<double>(waiting.size()));
+    shard_backlog_gauge.set(static_cast<double>(balancer->total_backlog()));
+    shard_waiting_gauge.set(static_cast<double>(waiting.size()));
+    shard_inbound_gauge.set(static_cast<double>(
+        inbound_depth.load(std::memory_order_relaxed)));
+    RLB_TRACE_EVENT(obs::EventKind::kEngine, "engine.tick", index,
+                    batch_size);
 
     if (shutting_down) {
       std::unique_lock lock(mutex);
@@ -446,8 +556,10 @@ void ServingEngine::Impl::Shard::run() {
             response.request_id = pending.request_id;
             response.status = kEngineReject;
             rejected.fetch_add(1, std::memory_order_relaxed);
+            record_latency(pending.submit_ns);
             owner->respond(response);
           }
+          inflight_count.fetch_sub(queue.size(), std::memory_order_relaxed);
           queue.clear();
         }
         inflight.clear();
@@ -536,6 +648,11 @@ ServingEngine::ServingEngine(const EngineConfig& config, ResponseFn on_response)
                                             config.servers, shard_count,
                                             config.seed);
       shard->up_state.assign(span, 1);
+      shard->backlog_by_server =
+          std::make_unique<std::atomic<std::uint32_t>[]>(span);
+      for (std::size_t s = 0; s < span; ++s) {
+        shard->backlog_by_server[s].store(0, std::memory_order_relaxed);
+      }
       base += static_cast<core::ServerId>(span);
       impl_->shards.push_back(std::move(shard));
     }
@@ -560,6 +677,7 @@ ServingEngine::~ServingEngine() {
 void ServingEngine::start() {
   if (impl_->started) return;
   impl_->started = true;
+  impl_->start_ns = obs::now_ns();
   impl_->accepting.store(true, std::memory_order_release);
   for (auto& shard : impl_->shards) {
     shard->thread = std::thread([s = shard.get()] { s->run(); });
@@ -592,6 +710,7 @@ bool ServingEngine::submit(std::uint64_t conn_token, std::uint64_t request_id,
   request.conn_token = conn_token;
   request.request_id = request_id;
   request.chunk = chunk;
+  request.submit_ns = obs::now_ns();
   bool was_empty = false;
   {
     std::lock_guard lock(shard.mutex);
@@ -600,6 +719,8 @@ bool ServingEngine::submit(std::uint64_t conn_token, std::uint64_t request_id,
     shard.inbound.push_back(request);
   }
   impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+  shard.submitted.fetch_add(1, std::memory_order_relaxed);
+  shard.inbound_depth.fetch_add(1, std::memory_order_relaxed);
   if (was_empty) shard.cv.notify_one();
   return true;
 }
@@ -610,6 +731,11 @@ EngineStats ServingEngine::stats() const {
   for (const auto& shard : impl_->shards) {
     out.completed += shard->completed.load(std::memory_order_relaxed);
     out.rejected += shard->rejected.load(std::memory_order_relaxed);
+    out.rejected_queue_full +=
+        shard->rejected_queue_full.load(std::memory_order_relaxed);
+    out.rejected_all_down +=
+        shard->rejected_all_down.load(std::memory_order_relaxed);
+    out.rejected_drop += shard->rejected_drop.load(std::memory_order_relaxed);
     out.overload_rejected +=
         shard->overload_rejected.load(std::memory_order_relaxed);
     out.ticks += shard->ticks.load(std::memory_order_relaxed);
@@ -618,6 +744,86 @@ EngineStats ServingEngine::stats() const {
     out.backlog += shard->backlog.load(std::memory_order_relaxed);
     out.servers_down += shard->down.load(std::memory_order_relaxed);
   }
+  return out;
+}
+
+net::StatsSnapshot ServingEngine::snapshot() const {
+  static obs::Gauge safe_ratio_gauge("engine.safe.worst_ratio");
+
+  net::StatsSnapshot out;
+  out.uptime_ms =
+      impl_->start_ns ? (obs::now_ns() - impl_->start_ns) / 1000000 : 0;
+  out.policy = impl_->config.policy;
+  out.servers = static_cast<std::uint32_t>(impl_->config.servers);
+  out.replication = impl_->config.replication;
+  out.processing_rate = impl_->config.processing_rate;
+  out.queue_capacity = static_cast<std::uint32_t>(impl_->config.queue_capacity);
+  out.shard_count = static_cast<std::uint32_t>(impl_->shards.size());
+
+  std::vector<std::uint32_t> global_backlogs;
+  global_backlogs.reserve(impl_->config.servers);
+
+  for (const auto& shard : impl_->shards) {
+    net::ShardStats row;
+    row.shard = static_cast<std::uint32_t>(shard->index);
+    row.submitted = shard->submitted.load(std::memory_order_relaxed);
+    row.completed = shard->completed.load(std::memory_order_relaxed);
+    row.rejected_queue_full =
+        shard->rejected_queue_full.load(std::memory_order_relaxed);
+    row.rejected_all_down =
+        shard->rejected_all_down.load(std::memory_order_relaxed);
+    row.rejected_admission =
+        shard->overload_rejected.load(std::memory_order_relaxed);
+    row.rejected_drop = shard->rejected_drop.load(std::memory_order_relaxed);
+    row.ticks = shard->ticks.load(std::memory_order_relaxed);
+    row.batches = shard->batches.load(std::memory_order_relaxed);
+    row.batched_chunks = shard->batched_chunks.load(std::memory_order_relaxed);
+    row.max_batch = shard->max_batch_seen.load(std::memory_order_relaxed);
+    row.inbound_depth = shard->inbound_depth.load(std::memory_order_relaxed);
+    row.waiting_depth = shard->waiting_depth.load(std::memory_order_relaxed);
+    row.inflight = shard->inflight_count.load(std::memory_order_relaxed);
+    row.backlog = shard->backlog.load(std::memory_order_relaxed);
+    row.servers_down = shard->down.load(std::memory_order_relaxed);
+    row.step_ns = shard->step_ns.load(std::memory_order_relaxed);
+    out.shards.push_back(row);
+
+    out.latency.count += shard->lat_count.load(std::memory_order_relaxed);
+    out.latency.sum_us += shard->lat_sum_us.load(std::memory_order_relaxed);
+    const std::uint64_t shard_max =
+        shard->lat_max_us.load(std::memory_order_relaxed);
+    if (shard_max > out.latency.max_us) out.latency.max_us = shard_max;
+    for (std::size_t b = 0; b < net::kLatencyBuckets; ++b) {
+      out.latency.buckets[b] +=
+          shard->lat_buckets[b].load(std::memory_order_relaxed);
+    }
+
+    for (std::size_t s = 0; s < shard->server_span; ++s) {
+      global_backlogs.push_back(
+          shard->backlog_by_server[s].load(std::memory_order_relaxed));
+    }
+  }
+
+  // Safe-set invariant monitor (Def 3.2): the per-shard samples splice back
+  // into the global m-server backlog vector, so the m/2^j bounds keep their
+  // whole-cluster meaning even though each shard balances a partition.
+  const std::vector<core::SafeSetLevel> levels =
+      core::safe_set_levels(global_backlogs);
+  out.safe_set.reserve(levels.size());
+  for (const core::SafeSetLevel& level : levels) {
+    net::SafeSetLevelStats row;
+    row.level = level.level;
+    row.observed = level.observed;
+    row.bound = level.bound;
+    row.ratio = level.ratio;
+    out.safe_set.push_back(row);
+    if (level.ratio > out.safe_worst_ratio) {
+      out.safe_worst_ratio = level.ratio;
+    }
+    if (out.safe_violated_level == 0 && level.ratio > 1.0) {
+      out.safe_violated_level = level.level;
+    }
+  }
+  safe_ratio_gauge.set(out.safe_worst_ratio);
   return out;
 }
 

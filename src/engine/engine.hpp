@@ -34,6 +34,7 @@
 
 #include "core/failure.hpp"
 #include "core/types.hpp"
+#include "net/stats.hpp"
 #include "store/key_mapper.hpp"
 
 namespace rlb::engine {
@@ -84,6 +85,11 @@ struct EngineStats {
   std::uint64_t completed = 0;
   /// Rejected by the policy's bounded queues (the paper's rejection rule).
   std::uint64_t rejected = 0;
+  /// Cause breakdown of `rejected` (queue_full + all_down + drop <=
+  /// rejected; the remainder is cause-unattributed).
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_all_down = 0;
+  std::uint64_t rejected_drop = 0;
   /// Rejected at admission because the shard's waiting room was full.
   std::uint64_t overload_rejected = 0;
   std::uint64_t ticks = 0;
@@ -149,6 +155,13 @@ class ServingEngine {
 
   /// Aggregated live counters across all shards.
   EngineStats stats() const;
+
+  /// Full metrics snapshot for the STATS wire channel: per-shard rows,
+  /// merged wire-to-response latency, and the Def 3.2 safe-set monitor over
+  /// the merged backlog vector.  Lock-free — reads each shard's atomics
+  /// without stopping its worker — so a row is internally consistent only
+  /// up to in-flight ticks.  Safe to call from any thread at any time.
+  net::StatsSnapshot snapshot() const;
 
   std::size_t shard_count() const;
   const EngineConfig& config() const;

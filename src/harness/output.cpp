@@ -115,14 +115,15 @@ bool env_truthy(const char* value) {
 }
 
 // The trace is only written at exit, so an unwritable path would otherwise
-// fail silently after the whole run; probe it up front.
+// fail silently after the whole run; probe it up front and fail loudly —
+// a user who asked for a trace wants the run to stop rather than silently
+// produce nothing (CI would green-light an empty artifact).
 void set_trace_file_checked(const std::string& path) {
   {
     std::ofstream probe(path, std::ios::app);
     if (!probe) {
-      std::cerr << "rlb: cannot open trace file '" << path
-                << "' — tracing disabled\n";
-      return;
+      std::cerr << "rlb: cannot open trace file '" << path << "'\n";
+      std::exit(2);
     }
   }
   obs::set_trace_file(path);

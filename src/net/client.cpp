@@ -79,6 +79,42 @@ bool Client::read_response(ResponseMsg& out) {
   }
 }
 
+void Client::send_stats_request(std::uint32_t flags) {
+  encode_stats_request(StatsRequestMsg{flags}, send_buffer_);
+}
+
+bool Client::read_stats_response(StatsSnapshot& out) {
+  for (;;) {
+    if (decoder_.next(payload_)) {
+      RequestMsg request;
+      ResponseMsg response;
+      StatsRequestMsg stats_request;
+      const Decoded decoded = decode_payload(payload_.data(), payload_.size(),
+                                             request, response,
+                                             stats_request);
+      if (decoded != Decoded::kStatsResponse) {
+        throw ProtocolError("Client: expected STATS_RESP frame");
+      }
+      if (!decode_stats_payload(payload_.data(), payload_.size(), out)) {
+        throw ProtocolError("Client: bad STATS_RESP snapshot");
+      }
+      return true;
+    }
+    if (decoder_.error()) throw ProtocolError("Client: bad frame length");
+    std::uint8_t buffer[16384];
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("Client: read failed: ") +
+                               std::strerror(errno));
+    }
+    if (!decoder_.feed(buffer, static_cast<std::size_t>(n))) {
+      throw ProtocolError("Client: bad frame length");
+    }
+  }
+}
+
 void Client::close() {
   if (fd_ >= 0) {
     ::close(fd_);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "net/stats.hpp"
 #include "net/wire.hpp"
 
 namespace rlb::net {
@@ -45,6 +46,16 @@ class Client {
   /// throws ProtocolError on framing violations or non-RESPONSE frames,
   /// std::runtime_error on I/O errors.
   bool read_response(ResponseMsg& out);
+
+  /// Buffer one STATS admin frame (no I/O until flush()).  Use a dedicated
+  /// connection for polling: REQUEST and STATS frames on one connection
+  /// interleave their replies in service order.
+  void send_stats_request(std::uint32_t flags = 0);
+
+  /// Block for the next STATS_RESP frame and decode it.  Returns false on
+  /// clean EOF; throws ProtocolError on framing violations, non-STATS_RESP
+  /// frames, or an undecodable/mismatched-version snapshot.
+  bool read_stats_response(StatsSnapshot& out);
 
   void close();
 

@@ -49,6 +49,7 @@ struct NetServer::Impl {
 
   ServerConfig config;
   RequestHandler on_request;
+  StatsHandler on_stats;
 
   int listen_fd = -1;
   int wake_read = -1;
@@ -164,10 +165,25 @@ struct NetServer::Impl {
       while (conn.decoder.next(payload)) {
         RequestMsg request;
         ResponseMsg response;
+        StatsRequestMsg stats_request;
         const Decoded decoded = decode_payload(payload.data(), payload.size(),
-                                               request, response);
+                                               request, response,
+                                               stats_request);
+        if (decoded == Decoded::kStats && on_stats) {
+          static obs::Counter stats_counter("net.stats_requests");
+          {
+            std::lock_guard lock(mutex);
+            ++stats.stats_requests;
+          }
+          stats_counter.add();
+          RLB_TRACE_EVENT(obs::EventKind::kNet, "net.stats", slot,
+                          stats_request.flags);
+          on_stats(token, stats_request);
+          continue;
+        }
         if (decoded != Decoded::kRequest) {
-          // Clients may only send REQUEST frames.
+          // Clients may only send REQUEST frames (plus STATS when the
+          // daemon installed an admin handler).
           protocol_error_counter.add();
           RLB_TRACE_EVENT(obs::EventKind::kNet, "net.bad_message", slot,
                           payload.empty() ? 0 : payload[0]);
@@ -396,6 +412,29 @@ bool NetServer::send_response(std::uint64_t conn_token,
   response_counter.add();
   // Only the empty -> non-empty transition needs a wake: once armed, the
   // loop keeps POLLOUT until the buffer drains.
+  if (need_wake) impl_->wake();
+  return true;
+}
+
+void NetServer::set_stats_handler(StatsHandler on_stats) {
+  impl_->on_stats = std::move(on_stats);
+}
+
+bool NetServer::send_stats(std::uint64_t conn_token,
+                           const StatsSnapshot& snapshot) {
+  std::vector<std::uint8_t> payload;
+  encode_stats_payload(snapshot, payload);
+  const std::size_t slot = static_cast<std::size_t>(conn_token & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(conn_token >> 32);
+  bool need_wake = false;
+  {
+    std::lock_guard lock(impl_->mutex);
+    if (slot >= impl_->conns.size()) return false;
+    Impl::Conn& conn = impl_->conns[slot];
+    if (!conn.open || conn.gen != gen) return false;
+    need_wake = conn.out_offset >= conn.outbound.size();
+    if (!encode_stats_response_frame(payload, conn.outbound)) return false;
+  }
   if (need_wake) impl_->wake();
   return true;
 }

@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 
+#include "net/stats.hpp"
 #include "net/wire.hpp"
 
 namespace rlb::net {
@@ -38,6 +39,8 @@ struct ServerStats {
   std::uint64_t protocol_errors = 0;
   std::uint64_t requests_decoded = 0;
   std::uint64_t responses_sent = 0;
+  /// STATS admin frames served.
+  std::uint64_t stats_requests = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
 };
@@ -45,6 +48,12 @@ struct ServerStats {
 /// Called on the event-loop thread for every decoded REQUEST frame.
 using RequestHandler =
     std::function<void(std::uint64_t conn_token, const RequestMsg& request)>;
+
+/// Called on the event-loop thread for every decoded STATS frame.  The
+/// handler answers with send_stats() (immediately or later); it must be
+/// fast — a snapshot built from shard-local atomics, not a blocking walk.
+using StatsHandler =
+    std::function<void(std::uint64_t conn_token, const StatsRequestMsg&)>;
 
 class NetServer {
  public:
@@ -70,6 +79,15 @@ class NetServer {
   /// worker threads.  Returns false when the connection is gone (the
   /// response is dropped).
   bool send_response(std::uint64_t conn_token, const ResponseMsg& response);
+
+  /// Install the STATS admin handler.  Call before start(); without one,
+  /// inbound STATS frames are protocol errors (connection closed).
+  void set_stats_handler(StatsHandler on_stats);
+
+  /// Queue a STATS_RESP snapshot for delivery.  Thread-safe.  Returns
+  /// false when the connection is gone or the encoded snapshot exceeds
+  /// kMaxFramePayload (the frame is dropped, connection left alone).
+  bool send_stats(std::uint64_t conn_token, const StatsSnapshot& snapshot);
 
   ServerStats stats() const;
 

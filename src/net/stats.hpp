@@ -1,0 +1,122 @@
+// The STATS_RESP snapshot: what a running rlbd reports about itself.
+//
+// A snapshot is a pure data object — the engine fills one from its
+// shard-local atomics (no global lock, see ServingEngine::snapshot()) and
+// the wire layer ships it as one STATS_RESP frame.  The encoding is
+// versioned and self-contained: u8 type=4, u32 version, then the fields in
+// declaration order.  Integers are little-endian fixed-width, doubles
+// travel as IEEE-754 bit patterns in a u64, strings as u16 length + bytes,
+// vectors as u32 count + entries.  A decoder that sees an unknown version
+// rejects the payload (clients and daemons ship together; there is no
+// cross-version skew to paper over).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlb::net {
+
+/// Bump on any layout change.
+inline constexpr std::uint32_t kStatsVersion = 1;
+
+/// Number of log2-microsecond latency buckets.  Bucket i counts samples
+/// with floor(log2(us)) == i (bucket 0 also takes us <= 1); the last
+/// bucket is a catch-all.
+inline constexpr std::size_t kLatencyBuckets = 32;
+
+/// Wire-to-response latency, merged across shards.
+struct LatencyStats {
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  std::uint64_t max_us = 0;
+  std::array<std::uint64_t, kLatencyBuckets> buckets{};
+
+  /// Approximate quantile (0 < q < 1) from the log2 buckets: the upper
+  /// edge of the bucket containing the q-th sample.  0 when empty.
+  [[nodiscard]] double quantile_us(double q) const;
+};
+
+/// One worker shard's counters.  Counters are cumulative since engine
+/// start; *_depth / inflight / backlog / servers_down are gauges sampled
+/// at scrape time.
+struct ShardStats {
+  std::uint32_t shard = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_all_down = 0;
+  std::uint64_t rejected_admission = 0;  ///< waiting-room overflow
+  std::uint64_t rejected_drop = 0;       ///< queue dumps / drain flushes
+  std::uint64_t errors = 0;              ///< kError responses (drain)
+  std::uint64_t ticks = 0;
+  std::uint64_t batches = 0;         ///< ticks that served a non-empty batch
+  std::uint64_t batched_chunks = 0;  ///< sum of micro-batch sizes
+  std::uint64_t max_batch = 0;
+  std::uint64_t inbound_depth = 0;
+  std::uint64_t waiting_depth = 0;
+  std::uint64_t inflight = 0;
+  std::uint64_t backlog = 0;
+  std::uint64_t servers_down = 0;
+  std::uint64_t step_ns = 0;  ///< cumulative balancer step() time
+
+  [[nodiscard]] std::uint64_t rejected_total() const {
+    return rejected_queue_full + rejected_all_down + rejected_admission +
+           rejected_drop;
+  }
+};
+
+/// One level of the Def 3.2 envelope as observed at scrape time.
+struct SafeSetLevelStats {
+  std::uint32_t level = 0;    ///< j
+  std::uint64_t observed = 0; ///< servers with backlog > j
+  double bound = 0.0;         ///< m / 2^j
+  double ratio = 0.0;         ///< observed / bound
+};
+
+/// The full snapshot carried by one STATS_RESP frame.
+struct StatsSnapshot {
+  std::uint32_t version = kStatsVersion;
+  std::uint64_t uptime_ms = 0;
+
+  // Engine configuration (static for the daemon's lifetime).
+  std::string policy;
+  std::uint32_t servers = 0;
+  std::uint32_t replication = 0;
+  std::uint32_t processing_rate = 0;
+  std::uint32_t queue_capacity = 0;
+  std::uint32_t shard_count = 0;
+
+  std::vector<ShardStats> shards;
+  LatencyStats latency;
+
+  // Safe-set invariant monitor (Def 3.2 over the merged backlog vector).
+  std::vector<SafeSetLevelStats> safe_set;
+  double safe_worst_ratio = 0.0;
+  std::uint32_t safe_violated_level = 0;  ///< 0 when safe
+
+  /// Sum of all shard rows (shard id meaningless in the result).
+  [[nodiscard]] ShardStats totals() const;
+};
+
+/// Serialize `snapshot` as a STATS_RESP payload (type byte included, no
+/// frame length prefix) appended to `out`.
+void encode_stats_payload(const StatsSnapshot& snapshot,
+                          std::vector<std::uint8_t>& out);
+
+/// Parse a STATS_RESP payload.  Returns false on a malformed body or a
+/// version other than kStatsVersion; `out` is unspecified on failure.
+bool decode_stats_payload(const std::uint8_t* data, std::size_t size,
+                          StatsSnapshot& out);
+
+/// Prometheus text exposition (one `# TYPE` line per family, `{shard=...}`
+/// and `{level=...}` labels, log2 latency buckets as a cumulative
+/// histogram).
+std::string render_prometheus(const StatsSnapshot& snapshot);
+
+/// One-line JSON object (for --safe-set-log streams and bench output).
+std::string render_json(const StatsSnapshot& snapshot);
+
+}  // namespace rlb::net

@@ -62,8 +62,27 @@ void encode_response(const ResponseMsg& msg, std::vector<std::uint8_t>& out) {
   put_u32(out, msg.wait_steps);
 }
 
+void encode_stats_request(const StatsRequestMsg& msg,
+                          std::vector<std::uint8_t>& out) {
+  put_u32(out, static_cast<std::uint32_t>(kStatsPayloadSize));
+  out.push_back(static_cast<std::uint8_t>(MsgType::kStats));
+  put_u32(out, msg.flags);
+}
+
+bool encode_stats_response_frame(const std::vector<std::uint8_t>& payload,
+                                 std::vector<std::uint8_t>& out) {
+  if (payload.empty() || payload.size() > kMaxFramePayload) return false;
+  if (payload[0] != static_cast<std::uint8_t>(MsgType::kStatsResponse)) {
+    return false;
+  }
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return true;
+}
+
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
-                       RequestMsg& request, ResponseMsg& response) {
+                       RequestMsg& request, ResponseMsg& response,
+                       StatsRequestMsg& stats) {
   if (size == 0) return Decoded::kMalformed;
   switch (static_cast<MsgType>(data[0])) {
     case MsgType::kRequest:
@@ -83,8 +102,24 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size,
       response.wait_steps = get_u32(data + 14);
       return Decoded::kResponse;
     }
+    case MsgType::kStats:
+      if (size != kStatsPayloadSize) return Decoded::kMalformed;
+      stats.flags = get_u32(data + 1);
+      return Decoded::kStats;
+    case MsgType::kStatsResponse:
+      // The snapshot body is versioned and parsed by net/stats.hpp; here we
+      // only classify, requiring room for the version word that follows the
+      // type byte.
+      if (size < 5) return Decoded::kMalformed;
+      return Decoded::kStatsResponse;
   }
   return Decoded::kMalformed;
+}
+
+Decoded decode_payload(const std::uint8_t* data, std::size_t size,
+                       RequestMsg& request, ResponseMsg& response) {
+  StatsRequestMsg scratch;
+  return decode_payload(data, size, request, response, scratch);
 }
 
 bool FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {

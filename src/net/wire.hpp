@@ -6,9 +6,12 @@
 // decodes with no lookahead beyond its length prefix and encodes with no
 // allocation beyond the output buffer.
 //
-//   REQUEST  (client -> rlbd):  u8 type=1, u64 request_id, u64 key
-//   RESPONSE (rlbd -> client):  u8 type=2, u64 request_id, u8 status,
-//                               u32 server, u32 wait_steps
+//   REQUEST    (client -> rlbd):  u8 type=1, u64 request_id, u64 key
+//   RESPONSE   (rlbd -> client):  u8 type=2, u64 request_id, u8 status,
+//                                 u32 server, u32 wait_steps
+//   STATS      (client -> rlbd):  u8 type=3, u32 flags (reserved, send 0)
+//   STATS_RESP (rlbd -> client):  u8 type=4, versioned snapshot blob
+//                                 (see net/stats.hpp for the layout)
 //
 // `request_id` is client-assigned and echoed verbatim; responses may come
 // back in any order (the engine answers in service order, not arrival
@@ -25,11 +28,18 @@
 
 namespace rlb::net {
 
-/// Hard ceiling on a frame's payload size.  Both message types are tiny;
-/// anything larger is a corrupt or hostile stream and kills the connection.
-inline constexpr std::uint32_t kMaxFramePayload = 1024;
+/// Hard ceiling on a frame's payload size.  Request/response frames are
+/// tiny, but a STATS_RESP snapshot carries per-shard rows, latency buckets
+/// and safe-set levels, so the cap is sized for it.  Anything larger is a
+/// corrupt or hostile stream and kills the connection.
+inline constexpr std::uint32_t kMaxFramePayload = 64 * 1024;
 
-enum class MsgType : std::uint8_t { kRequest = 1, kResponse = 2 };
+enum class MsgType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kStats = 3,
+  kStatsResponse = 4,
+};
 
 enum class Status : std::uint8_t { kOk = 0, kReject = 1, kError = 2 };
 
@@ -49,19 +59,46 @@ struct ResponseMsg {
   std::uint32_t wait_steps = 0;
 };
 
+/// Admin request for a live metrics snapshot.  `flags` is reserved for
+/// future sub-selection (always send 0; the daemon ignores it today).
+struct StatsRequestMsg {
+  std::uint32_t flags = 0;
+};
+
 /// Encoded sizes (frame = 4-byte length prefix + payload).
 inline constexpr std::size_t kRequestPayloadSize = 17;
 inline constexpr std::size_t kResponsePayloadSize = 18;
+inline constexpr std::size_t kStatsPayloadSize = 5;
 
 /// Append one framed message to `out`.
 void encode_request(const RequestMsg& msg, std::vector<std::uint8_t>& out);
 void encode_response(const ResponseMsg& msg, std::vector<std::uint8_t>& out);
+void encode_stats_request(const StatsRequestMsg& msg,
+                          std::vector<std::uint8_t>& out);
+/// Frame an already-encoded STATS_RESP payload (type byte included — see
+/// net/stats.hpp encode_stats_payload).  Returns false (and appends
+/// nothing) when the payload exceeds kMaxFramePayload.
+bool encode_stats_response_frame(const std::vector<std::uint8_t>& payload,
+                                 std::vector<std::uint8_t>& out);
 
 /// What a payload decoded to.
-enum class Decoded : std::uint8_t { kRequest, kResponse, kMalformed };
+enum class Decoded : std::uint8_t {
+  kRequest,
+  kResponse,
+  kStats,
+  /// A STATS_RESP frame.  decode_payload only classifies it; the snapshot
+  /// body is parsed separately (net/stats.hpp decode_stats_payload).
+  kStatsResponse,
+  kMalformed,
+};
 
-/// Decode one frame payload (no length prefix).  Exactly one of
-/// `request` / `response` is filled on success.
+/// Decode one frame payload (no length prefix).  At most one of
+/// `request` / `response` / `stats` is filled on success.
+Decoded decode_payload(const std::uint8_t* data, std::size_t size,
+                       RequestMsg& request, ResponseMsg& response,
+                       StatsRequestMsg& stats);
+
+/// Request/response-only form: STATS frames classify but fill nothing.
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
                        RequestMsg& request, ResponseMsg& response);
 

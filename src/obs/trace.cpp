@@ -41,6 +41,7 @@ constexpr KindName kKindNames[] = {
     {EventKind::kMigration, "migration"},
     {EventKind::kFault, "fault"},
     {EventKind::kNet, "net"},
+    {EventKind::kEngine, "engine"},
     {EventKind::kScope, "scope"},
     {EventKind::kCounter, "counter"},
 };

@@ -45,6 +45,7 @@ enum class EventKind : std::uint8_t {
   kMigration,
   kFault,
   kNet,
+  kEngine,
   kScope,
   kCounter,
 };

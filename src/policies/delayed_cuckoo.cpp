@@ -120,7 +120,9 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
     // Reappearance within the phase: follow the most recent T_{t'}.
     if (it->second == kAssignmentFailed) {
       metrics.on_rejected();
-      if (sink_ != nullptr) sink_->on_rejected(x);
+      if (sink_ != nullptr) {
+        sink_->on_rejected(x, core::RejectCause::kQueueFull);
+      }
       if (obs_active_) {
         obs::emit(obs::EventKind::kReject, "cuckoo.reject_failed_assign", x,
                   t);
@@ -142,7 +144,9 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
         // Lemma 4.5 says this cannot happen when q = Θ(log log m) with a
         // sufficient constant; kept for smaller configurations.
         metrics.on_rejected();
-        if (sink_ != nullptr) sink_->on_rejected(x);
+        if (sink_ != nullptr) {
+          sink_->on_rejected(x, core::RejectCause::kQueueFull);
+        }
         if (obs_active_) {
           obs::emit(obs::EventKind::kReject, "cuckoo.reject_p_full", x,
                     target);
@@ -164,7 +168,9 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
     if (!a_up && !b_up) {
       all_down_counter.add();
       metrics.on_rejected();
-      if (sink_ != nullptr) sink_->on_rejected(x);
+      if (sink_ != nullptr) {
+        sink_->on_rejected(x, core::RejectCause::kAllReplicasDown);
+      }
       if (obs_active_) {
         obs::emit(obs::EventKind::kReject, "cuckoo.reject_all_down", x, t);
       }
@@ -183,7 +189,9 @@ void DelayedCuckooBalancer::deliver(core::Time t, core::ChunkId x,
   }
   if (!state_[target].q.push(core::Request{x, t})) {
     metrics.on_rejected();
-    if (sink_ != nullptr) sink_->on_rejected(x);
+    if (sink_ != nullptr) {
+      sink_->on_rejected(x, core::RejectCause::kQueueFull);
+    }
     if (obs_active_) {
       obs::emit(obs::EventKind::kReject, "cuckoo.reject_q_full", x, target);
     }
@@ -208,7 +216,7 @@ std::size_t DelayedCuckooBalancer::drop_queue(core::ServerQueue& queue) {
   if (sink_ == nullptr) return queue.clear();
   std::size_t dropped = 0;
   while (!queue.empty()) {
-    sink_->on_rejected(queue.pop().chunk);
+    sink_->on_rejected(queue.pop().chunk, core::RejectCause::kQueueDrop);
     ++dropped;
   }
   return dropped;

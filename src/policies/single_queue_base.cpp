@@ -53,7 +53,9 @@ void SingleQueueBalancer::deliver(core::Time t, core::ChunkId x,
     if (live.empty()) {
       all_down_counter.add();
       metrics.on_rejected();
-      if (sink_ != nullptr) sink_->on_rejected(x);
+      if (sink_ != nullptr) {
+        sink_->on_rejected(x, core::RejectCause::kAllReplicasDown);
+      }
       if (obs_active_) {
         obs::emit(obs::EventKind::kReject, "sq.reject_all_down", x, t);
       }
@@ -85,7 +87,7 @@ void SingleQueueBalancer::deliver(core::Time t, core::ChunkId x,
     }
   }
   metrics.on_rejected();
-  if (sink_ != nullptr) sink_->on_rejected(x);
+  if (sink_ != nullptr) sink_->on_rejected(x, core::RejectCause::kQueueFull);
   if (obs_active_) obs::emit(obs::EventKind::kReject, "sq.reject", x, target);
 }
 
@@ -94,7 +96,7 @@ std::size_t SingleQueueBalancer::drop_queue(core::ServerId server) {
   std::size_t dropped = 0;
   while (!cluster_.empty(server)) {
     const core::Request request = cluster_.pop(server);
-    sink_->on_rejected(request.chunk);
+    sink_->on_rejected(request.chunk, core::RejectCause::kQueueDrop);
     ++dropped;
   }
   return dropped;

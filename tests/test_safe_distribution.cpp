@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace rlb::core {
 namespace {
 
@@ -86,6 +88,94 @@ TEST(SafeDistribution, GeometricDecayIsSafe) {
 
 TEST(SafeDistribution, EmptyInputIsSafe) {
   EXPECT_TRUE(check_safe_distribution({}).safe);
+}
+
+// -- safe_set_levels: the per-level report behind the STATS monitor ------
+
+TEST(SafeSetLevels, ExactlyAtTheEnvelope) {
+  // m = 8, counts sit exactly on the m/2^j bound at every level:
+  //   > 1: 4 servers (bound 8/2 = 4)
+  //   > 2: 2 servers (bound 8/4 = 2)
+  //   > 3: 1 server  (bound 8/8 = 1)
+  const std::vector<std::uint32_t> backlogs = {2, 2, 3, 4, 0, 0, 0, 0};
+  const auto levels = safe_set_levels(backlogs);
+  // Levels run j = 1 .. max backlog; the top level always observes 0
+  // (nobody exceeds the maximum).
+  ASSERT_EQ(levels.size(), 4u);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    EXPECT_EQ(levels[i].level, i + 1);
+    EXPECT_DOUBLE_EQ(levels[i].bound, 8.0 / (1u << (i + 1)));
+  }
+  EXPECT_EQ(levels[0].observed, 4u);
+  EXPECT_EQ(levels[1].observed, 2u);
+  EXPECT_EQ(levels[2].observed, 1u);
+  EXPECT_EQ(levels[3].observed, 0u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(levels[i].ratio, 1.0) << "level " << levels[i].level;
+  }
+  EXPECT_DOUBLE_EQ(levels[3].ratio, 0.0);
+  // The per-level max must agree with the checker's worst_ratio.
+  EXPECT_DOUBLE_EQ(check_safe_distribution(backlogs).worst_ratio, 1.0);
+}
+
+TEST(SafeSetLevels, JustUnderTheEnvelope) {
+  // m = 8 again but one fewer server at each tail: 3 with backlog > 1,
+  // 1 with backlog > 2, 0 with backlog > 3.
+  const std::vector<std::uint32_t> backlogs = {2, 2, 3, 0, 0, 0, 0, 0};
+  const auto levels = safe_set_levels(backlogs);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0].level, 1u);
+  EXPECT_EQ(levels[0].observed, 3u);
+  EXPECT_DOUBLE_EQ(levels[0].ratio, 3.0 / 4.0);
+  EXPECT_EQ(levels[1].level, 2u);
+  EXPECT_EQ(levels[1].observed, 1u);
+  EXPECT_DOUBLE_EQ(levels[1].ratio, 1.0 / 2.0);
+  EXPECT_EQ(levels[2].observed, 0u);
+  for (const SafeSetLevel& level : levels) {
+    EXPECT_LT(level.ratio, 1.0) << "level " << level.level;
+  }
+  EXPECT_TRUE(check_safe_distribution(backlogs).safe);
+}
+
+TEST(SafeSetLevels, JustOverTheEnvelope) {
+  // m = 8, one extra server past the bound at level 2: 3 servers with
+  // backlog > 2 against a bound of 2.
+  const std::vector<std::uint32_t> backlogs = {3, 3, 3, 0, 0, 0, 0, 0};
+  const auto levels = safe_set_levels(backlogs);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_DOUBLE_EQ(levels[0].ratio, 3.0 / 4.0);  // > 1: 3 of bound 4
+  EXPECT_DOUBLE_EQ(levels[1].ratio, 3.0 / 2.0);  // > 2: 3 of bound 2 — over
+  EXPECT_DOUBLE_EQ(levels[2].ratio, 0.0);        // > 3: none
+  const SafetyReport report = check_safe_distribution(backlogs);
+  EXPECT_FALSE(report.safe);
+  EXPECT_EQ(report.violated_level, 2u);
+  EXPECT_DOUBLE_EQ(report.worst_ratio, 1.5);
+}
+
+TEST(SafeSetLevels, MaxRatioMatchesCheckerWorstRatio) {
+  // A messier vector: the per-level maximum must be exactly what
+  // check_safe_distribution reports as worst_ratio.
+  const std::vector<std::uint32_t> backlogs = {0, 1, 1, 2, 2, 2, 5, 9,
+                                               0, 0, 1, 3, 0, 0, 0, 7};
+  const auto levels = safe_set_levels(backlogs);
+  ASSERT_FALSE(levels.empty());
+  double max_ratio = 0.0;
+  for (const SafeSetLevel& level : levels) {
+    max_ratio = std::max(max_ratio, level.ratio);
+  }
+  EXPECT_DOUBLE_EQ(max_ratio, check_safe_distribution(backlogs).worst_ratio);
+}
+
+TEST(SafeSetLevels, DegenerateInputs) {
+  // Backlogs capped at 1: a single level j=1 observing nothing.
+  const auto levels = safe_set_levels({0, 1, 1, 0});
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(levels[0].level, 1u);
+  EXPECT_EQ(levels[0].observed, 0u);
+  EXPECT_DOUBLE_EQ(levels[0].ratio, 0.0);
+  // All idle / no servers: no levels at all.
+  EXPECT_TRUE(safe_set_levels({0, 0, 0}).empty());
+  EXPECT_TRUE(safe_set_levels({}).empty());
 }
 
 }  // namespace

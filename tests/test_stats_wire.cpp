@@ -1,0 +1,271 @@
+// Unit tests for the STATS wire channel (net/stats.hpp + the kStats /
+// kStatsResponse opcodes in net/wire.hpp): snapshot codec round-trip,
+// malformed-payload and version-mismatch rejection, frame classification,
+// and the Prometheus / JSON renderings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/stats.hpp"
+#include "net/wire.hpp"
+
+namespace rlb::net {
+namespace {
+
+/// A snapshot with every field populated, so the round-trip test covers
+/// the full layout (including the vectors and the histogram array).
+StatsSnapshot make_full_snapshot() {
+  StatsSnapshot snapshot;
+  snapshot.uptime_ms = 123456;
+  snapshot.policy = "greedy";
+  snapshot.servers = 64;
+  snapshot.replication = 4;
+  snapshot.processing_rate = 4;
+  snapshot.queue_capacity = 7;
+  snapshot.shard_count = 2;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    ShardStats shard;
+    shard.shard = i;
+    shard.submitted = 1000 + i;
+    shard.completed = 900 + i;
+    shard.rejected_queue_full = 40;
+    shard.rejected_all_down = 5;
+    shard.rejected_admission = 30;
+    shard.rejected_drop = 25 + i;
+    shard.errors = i;
+    shard.ticks = 5000;
+    shard.batches = 4000;
+    shard.batched_chunks = 12000;
+    shard.max_batch = 32;
+    shard.inbound_depth = 3;
+    shard.waiting_depth = 2;
+    shard.inflight = 1;
+    shard.backlog = 17;
+    shard.servers_down = i;
+    shard.step_ns = 987654321;
+    snapshot.shards.push_back(shard);
+  }
+  snapshot.latency.count = 1000;
+  snapshot.latency.sum_us = 500000;
+  snapshot.latency.max_us = 9000;
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+    snapshot.latency.buckets[i] = i * 10;
+  }
+  snapshot.safe_set.push_back({1, 30, 32.0, 0.9375});
+  snapshot.safe_set.push_back({2, 20, 16.0, 1.25});
+  snapshot.safe_worst_ratio = 1.25;
+  snapshot.safe_violated_level = 2;
+  return snapshot;
+}
+
+TEST(StatsCodec, RoundTripPreservesEveryField) {
+  const StatsSnapshot original = make_full_snapshot();
+  std::vector<std::uint8_t> payload;
+  encode_stats_payload(original, payload);
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(payload[0], static_cast<std::uint8_t>(MsgType::kStatsResponse));
+
+  StatsSnapshot decoded;
+  ASSERT_TRUE(decode_stats_payload(payload.data(), payload.size(), decoded));
+  EXPECT_EQ(decoded.version, kStatsVersion);
+  EXPECT_EQ(decoded.uptime_ms, original.uptime_ms);
+  EXPECT_EQ(decoded.policy, original.policy);
+  EXPECT_EQ(decoded.servers, original.servers);
+  EXPECT_EQ(decoded.replication, original.replication);
+  EXPECT_EQ(decoded.processing_rate, original.processing_rate);
+  EXPECT_EQ(decoded.queue_capacity, original.queue_capacity);
+  EXPECT_EQ(decoded.shard_count, original.shard_count);
+  ASSERT_EQ(decoded.shards.size(), original.shards.size());
+  for (std::size_t i = 0; i < original.shards.size(); ++i) {
+    const ShardStats& a = original.shards[i];
+    const ShardStats& b = decoded.shards[i];
+    EXPECT_EQ(b.shard, a.shard);
+    EXPECT_EQ(b.submitted, a.submitted);
+    EXPECT_EQ(b.completed, a.completed);
+    EXPECT_EQ(b.rejected_queue_full, a.rejected_queue_full);
+    EXPECT_EQ(b.rejected_all_down, a.rejected_all_down);
+    EXPECT_EQ(b.rejected_admission, a.rejected_admission);
+    EXPECT_EQ(b.rejected_drop, a.rejected_drop);
+    EXPECT_EQ(b.errors, a.errors);
+    EXPECT_EQ(b.ticks, a.ticks);
+    EXPECT_EQ(b.batches, a.batches);
+    EXPECT_EQ(b.batched_chunks, a.batched_chunks);
+    EXPECT_EQ(b.max_batch, a.max_batch);
+    EXPECT_EQ(b.inbound_depth, a.inbound_depth);
+    EXPECT_EQ(b.waiting_depth, a.waiting_depth);
+    EXPECT_EQ(b.inflight, a.inflight);
+    EXPECT_EQ(b.backlog, a.backlog);
+    EXPECT_EQ(b.servers_down, a.servers_down);
+    EXPECT_EQ(b.step_ns, a.step_ns);
+  }
+  EXPECT_EQ(decoded.latency.count, original.latency.count);
+  EXPECT_EQ(decoded.latency.sum_us, original.latency.sum_us);
+  EXPECT_EQ(decoded.latency.max_us, original.latency.max_us);
+  EXPECT_EQ(decoded.latency.buckets, original.latency.buckets);
+  ASSERT_EQ(decoded.safe_set.size(), original.safe_set.size());
+  for (std::size_t i = 0; i < original.safe_set.size(); ++i) {
+    EXPECT_EQ(decoded.safe_set[i].level, original.safe_set[i].level);
+    EXPECT_EQ(decoded.safe_set[i].observed, original.safe_set[i].observed);
+    EXPECT_DOUBLE_EQ(decoded.safe_set[i].bound, original.safe_set[i].bound);
+    EXPECT_DOUBLE_EQ(decoded.safe_set[i].ratio, original.safe_set[i].ratio);
+  }
+  EXPECT_DOUBLE_EQ(decoded.safe_worst_ratio, original.safe_worst_ratio);
+  EXPECT_EQ(decoded.safe_violated_level, original.safe_violated_level);
+}
+
+TEST(StatsCodec, EmptySnapshotRoundTrips) {
+  StatsSnapshot original;  // default-constructed: no shards, no safe set
+  std::vector<std::uint8_t> payload;
+  encode_stats_payload(original, payload);
+  StatsSnapshot decoded;
+  ASSERT_TRUE(decode_stats_payload(payload.data(), payload.size(), decoded));
+  EXPECT_TRUE(decoded.shards.empty());
+  EXPECT_TRUE(decoded.safe_set.empty());
+  EXPECT_EQ(decoded.policy, "");
+}
+
+TEST(StatsCodec, TruncationAtEveryPrefixIsRejected) {
+  std::vector<std::uint8_t> payload;
+  encode_stats_payload(make_full_snapshot(), payload);
+  StatsSnapshot decoded;
+  // Every strict prefix must fail cleanly: either a cursor bounds check
+  // or the final exhaustion check catches it.
+  for (std::size_t size = 0; size < payload.size(); ++size) {
+    EXPECT_FALSE(decode_stats_payload(payload.data(), size, decoded))
+        << "prefix of " << size << " bytes decoded";
+  }
+}
+
+TEST(StatsCodec, TrailingGarbageIsRejected) {
+  std::vector<std::uint8_t> payload;
+  encode_stats_payload(make_full_snapshot(), payload);
+  payload.push_back(0xAB);
+  StatsSnapshot decoded;
+  EXPECT_FALSE(decode_stats_payload(payload.data(), payload.size(), decoded));
+}
+
+TEST(StatsCodec, VersionMismatchIsRejected) {
+  std::vector<std::uint8_t> payload;
+  encode_stats_payload(make_full_snapshot(), payload);
+  // version is the u32 right after the type byte (little-endian)
+  payload[1] = static_cast<std::uint8_t>(kStatsVersion + 1);
+  StatsSnapshot decoded;
+  EXPECT_FALSE(decode_stats_payload(payload.data(), payload.size(), decoded));
+}
+
+TEST(StatsCodec, WrongTypeByteIsRejected) {
+  std::vector<std::uint8_t> payload;
+  encode_stats_payload(make_full_snapshot(), payload);
+  payload[0] = static_cast<std::uint8_t>(MsgType::kResponse);
+  StatsSnapshot decoded;
+  EXPECT_FALSE(decode_stats_payload(payload.data(), payload.size(), decoded));
+}
+
+TEST(StatsWire, StatsRequestRoundTripsThroughDecodePayload) {
+  std::vector<std::uint8_t> frame;
+  encode_stats_request(StatsRequestMsg{0xDEADBEEF}, frame);
+  // Frame = u32 length prefix + payload.
+  ASSERT_EQ(frame.size(), 4 + kStatsPayloadSize);
+  RequestMsg request;
+  ResponseMsg response;
+  StatsRequestMsg stats;
+  EXPECT_EQ(decode_payload(frame.data() + 4, frame.size() - 4, request,
+                           response, stats),
+            Decoded::kStats);
+  EXPECT_EQ(stats.flags, 0xDEADBEEFu);
+}
+
+TEST(StatsWire, StatsRequestWithWrongSizeIsMalformed) {
+  std::vector<std::uint8_t> frame;
+  encode_stats_request(StatsRequestMsg{1}, frame);
+  RequestMsg request;
+  ResponseMsg response;
+  StatsRequestMsg stats;
+  EXPECT_EQ(decode_payload(frame.data() + 4, frame.size() - 4 - 1, request,
+                           response, stats),
+            Decoded::kMalformed);
+}
+
+TEST(StatsWire, ResponseFrameWrapsPayloadAndRejectsOversize) {
+  std::vector<std::uint8_t> payload;
+  encode_stats_payload(make_full_snapshot(), payload);
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(encode_stats_response_frame(payload, frame));
+  ASSERT_EQ(frame.size(), payload.size() + 4);
+
+  // The framed payload classifies as kStatsResponse...
+  RequestMsg request;
+  ResponseMsg response;
+  StatsRequestMsg stats;
+  EXPECT_EQ(decode_payload(frame.data() + 4, frame.size() - 4, request,
+                           response, stats),
+            Decoded::kStatsResponse);
+  // ...and still decodes to the snapshot.
+  StatsSnapshot decoded;
+  EXPECT_TRUE(decode_stats_payload(frame.data() + 4, frame.size() - 4,
+                                   decoded));
+
+  // A payload over the frame cap must be refused, not truncated.
+  std::vector<std::uint8_t> oversize(kMaxFramePayload + 1,
+                                     static_cast<std::uint8_t>(
+                                         MsgType::kStatsResponse));
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(encode_stats_response_frame(oversize, out));
+}
+
+TEST(LatencyStats, QuantilesTrackTheLog2Buckets) {
+  LatencyStats latency;
+  // 90 samples in bucket 3 (us in (8, 16]), 10 in bucket 10.
+  latency.buckets[3] = 90;
+  latency.buckets[10] = 10;
+  latency.count = 100;
+  latency.max_us = 1500;
+  EXPECT_DOUBLE_EQ(latency.quantile_us(0.5), 16.0);   // 2^(3+1)
+  EXPECT_DOUBLE_EQ(latency.quantile_us(0.99), 2048.0);  // 2^(10+1)
+  EXPECT_EQ(LatencyStats{}.quantile_us(0.5), 0.0);
+}
+
+TEST(StatsRender, PrometheusExpositionIsWellFormed) {
+  const std::string text = render_prometheus(make_full_snapshot());
+  EXPECT_NE(text.find("rlb_up 1\n"), std::string::npos);
+  EXPECT_NE(text.find("rlb_engine_submitted_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("rlb_engine_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("rlb_safe_set_ratio{level=\"2\"}"), std::string::npos);
+  EXPECT_NE(text.find("rlb_safe_set_worst_ratio"), std::string::npos);
+  // Every non-comment line splits into `body value` with a numeric value.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    const std::string value = line.substr(space + 1);
+    std::size_t pos = 0;
+    EXPECT_NO_THROW({
+      (void)std::stod(value, &pos);
+      EXPECT_EQ(pos, value.size()) << line;
+    }) << line;
+  }
+}
+
+TEST(StatsRender, JsonCarriesTotalsAndSafeSet) {
+  const std::string json = render_json(make_full_snapshot());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Totals sum the two shard rows (1000 + 1001 submitted).
+  EXPECT_NE(json.find("\"submitted\":2001"), std::string::npos);
+  EXPECT_NE(json.find("\"safe_worst_ratio\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"safe_violated_level\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":\"greedy\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlb::net
