@@ -1,12 +1,22 @@
-// rlb_loadgen — closed-loop load generator for rlbd.
+// rlb_loadgen — load generator for rlbd (and rlb_router).
 //
-// Opens C connections (one thread each); every connection keeps a window of
-// K requests outstanding (send K, then one new request per response) until
-// its share of --requests completes.  Keys come from any core::Workload
-// (the simulator's generators, flattened into a key stream) or from a
-// recorded workloads::Trace — run rlbd with `--mapper range --chunks
-// <universe>` for the identity key->chunk map and the engine sees exactly
-// the model's chunk sequence.
+// Closed loop (default): opens C connections (one thread each); every
+// connection keeps a window of K requests outstanding (send K, then one new
+// request per response) until its share of --requests completes.
+//
+// Open loop (--rate R): each connection sends its share of R requests/sec
+// on a fixed schedule regardless of responses, the way the paper's model
+// offers lambda*m*g load per step whether or not queues are keeping up.
+// Latency is measured from the *intended* send time, so a stalled server
+// shows up as tail latency instead of being silently absorbed by the
+// pacing gap (coordinated-omission-safe).  After the schedule completes
+// the worker keeps listening for --drain-ms; anything still unanswered is
+// reported separately.
+//
+// Keys come from any core::Workload (the simulator's generators, flattened
+// into a key stream) or from a recorded workloads::Trace — run rlbd with
+// `--mapper range --chunks <universe>` for the identity key->chunk map and
+// the engine sees exactly the model's chunk sequence.
 //
 // Reports throughput, rejection/error rates, and end-to-end latency
 // quantiles (p50/p95/p99, microseconds, via stats::CountingHistogram), plus
@@ -55,17 +65,45 @@ struct Options {
   std::uint64_t seed = 1;
   std::string json_path;
   std::size_t latency_cap_us = 200000;  // histogram exact range
+  double rate = 0.0;                    // total offered req/s; 0 = closed loop
+  std::uint64_t drain_ms = 2000;        // open-loop post-schedule listen window
 };
 
 struct WorkerResult {
   std::uint64_t sent = 0;
   std::uint64_t ok = 0;
-  std::uint64_t rejected = 0;
+  std::uint64_t rejected = 0;  // every is_reject() status, causes below
+  std::uint64_t rejected_upstream_down = 0;
+  std::uint64_t rejected_upstream_timeout = 0;
   std::uint64_t errors = 0;
+  std::uint64_t unanswered = 0;  // open loop: still in flight at drain end
   std::uint64_t protocol_errors = 0;
   stats::CountingHistogram latency_us{0};
   stats::CountingHistogram wait_steps{1024};
 };
+
+// Statuses 0..2 come from a backend's balancer; 3..4 are hop-level verdicts
+// a router adds when no live replica could take the chunk.  All rejects are
+// answered outcomes (the paper's bounded queue saying no), so they keep
+// their latency sample; only transport failures count as errors.
+void classify(const net::ResponseMsg& response, std::uint64_t us,
+              WorkerResult& result) {
+  if (response.status == net::Status::kOk) {
+    ++result.ok;
+    result.latency_us.add(us);
+    result.wait_steps.add(response.wait_steps);
+  } else if (net::is_reject(response.status)) {
+    ++result.rejected;
+    if (response.status == net::Status::kRejectUpstreamDown) {
+      ++result.rejected_upstream_down;
+    } else if (response.status == net::Status::kRejectUpstreamTimeout) {
+      ++result.rejected_upstream_timeout;
+    }
+    result.latency_us.add(us);
+  } else {
+    ++result.errors;
+  }
+}
 
 // Flattens a Workload's per-step batches into an endless key stream.
 class KeyStream {
@@ -201,20 +239,7 @@ void run_worker(const Options& options, std::size_t worker,
                   .count());
       in_flight.erase(it);
       ++completed;
-      switch (response.status) {
-        case net::Status::kOk:
-          ++result.ok;
-          result.latency_us.add(us);
-          result.wait_steps.add(response.wait_steps);
-          break;
-        case net::Status::kReject:
-          ++result.rejected;
-          result.latency_us.add(us);
-          break;
-        default:
-          ++result.errors;
-          break;
-      }
+      classify(response, us, result);
       if (result.sent < quota) {
         send_one();
         client.flush();
@@ -230,6 +255,86 @@ void run_worker(const Options& options, std::size_t worker,
   client.close();
 }
 
+// Open-loop worker: request i's intended send time is start + i/rate_share.
+// Sends catch up in a burst when the loop falls behind (the schedule, not
+// the loop, defines offered load); receives interleave under a 1ms receive
+// timeout so pacing never blocks on a slow server.
+void run_worker_open_loop(const Options& options, std::size_t worker,
+                          std::uint64_t quota, double rate_share,
+                          const workloads::Trace* trace, WorkerResult& result) {
+  result.latency_us = stats::CountingHistogram(options.latency_cap_us);
+  std::unique_ptr<KeyStream> stream = make_stream(options, worker, trace);
+  net::Client client;
+  try {
+    client.connect(options.host, options.port);
+  } catch (const std::exception& e) {
+    std::cerr << "rlb_loadgen: worker " << worker << ": " << e.what() << "\n";
+    result.errors += quota;
+    return;
+  }
+  client.set_recv_timeout_ms(1);
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const std::chrono::nanoseconds interval(
+      static_cast<std::uint64_t>(1e9 / std::max(rate_share, 1e-6)));
+  const std::chrono::milliseconds drain(options.drain_ms);
+  std::unordered_map<std::uint64_t, Clock::time_point> in_flight;
+  in_flight.reserve(1024);
+  std::uint64_t next_id = (static_cast<std::uint64_t>(worker) << 40) + 1;
+  Clock::time_point drain_deadline{};
+
+  try {
+    net::ResponseMsg response;
+    while (result.sent < quota || !in_flight.empty()) {
+      const auto now = Clock::now();
+      if (result.sent < quota) {
+        const auto intended = start + interval * result.sent;
+        if (now >= intended) {
+          const std::uint64_t id = next_id++;
+          // Latency clock starts at the *intended* time: queueing caused by
+          // our own pacing loop falling behind is server-visible delay too.
+          in_flight.emplace(id, intended);
+          client.send_request(id, stream->next());
+          client.flush();
+          ++result.sent;
+          if (result.sent == quota) drain_deadline = Clock::now() + drain;
+          continue;  // burst until back on schedule
+        }
+      } else if (now >= drain_deadline) {
+        break;
+      }
+      const net::ReadOutcome outcome = client.try_read_response(response);
+      if (outcome == net::ReadOutcome::kTimeout) continue;
+      if (outcome == net::ReadOutcome::kEof) {
+        // Server went away; the schedule's remainder has nowhere to go.
+        result.errors += in_flight.size() + (quota - result.sent);
+        in_flight.clear();
+        break;
+      }
+      const auto it = in_flight.find(response.request_id);
+      if (it == in_flight.end()) {
+        ++result.protocol_errors;
+        break;
+      }
+      const std::uint64_t us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                it->second)
+              .count());
+      in_flight.erase(it);
+      classify(response, us, result);
+    }
+  } catch (const net::ProtocolError& e) {
+    std::cerr << "rlb_loadgen: worker " << worker << ": " << e.what() << "\n";
+    ++result.protocol_errors;
+  } catch (const std::exception& e) {
+    std::cerr << "rlb_loadgen: worker " << worker << ": " << e.what() << "\n";
+    result.errors += quota - result.sent;
+  }
+  result.unanswered += in_flight.size();
+  client.close();
+}
+
 void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [flags]\n"
@@ -237,7 +342,13 @@ void usage(const char* argv0) {
       << "  --port <p>             server port (default 4117)\n"
       << "  --connections <c>      client connections/threads (default 4)\n"
       << "  --concurrency <k>      outstanding requests per connection\n"
+      << "                         (closed loop only)\n"
       << "  --requests <n>         total requests across connections\n"
+      << "  --rate <rps>           open loop: offered load in req/s, split\n"
+      << "                         across connections; latency is measured\n"
+      << "                         from each request's scheduled send time\n"
+      << "  --drain-ms <ms>        open loop: wait this long for stragglers\n"
+      << "                         after the schedule ends (default 2000)\n"
       << "  --workload <name>      uniform|fresh|repeated-set|zipf|trace\n"
       << "  --keys <n>             key universe (default 2^20)\n"
       << "  --set-size <n>         repeated-set size |S|\n"
@@ -307,6 +418,19 @@ int main(int argc, char** argv) {
     } else if (flag == "--requests" && has_value) {
       if (!parse_u64_flag("--requests", value(), u64)) return 2;
       options.requests = u64;
+    } else if (flag == "--rate" && has_value) {
+      try {
+        options.rate = std::stod(value());
+      } catch (const std::exception&) {
+        options.rate = -1.0;
+      }
+      if (options.rate <= 0.0) {
+        std::cerr << "rlb_loadgen: --rate needs a positive req/s value\n";
+        return 2;
+      }
+    } else if (flag == "--drain-ms" && has_value) {
+      if (!parse_u64_flag("--drain-ms", value(), u64)) return 2;
+      options.drain_ms = u64;
     } else if (flag == "--workload" && has_value) {
       options.workload = value();
     } else if (flag == "--keys" && has_value) {
@@ -360,13 +484,21 @@ int main(int argc, char** argv) {
   std::vector<std::thread> threads;
   threads.reserve(workers);
 
+  const bool open_loop = options.rate > 0.0;
+  const double rate_share = options.rate / static_cast<double>(workers);
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t w = 0; w < workers; ++w) {
     const std::uint64_t quota =
         options.requests / workers + (w < options.requests % workers ? 1 : 0);
-    threads.emplace_back([&options, w, quota, &results, &trace] {
-      run_worker(options, w, quota, trace.get(), results[w]);
-    });
+    threads.emplace_back(
+        [&options, w, quota, &results, &trace, open_loop, rate_share] {
+          if (open_loop) {
+            run_worker_open_loop(options, w, quota, rate_share, trace.get(),
+                                 results[w]);
+          } else {
+            run_worker(options, w, quota, trace.get(), results[w]);
+          }
+        });
   }
   for (auto& thread : threads) thread.join();
   const double elapsed =
@@ -379,7 +511,10 @@ int main(int argc, char** argv) {
     total.sent += r.sent;
     total.ok += r.ok;
     total.rejected += r.rejected;
+    total.rejected_upstream_down += r.rejected_upstream_down;
+    total.rejected_upstream_timeout += r.rejected_upstream_timeout;
     total.errors += r.errors;
+    total.unanswered += r.unanswered;
     total.protocol_errors += r.protocol_errors;
     total.latency_us.merge(r.latency_us);
     total.wait_steps.merge(r.wait_steps);
@@ -394,10 +529,18 @@ int main(int argc, char** argv) {
                                 : 0.0;
 
   std::cout << "rlb_loadgen: " << answered << " answered in " << elapsed
-            << "s (" << static_cast<std::uint64_t>(throughput) << " req/s)\n"
+            << "s (" << static_cast<std::uint64_t>(throughput) << " req/s";
+  if (open_loop) {
+    std::cout << ", offered " << static_cast<std::uint64_t>(options.rate)
+              << " req/s open loop";
+  }
+  std::cout << ")\n"
             << "  ok=" << total.ok << " rejected=" << total.rejected
-            << " (rate=" << reject_rate << ")"
+            << " (rate=" << reject_rate << ", upstream_down="
+            << total.rejected_upstream_down << ", upstream_timeout="
+            << total.rejected_upstream_timeout << ")"
             << " errors=" << total.errors
+            << " unanswered=" << total.unanswered
             << " protocol_errors=" << total.protocol_errors << "\n"
             << "  latency_us p50=" << total.latency_us.quantile(0.50)
             << " p95=" << total.latency_us.quantile(0.95)
@@ -414,10 +557,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     os << "{\n"
+       << "  \"mode\": \"" << (open_loop ? "open" : "closed") << "\",\n"
+       << "  \"offered_rps\": " << options.rate << ",\n"
        << "  \"answered\": " << answered << ",\n"
        << "  \"ok\": " << total.ok << ",\n"
        << "  \"rejected\": " << total.rejected << ",\n"
+       << "  \"rejected_upstream_down\": " << total.rejected_upstream_down
+       << ",\n"
+       << "  \"rejected_upstream_timeout\": " << total.rejected_upstream_timeout
+       << ",\n"
        << "  \"errors\": " << total.errors << ",\n"
+       << "  \"unanswered\": " << total.unanswered << ",\n"
        << "  \"protocol_errors\": " << total.protocol_errors << ",\n"
        << "  \"elapsed_seconds\": " << elapsed << ",\n"
        << "  \"throughput_rps\": " << throughput << ",\n"

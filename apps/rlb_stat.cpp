@@ -10,9 +10,11 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
+#include "cluster/router.hpp"
 #include "net/client.hpp"
 #include "net/stats.hpp"
 #include "report/table.hpp"
@@ -29,14 +31,19 @@ void usage(const char* argv0) {
             << "  --port <p>        daemon port (default 4117)\n"
             << "  --watch [s]       refresh every s seconds (default 1)\n"
             << "  --prom            Prometheus text exposition\n"
-            << "  --json            one JSON object per snapshot\n";
+            << "  --json            one JSON object per snapshot\n"
+            << "  --cluster <host:port,...>\n"
+            << "                    fan out: scrape every listed endpoint\n"
+            << "                    (router + backends) and merge into one\n"
+            << "                    per-node table (or a JSON document)\n";
 }
 
 void print_pretty(const rlb::net::StatsSnapshot& snapshot) {
   using rlb::report::Table;
   const rlb::net::ShardStats totals = snapshot.totals();
 
-  std::cout << "rlbd " << snapshot.policy << " m=" << snapshot.servers
+  std::cout << rlb::net::to_string(snapshot.role) << " " << snapshot.policy
+            << " id=" << snapshot.backend_id << " m=" << snapshot.servers
             << " d=" << snapshot.replication << " g="
             << snapshot.processing_rate << " q=" << snapshot.queue_capacity
             << " shards=" << snapshot.shard_count << " uptime="
@@ -102,6 +109,123 @@ void print_pretty(const rlb::net::StatsSnapshot& snapshot) {
   }
 }
 
+/// One endpoint's contribution to the --cluster fan-out.
+struct ClusterRow {
+  rlb::cluster::BackendEndpoint endpoint;
+  bool reachable = false;
+  rlb::net::StatsSnapshot snapshot;
+};
+
+/// Scrape every endpoint once (one dedicated admin connection each).
+std::vector<ClusterRow> scrape_cluster(
+    const std::vector<rlb::cluster::BackendEndpoint>& endpoints) {
+  std::vector<ClusterRow> rows;
+  for (const rlb::cluster::BackendEndpoint& endpoint : endpoints) {
+    ClusterRow row;
+    row.endpoint = endpoint;
+    try {
+      rlb::net::Client client;
+      client.connect(endpoint.host, endpoint.port);
+      client.set_recv_timeout_ms(2000);
+      client.send_stats_request();
+      client.flush();
+      row.reachable = client.read_stats_response(row.snapshot);
+    } catch (const std::exception&) {
+      row.reachable = false;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_cluster_pretty(const std::vector<ClusterRow>& rows) {
+  using rlb::report::Table;
+  Table table({"endpoint", "role", "id", "policy", "m", "submitted",
+               "completed", "rejected", "errors", "backlog", "down", "p99_us",
+               "uptime_s"});
+  rlb::net::ShardStats backend_totals;
+  std::uint64_t backends_seen = 0;
+  for (const ClusterRow& row : rows) {
+    const std::string where =
+        row.endpoint.host + ":" + std::to_string(row.endpoint.port);
+    if (!row.reachable) {
+      table.row().cell(where).cell("unreachable");
+      continue;
+    }
+    const rlb::net::ShardStats t = row.snapshot.totals();
+    table.row()
+        .cell(where)
+        .cell(rlb::net::to_string(row.snapshot.role))
+        .cell(static_cast<std::uint64_t>(row.snapshot.backend_id))
+        .cell(row.snapshot.policy)
+        .cell(static_cast<std::uint64_t>(row.snapshot.servers))
+        .cell(t.submitted)
+        .cell(t.completed)
+        .cell(t.rejected_total())
+        .cell(t.errors)
+        .cell(t.backlog)
+        .cell(t.servers_down)
+        .cell(row.snapshot.latency.quantile_us(0.99), 0)
+        .cell(row.snapshot.uptime_ms / 1000);
+    if (row.snapshot.role == rlb::net::NodeRole::kBackend) {
+      ++backends_seen;
+      backend_totals.submitted += t.submitted;
+      backend_totals.completed += t.completed;
+      backend_totals.rejected_queue_full += t.rejected_total();
+      backend_totals.errors += t.errors;
+      backend_totals.backlog += t.backlog;
+      backend_totals.servers_down += t.servers_down;
+    }
+  }
+  if (backends_seen > 0) {
+    // Backends only: a router relays what backends serve, so summing the
+    // two tiers would double-count completions.
+    table.row()
+        .cell("backends")
+        .cell("total")
+        .cell("")
+        .cell("")
+        .cell("")
+        .cell(backend_totals.submitted)
+        .cell(backend_totals.completed)
+        .cell(backend_totals.rejected_queue_full)
+        .cell(backend_totals.errors)
+        .cell(backend_totals.backlog)
+        .cell(backend_totals.servers_down)
+        .cell("")
+        .cell("");
+  }
+  table.print(std::cout);
+}
+
+void print_cluster_json(const std::vector<ClusterRow>& rows) {
+  std::cout << "{\"endpoints\":[";
+  std::uint64_t backend_completed = 0;
+  std::uint64_t backend_rejected = 0;
+  std::uint64_t backend_errors = 0;
+  bool first = true;
+  for (const ClusterRow& row : rows) {
+    if (!first) std::cout << ",";
+    first = false;
+    std::cout << "{\"endpoint\":\"" << row.endpoint.host << ":"
+              << row.endpoint.port << "\",\"reachable\":"
+              << (row.reachable ? "true" : "false");
+    if (row.reachable) {
+      std::cout << ",\"snapshot\":" << rlb::net::render_json(row.snapshot);
+      if (row.snapshot.role == rlb::net::NodeRole::kBackend) {
+        const rlb::net::ShardStats t = row.snapshot.totals();
+        backend_completed += t.completed;
+        backend_rejected += t.rejected_total();
+        backend_errors += t.errors;
+      }
+    }
+    std::cout << "}";
+  }
+  std::cout << "],\"backend_totals\":{\"completed\":" << backend_completed
+            << ",\"rejected\":" << backend_rejected
+            << ",\"errors\":" << backend_errors << "}}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,6 +237,7 @@ int main(int argc, char** argv) {
   bool prom = false;
   bool json = false;
   std::uint64_t interval_s = 1;
+  std::vector<cluster::BackendEndpoint> cluster_endpoints;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -134,6 +259,13 @@ int main(int argc, char** argv) {
       prom = true;
     } else if (flag == "--json") {
       json = true;
+    } else if (flag == "--cluster" && i + 1 < argc) {
+      try {
+        cluster_endpoints = cluster::parse_backend_list(argv[++i]);
+      } catch (const std::exception& e) {
+        std::cerr << "rlb_stat: " << e.what() << "\n";
+        return 2;
+      }
     } else {
       std::cerr << "rlb_stat: unknown flag '" << flag << "'\n";
       usage(argv[0]);
@@ -143,6 +275,31 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+
+  if (!cluster_endpoints.empty()) {
+    if (prom) {
+      std::cerr << "rlb_stat: --cluster does not support --prom (scrape each "
+                   "endpoint directly)\n";
+      return 2;
+    }
+    do {
+      const std::vector<ClusterRow> rows = scrape_cluster(cluster_endpoints);
+      if (json) {
+        print_cluster_json(rows);
+      } else {
+        if (watch) std::cout << "\033[H\033[2J";
+        print_cluster_pretty(rows);
+      }
+      std::cout.flush();
+      if (watch) {
+        for (std::uint64_t s = 0; s < interval_s * 10 && !g_stop_requested;
+             ++s) {
+          ::usleep(100 * 1000);
+        }
+      }
+    } while (watch && !g_stop_requested);
+    return 0;
+  }
 
   net::Client client;
   try {

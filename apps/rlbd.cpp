@@ -56,6 +56,8 @@ void usage(const char* argv0) {
       << "                         script:t,s,down|up;...  bernoulli:p,mttr\n"
       << "                         rack:racks,p,mttr (ticks as the clock)\n"
       << "  --dump-on-crash        reject a crashed server's queue\n"
+      << "  --backend-id <n>       cluster identity echoed in STATS\n"
+      << "                         snapshots (rlb_router / rlb_stat --cluster)\n"
       << "  --stats-interval <s>   print live stats every s seconds (0=off)\n"
       << "  --safe-set-log <path>  append one safe-set JSONL record per\n"
       << "                         stats interval (forces 1s when unset)\n"
@@ -144,6 +146,11 @@ int main(int argc, char** argv) {
       config.failure_spec = value();
     } else if (flag == "--dump-on-crash") {
       config.dump_queue_on_crash = true;
+    } else if (flag == "--backend-id" && has_value) {
+      if (!parse_u64_flag("--backend-id", value(), u64) || u64 > 0xFFFFFFFFULL) {
+        return 2;
+      }
+      config.backend_id = static_cast<std::uint32_t>(u64);
     } else if (flag == "--stats-interval" && has_value) {
       if (!parse_u64_flag("--stats-interval", value(), u64)) return 2;
       stats_interval_s = u64;
@@ -223,6 +230,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "rlbd: serving policy=" << config.policy
+            << " backend=" << config.backend_id
             << " m=" << config.servers << " d=" << config.replication
             << " g=" << config.processing_rate
             << " shards=" << config.shards << " on " << net_config.host << ":"

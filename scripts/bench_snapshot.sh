@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Record a performance snapshot: run bench_micro (google-benchmark hot
-# paths) and bench_serving (end-to-end engine throughput + in-run STATS
-# time-series) at fixed parameters and merge both JSON documents into
+# paths), bench_serving (end-to-end engine throughput + in-run STATS
+# time-series), and bench_cluster (E23 router hop overhead) at fixed
+# parameters and merge the JSON documents into
 # BENCH_<date>.json at the repo root.  Intended for the non-gating CI job
 # so perf history accumulates as artifacts; also handy before/after a
 # local optimisation.
@@ -16,8 +17,9 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 OUT="${2:-$REPO_ROOT/BENCH_$(date -u +%Y%m%d).json}"
 MICRO="$BUILD_DIR/bench/bench_micro"
 SERVING="$BUILD_DIR/bench/bench_serving"
+CLUSTER="$BUILD_DIR/bench/bench_cluster"
 
-for bin in "$MICRO" "$SERVING"; do
+for bin in "$MICRO" "$SERVING" "$CLUSTER"; do
   if [[ ! -x "$bin" ]]; then
     echo "bench_snapshot: missing binary $bin (build first)" >&2
     exit 1
@@ -26,7 +28,8 @@ done
 
 MICRO_JSON="$(mktemp /tmp/rlb_bench_micro.XXXXXX.json)"
 SERVING_JSON="$(mktemp /tmp/rlb_bench_serving.XXXXXX.json)"
-trap 'rm -f "$MICRO_JSON" "$SERVING_JSON"' EXIT
+CLUSTER_JSON="$(mktemp /tmp/rlb_bench_cluster.XXXXXX.json)"
+trap 'rm -f "$MICRO_JSON" "$SERVING_JSON" "$CLUSTER_JSON"' EXIT
 
 # Fixed parameters so snapshots stay comparable run to run; bench_serving
 # runs its built-in (policy, shards) matrix with the default 100ms
@@ -39,11 +42,17 @@ echo "bench_snapshot: running bench_serving..." >&2
   --requests 100000 --connections 4 --concurrency 64 --scrape-ms 100 \
   > /dev/null
 
-python3 - "$MICRO_JSON" "$SERVING_JSON" "$OUT" <<'EOF'
+echo "bench_snapshot: running bench_cluster..." >&2
+"$CLUSTER" --json "$CLUSTER_JSON" \
+  --requests 100000 --connections 4 --concurrency 32 \
+  > /dev/null
+
+python3 - "$MICRO_JSON" "$SERVING_JSON" "$CLUSTER_JSON" "$OUT" <<'EOF'
 import json, sys
 
 micro = json.load(open(sys.argv[1]))
 serving = json.load(open(sys.argv[2]))
+cluster = json.load(open(sys.argv[3]))
 
 snapshot = {
     "schema": "rlb-bench-snapshot-v1",
@@ -56,11 +65,13 @@ snapshot = {
         for b in micro.get("benchmarks", [])
     ],
     "serving": serving,
+    "cluster": cluster,
 }
-with open(sys.argv[3], "w") as f:
+with open(sys.argv[4], "w") as f:
     json.dump(snapshot, f, indent=1)
     f.write("\n")
-print(f"bench_snapshot: wrote {sys.argv[3]} "
+print(f"bench_snapshot: wrote {sys.argv[4]} "
       f"({len(snapshot['micro'])} micro benchmarks, "
-      f"{len(serving.get('tables', []))} serving tables)")
+      f"{len(serving.get('tables', []))} serving tables, "
+      f"{len(cluster.get('tables', []))} cluster tables)")
 EOF

@@ -1,0 +1,241 @@
+#!/usr/bin/env bash
+# Multi-process smoke run for the cluster tier (docs/CLUSTER.md): one
+# rlb_router in front of three rlbd backends on loopback, driven by
+# rlb_loadgen through the router port, in three phases:
+#
+#   phase 1 — healthy cluster: >= 10^5 requests, zero protocol errors,
+#             and conservation: the loadgen's ok/rejected counts must
+#             equal the backends' completed/rejected totals as merged by
+#             rlb_stat --cluster.
+#   phase 2 — SIGKILL one backend mid-run: every request is still
+#             answered (bounded, cause-labelled rejections are allowed;
+#             hangs, transport errors, and router crashes are not).
+#   phase 3 — restart the killed backend: the router must mark it up
+#             again (probation) and serve a full run with zero hop-level
+#             rejects; the router's cumulative completed total must equal
+#             the sum of the three phases' ok counts.
+#
+# Usage: scripts/cluster_smoke.sh [build-dir]      (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RLBD="$BUILD_DIR/apps/rlbd"
+ROUTER="$BUILD_DIR/apps/rlb_router"
+LOADGEN="$BUILD_DIR/apps/rlb_loadgen"
+RLB_STAT="$BUILD_DIR/apps/rlb_stat"
+
+BASE_PORT="${RLB_CLUSTER_SMOKE_PORT:-4930}"
+ROUTER_PORT="$BASE_PORT"
+B1_PORT=$((BASE_PORT + 1))
+B2_PORT=$((BASE_PORT + 2))
+B3_PORT=$((BASE_PORT + 3))
+BACKENDS="127.0.0.1:$B1_PORT,127.0.0.1:$B2_PORT,127.0.0.1:$B3_PORT"
+
+P1_JSON="$(mktemp /tmp/rlb_cluster_p1.XXXXXX.json)"
+P2_JSON="$(mktemp /tmp/rlb_cluster_p2.XXXXXX.json)"
+P3_JSON="$(mktemp /tmp/rlb_cluster_p3.XXXXXX.json)"
+CLUSTER_JSON="$(mktemp /tmp/rlb_cluster_stat.XXXXXX.json)"
+ROUTER_JSON="$(mktemp /tmp/rlb_cluster_router.XXXXXX.json)"
+
+for bin in "$RLBD" "$ROUTER" "$LOADGEN" "$RLB_STAT"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "cluster_smoke: missing binary $bin (build first)" >&2
+    exit 1
+  fi
+done
+
+start_backend() {  # start_backend <port> <backend-id> -> pid
+  # Detach stdout/stderr: the caller captures this function with $(...),
+  # and an inherited pipe would make the substitution block until the
+  # daemon exits.
+  "$RLBD" --policy greedy --m 32 --d 2 --g 4 --shards 2 \
+    --port "$1" --backend-id "$2" >/dev/null 2>&1 &
+  echo $!
+}
+
+B1_PID="$(start_backend "$B1_PORT" 1)"
+B2_PID="$(start_backend "$B2_PORT" 2)"
+B3_PID="$(start_backend "$B3_PORT" 3)"
+ROUTER_PID=""
+
+# The daemons are not children of this shell (start_backend forks them in a
+# command-substitution subshell), so `wait` cannot reap them; poll instead.
+wait_gone() {  # wait_gone <pid>
+  for _ in $(seq 1 100); do
+    kill -0 "$1" 2>/dev/null || return 0
+    sleep 0.1
+  done
+  echo "cluster_smoke: pid $1 did not exit after SIGINT" >&2
+  return 1
+}
+
+cleanup() {
+  for pid in "$ROUTER_PID" "$B1_PID" "$B2_PID" "$B3_PID"; do
+    [[ -n "$pid" ]] && kill -INT "$pid" 2>/dev/null || true
+  done
+  for pid in "$ROUTER_PID" "$B1_PID" "$B2_PID" "$B3_PID"; do
+    [[ -n "$pid" ]] && wait_gone "$pid" || true
+  done
+  rm -f "$P1_JSON" "$P2_JSON" "$P3_JSON" "$CLUSTER_JSON" "$ROUTER_JSON"
+}
+trap cleanup EXIT
+
+wait_port() {  # wait_port <port>
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then
+      exec 3>&- 3<&- || true
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "cluster_smoke: port $1 never came up" >&2
+  return 1
+}
+
+wait_port "$B1_PORT"; wait_port "$B2_PORT"; wait_port "$B3_PORT"
+
+"$ROUTER" --backends "$BACKENDS" --d 2 --chunks 4096 \
+  --heartbeat-ms 50 --timeout-ms 2000 --port "$ROUTER_PORT" &
+ROUTER_PID=$!
+wait_port "$ROUTER_PORT"
+
+# Readiness gate: the router's snapshot carries one row per backend with
+# `down` = (health != up); wait until every backend is marked live so the
+# healthy-phase assertions are deterministic.
+wait_all_live() {
+  for _ in $(seq 1 100); do
+    if "$RLB_STAT" --port "$ROUTER_PORT" --json 2>/dev/null \
+        | python3 -c '
+import json, sys
+snap = json.load(sys.stdin)
+sys.exit(0 if int(snap["servers_down"]) == 0 and int(snap["shards"]) == 3
+         else 1)
+' ; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "cluster_smoke: backends never became live at the router" >&2
+  return 1
+}
+wait_all_live
+
+# ---- phase 1: healthy cluster, conservation check ------------------------
+"$LOADGEN" --port "$ROUTER_PORT" --connections 4 --concurrency 32 \
+  --requests 100000 --workload uniform --json "$P1_JSON"
+
+"$RLB_STAT" --cluster "127.0.0.1:$ROUTER_PORT,$BACKENDS" --json \
+  > "$CLUSTER_JSON"
+
+python3 - "$P1_JSON" "$CLUSTER_JSON" <<'EOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+assert int(summary["protocol_errors"]) == 0, "phase 1: protocol errors"
+assert int(summary["errors"]) == 0, "phase 1: transport errors"
+answered = int(summary["ok"]) + int(summary["rejected"])
+assert answered == 100000, f"phase 1: answered {answered} != 100000"
+assert int(summary["rejected_upstream_down"]) == 0, \
+    "phase 1: upstream-down rejects with every backend live"
+
+# Conservation: what the client saw must equal what the backends counted,
+# as merged from every node's STATS snapshot by rlb_stat --cluster.
+cluster = json.load(open(sys.argv[2]))
+for row in cluster["endpoints"]:
+    assert row["reachable"], f"unreachable endpoint {row['endpoint']}"
+totals = cluster["backend_totals"]
+assert int(totals["completed"]) == int(summary["ok"]), (
+    f"conservation: backends completed {totals['completed']} "
+    f"!= loadgen ok {summary['ok']}")
+assert int(totals["rejected"]) == int(summary["rejected"]), (
+    f"conservation: backends rejected {totals['rejected']} "
+    f"!= loadgen rejected {summary['rejected']}")
+assert int(totals["errors"]) == 0, "backends saw errors"
+roles = sorted(r["snapshot"]["role"] for r in cluster["endpoints"])
+assert roles == ["backend", "backend", "backend", "router"], roles
+print(f"cluster_smoke: phase 1 OK — {answered} answered, "
+      f"conservation holds ({totals['completed']} completed)")
+EOF
+PHASE1_OK="$(python3 -c "import json; print(json.load(open('$P1_JSON'))['ok'])")"
+
+# ---- phase 2: SIGKILL one backend mid-run --------------------------------
+"$LOADGEN" --port "$ROUTER_PORT" --connections 4 --concurrency 32 \
+  --requests 150000 --workload uniform --json "$P2_JSON" &
+LOADGEN_PID=$!
+sleep 0.4
+kill -9 "$B3_PID"
+wait_gone "$B3_PID"
+B3_PID=""
+wait "$LOADGEN_PID"
+
+kill -0 "$ROUTER_PID" 2>/dev/null || {
+  echo "cluster_smoke: router died after backend SIGKILL" >&2; exit 1; }
+
+python3 - "$P2_JSON" <<'EOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+assert int(summary["protocol_errors"]) == 0, "phase 2: protocol errors"
+assert int(summary["errors"]) == 0, \
+    "phase 2: transport errors (router must answer, not drop)"
+answered = int(summary["ok"]) + int(summary["rejected"])
+assert answered == 150000, f"phase 2: answered {answered} != 150000"
+# Bounded degradation: with d=2 over three backends every chunk keeps a
+# live candidate, so the vast majority must still be served; only hops in
+# flight at the kill (plus the mark-down window) may surface as rejects.
+ok = int(summary["ok"])
+assert ok >= answered // 2, f"phase 2: only {ok}/{answered} served"
+print(f"cluster_smoke: phase 2 OK — backend SIGKILL mid-run, "
+      f"{ok} served / {int(summary['rejected'])} rejected "
+      f"(down-cause {summary['rejected_upstream_down']}, "
+      f"timeout-cause {summary['rejected_upstream_timeout']}), no errors")
+EOF
+PHASE2_OK="$(python3 -c "import json; print(json.load(open('$P2_JSON'))['ok'])")"
+
+# ---- phase 3: restart the backend, full recovery -------------------------
+B3_PID="$(start_backend "$B3_PORT" 3)"
+wait_port "$B3_PORT"
+wait_all_live
+
+"$LOADGEN" --port "$ROUTER_PORT" --connections 4 --concurrency 32 \
+  --requests 100000 --workload uniform --json "$P3_JSON"
+# Membership is eventually consistent: a heartbeat reply that missed its
+# deadline under full load can leave a backend transiently marked down
+# (masked by d=2, zero client impact).  Let the table settle before the
+# final scrape; the conservation counters below are cumulative, so waiting
+# does not change them.
+wait_all_live
+"$RLB_STAT" --port "$ROUTER_PORT" --json > "$ROUTER_JSON"
+
+python3 - "$P3_JSON" "$ROUTER_JSON" "$PHASE1_OK" "$PHASE2_OK" <<'EOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+assert int(summary["protocol_errors"]) == 0, "phase 3: protocol errors"
+assert int(summary["errors"]) == 0, "phase 3: transport errors"
+answered = int(summary["ok"]) + int(summary["rejected"])
+assert answered == 100000, f"phase 3: answered {answered} != 100000"
+assert int(summary["rejected_upstream_down"]) == 0, \
+    "phase 3: upstream-down rejects after recovery"
+assert int(summary["rejected_upstream_timeout"]) == 0, \
+    "phase 3: upstream-timeout rejects after recovery"
+
+# Router-side conservation across all three phases: its cumulative
+# completed total (relayed OK responses) must equal the sum of what the
+# three loadgen runs counted as ok — nothing double-relayed, nothing lost.
+router = json.load(open(sys.argv[2]))
+expected_ok = int(sys.argv[3]) + int(sys.argv[4]) + int(summary["ok"])
+assert router["role"] == "router", router["role"]
+assert int(router["completed"]) == expected_ok, (
+    f"router relayed {router['completed']} ok responses, "
+    f"loadgen counted {expected_ok}")
+print(f"cluster_smoke: phase 3 OK — backend rejoined after probation, "
+      f"router conservation holds ({expected_ok} relayed ok)")
+EOF
+
+# Graceful drain: router first (rejects nothing new), then the backends.
+kill -INT "$ROUTER_PID"; wait_gone "$ROUTER_PID"; ROUTER_PID=""
+for pid in "$B1_PID" "$B2_PID" "$B3_PID"; do
+  kill -INT "$pid"; wait_gone "$pid"
+done
+B1_PID=""; B2_PID=""; B3_PID=""
+trap - EXIT
+rm -f "$P1_JSON" "$P2_JSON" "$P3_JSON" "$CLUSTER_JSON" "$ROUTER_JSON"
+echo "cluster_smoke: all phases passed; router and backends drained cleanly"

@@ -1,0 +1,147 @@
+#include "cluster/membership.hpp"
+
+namespace rlb::cluster {
+
+const char* to_string(BackendHealth health) noexcept {
+  switch (health) {
+    case BackendHealth::kDown:
+      return "down";
+    case BackendHealth::kProbation:
+      return "probation";
+    case BackendHealth::kUp:
+      return "up";
+  }
+  return "unknown";
+}
+
+Membership::Membership(std::size_t backends, MembershipConfig config)
+    : config_(config), slots_(backends) {}
+
+void Membership::record_success(std::uint32_t id,
+                                const HeartbeatSample& sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= slots_.size()) return;
+  Slot& slot = slots_[id];
+  slot.misses = 0;
+  ++slot.heartbeats_ok;
+  slot.backlog_gauge = sample.backlog;
+  slot.completed = sample.completed;
+  slot.servers = sample.servers;
+  slot.servers_down = sample.servers_down;
+  switch (slot.health) {
+    case BackendHealth::kDown:
+      slot.health = BackendHealth::kProbation;
+      slot.successes = 1;
+      break;
+    case BackendHealth::kProbation:
+      ++slot.successes;
+      break;
+    case BackendHealth::kUp:
+      return;
+  }
+  if (slot.successes >= config_.probation_successes) {
+    slot.health = BackendHealth::kUp;
+  }
+}
+
+void Membership::record_miss(std::uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= slots_.size()) return;
+  Slot& slot = slots_[id];
+  slot.successes = 0;
+  ++slot.heartbeats_missed;
+  if (slot.health == BackendHealth::kDown) return;
+  // Probation is unforgiving: one miss sends the backend straight back
+  // down.  An established (kUp) backend gets miss_threshold strikes.
+  ++slot.misses;
+  if (slot.health == BackendHealth::kProbation ||
+      slot.misses >= config_.miss_threshold) {
+    slot.health = BackendHealth::kDown;
+    slot.misses = 0;
+    ++slot.transitions_down;
+  }
+}
+
+void Membership::force_down(std::uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= slots_.size()) return;
+  Slot& slot = slots_[id];
+  slot.successes = 0;
+  slot.misses = 0;
+  if (slot.health != BackendHealth::kDown) {
+    slot.health = BackendHealth::kDown;
+    ++slot.transitions_down;
+  }
+}
+
+void Membership::note_forwarded(std::uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < slots_.size()) ++slots_[id].inflight;
+}
+
+void Membership::note_answered(std::uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < slots_.size() && slots_[id].inflight > 0) --slots_[id].inflight;
+}
+
+bool Membership::is_live(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < slots_.size() && slots_[id].health == BackendHealth::kUp;
+}
+
+std::uint64_t Membership::load_estimate(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= slots_.size()) return 0;
+  return slots_[id].backlog_gauge + slots_[id].inflight;
+}
+
+int Membership::pick(const std::uint32_t* candidates, std::size_t count,
+                     std::uint64_t exclude_mask) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int best = -1;
+  std::uint64_t best_load = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t id = candidates[i];
+    if (id >= slots_.size()) continue;
+    if (id < 64 && (exclude_mask & (1ULL << id)) != 0) continue;
+    const Slot& slot = slots_[id];
+    if (slot.health != BackendHealth::kUp) continue;
+    const std::uint64_t load = slot.backlog_gauge + slot.inflight;
+    if (best < 0 || load < best_load ||
+        (load == best_load && id < static_cast<std::uint32_t>(best))) {
+      best = static_cast<int>(id);
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+BackendView Membership::view(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BackendView v;
+  v.id = id;
+  if (id >= slots_.size()) return v;
+  const Slot& slot = slots_[id];
+  v.health = slot.health;
+  v.backlog_gauge = slot.backlog_gauge;
+  v.inflight = slot.inflight;
+  v.load_estimate = slot.backlog_gauge + slot.inflight;
+  v.heartbeats_ok = slot.heartbeats_ok;
+  v.heartbeats_missed = slot.heartbeats_missed;
+  v.transitions_down = slot.transitions_down;
+  v.completed = slot.completed;
+  v.servers = slot.servers;
+  v.servers_down = slot.servers_down;
+  return v;
+}
+
+std::size_t Membership::live_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.health == BackendHealth::kUp) ++n;
+  }
+  return n;
+}
+
+}  // namespace rlb::cluster

@@ -1,0 +1,505 @@
+#include "cluster/router.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "core/placement.hpp"
+#include "core/types.hpp"
+#include "hashing/hash.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/upstream.hpp"
+#include "obs/probes.hpp"
+
+namespace rlb::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t bit(int backend) { return 1ULL << static_cast<unsigned>(backend); }
+
+}  // namespace
+
+std::vector<BackendEndpoint> parse_backend_list(const std::string& spec) {
+  std::vector<BackendEndpoint> backends;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(begin, end - begin);
+    if (item.empty()) {
+      throw std::invalid_argument("backend list: empty entry in '" + spec +
+                                  "'");
+    }
+    BackendEndpoint ep;
+    const std::size_t colon = item.rfind(':');
+    const std::string port_str =
+        colon == std::string::npos ? item : item.substr(colon + 1);
+    if (colon != std::string::npos) ep.host = item.substr(0, colon);
+    char* parse_end = nullptr;
+    const unsigned long port = std::strtoul(port_str.c_str(), &parse_end, 10);
+    if (port_str.empty() || *parse_end != '\0' || port == 0 || port > 65535 ||
+        ep.host.empty()) {
+      throw std::invalid_argument("backend list: bad endpoint '" + item + "'");
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    backends.push_back(std::move(ep));
+    begin = end + 1;
+    if (end == spec.size()) break;
+  }
+  if (backends.empty()) {
+    throw std::invalid_argument("backend list: no endpoints in '" + spec + "'");
+  }
+  return backends;
+}
+
+struct Router::Impl {
+  explicit Impl(RouterConfig cfg)
+      : config(std::move(cfg)),
+        replication(resolve_replication(config)),
+        placement(config.backends.size(), replication, config.seed),
+        membership(config.backends.size(), config.membership),
+        server(net::ServerConfig{config.host, config.port,
+                                 config.max_connections},
+               [this](std::uint64_t token, const net::RequestMsg& request) {
+                 handle_request(token, request);
+               }) {
+    if (config.backends.size() > 64) {
+      throw std::invalid_argument("Router: at most 64 backends (tried mask)");
+    }
+    if (config.chunks == 0) {
+      throw std::invalid_argument("Router: chunks must be positive");
+    }
+    server.set_stats_handler(
+        [this](std::uint64_t token, const net::StatsRequestMsg&) {
+          server.send_stats(token, snapshot());
+        });
+  }
+
+  static unsigned resolve_replication(const RouterConfig& cfg) {
+    if (cfg.backends.empty()) {
+      throw std::invalid_argument("Router: no backends configured");
+    }
+    unsigned d = cfg.replication == 0 ? 1 : cfg.replication;
+    if (d > cfg.backends.size()) {
+      d = static_cast<unsigned>(cfg.backends.size());
+    }
+    if (d > core::kMaxReplication) d = core::kMaxReplication;
+    return d;
+  }
+
+  // ---- data plane ----------------------------------------------------
+
+  /// Router-side per-backend attribution, so the snapshot's per-backend
+  /// rows sum to the router totals exactly once.  Client-facing rejects
+  /// are attributed to the most informative backend: the first candidate
+  /// (never forwarded), the dropped backend, or the last backend tried.
+  struct PerBackend {
+    std::uint64_t forwarded = 0;
+    std::uint64_t relayed_ok = 0;
+    std::uint64_t relayed_reject = 0;
+    std::uint64_t relayed_error = 0;
+    std::uint64_t rejected_down = 0;
+    std::uint64_t rejected_timeout = 0;
+  };
+
+  struct Pending {
+    std::uint64_t conn_token = 0;
+    std::uint64_t client_id = 0;
+    std::uint64_t key = 0;
+    core::ChunkId chunk = 0;
+    unsigned attempts = 0;       // forward attempts spent so far
+    std::uint64_t tried = 0;     // bitmask of backend indices tried
+    int backend = -1;            // current attempt's backend
+    Clock::time_point deadline;
+  };
+
+  enum class Forward : std::uint8_t { kSent, kNoCandidate, kBudgetSpent };
+
+  /// Forward (or re-forward) one request; called with `mu` held.  On
+  /// kSent a Pending entry exists under a fresh hop id.
+  Forward forward_locked(std::uint64_t conn_token, std::uint64_t client_id,
+                         std::uint64_t key, core::ChunkId chunk,
+                         unsigned attempts, std::uint64_t tried) {
+    static obs::Counter forwarded_probe("router.forwarded");
+    static obs::Counter failover_probe("router.send_failover");
+    const unsigned budget =
+        config.max_attempts == 0 ? replication : config.max_attempts;
+    const core::ChoiceList candidates = placement.choices(chunk);
+    while (attempts < budget) {
+      const int backend =
+          membership.pick(candidates.begin(), candidates.size(), tried);
+      if (backend < 0) return Forward::kNoCandidate;
+      ++attempts;
+      tried |= bit(backend);
+      const std::uint64_t hop = next_hop++;
+      Pending entry;
+      entry.conn_token = conn_token;
+      entry.client_id = client_id;
+      entry.key = key;
+      entry.chunk = chunk;
+      entry.attempts = attempts;
+      entry.tried = tried;
+      entry.backend = backend;
+      entry.deadline = Clock::now() + std::chrono::milliseconds(
+                                          config.request_timeout_ms);
+      membership.note_forwarded(static_cast<std::uint32_t>(backend));
+      if (upstreams[static_cast<std::size_t>(backend)]->send_request(hop,
+                                                                     key)) {
+        pending.emplace(hop, entry);
+        ++counters.forwarded;
+        ++per_backend[static_cast<std::size_t>(backend)].forwarded;
+        forwarded_probe.add();
+        return Forward::kSent;
+      }
+      // The connection died between the membership check and the write:
+      // mark the backend down and fail over within the same budget walk.
+      membership.note_answered(static_cast<std::uint32_t>(backend));
+      membership.force_down(static_cast<std::uint32_t>(backend));
+      failover_probe.add();
+    }
+    return Forward::kBudgetSpent;
+  }
+
+  void reject(std::uint64_t conn_token, std::uint64_t client_id,
+              net::Status cause, int attributed_backend) {
+    net::ResponseMsg response;
+    response.request_id = client_id;
+    response.status = cause;
+    server.send_response(conn_token, response);
+    PerBackend& row =
+        per_backend[static_cast<std::size_t>(attributed_backend)];
+    if (cause == net::Status::kRejectUpstreamDown) {
+      ++counters.rejected_upstream_down;
+      ++row.rejected_down;
+    } else {
+      ++counters.rejected_upstream_timeout;
+      ++row.rejected_timeout;
+    }
+  }
+
+  void handle_request(std::uint64_t conn_token,
+                      const net::RequestMsg& request) {
+    const core::ChunkId chunk = hashing::hash_to_bucket(
+        request.key, config.seed ^ 0x9a3c0ff1ceULL, config.chunks);
+    std::lock_guard<std::mutex> lock(mu);
+    ++counters.received;
+    const Forward outcome = forward_locked(conn_token, request.request_id,
+                                           request.key, chunk, 0, 0);
+    if (outcome != Forward::kSent) {
+      // Never forwarded: every candidate backend is down (or died during
+      // the walk) — the cluster-level analogue of "all d replicas down".
+      reject(conn_token, request.request_id, net::Status::kRejectUpstreamDown,
+             static_cast<int>(placement.choices(chunk)[0]));
+    }
+  }
+
+  void handle_upstream_response(int backend, const net::ResponseMsg& msg) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = pending.find(msg.request_id);
+    if (it == pending.end() || it->second.backend != backend) {
+      // The hop was already retired (timeout retry or backend drop); the
+      // duplicate service is wasted work, not an error.
+      ++counters.late_responses;
+      return;
+    }
+    const Pending entry = it->second;
+    pending.erase(it);
+    membership.note_answered(static_cast<std::uint32_t>(backend));
+    PerBackend& row = per_backend[static_cast<std::size_t>(backend)];
+    if (msg.status == net::Status::kOk) {
+      ++counters.relayed_ok;
+      ++row.relayed_ok;
+    } else if (net::is_reject(msg.status)) {
+      ++counters.relayed_reject;
+      ++row.relayed_reject;
+    } else {
+      ++counters.relayed_error;
+      ++row.relayed_error;
+    }
+    net::ResponseMsg relayed = msg;
+    relayed.request_id = entry.client_id;
+    server.send_response(entry.conn_token, relayed);
+  }
+
+  /// A backend's data-plane connection dropped: fail its in-flight hops
+  /// over to other candidates (or reject) immediately.
+  void handle_upstream_drop(int backend) {
+    static obs::Counter drop_probe("router.backend_drops");
+    membership.force_down(static_cast<std::uint32_t>(backend));
+    std::vector<Pending> orphaned;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++counters.backend_drops;
+      drop_probe.add();
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (it->second.backend == backend) {
+          orphaned.push_back(it->second);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    for (const Pending& entry : orphaned) {
+      membership.note_answered(static_cast<std::uint32_t>(backend));
+      ++counters.retries;
+      const Forward outcome =
+          forward_locked(entry.conn_token, entry.client_id, entry.key,
+                         entry.chunk, entry.attempts, entry.tried);
+      if (outcome != Forward::kSent) {
+        reject(entry.conn_token, entry.client_id,
+               net::Status::kRejectUpstreamDown, backend);
+      }
+    }
+  }
+
+  void sweep_timeouts() {
+    const Clock::time_point now = Clock::now();
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::uint64_t> expired;
+    for (const auto& [hop, entry] : pending) {
+      if (entry.deadline <= now) expired.push_back(hop);
+    }
+    for (const std::uint64_t hop : expired) {
+      auto it = pending.find(hop);
+      if (it == pending.end()) continue;
+      const Pending entry = it->second;
+      pending.erase(it);
+      ++counters.timeouts;
+      membership.note_answered(static_cast<std::uint32_t>(entry.backend));
+      ++counters.retries;
+      const Forward outcome =
+          forward_locked(entry.conn_token, entry.client_id, entry.key,
+                         entry.chunk, entry.attempts, entry.tried);
+      if (outcome != Forward::kSent) {
+        reject(entry.conn_token, entry.client_id,
+               net::Status::kRejectUpstreamTimeout, entry.backend);
+      }
+    }
+  }
+
+  // ---- control plane -------------------------------------------------
+
+  /// One prober per backend: a dedicated admin connection sends a STATS
+  /// ping every heartbeat interval and waits (bounded) for the snapshot;
+  /// the queue-depth gauges piggybacked in the STATS_RESP refresh the
+  /// backlog estimate.
+  void heartbeat_loop(std::size_t backend) {
+    static obs::Counter hb_ok_probe("router.heartbeat_ok");
+    static obs::Counter hb_miss_probe("router.heartbeat_miss");
+    const BackendEndpoint& endpoint = config.backends[backend];
+    net::Client client;
+    client.set_recv_timeout_ms(config.heartbeat_timeout_ms);
+    // Probe immediately so a healthy cluster is routable after
+    // `probation_successes` intervals, not one extra round later.
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (!running) return;
+      }
+      bool ok = false;
+      HeartbeatSample sample;
+      try {
+        if (!client.connected()) {
+          client.connect(endpoint.host, endpoint.port);
+          client.set_recv_timeout_ms(config.heartbeat_timeout_ms);
+        }
+        client.send_stats_request();
+        client.flush();
+        net::StatsSnapshot snap;
+        if (client.try_read_stats_response(snap) ==
+            net::ReadOutcome::kFrame) {
+          const net::ShardStats totals = snap.totals();
+          sample.backlog =
+              totals.inbound_depth + totals.waiting_depth + totals.backlog;
+          sample.completed = totals.completed;
+          sample.servers = snap.servers;
+          sample.servers_down = static_cast<std::uint32_t>(totals.servers_down);
+          ok = true;
+        }
+      } catch (const std::exception&) {
+        // connect/flush/read failure or protocol violation: miss.
+      }
+      if (ok) {
+        hb_ok_probe.add();
+        membership.record_success(static_cast<std::uint32_t>(backend), sample);
+      } else {
+        hb_miss_probe.add();
+        // Drop the connection so the next round re-dials from scratch
+        // (a half-read or stale buffered snapshot must not skew rounds).
+        client.close();
+        membership.record_miss(static_cast<std::uint32_t>(backend));
+      }
+      std::unique_lock<std::mutex> lock(mu);
+      stop_cv.wait_for(lock,
+                       std::chrono::milliseconds(config.heartbeat_interval_ms),
+                       [this] { return !running; });
+      if (!running) return;
+    }
+  }
+
+  void sweeper_loop() {
+    // Quarter-timeout granularity, clamped to [10, 100] ms.
+    const std::uint64_t tick_ms = std::min<std::uint64_t>(
+        100, std::max<std::uint64_t>(10, config.request_timeout_ms / 4));
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (!running) return;
+        stop_cv.wait_for(lock, std::chrono::milliseconds(tick_ms),
+                         [this] { return !running; });
+        if (!running) return;
+      }
+      sweep_timeouts();
+    }
+  }
+
+  // ---- lifecycle -----------------------------------------------------
+
+  void start() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (running) return;
+      running = true;
+    }
+    started_at = Clock::now();
+    server.start();
+    upstreams.reserve(config.backends.size());
+    for (std::size_t b = 0; b < config.backends.size(); ++b) {
+      net::UpstreamConfig up_config;
+      up_config.host = config.backends[b].host;
+      up_config.port = config.backends[b].port;
+      auto conn = std::make_unique<net::UpstreamConn>(
+          up_config,
+          [this, b](const net::ResponseMsg& msg) {
+            handle_upstream_response(static_cast<int>(b), msg);
+          },
+          [this, b](bool connected) {
+            if (!connected) handle_upstream_drop(static_cast<int>(b));
+          });
+      upstreams.push_back(std::move(conn));
+    }
+    for (auto& conn : upstreams) conn->start();
+    for (std::size_t b = 0; b < config.backends.size(); ++b) {
+      threads.emplace_back([this, b] { heartbeat_loop(b); });
+    }
+    threads.emplace_back([this] { sweeper_loop(); });
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!running && threads.empty()) return;
+      running = false;
+      stop_cv.notify_all();
+    }
+    for (std::thread& t : threads) {
+      if (t.joinable()) t.join();
+    }
+    threads.clear();
+    // Stopping an upstream fires its drop callback, which rejects that
+    // backend's in-flight hops through the still-running client listener.
+    for (auto& conn : upstreams) conn->stop();
+    {
+      // Belt and braces: nothing should survive the upstream teardown.
+      std::lock_guard<std::mutex> lock(mu);
+      for (const auto& [hop, entry] : pending) {
+        reject(entry.conn_token, entry.client_id,
+               net::Status::kRejectUpstreamDown, entry.backend);
+      }
+      pending.clear();
+    }
+    server.stop();
+  }
+
+  // ---- stats ---------------------------------------------------------
+
+  net::StatsSnapshot snapshot() const {
+    net::StatsSnapshot snap;
+    snap.role = net::NodeRole::kRouter;
+    snap.policy = "router";
+    snap.uptime_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              started_at)
+            .count());
+    snap.servers = static_cast<std::uint32_t>(config.backends.size());
+    snap.replication = replication;
+    snap.shard_count = static_cast<std::uint32_t>(config.backends.size());
+    std::vector<PerBackend> rows;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      rows = per_backend;
+    }
+    // One row per backend; docs/CLUSTER.md documents the field mapping
+    // (ticks/batches carry heartbeat ok/miss, max_batch the mark-down
+    // count, backlog the live load estimate).  Summing rows yields the
+    // router's client-facing totals exactly once: completed +
+    // rejected_total + errors = responses relayed or rejected.
+    for (std::size_t b = 0; b < config.backends.size(); ++b) {
+      const BackendView view = membership.view(static_cast<std::uint32_t>(b));
+      net::ShardStats row;
+      row.shard = static_cast<std::uint32_t>(b);
+      row.submitted = rows[b].forwarded;
+      row.completed = rows[b].relayed_ok;
+      row.rejected_queue_full = rows[b].relayed_reject;
+      row.rejected_all_down = rows[b].rejected_down;
+      row.rejected_drop = rows[b].rejected_timeout;
+      row.errors = rows[b].relayed_error;
+      row.ticks = view.heartbeats_ok;
+      row.batches = view.heartbeats_missed;
+      row.max_batch = view.transitions_down;
+      row.inflight = view.inflight;
+      row.backlog = view.load_estimate;
+      row.servers_down = view.health == BackendHealth::kUp ? 0 : 1;
+      snap.shards.push_back(row);
+    }
+    return snap;
+  }
+
+  RouterConfig config;
+  unsigned replication;
+  core::Placement placement;
+  Membership membership;
+  net::NetServer server;
+  std::vector<std::unique_ptr<net::UpstreamConn>> upstreams;
+  std::vector<std::thread> threads;
+
+  mutable std::mutex mu;
+  std::condition_variable stop_cv;
+  bool running = false;
+  std::uint64_t next_hop = 1;
+  std::unordered_map<std::uint64_t, Pending> pending;
+  RouterStats counters;
+  std::vector<PerBackend> per_backend{config.backends.size()};
+  Clock::time_point started_at = Clock::now();
+};
+
+Router::Router(RouterConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+Router::~Router() { impl_->stop(); }
+
+void Router::start() { impl_->start(); }
+void Router::stop() { impl_->stop(); }
+
+std::uint16_t Router::port() const noexcept { return impl_->server.port(); }
+
+RouterStats Router::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->counters;
+}
+
+const Membership& Router::membership() const { return impl_->membership; }
+
+net::StatsSnapshot Router::snapshot() const { return impl_->snapshot(); }
+
+}  // namespace rlb::cluster

@@ -753,6 +753,8 @@ net::StatsSnapshot ServingEngine::snapshot() const {
   net::StatsSnapshot out;
   out.uptime_ms =
       impl_->start_ns ? (obs::now_ns() - impl_->start_ns) / 1000000 : 0;
+  out.role = net::NodeRole::kBackend;
+  out.backend_id = impl_->config.backend_id;
   out.policy = impl_->config.policy;
   out.servers = static_cast<std::uint32_t>(impl_->config.servers);
   out.replication = impl_->config.replication;

@@ -77,6 +77,10 @@ struct EngineConfig {
   /// Crash semantics: reject a crashed server's queued requests at crash
   /// time (true) or freeze them until recovery (false).
   bool dump_queue_on_crash = false;
+  /// Operator-assigned cluster identity, echoed in STATS snapshots so a
+  /// router / rlb_stat --cluster can tell backends apart (rlbd
+  /// --backend-id).  Purely informational inside the engine.
+  std::uint32_t backend_id = 0;
 };
 
 struct EngineStats {

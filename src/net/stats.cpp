@@ -47,6 +47,13 @@ class Cursor {
   Cursor(const std::uint8_t* data, std::size_t size)
       : data_(data), size_(size) {}
 
+  bool u8(std::uint8_t& v) {
+    if (!has(1)) return false;
+    v = data_[pos_];
+    pos_ += 1;
+    return true;
+  }
+
   bool u16(std::uint16_t& v) {
     if (!has(2)) return false;
     v = static_cast<std::uint16_t>(data_[pos_]) |
@@ -130,6 +137,16 @@ bool get_shard(Cursor& c, ShardStats& s) {
 
 }  // namespace
 
+const char* to_string(NodeRole role) noexcept {
+  switch (role) {
+    case NodeRole::kBackend:
+      return "backend";
+    case NodeRole::kRouter:
+      return "router";
+  }
+  return "unknown";
+}
+
 double LatencyStats::quantile_us(double q) const {
   if (count == 0 || q <= 0.0) return 0.0;
   if (q >= 1.0) return static_cast<double>(max_us);
@@ -175,6 +192,8 @@ void encode_stats_payload(const StatsSnapshot& snapshot,
   out.push_back(static_cast<std::uint8_t>(MsgType::kStatsResponse));
   put_u32(out, snapshot.version);
   put_u64(out, snapshot.uptime_ms);
+  out.push_back(static_cast<std::uint8_t>(snapshot.role));
+  put_u32(out, snapshot.backend_id);
   put_string(out, snapshot.policy);
   put_u32(out, snapshot.servers);
   put_u32(out, snapshot.replication);
@@ -210,7 +229,12 @@ bool decode_stats_payload(const std::uint8_t* data, std::size_t size,
   Cursor c(data + 1, size - 1);
   if (!c.u32(out.version)) return false;
   if (out.version != kStatsVersion) return false;
-  if (!c.u64(out.uptime_ms) || !c.str(out.policy) || !c.u32(out.servers) ||
+  std::uint8_t role = 0;
+  if (!c.u64(out.uptime_ms) || !c.u8(role)) return false;
+  if (role > static_cast<std::uint8_t>(NodeRole::kRouter)) return false;
+  out.role = static_cast<NodeRole>(role);
+  if (!c.u32(out.backend_id)) return false;
+  if (!c.str(out.policy) || !c.u32(out.servers) ||
       !c.u32(out.replication) || !c.u32(out.processing_rate) ||
       !c.u32(out.queue_capacity) || !c.u32(out.shard_count)) {
     return false;
@@ -283,10 +307,12 @@ std::string render_prometheus(const StatsSnapshot& snapshot) {
   out += "# TYPE rlb_uptime_ms gauge\n";
   append_fmt(out, "rlb_uptime_ms %" PRIu64 "\n", snapshot.uptime_ms);
   append_fmt(out,
-             "rlb_engine_info{policy=\"%s\",servers=\"%" PRIu32
+             "rlb_engine_info{policy=\"%s\",role=\"%s\",backend_id=\"%" PRIu32
+             "\",servers=\"%" PRIu32
              "\",replication=\"%" PRIu32 "\",rate=\"%" PRIu32
              "\",queue_capacity=\"%" PRIu32 "\",shards=\"%" PRIu32 "\"} 1\n",
-             snapshot.policy.c_str(), snapshot.servers, snapshot.replication,
+             snapshot.policy.c_str(), to_string(snapshot.role),
+             snapshot.backend_id, snapshot.servers, snapshot.replication,
              snapshot.processing_rate, snapshot.queue_capacity,
              snapshot.shard_count);
 
@@ -388,6 +414,8 @@ std::string render_json(const StatsSnapshot& snapshot) {
   const ShardStats t = snapshot.totals();
   std::string out = "{";
   append_fmt(out, "\"uptime_ms\":%" PRIu64 ",", snapshot.uptime_ms);
+  append_fmt(out, "\"role\":\"%s\",\"backend_id\":%" PRIu32 ",",
+             to_string(snapshot.role), snapshot.backend_id);
   append_fmt(out, "\"policy\":\"%s\",", snapshot.policy.c_str());
   append_fmt(out, "\"servers\":%" PRIu32 ",\"shards\":%" PRIu32 ",",
              snapshot.servers, snapshot.shard_count);

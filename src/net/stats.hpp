@@ -19,8 +19,13 @@
 
 namespace rlb::net {
 
-/// Bump on any layout change.
-inline constexpr std::uint32_t kStatsVersion = 1;
+/// Bump on any layout change.  v2: role + backend_id (cluster mode).
+inline constexpr std::uint32_t kStatsVersion = 2;
+
+/// Which tier produced a snapshot.
+enum class NodeRole : std::uint8_t { kBackend = 0, kRouter = 1 };
+
+const char* to_string(NodeRole role) noexcept;
 
 /// Number of log2-microsecond latency buckets.  Bucket i counts samples
 /// with floor(log2(us)) == i (bucket 0 also takes us <= 1); the last
@@ -80,6 +85,13 @@ struct SafeSetLevelStats {
 struct StatsSnapshot {
   std::uint32_t version = kStatsVersion;
   std::uint64_t uptime_ms = 0;
+
+  /// Cluster identity: which tier answered, and (for backends) the
+  /// operator-assigned id (`rlbd --backend-id`).  A router's snapshot
+  /// carries one ShardStats row per backend instead, with `shard` = the
+  /// backend id (see docs/CLUSTER.md for the row mapping).
+  NodeRole role = NodeRole::kBackend;
+  std::uint32_t backend_id = 0;
 
   // Engine configuration (static for the daemon's lifetime).
   std::string policy;

@@ -1,0 +1,187 @@
+#include "net/upstream.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rlb::net {
+
+struct UpstreamConn::Impl {
+  UpstreamConfig config;
+  UpstreamResponseFn on_response;
+  UpstreamStateFn on_state;
+
+  // `mu` guards fd/up for writers; the reader thread is the only closer,
+  // and closes only under `mu`, so a writer holding the lock never races
+  // a close.  Reads happen outside the lock: concurrent read/write on one
+  // socket is fine, and the fd stays valid for the reader by construction
+  // (nobody else closes it).
+  mutable std::mutex mu;
+  std::condition_variable cv;  // interrupts backoff sleeps on stop()
+  int fd = -1;
+  bool up = false;
+  bool running = false;
+  std::atomic<std::uint64_t> dials{0};
+  std::thread reader;
+
+  int dial() {
+    int s = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (s < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config.port);
+    if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(s);
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(s, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return s;
+  }
+
+  void run() {
+    std::uint64_t backoff_ms = config.backoff_initial_ms;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (!running) return;
+      }
+      const int s = dial();
+      if (s < 0) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait_for(lock, std::chrono::milliseconds(backoff_ms),
+                    [this] { return !running; });
+        if (!running) return;
+        backoff_ms = std::min(backoff_ms * 2, config.backoff_max_ms);
+        continue;
+      }
+      backoff_ms = config.backoff_initial_ms;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!running) {
+          ::close(s);
+          return;
+        }
+        fd = s;
+        up = true;
+      }
+      dials.fetch_add(1, std::memory_order_relaxed);
+      if (on_state) on_state(true);
+      read_until_drop(s);
+      bool still_running;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        up = false;
+        ::close(fd);
+        fd = -1;
+        still_running = running;
+      }
+      if (on_state) on_state(false);
+      if (!still_running) return;
+    }
+  }
+
+  void read_until_drop(int s) {
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> payload;
+    std::uint8_t buffer[16384];
+    for (;;) {
+      const ssize_t n = ::read(s, buffer, sizeof(buffer));
+      if (n == 0) return;  // EOF — backend went away
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // ECONNRESET / EBADF-after-shutdown / ...
+      }
+      if (!decoder.feed(buffer, static_cast<std::size_t>(n))) return;
+      while (decoder.next(payload)) {
+        RequestMsg request;
+        ResponseMsg response;
+        const Decoded decoded = decode_payload(payload.data(), payload.size(),
+                                               request, response);
+        // Only RESPONSE frames belong on a data-plane stream; anything
+        // else is a framing-level violation, so drop the connection.
+        if (decoded != Decoded::kResponse) return;
+        if (on_response) on_response(response);
+      }
+      if (decoder.error()) return;
+    }
+  }
+};
+
+UpstreamConn::UpstreamConn(UpstreamConfig config, UpstreamResponseFn on_response,
+                           UpstreamStateFn on_state)
+    : impl_(new Impl{}) {
+  impl_->config = std::move(config);
+  impl_->on_response = std::move(on_response);
+  impl_->on_state = std::move(on_state);
+}
+
+UpstreamConn::~UpstreamConn() {
+  stop();
+  delete impl_;
+}
+
+void UpstreamConn::start() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->running) return;
+  impl_->running = true;
+  impl_->reader = std::thread([this] { impl_->run(); });
+}
+
+void UpstreamConn::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->running && !impl_->reader.joinable()) return;
+    impl_->running = false;
+    // Wake a blocking read; the reader closes the fd itself.
+    if (impl_->fd >= 0) ::shutdown(impl_->fd, SHUT_RDWR);
+    impl_->cv.notify_all();
+  }
+  if (impl_->reader.joinable()) impl_->reader.join();
+}
+
+bool UpstreamConn::send_request(std::uint64_t request_id, std::uint64_t key) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + kRequestPayloadSize);
+  encode_request(RequestMsg{request_id, key}, frame);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!impl_->up) return false;
+  std::size_t offset = 0;
+  while (offset < frame.size()) {
+    const ssize_t n = ::send(impl_->fd, frame.data() + offset,
+                             frame.size() - offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The reader will observe the same drop and fire on_state(false);
+      // report the send as failed so the caller fails over now.
+      return false;
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool UpstreamConn::connected() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->up;
+}
+
+std::uint64_t UpstreamConn::reconnects() const {
+  const std::uint64_t d = impl_->dials.load(std::memory_order_relaxed);
+  return d > 0 ? d - 1 : 0;
+}
+
+}  // namespace rlb::net

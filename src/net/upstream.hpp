@@ -1,0 +1,69 @@
+// Asynchronous multiplexed upstream connection: the router's data-plane
+// link to one backend.
+//
+// Unlike the blocking, single-threaded net::Client, an UpstreamConn is
+// written to from many threads (the router's reactor and its retry
+// sweeper) while a dedicated reader thread drains RESPONSE frames and
+// hands them to a callback — the connection multiplexes every in-flight
+// hop over one TCP stream, matched by the hop-level request id the router
+// assigned.
+//
+// The reader thread also owns the connection lifecycle: it dials, backs
+// off on failure (bounded exponential, capped — never gives up while the
+// conn is running; the membership layer decides when a backend is "down"),
+// and re-dials after a drop.  State transitions are surfaced through the
+// `on_state` callback so the router can fail over in-flight hops the
+// moment a backend dies (a SIGKILL'd peer shows up here as EOF/RST long
+// before a heartbeat times out).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/wire.hpp"
+
+namespace rlb::net {
+
+struct UpstreamConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Reconnect backoff: initial, doubling, capped.
+  std::uint64_t backoff_initial_ms = 50;
+  std::uint64_t backoff_max_ms = 2000;
+};
+
+/// Called from the reader thread for every RESPONSE frame.
+using UpstreamResponseFn = std::function<void(const ResponseMsg&)>;
+/// Called from the reader thread on every connect (true) / drop (false).
+using UpstreamStateFn = std::function<void(bool connected)>;
+
+class UpstreamConn {
+ public:
+  UpstreamConn(UpstreamConfig config, UpstreamResponseFn on_response,
+               UpstreamStateFn on_state);
+  ~UpstreamConn();
+
+  UpstreamConn(const UpstreamConn&) = delete;
+  UpstreamConn& operator=(const UpstreamConn&) = delete;
+
+  /// Launch the reader/reconnect thread.  Idempotent.
+  void start();
+  /// Tear the connection down and join the thread.  Idempotent.
+  void stop();
+
+  /// Write one REQUEST frame (thread-safe).  Returns false — without
+  /// blocking for a reconnect — when the connection is currently down;
+  /// the caller picks another backend or rejects.
+  bool send_request(std::uint64_t request_id, std::uint64_t key);
+
+  bool connected() const;
+  /// Successful dials after the first (i.e. recoveries).
+  std::uint64_t reconnects() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace rlb::net

@@ -42,6 +42,10 @@ const char* to_string(Status status) noexcept {
       return "reject";
     case Status::kError:
       return "error";
+    case Status::kRejectUpstreamDown:
+      return "reject-upstream-down";
+    case Status::kRejectUpstreamTimeout:
+      return "reject-upstream-timeout";
   }
   return "unknown";
 }
@@ -94,7 +98,7 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size,
       if (size != kResponsePayloadSize) return Decoded::kMalformed;
       response.request_id = get_u64(data + 1);
       const std::uint8_t status = data[9];
-      if (status > static_cast<std::uint8_t>(Status::kError)) {
+      if (status > static_cast<std::uint8_t>(Status::kRejectUpstreamTimeout)) {
         return Decoded::kMalformed;
       }
       response.status = static_cast<Status>(status);

@@ -41,9 +41,30 @@ enum class MsgType : std::uint8_t {
   kStatsResponse = 4,
 };
 
-enum class Status : std::uint8_t { kOk = 0, kReject = 1, kError = 2 };
+enum class Status : std::uint8_t {
+  kOk = 0,
+  /// The backend's bounded queue (or waiting room) was full.
+  kReject = 1,
+  /// The daemon could not process the request (e.g. shutting down).
+  kError = 2,
+  /// Hop-level reject from a router tier: every one of the chunk's d
+  /// candidate backends was marked down, so the request was never
+  /// forwarded.
+  kRejectUpstreamDown = 3,
+  /// Hop-level reject from a router tier: the request was forwarded but
+  /// no backend answered within the retry/timeout budget.
+  kRejectUpstreamTimeout = 4,
+};
 
 const char* to_string(Status status) noexcept;
+
+/// True for every rejection flavour (queue-bound or hop-level) — the
+/// request was refused under backpressure, as opposed to served (kOk) or
+/// failed (kError).
+constexpr bool is_reject(Status status) noexcept {
+  return status == Status::kReject || status == Status::kRejectUpstreamDown ||
+         status == Status::kRejectUpstreamTimeout;
+}
 
 struct RequestMsg {
   std::uint64_t request_id = 0;

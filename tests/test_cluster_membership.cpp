@@ -1,0 +1,170 @@
+// Unit tests for the router's backend membership table
+// (cluster/membership.hpp): the fast-down / slow-up health state machine,
+// load estimation from stale gauges plus local in-flight deltas, and the
+// least-loaded pick used by the forwarding path.
+#include "cluster/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace rlb::cluster {
+namespace {
+
+HeartbeatSample sample(std::uint64_t backlog) {
+  HeartbeatSample s;
+  s.backlog = backlog;
+  s.completed = 1;
+  s.servers = 4;
+  return s;
+}
+
+/// Drive a backend from the initial kDown to kUp with the default config
+/// (probation_successes = 2).
+void bring_up(Membership& membership, std::uint32_t id,
+              std::uint64_t backlog = 0) {
+  membership.record_success(id, sample(backlog));
+  membership.record_success(id, sample(backlog));
+}
+
+TEST(Membership, StartsDownAndRequiresProbationToComeUp) {
+  Membership membership(1, MembershipConfig{});
+  EXPECT_FALSE(membership.is_live(0));
+  EXPECT_EQ(membership.view(0).health, BackendHealth::kDown);
+
+  // First success: probation, still not routable.
+  membership.record_success(0, sample(3));
+  EXPECT_FALSE(membership.is_live(0));
+  EXPECT_EQ(membership.view(0).health, BackendHealth::kProbation);
+
+  // Second consecutive success: up.
+  membership.record_success(0, sample(3));
+  EXPECT_TRUE(membership.is_live(0));
+  EXPECT_EQ(membership.view(0).health, BackendHealth::kUp);
+  EXPECT_EQ(membership.live_count(), 1u);
+}
+
+TEST(Membership, UpSurvivesMissesBelowThreshold) {
+  MembershipConfig config;
+  config.miss_threshold = 3;
+  Membership membership(1, config);
+  bring_up(membership, 0);
+
+  membership.record_miss(0);
+  membership.record_miss(0);
+  EXPECT_TRUE(membership.is_live(0)) << "two of three misses must not kill";
+
+  // A success resets the miss streak: two more misses still below threshold.
+  membership.record_success(0, sample(0));
+  membership.record_miss(0);
+  membership.record_miss(0);
+  EXPECT_TRUE(membership.is_live(0));
+
+  membership.record_miss(0);
+  EXPECT_FALSE(membership.is_live(0));
+  EXPECT_EQ(membership.view(0).transitions_down, 1u);
+}
+
+TEST(Membership, AnyProbationMissDropsBackToDown) {
+  Membership membership(1, MembershipConfig{});
+  membership.record_success(0, sample(0));  // kProbation
+  membership.record_miss(0);                // flapping: straight back down
+  EXPECT_EQ(membership.view(0).health, BackendHealth::kDown);
+
+  // The success streak restarts from scratch.
+  membership.record_success(0, sample(0));
+  EXPECT_EQ(membership.view(0).health, BackendHealth::kProbation);
+  membership.record_success(0, sample(0));
+  EXPECT_TRUE(membership.is_live(0));
+}
+
+TEST(Membership, ForceDownIsImmediateEvenWhenHealthy) {
+  Membership membership(2, MembershipConfig{});
+  bring_up(membership, 0);
+  bring_up(membership, 1);
+  EXPECT_EQ(membership.live_count(), 2u);
+
+  membership.force_down(0);
+  EXPECT_FALSE(membership.is_live(0));
+  EXPECT_TRUE(membership.is_live(1));
+  EXPECT_EQ(membership.view(0).transitions_down, 1u);
+
+  // Reappearance is damped: one heartbeat success is not enough.
+  membership.record_success(0, sample(0));
+  EXPECT_FALSE(membership.is_live(0));
+  membership.record_success(0, sample(0));
+  EXPECT_TRUE(membership.is_live(0));
+}
+
+TEST(Membership, LoadEstimateIsGaugePlusLocalInflight) {
+  Membership membership(1, MembershipConfig{});
+  bring_up(membership, 0, /*backlog=*/10);
+  EXPECT_EQ(membership.load_estimate(0), 10u);
+
+  // Hops forwarded since the last heartbeat raise the estimate...
+  membership.note_forwarded(0);
+  membership.note_forwarded(0);
+  EXPECT_EQ(membership.load_estimate(0), 12u);
+  // ...and answered hops lower it again.
+  membership.note_answered(0);
+  EXPECT_EQ(membership.load_estimate(0), 11u);
+
+  // A fresh heartbeat replaces the gauge but keeps the in-flight delta.
+  membership.record_success(0, sample(5));
+  EXPECT_EQ(membership.load_estimate(0), 6u);
+}
+
+TEST(Membership, PickChoosesLeastLoadedLiveCandidate) {
+  Membership membership(4, MembershipConfig{});
+  bring_up(membership, 0, 9);
+  bring_up(membership, 1, 4);
+  bring_up(membership, 2, 7);
+  // Backend 3 stays down.
+
+  const std::uint32_t candidates[] = {0, 1, 2, 3};
+  EXPECT_EQ(membership.pick(candidates, 4), 1);
+
+  // Excluding the winner (a retry) falls through to the next-least-loaded.
+  EXPECT_EQ(membership.pick(candidates, 4, /*exclude_mask=*/1ull << 1), 2);
+
+  // Down candidates never win even at zero load.
+  const std::uint32_t only_down[] = {3};
+  EXPECT_EQ(membership.pick(only_down, 1), -1);
+
+  // All candidates excluded -> no pick.
+  EXPECT_EQ(membership.pick(candidates, 4, 0xF), -1);
+}
+
+TEST(Membership, PickBreaksTiesTowardLowestId) {
+  Membership membership(3, MembershipConfig{});
+  bring_up(membership, 0, 5);
+  bring_up(membership, 1, 5);
+  bring_up(membership, 2, 5);
+  const std::uint32_t candidates[] = {2, 1, 0};
+  EXPECT_EQ(membership.pick(candidates, 3), 0);
+}
+
+TEST(Membership, ViewReportsHeartbeatCountersAndSample) {
+  Membership membership(1, MembershipConfig{});
+  membership.record_miss(0);
+  HeartbeatSample s;
+  s.backlog = 2;
+  s.completed = 42;
+  s.servers = 8;
+  s.servers_down = 1;
+  membership.record_success(0, s);
+  membership.record_success(0, s);
+
+  const BackendView view = membership.view(0);
+  EXPECT_EQ(view.id, 0u);
+  EXPECT_EQ(view.heartbeats_ok, 2u);
+  EXPECT_EQ(view.heartbeats_missed, 1u);
+  EXPECT_EQ(view.completed, 42u);
+  EXPECT_EQ(view.servers, 8u);
+  EXPECT_EQ(view.servers_down, 1u);
+  EXPECT_EQ(view.backlog_gauge, 2u);
+  EXPECT_EQ(view.load_estimate, 2u);
+}
+
+}  // namespace
+}  // namespace rlb::cluster

@@ -1,0 +1,230 @@
+// Relay-hop coverage for net::FrameDecoder (net/wire.hpp): the router sits
+// between client and backend decoding byte streams on both sides, so the
+// decoder must reassemble frames fed in arbitrary fragments, keep multiple
+// independent upstream streams straight, re-encode relayed responses
+// byte-identically, and refuse oversized frames at the boundary instead of
+// buffering them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace rlb::net {
+namespace {
+
+std::vector<std::uint8_t> encoded_response(std::uint64_t id, Status status,
+                                           std::uint32_t server,
+                                           std::uint32_t wait_steps) {
+  std::vector<std::uint8_t> out;
+  encode_response(ResponseMsg{id, status, server, wait_steps}, out);
+  return out;
+}
+
+TEST(FrameRelay, ReassemblesFramesFedOneByteAtATime) {
+  const std::vector<std::uint8_t> wire =
+      encoded_response(42, Status::kOk, 7, 3);
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_FALSE(decoder.next(payload))
+        << "frame completed early at byte " << i;
+    ASSERT_TRUE(decoder.feed(&wire[i], 1));
+  }
+  ASSERT_TRUE(decoder.next(payload));
+  EXPECT_FALSE(decoder.next(payload));  // exactly one frame
+
+  RequestMsg request;
+  ResponseMsg response;
+  ASSERT_EQ(decode_payload(payload.data(), payload.size(), request, response),
+            Decoded::kResponse);
+  EXPECT_EQ(response.request_id, 42u);
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.server, 7u);
+  EXPECT_EQ(response.wait_steps, 3u);
+}
+
+TEST(FrameRelay, SplitAcrossTheLengthPrefixBoundary) {
+  // The nastiest fragmentation for a length-prefixed protocol: the 4-byte
+  // prefix itself arrives split, then the payload in two pieces.
+  const std::vector<std::uint8_t> wire =
+      encoded_response(1, Status::kReject, 0, 0);
+  ASSERT_GT(wire.size(), 6u);
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> payload;
+
+  ASSERT_TRUE(decoder.feed(wire.data(), 2));          // half the prefix
+  EXPECT_FALSE(decoder.next(payload));
+  ASSERT_TRUE(decoder.feed(wire.data() + 2, 3));      // rest + 1 payload byte
+  EXPECT_FALSE(decoder.next(payload));
+  ASSERT_TRUE(decoder.feed(wire.data() + 5, wire.size() - 5));
+  ASSERT_TRUE(decoder.next(payload));
+  EXPECT_EQ(payload.size(), kResponsePayloadSize);
+}
+
+TEST(FrameRelay, InterleavedUpstreamStreamsStayIndependent) {
+  // Two backends answer concurrently; the router owns one decoder per
+  // upstream connection.  Chip both streams through in small alternating
+  // slices and check every response surfaces exactly once, on the right
+  // decoder, in per-stream order.
+  std::vector<std::uint8_t> stream_a;
+  std::vector<std::uint8_t> stream_b;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    std::vector<std::uint8_t> frame = encoded_response(
+        /*id=*/100 + i, i % 3 ? Status::kOk : Status::kReject,
+        /*server=*/static_cast<std::uint32_t>(i), /*wait_steps=*/0);
+    stream_a.insert(stream_a.end(), frame.begin(), frame.end());
+    frame = encoded_response(/*id=*/200 + i, Status::kOk,
+                             /*server=*/static_cast<std::uint32_t>(i), 1);
+    stream_b.insert(stream_b.end(), frame.begin(), frame.end());
+  }
+
+  FrameDecoder decoder_a;
+  FrameDecoder decoder_b;
+  std::map<std::uint64_t, int> seen;
+  std::uint64_t next_a = 100;
+  std::uint64_t next_b = 200;
+  std::size_t offset_a = 0;
+  std::size_t offset_b = 0;
+  // Unequal slice sizes so fragment boundaries drift across frames.
+  std::size_t slice = 1;
+  while (offset_a < stream_a.size() || offset_b < stream_b.size()) {
+    const std::size_t take_a =
+        std::min(slice, stream_a.size() - offset_a);
+    const std::size_t take_b =
+        std::min(slice + 2, stream_b.size() - offset_b);
+    if (take_a > 0) {
+      ASSERT_TRUE(decoder_a.feed(stream_a.data() + offset_a, take_a));
+      offset_a += take_a;
+    }
+    if (take_b > 0) {
+      ASSERT_TRUE(decoder_b.feed(stream_b.data() + offset_b, take_b));
+      offset_b += take_b;
+    }
+    slice = slice % 7 + 1;
+
+    std::vector<std::uint8_t> payload;
+    RequestMsg request;
+    ResponseMsg response;
+    while (decoder_a.next(payload)) {
+      ASSERT_EQ(
+          decode_payload(payload.data(), payload.size(), request, response),
+          Decoded::kResponse);
+      EXPECT_EQ(response.request_id, next_a++) << "stream A out of order";
+      ++seen[response.request_id];
+    }
+    while (decoder_b.next(payload)) {
+      ASSERT_EQ(
+          decode_payload(payload.data(), payload.size(), request, response),
+          Decoded::kResponse);
+      EXPECT_EQ(response.request_id, next_b++) << "stream B out of order";
+      ++seen[response.request_id];
+    }
+  }
+  EXPECT_EQ(seen.size(), 80u);
+  for (const auto& [id, count] : seen) {
+    EXPECT_EQ(count, 1) << "response " << id << " surfaced " << count
+                        << " times";
+  }
+  EXPECT_EQ(decoder_a.buffered(), 0u);
+  EXPECT_EQ(decoder_b.buffered(), 0u);
+}
+
+TEST(FrameRelay, RelayedResponseReencodesByteIdentically) {
+  // The router's relay path: decode an upstream response, remap the hop id
+  // back to the client's id, re-encode.  Same id in must give the same
+  // bytes out — the hop must not perturb status/server/wait_steps.
+  const std::vector<std::uint8_t> wire =
+      encoded_response(0x0123456789ABCDEFull, Status::kRejectUpstreamDown,
+                       0xDEADBEEF, 0xFFFFFFFF);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size()));
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(decoder.next(payload));
+  RequestMsg request;
+  ResponseMsg response;
+  ASSERT_EQ(decode_payload(payload.data(), payload.size(), request, response),
+            Decoded::kResponse);
+  std::vector<std::uint8_t> rewired;
+  encode_response(response, rewired);
+  EXPECT_EQ(rewired, wire);
+}
+
+TEST(FrameRelay, HopLevelRejectStatusesDecodeAndClassify) {
+  for (const Status status :
+       {Status::kRejectUpstreamDown, Status::kRejectUpstreamTimeout}) {
+    const std::vector<std::uint8_t> wire = encoded_response(9, status, 0, 0);
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.feed(wire.data(), wire.size()));
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(decoder.next(payload));
+    RequestMsg request;
+    ResponseMsg response;
+    ASSERT_EQ(
+        decode_payload(payload.data(), payload.size(), request, response),
+        Decoded::kResponse);
+    EXPECT_EQ(response.status, status);
+    EXPECT_TRUE(is_reject(response.status));
+  }
+  // One past the last defined status is malformed, not a new reject.
+  std::vector<std::uint8_t> wire = encoded_response(9, Status::kOk, 0, 0);
+  wire[4 + 1 + 8] = static_cast<std::uint8_t>(Status::kRejectUpstreamTimeout) +
+                    1;  // status byte: prefix + type + id
+  RequestMsg request;
+  ResponseMsg response;
+  EXPECT_EQ(decode_payload(wire.data() + 4, wire.size() - 4, request,
+                           response),
+            Decoded::kMalformed);
+}
+
+TEST(FrameRelay, OversizedFrameHeaderPoisonsTheConnection) {
+  FrameDecoder decoder;
+  const std::uint32_t length = kMaxFramePayload + 1;
+  const std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(length & 0xFF),
+      static_cast<std::uint8_t>((length >> 8) & 0xFF),
+      static_cast<std::uint8_t>((length >> 16) & 0xFF),
+      static_cast<std::uint8_t>((length >> 24) & 0xFF),
+  };
+  EXPECT_FALSE(decoder.feed(header, sizeof(header)));
+  EXPECT_TRUE(decoder.error());
+  // Poisoned is permanent: further feeds are refused, nothing decodes.
+  const std::uint8_t byte = 0;
+  EXPECT_FALSE(decoder.feed(&byte, 1));
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(decoder.next(payload));
+}
+
+TEST(FrameRelay, MaxSizedFrameIsAcceptedAtTheBoundary) {
+  // Exactly kMaxFramePayload must pass: the STATS_RESP path frames
+  // snapshots right up to the cap.
+  std::vector<std::uint8_t> wire;
+  const std::uint32_t length = kMaxFramePayload;
+  wire.push_back(static_cast<std::uint8_t>(length & 0xFF));
+  wire.push_back(static_cast<std::uint8_t>((length >> 8) & 0xFF));
+  wire.push_back(static_cast<std::uint8_t>((length >> 16) & 0xFF));
+  wire.push_back(static_cast<std::uint8_t>((length >> 24) & 0xFF));
+  wire.resize(wire.size() + kMaxFramePayload,
+              static_cast<std::uint8_t>(MsgType::kStatsResponse));
+  FrameDecoder decoder;
+  // Feed in two unequal halves to cross the prefix/payload boundary.
+  ASSERT_TRUE(decoder.feed(wire.data(), 1000));
+  ASSERT_TRUE(decoder.feed(wire.data() + 1000, wire.size() - 1000));
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(decoder.next(payload));
+  EXPECT_EQ(payload.size(), kMaxFramePayload);
+  EXPECT_FALSE(decoder.error());
+}
+
+TEST(FrameRelay, ZeroLengthFramePoisons) {
+  FrameDecoder decoder;
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  EXPECT_FALSE(decoder.feed(zeros, sizeof(zeros)));
+  EXPECT_TRUE(decoder.error());
+}
+
+}  // namespace
+}  // namespace rlb::net

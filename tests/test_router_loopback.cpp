@@ -1,0 +1,357 @@
+// End-to-end loopback tests for the cluster tier: cluster::Router in front
+// of real ServingEngine backends over real sockets, in one process.  The
+// in-tree version of scripts/cluster_smoke.sh: every client request must
+// be answered exactly once through the router; stopping a backend mid-run
+// yields only bounded, cause-labelled rejections (never a hang or a
+// protocol error); a restarted backend re-enters service after probation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "engine/engine.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "stats/rng.hpp"
+
+namespace rlb {
+namespace {
+
+/// One rlbd-shaped backend: NetServer + ServingEngine on a loopback port.
+class Backend {
+ public:
+  explicit Backend(std::uint16_t port, std::uint32_t backend_id) {
+    engine::EngineConfig config;
+    config.servers = 16;
+    config.shards = 2;
+    config.processing_rate = 4;
+    config.seed = 100 + backend_id;
+    config.backend_id = backend_id;
+    net::ServerConfig net_config;
+    net_config.port = port;
+    server_ = std::make_unique<net::NetServer>(
+        net_config,
+        [this](std::uint64_t token, const net::RequestMsg& request) {
+          if (!engine_->submit(token, request.request_id, request.key)) {
+            net::ResponseMsg msg;
+            msg.request_id = request.request_id;
+            msg.status = net::Status::kError;
+            server_->send_response(token, msg);
+          }
+        });
+    engine_ = std::make_unique<engine::ServingEngine>(
+        config, [this](const engine::EngineResponse& r) {
+          net::ResponseMsg msg;
+          msg.request_id = r.request_id;
+          msg.status = static_cast<net::Status>(r.status);
+          msg.server = static_cast<std::uint32_t>(r.server);
+          msg.wait_steps = r.wait_steps;
+          server_->send_response(r.conn_token, msg);
+        });
+    server_->set_stats_handler(
+        [this](std::uint64_t token, const net::StatsRequestMsg&) {
+          server_->send_stats(token, engine_->snapshot());
+        });
+    engine_->start();
+    server_->start();
+  }
+
+  ~Backend() { stop(); }
+
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    engine_->stop();
+    server_->stop();
+  }
+
+  /// SIGKILL-shaped loss: drop the sockets FIRST, so the router sees a
+  /// connection drop (force-down + in-flight retry), then tear down the
+  /// engine.  A graceful stop() would instead answer queued requests with
+  /// kError through the still-open connection — a different scenario.
+  void kill() {
+    if (stopped_) return;
+    stopped_ = true;
+    server_->stop(/*flush_timeout_ms=*/0);
+    engine_->stop();  // its kError completions hit the stopped server: no-ops
+  }
+
+  std::uint16_t port() const { return server_->port(); }
+  engine::EngineStats stats() const { return engine_->stats(); }
+
+ private:
+  std::unique_ptr<net::NetServer> server_;
+  std::unique_ptr<engine::ServingEngine> engine_;
+  bool stopped_ = false;
+};
+
+/// Restart on a fixed port, retrying the transient bind race.
+std::unique_ptr<Backend> start_backend(std::uint16_t port,
+                                       std::uint32_t backend_id) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    try {
+      return std::make_unique<Backend>(port, backend_id);
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return std::make_unique<Backend>(port, backend_id);
+}
+
+cluster::RouterConfig fast_config(
+    const std::vector<const Backend*>& backends) {
+  cluster::RouterConfig config;
+  for (const Backend* backend : backends) {
+    config.backends.push_back({"127.0.0.1", backend->port()});
+  }
+  config.replication = 2;
+  config.chunks = 1 << 12;
+  config.heartbeat_interval_ms = 10;
+  config.heartbeat_timeout_ms = 50;
+  config.request_timeout_ms = 500;
+  return config;
+}
+
+bool wait_live(const cluster::Router& router, std::size_t want,
+               std::uint64_t deadline_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (router.membership().live_count() == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return router.membership().live_count() == want;
+}
+
+struct ClientTally {
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;  // every is_reject() flavour
+  std::uint64_t rejected_upstream = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t protocol_errors = 0;
+  std::set<std::uint64_t> answered_ids;
+};
+
+/// Closed-loop worker against the router port, classifying hop-level
+/// reject causes separately from backend queue rejects.
+void run_client(std::uint16_t port, std::uint64_t quota,
+                std::size_t concurrency, std::uint64_t id_base,
+                std::uint64_t seed, ClientTally& tally) {
+  net::Client client;
+  client.connect("127.0.0.1", port);
+  stats::Rng rng(seed);
+  std::uint64_t next_id = id_base;
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  auto send_one = [&] {
+    client.send_request(next_id++, rng.next());
+    ++sent;
+  };
+  for (std::uint64_t i = 0; i < std::min<std::uint64_t>(concurrency, quota);
+       ++i) {
+    send_one();
+  }
+  client.flush();
+  net::ResponseMsg response;
+  while (completed < quota && client.read_response(response)) {
+    if (response.request_id < id_base || response.request_id >= next_id ||
+        !tally.answered_ids.insert(response.request_id).second) {
+      ++tally.protocol_errors;
+      break;
+    }
+    ++completed;
+    if (response.status == net::Status::kOk) {
+      ++tally.ok;
+    } else if (net::is_reject(response.status)) {
+      ++tally.rejected;
+      if (response.status != net::Status::kReject) ++tally.rejected_upstream;
+    } else {
+      ++tally.errors;
+    }
+    if (sent < quota) {
+      send_one();
+      client.flush();
+    }
+  }
+  client.close();
+}
+
+TEST(RouterLoopback, AllAnsweredAndConserved) {
+  std::vector<std::unique_ptr<Backend>> backends;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    backends.push_back(std::make_unique<Backend>(/*port=*/0, i));
+  }
+  cluster::Router router(fast_config(
+      {backends[0].get(), backends[1].get(), backends[2].get()}));
+  router.start();
+  ASSERT_TRUE(wait_live(router, 3));
+
+  constexpr std::uint64_t kQuota = 4000;
+  ClientTally tally;
+  run_client(router.port(), kQuota, /*concurrency=*/32, /*id_base=*/1,
+             /*seed=*/5, tally);
+  EXPECT_EQ(tally.protocol_errors, 0u);
+  EXPECT_EQ(tally.errors, 0u);
+  EXPECT_EQ(tally.answered_ids.size(), kQuota);
+  EXPECT_EQ(tally.ok + tally.rejected, kQuota);
+  EXPECT_EQ(tally.rejected_upstream, 0u) << "no backend was ever down";
+
+  // Conservation at the router: every received request got exactly one
+  // verdict, and the per-backend snapshot rows re-sum to the same totals.
+  const cluster::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.received, kQuota);
+  EXPECT_EQ(stats.relayed_ok, tally.ok);
+  EXPECT_EQ(stats.relayed_ok + stats.relayed_reject + stats.relayed_error +
+                stats.rejected_upstream_down + stats.rejected_upstream_timeout,
+            kQuota);
+
+  const net::StatsSnapshot snapshot = router.snapshot();
+  EXPECT_EQ(snapshot.role, net::NodeRole::kRouter);
+  ASSERT_EQ(snapshot.shards.size(), 3u);
+  const net::ShardStats totals = snapshot.totals();
+  EXPECT_EQ(totals.completed, stats.relayed_ok);
+
+  router.stop();
+  // Backends saw exactly what the router forwarded, once each.
+  std::uint64_t backend_submitted = 0;
+  for (auto& backend : backends) {
+    backend->stop();
+    backend_submitted += backend->stats().submitted;
+  }
+  EXPECT_EQ(backend_submitted, stats.forwarded);
+}
+
+TEST(RouterLoopback, BackendLossIsBoundedAndRecoveryRejoins) {
+  std::vector<std::unique_ptr<Backend>> backends;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    backends.push_back(std::make_unique<Backend>(/*port=*/0, i));
+  }
+  const std::uint16_t lost_port = backends[1]->port();
+  cluster::Router router(fast_config(
+      {backends[0].get(), backends[1].get(), backends[2].get()}));
+  router.start();
+  ASSERT_TRUE(wait_live(router, 3));
+
+  // Phase 1: healthy cluster.
+  ClientTally phase1;
+  run_client(router.port(), 2000, 32, /*id_base=*/1, /*seed=*/7, phase1);
+  EXPECT_EQ(phase1.protocol_errors, 0u);
+  EXPECT_EQ(phase1.errors, 0u);
+  EXPECT_EQ(phase1.answered_ids.size(), 2000u);
+
+  // Phase 2: SIGKILL-shaped loss of one backend while traffic runs.  With
+  // d=2 over three backends every chunk keeps at least one live candidate,
+  // so once the drop propagates everything is served; hops in flight at
+  // the instant of the loss are retried on the surviving candidate and may
+  // at worst surface as hop-level rejects — bounded, never errors.
+  std::thread killer([&backends] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    backends[1]->kill();
+  });
+  ClientTally phase2;
+  run_client(router.port(), 6000, 32, /*id_base=*/1 << 20, /*seed=*/9,
+             phase2);
+  killer.join();
+  EXPECT_EQ(phase2.protocol_errors, 0u);
+  EXPECT_EQ(phase2.errors, 0u);
+  EXPECT_EQ(phase2.answered_ids.size(), 6000u) << "every request answered";
+  EXPECT_TRUE(wait_live(router, 2));
+
+  // Steady state with two live backends: no rejects at all.
+  ClientTally phase3;
+  run_client(router.port(), 2000, 16, /*id_base=*/1 << 21, /*seed=*/11,
+             phase3);
+  EXPECT_EQ(phase3.protocol_errors, 0u);
+  EXPECT_EQ(phase3.errors, 0u);
+  EXPECT_EQ(phase3.rejected_upstream, 0u)
+      << "chunks with one live candidate must still be served";
+
+  // Phase 4: the backend comes back on the same port and must re-enter
+  // service after probation.
+  backends[1] = start_backend(lost_port, 1);
+  ASSERT_TRUE(wait_live(router, 3));
+  ClientTally phase4;
+  run_client(router.port(), 2000, 16, /*id_base=*/1 << 22, /*seed=*/13,
+             phase4);
+  EXPECT_EQ(phase4.protocol_errors, 0u);
+  EXPECT_EQ(phase4.errors, 0u);
+  EXPECT_EQ(phase4.answered_ids.size(), 2000u);
+
+  const cluster::RouterStats stats = router.stats();
+  EXPECT_GE(stats.backend_drops, 1u) << "the data plane must see the loss";
+  router.stop();
+}
+
+TEST(RouterLoopback, AllCandidatesDownRejectsFastWithCause) {
+  auto backend = std::make_unique<Backend>(/*port=*/0, 0);
+  cluster::RouterConfig config = fast_config({backend.get()});
+  config.replication = 1;
+  cluster::Router router(config);
+  router.start();
+  ASSERT_TRUE(wait_live(router, 1));
+
+  backend->stop();
+  ASSERT_TRUE(wait_live(router, 0));
+
+  // Every request is answered promptly with the hop-level down cause:
+  // no hang, no connection error, no silent drop.
+  ClientTally tally;
+  run_client(router.port(), 500, 8, /*id_base=*/1, /*seed=*/3, tally);
+  EXPECT_EQ(tally.protocol_errors, 0u);
+  EXPECT_EQ(tally.errors, 0u);
+  EXPECT_EQ(tally.ok, 0u);
+  EXPECT_EQ(tally.rejected, 500u);
+  EXPECT_EQ(tally.rejected_upstream, 500u);
+  EXPECT_EQ(router.stats().rejected_upstream_down, 500u);
+  router.stop();
+}
+
+TEST(RouterLoopback, StopWithPendingHopsAnswersEverything) {
+  // A router stopped with hops in flight must reject them, not leak them:
+  // the client sees an answer for every request even though the backend
+  // never replies (it is stopped first, taking its queue with it).
+  auto backend = std::make_unique<Backend>(/*port=*/0, 0);
+  cluster::RouterConfig config = fast_config({backend.get()});
+  config.replication = 1;
+  config.request_timeout_ms = 10000;  // the sweeper must not beat stop()
+  cluster::Router router(config);
+  router.start();
+  ASSERT_TRUE(wait_live(router, 1));
+
+  net::Client client;
+  client.connect("127.0.0.1", router.port());
+  client.set_recv_timeout_ms(2000);
+  for (std::uint64_t id = 1; id <= 64; ++id) client.send_request(id, id * 17);
+  client.flush();
+
+  // Let the router forward, then tear everything down underneath it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  backend->stop();
+  router.stop();
+
+  // Drain whatever the router managed to deliver before the listener
+  // closed: every frame must be well-formed; no frame may hang the read.
+  std::uint64_t answered = 0;
+  net::ResponseMsg response;
+  try {
+    for (;;) {
+      const net::ReadOutcome outcome = client.try_read_response(response);
+      if (outcome != net::ReadOutcome::kFrame) break;
+      ++answered;
+    }
+  } catch (const std::exception&) {
+    ADD_FAILURE() << "malformed frame while draining a stopping router";
+  }
+  EXPECT_LE(answered, 64u);
+  client.close();
+}
+
+}  // namespace
+}  // namespace rlb

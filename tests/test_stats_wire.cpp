@@ -19,6 +19,8 @@ namespace {
 StatsSnapshot make_full_snapshot() {
   StatsSnapshot snapshot;
   snapshot.uptime_ms = 123456;
+  snapshot.role = NodeRole::kRouter;
+  snapshot.backend_id = 7;
   snapshot.policy = "greedy";
   snapshot.servers = 64;
   snapshot.replication = 4;
@@ -71,6 +73,8 @@ TEST(StatsCodec, RoundTripPreservesEveryField) {
   ASSERT_TRUE(decode_stats_payload(payload.data(), payload.size(), decoded));
   EXPECT_EQ(decoded.version, kStatsVersion);
   EXPECT_EQ(decoded.uptime_ms, original.uptime_ms);
+  EXPECT_EQ(decoded.role, original.role);
+  EXPECT_EQ(decoded.backend_id, original.backend_id);
   EXPECT_EQ(decoded.policy, original.policy);
   EXPECT_EQ(decoded.servers, original.servers);
   EXPECT_EQ(decoded.replication, original.replication);
@@ -151,6 +155,17 @@ TEST(StatsCodec, VersionMismatchIsRejected) {
   encode_stats_payload(make_full_snapshot(), payload);
   // version is the u32 right after the type byte (little-endian)
   payload[1] = static_cast<std::uint8_t>(kStatsVersion + 1);
+  StatsSnapshot decoded;
+  EXPECT_FALSE(decode_stats_payload(payload.data(), payload.size(), decoded));
+}
+
+TEST(StatsCodec, UnknownRoleByteIsRejected) {
+  std::vector<std::uint8_t> payload;
+  encode_stats_payload(make_full_snapshot(), payload);
+  // Layout: type u8, version u32, uptime u64 -> role byte at offset 13.
+  ASSERT_GT(payload.size(), 13u);
+  ASSERT_EQ(payload[13], static_cast<std::uint8_t>(NodeRole::kRouter));
+  payload[13] = static_cast<std::uint8_t>(NodeRole::kRouter) + 1;
   StatsSnapshot decoded;
   EXPECT_FALSE(decode_stats_payload(payload.data(), payload.size(), decoded));
 }
@@ -265,6 +280,16 @@ TEST(StatsRender, JsonCarriesTotalsAndSafeSet) {
   EXPECT_NE(json.find("\"safe_worst_ratio\":1.25"), std::string::npos);
   EXPECT_NE(json.find("\"safe_violated_level\":2"), std::string::npos);
   EXPECT_NE(json.find("\"policy\":\"greedy\""), std::string::npos);
+}
+
+TEST(StatsRender, RoleAndBackendIdAppearInBothRenderings) {
+  const StatsSnapshot snapshot = make_full_snapshot();
+  const std::string prom = render_prometheus(snapshot);
+  EXPECT_NE(prom.find("role=\"router\""), std::string::npos);
+  EXPECT_NE(prom.find("backend_id=\"7\""), std::string::npos);
+  const std::string json = render_json(snapshot);
+  EXPECT_NE(json.find("\"role\":\"router\""), std::string::npos);
+  EXPECT_NE(json.find("\"backend_id\":7"), std::string::npos);
 }
 
 }  // namespace
