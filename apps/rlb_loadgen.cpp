@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -39,6 +40,8 @@
 #include "harness/output.hpp"
 #include "net/client.hpp"
 #include "net/wire.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "stats/histogram.hpp"
 #include "stats/rng.hpp"
 #include "workloads/fresh_uniform.hpp"
@@ -49,6 +52,12 @@
 namespace {
 
 using namespace rlb;
+
+// SIGINT/SIGTERM: stop sending, let workers drain out of their loops, and
+// reach the normal exit path so trace/span sinks get their atomic flush.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_signal(int) { g_stop_requested = 1; }
 
 struct Options {
   std::string host = "127.0.0.1";
@@ -67,6 +76,11 @@ struct Options {
   std::size_t latency_cap_us = 200000;  // histogram exact range
   double rate = 0.0;                    // total offered req/s; 0 = closed loop
   std::uint64_t drain_ms = 2000;        // open-loop post-schedule listen window
+  // Distributed tracing: > 0 puts a TraceContext on every REQUEST frame and
+  // marks this fraction of them head-sampled (the rest survive only via
+  // tail sampling at each hop's recorder: slow or rejected).
+  double trace_sample = 0.0;
+  std::string span_file;  // client.request root spans land here as JSONL
 };
 
 struct WorkerResult {
@@ -103,6 +117,52 @@ void classify(const net::ResponseMsg& response, std::uint64_t us,
   } else {
     ++result.errors;
   }
+}
+
+// Per-request trace bookkeeping: the originated context (whose parent span
+// id is the client.request root span) plus the steady-clock start so the
+// root span can be recorded when the response lands.
+struct FlightTrace {
+  std::uint64_t trace_id = 0;  // 0 = untraced request
+  std::uint64_t root_span_id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint8_t flags = 0;
+};
+
+// Originate a trace context for one request.  Every request carries a
+// context when --trace-sample > 0; only the sampled fraction sets the
+// head-sampling flag — the rest are still eligible for tail sampling
+// (slow/rejected) at every hop's recorder.
+obs::TraceContext originate_trace(const Options& options, stats::Rng& rng,
+                                  FlightTrace& flight) {
+  if (options.trace_sample <= 0.0) return {};
+  obs::TraceContext ctx;
+  ctx.trace_id = obs::next_span_id();
+  flight.root_span_id = obs::next_span_id();
+  ctx.parent_span_id = flight.root_span_id;
+  if (rng.next_bernoulli(options.trace_sample)) ctx.flags = obs::kSpanSampled;
+  flight.trace_id = ctx.trace_id;
+  flight.flags = ctx.flags;
+  flight.start_ns = obs::now_ns();
+  return ctx;
+}
+
+void record_client_span(const FlightTrace& flight, std::size_t worker,
+                        net::Status status, std::uint64_t outstanding) {
+  if (flight.trace_id == 0 || !obs::span_recording_enabled()) return;
+  obs::Span span;
+  span.trace_id = flight.trace_id;
+  span.span_id = flight.root_span_id;
+  span.parent_span_id = 0;
+  span.start_ns = flight.start_ns;
+  span.end_ns = obs::now_ns();
+  span.queue_depth = outstanding;
+  span.name = "client.request";
+  span.shard = static_cast<std::uint32_t>(worker);
+  span.tid = static_cast<std::uint32_t>(obs::thread_index());
+  span.flags = flight.flags;
+  span.cause = static_cast<std::uint8_t>(status);
+  obs::SpanRecorder::instance().record(span);
 }
 
 // Flattens a Workload's per-step batches into an endless key stream.
@@ -201,15 +261,23 @@ void run_worker(const Options& options, std::size_t worker,
   }
 
   using Clock = std::chrono::steady_clock;
-  std::unordered_map<std::uint64_t, Clock::time_point> in_flight;
+  struct InFlight {
+    Clock::time_point sent_at;
+    FlightTrace trace;
+  };
+  std::unordered_map<std::uint64_t, InFlight> in_flight;
   in_flight.reserve(options.concurrency * 2);
   std::uint64_t next_id = (static_cast<std::uint64_t>(worker) << 40) + 1;
   std::uint64_t completed = 0;
+  stats::Rng trace_rng(stats::derive_seed(options.seed, 0x7ace0ull + worker));
 
   auto send_one = [&] {
     const std::uint64_t id = next_id++;
-    in_flight.emplace(id, Clock::now());
-    client.send_request(id, stream->next());
+    InFlight flight{Clock::now(), {}};
+    const obs::TraceContext ctx =
+        originate_trace(options, trace_rng, flight.trace);
+    in_flight.emplace(id, flight);
+    client.send_request(id, stream->next(), ctx);
     ++result.sent;
   };
 
@@ -220,7 +288,7 @@ void run_worker(const Options& options, std::size_t worker,
     client.flush();
 
     net::ResponseMsg response;
-    while (completed < quota) {
+    while (completed < quota && !g_stop_requested) {
       if (!client.read_response(response)) {
         // Server went away mid-run; everything still in flight is lost.
         result.errors += quota - completed;
@@ -235,9 +303,11 @@ void run_worker(const Options& options, std::size_t worker,
       const std::uint64_t us =
           static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::microseconds>(
-                  now - it->second)
+                  now - it->second.sent_at)
                   .count());
+      const FlightTrace flight = it->second.trace;
       in_flight.erase(it);
+      record_client_span(flight, worker, response.status, in_flight.size());
       ++completed;
       classify(response, us, result);
       if (result.sent < quota) {
@@ -279,14 +349,19 @@ void run_worker_open_loop(const Options& options, std::size_t worker,
   const std::chrono::nanoseconds interval(
       static_cast<std::uint64_t>(1e9 / std::max(rate_share, 1e-6)));
   const std::chrono::milliseconds drain(options.drain_ms);
-  std::unordered_map<std::uint64_t, Clock::time_point> in_flight;
+  struct InFlight {
+    Clock::time_point sent_at;
+    FlightTrace trace;
+  };
+  std::unordered_map<std::uint64_t, InFlight> in_flight;
   in_flight.reserve(1024);
   std::uint64_t next_id = (static_cast<std::uint64_t>(worker) << 40) + 1;
+  stats::Rng trace_rng(stats::derive_seed(options.seed, 0x7ace0ull + worker));
   Clock::time_point drain_deadline{};
 
   try {
     net::ResponseMsg response;
-    while (result.sent < quota || !in_flight.empty()) {
+    while ((result.sent < quota || !in_flight.empty()) && !g_stop_requested) {
       const auto now = Clock::now();
       if (result.sent < quota) {
         const auto intended = start + interval * result.sent;
@@ -294,8 +369,11 @@ void run_worker_open_loop(const Options& options, std::size_t worker,
           const std::uint64_t id = next_id++;
           // Latency clock starts at the *intended* time: queueing caused by
           // our own pacing loop falling behind is server-visible delay too.
-          in_flight.emplace(id, intended);
-          client.send_request(id, stream->next());
+          InFlight flight{intended, {}};
+          const obs::TraceContext ctx =
+              originate_trace(options, trace_rng, flight.trace);
+          in_flight.emplace(id, flight);
+          client.send_request(id, stream->next(), ctx);
           client.flush();
           ++result.sent;
           if (result.sent == quota) drain_deadline = Clock::now() + drain;
@@ -318,10 +396,12 @@ void run_worker_open_loop(const Options& options, std::size_t worker,
         break;
       }
       const std::uint64_t us = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                it->second)
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - it->second.sent_at)
               .count());
+      const FlightTrace flight = it->second.trace;
       in_flight.erase(it);
+      record_client_span(flight, worker, response.status, in_flight.size());
       classify(response, us, result);
     }
   } catch (const net::ProtocolError& e) {
@@ -357,6 +437,10 @@ void usage(const char* argv0) {
       << "                         binary format, auto-detected)\n"
       << "  --seed <s>             master seed (default 1)\n"
       << "  --json <path>          also write the summary as JSON\n"
+      << "  --trace-sample <p>     put a trace context on every request and\n"
+      << "                         head-sample this fraction of them [0,1]\n"
+      << "  --span-file <path>     write client.request root spans (JSONL\n"
+      << "                         with a clock anchor) for rlb_trace\n"
       << "  (plus --probes / --trace <path> from the obs layer)\n";
 }
 
@@ -453,6 +537,18 @@ int main(int argc, char** argv) {
       options.seed = u64;
     } else if (flag == "--json" && has_value) {
       options.json_path = value();
+    } else if (flag == "--trace-sample" && has_value) {
+      try {
+        options.trace_sample = std::stod(value());
+      } catch (const std::exception&) {
+        options.trace_sample = -1.0;
+      }
+      if (options.trace_sample < 0.0 || options.trace_sample > 1.0) {
+        std::cerr << "rlb_loadgen: --trace-sample needs a value in [0,1]\n";
+        return 2;
+      }
+    } else if (flag == "--span-file" && has_value) {
+      options.span_file = value();
     } else if (flag == "--format" || flag == "--trace") {
       ++i;  // consumed by init_output
     } else if (flag == "--probes" || flag == "--trace-detail") {
@@ -462,6 +558,12 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+  }
+
+  if (!options.span_file.empty()) {
+    // Enables span recording and registers an at-exit flush; we also flush
+    // explicitly below so the file exists before the summary is printed.
+    obs::set_span_file(options.span_file);
   }
 
   std::unique_ptr<workloads::Trace> trace;
@@ -478,6 +580,10 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
 
   const std::size_t workers = options.connections;
   std::vector<WorkerResult> results(workers);
@@ -581,6 +687,11 @@ int main(int argc, char** argv) {
        << total.wait_steps.max_observed() << "}\n"
        << "}\n";
   }
+
+  // Flush trace sinks before exit (atomic tmp+rename — a consumer racing
+  // with shutdown never reads a truncated JSONL file).
+  obs::flush_trace();
+  obs::flush_spans();
 
   return total.protocol_errors == 0 ? 0 : 1;
 }

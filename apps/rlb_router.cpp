@@ -18,6 +18,8 @@
 #include "cluster/router.hpp"
 #include "harness/output.hpp"
 #include "net/stats.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -41,6 +43,8 @@ void usage(const char* argv0) {
       << "  --probation <n>        consecutive successes -> mark-up (default 2)\n"
       << "  --timeout-ms <ms>      per-hop response deadline (default 2000)\n"
       << "  --max-attempts <n>     forward attempts per request; 0 = d\n"
+      << "  --span-slow-us <us>    keep unsampled spans slower than this\n"
+      << "                         (tail sampling; 0 = sampled/failed only)\n"
       << "  --stats-interval <s>   print live stats every s seconds (0=off)\n"
       << "  (plus --probes / --trace <path> from the obs layer)\n"
       << "rlb_stat polls the STATS admin opcode on the router port; add\n"
@@ -126,6 +130,9 @@ int main(int argc, char** argv) {
     } else if (flag == "--max-attempts" && has_value) {
       if (!parse_u64_flag("--max-attempts", value(), u64)) return 2;
       config.max_attempts = static_cast<unsigned>(u64);
+    } else if (flag == "--span-slow-us" && has_value) {
+      if (!parse_u64_flag("--span-slow-us", value(), u64)) return 2;
+      rlb::obs::SpanRecorder::instance().set_slow_budget_ns(u64 * 1000);
     } else if (flag == "--stats-interval" && has_value) {
       if (!parse_u64_flag("--stats-interval", value(), u64)) return 2;
       stats_interval_s = u64;
@@ -149,6 +156,10 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGPIPE, SIG_IGN);
+
+  // Span recording on by default: zero cost until a request carries a wire
+  // context, and the TRACE scrape channel (rlb_trace) expects spans.
+  obs::set_span_recording(true);
 
   std::unique_ptr<cluster::Router> router;
   try {
@@ -184,6 +195,10 @@ int main(int argc, char** argv) {
 
   std::cout << "rlb_router: draining..." << std::endl;
   router->stop();
+  // Flush trace sinks during the drain (atomic tmp+rename): no truncated
+  // --trace / span JSONL on SIGTERM.
+  obs::flush_trace();
+  obs::flush_spans();
 
   const cluster::RouterStats s = router->stats();
   std::cout << "rlb_router: done. received=" << s.received

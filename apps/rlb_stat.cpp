@@ -90,6 +90,23 @@ void print_pretty(const rlb::net::StatsSnapshot& snapshot) {
             << " p99=" << snapshot.latency.quantile_us(0.99)
             << " max=" << snapshot.latency.max_us << "\n";
 
+  // Per-hop decomposition (v3): a router reports upstream RTTs, a backend
+  // reports submit->drain-tick queue wait.  The counterpart stays empty.
+  if (snapshot.hop_rtt.count > 0) {
+    std::cout << "hop_rtt_us: count=" << snapshot.hop_rtt.count
+              << " p50=" << snapshot.hop_rtt.quantile_us(0.5)
+              << " p95=" << snapshot.hop_rtt.quantile_us(0.95)
+              << " p99=" << snapshot.hop_rtt.quantile_us(0.99)
+              << " max=" << snapshot.hop_rtt.max_us << "\n";
+  }
+  if (snapshot.queue_wait.count > 0) {
+    std::cout << "queue_wait_us: count=" << snapshot.queue_wait.count
+              << " p50=" << snapshot.queue_wait.quantile_us(0.5)
+              << " p95=" << snapshot.queue_wait.quantile_us(0.95)
+              << " p99=" << snapshot.queue_wait.quantile_us(0.99)
+              << " max=" << snapshot.queue_wait.max_us << "\n";
+  }
+
   std::cout << "safe-set (Def 3.2): worst_ratio=" << snapshot.safe_worst_ratio
             << (snapshot.safe_violated_level
                     ? " VIOLATED at level " +

@@ -26,7 +26,10 @@
 #include "harness/output.hpp"
 #include "net/server.hpp"
 #include "net/stats.hpp"
+#include "net/trace_wire.hpp"
 #include "net/wire.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -58,6 +61,8 @@ void usage(const char* argv0) {
       << "  --dump-on-crash        reject a crashed server's queue\n"
       << "  --backend-id <n>       cluster identity echoed in STATS\n"
       << "                         snapshots (rlb_router / rlb_stat --cluster)\n"
+      << "  --span-slow-us <us>    keep unsampled spans slower than this\n"
+      << "                         (tail sampling; 0 = sampled/failed only)\n"
       << "  --stats-interval <s>   print live stats every s seconds (0=off)\n"
       << "  --safe-set-log <path>  append one safe-set JSONL record per\n"
       << "                         stats interval (forces 1s when unset)\n"
@@ -156,6 +161,9 @@ int main(int argc, char** argv) {
       stats_interval_s = u64;
     } else if (flag == "--safe-set-log" && has_value) {
       safe_set_log_path = value();
+    } else if (flag == "--span-slow-us" && has_value) {
+      if (!parse_u64_flag("--span-slow-us", value(), u64)) return 2;
+      rlb::obs::SpanRecorder::instance().set_slow_budget_ns(u64 * 1000);
     } else if (flag == "--format" || flag == "--trace" ||
                flag == "--fail-rate" || flag == "--mttr") {
       ++i;  // consumed by init_output / reserved
@@ -174,7 +182,8 @@ int main(int argc, char** argv) {
   net::NetServer server(
       net_config, [&engine_raw, &server](std::uint64_t conn_token,
                                          const net::RequestMsg& request) {
-        if (!engine_raw->submit(conn_token, request.request_id, request.key)) {
+        if (!engine_raw->submit(conn_token, request.request_id, request.key,
+                                request.trace)) {
           net::ResponseMsg msg;
           msg.request_id = request.request_id;
           msg.status = net::Status::kError;
@@ -204,6 +213,17 @@ int main(int argc, char** argv) {
   server.set_stats_handler(
       [&engine, &server](std::uint64_t conn_token, const net::StatsRequestMsg&) {
         server.send_stats(conn_token, engine.snapshot());
+      });
+
+  // TRACE drains the span flight recorder; span recording is on by default
+  // (zero cost until a request actually carries a wire context).
+  obs::set_span_recording(true);
+  const std::uint32_t backend_id = config.backend_id;
+  server.set_trace_handler(
+      [&server, backend_id](std::uint64_t conn_token,
+                            const net::TraceRequestMsg&) {
+        server.send_trace(conn_token, net::make_trace_snapshot(
+                                          net::NodeRole::kBackend, backend_id));
       });
 
   std::ofstream safe_set_log;
@@ -267,6 +287,10 @@ int main(int argc, char** argv) {
   // flushes those buffers and closes.
   engine.stop();
   server.stop();
+  // Flush trace sinks as part of the drain (atomic tmp+rename) so a SIGTERM
+  // never leaves a truncated --trace / span JSONL behind.
+  obs::flush_trace();
+  obs::flush_spans();
 
   const engine::EngineStats s = engine.stats();
   const net::ServerStats n = server.stats();

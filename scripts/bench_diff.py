@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two bench_snapshot.sh documents (rlb-bench-snapshot-v1).
+
+Usage: bench_diff.py <baseline.json> <fresh.json>
+
+Prints a per-benchmark delta table: micro benchmarks matched by name
+(items_per_second preferred, real_time as the fallback), serving/cluster
+tables matched by their key columns with throughput_rps compared.  The
+script is informational and always exits 0 on well-formed input — it
+backs a non-gating CI step, so regressions show up in the log without
+failing the build.  Exit 2 only when an input file is missing/unreadable.
+"""
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def fmt_delta(old, new, higher_is_better):
+    if not old:
+        return "n/a"
+    pct = (new - old) / old * 100.0
+    arrow = ""
+    if abs(pct) >= 2.0:
+        better = (pct > 0) == higher_is_better
+        arrow = " (+)" if better else " (-)"
+    return f"{pct:+7.2f}%{arrow}"
+
+
+def diff_micro(base, fresh):
+    base_by_name = {b["name"]: b for b in base.get("micro", [])}
+    rows = []
+    for b in fresh.get("micro", []):
+        old = base_by_name.get(b["name"])
+        if old is None:
+            rows.append((b["name"], "new benchmark"))
+            continue
+        if "items_per_second" in b and "items_per_second" in old:
+            rows.append((b["name"],
+                         fmt_delta(old["items_per_second"],
+                                   b["items_per_second"], True)
+                         + "  items/s"))
+        elif "real_time" in b and "real_time" in old:
+            rows.append((b["name"],
+                         fmt_delta(old["real_time"], b["real_time"], False)
+                         + "  time"))
+    for name in base_by_name:
+        if name not in {b["name"] for b in fresh.get("micro", [])}:
+            rows.append((name, "removed"))
+    return rows
+
+
+def table_rows(doc, section):
+    """Yield (key-tuple, throughput) per row of every table that has a
+    throughput_rps column; the key is every cell left of that column."""
+    for table in doc.get(section, {}).get("tables", []):
+        headers = table.get("headers", [])
+        if "throughput_rps" not in headers:
+            continue
+        at = headers.index("throughput_rps")
+        for row in table.get("rows", []):
+            if len(row) <= at:
+                continue
+            try:
+                yield tuple(str(c) for c in row[:at]), float(row[at])
+            except (TypeError, ValueError):
+                continue
+
+
+def diff_tables(base, fresh, section):
+    base_map = dict(table_rows(base, section))
+    rows = []
+    for key, rps in table_rows(fresh, section):
+        old = base_map.get(key)
+        label = f"{section}[{', '.join(key)}]"
+        if old is None:
+            rows.append((label, "new row"))
+        else:
+            rows.append((label, fmt_delta(old, rps, True) + "  rps"))
+    return rows
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    base = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+    rows = diff_micro(base, fresh)
+    for section in ("serving", "cluster"):
+        rows.extend(diff_tables(base, fresh, section))
+    if not rows:
+        print("bench_diff: nothing comparable between the two snapshots")
+        return
+    width = max(len(name) for name, _ in rows)
+    print(f"bench_diff: {sys.argv[2]} vs baseline {sys.argv[1]}")
+    for name, delta in rows:
+        print(f"  {name:<{width}}  {delta}")
+    print("bench_diff: positive = fresh run is larger; (+)/(-) marks "
+          ">=2% better/worse; informational only, never gates")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,18 @@
 #             again (probation) and serve a full run with zero hop-level
 #             rejects; the router's cumulative completed total must equal
 #             the sum of the three phases' ok counts.
+#   phase 4 — distributed tracing under failure: a traced run (wire
+#             contexts + client span file) with another mid-run SIGKILL;
+#             rlb_trace must merge client, router, and backend spans into
+#             cross-process trees that include retried hops, and every
+#             emitted JSONL file must parse line by line.  A second traced
+#             loadgen is SIGTERMed mid-run to check the flush-on-drain
+#             path leaves a complete span file behind.
+#
+# RLB_CLUSTER_SMOKE_OBS_OFF=1 relaxes phase 4 for builds with the obs
+# plane compiled out (-DRLB_OBS_ENABLED=OFF): recorders are empty by
+# design there, so only the TRACE channel, the merger exit status, and the
+# file formats are asserted.
 #
 # Usage: scripts/cluster_smoke.sh [build-dir]      (default: build)
 set -euo pipefail
@@ -23,6 +35,8 @@ RLBD="$BUILD_DIR/apps/rlbd"
 ROUTER="$BUILD_DIR/apps/rlb_router"
 LOADGEN="$BUILD_DIR/apps/rlb_loadgen"
 RLB_STAT="$BUILD_DIR/apps/rlb_stat"
+RLB_TRACE="$BUILD_DIR/apps/rlb_trace"
+OBS_OFF="${RLB_CLUSTER_SMOKE_OBS_OFF:-0}"
 
 BASE_PORT="${RLB_CLUSTER_SMOKE_PORT:-4930}"
 ROUTER_PORT="$BASE_PORT"
@@ -34,10 +48,19 @@ BACKENDS="127.0.0.1:$B1_PORT,127.0.0.1:$B2_PORT,127.0.0.1:$B3_PORT"
 P1_JSON="$(mktemp /tmp/rlb_cluster_p1.XXXXXX.json)"
 P2_JSON="$(mktemp /tmp/rlb_cluster_p2.XXXXXX.json)"
 P3_JSON="$(mktemp /tmp/rlb_cluster_p3.XXXXXX.json)"
+P4_JSON="$(mktemp /tmp/rlb_cluster_p4.XXXXXX.json)"
 CLUSTER_JSON="$(mktemp /tmp/rlb_cluster_stat.XXXXXX.json)"
 ROUTER_JSON="$(mktemp /tmp/rlb_cluster_router.XXXXXX.json)"
+SPAN_FILE="$(mktemp /tmp/rlb_cluster_spans.XXXXXX.jsonl)"
+SPAN_FILE2="$(mktemp /tmp/rlb_cluster_spans2.XXXXXX.jsonl)"
+MERGED_JSONL="$(mktemp /tmp/rlb_cluster_merged.XXXXXX.jsonl)"
+CHROME_JSON="$(mktemp /tmp/rlb_cluster_chrome.XXXXXX.json)"
+TRACE_SUMMARY="$(mktemp /tmp/rlb_cluster_trace.XXXXXX.txt)"
+TMPFILES=("$P1_JSON" "$P2_JSON" "$P3_JSON" "$P4_JSON" "$CLUSTER_JSON" \
+          "$ROUTER_JSON" "$SPAN_FILE" "$SPAN_FILE2" "$MERGED_JSONL" \
+          "$CHROME_JSON" "$TRACE_SUMMARY")
 
-for bin in "$RLBD" "$ROUTER" "$LOADGEN" "$RLB_STAT"; do
+for bin in "$RLBD" "$ROUTER" "$LOADGEN" "$RLB_STAT" "$RLB_TRACE"; do
   if [[ ! -x "$bin" ]]; then
     echo "cluster_smoke: missing binary $bin (build first)" >&2
     exit 1
@@ -76,7 +99,7 @@ cleanup() {
   for pid in "$ROUTER_PID" "$B1_PID" "$B2_PID" "$B3_PID"; do
     [[ -n "$pid" ]] && wait_gone "$pid" || true
   done
-  rm -f "$P1_JSON" "$P2_JSON" "$P3_JSON" "$CLUSTER_JSON" "$ROUTER_JSON"
+  rm -f "${TMPFILES[@]}"
 }
 trap cleanup EXIT
 
@@ -230,12 +253,136 @@ print(f"cluster_smoke: phase 3 OK — backend rejoined after probation, "
       f"router conservation holds ({expected_ok} relayed ok)")
 EOF
 
-# Graceful drain: router first (rejects nothing new), then the backends.
+# ---- phase 4: distributed tracing under a mid-run SIGKILL ----------------
+# Every request carries a wire trace context (--trace-sample > 0); ~5% get
+# the head-sampling flag, failed hops are kept by the recorders regardless
+# of sampling, and the router escalates sampling on retries.  B3 is
+# SIGKILLed mid-run again, so traces that had a hop in flight to it must
+# show the failed hop plus its retry in the merged tree.  The dead B3
+# endpoint stays on the rlb_trace scrape list to exercise the
+# partial-failure path (the merger must warn and continue).
+router_completed() {
+  "$RLB_STAT" --port "$ROUTER_PORT" --json 2>/dev/null \
+    | python3 -c \
+        'import json, sys; print(int(json.load(sys.stdin)["completed"]))' \
+    2>/dev/null || echo 0
+}
+
+# A wall-clock sleep can fire before the loadgen has sent anything (or
+# after it finished), turning the SIGKILL into a no-op for tracing; gate
+# the kill on the router's cumulative completed counter instead so it
+# always lands with hops in flight.
+ROUTER_DONE="$(router_completed)"
+"$LOADGEN" --port "$ROUTER_PORT" --connections 4 --concurrency 32 \
+  --requests 150000 --workload uniform --trace-sample 0.05 \
+  --span-file "$SPAN_FILE" --json "$P4_JSON" &
+LOADGEN_PID=$!
+KILL_AT=$((ROUTER_DONE + 30000))
+for _ in $(seq 1 500); do
+  if (( $(router_completed) >= KILL_AT )); then break; fi
+  sleep 0.02
+done
+# The gate's own STATS scrape briefly serialises with the router's event
+# loop, draining its pending-hop table; let the data plane refill so the
+# SIGKILL lands with hops actually in flight to B3.
+sleep 0.08
+kill -9 "$B3_PID"
+wait_gone "$B3_PID"
+B3_PID=""
+wait "$LOADGEN_PID"
+
+"$RLB_TRACE" --endpoints "127.0.0.1:$ROUTER_PORT,$BACKENDS" \
+  --span-file "$SPAN_FILE" --out "$MERGED_JSONL" --chrome "$CHROME_JSON" \
+  --print 1 | tee "$TRACE_SUMMARY"
+
+python3 - "$P4_JSON" "$TRACE_SUMMARY" "$MERGED_JSONL" "$CHROME_JSON" \
+    "$SPAN_FILE" "$OBS_OFF" <<'EOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+assert int(summary["protocol_errors"]) == 0, "phase 4: protocol errors"
+assert int(summary["errors"]) == 0, "phase 4: transport errors"
+answered = int(summary["ok"]) + int(summary["rejected"])
+assert answered == 150000, f"phase 4: answered {answered} != 150000"
+
+line = next(l for l in open(sys.argv[2]) if l.startswith("rlb_trace: merged"))
+fields = dict(kv.split("=") for kv in line.split()[2:])
+obs_off = sys.argv[6] == "1"
+
+# Every emitted file must parse on its own terms: the merged output line
+# by line (JSONL), the Chrome trace as one document.
+merged = 0
+for raw in open(sys.argv[3]):
+    if raw.strip():
+        json.loads(raw)
+        merged += 1
+chrome = json.load(open(sys.argv[4]))
+assert isinstance(chrome["traceEvents"], list), "phase 4: bad Chrome trace"
+client_spans = 0
+first_line = None
+for raw in open(sys.argv[5]):
+    if raw.strip():
+        rec = json.loads(raw)
+        if first_line is None:
+            first_line = rec
+        if "span_id" in rec:
+            client_spans += 1
+
+if obs_off:
+    # Recorders are compiled out: the channel must still answer and the
+    # files must still be well-formed, but they stay empty.
+    print(f"cluster_smoke: phase 4 OK (obs-off) — TRACE channel answered, "
+          f"merger emitted {merged} spans, all files parse")
+else:
+    assert first_line is not None and first_line.get("anchor") == 1, \
+        "phase 4: client span file missing its clock anchor line"
+    assert client_spans >= 1, "phase 4: loadgen recorded no client spans"
+    assert merged == int(fields["spans"]), \
+        f"phase 4: merged file has {merged} spans, summary says {fields['spans']}"
+    assert int(fields["traces"]) >= 1, line
+    assert int(fields["cross_process"]) >= 1, \
+        f"phase 4: no cross-process span trees: {line}"
+    assert int(fields["retried"]) >= 1, \
+        f"phase 4: no trace shows a retried hop after the SIGKILL: {line}"
+    print(f"cluster_smoke: phase 4 OK — {fields['traces']} merged traces "
+          f"across {fields['processes']} processes "
+          f"({fields['cross_process']} cross-process, "
+          f"{fields['retried']} with retried hops)")
+EOF
+
+# SIGTERM drain regression: a tracing client killed mid-run must still
+# leave a complete, parseable span file (the handlers flush via
+# write-to-temp + rename, so a reader never sees a truncated record).
+"$LOADGEN" --port "$ROUTER_PORT" --connections 2 --concurrency 16 \
+  --requests 100000000 --workload uniform --trace-sample 0.5 \
+  --span-file "$SPAN_FILE2" >/dev/null &
+LOADGEN_PID=$!
+sleep 0.5
+kill -TERM "$LOADGEN_PID"
+wait "$LOADGEN_PID"
+
+python3 - "$SPAN_FILE2" "$OBS_OFF" <<'EOF'
+import json, sys
+lines = 0
+spans = 0
+for raw in open(sys.argv[1]):
+    if raw.strip():
+        json.loads(raw)
+        lines += 1
+        spans += 1 if "span_id" in json.loads(raw) else 0
+assert lines >= 1, "SIGTERM drain: span file is empty (no anchor line)"
+if sys.argv[2] != "1":
+    assert spans >= 1, "SIGTERM drain: no spans survived the flush"
+print(f"cluster_smoke: SIGTERM drain OK — span file intact "
+      f"({spans} spans, every line parses)")
+EOF
+
+# Graceful drain: router first (rejects nothing new), then the backends
+# (B3 died in phase 4 and stays down).
 kill -INT "$ROUTER_PID"; wait_gone "$ROUTER_PID"; ROUTER_PID=""
-for pid in "$B1_PID" "$B2_PID" "$B3_PID"; do
+for pid in "$B1_PID" "$B2_PID"; do
   kill -INT "$pid"; wait_gone "$pid"
 done
-B1_PID=""; B2_PID=""; B3_PID=""
+B1_PID=""; B2_PID=""
 trap - EXIT
-rm -f "$P1_JSON" "$P2_JSON" "$P3_JSON" "$CLUSTER_JSON" "$ROUTER_JSON"
+rm -f "${TMPFILES[@]}"
 echo "cluster_smoke: all phases passed; router and backends drained cleanly"

@@ -28,6 +28,11 @@ void Membership::record_success(std::uint32_t id,
   slot.completed = sample.completed;
   slot.servers = sample.servers;
   slot.servers_down = sample.servers_down;
+  if (sample.rtt_us > 0) {
+    slot.rtt_ema_us = slot.rtt_ema_us == 0
+                          ? sample.rtt_us
+                          : (3 * slot.rtt_ema_us + sample.rtt_us) / 4;
+  }
   switch (slot.health) {
     case BackendHealth::kDown:
       slot.health = BackendHealth::kProbation;
@@ -132,6 +137,7 @@ BackendView Membership::view(std::uint32_t id) const {
   v.completed = slot.completed;
   v.servers = slot.servers;
   v.servers_down = slot.servers_down;
+  v.rtt_ema_us = slot.rtt_ema_us;
   return v;
 }
 

@@ -54,6 +54,10 @@ struct BackendView {
   std::uint64_t completed = 0;  ///< from the last snapshot (backend-reported)
   std::uint32_t servers = 0;
   std::uint32_t servers_down = 0;
+  /// EMA of the heartbeat round trip (3/4 old + 1/4 new); 0 until the
+  /// first sample.  rlb_trace uses half of this as the clock-anchor
+  /// offset correction for merged cross-process spans.
+  std::uint64_t rtt_ema_us = 0;
 };
 
 /// Per-backend fields piggybacked on a heartbeat STATS_RESP.
@@ -62,6 +66,8 @@ struct HeartbeatSample {
   std::uint64_t completed = 0;
   std::uint32_t servers = 0;
   std::uint32_t servers_down = 0;
+  /// Measured STATS round trip for this heartbeat, microseconds.
+  std::uint64_t rtt_us = 0;
 };
 
 class Membership {
@@ -102,6 +108,7 @@ class Membership {
     std::uint64_t completed = 0;
     std::uint32_t servers = 0;
     std::uint32_t servers_down = 0;
+    std::uint64_t rtt_ema_us = 0;
   };
 
   MembershipConfig config_;

@@ -14,8 +14,11 @@
 #include "hashing/hash.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "net/trace_wire.hpp"
 #include "net/upstream.hpp"
 #include "obs/probes.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace rlb::cluster {
 
@@ -81,6 +84,11 @@ struct Router::Impl {
         [this](std::uint64_t token, const net::StatsRequestMsg&) {
           server.send_stats(token, snapshot());
         });
+    server.set_trace_handler(
+        [this](std::uint64_t token, const net::TraceRequestMsg&) {
+          server.send_trace(
+              token, net::make_trace_snapshot(net::NodeRole::kRouter, 0));
+        });
   }
 
   static unsigned resolve_replication(const RouterConfig& cfg) {
@@ -119,7 +127,60 @@ struct Router::Impl {
     std::uint64_t tried = 0;     // bitmask of backend indices tried
     int backend = -1;            // current attempt's backend
     Clock::time_point deadline;
+    // obs::now_ns() at the hop send; anchors the hop RTT histogram and
+    // the router.hop span.
+    std::uint64_t send_ns = 0;
+    // Distributed tracing: the client's inbound context plus the
+    // router.request span (one per client request, survives retries) and
+    // the router.hop span (one per forward attempt).  Zero ids when the
+    // request is untraced or span recording is off.
+    obs::TraceContext trace;
+    std::uint64_t request_span_id = 0;
+    std::uint64_t request_start_ns = 0;
+    std::uint64_t hop_span_id = 0;
   };
+
+  /// Land one router span in the flight recorder (no-op when the request
+  /// is untraced, `span_id` was never allocated, or obs is compiled out).
+  void record_span(const obs::TraceContext& trace, const char* name,
+                   std::uint64_t span_id, std::uint64_t parent_span_id,
+                   std::uint64_t start_ns, std::uint8_t cause,
+                   std::uint32_t backend, std::uint64_t depth) {
+#if !defined(RLB_OBS_DISABLED)
+    if (span_id == 0 || !trace.valid() || !obs::span_recording_enabled()) {
+      return;
+    }
+    obs::Span span;
+    span.trace_id = trace.trace_id;
+    span.span_id = span_id;
+    span.parent_span_id = parent_span_id;
+    span.start_ns = start_ns;
+    span.end_ns = obs::now_ns();
+    span.queue_depth = depth;
+    span.name = name;
+    span.shard = backend;
+    span.tid = obs::thread_index();
+    span.flags = trace.flags;
+    span.cause = cause;
+    obs::SpanRecorder::instance().record(span);
+#else
+    (void)trace;
+    (void)name;
+    (void)span_id;
+    (void)parent_span_id;
+    (void)start_ns;
+    (void)cause;
+    (void)backend;
+    (void)depth;
+#endif
+  }
+
+  /// The hop span's parent: the router.request span when one exists, else
+  /// the client's own parent (obs-disabled router still forwards context).
+  static std::uint64_t hop_parent(const Pending& entry) {
+    return entry.request_span_id != 0 ? entry.request_span_id
+                                      : entry.trace.parent_span_id;
+  }
 
   enum class Forward : std::uint8_t { kSent, kNoCandidate, kBudgetSpent };
 
@@ -127,7 +188,10 @@ struct Router::Impl {
   /// kSent a Pending entry exists under a fresh hop id.
   Forward forward_locked(std::uint64_t conn_token, std::uint64_t client_id,
                          std::uint64_t key, core::ChunkId chunk,
-                         unsigned attempts, std::uint64_t tried) {
+                         unsigned attempts, std::uint64_t tried,
+                         const obs::TraceContext& trace = {},
+                         std::uint64_t request_span_id = 0,
+                         std::uint64_t request_start_ns = 0) {
     static obs::Counter forwarded_probe("router.forwarded");
     static obs::Counter failover_probe("router.send_failover");
     const unsigned budget =
@@ -137,6 +201,16 @@ struct Router::Impl {
       const int backend =
           membership.pick(candidates.begin(), candidates.size(), tried);
       if (backend < 0) return Forward::kNoCandidate;
+      // Retry escalation: a re-forward means something already went wrong
+      // for this request, so force the sampled bit on the attempt's
+      // context.  The retry hop and the engine span it reaches survive the
+      // recorders' keep policy even when the originator left the request
+      // unsampled — a merged trace with a failed hop always shows where
+      // the retry went.
+      obs::TraceContext attempt_trace = trace;
+      if (attempts > 0 && attempt_trace.valid()) {
+        attempt_trace.flags |= obs::kSpanSampled;
+      }
       ++attempts;
       tried |= bit(backend);
       const std::uint64_t hop = next_hop++;
@@ -150,9 +224,24 @@ struct Router::Impl {
       entry.backend = backend;
       entry.deadline = Clock::now() + std::chrono::milliseconds(
                                           config.request_timeout_ms);
+      entry.send_ns = obs::now_ns();
+      entry.trace = attempt_trace;
+      entry.request_span_id = request_span_id;
+      entry.request_start_ns = request_start_ns;
+      if (attempt_trace.valid() && obs::span_recording_enabled()) {
+        entry.hop_span_id = obs::next_span_id();
+      }
+      // Hop to hop the context is re-parented to this attempt's hop span,
+      // so a backend's engine.request span nests under the exact retry
+      // that reached it.  An obs-disabled router forwards the context
+      // unchanged (hop_span_id 0) — the tree just skips a level.
+      obs::TraceContext forwarded = attempt_trace;
+      if (entry.hop_span_id != 0) {
+        forwarded.parent_span_id = entry.hop_span_id;
+      }
       membership.note_forwarded(static_cast<std::uint32_t>(backend));
-      if (upstreams[static_cast<std::size_t>(backend)]->send_request(hop,
-                                                                     key)) {
+      if (upstreams[static_cast<std::size_t>(backend)]->send_request(
+              hop, key, forwarded)) {
         pending.emplace(hop, entry);
         ++counters.forwarded;
         ++per_backend[static_cast<std::size_t>(backend)].forwarded;
@@ -161,6 +250,12 @@ struct Router::Impl {
       }
       // The connection died between the membership check and the write:
       // mark the backend down and fail over within the same budget walk.
+      // The never-sent attempt still leaves a (near-zero-length) hop span
+      // so retries stay countable in the merged tree.
+      record_span(attempt_trace, "router.hop", entry.hop_span_id,
+                  hop_parent(entry), entry.send_ns,
+                  static_cast<std::uint8_t>(net::Status::kRejectUpstreamDown),
+                  static_cast<std::uint32_t>(backend), 0);
       membership.note_answered(static_cast<std::uint32_t>(backend));
       membership.force_down(static_cast<std::uint32_t>(backend));
       failover_probe.add();
@@ -169,11 +264,19 @@ struct Router::Impl {
   }
 
   void reject(std::uint64_t conn_token, std::uint64_t client_id,
-              net::Status cause, int attributed_backend) {
+              net::Status cause, int attributed_backend,
+              const obs::TraceContext& trace = {},
+              std::uint64_t request_span_id = 0,
+              std::uint64_t request_start_ns = 0) {
     net::ResponseMsg response;
     response.request_id = client_id;
     response.status = cause;
     server.send_response(conn_token, response);
+    record_span(trace, "router.request", request_span_id,
+                trace.parent_span_id, request_start_ns,
+                static_cast<std::uint8_t>(cause),
+                static_cast<std::uint32_t>(attributed_backend),
+                pending.size());
     PerBackend& row =
         per_backend[static_cast<std::size_t>(attributed_backend)];
     if (cause == net::Status::kRejectUpstreamDown) {
@@ -191,13 +294,23 @@ struct Router::Impl {
         request.key, config.seed ^ 0x9a3c0ff1ceULL, config.chunks);
     std::lock_guard<std::mutex> lock(mu);
     ++counters.received;
-    const Forward outcome = forward_locked(conn_token, request.request_id,
-                                           request.key, chunk, 0, 0);
+    // One router.request span covers the client request end to end across
+    // retries; hop spans nest under it (see forward_locked).
+    std::uint64_t request_span_id = 0;
+    std::uint64_t request_start_ns = 0;
+    if (request.trace.valid() && obs::span_recording_enabled()) {
+      request_span_id = obs::next_span_id();
+      request_start_ns = obs::now_ns();
+    }
+    const Forward outcome =
+        forward_locked(conn_token, request.request_id, request.key, chunk, 0,
+                       0, request.trace, request_span_id, request_start_ns);
     if (outcome != Forward::kSent) {
       // Never forwarded: every candidate backend is down (or died during
       // the walk) — the cluster-level analogue of "all d replicas down".
       reject(conn_token, request.request_id, net::Status::kRejectUpstreamDown,
-             static_cast<int>(placement.choices(chunk)[0]));
+             static_cast<int>(placement.choices(chunk)[0]), request.trace,
+             request_span_id, request_start_ns);
     }
   }
 
@@ -213,6 +326,20 @@ struct Router::Impl {
     const Pending entry = it->second;
     pending.erase(it);
     membership.note_answered(static_cast<std::uint32_t>(backend));
+    // Per-hop RTT (v3 stats): forward-to-response round trip, retries
+    // sampled once per attempt.
+    const std::uint64_t now = obs::now_ns();
+    if (entry.send_ns != 0 && now > entry.send_ns) {
+      hop_rtt.observe_us((now - entry.send_ns) / 1000);
+    }
+    record_span(entry.trace, "router.hop", entry.hop_span_id,
+                hop_parent(entry), entry.send_ns,
+                static_cast<std::uint8_t>(msg.status),
+                static_cast<std::uint32_t>(backend), 0);
+    record_span(entry.trace, "router.request", entry.request_span_id,
+                entry.trace.parent_span_id, entry.request_start_ns,
+                static_cast<std::uint8_t>(msg.status),
+                static_cast<std::uint32_t>(backend), pending.size());
     PerBackend& row = per_backend[static_cast<std::size_t>(backend)];
     if (msg.status == net::Status::kOk) {
       ++counters.relayed_ok;
@@ -252,12 +379,18 @@ struct Router::Impl {
     for (const Pending& entry : orphaned) {
       membership.note_answered(static_cast<std::uint32_t>(backend));
       ++counters.retries;
-      const Forward outcome =
-          forward_locked(entry.conn_token, entry.client_id, entry.key,
-                         entry.chunk, entry.attempts, entry.tried);
+      record_span(entry.trace, "router.hop", entry.hop_span_id,
+                  hop_parent(entry), entry.send_ns,
+                  static_cast<std::uint8_t>(net::Status::kRejectUpstreamDown),
+                  static_cast<std::uint32_t>(backend), 0);
+      const Forward outcome = forward_locked(
+          entry.conn_token, entry.client_id, entry.key, entry.chunk,
+          entry.attempts, entry.tried, entry.trace, entry.request_span_id,
+          entry.request_start_ns);
       if (outcome != Forward::kSent) {
         reject(entry.conn_token, entry.client_id,
-               net::Status::kRejectUpstreamDown, backend);
+               net::Status::kRejectUpstreamDown, backend, entry.trace,
+               entry.request_span_id, entry.request_start_ns);
       }
     }
   }
@@ -277,12 +410,19 @@ struct Router::Impl {
       ++counters.timeouts;
       membership.note_answered(static_cast<std::uint32_t>(entry.backend));
       ++counters.retries;
-      const Forward outcome =
-          forward_locked(entry.conn_token, entry.client_id, entry.key,
-                         entry.chunk, entry.attempts, entry.tried);
+      record_span(
+          entry.trace, "router.hop", entry.hop_span_id, hop_parent(entry),
+          entry.send_ns,
+          static_cast<std::uint8_t>(net::Status::kRejectUpstreamTimeout),
+          static_cast<std::uint32_t>(entry.backend), 0);
+      const Forward outcome = forward_locked(
+          entry.conn_token, entry.client_id, entry.key, entry.chunk,
+          entry.attempts, entry.tried, entry.trace, entry.request_span_id,
+          entry.request_start_ns);
       if (outcome != Forward::kSent) {
         reject(entry.conn_token, entry.client_id,
-               net::Status::kRejectUpstreamTimeout, entry.backend);
+               net::Status::kRejectUpstreamTimeout, entry.backend,
+               entry.trace, entry.request_span_id, entry.request_start_ns);
       }
     }
   }
@@ -313,6 +453,7 @@ struct Router::Impl {
           client.connect(endpoint.host, endpoint.port);
           client.set_recv_timeout_ms(config.heartbeat_timeout_ms);
         }
+        const std::uint64_t ping_ns = obs::now_ns();
         client.send_stats_request();
         client.flush();
         net::StatsSnapshot snap;
@@ -324,6 +465,7 @@ struct Router::Impl {
           sample.completed = totals.completed;
           sample.servers = snap.servers;
           sample.servers_down = static_cast<std::uint32_t>(totals.servers_down);
+          sample.rtt_us = (obs::now_ns() - ping_ns) / 1000;
           ok = true;
         }
       } catch (const std::exception&) {
@@ -413,8 +555,14 @@ struct Router::Impl {
       // Belt and braces: nothing should survive the upstream teardown.
       std::lock_guard<std::mutex> lock(mu);
       for (const auto& [hop, entry] : pending) {
+        record_span(
+            entry.trace, "router.hop", entry.hop_span_id, hop_parent(entry),
+            entry.send_ns,
+            static_cast<std::uint8_t>(net::Status::kRejectUpstreamDown),
+            static_cast<std::uint32_t>(entry.backend), 0);
         reject(entry.conn_token, entry.client_id,
-               net::Status::kRejectUpstreamDown, entry.backend);
+               net::Status::kRejectUpstreamDown, entry.backend, entry.trace,
+               entry.request_span_id, entry.request_start_ns);
       }
       pending.clear();
     }
@@ -438,6 +586,7 @@ struct Router::Impl {
     {
       std::lock_guard<std::mutex> lock(mu);
       rows = per_backend;
+      snap.hop_rtt = hop_rtt;
     }
     // One row per backend; docs/CLUSTER.md documents the field mapping
     // (ticks/batches carry heartbeat ok/miss, max_batch the mark-down
@@ -479,6 +628,8 @@ struct Router::Impl {
   std::uint64_t next_hop = 1;
   std::unordered_map<std::uint64_t, Pending> pending;
   RouterStats counters;
+  // Per-hop upstream RTT histogram (v3 stats); guarded by mu.
+  net::LatencyStats hop_rtt;
   std::vector<PerBackend> per_backend{config.backends.size()};
   Clock::time_point started_at = Clock::now();
 };

@@ -207,6 +207,11 @@ struct Waiting {
   std::uint64_t enqueue_tick = 0;
   // obs::now_ns() at submit(); anchors the wire-to-response latency probe.
   std::uint64_t submit_ns = 0;
+  // Waiting-room depth observed at admission (span annotation).
+  std::uint64_t queue_depth = 0;
+  // Wire-propagated trace context; invalid (trace_id 0) for untraced
+  // requests.
+  obs::TraceContext trace;
 };
 
 // One request delivered into the balancer, awaiting its sink event.
@@ -217,6 +222,8 @@ struct Pending {
   // balancer-reported wait for the end-to-end wait_steps).
   std::uint32_t waited = 0;
   std::uint64_t submit_ns = 0;
+  std::uint64_t queue_depth = 0;
+  obs::TraceContext trace;
 };
 
 }  // namespace
@@ -278,6 +285,13 @@ struct ServingEngine::Impl {
     std::atomic<std::uint64_t> lat_max_us{0};
     std::array<std::atomic<std::uint64_t>, net::kLatencyBuckets> lat_buckets{};
 
+    // Queue-wait decomposition (v3 stats): submit() to drain-tick delivery
+    // — the MPSC queue + waiting-room share of the latency above.
+    std::atomic<std::uint64_t> qw_count{0};
+    std::atomic<std::uint64_t> qw_sum_us{0};
+    std::atomic<std::uint64_t> qw_max_us{0};
+    std::array<std::atomic<std::uint64_t>, net::kLatencyBuckets> qw_buckets{};
+
     // Per-server backlog, refreshed once per tick from the balancer.  The
     // scrape-side safe-set monitor merges these across shards to rebuild
     // the global backlog vector without touching any worker lock.
@@ -300,6 +314,48 @@ struct ServingEngine::Impl {
       lat_buckets[bucket].fetch_add(1, std::memory_order_relaxed);
     }
 
+    void record_queue_wait(std::uint64_t wait_ns) {
+      const std::uint64_t us = wait_ns / 1000;
+      qw_count.fetch_add(1, std::memory_order_relaxed);
+      qw_sum_us.fetch_add(us, std::memory_order_relaxed);
+      std::uint64_t prev = qw_max_us.load(std::memory_order_relaxed);
+      while (us > prev && !qw_max_us.compare_exchange_weak(
+                              prev, us, std::memory_order_relaxed)) {
+      }
+      std::size_t bucket =
+          us <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(us) - 1);
+      if (bucket >= net::kLatencyBuckets) bucket = net::kLatencyBuckets - 1;
+      qw_buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Land one engine.request span in the flight recorder (no-op for
+    /// untraced requests and under RLB_OBS_DISABLED).  `cause` is the
+    /// response's status byte (0 = served).
+    void record_span(const obs::TraceContext& trace, std::uint64_t submit_ns,
+                     std::uint64_t queue_depth, std::uint8_t cause) {
+#if !defined(RLB_OBS_DISABLED)
+      if (!trace.valid() || !obs::span_recording_enabled()) return;
+      obs::Span span;
+      span.trace_id = trace.trace_id;
+      span.span_id = obs::next_span_id();
+      span.parent_span_id = trace.parent_span_id;
+      span.start_ns = submit_ns;
+      span.end_ns = obs::now_ns();
+      span.queue_depth = queue_depth;
+      span.name = "engine.request";
+      span.shard = static_cast<std::uint32_t>(index);
+      span.tid = static_cast<std::uint32_t>(obs::thread_index());
+      span.flags = trace.flags;
+      span.cause = cause;
+      obs::SpanRecorder::instance().record(span);
+#else
+      (void)trace;
+      (void)submit_ns;
+      (void)queue_depth;
+      (void)cause;
+#endif
+    }
+
     void on_served(core::ChunkId x, core::ServerId server,
                    std::uint64_t wait_steps) override {
       Pending pending;
@@ -313,6 +369,8 @@ struct ServingEngine::Impl {
           pending.waited + static_cast<std::uint32_t>(wait_steps);
       completed.fetch_add(1, std::memory_order_relaxed);
       record_latency(pending.submit_ns);
+      record_span(pending.trace, pending.submit_ns, pending.queue_depth,
+                  kEngineOk);
       owner->respond(response);
     }
 
@@ -325,6 +383,8 @@ struct ServingEngine::Impl {
       response.status = kEngineReject;
       rejected.fetch_add(1, std::memory_order_relaxed);
       record_latency(pending.submit_ns);
+      record_span(pending.trace, pending.submit_ns, pending.queue_depth,
+                  kEngineReject);
       owner->respond(response);
     }
 
@@ -411,6 +471,9 @@ std::size_t ServingEngine::Impl::Shard::build_batch(
   batch.clear();
   std::unordered_set<core::ChunkId> in_batch;
   std::vector<Waiting> deferred;  // duplicate chunks -> next tick
+  // One clock read covers every delivery this tick; queue wait is
+  // submit() -> here (MPSC queue + waiting room).
+  const std::uint64_t deliver_ns = waiting.empty() ? 0 : obs::now_ns();
   while (!waiting.empty() && batch.size() < max_batch) {
     Waiting request = waiting.front();
     waiting.pop_front();
@@ -424,6 +487,11 @@ std::size_t ServingEngine::Impl::Shard::build_batch(
     pending.request_id = request.request_id;
     pending.waited = static_cast<std::uint32_t>(tick - request.enqueue_tick);
     pending.submit_ns = request.submit_ns;
+    pending.queue_depth = request.queue_depth;
+    pending.trace = request.trace;
+    if (request.submit_ns != 0 && deliver_ns > request.submit_ns) {
+      record_queue_wait(deliver_ns - request.submit_ns);
+    }
     inflight[request.chunk].push_back(pending);
     inflight_count.fetch_add(1, std::memory_order_relaxed);
   }
@@ -491,11 +559,14 @@ void ServingEngine::Impl::Shard::run() {
         response.request_id = request.request_id;
         response.status = kEngineReject;
         record_latency(request.submit_ns);
+        record_span(request.trace, request.submit_ns, waiting.size(),
+                    kEngineReject);
         owner->respond(response);
         continue;
       }
       Waiting admitted = request;
       admitted.enqueue_tick = tick;
+      admitted.queue_depth = waiting.size();
       waiting.push_back(admitted);
     }
     incoming.clear();
@@ -557,6 +628,8 @@ void ServingEngine::Impl::Shard::run() {
             response.status = kEngineReject;
             rejected.fetch_add(1, std::memory_order_relaxed);
             record_latency(pending.submit_ns);
+            record_span(pending.trace, pending.submit_ns,
+                        pending.queue_depth, kEngineReject);
             owner->respond(response);
           }
           inflight_count.fetch_sub(queue.size(), std::memory_order_relaxed);
@@ -702,6 +775,11 @@ void ServingEngine::stop() {
 
 bool ServingEngine::submit(std::uint64_t conn_token, std::uint64_t request_id,
                            store::KeyId key) {
+  return submit(conn_token, request_id, key, obs::TraceContext{});
+}
+
+bool ServingEngine::submit(std::uint64_t conn_token, std::uint64_t request_id,
+                           store::KeyId key, const obs::TraceContext& trace) {
   if (!impl_->accepting.load(std::memory_order_acquire)) return false;
   const core::ChunkId chunk = impl_->mapper->chunk_of(key);
   Impl::Shard& shard = *impl_->shards[hashing::hash_to_bucket(
@@ -711,6 +789,7 @@ bool ServingEngine::submit(std::uint64_t conn_token, std::uint64_t request_id,
   request.request_id = request_id;
   request.chunk = chunk;
   request.submit_ns = obs::now_ns();
+  request.trace = trace;
   bool was_empty = false;
   {
     std::lock_guard lock(shard.mutex);
@@ -797,6 +876,18 @@ net::StatsSnapshot ServingEngine::snapshot() const {
     for (std::size_t b = 0; b < net::kLatencyBuckets; ++b) {
       out.latency.buckets[b] +=
           shard->lat_buckets[b].load(std::memory_order_relaxed);
+    }
+
+    out.queue_wait.count += shard->qw_count.load(std::memory_order_relaxed);
+    out.queue_wait.sum_us += shard->qw_sum_us.load(std::memory_order_relaxed);
+    const std::uint64_t shard_qw_max =
+        shard->qw_max_us.load(std::memory_order_relaxed);
+    if (shard_qw_max > out.queue_wait.max_us) {
+      out.queue_wait.max_us = shard_qw_max;
+    }
+    for (std::size_t b = 0; b < net::kLatencyBuckets; ++b) {
+      out.queue_wait.buckets[b] +=
+          shard->qw_buckets[b].load(std::memory_order_relaxed);
     }
 
     for (std::size_t s = 0; s < shard->server_span; ++s) {

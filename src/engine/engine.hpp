@@ -35,6 +35,7 @@
 #include "core/failure.hpp"
 #include "core/types.hpp"
 #include "net/stats.hpp"
+#include "obs/span.hpp"
 #include "store/key_mapper.hpp"
 
 namespace rlb::engine {
@@ -156,6 +157,14 @@ class ServingEngine {
   /// accepting (the caller answers the client with an error).
   bool submit(std::uint64_t conn_token, std::uint64_t request_id,
               store::KeyId key);
+
+  /// Route GET(key) carrying a trace context.  A valid context rides the
+  /// request through the MPSC queue and waiting room into the drain tick;
+  /// when the response is delivered an `engine.request` span (parented to
+  /// the context) lands in the process's SpanRecorder.  An invalid context
+  /// behaves exactly like the three-argument overload.
+  bool submit(std::uint64_t conn_token, std::uint64_t request_id,
+              store::KeyId key, const obs::TraceContext& trace);
 
   /// Aggregated live counters across all shards.
   EngineStats stats() const;

@@ -91,6 +91,11 @@ void Client::send_request(std::uint64_t request_id, std::uint64_t key) {
   encode_request(RequestMsg{request_id, key}, send_buffer_);
 }
 
+void Client::send_request(std::uint64_t request_id, std::uint64_t key,
+                          const obs::TraceContext& trace) {
+  encode_request(RequestMsg{request_id, key, trace}, send_buffer_);
+}
+
 void Client::flush() {
   // The buffer is kept intact until fully written so that a mid-flush
   // connection drop can retransmit every frame from the top on the fresh
@@ -205,6 +210,31 @@ ReadOutcome Client::try_read_stats_response(StatsSnapshot& out) {
   }
   if (!decode_stats_payload(payload_.data(), payload_.size(), out)) {
     throw ProtocolError("Client: bad STATS_RESP snapshot");
+  }
+  return ReadOutcome::kFrame;
+}
+
+void Client::send_trace_request(std::uint32_t flags) {
+  encode_trace_request(TraceRequestMsg{flags}, send_buffer_);
+}
+
+bool Client::read_trace_response(TraceSnapshot& out) {
+  const ReadOutcome outcome = try_read_trace_response(out);
+  if (outcome == ReadOutcome::kTimeout) {
+    throw std::runtime_error("Client: read timed out");
+  }
+  return outcome == ReadOutcome::kFrame;
+}
+
+ReadOutcome Client::try_read_trace_response(TraceSnapshot& out) {
+  const ReadOutcome outcome = next_frame(/*allow_timeout=*/true);
+  if (outcome != ReadOutcome::kFrame) return outcome;
+  if (payload_.empty() ||
+      payload_[0] != static_cast<std::uint8_t>(MsgType::kTraceResponse)) {
+    throw ProtocolError("Client: expected TRACE_RESP frame");
+  }
+  if (!decode_trace_payload(payload_.data(), payload_.size(), out)) {
+    throw ProtocolError("Client: bad TRACE_RESP snapshot");
   }
   return ReadOutcome::kFrame;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/stats.hpp"
+#include "net/trace_wire.hpp"
 #include "net/wire.hpp"
 
 namespace rlb::net {
@@ -81,6 +82,12 @@ class Client {
   /// Buffer one REQUEST frame (no I/O until flush()).
   void send_request(std::uint64_t request_id, std::uint64_t key);
 
+  /// Buffer one REQUEST frame carrying a trace context.  An invalid
+  /// context (trace_id == 0) encodes the plain v1 frame — identical bytes
+  /// to the two-argument overload.
+  void send_request(std::uint64_t request_id, std::uint64_t key,
+                    const obs::TraceContext& trace);
+
   /// Write every buffered frame; throws std::runtime_error on I/O failure
   /// (after exhausting reconnect attempts when auto-reconnect is armed).
   void flush();
@@ -110,6 +117,19 @@ class Client {
   /// Timeout-aware variant of read_stats_response() (see
   /// try_read_response() for the outcome semantics).
   ReadOutcome try_read_stats_response(StatsSnapshot& out);
+
+  /// Buffer one TRACE admin frame (no I/O until flush()).  Each TRACE
+  /// drains up to one frame's worth of spans from the peer; keep issuing
+  /// them until a response arrives with remaining == 0.
+  void send_trace_request(std::uint32_t flags = 0);
+
+  /// Block for the next TRACE_RESP frame and decode it.  Returns false on
+  /// clean EOF; throws ProtocolError on framing violations, non-TRACE_RESP
+  /// frames, or an undecodable snapshot.
+  bool read_trace_response(TraceSnapshot& out);
+
+  /// Timeout-aware variant of read_trace_response().
+  ReadOutcome try_read_trace_response(TraceSnapshot& out);
 
   void close();
 

@@ -50,6 +50,7 @@ struct NetServer::Impl {
   ServerConfig config;
   RequestHandler on_request;
   StatsHandler on_stats;
+  TraceHandler on_trace;
 
   int listen_fd = -1;
   int wake_read = -1;
@@ -166,9 +167,10 @@ struct NetServer::Impl {
         RequestMsg request;
         ResponseMsg response;
         StatsRequestMsg stats_request;
+        TraceRequestMsg trace_request;
         const Decoded decoded = decode_payload(payload.data(), payload.size(),
                                                request, response,
-                                               stats_request);
+                                               stats_request, trace_request);
         if (decoded == Decoded::kStats && on_stats) {
           static obs::Counter stats_counter("net.stats_requests");
           {
@@ -181,9 +183,21 @@ struct NetServer::Impl {
           on_stats(token, stats_request);
           continue;
         }
+        if (decoded == Decoded::kTrace && on_trace) {
+          static obs::Counter trace_counter("net.trace_requests");
+          {
+            std::lock_guard lock(mutex);
+            ++stats.trace_requests;
+          }
+          trace_counter.add();
+          RLB_TRACE_EVENT(obs::EventKind::kNet, "net.trace", slot,
+                          trace_request.flags);
+          on_trace(token, trace_request);
+          continue;
+        }
         if (decoded != Decoded::kRequest) {
-          // Clients may only send REQUEST frames (plus STATS when the
-          // daemon installed an admin handler).
+          // Clients may only send REQUEST frames (plus STATS/TRACE when
+          // the daemon installed an admin handler).
           protocol_error_counter.add();
           RLB_TRACE_EVENT(obs::EventKind::kNet, "net.bad_message", slot,
                           payload.empty() ? 0 : payload[0]);
@@ -434,6 +448,29 @@ bool NetServer::send_stats(std::uint64_t conn_token,
     if (!conn.open || conn.gen != gen) return false;
     need_wake = conn.out_offset >= conn.outbound.size();
     if (!encode_stats_response_frame(payload, conn.outbound)) return false;
+  }
+  if (need_wake) impl_->wake();
+  return true;
+}
+
+void NetServer::set_trace_handler(TraceHandler on_trace) {
+  impl_->on_trace = std::move(on_trace);
+}
+
+bool NetServer::send_trace(std::uint64_t conn_token,
+                           const TraceSnapshot& snapshot) {
+  std::vector<std::uint8_t> payload;
+  encode_trace_payload(snapshot, payload);
+  const std::size_t slot = static_cast<std::size_t>(conn_token & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(conn_token >> 32);
+  bool need_wake = false;
+  {
+    std::lock_guard lock(impl_->mutex);
+    if (slot >= impl_->conns.size()) return false;
+    Impl::Conn& conn = impl_->conns[slot];
+    if (!conn.open || conn.gen != gen) return false;
+    need_wake = conn.out_offset >= conn.outbound.size();
+    if (!encode_trace_response_frame(payload, conn.outbound)) return false;
   }
   if (need_wake) impl_->wake();
   return true;

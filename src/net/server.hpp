@@ -19,6 +19,7 @@
 #include <string>
 
 #include "net/stats.hpp"
+#include "net/trace_wire.hpp"
 #include "net/wire.hpp"
 
 namespace rlb::net {
@@ -41,6 +42,8 @@ struct ServerStats {
   std::uint64_t responses_sent = 0;
   /// STATS admin frames served.
   std::uint64_t stats_requests = 0;
+  /// TRACE admin frames served.
+  std::uint64_t trace_requests = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
 };
@@ -54,6 +57,12 @@ using RequestHandler =
 /// fast — a snapshot built from shard-local atomics, not a blocking walk.
 using StatsHandler =
     std::function<void(std::uint64_t conn_token, const StatsRequestMsg&)>;
+
+/// Called on the event-loop thread for every decoded TRACE frame.  The
+/// handler answers with send_trace(); draining the span recorder takes a
+/// few uncontended mutexes, cheap enough for the loop thread.
+using TraceHandler =
+    std::function<void(std::uint64_t conn_token, const TraceRequestMsg&)>;
 
 class NetServer {
  public:
@@ -88,6 +97,14 @@ class NetServer {
   /// false when the connection is gone or the encoded snapshot exceeds
   /// kMaxFramePayload (the frame is dropped, connection left alone).
   bool send_stats(std::uint64_t conn_token, const StatsSnapshot& snapshot);
+
+  /// Install the TRACE admin handler.  Call before start(); without one,
+  /// inbound TRACE frames are protocol errors (connection closed).
+  void set_trace_handler(TraceHandler on_trace);
+
+  /// Queue a TRACE_RESP span snapshot for delivery.  Thread-safe; same
+  /// semantics as send_stats().
+  bool send_trace(std::uint64_t conn_token, const TraceSnapshot& snapshot);
 
   ServerStats stats() const;
 

@@ -1,5 +1,6 @@
 #include "net/stats.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cinttypes>
 #include <cstdarg>
@@ -147,6 +148,18 @@ const char* to_string(NodeRole role) noexcept {
   return "unknown";
 }
 
+void LatencyStats::observe_us(std::uint64_t us) {
+  ++count;
+  sum_us += us;
+  if (us > max_us) max_us = us;
+  const std::size_t bucket =
+      us <= 1 ? 0
+              : std::min<std::size_t>(
+                    static_cast<std::size_t>(std::bit_width(us)) - 1,
+                    kLatencyBuckets - 1);
+  ++buckets[bucket];
+}
+
 double LatencyStats::quantile_us(double q) const {
   if (count == 0 || q <= 0.0) return 0.0;
   if (q >= 1.0) return static_cast<double>(max_us);
@@ -209,6 +222,14 @@ void encode_stats_payload(const StatsSnapshot& snapshot,
   put_u64(out, snapshot.latency.max_us);
   for (const std::uint64_t b : snapshot.latency.buckets) put_u64(out, b);
 
+  // v3: per-hop decomposition histograms, same layout as `latency`.
+  for (const LatencyStats* h : {&snapshot.hop_rtt, &snapshot.queue_wait}) {
+    put_u64(out, h->count);
+    put_u64(out, h->sum_us);
+    put_u64(out, h->max_us);
+    for (const std::uint64_t b : h->buckets) put_u64(out, b);
+  }
+
   put_u32(out, static_cast<std::uint32_t>(snapshot.safe_set.size()));
   for (const SafeSetLevelStats& level : snapshot.safe_set) {
     put_u32(out, level.level);
@@ -249,12 +270,14 @@ bool decode_stats_payload(const std::uint8_t* data, std::size_t size,
     if (!get_shard(c, s)) return false;
   }
 
-  if (!c.u64(out.latency.count) || !c.u64(out.latency.sum_us) ||
-      !c.u64(out.latency.max_us)) {
-    return false;
-  }
-  for (std::uint64_t& b : out.latency.buckets) {
-    if (!c.u64(b)) return false;
+  for (LatencyStats* h :
+       {&out.latency, &out.hop_rtt, &out.queue_wait}) {
+    if (!c.u64(h->count) || !c.u64(h->sum_us) || !c.u64(h->max_us)) {
+      return false;
+    }
+    for (std::uint64_t& b : h->buckets) {
+      if (!c.u64(b)) return false;
+    }
   }
 
   std::uint32_t levels = 0;
@@ -296,6 +319,21 @@ void prom_shard_counter(std::string& out, const StatsSnapshot& snapshot,
     append_fmt(out, "%s{shard=\"%" PRIu32 "\"} %" PRIu64 "\n", name, s.shard,
                s.*field);
   }
+}
+
+void prom_histogram(std::string& out, const char* name, const char* help,
+                    const LatencyStats& h) {
+  append_fmt(out, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    cumulative += h.buckets[i];
+    const unsigned shift = static_cast<unsigned>(i + 1 > 62 ? 62 : i + 1);
+    append_fmt(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", name,
+               static_cast<std::uint64_t>(1ULL << shift), cumulative);
+  }
+  append_fmt(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name, h.count);
+  append_fmt(out, "%s_sum %" PRIu64 "\n", name, h.sum_us);
+  append_fmt(out, "%s_count %" PRIu64 "\n", name, h.count);
 }
 
 }  // namespace
@@ -363,23 +401,17 @@ std::string render_prometheus(const StatsSnapshot& snapshot) {
                      "Servers currently marked down.",
                      &ShardStats::servers_down, "gauge");
 
-  out +=
-      "# HELP rlb_engine_latency_us Wire-to-response latency "
-      "(microseconds).\n# TYPE rlb_engine_latency_us histogram\n";
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < snapshot.latency.buckets.size(); ++i) {
-    cumulative += snapshot.latency.buckets[i];
-    const unsigned shift = static_cast<unsigned>(i + 1 > 62 ? 62 : i + 1);
-    append_fmt(out, "rlb_engine_latency_us_bucket{le=\"%" PRIu64 "\"} %" PRIu64
-               "\n",
-               static_cast<std::uint64_t>(1ULL << shift), cumulative);
-  }
-  append_fmt(out, "rlb_engine_latency_us_bucket{le=\"+Inf\"} %" PRIu64 "\n",
-             snapshot.latency.count);
-  append_fmt(out, "rlb_engine_latency_us_sum %" PRIu64 "\n",
-             snapshot.latency.sum_us);
-  append_fmt(out, "rlb_engine_latency_us_count %" PRIu64 "\n",
-             snapshot.latency.count);
+  prom_histogram(out, "rlb_engine_latency_us",
+                 "Wire-to-response latency (microseconds).",
+                 snapshot.latency);
+  prom_histogram(out, "rlb_router_hop_rtt_us",
+                 "Router-side upstream hop round trip (microseconds), one "
+                 "sample per forward attempt.",
+                 snapshot.hop_rtt);
+  prom_histogram(out, "rlb_engine_queue_wait_us",
+                 "Submit-to-drain-tick wait inside the engine's inbound "
+                 "queue + waiting room (microseconds).",
+                 snapshot.queue_wait);
 
   out +=
       "# HELP rlb_safe_set_observed Servers with backlog > j (Def 3.2).\n"
@@ -439,6 +471,19 @@ std::string render_json(const StatsSnapshot& snapshot) {
              "\"latency_max_us\":%" PRIu64 ",",
              snapshot.latency.quantile_us(0.5),
              snapshot.latency.quantile_us(0.99), snapshot.latency.max_us);
+  append_fmt(out,
+             "\"hop_rtt_count\":%" PRIu64
+             ",\"hop_rtt_p50_us\":%g,\"hop_rtt_p99_us\":%g,"
+             "\"hop_rtt_max_us\":%" PRIu64 ",",
+             snapshot.hop_rtt.count, snapshot.hop_rtt.quantile_us(0.5),
+             snapshot.hop_rtt.quantile_us(0.99), snapshot.hop_rtt.max_us);
+  append_fmt(out,
+             "\"queue_wait_count\":%" PRIu64
+             ",\"queue_wait_p50_us\":%g,\"queue_wait_p99_us\":%g,"
+             "\"queue_wait_max_us\":%" PRIu64 ",",
+             snapshot.queue_wait.count, snapshot.queue_wait.quantile_us(0.5),
+             snapshot.queue_wait.quantile_us(0.99),
+             snapshot.queue_wait.max_us);
   out += "\"safe_set\":[";
   for (std::size_t i = 0; i < snapshot.safe_set.size(); ++i) {
     const SafeSetLevelStats& level = snapshot.safe_set[i];

@@ -20,7 +20,8 @@
 namespace rlb::net {
 
 /// Bump on any layout change.  v2: role + backend_id (cluster mode).
-inline constexpr std::uint32_t kStatsVersion = 2;
+/// v3: per-hop latency histograms (hop_rtt, queue_wait).
+inline constexpr std::uint32_t kStatsVersion = 3;
 
 /// Which tier produced a snapshot.
 enum class NodeRole : std::uint8_t { kBackend = 0, kRouter = 1 };
@@ -32,12 +33,17 @@ const char* to_string(NodeRole role) noexcept;
 /// bucket is a catch-all.
 inline constexpr std::size_t kLatencyBuckets = 32;
 
-/// Wire-to-response latency, merged across shards.
+/// A log2-bucketed microsecond histogram (wire-to-response latency, hop
+/// RTT, queue wait), merged across shards.
 struct LatencyStats {
   std::uint64_t count = 0;
   std::uint64_t sum_us = 0;
   std::uint64_t max_us = 0;
   std::array<std::uint64_t, kLatencyBuckets> buckets{};
+
+  /// Record one sample (single-writer callers: the engine keeps per-shard
+  /// atomics instead and merges into this struct at snapshot time).
+  void observe_us(std::uint64_t us);
 
   /// Approximate quantile (0 < q < 1) from the log2 buckets: the upper
   /// edge of the bucket containing the q-th sample.  0 when empty.
@@ -103,6 +109,14 @@ struct StatsSnapshot {
 
   std::vector<ShardStats> shards;
   LatencyStats latency;
+
+  // Per-hop latency decomposition (v3).  On a backend, `queue_wait` is the
+  // submit-to-drain-tick wait inside the MPSC queue + waiting room; on a
+  // router, `hop_rtt` is the forward-to-response round trip per upstream
+  // hop (retries sample once per attempt).  The counterpart histogram is
+  // empty for each role.
+  LatencyStats hop_rtt;
+  LatencyStats queue_wait;
 
   // Safe-set invariant monitor (Def 3.2 over the merged backlog vector).
   std::vector<SafeSetLevelStats> safe_set;

@@ -153,10 +153,11 @@ void UpstreamConn::stop() {
   if (impl_->reader.joinable()) impl_->reader.join();
 }
 
-bool UpstreamConn::send_request(std::uint64_t request_id, std::uint64_t key) {
+bool UpstreamConn::send_request(std::uint64_t request_id, std::uint64_t key,
+                                const obs::TraceContext& trace) {
   std::vector<std::uint8_t> frame;
-  frame.reserve(4 + kRequestPayloadSize);
-  encode_request(RequestMsg{request_id, key}, frame);
+  frame.reserve(4 + kRequestTracedPayloadSize);
+  encode_request(RequestMsg{request_id, key, trace}, frame);
   std::lock_guard<std::mutex> lock(impl_->mu);
   if (!impl_->up) return false;
   std::size_t offset = 0;

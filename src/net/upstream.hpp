@@ -54,8 +54,11 @@ class UpstreamConn {
 
   /// Write one REQUEST frame (thread-safe).  Returns false — without
   /// blocking for a reconnect — when the connection is currently down;
-  /// the caller picks another backend or rejects.
-  bool send_request(std::uint64_t request_id, std::uint64_t key);
+  /// the caller picks another backend or rejects.  A valid `trace`
+  /// context rides the frame's trace extension (see net/wire.hpp); the
+  /// default (invalid) context encodes the plain v1 frame.
+  bool send_request(std::uint64_t request_id, std::uint64_t key,
+                    const obs::TraceContext& trace = {});
 
   bool connected() const;
   /// Successful dials after the first (i.e. recoveries).

@@ -51,10 +51,20 @@ const char* to_string(Status status) noexcept {
 }
 
 void encode_request(const RequestMsg& msg, std::vector<std::uint8_t>& out) {
-  put_u32(out, static_cast<std::uint32_t>(kRequestPayloadSize));
+  // The trace extension is emitted only when a context is present, so a
+  // non-sampled request is byte-identical to the v1 frame (and old peers
+  // never see the extended size).
+  const bool traced = msg.trace.valid();
+  put_u32(out, static_cast<std::uint32_t>(traced ? kRequestTracedPayloadSize
+                                                 : kRequestPayloadSize));
   out.push_back(static_cast<std::uint8_t>(MsgType::kRequest));
   put_u64(out, msg.request_id);
   put_u64(out, msg.key);
+  if (traced) {
+    put_u64(out, msg.trace.trace_id);
+    put_u64(out, msg.trace.parent_span_id);
+    out.push_back(msg.trace.flags);
+  }
 }
 
 void encode_response(const ResponseMsg& msg, std::vector<std::uint8_t>& out) {
@@ -84,15 +94,45 @@ bool encode_stats_response_frame(const std::vector<std::uint8_t>& payload,
   return true;
 }
 
+void encode_trace_request(const TraceRequestMsg& msg,
+                          std::vector<std::uint8_t>& out) {
+  put_u32(out, static_cast<std::uint32_t>(kTracePayloadSize));
+  out.push_back(static_cast<std::uint8_t>(MsgType::kTrace));
+  put_u32(out, msg.flags);
+}
+
+bool encode_trace_response_frame(const std::vector<std::uint8_t>& payload,
+                                 std::vector<std::uint8_t>& out) {
+  if (payload.empty() || payload.size() > kMaxFramePayload) return false;
+  if (payload[0] != static_cast<std::uint8_t>(MsgType::kTraceResponse)) {
+    return false;
+  }
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return true;
+}
+
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
                        RequestMsg& request, ResponseMsg& response,
-                       StatsRequestMsg& stats) {
+                       StatsRequestMsg& stats, TraceRequestMsg& trace) {
   if (size == 0) return Decoded::kMalformed;
   switch (static_cast<MsgType>(data[0])) {
     case MsgType::kRequest:
-      if (size != kRequestPayloadSize) return Decoded::kMalformed;
+      // Two valid sizes: the v1 frame, and v1 + the trace-context
+      // extension.  Anything else (including a partial extension) is
+      // malformed.
+      if (size != kRequestPayloadSize && size != kRequestTracedPayloadSize) {
+        return Decoded::kMalformed;
+      }
       request.request_id = get_u64(data + 1);
       request.key = get_u64(data + 9);
+      if (size == kRequestTracedPayloadSize) {
+        request.trace.trace_id = get_u64(data + 17);
+        request.trace.parent_span_id = get_u64(data + 25);
+        request.trace.flags = data[33];
+      } else {
+        request.trace = obs::TraceContext{};
+      }
       return Decoded::kRequest;
     case MsgType::kResponse: {
       if (size != kResponsePayloadSize) return Decoded::kMalformed;
@@ -116,14 +156,32 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size,
       // type byte.
       if (size < 5) return Decoded::kMalformed;
       return Decoded::kStatsResponse;
+    case MsgType::kTrace:
+      if (size != kTracePayloadSize) return Decoded::kMalformed;
+      trace.flags = get_u32(data + 1);
+      return Decoded::kTrace;
+    case MsgType::kTraceResponse:
+      // Versioned span blob parsed by net/trace_wire.hpp; classify only,
+      // requiring room for the version word.
+      if (size < 5) return Decoded::kMalformed;
+      return Decoded::kTraceResponse;
   }
   return Decoded::kMalformed;
 }
 
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
+                       RequestMsg& request, ResponseMsg& response,
+                       StatsRequestMsg& stats) {
+  TraceRequestMsg scratch;
+  return decode_payload(data, size, request, response, stats, scratch);
+}
+
+Decoded decode_payload(const std::uint8_t* data, std::size_t size,
                        RequestMsg& request, ResponseMsg& response) {
-  StatsRequestMsg scratch;
-  return decode_payload(data, size, request, response, scratch);
+  StatsRequestMsg stats_scratch;
+  TraceRequestMsg trace_scratch;
+  return decode_payload(data, size, request, response, stats_scratch,
+                        trace_scratch);
 }
 
 bool FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {

@@ -7,11 +7,23 @@
 // allocation beyond the output buffer.
 //
 //   REQUEST    (client -> rlbd):  u8 type=1, u64 request_id, u64 key
+//                                 [, u64 trace_id, u64 parent_span_id,
+//                                    u8 trace_flags]
 //   RESPONSE   (rlbd -> client):  u8 type=2, u64 request_id, u8 status,
 //                                 u32 server, u32 wait_steps
 //   STATS      (client -> rlbd):  u8 type=3, u32 flags (reserved, send 0)
 //   STATS_RESP (rlbd -> client):  u8 type=4, versioned snapshot blob
 //                                 (see net/stats.hpp for the layout)
+//   TRACE      (client -> rlbd):  u8 type=5, u32 flags (reserved, send 0)
+//   TRACE_RESP (rlbd -> client):  u8 type=6, versioned span blob
+//                                 (see net/trace_wire.hpp for the layout)
+//
+// The REQUEST trace extension is optional and version-free by size: a
+// 17-byte payload is the v1 frame (no context), a 34-byte payload appends
+// the 17-byte trace context.  Encoders emit the extension only when a
+// context is present (trace_id != 0), so peers that predate it never see
+// extended frames and new decoders accept both sizes — sampling off costs
+// zero wire bytes.
 //
 // `request_id` is client-assigned and echoed verbatim; responses may come
 // back in any order (the engine answers in service order, not arrival
@@ -26,6 +38,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace rlb::net {
 
 /// Hard ceiling on a frame's payload size.  Request/response frames are
@@ -39,6 +53,8 @@ enum class MsgType : std::uint8_t {
   kResponse = 2,
   kStats = 3,
   kStatsResponse = 4,
+  kTrace = 5,
+  kTraceResponse = 6,
 };
 
 enum class Status : std::uint8_t {
@@ -69,6 +85,10 @@ constexpr bool is_reject(Status status) noexcept {
 struct RequestMsg {
   std::uint64_t request_id = 0;
   std::uint64_t key = 0;
+  /// Optional distributed-tracing context (see obs/span.hpp).  Zero
+  /// trace_id = absent; present contexts ride the wire as the 17-byte
+  /// REQUEST extension and are forwarded hop to hop.
+  obs::TraceContext trace;
 };
 
 struct ResponseMsg {
@@ -86,20 +106,36 @@ struct StatsRequestMsg {
   std::uint32_t flags = 0;
 };
 
+/// Admin request draining the daemon's span flight recorder.  `flags` is
+/// reserved (always send 0); a TRACE always drains, so scrapers loop until
+/// an empty TRACE_RESP comes back.
+struct TraceRequestMsg {
+  std::uint32_t flags = 0;
+};
+
 /// Encoded sizes (frame = 4-byte length prefix + payload).
 inline constexpr std::size_t kRequestPayloadSize = 17;
+/// REQUEST with the trace-context extension appended.
+inline constexpr std::size_t kRequestTracedPayloadSize = 34;
 inline constexpr std::size_t kResponsePayloadSize = 18;
 inline constexpr std::size_t kStatsPayloadSize = 5;
+inline constexpr std::size_t kTracePayloadSize = 5;
 
 /// Append one framed message to `out`.
 void encode_request(const RequestMsg& msg, std::vector<std::uint8_t>& out);
 void encode_response(const ResponseMsg& msg, std::vector<std::uint8_t>& out);
 void encode_stats_request(const StatsRequestMsg& msg,
                           std::vector<std::uint8_t>& out);
+void encode_trace_request(const TraceRequestMsg& msg,
+                          std::vector<std::uint8_t>& out);
 /// Frame an already-encoded STATS_RESP payload (type byte included — see
 /// net/stats.hpp encode_stats_payload).  Returns false (and appends
 /// nothing) when the payload exceeds kMaxFramePayload.
 bool encode_stats_response_frame(const std::vector<std::uint8_t>& payload,
+                                 std::vector<std::uint8_t>& out);
+/// Same for a TRACE_RESP payload (see net/trace_wire.hpp
+/// encode_trace_payload).
+bool encode_trace_response_frame(const std::vector<std::uint8_t>& payload,
                                  std::vector<std::uint8_t>& out);
 
 /// What a payload decoded to.
@@ -110,16 +146,25 @@ enum class Decoded : std::uint8_t {
   /// A STATS_RESP frame.  decode_payload only classifies it; the snapshot
   /// body is parsed separately (net/stats.hpp decode_stats_payload).
   kStatsResponse,
+  kTrace,
+  /// A TRACE_RESP frame; classified only, parsed by net/trace_wire.hpp
+  /// decode_trace_payload.
+  kTraceResponse,
   kMalformed,
 };
 
 /// Decode one frame payload (no length prefix).  At most one of
-/// `request` / `response` / `stats` is filled on success.
+/// `request` / `response` / `stats` / `trace` is filled on success.
+Decoded decode_payload(const std::uint8_t* data, std::size_t size,
+                       RequestMsg& request, ResponseMsg& response,
+                       StatsRequestMsg& stats, TraceRequestMsg& trace);
+
+/// STATS-only admin form: TRACE frames classify but fill nothing.
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
                        RequestMsg& request, ResponseMsg& response,
                        StatsRequestMsg& stats);
 
-/// Request/response-only form: STATS frames classify but fill nothing.
+/// Request/response-only form: admin frames classify but fill nothing.
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
                        RequestMsg& request, ResponseMsg& response);
 

@@ -369,15 +369,23 @@ bool flush_trace() {
   std::lock_guard lock(g_trace_file_mutex);
   GlobalTraceFile& g = global_trace_file();
   if (!g.collector || g.path.empty()) return false;
-  std::ofstream out(g.path, std::ios::trunc);
-  if (!out) return false;
-  const std::vector<TraceEvent> events = g.collector->events();
-  if (g.format == TraceFormat::kJsonl) {
-    write_jsonl(events, out);
-  } else {
-    write_chrome_trace(events, out);
+  // Write-to-temp + atomic rename: flushing used to truncate the target in
+  // place, so a reader racing the flush (or a kill mid-write) could observe
+  // a file cut off mid-record.  With the rename, the target either holds
+  // the previous complete flush or the new one — never a prefix.
+  const std::string tmp = g.path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    const std::vector<TraceEvent> events = g.collector->events();
+    if (g.format == TraceFormat::kJsonl) {
+      write_jsonl(events, out);
+    } else {
+      write_chrome_trace(events, out);
+    }
+    if (!out.good()) return false;
   }
-  return out.good();
+  return std::rename(tmp.c_str(), g.path.c_str()) == 0;
 }
 
 }  // namespace rlb::obs

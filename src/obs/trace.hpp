@@ -179,8 +179,9 @@ void set_trace_file(const std::string& path);
 void set_trace_file(const std::string& path, TraceFormat format,
                     std::size_t ring_capacity = 1u << 18);
 
-/// Write the global trace file now (truncating); no-op without
-/// set_trace_file.  Returns false on I/O failure.
+/// Write the global trace file now; no-op without set_trace_file.  The
+/// write is atomic (temp file + rename), so readers never observe a
+/// truncated mid-record file.  Returns false on I/O failure.
 bool flush_trace();
 
 // -- Instrumentation macro ----------------------------------------------

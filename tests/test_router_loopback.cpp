@@ -6,8 +6,10 @@
 // protocol error); a restarted backend re-enters service after probation.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -19,6 +21,7 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "net/wire.hpp"
+#include "obs/span.hpp"
 #include "stats/rng.hpp"
 
 namespace rlb {
@@ -27,19 +30,22 @@ namespace {
 /// One rlbd-shaped backend: NetServer + ServingEngine on a loopback port.
 class Backend {
  public:
-  explicit Backend(std::uint16_t port, std::uint32_t backend_id) {
+  explicit Backend(std::uint16_t port, std::uint32_t backend_id,
+                   std::uint64_t tick_interval_us = 0) {
     engine::EngineConfig config;
     config.servers = 16;
     config.shards = 2;
     config.processing_rate = 4;
     config.seed = 100 + backend_id;
     config.backend_id = backend_id;
+    config.tick_interval_us = tick_interval_us;
     net::ServerConfig net_config;
     net_config.port = port;
     server_ = std::make_unique<net::NetServer>(
         net_config,
         [this](std::uint64_t token, const net::RequestMsg& request) {
-          if (!engine_->submit(token, request.request_id, request.key)) {
+          if (!engine_->submit(token, request.request_id, request.key,
+                               request.trace)) {
             net::ResponseMsg msg;
             msg.request_id = request.request_id;
             msg.status = net::Status::kError;
@@ -312,6 +318,193 @@ TEST(RouterLoopback, AllCandidatesDownRejectsFastWithCause) {
   EXPECT_EQ(router.stats().rejected_upstream_down, 500u);
   router.stop();
 }
+
+#if !defined(RLB_OBS_DISABLED)
+
+/// Closed-loop traced client: every request carries a sampled context.
+/// Returns the per-trace root span id keyed by trace id.
+std::map<std::uint64_t, std::uint64_t> run_traced_client(
+    std::uint16_t port, std::uint64_t quota, std::size_t concurrency,
+    std::uint64_t id_base, std::uint64_t seed,
+    std::atomic<std::uint64_t>* progress = nullptr) {
+  std::map<std::uint64_t, std::uint64_t> roots;
+  net::Client client;
+  client.connect("127.0.0.1", port);
+  stats::Rng rng(seed);
+  std::uint64_t next_id = id_base;
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  auto send_one = [&] {
+    obs::TraceContext ctx;
+    ctx.trace_id = obs::next_span_id();
+    ctx.parent_span_id = obs::next_span_id();  // the client-side root span
+    ctx.flags = obs::kSpanSampled;
+    roots[ctx.trace_id] = ctx.parent_span_id;
+    client.send_request(next_id++, rng.next(), ctx);
+    ++sent;
+  };
+  for (std::uint64_t i = 0; i < std::min<std::uint64_t>(concurrency, quota);
+       ++i) {
+    send_one();
+  }
+  client.flush();
+  net::ResponseMsg response;
+  while (completed < quota && client.read_response(response)) {
+    ++completed;
+    if (progress) progress->store(completed, std::memory_order_relaxed);
+    if (sent < quota) {
+      send_one();
+      client.flush();
+    }
+  }
+  client.close();
+  EXPECT_EQ(completed, quota);
+  return roots;
+}
+
+/// Spans of one trace, split by site.
+struct TraceSpans {
+  std::vector<obs::Span> request;  // router.request
+  std::vector<obs::Span> hops;     // router.hop
+  std::vector<obs::Span> engine;   // engine.request
+};
+
+std::map<std::uint64_t, TraceSpans> group_spans(
+    const std::vector<obs::Span>& spans) {
+  std::map<std::uint64_t, TraceSpans> by_trace;
+  for (const obs::Span& span : spans) {
+    const std::string name = span.name;
+    if (name == "router.request") {
+      by_trace[span.trace_id].request.push_back(span);
+    } else if (name == "router.hop") {
+      by_trace[span.trace_id].hops.push_back(span);
+    } else if (name == "engine.request") {
+      by_trace[span.trace_id].engine.push_back(span);
+    }
+  }
+  return by_trace;
+}
+
+TEST(RouterLoopback, SampledRequestsYieldCompleteSpanTrees) {
+  obs::SpanRecorder::instance().clear();
+  obs::set_span_recording(true);
+
+  std::vector<std::unique_ptr<Backend>> backends;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    backends.push_back(std::make_unique<Backend>(/*port=*/0, i));
+  }
+  cluster::Router router(fast_config(
+      {backends[0].get(), backends[1].get(), backends[2].get()}));
+  router.start();
+  ASSERT_TRUE(wait_live(router, 3));
+
+  constexpr std::uint64_t kQuota = 600;
+  const std::map<std::uint64_t, std::uint64_t> roots =
+      run_traced_client(router.port(), kQuota, /*concurrency=*/16,
+                        /*id_base=*/1, /*seed=*/17);
+  router.stop();
+  for (auto& backend : backends) backend->stop();
+  obs::set_span_recording(false);
+
+  // All three tiers share this process, so one recorder holds the whole
+  // tree.  Span conservation: every sampled request produced exactly one
+  // router.request span, and every hop that reached a backend produced an
+  // engine.request span parented to that hop.
+  const std::map<std::uint64_t, TraceSpans> by_trace =
+      group_spans(obs::SpanRecorder::instance().drain(1 << 20));
+  ASSERT_EQ(by_trace.size(), kQuota) << "one span tree per sampled request";
+  for (const auto& [trace_id, spans] : by_trace) {
+    const auto root = roots.find(trace_id);
+    ASSERT_NE(root, roots.end()) << "unknown trace id in recorder";
+    ASSERT_EQ(spans.request.size(), 1u)
+        << "exactly one router.request span per request";
+    EXPECT_EQ(spans.request[0].parent_span_id, root->second)
+        << "router.request parents to the client root span";
+    ASSERT_GE(spans.hops.size(), 1u) << "at least one hop per request";
+    for (const obs::Span& hop : spans.hops) {
+      EXPECT_EQ(hop.parent_span_id, spans.request[0].span_id)
+          << "hops parent to their request span";
+    }
+    // Healthy cluster: no retries, so exactly one hop and one engine span.
+    EXPECT_EQ(spans.hops.size(), 1u);
+    ASSERT_EQ(spans.engine.size(), 1u);
+    EXPECT_EQ(spans.engine[0].parent_span_id, spans.hops[0].span_id)
+        << "engine.request parents to the hop that delivered it";
+    EXPECT_TRUE(spans.engine[0].flags & obs::kSpanSampled)
+        << "the sampling flag propagates across both wire hops";
+  }
+  obs::SpanRecorder::instance().clear();
+}
+
+TEST(RouterLoopback, RetriedHopsKeepTheirSpans) {
+  obs::SpanRecorder::instance().clear();
+  obs::set_span_recording(true);
+
+  // Backend 1 drains on a slow 5ms tick, so it always holds queued hops —
+  // the kill is guaranteed to strand some in flight.
+  std::vector<std::unique_ptr<Backend>> backends;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    backends.push_back(std::make_unique<Backend>(
+        /*port=*/0, i, /*tick_interval_us=*/i == 1 ? 5000 : 0));
+  }
+  cluster::Router router(fast_config(
+      {backends[0].get(), backends[1].get(), backends[2].get()}));
+  router.start();
+  ASSERT_TRUE(wait_live(router, 3));
+
+  // SIGKILL-shaped loss mid-run: hops in flight to the lost backend are
+  // retried on the survivor, and the retry must show up as a second hop
+  // span under the same router.request.  The kill triggers on request
+  // progress (not a timer) so it always lands with hops in flight.
+  constexpr std::uint64_t kQuota = 4000;
+  std::atomic<std::uint64_t> progress{0};
+  std::thread killer([&backends, &progress] {
+    while (progress.load(std::memory_order_relaxed) < kQuota / 4) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    backends[1]->kill();
+  });
+  run_traced_client(router.port(), kQuota, /*concurrency=*/32,
+                    /*id_base=*/1 << 20, /*seed=*/19, &progress);
+  killer.join();
+  const cluster::RouterStats router_stats = router.stats();
+  EXPECT_GE(router_stats.backend_drops, 1u);
+  router.stop();
+  for (auto& backend : backends) backend->stop();
+  obs::set_span_recording(false);
+
+  const std::map<std::uint64_t, TraceSpans> by_trace =
+      group_spans(obs::SpanRecorder::instance().drain(1 << 20));
+  ASSERT_EQ(by_trace.size(), kQuota);
+  std::size_t retried = 0;
+  for (const auto& [trace_id, spans] : by_trace) {
+    ASSERT_EQ(spans.request.size(), 1u)
+        << "retries never duplicate the request span";
+    ASSERT_GE(spans.hops.size(), 1u);
+    if (spans.hops.size() > 1) ++retried;
+    // Every non-final failed hop implies a follow-up attempt: a request
+    // that ultimately succeeded must carry one more hop than it has
+    // upstream-down/timeout hop verdicts.
+    std::size_t failed_hops = 0;
+    for (const obs::Span& hop : spans.hops) {
+      EXPECT_EQ(hop.parent_span_id, spans.request[0].span_id);
+      if (hop.cause ==
+              static_cast<std::uint8_t>(net::Status::kRejectUpstreamDown) ||
+          hop.cause ==
+              static_cast<std::uint8_t>(net::Status::kRejectUpstreamTimeout)) {
+        ++failed_hops;
+      }
+    }
+    if (spans.request[0].cause == 0) {
+      EXPECT_GE(spans.hops.size(), failed_hops + 1)
+          << "a served request's failed hops must each have a retry hop";
+    }
+  }
+  EXPECT_GE(retried, 1u) << "the mid-run kill must strand at least one hop";
+  obs::SpanRecorder::instance().clear();
+}
+
+#endif  // !defined(RLB_OBS_DISABLED)
 
 TEST(RouterLoopback, StopWithPendingHopsAnswersEverything) {
   // A router stopped with hops in flight must reject them, not leak them:

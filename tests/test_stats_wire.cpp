@@ -55,6 +55,16 @@ StatsSnapshot make_full_snapshot() {
   for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
     snapshot.latency.buckets[i] = i * 10;
   }
+  // v3 per-hop histograms: distinct values per field so a swapped decode
+  // (hop_rtt read into queue_wait or vice versa) fails the round trip.
+  snapshot.hop_rtt.count = 77;
+  snapshot.hop_rtt.sum_us = 35000;
+  snapshot.hop_rtt.max_us = 4200;
+  snapshot.hop_rtt.buckets[5] = 77;
+  snapshot.queue_wait.count = 333;
+  snapshot.queue_wait.sum_us = 9999;
+  snapshot.queue_wait.max_us = 512;
+  snapshot.queue_wait.buckets[3] = 333;
   snapshot.safe_set.push_back({1, 30, 32.0, 0.9375});
   snapshot.safe_set.push_back({2, 20, 16.0, 1.25});
   snapshot.safe_worst_ratio = 1.25;
@@ -108,6 +118,14 @@ TEST(StatsCodec, RoundTripPreservesEveryField) {
   EXPECT_EQ(decoded.latency.sum_us, original.latency.sum_us);
   EXPECT_EQ(decoded.latency.max_us, original.latency.max_us);
   EXPECT_EQ(decoded.latency.buckets, original.latency.buckets);
+  EXPECT_EQ(decoded.hop_rtt.count, original.hop_rtt.count);
+  EXPECT_EQ(decoded.hop_rtt.sum_us, original.hop_rtt.sum_us);
+  EXPECT_EQ(decoded.hop_rtt.max_us, original.hop_rtt.max_us);
+  EXPECT_EQ(decoded.hop_rtt.buckets, original.hop_rtt.buckets);
+  EXPECT_EQ(decoded.queue_wait.count, original.queue_wait.count);
+  EXPECT_EQ(decoded.queue_wait.sum_us, original.queue_wait.sum_us);
+  EXPECT_EQ(decoded.queue_wait.max_us, original.queue_wait.max_us);
+  EXPECT_EQ(decoded.queue_wait.buckets, original.queue_wait.buckets);
   ASSERT_EQ(decoded.safe_set.size(), original.safe_set.size());
   for (std::size_t i = 0; i < original.safe_set.size(); ++i) {
     EXPECT_EQ(decoded.safe_set[i].level, original.safe_set[i].level);
@@ -249,6 +267,10 @@ TEST(StatsRender, PrometheusExpositionIsWellFormed) {
             std::string::npos);
   EXPECT_NE(text.find("rlb_engine_latency_us_bucket{le=\"+Inf\"}"),
             std::string::npos);
+  EXPECT_NE(text.find("rlb_router_hop_rtt_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("rlb_engine_queue_wait_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
   EXPECT_NE(text.find("rlb_safe_set_ratio{level=\"2\"}"), std::string::npos);
   EXPECT_NE(text.find("rlb_safe_set_worst_ratio"), std::string::npos);
   // Every non-comment line splits into `body value` with a numeric value.
@@ -277,6 +299,8 @@ TEST(StatsRender, JsonCarriesTotalsAndSafeSet) {
   EXPECT_EQ(json.back(), '}');
   // Totals sum the two shard rows (1000 + 1001 submitted).
   EXPECT_NE(json.find("\"submitted\":2001"), std::string::npos);
+  EXPECT_NE(json.find("\"hop_rtt_count\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait_count\":333"), std::string::npos);
   EXPECT_NE(json.find("\"safe_worst_ratio\":1.25"), std::string::npos);
   EXPECT_NE(json.find("\"safe_violated_level\":2"), std::string::npos);
   EXPECT_NE(json.find("\"policy\":\"greedy\""), std::string::npos);
