@@ -72,6 +72,26 @@ class Backend {
             server_->send_response(token, msg);
           }
         });
+    // Batched submit: one shard-lock + notify per shard per wakeup.
+    server_->set_request_batch_handler(
+        [this](const net::ServerRequest* batch, std::size_t count) {
+          thread_local std::vector<engine::ServingEngine::SubmitItem> items;
+          thread_local std::vector<std::size_t> rejected;
+          items.clear();
+          rejected.clear();
+          items.reserve(count);
+          for (std::size_t i = 0; i < count; ++i) {
+            items.push_back({batch[i].conn_token, batch[i].msg.request_id,
+                             batch[i].msg.key, batch[i].msg.trace});
+          }
+          engine_->submit_batch(items.data(), count, rejected);
+          for (const std::size_t i : rejected) {
+            net::ResponseMsg msg;
+            msg.request_id = batch[i].msg.request_id;
+            msg.status = net::Status::kError;
+            server_->send_response(batch[i].conn_token, msg);
+          }
+        });
     engine_ = std::make_unique<engine::ServingEngine>(
         config, [this](const engine::EngineResponse& r) {
           net::ResponseMsg msg;
@@ -130,31 +150,41 @@ void client_worker(std::uint16_t port, std::uint64_t quota, std::uint64_t seed,
       send_one();
     }
     client.flush();
+    // Burst loop: one blocking read, then drain every response already
+    // buffered, then top the window back up with a single flush — one
+    // write syscall per burst instead of one per request.
     net::ResponseMsg response;
-    while (completed < quota && client.read_response(response)) {
-      const auto it = in_flight.find(response.request_id);
-      if (it == in_flight.end()) {
-        ++result.protocol_errors;
-        break;
+    bool stream_ok = true;
+    while (stream_ok && completed < quota && client.read_response(response)) {
+      std::size_t burst = 0;
+      for (;;) {
+        const auto it = in_flight.find(response.request_id);
+        if (it == in_flight.end()) {
+          ++result.protocol_errors;
+          stream_ok = false;
+          break;
+        }
+        const std::uint64_t us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - it->second)
+                .count());
+        in_flight.erase(it);
+        ++completed;
+        ++burst;
+        if (response.status == net::Status::kOk) {
+          ++result.ok;
+          result.latency_us.add(us);
+        } else if (net::is_reject(response.status)) {
+          ++result.rejected;
+        } else {
+          ++result.errors;
+        }
+        if (completed >= quota) break;
+        if (!client.poll_buffered_response(response)) break;
       }
-      const std::uint64_t us = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                it->second)
-              .count());
-      in_flight.erase(it);
-      ++completed;
-      if (response.status == net::Status::kOk) {
-        ++result.ok;
-        result.latency_us.add(us);
-      } else if (net::is_reject(response.status)) {
-        ++result.rejected;
-      } else {
-        ++result.errors;
-      }
-      if (sent < quota) {
-        send_one();
-        client.flush();
-      }
+      std::size_t refill = 0;
+      for (; refill < burst && sent < quota; ++refill) send_one();
+      if (refill > 0) client.flush();
     }
   } catch (const std::exception& e) {
     std::cerr << "bench_cluster: " << e.what() << "\n";

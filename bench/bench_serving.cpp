@@ -92,31 +92,41 @@ void client_worker(std::uint16_t port, std::uint64_t quota, std::uint64_t seed,
       send_one();
     }
     client.flush();
+    // Burst loop: one blocking read, then drain every response already
+    // buffered, then top the window back up with a single flush — one
+    // write syscall per burst instead of one per request.
     net::ResponseMsg response;
-    while (completed < quota && client.read_response(response)) {
-      const auto it = in_flight.find(response.request_id);
-      if (it == in_flight.end()) {
-        ++result.protocol_errors;
-        break;
+    bool stream_ok = true;
+    while (stream_ok && completed < quota && client.read_response(response)) {
+      std::size_t burst = 0;
+      for (;;) {
+        const auto it = in_flight.find(response.request_id);
+        if (it == in_flight.end()) {
+          ++result.protocol_errors;
+          stream_ok = false;
+          break;
+        }
+        const std::uint64_t us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - it->second)
+                .count());
+        in_flight.erase(it);
+        ++completed;
+        ++burst;
+        if (response.status == net::Status::kOk) {
+          ++result.ok;
+          result.latency_us.add(us);
+        } else if (response.status == net::Status::kReject) {
+          ++result.rejected;
+        } else {
+          ++result.errors;
+        }
+        if (completed >= quota) break;
+        if (!client.poll_buffered_response(response)) break;
       }
-      const std::uint64_t us = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                it->second)
-              .count());
-      in_flight.erase(it);
-      ++completed;
-      if (response.status == net::Status::kOk) {
-        ++result.ok;
-        result.latency_us.add(us);
-      } else if (response.status == net::Status::kReject) {
-        ++result.rejected;
-      } else {
-        ++result.errors;
-      }
-      if (sent < quota) {
-        send_one();
-        client.flush();
-      }
+      std::size_t refill = 0;
+      for (; refill < burst && sent < quota; ++refill) send_one();
+      if (refill > 0) client.flush();
     }
   } catch (const std::exception& e) {
     std::cerr << "bench_serving: " << e.what() << "\n";
@@ -151,6 +161,27 @@ RunResult run_config(const std::string& policy, std::size_t shards,
                             server.send_response(token, msg);
                           }
                         });
+  // Batched submit: one shard-lock + notify per shard per wakeup.
+  server.set_request_batch_handler(
+      [&engine_raw, &server](const net::ServerRequest* batch,
+                             std::size_t count) {
+        thread_local std::vector<engine::ServingEngine::SubmitItem> items;
+        thread_local std::vector<std::size_t> rejected;
+        items.clear();
+        rejected.clear();
+        items.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          items.push_back({batch[i].conn_token, batch[i].msg.request_id,
+                           batch[i].msg.key, batch[i].msg.trace});
+        }
+        engine_raw->submit_batch(items.data(), count, rejected);
+        for (const std::size_t i : rejected) {
+          net::ResponseMsg msg;
+          msg.request_id = batch[i].msg.request_id;
+          msg.status = net::Status::kError;
+          server.send_response(batch[i].conn_token, msg);
+        }
+      });
   engine::ServingEngine engine(
       config, [&server](const engine::EngineResponse& r) {
         net::ResponseMsg msg;

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Compare two bench_snapshot.sh documents (rlb-bench-snapshot-v1).
 
-Usage: bench_diff.py <baseline.json> <fresh.json>
+Usage: bench_diff.py [--fail-on-regress PCT] <baseline.json> <fresh.json>
 
 Prints a per-benchmark delta table: micro benchmarks matched by name
 (items_per_second preferred, real_time as the fallback), serving/cluster
-tables matched by their key columns with throughput_rps compared.  The
-script is informational and always exits 0 on well-formed input — it
-backs a non-gating CI step, so regressions show up in the log without
-failing the build.  Exit 2 only when an input file is missing/unreadable.
+tables matched by their key columns with throughput_rps compared.
+
+By default the script is informational and always exits 0 on well-formed
+input.  With --fail-on-regress PCT it exits 1 (loudly, listing the
+offending rows) when any serving/cluster throughput_rps row is more than
+PCT percent below the baseline — the backing CI step stays
+continue-on-error, so this shouts in the log without blocking the merge.
+Exit 2 only when an input file is missing/unreadable.
 """
 import json
 import sys
@@ -74,7 +78,7 @@ def table_rows(doc, section):
                 continue
 
 
-def diff_tables(base, fresh, section):
+def diff_tables(base, fresh, section, regressions, threshold):
     base_map = dict(table_rows(base, section))
     rows = []
     for key, rps in table_rows(fresh, section):
@@ -84,27 +88,56 @@ def diff_tables(base, fresh, section):
             rows.append((label, "new row"))
         else:
             rows.append((label, fmt_delta(old, rps, True) + "  rps"))
+            if threshold is not None and old > 0:
+                pct = (rps - old) / old * 100.0
+                if pct < -threshold:
+                    regressions.append(f"{label}: {old:.0f} -> {rps:.0f} rps "
+                                       f"({pct:+.2f}%)")
     return rows
 
 
 def main():
-    if len(sys.argv) != 3:
+    argv = sys.argv[1:]
+    threshold = None
+    if argv and argv[0] == "--fail-on-regress":
+        if len(argv) < 2:
+            print(__doc__.strip(), file=sys.stderr)
+            sys.exit(2)
+        try:
+            threshold = float(argv[1])
+        except ValueError:
+            print(f"bench_diff: bad --fail-on-regress value {argv[1]!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        argv = argv[2:]
+    if len(argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         sys.exit(2)
-    base = load(sys.argv[1])
-    fresh = load(sys.argv[2])
+    base = load(argv[0])
+    fresh = load(argv[1])
     rows = diff_micro(base, fresh)
+    regressions = []
     for section in ("serving", "cluster"):
-        rows.extend(diff_tables(base, fresh, section))
+        rows.extend(diff_tables(base, fresh, section, regressions, threshold))
     if not rows:
         print("bench_diff: nothing comparable between the two snapshots")
         return
     width = max(len(name) for name, _ in rows)
-    print(f"bench_diff: {sys.argv[2]} vs baseline {sys.argv[1]}")
+    print(f"bench_diff: {argv[1]} vs baseline {argv[0]}")
     for name, delta in rows:
         print(f"  {name:<{width}}  {delta}")
-    print("bench_diff: positive = fresh run is larger; (+)/(-) marks "
-          ">=2% better/worse; informational only, never gates")
+    if threshold is None:
+        print("bench_diff: positive = fresh run is larger; (+)/(-) marks "
+              ">=2% better/worse; informational only, never gates")
+        return
+    if regressions:
+        print(f"bench_diff: FAIL — serving/cluster throughput regressed "
+              f"more than {threshold:g}% vs baseline:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        sys.exit(1)
+    print(f"bench_diff: no serving/cluster throughput regression beyond "
+          f"{threshold:g}%")
 
 
 if __name__ == "__main__":

@@ -29,7 +29,8 @@ done
 MICRO_JSON="$(mktemp /tmp/rlb_bench_micro.XXXXXX.json)"
 SERVING_JSON="$(mktemp /tmp/rlb_bench_serving.XXXXXX.json)"
 CLUSTER_JSON="$(mktemp /tmp/rlb_bench_cluster.XXXXXX.json)"
-trap 'rm -f "$MICRO_JSON" "$SERVING_JSON" "$CLUSTER_JSON"' EXIT
+OUT_TMP=""
+trap 'rm -f "$MICRO_JSON" "$SERVING_JSON" "$CLUSTER_JSON" ${OUT_TMP:+"$OUT_TMP"}' EXIT
 
 # Fixed parameters so snapshots stay comparable run to run; bench_serving
 # runs its built-in (policy, shards) matrix with the default 100ms
@@ -47,7 +48,11 @@ echo "bench_snapshot: running bench_cluster..." >&2
   --requests 100000 --connections 4 --concurrency 32 \
   > /dev/null
 
-python3 - "$MICRO_JSON" "$SERVING_JSON" "$CLUSTER_JSON" "$OUT" <<'EOF'
+# Merge into the snapshot document.  Write via a temp file + rename so a
+# crash mid-merge never leaves a truncated BENCH_*.json for the diff job
+# (or a committed baseline) to trip over.
+OUT_TMP="$OUT.tmp.$$"
+python3 - "$MICRO_JSON" "$SERVING_JSON" "$CLUSTER_JSON" "$OUT_TMP" <<'EOF'
 import json, sys
 
 micro = json.load(open(sys.argv[1]))
@@ -70,8 +75,10 @@ snapshot = {
 with open(sys.argv[4], "w") as f:
     json.dump(snapshot, f, indent=1)
     f.write("\n")
-print(f"bench_snapshot: wrote {sys.argv[4]} "
-      f"({len(snapshot['micro'])} micro benchmarks, "
+print(f"bench_snapshot: merged "
+      f"{len(snapshot['micro'])} micro benchmarks, "
       f"{len(serving.get('tables', []))} serving tables, "
-      f"{len(cluster.get('tables', []))} cluster tables)")
+      f"{len(cluster.get('tables', []))} cluster tables")
 EOF
+mv "$OUT_TMP" "$OUT"
+echo "bench_snapshot: wrote $OUT" >&2

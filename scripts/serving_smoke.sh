@@ -6,6 +6,11 @@
 # snapshot with non-zero accepts and a parsable Prometheus rendering.
 #
 # Usage: scripts/serving_smoke.sh [build-dir]      (default: build)
+#
+# RLB_SMOKE_MIN_RPS (default 0 = disabled) additionally asserts a
+# throughput floor on the loadgen summary — a cheap catch for data-plane
+# regressions that survive correctness checks (used by the obs-disabled
+# CI job, where the serving path runs with zero instrumentation).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -61,13 +66,21 @@ sleep 0.5
 wait "$LOADGEN_PID"
 LOADGEN_PID=""
 
+RLB_SMOKE_MIN_RPS="${RLB_SMOKE_MIN_RPS:-0}" \
 python3 - "$JSON" "$STAT_JSON" "$STAT_PROM" <<'EOF'
-import json, sys
+import json, os, sys
 summary = json.load(open(sys.argv[1]))
 completed = int(summary["ok"]) + int(summary["rejected"])
 protocol_errors = int(summary["protocol_errors"])
 assert protocol_errors == 0, f"protocol_errors = {protocol_errors}"
 assert completed > 0, "no requests completed"
+
+# Optional throughput floor (RLB_SMOKE_MIN_RPS, 0 disables): shouts when a
+# change tanks serving throughput even though every response is correct.
+min_rps = float(os.environ.get("RLB_SMOKE_MIN_RPS", "0"))
+rps = float(summary.get("throughput_rps", 0.0))
+assert min_rps <= 0 or rps >= min_rps, (
+    f"throughput {rps:.0f} rps below RLB_SMOKE_MIN_RPS={min_rps:.0f}")
 
 # The mid-run snapshot must show live traffic: non-zero accepts, no
 # server-side protocol errors, and a sane safe-set report.
@@ -92,8 +105,9 @@ for family in ("rlb_up", "rlb_engine_submitted_total",
     assert family in names, f"missing metric family {family}"
 assert "rlb_engine_latency_us_bucket" in names, "missing latency histogram"
 
-print(f"serving_smoke: OK — {completed} completed, 0 protocol errors, "
-      f"mid-run STATS snapshot + Prometheus rendering verified")
+print(f"serving_smoke: OK — {completed} completed at {rps:.0f} rps, "
+      f"0 protocol errors, mid-run STATS snapshot + Prometheus rendering "
+      f"verified")
 EOF
 
 # Graceful drain must answer everything and exit cleanly.

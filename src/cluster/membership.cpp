@@ -24,7 +24,7 @@ void Membership::record_success(std::uint32_t id,
   Slot& slot = slots_[id];
   slot.misses = 0;
   ++slot.heartbeats_ok;
-  slot.backlog_gauge = sample.backlog;
+  slot.backlog_gauge.store(sample.backlog, std::memory_order_relaxed);
   slot.completed = sample.completed;
   slot.servers = sample.servers;
   slot.servers_down = sample.servers_down;
@@ -33,9 +33,9 @@ void Membership::record_success(std::uint32_t id,
                           ? sample.rtt_us
                           : (3 * slot.rtt_ema_us + sample.rtt_us) / 4;
   }
-  switch (slot.health) {
+  switch (slot.health.load(std::memory_order_relaxed)) {
     case BackendHealth::kDown:
-      slot.health = BackendHealth::kProbation;
+      slot.health.store(BackendHealth::kProbation, std::memory_order_relaxed);
       slot.successes = 1;
       break;
     case BackendHealth::kProbation:
@@ -45,7 +45,7 @@ void Membership::record_success(std::uint32_t id,
       return;
   }
   if (slot.successes >= config_.probation_successes) {
-    slot.health = BackendHealth::kUp;
+    slot.health.store(BackendHealth::kUp, std::memory_order_relaxed);
   }
 }
 
@@ -55,13 +55,16 @@ void Membership::record_miss(std::uint32_t id) {
   Slot& slot = slots_[id];
   slot.successes = 0;
   ++slot.heartbeats_missed;
-  if (slot.health == BackendHealth::kDown) return;
+  if (slot.health.load(std::memory_order_relaxed) == BackendHealth::kDown) {
+    return;
+  }
   // Probation is unforgiving: one miss sends the backend straight back
   // down.  An established (kUp) backend gets miss_threshold strikes.
   ++slot.misses;
-  if (slot.health == BackendHealth::kProbation ||
+  if (slot.health.load(std::memory_order_relaxed) ==
+          BackendHealth::kProbation ||
       slot.misses >= config_.miss_threshold) {
-    slot.health = BackendHealth::kDown;
+    slot.health.store(BackendHealth::kDown, std::memory_order_relaxed);
     slot.misses = 0;
     ++slot.transitions_down;
   }
@@ -73,36 +76,42 @@ void Membership::force_down(std::uint32_t id) {
   Slot& slot = slots_[id];
   slot.successes = 0;
   slot.misses = 0;
-  if (slot.health != BackendHealth::kDown) {
-    slot.health = BackendHealth::kDown;
+  if (slot.health.load(std::memory_order_relaxed) != BackendHealth::kDown) {
+    slot.health.store(BackendHealth::kDown, std::memory_order_relaxed);
     ++slot.transitions_down;
   }
 }
 
 void Membership::note_forwarded(std::uint32_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id < slots_.size()) ++slots_[id].inflight;
+  if (id >= slots_.size()) return;
+  slots_[id].inflight.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Membership::note_answered(std::uint32_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id < slots_.size() && slots_[id].inflight > 0) --slots_[id].inflight;
+  if (id >= slots_.size()) return;
+  // CAS-decrement with a floor at zero: a drop event can retire hops the
+  // forward path already retired, and the gauge must never wrap.
+  std::atomic<std::uint64_t>& inflight = slots_[id].inflight;
+  std::uint64_t current = inflight.load(std::memory_order_relaxed);
+  while (current > 0 && !inflight.compare_exchange_weak(
+                            current, current - 1, std::memory_order_relaxed)) {
+  }
 }
 
 bool Membership::is_live(std::uint32_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return id < slots_.size() && slots_[id].health == BackendHealth::kUp;
+  return id < slots_.size() &&
+         slots_[id].health.load(std::memory_order_relaxed) ==
+             BackendHealth::kUp;
 }
 
 std::uint64_t Membership::load_estimate(std::uint32_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
   if (id >= slots_.size()) return 0;
-  return slots_[id].backlog_gauge + slots_[id].inflight;
+  return slots_[id].backlog_gauge.load(std::memory_order_relaxed) +
+         slots_[id].inflight.load(std::memory_order_relaxed);
 }
 
 int Membership::pick(const std::uint32_t* candidates, std::size_t count,
                      std::uint64_t exclude_mask) const {
-  std::lock_guard<std::mutex> lock(mu_);
   int best = -1;
   std::uint64_t best_load = 0;
   for (std::size_t i = 0; i < count; ++i) {
@@ -110,8 +119,12 @@ int Membership::pick(const std::uint32_t* candidates, std::size_t count,
     if (id >= slots_.size()) continue;
     if (id < 64 && (exclude_mask & (1ULL << id)) != 0) continue;
     const Slot& slot = slots_[id];
-    if (slot.health != BackendHealth::kUp) continue;
-    const std::uint64_t load = slot.backlog_gauge + slot.inflight;
+    if (slot.health.load(std::memory_order_relaxed) != BackendHealth::kUp) {
+      continue;
+    }
+    const std::uint64_t load =
+        slot.backlog_gauge.load(std::memory_order_relaxed) +
+        slot.inflight.load(std::memory_order_relaxed);
     if (best < 0 || load < best_load ||
         (load == best_load && id < static_cast<std::uint32_t>(best))) {
       best = static_cast<int>(id);
@@ -127,10 +140,10 @@ BackendView Membership::view(std::uint32_t id) const {
   v.id = id;
   if (id >= slots_.size()) return v;
   const Slot& slot = slots_[id];
-  v.health = slot.health;
-  v.backlog_gauge = slot.backlog_gauge;
-  v.inflight = slot.inflight;
-  v.load_estimate = slot.backlog_gauge + slot.inflight;
+  v.health = slot.health.load(std::memory_order_relaxed);
+  v.backlog_gauge = slot.backlog_gauge.load(std::memory_order_relaxed);
+  v.inflight = slot.inflight.load(std::memory_order_relaxed);
+  v.load_estimate = v.backlog_gauge + v.inflight;
   v.heartbeats_ok = slot.heartbeats_ok;
   v.heartbeats_missed = slot.heartbeats_missed;
   v.transitions_down = slot.transitions_down;
@@ -142,10 +155,11 @@ BackendView Membership::view(std::uint32_t id) const {
 }
 
 std::size_t Membership::live_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const Slot& slot : slots_) {
-    if (slot.health == BackendHealth::kUp) ++n;
+    if (slot.health.load(std::memory_order_relaxed) == BackendHealth::kUp) {
+      ++n;
+    }
   }
   return n;
 }

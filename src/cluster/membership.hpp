@@ -24,6 +24,7 @@
 // backlog balancer has and a heartbeat plane lacks (docs/CLUSTER.md).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -96,12 +97,21 @@ class Membership {
   [[nodiscard]] std::size_t live_count() const;
 
  private:
+  // The per-hop data-plane surface (health / backlog_gauge / inflight) is
+  // atomic so pick(), is_live(), load_estimate(), note_forwarded() and
+  // note_answered() never take the lock: they run once per forwarded hop
+  // and would otherwise serialize the router's request threads.  The
+  // values are advisory routing state — relaxed ordering is enough; a
+  // picker racing a health transition merely routes one request on a
+  // one-heartbeat-stale view.  The control-plane fields (miss/success
+  // streaks, heartbeat counters, EMA) stay behind mu_, written only by
+  // the heartbeat probers and drop events.
   struct Slot {
-    BackendHealth health = BackendHealth::kDown;
+    std::atomic<BackendHealth> health{BackendHealth::kDown};
+    std::atomic<std::uint64_t> backlog_gauge{0};
+    std::atomic<std::uint64_t> inflight{0};
     unsigned misses = 0;
     unsigned successes = 0;
-    std::uint64_t backlog_gauge = 0;
-    std::uint64_t inflight = 0;
     std::uint64_t heartbeats_ok = 0;
     std::uint64_t heartbeats_missed = 0;
     std::uint64_t transitions_down = 0;

@@ -1,5 +1,7 @@
 #include "cluster/router.hpp"
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
@@ -8,12 +10,14 @@
 #include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/placement.hpp"
 #include "core/types.hpp"
 #include "hashing/hash.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "net/stats.hpp"
 #include "net/trace_wire.hpp"
 #include "net/upstream.hpp"
 #include "obs/probes.hpp"
@@ -73,13 +77,24 @@ struct Router::Impl {
                                  config.max_connections},
                [this](std::uint64_t token, const net::RequestMsg& request) {
                  handle_request(token, request);
-               }) {
+               }),
+        per_backend(config.backends.size()) {
     if (config.backends.size() > 64) {
       throw std::invalid_argument("Router: at most 64 backends (tried mask)");
     }
     if (config.chunks == 0) {
       throw std::invalid_argument("Router: chunks must be positive");
     }
+    // Batched data plane: all forwards for one readable burst are
+    // enqueued first, then every touched upstream drains in one writev
+    // chain (one syscall per backend per burst, not per request).
+    server.set_request_batch_handler(
+        [this](const net::ServerRequest* batch, std::size_t count) {
+          for (std::size_t i = 0; i < count; ++i) {
+            handle_request(batch[i].conn_token, batch[i].msg);
+          }
+          flush_upstreams();
+        });
     server.set_stats_handler(
         [this](std::uint64_t token, const net::StatsRequestMsg&) {
           server.send_stats(token, snapshot());
@@ -104,18 +119,49 @@ struct Router::Impl {
   }
 
   // ---- data plane ----------------------------------------------------
+  //
+  // The request path takes no router-global lock.  In-flight hops live in
+  // a striped pending table (hop id & 15 picks the stripe), counters and
+  // per-backend attribution are relaxed atomics folded at scrape time,
+  // and membership's per-hop surface is lock-free (see membership.hpp).
+  // `mu` below guards only the control plane: the running flag and the
+  // heartbeat/sweeper sleep-wait.
+  //
+  // Ownership protocol for a pending entry: it is published to its stripe
+  // BEFORE the upstream send (the backend's response can race the send
+  // call's return, and the reader thread must find the hop), and exactly
+  // one party retires it — the response handler, the drop handler, the
+  // timeout sweeper, or the forward path reclaiming a failed send.
+  // Whoever erases the entry owns its continuation (relay, re-forward, or
+  // reject); everyone else backs off when the erase comes up empty.
 
   /// Router-side per-backend attribution, so the snapshot's per-backend
   /// rows sum to the router totals exactly once.  Client-facing rejects
   /// are attributed to the most informative backend: the first candidate
   /// (never forwarded), the dropped backend, or the last backend tried.
   struct PerBackend {
-    std::uint64_t forwarded = 0;
-    std::uint64_t relayed_ok = 0;
-    std::uint64_t relayed_reject = 0;
-    std::uint64_t relayed_error = 0;
-    std::uint64_t rejected_down = 0;
-    std::uint64_t rejected_timeout = 0;
+    std::atomic<std::uint64_t> forwarded{0};
+    std::atomic<std::uint64_t> relayed_ok{0};
+    std::atomic<std::uint64_t> relayed_reject{0};
+    std::atomic<std::uint64_t> relayed_error{0};
+    std::atomic<std::uint64_t> rejected_down{0};
+    std::atomic<std::uint64_t> rejected_timeout{0};
+  };
+
+  /// RouterStats with each field atomic; aggregated into the plain struct
+  /// by Router::stats().
+  struct Counters {
+    std::atomic<std::uint64_t> received{0};
+    std::atomic<std::uint64_t> forwarded{0};
+    std::atomic<std::uint64_t> relayed_ok{0};
+    std::atomic<std::uint64_t> relayed_reject{0};
+    std::atomic<std::uint64_t> relayed_error{0};
+    std::atomic<std::uint64_t> rejected_upstream_down{0};
+    std::atomic<std::uint64_t> rejected_upstream_timeout{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> late_responses{0};
+    std::atomic<std::uint64_t> backend_drops{0};
   };
 
   struct Pending {
@@ -139,6 +185,16 @@ struct Router::Impl {
     std::uint64_t request_start_ns = 0;
     std::uint64_t hop_span_id = 0;
   };
+
+  static constexpr std::size_t kPendingStripes = 16;
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, Pending> map;
+  };
+
+  Stripe& stripe_of(std::uint64_t hop) {
+    return stripes[hop & (kPendingStripes - 1)];
+  }
 
   /// Land one router span in the flight recorder (no-op when the request
   /// is untraced, `span_id` was never allocated, or obs is compiled out).
@@ -184,14 +240,14 @@ struct Router::Impl {
 
   enum class Forward : std::uint8_t { kSent, kNoCandidate, kBudgetSpent };
 
-  /// Forward (or re-forward) one request; called with `mu` held.  On
-  /// kSent a Pending entry exists under a fresh hop id.
-  Forward forward_locked(std::uint64_t conn_token, std::uint64_t client_id,
-                         std::uint64_t key, core::ChunkId chunk,
-                         unsigned attempts, std::uint64_t tried,
-                         const obs::TraceContext& trace = {},
-                         std::uint64_t request_span_id = 0,
-                         std::uint64_t request_start_ns = 0) {
+  /// Forward (or re-forward) one request.  On kSent a Pending entry was
+  /// published under a fresh hop id (and may already have been retired by
+  /// a racing response).  Lock-free except for the stripe insert.
+  Forward forward(std::uint64_t conn_token, std::uint64_t client_id,
+                  std::uint64_t key, core::ChunkId chunk, unsigned attempts,
+                  std::uint64_t tried, const obs::TraceContext& trace = {},
+                  std::uint64_t request_span_id = 0,
+                  std::uint64_t request_start_ns = 0) {
     static obs::Counter forwarded_probe("router.forwarded");
     static obs::Counter failover_probe("router.send_failover");
     const unsigned budget =
@@ -213,7 +269,8 @@ struct Router::Impl {
       }
       ++attempts;
       tried |= bit(backend);
-      const std::uint64_t hop = next_hop++;
+      const std::uint64_t hop =
+          next_hop.fetch_add(1, std::memory_order_relaxed);
       Pending entry;
       entry.conn_token = conn_token;
       entry.client_id = client_id;
@@ -235,21 +292,43 @@ struct Router::Impl {
       // so a backend's engine.request span nests under the exact retry
       // that reached it.  An obs-disabled router forwards the context
       // unchanged (hop_span_id 0) — the tree just skips a level.
-      obs::TraceContext forwarded = attempt_trace;
+      obs::TraceContext forwarded_ctx = attempt_trace;
       if (entry.hop_span_id != 0) {
-        forwarded.parent_span_id = entry.hop_span_id;
+        forwarded_ctx.parent_span_id = entry.hop_span_id;
       }
       membership.note_forwarded(static_cast<std::uint32_t>(backend));
-      if (upstreams[static_cast<std::size_t>(backend)]->send_request(
-              hop, key, forwarded)) {
-        pending.emplace(hop, entry);
-        ++counters.forwarded;
-        ++per_backend[static_cast<std::size_t>(backend)].forwarded;
+      {
+        Stripe& stripe = stripe_of(hop);
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        stripe.map.emplace(hop, entry);
+      }
+      pending_count.fetch_add(1, std::memory_order_relaxed);
+      // Enqueue-only: the caller flushes the touched upstreams once per
+      // burst (flush_upstreams()), so a batch of forwards to one backend
+      // leaves in a single writev chain.  A queued frame whose eventual
+      // write fails is recovered by the drop signal, exactly like a frame
+      // queued behind another thread's active drainer.
+      if (upstreams[static_cast<std::size_t>(backend)]->enqueue_request(
+              hop, key, forwarded_ctx)) {
+        counters.forwarded.fetch_add(1, std::memory_order_relaxed);
+        per_backend[static_cast<std::size_t>(backend)].forwarded.fetch_add(
+            1, std::memory_order_relaxed);
         forwarded_probe.add();
         return Forward::kSent;
       }
-      // The connection died between the membership check and the write:
-      // mark the backend down and fail over within the same budget walk.
+      // The connection died between the membership check and the enqueue:
+      // reclaim the published entry, mark the backend down, and fail over
+      // within the same budget walk.  A failed erase means the drop
+      // handler raced us to the entry and owns the continuation — this
+      // request is being re-forwarded (or rejected) elsewhere.
+      bool reclaimed = false;
+      {
+        Stripe& stripe = stripe_of(hop);
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        reclaimed = stripe.map.erase(hop) != 0;
+      }
+      if (!reclaimed) return Forward::kSent;
+      pending_count.fetch_sub(1, std::memory_order_relaxed);
       // The never-sent attempt still leaves a (near-zero-length) hop span
       // so retries stay countable in the merged tree.
       record_span(attempt_trace, "router.hop", entry.hop_span_id,
@@ -276,15 +355,16 @@ struct Router::Impl {
                 trace.parent_span_id, request_start_ns,
                 static_cast<std::uint8_t>(cause),
                 static_cast<std::uint32_t>(attributed_backend),
-                pending.size());
+                pending_count.load(std::memory_order_relaxed));
     PerBackend& row =
         per_backend[static_cast<std::size_t>(attributed_backend)];
     if (cause == net::Status::kRejectUpstreamDown) {
-      ++counters.rejected_upstream_down;
-      ++row.rejected_down;
+      counters.rejected_upstream_down.fetch_add(1, std::memory_order_relaxed);
+      row.rejected_down.fetch_add(1, std::memory_order_relaxed);
     } else {
-      ++counters.rejected_upstream_timeout;
-      ++row.rejected_timeout;
+      counters.rejected_upstream_timeout.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      row.rejected_timeout.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -292,10 +372,9 @@ struct Router::Impl {
                       const net::RequestMsg& request) {
     const core::ChunkId chunk = hashing::hash_to_bucket(
         request.key, config.seed ^ 0x9a3c0ff1ceULL, config.chunks);
-    std::lock_guard<std::mutex> lock(mu);
-    ++counters.received;
+    counters.received.fetch_add(1, std::memory_order_relaxed);
     // One router.request span covers the client request end to end across
-    // retries; hop spans nest under it (see forward_locked).
+    // retries; hop spans nest under it (see forward()).
     std::uint64_t request_span_id = 0;
     std::uint64_t request_start_ns = 0;
     if (request.trace.valid() && obs::span_recording_enabled()) {
@@ -303,8 +382,8 @@ struct Router::Impl {
       request_start_ns = obs::now_ns();
     }
     const Forward outcome =
-        forward_locked(conn_token, request.request_id, request.key, chunk, 0,
-                       0, request.trace, request_span_id, request_start_ns);
+        forward(conn_token, request.request_id, request.key, chunk, 0, 0,
+                request.trace, request_span_id, request_start_ns);
     if (outcome != Forward::kSent) {
       // Never forwarded: every candidate backend is down (or died during
       // the walk) — the cluster-level analogue of "all d replicas down".
@@ -315,16 +394,21 @@ struct Router::Impl {
   }
 
   void handle_upstream_response(int backend, const net::ResponseMsg& msg) {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = pending.find(msg.request_id);
-    if (it == pending.end() || it->second.backend != backend) {
-      // The hop was already retired (timeout retry or backend drop); the
-      // duplicate service is wasted work, not an error.
-      ++counters.late_responses;
-      return;
+    Pending entry;
+    {
+      Stripe& stripe = stripe_of(msg.request_id);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      auto it = stripe.map.find(msg.request_id);
+      if (it == stripe.map.end() || it->second.backend != backend) {
+        // The hop was already retired (timeout retry or backend drop); the
+        // duplicate service is wasted work, not an error.
+        counters.late_responses.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      entry = it->second;
+      stripe.map.erase(it);
     }
-    const Pending entry = it->second;
-    pending.erase(it);
+    pending_count.fetch_sub(1, std::memory_order_relaxed);
     membership.note_answered(static_cast<std::uint32_t>(backend));
     // Per-hop RTT (v3 stats): forward-to-response round trip, retries
     // sampled once per attempt.
@@ -339,21 +423,29 @@ struct Router::Impl {
     record_span(entry.trace, "router.request", entry.request_span_id,
                 entry.trace.parent_span_id, entry.request_start_ns,
                 static_cast<std::uint8_t>(msg.status),
-                static_cast<std::uint32_t>(backend), pending.size());
+                static_cast<std::uint32_t>(backend),
+                pending_count.load(std::memory_order_relaxed));
     PerBackend& row = per_backend[static_cast<std::size_t>(backend)];
     if (msg.status == net::Status::kOk) {
-      ++counters.relayed_ok;
-      ++row.relayed_ok;
+      counters.relayed_ok.fetch_add(1, std::memory_order_relaxed);
+      row.relayed_ok.fetch_add(1, std::memory_order_relaxed);
     } else if (net::is_reject(msg.status)) {
-      ++counters.relayed_reject;
-      ++row.relayed_reject;
+      counters.relayed_reject.fetch_add(1, std::memory_order_relaxed);
+      row.relayed_reject.fetch_add(1, std::memory_order_relaxed);
     } else {
-      ++counters.relayed_error;
-      ++row.relayed_error;
+      counters.relayed_error.fetch_add(1, std::memory_order_relaxed);
+      row.relayed_error.fetch_add(1, std::memory_order_relaxed);
     }
     net::ResponseMsg relayed = msg;
     relayed.request_id = entry.client_id;
     server.send_response(entry.conn_token, relayed);
+  }
+
+  /// Drain every upstream's queued forwards (cheap no-op on the empty
+  /// ones).  Called once per forward burst: after a client batch, a drop
+  /// failover pass, or a timeout sweep.
+  void flush_upstreams() {
+    for (auto& conn : upstreams) conn->flush();
   }
 
   /// A backend's data-plane connection dropped: fail its in-flight hops
@@ -361,29 +453,31 @@ struct Router::Impl {
   void handle_upstream_drop(int backend) {
     static obs::Counter drop_probe("router.backend_drops");
     membership.force_down(static_cast<std::uint32_t>(backend));
+    counters.backend_drops.fetch_add(1, std::memory_order_relaxed);
+    drop_probe.add();
     std::vector<Pending> orphaned;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      ++counters.backend_drops;
-      drop_probe.add();
-      for (auto it = pending.begin(); it != pending.end();) {
+    for (Stripe& stripe : stripes) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      for (auto it = stripe.map.begin(); it != stripe.map.end();) {
         if (it->second.backend == backend) {
           orphaned.push_back(it->second);
-          it = pending.erase(it);
+          it = stripe.map.erase(it);
         } else {
           ++it;
         }
       }
     }
-    std::lock_guard<std::mutex> lock(mu);
+    if (!orphaned.empty()) {
+      pending_count.fetch_sub(orphaned.size(), std::memory_order_relaxed);
+    }
     for (const Pending& entry : orphaned) {
       membership.note_answered(static_cast<std::uint32_t>(backend));
-      ++counters.retries;
+      counters.retries.fetch_add(1, std::memory_order_relaxed);
       record_span(entry.trace, "router.hop", entry.hop_span_id,
                   hop_parent(entry), entry.send_ns,
                   static_cast<std::uint8_t>(net::Status::kRejectUpstreamDown),
                   static_cast<std::uint32_t>(backend), 0);
-      const Forward outcome = forward_locked(
+      const Forward outcome = forward(
           entry.conn_token, entry.client_id, entry.key, entry.chunk,
           entry.attempts, entry.tried, entry.trace, entry.request_span_id,
           entry.request_start_ns);
@@ -393,29 +487,36 @@ struct Router::Impl {
                entry.request_span_id, entry.request_start_ns);
       }
     }
+    if (!orphaned.empty()) flush_upstreams();
   }
 
   void sweep_timeouts() {
     const Clock::time_point now = Clock::now();
-    std::lock_guard<std::mutex> lock(mu);
-    std::vector<std::uint64_t> expired;
-    for (const auto& [hop, entry] : pending) {
-      if (entry.deadline <= now) expired.push_back(hop);
+    std::vector<Pending> expired;
+    for (Stripe& stripe : stripes) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      for (auto it = stripe.map.begin(); it != stripe.map.end();) {
+        if (it->second.deadline <= now) {
+          expired.push_back(it->second);
+          it = stripe.map.erase(it);
+        } else {
+          ++it;
+        }
+      }
     }
-    for (const std::uint64_t hop : expired) {
-      auto it = pending.find(hop);
-      if (it == pending.end()) continue;
-      const Pending entry = it->second;
-      pending.erase(it);
-      ++counters.timeouts;
+    if (!expired.empty()) {
+      pending_count.fetch_sub(expired.size(), std::memory_order_relaxed);
+    }
+    for (const Pending& entry : expired) {
+      counters.timeouts.fetch_add(1, std::memory_order_relaxed);
       membership.note_answered(static_cast<std::uint32_t>(entry.backend));
-      ++counters.retries;
+      counters.retries.fetch_add(1, std::memory_order_relaxed);
       record_span(
           entry.trace, "router.hop", entry.hop_span_id, hop_parent(entry),
           entry.send_ns,
           static_cast<std::uint8_t>(net::Status::kRejectUpstreamTimeout),
           static_cast<std::uint32_t>(entry.backend), 0);
-      const Forward outcome = forward_locked(
+      const Forward outcome = forward(
           entry.conn_token, entry.client_id, entry.key, entry.chunk,
           entry.attempts, entry.tried, entry.trace, entry.request_span_id,
           entry.request_start_ns);
@@ -425,6 +526,7 @@ struct Router::Impl {
                entry.trace, entry.request_span_id, entry.request_start_ns);
       }
     }
+    if (!expired.empty()) flush_upstreams();
   }
 
   // ---- control plane -------------------------------------------------
@@ -551,20 +653,25 @@ struct Router::Impl {
     // Stopping an upstream fires its drop callback, which rejects that
     // backend's in-flight hops through the still-running client listener.
     for (auto& conn : upstreams) conn->stop();
-    {
-      // Belt and braces: nothing should survive the upstream teardown.
-      std::lock_guard<std::mutex> lock(mu);
-      for (const auto& [hop, entry] : pending) {
-        record_span(
-            entry.trace, "router.hop", entry.hop_span_id, hop_parent(entry),
-            entry.send_ns,
-            static_cast<std::uint8_t>(net::Status::kRejectUpstreamDown),
-            static_cast<std::uint32_t>(entry.backend), 0);
-        reject(entry.conn_token, entry.client_id,
-               net::Status::kRejectUpstreamDown, entry.backend, entry.trace,
-               entry.request_span_id, entry.request_start_ns);
-      }
-      pending.clear();
+    // Belt and braces: nothing should survive the upstream teardown.
+    std::vector<Pending> leftovers;
+    for (Stripe& stripe : stripes) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      for (auto& [hop, entry] : stripe.map) leftovers.push_back(entry);
+      stripe.map.clear();
+    }
+    if (!leftovers.empty()) {
+      pending_count.fetch_sub(leftovers.size(), std::memory_order_relaxed);
+    }
+    for (const Pending& entry : leftovers) {
+      record_span(
+          entry.trace, "router.hop", entry.hop_span_id, hop_parent(entry),
+          entry.send_ns,
+          static_cast<std::uint8_t>(net::Status::kRejectUpstreamDown),
+          static_cast<std::uint32_t>(entry.backend), 0);
+      reject(entry.conn_token, entry.client_id,
+             net::Status::kRejectUpstreamDown, entry.backend, entry.trace,
+             entry.request_span_id, entry.request_start_ns);
     }
     server.stop();
   }
@@ -582,12 +689,7 @@ struct Router::Impl {
     snap.servers = static_cast<std::uint32_t>(config.backends.size());
     snap.replication = replication;
     snap.shard_count = static_cast<std::uint32_t>(config.backends.size());
-    std::vector<PerBackend> rows;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      rows = per_backend;
-      snap.hop_rtt = hop_rtt;
-    }
+    hop_rtt.merge_into(snap.hop_rtt);
     // One row per backend; docs/CLUSTER.md documents the field mapping
     // (ticks/batches carry heartbeat ok/miss, max_batch the mark-down
     // count, backlog the live load estimate).  Summing rows yields the
@@ -595,14 +697,18 @@ struct Router::Impl {
     // rejected_total + errors = responses relayed or rejected.
     for (std::size_t b = 0; b < config.backends.size(); ++b) {
       const BackendView view = membership.view(static_cast<std::uint32_t>(b));
+      const PerBackend& attribution = per_backend[b];
       net::ShardStats row;
       row.shard = static_cast<std::uint32_t>(b);
-      row.submitted = rows[b].forwarded;
-      row.completed = rows[b].relayed_ok;
-      row.rejected_queue_full = rows[b].relayed_reject;
-      row.rejected_all_down = rows[b].rejected_down;
-      row.rejected_drop = rows[b].rejected_timeout;
-      row.errors = rows[b].relayed_error;
+      row.submitted = attribution.forwarded.load(std::memory_order_relaxed);
+      row.completed = attribution.relayed_ok.load(std::memory_order_relaxed);
+      row.rejected_queue_full =
+          attribution.relayed_reject.load(std::memory_order_relaxed);
+      row.rejected_all_down =
+          attribution.rejected_down.load(std::memory_order_relaxed);
+      row.rejected_drop =
+          attribution.rejected_timeout.load(std::memory_order_relaxed);
+      row.errors = attribution.relayed_error.load(std::memory_order_relaxed);
       row.ticks = view.heartbeats_ok;
       row.batches = view.heartbeats_missed;
       row.max_batch = view.transitions_down;
@@ -622,15 +728,18 @@ struct Router::Impl {
   std::vector<std::unique_ptr<net::UpstreamConn>> upstreams;
   std::vector<std::thread> threads;
 
+  // Data plane (lock-free / striped; see the section comment above).
+  std::array<Stripe, kPendingStripes> stripes;
+  std::atomic<std::uint64_t> next_hop{1};
+  std::atomic<std::uint64_t> pending_count{0};  ///< span queue_depth gauge
+  Counters counters;
+  std::vector<PerBackend> per_backend;
+  net::AtomicLatency hop_rtt;  ///< per-hop upstream RTT (v3 stats)
+
+  // Control plane only: the running flag and heartbeat/sweeper waits.
   mutable std::mutex mu;
   std::condition_variable stop_cv;
   bool running = false;
-  std::uint64_t next_hop = 1;
-  std::unordered_map<std::uint64_t, Pending> pending;
-  RouterStats counters;
-  // Per-hop upstream RTT histogram (v3 stats); guarded by mu.
-  net::LatencyStats hop_rtt;
-  std::vector<PerBackend> per_backend{config.backends.size()};
   Clock::time_point started_at = Clock::now();
 };
 
@@ -645,8 +754,22 @@ void Router::stop() { impl_->stop(); }
 std::uint16_t Router::port() const noexcept { return impl_->server.port(); }
 
 RouterStats Router::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return impl_->counters;
+  const Impl::Counters& c = impl_->counters;
+  RouterStats out;
+  out.received = c.received.load(std::memory_order_relaxed);
+  out.forwarded = c.forwarded.load(std::memory_order_relaxed);
+  out.relayed_ok = c.relayed_ok.load(std::memory_order_relaxed);
+  out.relayed_reject = c.relayed_reject.load(std::memory_order_relaxed);
+  out.relayed_error = c.relayed_error.load(std::memory_order_relaxed);
+  out.rejected_upstream_down =
+      c.rejected_upstream_down.load(std::memory_order_relaxed);
+  out.rejected_upstream_timeout =
+      c.rejected_upstream_timeout.load(std::memory_order_relaxed);
+  out.retries = c.retries.load(std::memory_order_relaxed);
+  out.timeouts = c.timeouts.load(std::memory_order_relaxed);
+  out.late_responses = c.late_responses.load(std::memory_order_relaxed);
+  out.backend_drops = c.backend_drops.load(std::memory_order_relaxed);
+  return out;
 }
 
 const Membership& Router::membership() const { return impl_->membership; }

@@ -280,17 +280,11 @@ struct ServingEngine::Impl {
 
     // Wire-to-response latency in log2-microsecond buckets (the layout the
     // STATS snapshot ships; see net::LatencyStats).
-    std::atomic<std::uint64_t> lat_count{0};
-    std::atomic<std::uint64_t> lat_sum_us{0};
-    std::atomic<std::uint64_t> lat_max_us{0};
-    std::array<std::atomic<std::uint64_t>, net::kLatencyBuckets> lat_buckets{};
+    net::AtomicLatency latency;
 
     // Queue-wait decomposition (v3 stats): submit() to drain-tick delivery
     // — the MPSC queue + waiting-room share of the latency above.
-    std::atomic<std::uint64_t> qw_count{0};
-    std::atomic<std::uint64_t> qw_sum_us{0};
-    std::atomic<std::uint64_t> qw_max_us{0};
-    std::array<std::atomic<std::uint64_t>, net::kLatencyBuckets> qw_buckets{};
+    net::AtomicLatency queue_wait;
 
     // Per-server backlog, refreshed once per tick from the balancer.  The
     // scrape-side safe-set monitor merges these across shards to rebuild
@@ -302,30 +296,11 @@ struct ServingEngine::Impl {
       if (submit_ns == 0) return;
       const std::uint64_t now = obs::now_ns();
       const std::uint64_t us = now > submit_ns ? (now - submit_ns) / 1000 : 0;
-      lat_count.fetch_add(1, std::memory_order_relaxed);
-      lat_sum_us.fetch_add(us, std::memory_order_relaxed);
-      std::uint64_t prev = lat_max_us.load(std::memory_order_relaxed);
-      while (us > prev && !lat_max_us.compare_exchange_weak(
-                              prev, us, std::memory_order_relaxed)) {
-      }
-      std::size_t bucket =
-          us <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(us) - 1);
-      if (bucket >= net::kLatencyBuckets) bucket = net::kLatencyBuckets - 1;
-      lat_buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+      latency.observe_us(us);
     }
 
     void record_queue_wait(std::uint64_t wait_ns) {
-      const std::uint64_t us = wait_ns / 1000;
-      qw_count.fetch_add(1, std::memory_order_relaxed);
-      qw_sum_us.fetch_add(us, std::memory_order_relaxed);
-      std::uint64_t prev = qw_max_us.load(std::memory_order_relaxed);
-      while (us > prev && !qw_max_us.compare_exchange_weak(
-                              prev, us, std::memory_order_relaxed)) {
-      }
-      std::size_t bucket =
-          us <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(us) - 1);
-      if (bucket >= net::kLatencyBuckets) bucket = net::kLatencyBuckets - 1;
-      qw_buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+      queue_wait.observe_us(wait_ns / 1000);
     }
 
     /// Land one engine.request span in the flight recorder (no-op for
@@ -804,6 +779,68 @@ bool ServingEngine::submit(std::uint64_t conn_token, std::uint64_t request_id,
   return true;
 }
 
+void ServingEngine::submit_batch(const SubmitItem* items, std::size_t count,
+                                 std::vector<std::size_t>& rejected) {
+  if (count == 0) return;
+  if (!impl_->accepting.load(std::memory_order_acquire)) {
+    for (std::size_t i = 0; i < count; ++i) rejected.push_back(i);
+    return;
+  }
+  const std::size_t nshards = impl_->shards.size();
+  // One timestamp for the whole batch: the items arrived in the same
+  // server wakeup, so they share a wire arrival time.
+  const std::uint64_t now = obs::now_ns();
+  struct BatchEntry {
+    Waiting request;
+    std::size_t index;
+  };
+  // Scratch group buffers live across calls (the server's loop thread is
+  // the steady-state caller): zero allocations once warm.
+  thread_local std::vector<std::vector<BatchEntry>> groups;
+  if (groups.size() < nshards) groups.resize(nshards);
+  for (std::size_t i = 0; i < count; ++i) {
+    const SubmitItem& item = items[i];
+    Waiting request;
+    request.conn_token = item.conn_token;
+    request.request_id = item.request_id;
+    request.chunk = impl_->mapper->chunk_of(item.key);
+    request.submit_ns = now;
+    request.trace = item.trace;
+    const std::size_t s = hashing::hash_to_bucket(
+        request.chunk, impl_->shard_hash_seed, nshards);
+    groups[s].push_back(BatchEntry{request, i});
+  }
+  for (std::size_t s = 0; s < nshards; ++s) {
+    if (groups[s].empty()) continue;
+    Impl::Shard& shard = *impl_->shards[s];
+    const std::size_t n = groups[s].size();
+    bool was_empty = false;
+    bool admitted = true;
+    {
+      std::lock_guard lock(shard.mutex);
+      if (shard.stopping) {
+        admitted = false;
+      } else {
+        was_empty = shard.inbound.empty();
+        for (const BatchEntry& entry : groups[s]) {
+          shard.inbound.push_back(entry.request);
+        }
+      }
+    }
+    if (admitted) {
+      impl_->submitted.fetch_add(n, std::memory_order_relaxed);
+      shard.submitted.fetch_add(n, std::memory_order_relaxed);
+      shard.inbound_depth.fetch_add(n, std::memory_order_relaxed);
+      if (was_empty) shard.cv.notify_one();
+    } else {
+      for (const BatchEntry& entry : groups[s]) {
+        rejected.push_back(entry.index);
+      }
+    }
+    groups[s].clear();
+  }
+}
+
 EngineStats ServingEngine::stats() const {
   EngineStats out;
   out.submitted = impl_->submitted.load(std::memory_order_relaxed);
@@ -868,27 +905,8 @@ net::StatsSnapshot ServingEngine::snapshot() const {
     row.step_ns = shard->step_ns.load(std::memory_order_relaxed);
     out.shards.push_back(row);
 
-    out.latency.count += shard->lat_count.load(std::memory_order_relaxed);
-    out.latency.sum_us += shard->lat_sum_us.load(std::memory_order_relaxed);
-    const std::uint64_t shard_max =
-        shard->lat_max_us.load(std::memory_order_relaxed);
-    if (shard_max > out.latency.max_us) out.latency.max_us = shard_max;
-    for (std::size_t b = 0; b < net::kLatencyBuckets; ++b) {
-      out.latency.buckets[b] +=
-          shard->lat_buckets[b].load(std::memory_order_relaxed);
-    }
-
-    out.queue_wait.count += shard->qw_count.load(std::memory_order_relaxed);
-    out.queue_wait.sum_us += shard->qw_sum_us.load(std::memory_order_relaxed);
-    const std::uint64_t shard_qw_max =
-        shard->qw_max_us.load(std::memory_order_relaxed);
-    if (shard_qw_max > out.queue_wait.max_us) {
-      out.queue_wait.max_us = shard_qw_max;
-    }
-    for (std::size_t b = 0; b < net::kLatencyBuckets; ++b) {
-      out.queue_wait.buckets[b] +=
-          shard->qw_buckets[b].load(std::memory_order_relaxed);
-    }
+    shard->latency.merge_into(out.latency);
+    shard->queue_wait.merge_into(out.queue_wait);
 
     for (std::size_t s = 0; s < shard->server_span; ++s) {
       global_backlogs.push_back(

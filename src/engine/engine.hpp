@@ -166,6 +166,24 @@ class ServingEngine {
   bool submit(std::uint64_t conn_token, std::uint64_t request_id,
               store::KeyId key, const obs::TraceContext& trace);
 
+  /// One request in a submit_batch() call.
+  struct SubmitItem {
+    std::uint64_t conn_token = 0;
+    std::uint64_t request_id = 0;
+    store::KeyId key = 0;
+    obs::TraceContext trace;
+  };
+
+  /// Batched submit for a server wakeup's worth of requests: items are
+  /// grouped by destination shard so each shard's mutex is taken — and
+  /// its worker woken — at most once per call instead of once per
+  /// request.  Indices of items that were NOT admitted (engine not
+  /// accepting, or shard stopping) are appended to `rejected`; the caller
+  /// answers those with an error, exactly as for a false submit().
+  /// `rejected` is not cleared first.  Thread-safe.
+  void submit_batch(const SubmitItem* items, std::size_t count,
+                    std::vector<std::size_t>& rejected);
+
   /// Aggregated live counters across all shards.
   EngineStats stats() const;
 

@@ -1,0 +1,10 @@
+#include "net/buffer_pool.hpp"
+
+namespace rlb::net {
+
+BufferPool& global_buffer_pool() {
+  static BufferPool pool;
+  return pool;
+}
+
+}  // namespace rlb::net

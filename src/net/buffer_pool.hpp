@@ -1,0 +1,74 @@
+// A small freelist of byte buffers so steady-state frame traffic does
+// zero per-frame allocations.
+//
+// The serving hot path reuses long-lived per-connection vectors (decoder
+// buffer, staging/drain buffers), which warm up once and then never
+// allocate.  The pool covers the remaining churn: per-frame chunks queued
+// on an UpstreamConn, admin-response encode scratch, and reclaiming the
+// occasionally huge buffer a slow consumer left behind (release() frees
+// anything over the capacity cap instead of caching it, so one bad client
+// can't pin memory).
+//
+// Thread-safe; the lock is held only for a vector swap.  acquire() never
+// blocks on allocation inside the lock — a miss just returns a fresh
+// empty vector that warms up with use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace rlb::net {
+
+class BufferPool {
+ public:
+  /// `max_cached` buffers are kept at rest; `max_buffer_capacity` is the
+  /// largest capacity worth caching — bigger buffers are freed on release.
+  explicit BufferPool(std::size_t max_cached = 64,
+                      std::size_t max_buffer_capacity = 1 << 20)
+      : max_cached_(max_cached), max_buffer_capacity_(max_buffer_capacity) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// An empty buffer, with cached capacity when the pool has one.
+  std::vector<std::uint8_t> acquire() {
+    {
+      std::lock_guard lock(mu_);
+      if (!cache_.empty()) {
+        std::vector<std::uint8_t> buf = std::move(cache_.back());
+        cache_.pop_back();
+        return buf;
+      }
+    }
+    return {};
+  }
+
+  /// Hand a buffer back.  It is cleared here; capacity is cached unless
+  /// the pool is full or the buffer is oversized (then it is freed).
+  void release(std::vector<std::uint8_t>&& buf) {
+    buf.clear();
+    if (buf.capacity() == 0 || buf.capacity() > max_buffer_capacity_) return;
+    std::lock_guard lock(mu_);
+    if (cache_.size() >= max_cached_) return;
+    cache_.push_back(std::move(buf));
+  }
+
+  /// Buffers currently at rest (test/diagnostic hook).
+  std::size_t cached() const {
+    std::lock_guard lock(mu_);
+    return cache_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::uint8_t>> cache_;
+  std::size_t max_cached_;
+  std::size_t max_buffer_capacity_;
+};
+
+/// The process-wide pool shared by the net layer.
+BufferPool& global_buffer_pool();
+
+}  // namespace rlb::net

@@ -128,6 +128,26 @@ void Client::flush() {
 }
 
 ReadOutcome Client::next_frame(bool allow_timeout) {
+  using Clock = std::chrono::steady_clock;
+  // With a recv timeout armed, the whole call gets ONE deadline window.
+  // SO_RCVTIMEO restarts from scratch on every read(), so after an EINTR
+  // the remaining window must be recomputed and re-applied — otherwise a
+  // signal storm arriving faster than the timeout extends a 100 ms budget
+  // indefinitely.
+  const bool deadline_armed = recv_timeout_ms_ > 0 && fd_ >= 0;
+  const Clock::time_point deadline =
+      deadline_armed
+          ? Clock::now() + std::chrono::milliseconds(recv_timeout_ms_)
+          : Clock::time_point{};
+  // Restore the configured full timeout on every exit once it has been
+  // shortened, so the next call starts with a fresh window.
+  struct RestoreTimeout {
+    int fd = -1;
+    std::uint64_t ms = 0;
+    ~RestoreTimeout() {
+      if (fd >= 0) apply_recv_timeout(fd, ms);
+    }
+  } restore;
   for (;;) {
     if (decoder_.next(payload_)) return ReadOutcome::kFrame;
     if (decoder_.error()) throw ProtocolError("Client: bad frame length");
@@ -144,7 +164,22 @@ ReadOutcome Client::next_frame(bool allow_timeout) {
       return ReadOutcome::kEof;
     }
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        if (deadline_armed) {
+          const Clock::time_point now = Clock::now();
+          if (now >= deadline) {
+            if (allow_timeout) return ReadOutcome::kTimeout;
+            throw std::runtime_error("Client: read timed out");
+          }
+          const auto remaining_ms =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - now).count() + 1;  // ceil: never arm 0 = forever
+          apply_recv_timeout(fd_, static_cast<std::uint64_t>(remaining_ms));
+          restore.fd = fd_;
+          restore.ms = recv_timeout_ms_;
+        }
+        continue;
+      }
       if (allow_timeout && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         return ReadOutcome::kTimeout;
       }
@@ -183,6 +218,20 @@ ReadOutcome Client::try_read_response(ResponseMsg& out) {
     throw ProtocolError("Client: unexpected frame from server");
   }
   return ReadOutcome::kFrame;
+}
+
+bool Client::poll_buffered_response(ResponseMsg& out) {
+  if (!decoder_.next(payload_)) {
+    if (decoder_.error()) throw ProtocolError("Client: bad frame length");
+    return false;
+  }
+  RequestMsg request;
+  const Decoded decoded =
+      decode_payload(payload_.data(), payload_.size(), request, out);
+  if (decoded != Decoded::kResponse) {
+    throw ProtocolError("Client: unexpected frame from server");
+  }
+  return true;
 }
 
 void Client::send_stats_request(std::uint32_t flags) {

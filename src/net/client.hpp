@@ -104,6 +104,14 @@ class Client {
   /// socket (next flush() re-dials when auto-reconnect is armed).
   ReadOutcome try_read_response(ResponseMsg& out);
 
+  /// Decode the next RESPONSE already sitting in the receive buffer
+  /// WITHOUT touching the socket.  Returns false when no complete frame
+  /// is buffered.  Pipelined callers drain buffered responses with this
+  /// after one blocking read_response(), then refill the window with a
+  /// single flush() — one write syscall per burst instead of one per
+  /// request.  Throws ProtocolError like read_response().
+  bool poll_buffered_response(ResponseMsg& out);
+
   /// Buffer one STATS admin frame (no I/O until flush()).  Use a dedicated
   /// connection for polling: REQUEST and STATS frames on one connection
   /// interleave their replies in service order.

@@ -4,19 +4,27 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
+
+#if defined(RLB_NET_USE_EPOLL)
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#endif
 
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "net/buffer_pool.hpp"
 #include "obs/obs.hpp"
 
 namespace rlb::net {
@@ -33,63 +41,136 @@ std::uint64_t make_token(std::size_t slot, std::uint32_t gen) {
          static_cast<std::uint64_t>(slot);
 }
 
+/// Per-connection drain buffers larger than this are returned to the
+/// global pool (which frees oversized ones) when the connection closes,
+/// so one slow consumer doesn't pin megabytes on an idle slot forever.
+constexpr std::size_t kRetainCapacity = 64 * 1024;
+
+void trim_buffer(std::vector<std::uint8_t>& buf) {
+  buf.clear();
+  if (buf.capacity() > kRetainCapacity) {
+    global_buffer_pool().release(std::move(buf));
+    buf = std::vector<std::uint8_t>();
+  }
+}
+
 }  // namespace
 
 struct NetServer::Impl {
+  // Why a struct of atomics instead of ServerStats behind a mutex: every
+  // field is a monotonic counter touched on the per-read / per-frame hot
+  // path by exactly one writer class (loop thread or response senders).
+  // Relaxed increments are enough — stats() reads each field relaxed and
+  // the result is per-field exact, merely not a cross-field atomic cut.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_closed{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> requests_decoded{0};
+    std::atomic<std::uint64_t> responses_sent{0};
+    std::atomic<std::uint64_t> stats_requests{0};
+    std::atomic<std::uint64_t> trace_requests{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> slow_consumer_drops{0};
+  };
+
   struct Conn {
+    // ---- Loop-owned state: only the event-loop thread touches these.
     int fd = -1;
-    std::uint32_t gen = 0;
-    bool open = false;
     FrameDecoder decoder;
-    // Outbound bytes; guarded by NetServer::Impl::mutex (written by engine
-    // worker threads via send_response, drained by the event loop).
-    std::vector<std::uint8_t> outbound;
-    std::size_t out_offset = 0;
+    /// Drain pair: `front` is being written (from front_off), `back`
+    /// overflows behind it.  writev() chains both in one syscall.
+    std::vector<std::uint8_t> front;
+    std::size_t front_off = 0;
+    std::vector<std::uint8_t> back;
+
+    // ---- Cross-thread surface.  stage_mu guards `staged` plus the
+    // open/gen identity transitions, so a sender that observes open under
+    // the lock cannot leak bytes into a recycled slot: close_conn flips
+    // open/gen under the same lock before clearing staged.
+    std::mutex stage_mu;
+    std::vector<std::uint8_t> staged;
+    bool open = false;
+    std::uint32_t gen = 0;
+    /// Clean->dirty edge triggers one self-pipe wake; the loop exchanges
+    /// it back to false before splicing so no staging is ever missed.
+    std::atomic<bool> stage_dirty{false};
   };
 
   ServerConfig config;
   RequestHandler on_request;
+  RequestBatchHandler on_batch;
   StatsHandler on_stats;
   TraceHandler on_trace;
 
   int listen_fd = -1;
   int wake_read = -1;
   int wake_write = -1;
+#if defined(RLB_NET_USE_EPOLL)
+  int epoll_fd = -1;
+#endif
   std::thread loop_thread;
   std::atomic<bool> running{false};
   std::atomic<bool> stopping{false};
-  std::atomic<std::uint64_t> flush_deadline_ms{0};
 
-  // Guards every Conn's open/gen/outbound plus the stats block: the event
-  // loop and the engine's shard workers both touch them.  All critical
-  // sections are short (slot lookup + buffer append/drain bookkeeping).
-  mutable std::mutex mutex;
-  std::vector<Conn> conns;
-  ServerStats stats;
+  /// Fixed at start(): slots never reallocate, so sender threads can
+  /// index without a container lock (per-slot stage_mu is the only one).
+  std::vector<std::unique_ptr<Conn>> conns;
+  /// Loop-private free-slot stack.
+  std::vector<std::size_t> free_slots;
+
+  AtomicStats stats;
+  /// Outbound bytes accepted but not yet written (staged + front/back).
+  /// Senders add under stage_mu; the loop subtracts what it writes or
+  /// drops.  Drives the graceful-stop flush without scanning conns.
+  std::atomic<std::int64_t> pending_out{0};
+  /// True only while the loop is (about to be) blocked in epoll/poll.
+  /// Senders skip the wake-pipe syscall when the loop is awake anyway —
+  /// under load that removes a write+read syscall pair per splice cycle.
+  /// Dekker pairing (both seq_cst): the sender stores stage_dirty then
+  /// loads loop_asleep; the loop stores loop_asleep then re-scans
+  /// stage_dirty before sleeping, so a staged response is either seen by
+  /// that final scan or its sender sees loop_asleep and wakes the pipe.
+  std::atomic<bool> loop_asleep{false};
 
   // Event-loop-private scratch.
+  std::vector<ServerRequest> batch;
+#if !defined(RLB_NET_USE_EPOLL)
   std::vector<pollfd> pollfds;
   std::vector<std::size_t> poll_slots;
-  std::vector<std::uint8_t> payload;
+#endif
 
   void wake() {
     const char byte = 1;
     [[maybe_unused]] const ssize_t n = ::write(wake_write, &byte, 1);
   }
 
+  bool loop_open(std::size_t slot) const { return conns[slot]->fd >= 0; }
+
   void close_conn(std::size_t slot, bool error) {
-    std::lock_guard lock(mutex);
-    Conn& conn = conns[slot];
-    if (!conn.open) return;
-    ::close(conn.fd);
+    Conn& conn = *conns[slot];
+    if (conn.fd < 0) return;
+    std::int64_t dropped = 0;
+    {
+      std::lock_guard lock(conn.stage_mu);
+      conn.open = false;
+      ++conn.gen;
+      dropped += static_cast<std::int64_t>(conn.staged.size());
+      trim_buffer(conn.staged);
+    }
+    conn.stage_dirty.store(false, std::memory_order_relaxed);
+    dropped += static_cast<std::int64_t>(conn.front.size() - conn.front_off) +
+               static_cast<std::int64_t>(conn.back.size());
+    if (dropped != 0) pending_out.fetch_sub(dropped, std::memory_order_relaxed);
+    ::close(conn.fd);  // also deregisters from epoll
     conn.fd = -1;
-    conn.open = false;
-    ++conn.gen;
-    conn.outbound.clear();
-    conn.out_offset = 0;
-    // Reset framing state for the slot's next tenant.
-    conn.decoder = FrameDecoder();
-    ++stats.connections_closed;
+    trim_buffer(conn.front);
+    conn.front_off = 0;
+    trim_buffer(conn.back);
+    conn.decoder.reset();
+    free_slots.push_back(slot);
+    stats.connections_closed.fetch_add(1, std::memory_order_relaxed);
     // Protocol errors are counted at their detection sites; `error` only
     // labels the trace event.
     RLB_TRACE_EVENT(obs::EventKind::kNet,
@@ -105,31 +186,47 @@ struct NetServer::Impl {
         if (errno == EINTR) continue;
         return;
       }
+      if (free_slots.empty()) {
+        ::close(fd);
+        continue;
+      }
       set_nonblocking(fd);
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      std::lock_guard lock(mutex);
-      std::size_t slot = conns.size();
-      for (std::size_t i = 0; i < conns.size(); ++i) {
-        if (!conns[i].open) {
-          slot = i;
-          break;
-        }
+      if (config.sndbuf > 0) {
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config.sndbuf,
+                     sizeof(config.sndbuf));
       }
-      if (slot == conns.size()) {
-        if (conns.size() >= config.max_connections) {
-          ::close(fd);
-          continue;
-        }
-        conns.emplace_back();
-      }
-      Conn& conn = conns[slot];
+      const std::size_t slot = free_slots.back();
+      free_slots.pop_back();
+      Conn& conn = *conns[slot];
       conn.fd = fd;
-      conn.open = true;
-      ++stats.connections_accepted;
+      conn.front_off = 0;
+      {
+        std::lock_guard lock(conn.stage_mu);
+        conn.staged.clear();
+        conn.open = true;
+      }
+      conn.stage_dirty.store(false, std::memory_order_relaxed);
+#if defined(RLB_NET_USE_EPOLL)
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+      ev.data.u64 = static_cast<std::uint64_t>(slot);
+      if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        close_conn(slot, /*error=*/true);
+        continue;
+      }
+#endif
+      stats.connections_accepted.fetch_add(1, std::memory_order_relaxed);
       accept_counter.add();
       RLB_TRACE_EVENT(obs::EventKind::kNet, "net.accept", slot, conn.gen);
     }
+  }
+
+  void flush_batch() {
+    if (batch.empty()) return;
+    on_batch(batch.data(), batch.size());
+    batch.clear();
   }
 
   /// Drain readable bytes, reassemble frames, dispatch requests.  Returns
@@ -138,45 +235,60 @@ struct NetServer::Impl {
     static obs::Counter request_counter("net.requests");
     static obs::Counter protocol_error_counter("net.protocol_errors");
     static obs::Histogram decode_hist("net.decode_ns");
-    Conn& conn = conns[slot];
+    Conn& conn = *conns[slot];
+    bool keep = true;
     std::uint8_t buffer[16384];
-    for (;;) {
+    while (keep) {
       const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
-      if (n == 0) return false;  // clean EOF
+      if (n == 0) {  // clean EOF
+        keep = false;
+        break;
+      }
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         if (errno == EINTR) continue;
-        return false;
+        keep = false;
+        break;
       }
-      {
-        std::lock_guard lock(mutex);
-        stats.bytes_in += static_cast<std::uint64_t>(n);
-      }
+      stats.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                               std::memory_order_relaxed);
       obs::ObsTimer decode_timer("net.decode",
                                  obs::enabled() ? &decode_hist : nullptr,
                                  slot);
       if (!conn.decoder.feed(buffer, static_cast<std::size_t>(n))) {
         protocol_error_counter.add();
         RLB_TRACE_EVENT(obs::EventKind::kNet, "net.bad_frame", slot, 0);
-        std::lock_guard lock(mutex);
-        ++stats.protocol_errors;
-        return false;
+        stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        keep = false;
+        break;
       }
       const std::uint64_t token = make_token(slot, conn.gen);
-      while (conn.decoder.next(payload)) {
+      FrameView payload;
+      while (conn.decoder.next_view(payload)) {
         RequestMsg request;
         ResponseMsg response;
         StatsRequestMsg stats_request;
         TraceRequestMsg trace_request;
-        const Decoded decoded = decode_payload(payload.data(), payload.size(),
+        const Decoded decoded = decode_payload(payload.data, payload.size,
                                                request, response,
                                                stats_request, trace_request);
+        if (decoded == Decoded::kRequest) {
+          stats.requests_decoded.fetch_add(1, std::memory_order_relaxed);
+          request_counter.add();
+          if (on_batch) {
+            batch.push_back(ServerRequest{token, request});
+          } else {
+            on_request(token, request);
+          }
+          continue;
+        }
+        // Admin frames are rare; flush buffered requests first so the
+        // per-connection order (requests before a subsequent admin frame)
+        // is preserved for the handler.
+        flush_batch();
         if (decoded == Decoded::kStats && on_stats) {
           static obs::Counter stats_counter("net.stats_requests");
-          {
-            std::lock_guard lock(mutex);
-            ++stats.stats_requests;
-          }
+          stats.stats_requests.fetch_add(1, std::memory_order_relaxed);
           stats_counter.add();
           RLB_TRACE_EVENT(obs::EventKind::kNet, "net.stats", slot,
                           stats_request.flags);
@@ -185,82 +297,196 @@ struct NetServer::Impl {
         }
         if (decoded == Decoded::kTrace && on_trace) {
           static obs::Counter trace_counter("net.trace_requests");
-          {
-            std::lock_guard lock(mutex);
-            ++stats.trace_requests;
-          }
+          stats.trace_requests.fetch_add(1, std::memory_order_relaxed);
           trace_counter.add();
           RLB_TRACE_EVENT(obs::EventKind::kNet, "net.trace", slot,
                           trace_request.flags);
           on_trace(token, trace_request);
           continue;
         }
-        if (decoded != Decoded::kRequest) {
-          // Clients may only send REQUEST frames (plus STATS/TRACE when
-          // the daemon installed an admin handler).
-          protocol_error_counter.add();
-          RLB_TRACE_EVENT(obs::EventKind::kNet, "net.bad_message", slot,
-                          payload.empty() ? 0 : payload[0]);
-          std::lock_guard lock(mutex);
-          ++stats.protocol_errors;
-          return false;
-        }
-        {
-          std::lock_guard lock(mutex);
-          ++stats.requests_decoded;
-        }
-        request_counter.add();
-        on_request(token, request);
-      }
-      if (conn.decoder.error()) {
+        // Clients may only send REQUEST frames (plus STATS/TRACE when
+        // the daemon installed an admin handler).
         protocol_error_counter.add();
-        std::lock_guard lock(mutex);
-        ++stats.protocol_errors;
-        return false;
+        RLB_TRACE_EVENT(obs::EventKind::kNet, "net.bad_message", slot,
+                        payload.size == 0 ? 0 : payload.data[0]);
+        stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        keep = false;
+        break;
+      }
+      if (keep && conn.decoder.error()) {
+        protocol_error_counter.add();
+        stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        keep = false;
       }
     }
-    return true;
+    flush_batch();
+    return keep;
   }
 
-  /// Write as much pending outbound as the socket accepts.  Returns false
-  /// on a fatal write error.
-  bool write_ready(std::size_t slot) {
-    std::lock_guard lock(mutex);
-    Conn& conn = conns[slot];
-    if (!conn.open) return true;
-    while (conn.out_offset < conn.outbound.size()) {
-      const ssize_t n =
-          ::write(conn.fd, conn.outbound.data() + conn.out_offset,
-                  conn.outbound.size() - conn.out_offset);
+  /// writev() the loop-owned drain pair until empty or EAGAIN.  Never
+  /// holds a lock.  Returns false on a fatal write error.
+  bool flush_writes(std::size_t slot) {
+    Conn& conn = *conns[slot];
+    while (conn.front_off < conn.front.size() || !conn.back.empty()) {
+      if (conn.front_off == conn.front.size()) {
+        conn.front.clear();
+        conn.front_off = 0;
+        conn.front.swap(conn.back);
+      }
+      iovec iov[2];
+      int iov_count = 1;
+      iov[0].iov_base = conn.front.data() + conn.front_off;
+      iov[0].iov_len = conn.front.size() - conn.front_off;
+      if (!conn.back.empty()) {
+        iov[1].iov_base = conn.back.data();
+        iov[1].iov_len = conn.back.size();
+        iov_count = 2;
+      }
+      // sendmsg instead of writev purely for MSG_NOSIGNAL: a mid-write
+      // disconnect must surface as EPIPE, not SIGPIPE.
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<std::size_t>(iov_count);
+      const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
         if (errno == EINTR) continue;
         return false;
       }
-      conn.out_offset += static_cast<std::size_t>(n);
-      stats.bytes_out += static_cast<std::uint64_t>(n);
+      stats.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+      pending_out.fetch_sub(n, std::memory_order_relaxed);
+      std::size_t advance = static_cast<std::size_t>(n);
+      const std::size_t front_remaining = conn.front.size() - conn.front_off;
+      if (advance >= front_remaining) {
+        advance -= front_remaining;
+        conn.front.clear();
+        conn.front.swap(conn.back);
+        conn.front_off = advance;
+      } else {
+        conn.front_off += advance;
+      }
     }
-    conn.outbound.clear();
-    conn.out_offset = 0;
     return true;
   }
 
-  bool any_outbound() const {
-    std::lock_guard lock(mutex);
-    for (const Conn& conn : conns) {
-      if (conn.open && conn.out_offset < conn.outbound.size()) return true;
+  /// Splice staged bytes into the drain pair (vector swap when possible),
+  /// enforce the slow-consumer cap, then flush.  Returns false when the
+  /// connection must close.
+  bool service_outbound(std::size_t slot) {
+    static obs::Counter slow_consumer_counter("net.slow_consumer");
+    Conn& conn = *conns[slot];
+    if (conn.stage_dirty.exchange(false, std::memory_order_acq_rel)) {
+      std::lock_guard lock(conn.stage_mu);
+      if (!conn.staged.empty()) {
+        if (conn.front.empty()) {
+          conn.front_off = 0;
+          conn.front.swap(conn.staged);
+        } else if (conn.back.empty()) {
+          conn.back.swap(conn.staged);
+        } else {
+          conn.back.insert(conn.back.end(), conn.staged.begin(),
+                           conn.staged.end());
+          conn.staged.clear();
+        }
+      }
     }
-    return false;
+    const std::size_t queued =
+        (conn.front.size() - conn.front_off) + conn.back.size();
+    if (config.max_outbound_bytes > 0 && queued > config.max_outbound_bytes) {
+      stats.slow_consumer_drops.fetch_add(1, std::memory_order_relaxed);
+      slow_consumer_counter.add();
+      RLB_TRACE_EVENT(obs::EventKind::kNet, "net.slow_consumer", slot,
+                      static_cast<std::uint64_t>(queued));
+      return false;
+    }
+    return flush_writes(slot);
   }
 
+  /// Post-events pass: splice/flush every connection flagged dirty by a
+  /// sender since the last pass.
+  void service_dirty() {
+    for (std::size_t slot = 0; slot < conns.size(); ++slot) {
+      Conn& conn = *conns[slot];
+      if (conn.fd < 0) continue;
+      if (!conn.stage_dirty.load(std::memory_order_relaxed)) continue;
+      if (!service_outbound(slot)) close_conn(slot, /*error=*/false);
+    }
+  }
+
+  void drain_wake_pipe() {
+    std::uint8_t drain[256];
+    while (::read(wake_read, drain, sizeof(drain)) > 0) {
+    }
+  }
+
+  /// Publish intent to sleep, then re-scan dirty flags (see loop_asleep).
+  /// Returns the poll/epoll timeout to use: 0 when staged output is
+  /// already waiting, the idle timeout otherwise.
+  int arm_sleep(int idle_timeout_ms) {
+    loop_asleep.store(true, std::memory_order_seq_cst);
+    for (const auto& conn : conns) {
+      if (conn->fd >= 0 &&
+          conn->stage_dirty.load(std::memory_order_relaxed)) {
+        loop_asleep.store(false, std::memory_order_relaxed);
+        return 0;
+      }
+    }
+    return idle_timeout_ms;
+  }
+
+  void handle_conn_event(std::size_t slot, bool had_error, bool writable,
+                         bool readable) {
+    if (!loop_open(slot)) return;
+    bool ok = !had_error;
+    if (ok && writable) ok = service_outbound(slot);
+    if (ok && readable) ok = read_ready(slot);
+    if (!ok) close_conn(slot, /*error=*/false);
+  }
+
+#if defined(RLB_NET_USE_EPOLL)
+  void run_loop() {
+    constexpr std::uint64_t kWakeTag = UINT64_MAX;
+    constexpr std::uint64_t kListenTag = UINT64_MAX - 1;
+    std::vector<epoll_event> events(512);
+    while (running.load(std::memory_order_acquire)) {
+      const bool draining = stopping.load(std::memory_order_acquire);
+      if (draining && pending_out.load(std::memory_order_acquire) <= 0) break;
+      const int timeout = arm_sleep(100);
+      const int ready = ::epoll_wait(epoll_fd, events.data(),
+                                     static_cast<int>(events.size()), timeout);
+      loop_asleep.store(false, std::memory_order_seq_cst);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < ready; ++i) {
+        const epoll_event& ev = events[i];
+        if (ev.data.u64 == kWakeTag) {
+          drain_wake_pipe();
+          continue;
+        }
+        if (ev.data.u64 == kListenTag) {
+          if (!draining) accept_ready();
+          continue;
+        }
+        const auto slot = static_cast<std::size_t>(ev.data.u64);
+        handle_conn_event(slot,
+                          (ev.events & EPOLLERR) != 0,
+                          (ev.events & EPOLLOUT) != 0,
+                          (ev.events & (EPOLLIN | EPOLLHUP | EPOLLRDHUP)) != 0);
+      }
+      service_dirty();
+    }
+    close_all();
+  }
+#else
   void run_loop() {
     while (running.load(std::memory_order_acquire)) {
       const bool draining = stopping.load(std::memory_order_acquire);
-      if (draining) {
-        // Flush phase: exit once everything pending went out (or the
-        // stop() deadline passed — checked by stop() via running).
-        if (!any_outbound()) break;
-      }
+      if (draining && pending_out.load(std::memory_order_acquire) <= 0) break;
+      // Splice before arming so POLLOUT reflects true pending state.
+      service_dirty();
       pollfds.clear();
       poll_slots.clear();
       if (!draining) {
@@ -269,19 +495,20 @@ struct NetServer::Impl {
       }
       pollfds.push_back({wake_read, POLLIN, 0});
       poll_slots.push_back(SIZE_MAX);
-      {
-        std::lock_guard lock(mutex);
-        for (std::size_t i = 0; i < conns.size(); ++i) {
-          const Conn& conn = conns[i];
-          if (!conn.open) continue;
-          short events = POLLIN;
-          if (conn.out_offset < conn.outbound.size()) events |= POLLOUT;
-          pollfds.push_back({conn.fd, events, 0});
-          poll_slots.push_back(i);
+      for (std::size_t i = 0; i < conns.size(); ++i) {
+        const Conn& conn = *conns[i];
+        if (conn.fd < 0) continue;
+        short events = POLLIN;
+        if (conn.front_off < conn.front.size() || !conn.back.empty()) {
+          events |= POLLOUT;
         }
+        pollfds.push_back({conn.fd, events, 0});
+        poll_slots.push_back(i);
       }
+      const int timeout = arm_sleep(100);
       const int ready = ::poll(pollfds.data(),
-                               static_cast<nfds_t>(pollfds.size()), 100);
+                               static_cast<nfds_t>(pollfds.size()), timeout);
+      loop_asleep.store(false, std::memory_order_seq_cst);
       if (ready < 0) {
         if (errno == EINTR) continue;
         break;
@@ -290,33 +517,27 @@ struct NetServer::Impl {
         const pollfd& pfd = pollfds[i];
         if (pfd.revents == 0) continue;
         if (pfd.fd == wake_read) {
-          std::uint8_t drain[256];
-          while (::read(wake_read, drain, sizeof(drain)) > 0) {
-          }
+          drain_wake_pipe();
           continue;
         }
         if (pfd.fd == listen_fd) {
           accept_ready();
           continue;
         }
-        const std::size_t slot = poll_slots[i];
-        bool ok = true;
-        if (pfd.revents & (POLLERR | POLLNVAL)) ok = false;
-        if (ok && (pfd.revents & POLLOUT)) ok = write_ready(slot);
-        if (ok && (pfd.revents & (POLLIN | POLLHUP))) ok = read_ready(slot);
-        if (!ok) close_conn(slot, /*error=*/false);
+        handle_conn_event(poll_slots[i],
+                          (pfd.revents & (POLLERR | POLLNVAL)) != 0,
+                          (pfd.revents & POLLOUT) != 0,
+                          (pfd.revents & (POLLIN | POLLHUP)) != 0);
       }
+      service_dirty();
     }
-    // Loop exit: close every socket.
-    std::lock_guard lock(mutex);
-    for (Conn& conn : conns) {
-      if (conn.open) {
-        ::close(conn.fd);
-        conn.fd = -1;
-        conn.open = false;
-        ++conn.gen;
-        ++stats.connections_closed;
-      }
+    close_all();
+  }
+#endif
+
+  void close_all() {
+    for (std::size_t slot = 0; slot < conns.size(); ++slot) {
+      if (loop_open(slot)) close_conn(slot, /*error=*/false);
     }
   }
 };
@@ -378,6 +599,38 @@ void NetServer::start() {
   set_nonblocking(impl_->wake_read);
   set_nonblocking(impl_->wake_write);
 
+  // Fixed slot table: tokens index it lock-free, so it must never grow.
+  if (impl_->conns.empty()) {
+    impl_->conns.reserve(impl_->config.max_connections);
+    for (std::size_t i = 0; i < impl_->config.max_connections; ++i) {
+      impl_->conns.push_back(std::make_unique<Impl::Conn>());
+    }
+  }
+  impl_->free_slots.clear();
+  for (std::size_t i = impl_->conns.size(); i > 0; --i) {
+    impl_->free_slots.push_back(i - 1);
+  }
+
+#if defined(RLB_NET_USE_EPOLL)
+  impl_->epoll_fd = ::epoll_create1(0);
+  if (impl_->epoll_fd < 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    ::close(impl_->wake_read);
+    ::close(impl_->wake_write);
+    impl_->wake_read = impl_->wake_write = -1;
+    throw std::runtime_error("NetServer: epoll_create1 failed");
+  }
+  epoll_event wake_ev{};
+  wake_ev.events = EPOLLIN | EPOLLET;
+  wake_ev.data.u64 = UINT64_MAX;
+  ::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->wake_read, &wake_ev);
+  epoll_event listen_ev{};
+  listen_ev.events = EPOLLIN | EPOLLET;
+  listen_ev.data.u64 = UINT64_MAX - 1;
+  ::epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->listen_fd, &listen_ev);
+#endif
+
   impl_->running.store(true, std::memory_order_release);
   impl_->stopping.store(false, std::memory_order_release);
   impl_->loop_thread = std::thread([this] { impl_->run_loop(); });
@@ -391,7 +644,7 @@ void NetServer::stop(std::uint64_t flush_timeout_ms) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(flush_timeout_ms);
   while (std::chrono::steady_clock::now() < deadline) {
-    if (!impl_->any_outbound()) break;
+    if (impl_->pending_out.load(std::memory_order_acquire) <= 0) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   impl_->running.store(false, std::memory_order_release);
@@ -406,6 +659,12 @@ void NetServer::stop(std::uint64_t flush_timeout_ms) {
     ::close(impl_->wake_write);
     impl_->wake_read = impl_->wake_write = -1;
   }
+#if defined(RLB_NET_USE_EPOLL)
+  if (impl_->epoll_fd >= 0) {
+    ::close(impl_->epoll_fd);
+    impl_->epoll_fd = -1;
+  }
+#endif
 }
 
 bool NetServer::send_response(std::uint64_t conn_token,
@@ -413,21 +672,32 @@ bool NetServer::send_response(std::uint64_t conn_token,
   static obs::Counter response_counter("net.responses");
   const std::size_t slot = static_cast<std::size_t>(conn_token & 0xffffffffu);
   const auto gen = static_cast<std::uint32_t>(conn_token >> 32);
-  bool need_wake = false;
+  if (slot >= impl_->conns.size()) return false;
+  Impl::Conn& conn = *impl_->conns[slot];
   {
-    std::lock_guard lock(impl_->mutex);
-    if (slot >= impl_->conns.size()) return false;
-    Impl::Conn& conn = impl_->conns[slot];
+    std::lock_guard lock(conn.stage_mu);
     if (!conn.open || conn.gen != gen) return false;
-    need_wake = conn.out_offset >= conn.outbound.size();
-    encode_response(response, conn.outbound);
-    ++impl_->stats.responses_sent;
+    const std::size_t before = conn.staged.size();
+    encode_response(response, conn.staged);
+    impl_->pending_out.fetch_add(
+        static_cast<std::int64_t>(conn.staged.size() - before),
+        std::memory_order_relaxed);
   }
+  impl_->stats.responses_sent.fetch_add(1, std::memory_order_relaxed);
   response_counter.add();
-  // Only the empty -> non-empty transition needs a wake: once armed, the
-  // loop keeps POLLOUT until the buffer drains.
-  if (need_wake) impl_->wake();
+  // Only the clean -> dirty edge needs a wake (the loop re-arms the flag
+  // before splicing), and only when the loop is actually blocked — an
+  // awake loop re-scans dirty flags before its next sleep (seq_cst
+  // pairing documented at loop_asleep).
+  if (!conn.stage_dirty.exchange(true, std::memory_order_seq_cst) &&
+      impl_->loop_asleep.load(std::memory_order_seq_cst)) {
+    impl_->wake();
+  }
   return true;
+}
+
+void NetServer::set_request_batch_handler(RequestBatchHandler on_batch) {
+  impl_->on_batch = std::move(on_batch);
 }
 
 void NetServer::set_stats_handler(StatsHandler on_stats) {
@@ -436,20 +706,26 @@ void NetServer::set_stats_handler(StatsHandler on_stats) {
 
 bool NetServer::send_stats(std::uint64_t conn_token,
                            const StatsSnapshot& snapshot) {
-  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> payload = global_buffer_pool().acquire();
   encode_stats_payload(snapshot, payload);
   const std::size_t slot = static_cast<std::size_t>(conn_token & 0xffffffffu);
   const auto gen = static_cast<std::uint32_t>(conn_token >> 32);
-  bool need_wake = false;
+  if (slot >= impl_->conns.size()) return false;
+  Impl::Conn& conn = *impl_->conns[slot];
   {
-    std::lock_guard lock(impl_->mutex);
-    if (slot >= impl_->conns.size()) return false;
-    Impl::Conn& conn = impl_->conns[slot];
+    std::lock_guard lock(conn.stage_mu);
     if (!conn.open || conn.gen != gen) return false;
-    need_wake = conn.out_offset >= conn.outbound.size();
-    if (!encode_stats_response_frame(payload, conn.outbound)) return false;
+    const std::size_t before = conn.staged.size();
+    if (!encode_stats_response_frame(payload, conn.staged)) return false;
+    impl_->pending_out.fetch_add(
+        static_cast<std::int64_t>(conn.staged.size() - before),
+        std::memory_order_relaxed);
   }
-  if (need_wake) impl_->wake();
+  global_buffer_pool().release(std::move(payload));
+  if (!conn.stage_dirty.exchange(true, std::memory_order_seq_cst) &&
+      impl_->loop_asleep.load(std::memory_order_seq_cst)) {
+    impl_->wake();
+  }
   return true;
 }
 
@@ -459,26 +735,45 @@ void NetServer::set_trace_handler(TraceHandler on_trace) {
 
 bool NetServer::send_trace(std::uint64_t conn_token,
                            const TraceSnapshot& snapshot) {
-  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> payload = global_buffer_pool().acquire();
   encode_trace_payload(snapshot, payload);
   const std::size_t slot = static_cast<std::size_t>(conn_token & 0xffffffffu);
   const auto gen = static_cast<std::uint32_t>(conn_token >> 32);
-  bool need_wake = false;
+  if (slot >= impl_->conns.size()) return false;
+  Impl::Conn& conn = *impl_->conns[slot];
   {
-    std::lock_guard lock(impl_->mutex);
-    if (slot >= impl_->conns.size()) return false;
-    Impl::Conn& conn = impl_->conns[slot];
+    std::lock_guard lock(conn.stage_mu);
     if (!conn.open || conn.gen != gen) return false;
-    need_wake = conn.out_offset >= conn.outbound.size();
-    if (!encode_trace_response_frame(payload, conn.outbound)) return false;
+    const std::size_t before = conn.staged.size();
+    if (!encode_trace_response_frame(payload, conn.staged)) return false;
+    impl_->pending_out.fetch_add(
+        static_cast<std::int64_t>(conn.staged.size() - before),
+        std::memory_order_relaxed);
   }
-  if (need_wake) impl_->wake();
+  global_buffer_pool().release(std::move(payload));
+  if (!conn.stage_dirty.exchange(true, std::memory_order_seq_cst) &&
+      impl_->loop_asleep.load(std::memory_order_seq_cst)) {
+    impl_->wake();
+  }
   return true;
 }
 
 ServerStats NetServer::stats() const {
-  std::lock_guard lock(impl_->mutex);
-  return impl_->stats;
+  const Impl::AtomicStats& a = impl_->stats;
+  ServerStats out;
+  out.connections_accepted =
+      a.connections_accepted.load(std::memory_order_relaxed);
+  out.connections_closed = a.connections_closed.load(std::memory_order_relaxed);
+  out.protocol_errors = a.protocol_errors.load(std::memory_order_relaxed);
+  out.requests_decoded = a.requests_decoded.load(std::memory_order_relaxed);
+  out.responses_sent = a.responses_sent.load(std::memory_order_relaxed);
+  out.stats_requests = a.stats_requests.load(std::memory_order_relaxed);
+  out.trace_requests = a.trace_requests.load(std::memory_order_relaxed);
+  out.bytes_in = a.bytes_in.load(std::memory_order_relaxed);
+  out.bytes_out = a.bytes_out.load(std::memory_order_relaxed);
+  out.slow_consumer_drops =
+      a.slow_consumer_drops.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace rlb::net

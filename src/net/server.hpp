@@ -2,16 +2,27 @@
 //
 // One event-loop thread owns every socket: it accepts connections, reads
 // and reassembles frames (net/wire.hpp), and hands decoded REQUEST
-// messages to the registered handler.  Responses are pushed from OTHER
-// threads (the engine's shard workers) through send_response(), which
-// appends to the connection's outbound buffer and wakes the loop through a
-// self-pipe; the loop then drives the non-blocking writes.  This is the
-// classic single-reactor shape: all socket state is loop-owned, the only
-// cross-thread surface is the outbound buffers behind one mutex.
+// messages to the registered handler.  The readiness loop is epoll
+// edge-triggered on Linux (a portable poll() fallback sits behind the
+// RLB_NET_EPOLL CMake option); read, accept and write paths all drain to
+// EAGAIN as edge-triggering requires.
+//
+// There is no global lock on the data path.  Responses are pushed from
+// OTHER threads (the engine's shard workers) through send_response(),
+// which appends to a small per-connection staging buffer under that
+// connection's own mutex, flags the connection dirty, and wakes the loop
+// through a self-pipe on the clean->dirty edge.  The loop splices staged
+// bytes into loop-owned front/back drain buffers (a vector swap — no
+// copy) and writes them with writev() iovec chaining, never holding any
+// lock across a syscall.  Server counters are relaxed per-field atomics
+// aggregated by stats().
 //
 // Connections are addressed by opaque 64-bit tokens (slot index + a
 // generation counter), so a late response for a connection that already
-// closed is dropped instead of reaching a recycled socket.
+// closed is dropped instead of reaching a recycled socket.  A connection
+// whose pending outbound bytes exceed ServerConfig::max_outbound_bytes
+// (a stalled or slow-reading client) is disconnected and counted as a
+// slow-consumer drop instead of growing its buffer without bound.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +42,13 @@ struct ServerConfig {
   std::uint16_t port = 0;
   /// Concurrent connection cap; accepts beyond it are closed immediately.
   std::size_t max_connections = 256;
+  /// Backpressure cap: a connection whose queued outbound bytes (staged +
+  /// not yet written) exceed this is closed and counted in
+  /// slow_consumer_drops.  0 disables the cap.
+  std::size_t max_outbound_bytes = 8u << 20;
+  /// SO_SNDBUF override for accepted sockets; 0 keeps the OS default.
+  /// Mainly a test hook for forcing partial writes.
+  int sndbuf = 0;
 };
 
 struct ServerStats {
@@ -46,11 +64,29 @@ struct ServerStats {
   std::uint64_t trace_requests = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  /// Connections dropped for exceeding max_outbound_bytes.
+  std::uint64_t slow_consumer_drops = 0;
 };
 
 /// Called on the event-loop thread for every decoded REQUEST frame.
 using RequestHandler =
     std::function<void(std::uint64_t conn_token, const RequestMsg& request)>;
+
+/// One decoded REQUEST with the connection it arrived on, for the batch
+/// handler form.
+struct ServerRequest {
+  std::uint64_t conn_token = 0;
+  RequestMsg msg;
+};
+
+/// Batch form of the request handler: called on the event-loop thread
+/// with every REQUEST decoded from one readable burst (across reads of
+/// one connection, flushed before any admin frame so ordering per
+/// connection is preserved).  When installed it replaces the per-request
+/// handler on the hot path, letting the engine take one queue lock per
+/// burst instead of one per frame.
+using RequestBatchHandler =
+    std::function<void(const ServerRequest* batch, std::size_t count)>;
 
 /// Called on the event-loop thread for every decoded STATS frame.  The
 /// handler answers with send_stats() (immediately or later); it must be
@@ -89,6 +125,10 @@ class NetServer {
   /// response is dropped).
   bool send_response(std::uint64_t conn_token, const ResponseMsg& response);
 
+  /// Install the batch request handler (see RequestBatchHandler).  Call
+  /// before start().  Takes precedence over the per-request handler.
+  void set_request_batch_handler(RequestBatchHandler on_batch);
+
   /// Install the STATS admin handler.  Call before start(); without one,
   /// inbound STATS frames are protocol errors (connection closed).
   void set_stats_handler(StatsHandler on_stats);
@@ -106,6 +146,8 @@ class NetServer {
   /// semantics as send_stats().
   bool send_trace(std::uint64_t conn_token, const TraceSnapshot& snapshot);
 
+  /// Aggregated from relaxed atomics; each field is individually
+  /// consistent but the snapshot is not a cross-field atomic cut.
   ServerStats stats() const;
 
  private:

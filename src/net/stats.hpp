@@ -12,6 +12,8 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -48,6 +50,44 @@ struct LatencyStats {
   /// Approximate quantile (0 < q < 1) from the log2 buckets: the upper
   /// edge of the bucket containing the q-th sample.  0 when empty.
   [[nodiscard]] double quantile_us(double q) const;
+};
+
+/// Concurrent counterpart of LatencyStats: hot paths record with relaxed
+/// atomics (no lock, no cache-line ping-pong beyond the counters
+/// themselves) and the scrape path folds the fields into a plain
+/// LatencyStats via merge_into().  Relaxed ordering means a snapshot may
+/// tear across fields (count updated, sum not yet) — fine for advisory
+/// telemetry, never used for control decisions.
+struct AtomicLatency {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum_us{0};
+  std::atomic<std::uint64_t> max_us{0};
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> buckets{};
+
+  void observe_us(std::uint64_t us) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    sum_us.fetch_add(us, std::memory_order_relaxed);
+    std::uint64_t prev = max_us.load(std::memory_order_relaxed);
+    while (us > prev &&
+           !max_us.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+    }
+    std::size_t bucket =
+        us <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(us) - 1);
+    if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
+    buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Accumulate this histogram into `out` (relaxed loads; max_us merges
+  /// as a max so several AtomicLatency sources can fold into one row).
+  void merge_into(LatencyStats& out) const {
+    out.count += count.load(std::memory_order_relaxed);
+    out.sum_us += sum_us.load(std::memory_order_relaxed);
+    const std::uint64_t m = max_us.load(std::memory_order_relaxed);
+    if (m > out.max_us) out.max_us = m;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+      out.buckets[i] += buckets[i].load(std::memory_order_relaxed);
+    }
+  }
 };
 
 /// One worker shard's counters.  Counters are cumulative since engine

@@ -4,17 +4,22 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "net/buffer_pool.hpp"
 
 namespace rlb::net {
 
@@ -23,18 +28,87 @@ struct UpstreamConn::Impl {
   UpstreamResponseFn on_response;
   UpstreamStateFn on_state;
 
-  // `mu` guards fd/up for writers; the reader thread is the only closer,
-  // and closes only under `mu`, so a writer holding the lock never races
-  // a close.  Reads happen outside the lock: concurrent read/write on one
-  // socket is fine, and the fd stays valid for the reader by construction
-  // (nobody else closes it).
+  // `mu` guards fd/up and the outbound queue.  The reader thread is the
+  // only closer; since the drain writer runs writev() OUTSIDE the lock,
+  // the reader first shutdown()s the socket (making in-flight writes fail
+  // fast) and waits for `writer_active` to clear before close(), so the
+  // fd number can never be recycled under a blocked writer.  Reads happen
+  // outside the lock: concurrent read/write on one socket is fine, and
+  // the fd stays valid for the reader by construction.
   mutable std::mutex mu;
-  std::condition_variable cv;  // interrupts backoff sleeps on stop()
+  std::condition_variable cv;  // interrupts backoff sleeps on stop(),
+                               // and signals writer_active clearing
   int fd = -1;
   bool up = false;
   bool running = false;
   std::atomic<std::uint64_t> dials{0};
   std::thread reader;
+
+  // Outbound frame queue: one pooled chunk per frame, drained by whichever
+  // sender finds no writer active.  Concurrent send_request() calls under
+  // contention thus batch into a single writev() iovec chain instead of
+  // serializing one syscall each.
+  std::deque<std::vector<std::uint8_t>> outq;
+  std::size_t outq_head_off = 0;  // bytes of outq.front() already written
+  bool writer_active = false;
+  std::vector<iovec> iov_scratch;
+
+  void clear_outq_locked() {
+    for (auto& chunk : outq) global_buffer_pool().release(std::move(chunk));
+    outq.clear();
+    outq_head_off = 0;
+  }
+
+  /// Drain the queue with writev() until empty, error, or drop.  `lock`
+  /// is held on entry and exit, released across each syscall.  The caller
+  /// owns writer_active.
+  bool drain_outq(std::unique_lock<std::mutex>& lock) {
+    constexpr std::size_t kMaxIov = 64;
+    while (up && !outq.empty()) {
+      iov_scratch.clear();
+      const std::size_t count = std::min(outq.size(), kMaxIov);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t off = (i == 0) ? outq_head_off : 0;
+        iov_scratch.push_back(
+            iovec{outq[i].data() + off, outq[i].size() - off});
+      }
+      const int s = fd;
+      lock.unlock();
+      // Blocking socket.  sendmsg instead of writev purely for
+      // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+      msghdr msg{};
+      msg.msg_iov = iov_scratch.data();
+      msg.msg_iovlen = count;
+      ssize_t n = ::sendmsg(s, &msg, MSG_NOSIGNAL);
+      lock.lock();
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // The reader will observe the same drop and fire on_state(false);
+        // queued frames die with the connection (the router re-forwards
+        // their hops from its pending table on the drop signal).
+        clear_outq_locked();
+        return false;
+      }
+      while (n > 0 && !outq.empty()) {
+        std::vector<std::uint8_t>& head = outq.front();
+        const std::size_t remaining = head.size() - outq_head_off;
+        if (static_cast<std::size_t>(n) >= remaining) {
+          n -= static_cast<ssize_t>(remaining);
+          outq_head_off = 0;
+          global_buffer_pool().release(std::move(head));
+          outq.pop_front();
+        } else {
+          outq_head_off += static_cast<std::size_t>(n);
+          n = 0;
+        }
+      }
+    }
+    if (!up) {
+      clear_outq_locked();
+      return false;
+    }
+    return true;
+  }
 
   int dial() {
     int s = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -83,10 +157,16 @@ struct UpstreamConn::Impl {
       read_until_drop(s);
       bool still_running;
       {
-        std::lock_guard<std::mutex> lock(mu);
+        std::unique_lock<std::mutex> lock(mu);
         up = false;
+        // Fail any in-flight writev fast, then wait for the writer to get
+        // off the fd before close(): closing under a blocked writer would
+        // let the kernel recycle the fd number mid-syscall.
+        ::shutdown(fd, SHUT_RDWR);
+        cv.wait(lock, [this] { return !writer_active; });
         ::close(fd);
         fd = -1;
+        clear_outq_locked();
         still_running = running;
       }
       if (on_state) on_state(false);
@@ -155,24 +235,55 @@ void UpstreamConn::stop() {
 
 bool UpstreamConn::send_request(std::uint64_t request_id, std::uint64_t key,
                                 const obs::TraceContext& trace) {
-  std::vector<std::uint8_t> frame;
-  frame.reserve(4 + kRequestTracedPayloadSize);
+  std::vector<std::uint8_t> frame = global_buffer_pool().acquire();
   encode_request(RequestMsg{request_id, key, trace}, frame);
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  if (!impl_->up) return false;
-  std::size_t offset = 0;
-  while (offset < frame.size()) {
-    const ssize_t n = ::send(impl_->fd, frame.data() + offset,
-                             frame.size() - offset, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      // The reader will observe the same drop and fire on_state(false);
-      // report the send as failed so the caller fails over now.
-      return false;
-    }
-    offset += static_cast<std::size_t>(n);
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  if (!impl_->up) {
+    lock.unlock();
+    global_buffer_pool().release(std::move(frame));
+    return false;
   }
+  impl_->outq.push_back(std::move(frame));
+  if (impl_->writer_active) {
+    // The active drainer's next writev batches this frame; report queued
+    // as sent.  If the drain then fails, the frame dies with the
+    // connection and the drop signal re-forwards its hop — same outcome
+    // as a frame lost in the kernel buffer of a dying socket.
+    return true;
+  }
+  impl_->writer_active = true;
+  const bool ok = impl_->drain_outq(lock);
+  impl_->writer_active = false;
+  impl_->cv.notify_all();  // the reader may be waiting to close the fd
+  return ok;
+}
+
+bool UpstreamConn::enqueue_request(std::uint64_t request_id, std::uint64_t key,
+                                   const obs::TraceContext& trace) {
+  std::vector<std::uint8_t> frame = global_buffer_pool().acquire();
+  encode_request(RequestMsg{request_id, key, trace}, frame);
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  if (!impl_->up) {
+    lock.unlock();
+    global_buffer_pool().release(std::move(frame));
+    return false;
+  }
+  impl_->outq.push_back(std::move(frame));
   return true;
+}
+
+bool UpstreamConn::flush() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  if (impl_->outq.empty() || impl_->writer_active || !impl_->up) {
+    // An active drainer's next iovec chain picks the queue up; a down
+    // connection cleared it already (or will, in the reader's teardown).
+    return impl_->up;
+  }
+  impl_->writer_active = true;
+  const bool ok = impl_->drain_outq(lock);
+  impl_->writer_active = false;
+  impl_->cv.notify_all();  // the reader may be waiting to close the fd
+  return ok;
 }
 
 bool UpstreamConn::connected() const {

@@ -60,6 +60,21 @@ class UpstreamConn {
   bool send_request(std::uint64_t request_id, std::uint64_t key,
                     const obs::TraceContext& trace = {});
 
+  /// Queue one REQUEST frame WITHOUT draining (thread-safe).  Returns
+  /// false when the connection is currently down.  Pair with flush(): a
+  /// caller forwarding a burst enqueues every frame, then drains the
+  /// whole queue in one writev chain instead of one syscall per frame.
+  /// A queued frame whose eventual write fails dies with the connection
+  /// and is recovered by the drop signal — identical to the fate of a
+  /// frame queued behind an active send_request() drainer.
+  bool enqueue_request(std::uint64_t request_id, std::uint64_t key,
+                       const obs::TraceContext& trace = {});
+
+  /// Drain queued frames (no-op when the queue is empty, another drainer
+  /// is active, or the connection is down).  Returns false when a write
+  /// error tore the connection down mid-drain.
+  bool flush();
+
   bool connected() const;
   /// Successful dials after the first (i.e. recoveries).
   std::uint64_t reconnects() const;

@@ -184,12 +184,34 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size,
                         trace_scratch);
 }
 
+void FrameDecoder::poison() noexcept {
+  // Sticky.  The buffered bytes become unreachable (buffered() reads zero,
+  // every accessor short-circuits) but are not shrunk here: a FrameView
+  // returned from the same call may still point into the buffer, so the
+  // storage is only reclaimed by reset() when the connection slot is
+  // recycled.
+  error_ = true;
+}
+
+void FrameDecoder::reset() noexcept {
+  buffer_.clear();
+  offset_ = 0;
+  error_ = false;
+}
+
 bool FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
   if (error_) return false;
-  // Compact once the consumed prefix dominates — amortized O(1) per byte.
-  if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+  if (offset_ != 0 && offset_ == buffer_.size()) {
+    // Fully drained: rewind with no copy, keeping the warmed-up capacity.
+    buffer_.clear();
+    offset_ = 0;
+  } else if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
+    // Compact once the consumed prefix dominates — amortized O(1) per
+    // byte.  memmove within the same storage keeps capacity, so the
+    // steady state appends into reserved space with no allocation.
+    const std::size_t live = buffer_.size() - offset_;
+    std::memmove(buffer_.data(), buffer_.data() + offset_, live);
+    buffer_.resize(live);
     offset_ = 0;
   }
   buffer_.insert(buffer_.end(), data, data + size);
@@ -198,34 +220,40 @@ bool FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
   if (buffer_.size() - offset_ >= 4) {
     const std::uint32_t length = get_u32(buffer_.data() + offset_);
     if (length == 0 || length > kMaxFramePayload) {
-      error_ = true;
+      poison();
       return false;
     }
   }
   return true;
 }
 
-bool FrameDecoder::next(std::vector<std::uint8_t>& out) {
+bool FrameDecoder::next_view(FrameView& out) {
   if (error_) return false;
   const std::size_t available = buffer_.size() - offset_;
   if (available < 4) return false;
   const std::uint32_t length = get_u32(buffer_.data() + offset_);
   if (length == 0 || length > kMaxFramePayload) {
-    error_ = true;
+    poison();
     return false;
   }
   if (available < 4 + static_cast<std::size_t>(length)) return false;
-  const std::uint8_t* payload = buffer_.data() + offset_ + 4;
-  out.assign(payload, payload + length);
+  out.data = buffer_.data() + offset_ + 4;
+  out.size = length;
   offset_ += 4 + static_cast<std::size_t>(length);
-  if (offset_ == buffer_.size()) {
-    buffer_.clear();
-    offset_ = 0;
-  } else if (buffer_.size() - offset_ >= 4) {
-    // Eager validation of the next frame header (see feed()).
+  if (buffer_.size() - offset_ >= 4) {
+    // Eager validation of the next frame header (see feed()).  poison()
+    // leaves the storage alone, so the view we are about to return stays
+    // valid even when the byte right behind it trips the error.
     const std::uint32_t next_length = get_u32(buffer_.data() + offset_);
-    if (next_length == 0 || next_length > kMaxFramePayload) error_ = true;
+    if (next_length == 0 || next_length > kMaxFramePayload) poison();
   }
+  return true;
+}
+
+bool FrameDecoder::next(std::vector<std::uint8_t>& out) {
+  FrameView view;
+  if (!next_view(view)) return false;
+  out.assign(view.data, view.data + view.size);
   return true;
 }
 

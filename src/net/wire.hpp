@@ -168,26 +168,56 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size,
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
                        RequestMsg& request, ResponseMsg& response);
 
+/// A complete frame payload viewed in place inside a FrameDecoder's
+/// buffer.  Valid only until the next feed()/next()/next_view()/reset()
+/// call on the decoder that produced it.
+struct FrameView {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
+
 /// Incremental frame reassembly over an arbitrary byte stream.
 ///
-/// feed() buffers bytes; next() pops complete payloads in order.  A frame
-/// with a zero or oversize length poisons the decoder (error() becomes
-/// true, feed() returns false) — the connection must be closed; framing
-/// cannot resynchronize.
+/// feed() buffers bytes; next()/next_view() pop complete payloads in
+/// order.  The buffer is consumed by advancing an offset and compacted
+/// with a capacity-retaining memmove only when the dead prefix dominates,
+/// so steady-state traffic does zero per-frame allocations after the
+/// buffer warms up.
+///
+/// A frame with a zero or oversize length poisons the decoder: error()
+/// becomes true, buffered bytes are dropped, and every subsequent feed(),
+/// next() and next_view() returns false — the error is sticky and framing
+/// cannot resynchronize; the connection must be closed.
 class FrameDecoder {
  public:
-  /// Buffer `size` bytes.  Returns false once the stream is poisoned.
+  /// Buffer `size` bytes.  Returns false once the stream is poisoned
+  /// (including when this very call trips the poison).
   bool feed(const std::uint8_t* data, std::size_t size);
 
   /// Pop the next complete payload into `out` (resized).  False when no
   /// complete frame is buffered (or the decoder is poisoned).
   bool next(std::vector<std::uint8_t>& out);
 
+  /// Zero-copy variant: point `out` at the next complete payload inside
+  /// the internal buffer.  The view is invalidated by the next call on
+  /// this decoder.  False when no complete frame is buffered (or the
+  /// decoder is poisoned).
+  bool next_view(FrameView& out);
+
+  /// Forget everything (buffered bytes and a sticky error), retaining the
+  /// buffer's capacity so a recycled decoder stays allocation-free.
+  void reset() noexcept;
+
   bool error() const noexcept { return error_; }
   /// Bytes buffered but not yet popped (length prefixes included).
-  std::size_t buffered() const noexcept { return buffer_.size() - offset_; }
+  /// Always zero once the decoder is poisoned.
+  std::size_t buffered() const noexcept {
+    return error_ ? 0 : buffer_.size() - offset_;
+  }
 
  private:
+  void poison() noexcept;
+
   std::vector<std::uint8_t> buffer_;
   std::size_t offset_ = 0;  // consumed prefix of buffer_
   bool error_ = false;

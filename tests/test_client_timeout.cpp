@@ -1,0 +1,99 @@
+// Regression test for the Client blocking-read deadline under EINTR.
+//
+// SO_RCVTIMEO restarts from scratch on every read() call, so a signal
+// storm arriving faster than the timeout used to extend a 100 ms read
+// budget indefinitely — each EINTR re-armed the full window.  The fix
+// computes one deadline per next_frame() call and re-arms only the
+// remaining slice after every interruption.  This test pounds the reading
+// thread with SIGUSR1 every ~20 ms (no SA_RESTART) against a server that
+// never responds, and asserts the read still times out near the
+// configured budget instead of hanging until the signals stop.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "net/client.hpp"
+
+namespace rlb::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+void sigusr1_noop(int) {}
+
+TEST(ClientTimeout, EintrDoesNotRestartDeadline) {
+  // A listener that accepts and then goes silent.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  // SIGUSR1 handler without SA_RESTART so blocking reads see EINTR.
+  struct sigaction sa {};
+  struct sigaction old_sa {};
+  sa.sa_handler = sigusr1_noop;
+  sa.sa_flags = 0;
+  sigemptyset(&sa.sa_mask);
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  Client client;
+  client.set_recv_timeout_ms(200);
+  client.connect("127.0.0.1", port);
+  const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(conn_fd, 0);
+
+  // Interrupting timer: signal the reading thread every ~20 ms — an order
+  // of magnitude faster than the 200 ms budget — for up to 2 s.
+  const pthread_t reader = ::pthread_self();
+  std::atomic<bool> stop{false};
+  std::thread interrupter([&] {
+    for (int i = 0; i < 100 && !stop.load(); ++i) {
+      std::this_thread::sleep_for(20ms);
+      ::pthread_kill(reader, SIGUSR1);
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  ResponseMsg response;
+  const ReadOutcome outcome = client.try_read_response(response);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  stop = true;
+  interrupter.join();
+  ::sigaction(SIGUSR1, &old_sa, nullptr);
+
+  EXPECT_EQ(outcome, ReadOutcome::kTimeout);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  // Must be at least (close to) the configured budget...
+  EXPECT_GE(elapsed_ms, 150);
+  // ...and nowhere near the 2 s the interrupter keeps firing for.  The
+  // broken behavior re-armed 200 ms on every 20 ms signal, so it could
+  // only return after the storm ended (~2.2 s).
+  EXPECT_LT(elapsed_ms, 1500);
+
+  ::close(conn_fd);
+  ::close(listen_fd);
+}
+
+}  // namespace
+}  // namespace rlb::net

@@ -1,0 +1,81 @@
+// UpstreamConn enqueue/flush regression tests: a burst of forwards
+// queued with enqueue_request() must all reach the backend after one
+// flush(), and enqueue on a down connection must refuse immediately.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "net/server.hpp"
+#include "net/upstream.hpp"
+#include "net/wire.hpp"
+
+namespace rlb::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Upstream, EnqueueThenFlushDeliversWholeBurst) {
+  ServerConfig config;
+  NetServer server(config,
+                   [&server](std::uint64_t token, const RequestMsg& request) {
+                     ResponseMsg msg;
+                     msg.request_id = request.request_id;
+                     msg.status = Status::kOk;
+                     server.send_response(token, msg);
+                   });
+  server.start();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::set<std::uint64_t> answered;
+  std::atomic<bool> up{false};
+  UpstreamConn conn(
+      UpstreamConfig{"127.0.0.1", server.port()},
+      [&](const ResponseMsg& msg) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          answered.insert(msg.request_id);
+        }
+        cv.notify_one();
+      },
+      [&](bool connected) { up.store(connected); });
+  conn.start();
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!up.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(up.load());
+
+  constexpr std::uint64_t kBurst = 500;
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(conn.enqueue_request(i, i * 7));
+  }
+  ASSERT_TRUE(conn.flush());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, 10s,
+                            [&] { return answered.size() == kBurst; }));
+  }
+  conn.stop();
+  server.stop();
+}
+
+TEST(Upstream, EnqueueRefusesWhenDown) {
+  // Point at a port nobody listens on: enqueue must fail fast (the
+  // caller's failover path relies on an immediate refusal, not a block).
+  UpstreamConn conn(UpstreamConfig{"127.0.0.1", 1},
+                    [](const ResponseMsg&) {}, nullptr);
+  conn.start();
+  EXPECT_FALSE(conn.enqueue_request(1, 1));
+  EXPECT_FALSE(conn.flush());
+  conn.stop();
+}
+
+}  // namespace
+}  // namespace rlb::net

@@ -148,6 +148,88 @@ TEST(Wire, PartialHeaderDoesNotPoison) {
   EXPECT_TRUE(decoder.next(payload));
 }
 
+TEST(Wire, MidStreamPoisonDeliversEarlierFrames) {
+  // Two valid frames followed by a zero-length header in one feed: both
+  // valid frames must come out, then the decoder poisons and stays
+  // poisoned for every later feed/next.
+  std::vector<std::uint8_t> wire;
+  encode_request(RequestMsg{1, 10}, wire);
+  encode_request(RequestMsg{2, 20}, wire);
+  wire.insert(wire.end(), {0, 0, 0, 0});
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size()));
+  std::vector<std::uint8_t> payload;
+  RequestMsg request;
+  ResponseMsg response;
+  ASSERT_TRUE(decoder.next(payload));
+  ASSERT_EQ(decode_payload(payload.data(), payload.size(), request, response),
+            Decoded::kRequest);
+  EXPECT_EQ(request.request_id, 1u);
+  ASSERT_TRUE(decoder.next(payload));
+  ASSERT_EQ(decode_payload(payload.data(), payload.size(), request, response),
+            Decoded::kRequest);
+  EXPECT_EQ(request.request_id, 2u);
+  EXPECT_FALSE(decoder.next(payload));
+  EXPECT_TRUE(decoder.error());
+  EXPECT_EQ(decoder.buffered(), 0u);  // poisoned: nothing is reachable
+  std::vector<std::uint8_t> valid;
+  encode_request(RequestMsg{3, 30}, valid);
+  EXPECT_FALSE(decoder.feed(valid.data(), valid.size()));
+  EXPECT_FALSE(decoder.next(payload));
+}
+
+TEST(Wire, ResetReclaimsPoisonedDecoder) {
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.feed(zeros, 4));
+  ASSERT_TRUE(decoder.error());
+  decoder.reset();
+  EXPECT_FALSE(decoder.error());
+  EXPECT_EQ(decoder.buffered(), 0u);
+  std::vector<std::uint8_t> wire;
+  encode_request(RequestMsg{7, 70}, wire);
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size()));
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(decoder.next(payload));
+  RequestMsg request;
+  ResponseMsg response;
+  ASSERT_EQ(decode_payload(payload.data(), payload.size(), request, response),
+            Decoded::kRequest);
+  EXPECT_EQ(request.request_id, 7u);
+}
+
+TEST(Wire, NextViewIsZeroCopy) {
+  std::vector<std::uint8_t> wire;
+  encode_request(RequestMsg{11, 12}, wire);
+  encode_response(ResponseMsg{13, Status::kOk, 1, 2}, wire);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size()));
+  FrameView view{};
+  ASSERT_TRUE(decoder.next_view(view));
+  ASSERT_EQ(view.size, kRequestPayloadSize);
+  EXPECT_EQ(view.data[0], static_cast<std::uint8_t>(MsgType::kRequest));
+  ASSERT_TRUE(decoder.next_view(view));
+  ASSERT_EQ(view.size, kResponsePayloadSize);
+  EXPECT_EQ(view.data[0], static_cast<std::uint8_t>(MsgType::kResponse));
+  EXPECT_FALSE(decoder.next_view(view));
+  EXPECT_FALSE(decoder.error());
+}
+
+TEST(Wire, TruncatedPayloadWaitsWithoutError) {
+  // A complete header with only part of its payload must neither deliver
+  // nor poison — the frame completes on the next feed.
+  std::vector<std::uint8_t> wire;
+  encode_request(RequestMsg{5, 50}, wire);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size() - 3));
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(decoder.next(payload));
+  EXPECT_FALSE(decoder.error());
+  EXPECT_EQ(decoder.buffered(), wire.size() - 3);
+  ASSERT_TRUE(decoder.feed(wire.data() + wire.size() - 3, 3));
+  EXPECT_TRUE(decoder.next(payload));
+}
+
 TEST(Wire, DecoderCompactionKeepsStreamIntact) {
   // Push enough traffic through to trigger the internal buffer compaction
   // and verify no frame is lost or reordered across it.
