@@ -43,6 +43,15 @@ void usage(const char* argv0) {
       << "  --probation <n>        consecutive successes -> mark-up (default 2)\n"
       << "  --timeout-ms <ms>      per-hop response deadline (default 2000)\n"
       << "  --max-attempts <n>     forward attempts per request; 0 = d\n"
+      << "  --repair               enable the self-healing repair plane\n"
+      << "  --repair-concurrent <n>    max concurrent migrations (default 2)\n"
+      << "  --repair-bytes-per-sec <n> repair byte budget; 0=unthrottled\n"
+      << "                             (default 8 MiB/s)\n"
+      << "  --repair-chunk-bytes <n>   nominal state per chunk (default 4096)\n"
+      << "  --repair-grace-ms <ms>     down time before repair starts\n"
+      << "                             (default 300)\n"
+      << "  --repair-timeout-ms <ms>   per-migration deadline (default 2000)\n"
+      << "  --repair-scan-ms <ms>      planner scan period (default 100)\n"
       << "  --span-slow-us <us>    keep unsampled spans slower than this\n"
       << "                         (tail sampling; 0 = sampled/failed only)\n"
       << "  --stats-interval <s>   print live stats every s seconds (0=off)\n"
@@ -130,6 +139,32 @@ int main(int argc, char** argv) {
     } else if (flag == "--max-attempts" && has_value) {
       if (!parse_u64_flag("--max-attempts", value(), u64)) return 2;
       config.max_attempts = static_cast<unsigned>(u64);
+    } else if (flag == "--repair") {
+      config.repair.enabled = true;
+    } else if (flag == "--repair-concurrent" && has_value) {
+      if (!parse_u64_flag("--repair-concurrent", value(), u64) || u64 == 0) {
+        return 2;
+      }
+      config.repair.max_concurrent = static_cast<unsigned>(u64);
+    } else if (flag == "--repair-bytes-per-sec" && has_value) {
+      if (!parse_u64_flag("--repair-bytes-per-sec", value(), u64)) return 2;
+      config.repair.bytes_per_sec = u64;
+    } else if (flag == "--repair-chunk-bytes" && has_value) {
+      if (!parse_u64_flag("--repair-chunk-bytes", value(), u64)) return 2;
+      config.repair.bytes_per_chunk = u64;
+    } else if (flag == "--repair-grace-ms" && has_value) {
+      if (!parse_u64_flag("--repair-grace-ms", value(), u64)) return 2;
+      config.repair.down_grace_ms = u64;
+    } else if (flag == "--repair-timeout-ms" && has_value) {
+      if (!parse_u64_flag("--repair-timeout-ms", value(), u64) || u64 == 0) {
+        return 2;
+      }
+      config.repair.migrate_timeout_ms = u64;
+    } else if (flag == "--repair-scan-ms" && has_value) {
+      if (!parse_u64_flag("--repair-scan-ms", value(), u64) || u64 == 0) {
+        return 2;
+      }
+      config.repair.scan_interval_ms = u64;
     } else if (flag == "--span-slow-us" && has_value) {
       if (!parse_u64_flag("--span-slow-us", value(), u64)) return 2;
       rlb::obs::SpanRecorder::instance().set_slow_budget_ns(u64 * 1000);
@@ -173,7 +208,8 @@ int main(int argc, char** argv) {
   std::cout << "rlb_router: routing to " << config.backends.size()
             << " backends (d=" << config.replication
             << ", heartbeat=" << config.heartbeat_interval_ms << "ms"
-            << ", timeout=" << config.request_timeout_ms << "ms) on "
+            << ", timeout=" << config.request_timeout_ms << "ms"
+            << (config.repair.enabled ? ", repair=on" : "") << ") on "
             << config.host << ":" << router->port() << std::endl;
 
   std::uint64_t iterations = 0;
@@ -190,6 +226,15 @@ int main(int argc, char** argv) {
                 << " retries=" << s.retries << " drops=" << s.backend_drops
                 << " live=" << router->membership().live_count() << "/"
                 << config.backends.size() << std::endl;
+      if (config.repair.enabled) {
+        const net::RepairStats r = router->repair_stats();
+        std::cout << "rlb_router: repair epoch=" << router->placement_epoch()
+                  << " migrated=" << r.migrations_done
+                  << " failed=" << r.migrations_failed
+                  << " inflight=" << r.migrations_inflight
+                  << " pending=" << r.chunks_pending
+                  << " bytes=" << r.bytes_sent << std::endl;
+      }
     }
   }
 
@@ -209,6 +254,13 @@ int main(int argc, char** argv) {
             << " retries=" << s.retries << " timeouts=" << s.timeouts
             << " late=" << s.late_responses << " drops=" << s.backend_drops
             << std::endl;
+  if (config.repair.enabled) {
+    const net::RepairStats r = router->repair_stats();
+    std::cout << "rlb_router: repair done. epoch=" << router->placement_epoch()
+              << " migrated=" << r.migrations_done
+              << " failed=" << r.migrations_failed
+              << " bytes=" << r.bytes_sent << std::endl;
+  }
   harness::emit_probes();
   return 0;
 }

@@ -107,6 +107,28 @@ void print_pretty(const rlb::net::StatsSnapshot& snapshot) {
               << " max=" << snapshot.queue_wait.max_us << "\n";
   }
 
+  // Repair plane (v4): epoch + migration counters, shown only once the
+  // cluster has actually repaired (or is repairing) something.
+  const rlb::net::RepairStats& r = snapshot.repair;
+  if (snapshot.placement_epoch != 0 || r.migrations_done != 0 ||
+      r.migrations_inflight != 0 || r.chunks_pending != 0 ||
+      r.migrations_in != 0 || r.migrations_out != 0) {
+    std::cout << "repair: epoch=" << snapshot.placement_epoch;
+    if (snapshot.role == rlb::net::NodeRole::kRouter) {
+      std::cout << " migrated=" << r.migrations_done
+                << " failed=" << r.migrations_failed
+                << " inflight=" << r.migrations_inflight
+                << " pending=" << r.chunks_pending
+                << " bytes_sent=" << r.bytes_sent;
+    } else {
+      std::cout << " migrations_in=" << r.migrations_in
+                << " migrations_out=" << r.migrations_out
+                << " bytes_in=" << r.migration_bytes_in
+                << " bytes_out=" << r.migration_bytes_out;
+    }
+    std::cout << "\n";
+  }
+
   std::cout << "safe-set (Def 3.2): worst_ratio=" << snapshot.safe_worst_ratio
             << (snapshot.safe_violated_level
                     ? " VIOLATED at level " +
@@ -158,8 +180,8 @@ std::vector<ClusterRow> scrape_cluster(
 void print_cluster_pretty(const std::vector<ClusterRow>& rows) {
   using rlb::report::Table;
   Table table({"endpoint", "role", "id", "policy", "m", "submitted",
-               "completed", "rejected", "errors", "backlog", "down", "p99_us",
-               "uptime_s"});
+               "completed", "rejected", "errors", "backlog", "down", "epoch",
+               "p99_us", "uptime_s"});
   rlb::net::ShardStats backend_totals;
   std::uint64_t backends_seen = 0;
   for (const ClusterRow& row : rows) {
@@ -182,6 +204,7 @@ void print_cluster_pretty(const std::vector<ClusterRow>& rows) {
         .cell(t.errors)
         .cell(t.backlog)
         .cell(t.servers_down)
+        .cell(row.snapshot.placement_epoch)
         .cell(row.snapshot.latency.quantile_us(0.99), 0)
         .cell(row.snapshot.uptime_ms / 1000);
     if (row.snapshot.role == rlb::net::NodeRole::kBackend) {
@@ -209,6 +232,7 @@ void print_cluster_pretty(const std::vector<ClusterRow>& rows) {
         .cell(backend_totals.errors)
         .cell(backend_totals.backlog)
         .cell(backend_totals.servers_down)
+        .cell("")
         .cell("")
         .cell("");
   }

@@ -30,6 +30,7 @@
 #include "net/wire.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "repair/migrate_agent.hpp"
 
 namespace {
 
@@ -235,10 +236,24 @@ int main(int argc, char** argv) {
 
   // STATS admin frames answer from the event-loop thread: snapshot() is a
   // lock-free merge of shard atomics, so no worker tick ever blocks on it.
+  // A router heartbeat piggybacks its placement epoch on the request; the
+  // engine records it so the snapshot echoes cluster cutover progress.
   server.set_stats_handler(
-      [&engine, &server](std::uint64_t conn_token, const net::StatsRequestMsg&) {
+      [&engine, &server](std::uint64_t conn_token,
+                         const net::StatsRequestMsg& msg) {
+        if (msg.epoch != 0) engine.set_placement_epoch(msg.epoch);
         server.send_stats(conn_token, engine.snapshot());
       });
+
+  // Repair plane: MIGRATE orders from a repair coordinator stream chunk
+  // state between backends without touching the serving path (the agent's
+  // worker thread does the blocking I/O).
+  repair::MigrationAgent migration_agent(server);
+  migration_agent.set_on_migration_in(
+      [&engine](std::uint64_t bytes) { engine.note_migration_in(bytes); });
+  migration_agent.set_on_migration_out(
+      [&engine](std::uint64_t bytes) { engine.note_migration_out(bytes); });
+  migration_agent.install();
 
   // TRACE drains the span flight recorder; span recording is on by default
   // (zero cost until a request actually carries a wire context).
@@ -266,10 +281,12 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   engine.start();
+  migration_agent.start();
   try {
     server.start();
   } catch (const std::exception& e) {
     std::cerr << "rlbd: " << e.what() << "\n";
+    migration_agent.stop();
     engine.stop();
     return 1;
   }
@@ -309,7 +326,9 @@ int main(int argc, char** argv) {
   std::cout << "rlbd: draining..." << std::endl;
   // Drain order matters: the engine answers everything in flight first
   // (responses land in the listener's outbound buffers), then the listener
-  // flushes those buffers and closes.
+  // flushes those buffers and closes.  The migration agent goes first so
+  // no new repair stream starts against a draining peer.
+  migration_agent.stop();
   engine.stop();
   server.stop();
   // Flush trace sinks as part of the drain (atomic tmp+rename) so a SIGTERM

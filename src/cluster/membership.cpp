@@ -17,68 +17,98 @@ const char* to_string(BackendHealth health) noexcept {
 Membership::Membership(std::size_t backends, MembershipConfig config)
     : config_(config), slots_(backends) {}
 
+void Membership::subscribe(TransitionFn on_transition) {
+  subscribers_.push_back(std::move(on_transition));
+}
+
+void Membership::notify(std::uint32_t id, BackendHealth from,
+                        BackendHealth to) const {
+  // Callers release mu_ first: view() and every accessor take it, and a
+  // subscriber (e.g. the repair coordinator) is entitled to call back in.
+  for (const TransitionFn& fn : subscribers_) fn(id, from, to);
+}
+
 void Membership::record_success(std::uint32_t id,
                                 const HeartbeatSample& sample) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id >= slots_.size()) return;
-  Slot& slot = slots_[id];
-  slot.misses = 0;
-  ++slot.heartbeats_ok;
-  slot.backlog_gauge.store(sample.backlog, std::memory_order_relaxed);
-  slot.completed = sample.completed;
-  slot.servers = sample.servers;
-  slot.servers_down = sample.servers_down;
-  if (sample.rtt_us > 0) {
-    slot.rtt_ema_us = slot.rtt_ema_us == 0
-                          ? sample.rtt_us
-                          : (3 * slot.rtt_ema_us + sample.rtt_us) / 4;
+  BackendHealth from = BackendHealth::kDown;
+  BackendHealth to = BackendHealth::kDown;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= slots_.size()) return;
+    Slot& slot = slots_[id];
+    slot.misses = 0;
+    ++slot.heartbeats_ok;
+    slot.backlog_gauge.store(sample.backlog, std::memory_order_relaxed);
+    slot.completed = sample.completed;
+    slot.servers = sample.servers;
+    slot.servers_down = sample.servers_down;
+    if (sample.rtt_us > 0) {
+      slot.rtt_ema_us = slot.rtt_ema_us == 0
+                            ? sample.rtt_us
+                            : (3 * slot.rtt_ema_us + sample.rtt_us) / 4;
+    }
+    from = slot.health.load(std::memory_order_relaxed);
+    switch (from) {
+      case BackendHealth::kDown:
+        slot.health.store(BackendHealth::kProbation,
+                          std::memory_order_relaxed);
+        slot.successes = 1;
+        break;
+      case BackendHealth::kProbation:
+        ++slot.successes;
+        break;
+      case BackendHealth::kUp:
+        return;
+    }
+    if (slot.successes >= config_.probation_successes) {
+      slot.health.store(BackendHealth::kUp, std::memory_order_relaxed);
+    }
+    to = slot.health.load(std::memory_order_relaxed);
   }
-  switch (slot.health.load(std::memory_order_relaxed)) {
-    case BackendHealth::kDown:
-      slot.health.store(BackendHealth::kProbation, std::memory_order_relaxed);
-      slot.successes = 1;
-      break;
-    case BackendHealth::kProbation:
-      ++slot.successes;
-      break;
-    case BackendHealth::kUp:
-      return;
-  }
-  if (slot.successes >= config_.probation_successes) {
-    slot.health.store(BackendHealth::kUp, std::memory_order_relaxed);
-  }
+  if (from != to) notify(id, from, to);
 }
 
 void Membership::record_miss(std::uint32_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id >= slots_.size()) return;
-  Slot& slot = slots_[id];
-  slot.successes = 0;
-  ++slot.heartbeats_missed;
-  if (slot.health.load(std::memory_order_relaxed) == BackendHealth::kDown) {
-    return;
+  BackendHealth from = BackendHealth::kDown;
+  BackendHealth to = BackendHealth::kDown;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= slots_.size()) return;
+    Slot& slot = slots_[id];
+    slot.successes = 0;
+    ++slot.heartbeats_missed;
+    from = slot.health.load(std::memory_order_relaxed);
+    if (from == BackendHealth::kDown) return;
+    // Probation is unforgiving: one miss sends the backend straight back
+    // down.  An established (kUp) backend gets miss_threshold strikes.
+    ++slot.misses;
+    if (from == BackendHealth::kProbation ||
+        slot.misses >= config_.miss_threshold) {
+      slot.health.store(BackendHealth::kDown, std::memory_order_relaxed);
+      slot.misses = 0;
+      ++slot.transitions_down;
+    }
+    to = slot.health.load(std::memory_order_relaxed);
   }
-  // Probation is unforgiving: one miss sends the backend straight back
-  // down.  An established (kUp) backend gets miss_threshold strikes.
-  ++slot.misses;
-  if (slot.health.load(std::memory_order_relaxed) ==
-          BackendHealth::kProbation ||
-      slot.misses >= config_.miss_threshold) {
-    slot.health.store(BackendHealth::kDown, std::memory_order_relaxed);
-    slot.misses = 0;
-    ++slot.transitions_down;
-  }
+  if (from != to) notify(id, from, to);
 }
 
 void Membership::force_down(std::uint32_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (id >= slots_.size()) return;
-  Slot& slot = slots_[id];
-  slot.successes = 0;
-  slot.misses = 0;
-  if (slot.health.load(std::memory_order_relaxed) != BackendHealth::kDown) {
-    slot.health.store(BackendHealth::kDown, std::memory_order_relaxed);
-    ++slot.transitions_down;
+  BackendHealth from = BackendHealth::kDown;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= slots_.size()) return;
+    Slot& slot = slots_[id];
+    slot.successes = 0;
+    slot.misses = 0;
+    from = slot.health.load(std::memory_order_relaxed);
+    if (from != BackendHealth::kDown) {
+      slot.health.store(BackendHealth::kDown, std::memory_order_relaxed);
+      ++slot.transitions_down;
+    }
+  }
+  if (from != BackendHealth::kDown) {
+    notify(id, from, BackendHealth::kDown);
   }
 }
 

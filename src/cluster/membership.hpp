@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -71,9 +72,22 @@ struct HeartbeatSample {
   std::uint64_t rtt_us = 0;
 };
 
+/// Health-transition callback: fired once per state change with the old
+/// and new health.  Invoked on the thread that caused the transition (a
+/// heartbeat prober or a data-plane drop) AFTER the membership lock is
+/// released, so a subscriber may call back into any Membership accessor.
+/// Subscribers must be fast or hand off: they run inline on probe paths.
+using TransitionFn = std::function<void(std::uint32_t id, BackendHealth from,
+                                        BackendHealth to)>;
+
 class Membership {
  public:
   Membership(std::size_t backends, MembershipConfig config);
+
+  /// Register a transition subscriber (see TransitionFn).  Not
+  /// thread-safe against concurrent record_*/force_down — subscribe
+  /// before the heartbeat planes start.
+  void subscribe(TransitionFn on_transition);
 
   void record_success(std::uint32_t id, const HeartbeatSample& sample);
   void record_miss(std::uint32_t id);
@@ -121,9 +135,14 @@ class Membership {
     std::uint64_t rtt_ema_us = 0;
   };
 
+  /// Fire every subscriber for one transition.  Called with mu_ NOT held.
+  void notify(std::uint32_t id, BackendHealth from, BackendHealth to) const;
+
   MembershipConfig config_;
   mutable std::mutex mu_;
   std::vector<Slot> slots_;
+  /// Installed before the probers start, read-only afterwards.
+  std::vector<TransitionFn> subscribers_;
 };
 
 }  // namespace rlb::cluster

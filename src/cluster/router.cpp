@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/placement.hpp"
+#include "core/placement_epoch.hpp"
 #include "core/types.hpp"
 #include "hashing/hash.hpp"
 #include "net/client.hpp"
@@ -23,6 +24,7 @@
 #include "obs/probes.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "repair/coordinator.hpp"
 
 namespace rlb::cluster {
 
@@ -84,6 +86,40 @@ struct Router::Impl {
     }
     if (config.chunks == 0) {
       throw std::invalid_argument("Router: chunks must be positive");
+    }
+    // Skewed-start hook: benches and the epoch-cutover tests inject a
+    // pre-built remap history before any traffic or repair runs.
+    for (const core::PlacementDelta& delta : config.initial_deltas) {
+      if (!placement.apply(delta)) {
+        throw std::invalid_argument("Router: inapplicable initial delta");
+      }
+    }
+    if (config.repair.enabled) {
+      std::vector<repair::RepairEndpoint> repair_backends;
+      repair_backends.reserve(config.backends.size());
+      for (const BackendEndpoint& ep : config.backends) {
+        repair_backends.push_back(repair::RepairEndpoint{ep.host, ep.port});
+      }
+      repair::RepairCoordinator::Hooks hooks;
+      hooks.is_live = [this](std::uint32_t id) {
+        return membership.is_live(id);
+      };
+      hooks.load = [this](std::uint32_t id) {
+        return membership.load_estimate(id);
+      };
+      coordinator = std::make_unique<repair::RepairCoordinator>(
+          config.repair, std::move(repair_backends), config.chunks, placement,
+          std::move(hooks));
+      // Subscribed before any prober starts (start() launches them), as
+      // Membership::subscribe requires.
+      membership.subscribe([this](std::uint32_t id, BackendHealth,
+                                  BackendHealth to) {
+        if (to == BackendHealth::kDown) {
+          coordinator->on_backend_down(id);
+        } else if (to == BackendHealth::kUp) {
+          coordinator->on_backend_up(id);
+        }
+      });
     }
     // Batched data plane: all forwards for one readable burst are
     // enqueued first, then every touched upstream drains in one writev
@@ -556,7 +592,9 @@ struct Router::Impl {
           client.set_recv_timeout_ms(config.heartbeat_timeout_ms);
         }
         const std::uint64_t ping_ns = obs::now_ns();
-        client.send_stats_request();
+        // The current placement epoch rides every heartbeat; backends
+        // record it, so rlb_stat shows cutover progress cluster-wide.
+        client.send_stats_request(0, placement.epoch());
         client.flush();
         net::StatsSnapshot snap;
         if (client.try_read_stats_response(snap) ==
@@ -637,9 +675,13 @@ struct Router::Impl {
       threads.emplace_back([this, b] { heartbeat_loop(b); });
     }
     threads.emplace_back([this] { sweeper_loop(); });
+    if (coordinator) coordinator->start();
   }
 
   void stop() {
+    // The coordinator dials backends with its own blocking clients; take
+    // it down first so nothing races the upstream teardown below.
+    if (coordinator) coordinator->stop();
     {
       std::lock_guard<std::mutex> lock(mu);
       if (!running && threads.empty()) return;
@@ -689,6 +731,8 @@ struct Router::Impl {
     snap.servers = static_cast<std::uint32_t>(config.backends.size());
     snap.replication = replication;
     snap.shard_count = static_cast<std::uint32_t>(config.backends.size());
+    snap.placement_epoch = placement.epoch();
+    if (coordinator) snap.repair = coordinator->stats();
     hop_rtt.merge_into(snap.hop_rtt);
     // One row per backend; docs/CLUSTER.md documents the field mapping
     // (ticks/batches carry heartbeat ok/miss, max_batch the mark-down
@@ -722,8 +766,9 @@ struct Router::Impl {
 
   RouterConfig config;
   unsigned replication;
-  core::Placement placement;
+  core::EpochedPlacement placement;
   Membership membership;
+  std::unique_ptr<repair::RepairCoordinator> coordinator;
   net::NetServer server;
   std::vector<std::unique_ptr<net::UpstreamConn>> upstreams;
   std::vector<std::thread> threads;
@@ -773,6 +818,18 @@ RouterStats Router::stats() const {
 }
 
 const Membership& Router::membership() const { return impl_->membership; }
+
+std::uint64_t Router::placement_epoch() const {
+  return impl_->placement.epoch();
+}
+
+std::vector<core::PlacementDelta> Router::placement_history() const {
+  return impl_->placement.history();
+}
+
+net::RepairStats Router::repair_stats() const {
+  return impl_->coordinator ? impl_->coordinator->stats() : net::RepairStats{};
+}
 
 net::StatsSnapshot Router::snapshot() const { return impl_->snapshot(); }
 

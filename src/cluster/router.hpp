@@ -27,7 +27,9 @@
 #include <vector>
 
 #include "cluster/membership.hpp"
+#include "core/placement_epoch.hpp"
 #include "net/stats.hpp"
+#include "repair/coordinator.hpp"
 
 namespace rlb::cluster {
 
@@ -61,6 +63,16 @@ struct RouterConfig {
   std::uint64_t request_timeout_ms = 2000;
   /// Total forward attempts per request; 0 = one per candidate backend.
   unsigned max_attempts = 0;
+
+  /// Self-healing repair plane (repair/coordinator.hpp); disabled by
+  /// default.  When enabled the router hosts a RepairCoordinator fed by
+  /// membership transitions.
+  repair::RepairConfig repair;
+  /// Placement deltas applied at construction, before serving starts —
+  /// benches and tests use this to start from a skewed placement (each
+  /// delta's epoch must be 1 + the previous; an inapplicable delta throws
+  /// std::invalid_argument).
+  std::vector<core::PlacementDelta> initial_deltas;
 };
 
 /// Router-level counters (cumulative since start()).
@@ -99,6 +111,13 @@ class Router {
 
   [[nodiscard]] RouterStats stats() const;
   [[nodiscard]] const Membership& membership() const;
+
+  /// Current placement epoch (0 until the first repair commit).
+  [[nodiscard]] std::uint64_t placement_epoch() const;
+  /// Every placement delta committed so far, in epoch order.
+  [[nodiscard]] std::vector<core::PlacementDelta> placement_history() const;
+  /// Router-side repair counters (all-zero when repair is disabled).
+  [[nodiscard]] net::RepairStats repair_stats() const;
 
   /// Cluster view as a StatsSnapshot (served for STATS pings): role =
   /// kRouter, one ShardStats row per backend — see docs/CLUSTER.md for

@@ -409,6 +409,13 @@ struct ServingEngine::Impl {
   std::vector<std::unique_ptr<Shard>> shards;
   std::atomic<bool> accepting{false};
   std::atomic<std::uint64_t> submitted{0};
+  // Repair plane (StatsSnapshot v4): the placement epoch last heard on a
+  // router heartbeat, and this backend's migration traffic totals.
+  std::atomic<std::uint64_t> placement_epoch{0};
+  std::atomic<std::uint64_t> migrations_in{0};
+  std::atomic<std::uint64_t> migrations_out{0};
+  std::atomic<std::uint64_t> migration_bytes_in{0};
+  std::atomic<std::uint64_t> migration_bytes_out{0};
   std::uint64_t start_ns = 0;  // obs::now_ns() at start(); 0 until then
   bool started = false;
   bool stopped = false;
@@ -935,7 +942,37 @@ net::StatsSnapshot ServingEngine::snapshot() const {
     }
   }
   safe_ratio_gauge.set(out.safe_worst_ratio);
+
+  out.placement_epoch = impl_->placement_epoch.load(std::memory_order_relaxed);
+  out.repair.migrations_in =
+      impl_->migrations_in.load(std::memory_order_relaxed);
+  out.repair.migrations_out =
+      impl_->migrations_out.load(std::memory_order_relaxed);
+  out.repair.migration_bytes_in =
+      impl_->migration_bytes_in.load(std::memory_order_relaxed);
+  out.repair.migration_bytes_out =
+      impl_->migration_bytes_out.load(std::memory_order_relaxed);
   return out;
+}
+
+void ServingEngine::set_placement_epoch(std::uint64_t epoch) {
+  // Monotonic max: heartbeats from a router can interleave across
+  // connections, and a stale frame must not roll the epoch back.
+  std::uint64_t current =
+      impl_->placement_epoch.load(std::memory_order_relaxed);
+  while (epoch > current && !impl_->placement_epoch.compare_exchange_weak(
+                                current, epoch, std::memory_order_relaxed)) {
+  }
+}
+
+void ServingEngine::note_migration_in(std::uint64_t bytes) {
+  impl_->migrations_in.fetch_add(1, std::memory_order_relaxed);
+  impl_->migration_bytes_in.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void ServingEngine::note_migration_out(std::uint64_t bytes) {
+  impl_->migrations_out.fetch_add(1, std::memory_order_relaxed);
+  impl_->migration_bytes_out.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 std::size_t ServingEngine::shard_count() const { return impl_->shards.size(); }

@@ -197,6 +197,17 @@ class ServingEngine {
   std::size_t shard_count() const;
   const EngineConfig& config() const;
 
+  /// Record the placement epoch piggybacked on the router's heartbeat
+  /// STATS frame; echoed in snapshot().placement_epoch.  Monotonic: a
+  /// stale heartbeat can never move the recorded epoch backwards.
+  void set_placement_epoch(std::uint64_t epoch);
+
+  /// Repair-plane accounting (fed by the MigrationAgent callbacks): one
+  /// completed inbound / outbound migration of `bytes` bytes.  Surfaced
+  /// in snapshot().repair.
+  void note_migration_in(std::uint64_t bytes);
+  void note_migration_out(std::uint64_t bytes);
+
   /// The chunk a key maps to and the shard that owns it (tests/tools).
   core::ChunkId chunk_of(store::KeyId key) const;
   std::size_t shard_of_chunk(core::ChunkId chunk) const;

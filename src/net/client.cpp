@@ -234,8 +234,8 @@ bool Client::poll_buffered_response(ResponseMsg& out) {
   return true;
 }
 
-void Client::send_stats_request(std::uint32_t flags) {
-  encode_stats_request(StatsRequestMsg{flags}, send_buffer_);
+void Client::send_stats_request(std::uint32_t flags, std::uint64_t epoch) {
+  encode_stats_request(StatsRequestMsg{flags, epoch}, send_buffer_);
 }
 
 bool Client::read_stats_response(StatsSnapshot& out) {
@@ -284,6 +284,35 @@ ReadOutcome Client::try_read_trace_response(TraceSnapshot& out) {
   }
   if (!decode_trace_payload(payload_.data(), payload_.size(), out)) {
     throw ProtocolError("Client: bad TRACE_RESP snapshot");
+  }
+  return ReadOutcome::kFrame;
+}
+
+void Client::send_migrate(const MigrateMsg& msg) {
+  if (!encode_migrate(msg, send_buffer_)) {
+    throw std::runtime_error("Client: MIGRATE message does not encode");
+  }
+}
+
+void Client::send_migrate_data(const MigrateDataMsg& msg) {
+  if (!encode_migrate_data(msg, send_buffer_)) {
+    throw std::runtime_error("Client: MIGRATE_DATA slice too large");
+  }
+}
+
+bool Client::read_migrate_ack(MigrateAckMsg& out) {
+  const ReadOutcome outcome = try_read_migrate_ack(out);
+  if (outcome == ReadOutcome::kTimeout) {
+    throw std::runtime_error("Client: read timed out");
+  }
+  return outcome == ReadOutcome::kFrame;
+}
+
+ReadOutcome Client::try_read_migrate_ack(MigrateAckMsg& out) {
+  const ReadOutcome outcome = next_frame(/*allow_timeout=*/true);
+  if (outcome != ReadOutcome::kFrame) return outcome;
+  if (!decode_migrate_ack(payload_.data(), payload_.size(), out)) {
+    throw ProtocolError("Client: expected MIGRATE_ACK frame");
   }
   return ReadOutcome::kFrame;
 }

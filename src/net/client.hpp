@@ -114,8 +114,10 @@ class Client {
 
   /// Buffer one STATS admin frame (no I/O until flush()).  Use a dedicated
   /// connection for polling: REQUEST and STATS frames on one connection
-  /// interleave their replies in service order.
-  void send_stats_request(std::uint32_t flags = 0);
+  /// interleave their replies in service order.  A nonzero `epoch` rides
+  /// the frame's placement-epoch extension (the router's heartbeat
+  /// piggyback); 0 encodes the plain v1 frame.
+  void send_stats_request(std::uint32_t flags = 0, std::uint64_t epoch = 0);
 
   /// Block for the next STATS_RESP frame and decode it.  Returns false on
   /// clean EOF; throws ProtocolError on framing violations, non-STATS_RESP
@@ -138,6 +140,24 @@ class Client {
 
   /// Timeout-aware variant of read_trace_response().
   ReadOutcome try_read_trace_response(TraceSnapshot& out);
+
+  /// Buffer one MIGRATE order (coordinator -> source backend; no I/O
+  /// until flush()).  Throws std::runtime_error when the message cannot
+  /// encode (oversized host name).
+  void send_migrate(const MigrateMsg& msg);
+
+  /// Buffer one MIGRATE_DATA slice (source backend -> target backend).
+  /// Throws std::runtime_error when the payload exceeds kMaxMigrateSlice.
+  void send_migrate_data(const MigrateDataMsg& msg);
+
+  /// Block for the next MIGRATE_ACK frame and decode it.  Returns false
+  /// on clean EOF; throws ProtocolError on framing violations or
+  /// non-MIGRATE_ACK frames.
+  bool read_migrate_ack(MigrateAckMsg& out);
+
+  /// Timeout-aware variant of read_migrate_ack() (see try_read_response()
+  /// for the outcome semantics).
+  ReadOutcome try_read_migrate_ack(MigrateAckMsg& out);
 
   void close();
 

@@ -103,6 +103,8 @@ struct NetServer::Impl {
   RequestBatchHandler on_batch;
   StatsHandler on_stats;
   TraceHandler on_trace;
+  MigrateHandler on_migrate;
+  MigrateDataHandler on_migrate_data;
 
   int listen_fd = -1;
   int wake_read = -1;
@@ -304,8 +306,34 @@ struct NetServer::Impl {
           on_trace(token, trace_request);
           continue;
         }
-        // Clients may only send REQUEST frames (plus STATS/TRACE when
-        // the daemon installed an admin handler).
+        if (decoded == Decoded::kMigrate && on_migrate) {
+          static obs::Counter migrate_counter("net.migrate_requests");
+          MigrateMsg migrate;
+          if (!decode_migrate(payload.data, payload.size, migrate)) {
+            protocol_error_counter.add();
+            stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            keep = false;
+            break;
+          }
+          migrate_counter.add();
+          RLB_TRACE_EVENT(obs::EventKind::kNet, "net.migrate", slot,
+                          migrate.chunk);
+          on_migrate(token, migrate);
+          continue;
+        }
+        if (decoded == Decoded::kMigrateData && on_migrate_data) {
+          MigrateDataMsg data;
+          if (!decode_migrate_data(payload.data, payload.size, data)) {
+            protocol_error_counter.add();
+            stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            keep = false;
+            break;
+          }
+          on_migrate_data(token, data);
+          continue;
+        }
+        // Clients may only send REQUEST frames (plus STATS/TRACE/MIGRATE
+        // when the daemon installed an admin handler).
         protocol_error_counter.add();
         RLB_TRACE_EVENT(obs::EventKind::kNet, "net.bad_message", slot,
                         payload.size == 0 ? 0 : payload.data[0]);
@@ -751,6 +779,36 @@ bool NetServer::send_trace(std::uint64_t conn_token,
         std::memory_order_relaxed);
   }
   global_buffer_pool().release(std::move(payload));
+  if (!conn.stage_dirty.exchange(true, std::memory_order_seq_cst) &&
+      impl_->loop_asleep.load(std::memory_order_seq_cst)) {
+    impl_->wake();
+  }
+  return true;
+}
+
+void NetServer::set_migrate_handler(MigrateHandler on_migrate) {
+  impl_->on_migrate = std::move(on_migrate);
+}
+
+void NetServer::set_migrate_data_handler(MigrateDataHandler on_migrate_data) {
+  impl_->on_migrate_data = std::move(on_migrate_data);
+}
+
+bool NetServer::send_migrate_ack(std::uint64_t conn_token,
+                                 const MigrateAckMsg& ack) {
+  const std::size_t slot = static_cast<std::size_t>(conn_token & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(conn_token >> 32);
+  if (slot >= impl_->conns.size()) return false;
+  Impl::Conn& conn = *impl_->conns[slot];
+  {
+    std::lock_guard lock(conn.stage_mu);
+    if (!conn.open || conn.gen != gen) return false;
+    const std::size_t before = conn.staged.size();
+    encode_migrate_ack(ack, conn.staged);
+    impl_->pending_out.fetch_add(
+        static_cast<std::int64_t>(conn.staged.size() - before),
+        std::memory_order_relaxed);
+  }
   if (!conn.stage_dirty.exchange(true, std::memory_order_seq_cst) &&
       impl_->loop_asleep.load(std::memory_order_seq_cst)) {
     impl_->wake();

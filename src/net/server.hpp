@@ -100,6 +100,21 @@ using StatsHandler =
 using TraceHandler =
     std::function<void(std::uint64_t conn_token, const TraceRequestMsg&)>;
 
+/// Called on the event-loop thread for every decoded MIGRATE frame (the
+/// repair coordinator ordering this backend to stream a chunk out).  The
+/// handler must be fast: hand the order to the migration agent's worker
+/// queue and return; the eventual outcome is reported with
+/// send_migrate_ack().
+using MigrateHandler =
+    std::function<void(std::uint64_t conn_token, const MigrateMsg&)>;
+
+/// Called on the event-loop thread for every decoded MIGRATE_DATA frame
+/// (a source backend streaming chunk state into this one).  Verification
+/// is a checksum over an already-decoded payload — cheap enough for the
+/// loop thread; the handler acks the final slice with send_migrate_ack().
+using MigrateDataHandler =
+    std::function<void(std::uint64_t conn_token, const MigrateDataMsg&)>;
+
 class NetServer {
  public:
   explicit NetServer(const ServerConfig& config, RequestHandler on_request);
@@ -145,6 +160,18 @@ class NetServer {
   /// Queue a TRACE_RESP span snapshot for delivery.  Thread-safe; same
   /// semantics as send_stats().
   bool send_trace(std::uint64_t conn_token, const TraceSnapshot& snapshot);
+
+  /// Install the MIGRATE / MIGRATE_DATA repair handlers.  Call before
+  /// start(); without them, inbound repair frames are protocol errors
+  /// (connection closed) — a backend not running a migration agent
+  /// refuses the repair plane outright.
+  void set_migrate_handler(MigrateHandler on_migrate);
+  void set_migrate_data_handler(MigrateDataHandler on_migrate_data);
+
+  /// Queue a MIGRATE_ACK for delivery.  Thread-safe; returns false when
+  /// the connection is gone (the ack is dropped — the coordinator's
+  /// migration timeout handles the loss).
+  bool send_migrate_ack(std::uint64_t conn_token, const MigrateAckMsg& ack);
 
   /// Aggregated from relaxed atomics; each field is individually
   /// consistent but the snapshot is not a cross-field atomic cut.

@@ -239,6 +239,18 @@ void encode_stats_payload(const StatsSnapshot& snapshot,
   }
   put_f64(out, snapshot.safe_worst_ratio);
   put_u32(out, snapshot.safe_violated_level);
+
+  // v4: placement epoch + repair counters.
+  put_u64(out, snapshot.placement_epoch);
+  put_u64(out, snapshot.repair.migrations_done);
+  put_u64(out, snapshot.repair.migrations_failed);
+  put_u64(out, snapshot.repair.migrations_inflight);
+  put_u64(out, snapshot.repair.chunks_pending);
+  put_u64(out, snapshot.repair.bytes_sent);
+  put_u64(out, snapshot.repair.migrations_in);
+  put_u64(out, snapshot.repair.migrations_out);
+  put_u64(out, snapshot.repair.migration_bytes_in);
+  put_u64(out, snapshot.repair.migration_bytes_out);
 }
 
 bool decode_stats_payload(const std::uint8_t* data, std::size_t size,
@@ -291,6 +303,16 @@ bool decode_stats_payload(const std::uint8_t* data, std::size_t size,
     }
   }
   if (!c.f64(out.safe_worst_ratio) || !c.u32(out.safe_violated_level)) {
+    return false;
+  }
+
+  if (!c.u64(out.placement_epoch) || !c.u64(out.repair.migrations_done) ||
+      !c.u64(out.repair.migrations_failed) ||
+      !c.u64(out.repair.migrations_inflight) ||
+      !c.u64(out.repair.chunks_pending) || !c.u64(out.repair.bytes_sent) ||
+      !c.u64(out.repair.migrations_in) || !c.u64(out.repair.migrations_out) ||
+      !c.u64(out.repair.migration_bytes_in) ||
+      !c.u64(out.repair.migration_bytes_out)) {
     return false;
   }
   return c.exhausted();
@@ -439,6 +461,39 @@ std::string render_prometheus(const StatsSnapshot& snapshot) {
   out += "# TYPE rlb_safe_set_violated_level gauge\n";
   append_fmt(out, "rlb_safe_set_violated_level %" PRIu32 "\n",
              snapshot.safe_violated_level);
+
+  out +=
+      "# HELP rlb_placement_epoch Current placement epoch (0 = no repair "
+      "cutover yet).\n# TYPE rlb_placement_epoch gauge\n";
+  append_fmt(out, "rlb_placement_epoch %" PRIu64 "\n",
+             snapshot.placement_epoch);
+  out += "# TYPE rlb_repair_migrations_done_total counter\n";
+  append_fmt(out, "rlb_repair_migrations_done_total %" PRIu64 "\n",
+             snapshot.repair.migrations_done);
+  out += "# TYPE rlb_repair_migrations_failed_total counter\n";
+  append_fmt(out, "rlb_repair_migrations_failed_total %" PRIu64 "\n",
+             snapshot.repair.migrations_failed);
+  out += "# TYPE rlb_repair_migrations_inflight gauge\n";
+  append_fmt(out, "rlb_repair_migrations_inflight %" PRIu64 "\n",
+             snapshot.repair.migrations_inflight);
+  out += "# TYPE rlb_repair_chunks_pending gauge\n";
+  append_fmt(out, "rlb_repair_chunks_pending %" PRIu64 "\n",
+             snapshot.repair.chunks_pending);
+  out += "# TYPE rlb_repair_bytes_sent_total counter\n";
+  append_fmt(out, "rlb_repair_bytes_sent_total %" PRIu64 "\n",
+             snapshot.repair.bytes_sent);
+  out += "# TYPE rlb_migrations_in_total counter\n";
+  append_fmt(out, "rlb_migrations_in_total %" PRIu64 "\n",
+             snapshot.repair.migrations_in);
+  out += "# TYPE rlb_migrations_out_total counter\n";
+  append_fmt(out, "rlb_migrations_out_total %" PRIu64 "\n",
+             snapshot.repair.migrations_out);
+  out += "# TYPE rlb_migration_bytes_in_total counter\n";
+  append_fmt(out, "rlb_migration_bytes_in_total %" PRIu64 "\n",
+             snapshot.repair.migration_bytes_in);
+  out += "# TYPE rlb_migration_bytes_out_total counter\n";
+  append_fmt(out, "rlb_migration_bytes_out_total %" PRIu64 "\n",
+             snapshot.repair.migration_bytes_out);
   return out;
 }
 
@@ -494,8 +549,25 @@ std::string render_json(const StatsSnapshot& snapshot) {
                level.ratio);
   }
   out += "],";
-  append_fmt(out, "\"safe_worst_ratio\":%g,\"safe_violated_level\":%" PRIu32,
+  append_fmt(out, "\"safe_worst_ratio\":%g,\"safe_violated_level\":%" PRIu32
+             ",",
              snapshot.safe_worst_ratio, snapshot.safe_violated_level);
+  append_fmt(out,
+             "\"placement_epoch\":%" PRIu64
+             ",\"repair\":{\"migrations_done\":%" PRIu64
+             ",\"migrations_failed\":%" PRIu64
+             ",\"migrations_inflight\":%" PRIu64
+             ",\"chunks_pending\":%" PRIu64 ",\"bytes_sent\":%" PRIu64
+             ",\"migrations_in\":%" PRIu64 ",\"migrations_out\":%" PRIu64
+             ",\"migration_bytes_in\":%" PRIu64
+             ",\"migration_bytes_out\":%" PRIu64 "}",
+             snapshot.placement_epoch, snapshot.repair.migrations_done,
+             snapshot.repair.migrations_failed,
+             snapshot.repair.migrations_inflight,
+             snapshot.repair.chunks_pending, snapshot.repair.bytes_sent,
+             snapshot.repair.migrations_in, snapshot.repair.migrations_out,
+             snapshot.repair.migration_bytes_in,
+             snapshot.repair.migration_bytes_out);
   out += "}";
   return out;
 }

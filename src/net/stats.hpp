@@ -23,7 +23,8 @@ namespace rlb::net {
 
 /// Bump on any layout change.  v2: role + backend_id (cluster mode).
 /// v3: per-hop latency histograms (hop_rtt, queue_wait).
-inline constexpr std::uint32_t kStatsVersion = 3;
+/// v4: placement epoch + repair/migration counters (self-healing tier).
+inline constexpr std::uint32_t kStatsVersion = 4;
 
 /// Which tier produced a snapshot.
 enum class NodeRole : std::uint8_t { kBackend = 0, kRouter = 1 };
@@ -119,6 +120,22 @@ struct ShardStats {
   }
 };
 
+/// Self-healing repair state (v4).  A router fills the coordinator-side
+/// fields (migrations_done/failed/inflight, chunks_pending, bytes_sent);
+/// a backend fills the agent-side fields (migrations_in/out and their
+/// byte totals).  The counterpart fields stay zero for each role.
+struct RepairStats {
+  std::uint64_t migrations_done = 0;      ///< committed into an epoch
+  std::uint64_t migrations_failed = 0;    ///< acked failure / timed out
+  std::uint64_t migrations_inflight = 0;  ///< gauge: currently streaming
+  std::uint64_t chunks_pending = 0;       ///< gauge: queued, not yet done
+  std::uint64_t bytes_sent = 0;           ///< repair bytes moved so far
+  std::uint64_t migrations_in = 0;        ///< slices received + verified
+  std::uint64_t migrations_out = 0;       ///< MIGRATE orders streamed out
+  std::uint64_t migration_bytes_in = 0;
+  std::uint64_t migration_bytes_out = 0;
+};
+
 /// One level of the Def 3.2 envelope as observed at scrape time.
 struct SafeSetLevelStats {
   std::uint32_t level = 0;    ///< j
@@ -162,6 +179,12 @@ struct StatsSnapshot {
   std::vector<SafeSetLevelStats> safe_set;
   double safe_worst_ratio = 0.0;
   std::uint32_t safe_violated_level = 0;  ///< 0 when safe
+
+  // Self-healing tier (v4): the node's current placement epoch (0 until a
+  // repair cutover commits; backends learn theirs from the heartbeat
+  // piggyback) and the repair/migration counters for its role.
+  std::uint64_t placement_epoch = 0;
+  RepairStats repair;
 
   /// Sum of all shard rows (shard id meaningless in the result).
   [[nodiscard]] ShardStats totals() const;

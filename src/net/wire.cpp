@@ -78,9 +78,16 @@ void encode_response(const ResponseMsg& msg, std::vector<std::uint8_t>& out) {
 
 void encode_stats_request(const StatsRequestMsg& msg,
                           std::vector<std::uint8_t>& out) {
-  put_u32(out, static_cast<std::uint32_t>(kStatsPayloadSize));
+  // Same optional-extension-by-size idiom as the REQUEST trace context:
+  // epoch 0 (no repair commits yet, or a pre-repair sender) encodes the
+  // 5-byte v1 frame, so the extension costs zero bytes until the first
+  // placement cutover.
+  const bool epoched = msg.epoch != 0;
+  put_u32(out, static_cast<std::uint32_t>(epoched ? kStatsEpochPayloadSize
+                                                  : kStatsPayloadSize));
   out.push_back(static_cast<std::uint8_t>(MsgType::kStats));
   put_u32(out, msg.flags);
+  if (epoched) put_u64(out, msg.epoch);
 }
 
 bool encode_stats_response_frame(const std::vector<std::uint8_t>& payload,
@@ -110,6 +117,118 @@ bool encode_trace_response_frame(const std::vector<std::uint8_t>& payload,
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
   return true;
+}
+
+bool encode_migrate(const MigrateMsg& msg, std::vector<std::uint8_t>& out) {
+  const std::size_t payload = kMigrateHeaderSize + msg.target_host.size();
+  if (msg.target_host.size() > 0xffff || payload > kMaxFramePayload) {
+    return false;
+  }
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  out.push_back(static_cast<std::uint8_t>(MsgType::kMigrate));
+  put_u64(out, msg.migration_id);
+  put_u64(out, msg.chunk);
+  put_u64(out, msg.epoch);
+  put_u32(out, msg.target_backend);
+  put_u64(out, msg.bytes);
+  out.push_back(static_cast<std::uint8_t>(msg.target_port));
+  out.push_back(static_cast<std::uint8_t>(msg.target_port >> 8));
+  out.push_back(static_cast<std::uint8_t>(msg.target_host.size()));
+  out.push_back(static_cast<std::uint8_t>(msg.target_host.size() >> 8));
+  out.insert(out.end(), msg.target_host.begin(), msg.target_host.end());
+  return true;
+}
+
+bool encode_migrate_data(const MigrateDataMsg& msg,
+                         std::vector<std::uint8_t>& out) {
+  if (msg.payload.size() > kMaxMigrateSlice) return false;
+  const std::size_t payload = kMigrateDataHeaderSize + msg.payload.size();
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  out.push_back(static_cast<std::uint8_t>(MsgType::kMigrateData));
+  put_u64(out, msg.migration_id);
+  put_u64(out, msg.chunk);
+  put_u64(out, msg.offset);
+  put_u64(out, msg.total_bytes);
+  put_u64(out, msg.checksum);
+  out.push_back(msg.last ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(msg.payload.size()));
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  return true;
+}
+
+void encode_migrate_ack(const MigrateAckMsg& msg,
+                        std::vector<std::uint8_t>& out) {
+  put_u32(out, static_cast<std::uint32_t>(kMigrateAckPayloadSize));
+  out.push_back(static_cast<std::uint8_t>(MsgType::kMigrateAck));
+  put_u64(out, msg.migration_id);
+  out.push_back(msg.status);
+  put_u64(out, msg.bytes);
+}
+
+bool decode_migrate(const std::uint8_t* data, std::size_t size,
+                    MigrateMsg& out) {
+  if (size < kMigrateHeaderSize ||
+      data[0] != static_cast<std::uint8_t>(MsgType::kMigrate)) {
+    return false;
+  }
+  out.migration_id = get_u64(data + 1);
+  out.chunk = get_u64(data + 9);
+  out.epoch = get_u64(data + 17);
+  out.target_backend = get_u32(data + 25);
+  out.bytes = get_u64(data + 29);
+  out.target_port = static_cast<std::uint16_t>(
+      data[37] | (static_cast<std::uint16_t>(data[38]) << 8));
+  const std::size_t host_len =
+      data[39] | (static_cast<std::size_t>(data[40]) << 8);
+  if (size != kMigrateHeaderSize + host_len) return false;
+  out.target_host.assign(reinterpret_cast<const char*>(data + 41), host_len);
+  return true;
+}
+
+bool decode_migrate_data(const std::uint8_t* data, std::size_t size,
+                         MigrateDataMsg& out) {
+  if (size < kMigrateDataHeaderSize ||
+      data[0] != static_cast<std::uint8_t>(MsgType::kMigrateData)) {
+    return false;
+  }
+  out.migration_id = get_u64(data + 1);
+  out.chunk = get_u64(data + 9);
+  out.offset = get_u64(data + 17);
+  out.total_bytes = get_u64(data + 25);
+  out.checksum = get_u64(data + 33);
+  if (data[41] > 1) return false;
+  out.last = data[41] == 1;
+  const std::size_t payload_len = get_u32(data + 42);
+  if (payload_len > kMaxMigrateSlice ||
+      size != kMigrateDataHeaderSize + payload_len) {
+    return false;
+  }
+  out.payload.assign(data + kMigrateDataHeaderSize,
+                     data + kMigrateDataHeaderSize + payload_len);
+  return true;
+}
+
+bool decode_migrate_ack(const std::uint8_t* data, std::size_t size,
+                        MigrateAckMsg& out) {
+  if (size != kMigrateAckPayloadSize ||
+      data[0] != static_cast<std::uint8_t>(MsgType::kMigrateAck)) {
+    return false;
+  }
+  out.migration_id = get_u64(data + 1);
+  out.status = data[9];
+  out.bytes = get_u64(data + 10);
+  return true;
+}
+
+std::uint64_t migrate_checksum(const std::uint8_t* data,
+                               std::size_t size) noexcept {
+  // FNV-1a, 64-bit.
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
 }
 
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
@@ -147,8 +266,13 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size,
       return Decoded::kResponse;
     }
     case MsgType::kStats:
-      if (size != kStatsPayloadSize) return Decoded::kMalformed;
+      // Two valid sizes: the v1 frame, and v1 + the placement-epoch
+      // extension (see encode_stats_request).
+      if (size != kStatsPayloadSize && size != kStatsEpochPayloadSize) {
+        return Decoded::kMalformed;
+      }
       stats.flags = get_u32(data + 1);
+      stats.epoch = size == kStatsEpochPayloadSize ? get_u64(data + 5) : 0;
       return Decoded::kStats;
     case MsgType::kStatsResponse:
       // The snapshot body is versioned and parsed by net/stats.hpp; here we
@@ -165,6 +289,17 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size,
       // requiring room for the version word.
       if (size < 5) return Decoded::kMalformed;
       return Decoded::kTraceResponse;
+    case MsgType::kMigrate:
+      // Repair-plane bodies allocate (host string, payload vector), so
+      // they are classified here and parsed on demand by decode_migrate*.
+      if (size < kMigrateHeaderSize) return Decoded::kMalformed;
+      return Decoded::kMigrate;
+    case MsgType::kMigrateData:
+      if (size < kMigrateDataHeaderSize) return Decoded::kMalformed;
+      return Decoded::kMigrateData;
+    case MsgType::kMigrateAck:
+      if (size != kMigrateAckPayloadSize) return Decoded::kMalformed;
+      return Decoded::kMigrateAck;
   }
   return Decoded::kMalformed;
 }

@@ -17,13 +17,27 @@
 //   TRACE      (client -> rlbd):  u8 type=5, u32 flags (reserved, send 0)
 //   TRACE_RESP (rlbd -> client):  u8 type=6, versioned span blob
 //                                 (see net/trace_wire.hpp for the layout)
+//   MIGRATE    (coordinator -> source rlbd):
+//                                 u8 type=7, u64 migration_id, u64 chunk,
+//                                 u64 epoch, u32 target_backend, u64 bytes,
+//                                 u16 target_port, u16 host_len, host bytes
+//   MIGRATE_DATA (source rlbd -> target rlbd):
+//                                 u8 type=8, u64 migration_id, u64 chunk,
+//                                 u64 offset, u64 total_bytes, u64 checksum,
+//                                 u8 last, u32 payload_len, payload bytes
+//   MIGRATE_ACK  (rlbd -> sender):
+//                                 u8 type=9, u64 migration_id, u8 status,
+//                                 u64 bytes
 //
 // The REQUEST trace extension is optional and version-free by size: a
 // 17-byte payload is the v1 frame (no context), a 34-byte payload appends
 // the 17-byte trace context.  Encoders emit the extension only when a
 // context is present (trace_id != 0), so peers that predate it never see
 // extended frames and new decoders accept both sizes — sampling off costs
-// zero wire bytes.
+// zero wire bytes.  STATS uses the same idiom for the repair tier's
+// placement-epoch piggyback: the 5-byte v1 form carries no epoch, a
+// 13-byte form appends the sender's u64 placement epoch (emitted only when
+// nonzero), so pre-repair peers and scrapers interoperate unchanged.
 //
 // `request_id` is client-assigned and echoed verbatim; responses may come
 // back in any order (the engine answers in service order, not arrival
@@ -36,6 +50,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "obs/span.hpp"
@@ -55,6 +70,9 @@ enum class MsgType : std::uint8_t {
   kStatsResponse = 4,
   kTrace = 5,
   kTraceResponse = 6,
+  kMigrate = 7,
+  kMigrateData = 8,
+  kMigrateAck = 9,
 };
 
 enum class Status : std::uint8_t {
@@ -102,8 +120,12 @@ struct ResponseMsg {
 
 /// Admin request for a live metrics snapshot.  `flags` is reserved for
 /// future sub-selection (always send 0; the daemon ignores it today).
+/// `epoch` is the sender's current placement epoch, piggybacked on the
+/// router's heartbeat scrapes so backends learn of repair cutovers with
+/// no extra round trip; zero (the default) encodes the 5-byte v1 frame.
 struct StatsRequestMsg {
   std::uint32_t flags = 0;
+  std::uint64_t epoch = 0;
 };
 
 /// Admin request draining the daemon's span flight recorder.  `flags` is
@@ -113,13 +135,61 @@ struct TraceRequestMsg {
   std::uint32_t flags = 0;
 };
 
+/// Repair-plane order from the coordinator to the backend currently
+/// holding a replica of `chunk`: stream `bytes` bytes of chunk state to
+/// the target backend (dial `target_host:target_port`), then MIGRATE_ACK
+/// the coordinator.  `epoch` is the placement epoch this migration works
+/// toward; `migration_id` correlates the ack.
+struct MigrateMsg {
+  std::uint64_t migration_id = 0;
+  std::uint64_t chunk = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t target_backend = 0;
+  std::uint64_t bytes = 0;
+  std::uint16_t target_port = 0;
+  std::string target_host;
+};
+
+/// One slice of migrated chunk state, source backend -> target backend.
+/// `offset` positions the slice inside `total_bytes`; `checksum` is the
+/// FNV-1a digest of the payload bytes; `last` marks the final slice of
+/// the migration.  The target MIGRATE_ACKs once after the last slice.
+struct MigrateDataMsg {
+  std::uint64_t migration_id = 0;
+  std::uint64_t chunk = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t checksum = 0;
+  bool last = false;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Migration outcome: status 0 = success, nonzero = failure code.
+/// `bytes` echoes how many payload bytes the acker verified (target) or
+/// streamed (source).
+struct MigrateAckMsg {
+  std::uint64_t migration_id = 0;
+  std::uint8_t status = 0;
+  std::uint64_t bytes = 0;
+};
+
 /// Encoded sizes (frame = 4-byte length prefix + payload).
 inline constexpr std::size_t kRequestPayloadSize = 17;
 /// REQUEST with the trace-context extension appended.
 inline constexpr std::size_t kRequestTracedPayloadSize = 34;
 inline constexpr std::size_t kResponsePayloadSize = 18;
 inline constexpr std::size_t kStatsPayloadSize = 5;
+/// STATS with the placement-epoch extension appended.
+inline constexpr std::size_t kStatsEpochPayloadSize = 13;
 inline constexpr std::size_t kTracePayloadSize = 5;
+/// MIGRATE before the variable-length target host bytes.
+inline constexpr std::size_t kMigrateHeaderSize = 41;
+/// MIGRATE_DATA before the variable-length payload bytes.
+inline constexpr std::size_t kMigrateDataHeaderSize = 46;
+inline constexpr std::size_t kMigrateAckPayloadSize = 18;
+/// Largest MIGRATE_DATA payload slice an encoder may emit — comfortably
+/// under kMaxFramePayload so repair frames never monopolize a stream.
+inline constexpr std::size_t kMaxMigrateSlice = 32 * 1024;
 
 /// Append one framed message to `out`.
 void encode_request(const RequestMsg& msg, std::vector<std::uint8_t>& out);
@@ -138,6 +208,28 @@ bool encode_stats_response_frame(const std::vector<std::uint8_t>& payload,
 bool encode_trace_response_frame(const std::vector<std::uint8_t>& payload,
                                  std::vector<std::uint8_t>& out);
 
+/// Repair-plane frames.  encode_migrate fails (appends nothing) when the
+/// host name would overflow the frame cap; encode_migrate_data fails when
+/// the payload slice exceeds kMaxMigrateSlice.
+bool encode_migrate(const MigrateMsg& msg, std::vector<std::uint8_t>& out);
+bool encode_migrate_data(const MigrateDataMsg& msg,
+                         std::vector<std::uint8_t>& out);
+void encode_migrate_ack(const MigrateAckMsg& msg,
+                        std::vector<std::uint8_t>& out);
+
+/// Parse a payload decode_payload classified as kMigrate / kMigrateData /
+/// kMigrateAck.  False on malformed bodies (bad lengths, truncation).
+[[nodiscard]] bool decode_migrate(const std::uint8_t* data, std::size_t size,
+                                  MigrateMsg& out);
+[[nodiscard]] bool decode_migrate_data(const std::uint8_t* data,
+                                       std::size_t size, MigrateDataMsg& out);
+[[nodiscard]] bool decode_migrate_ack(const std::uint8_t* data,
+                                      std::size_t size, MigrateAckMsg& out);
+
+/// FNV-1a digest of a migration payload slice (the MIGRATE_DATA checksum).
+[[nodiscard]] std::uint64_t migrate_checksum(const std::uint8_t* data,
+                                             std::size_t size) noexcept;
+
 /// What a payload decoded to.
 enum class Decoded : std::uint8_t {
   kRequest,
@@ -150,6 +242,12 @@ enum class Decoded : std::uint8_t {
   /// A TRACE_RESP frame; classified only, parsed by net/trace_wire.hpp
   /// decode_trace_payload.
   kTraceResponse,
+  /// Repair-plane frames: classified only (size-sanity checked); bodies
+  /// are parsed by decode_migrate / decode_migrate_data /
+  /// decode_migrate_ack.
+  kMigrate,
+  kMigrateData,
+  kMigrateAck,
   kMalformed,
 };
 

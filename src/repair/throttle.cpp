@@ -1,0 +1,64 @@
+#include "repair/throttle.hpp"
+
+#include <algorithm>
+
+namespace rlb::repair {
+
+TokenBucket::TokenBucket(std::uint64_t bytes_per_sec, std::uint64_t burst)
+    : bytes_per_sec_(bytes_per_sec),
+      burst_(burst != 0 ? burst : bytes_per_sec),
+      tokens_(burst != 0 ? burst : bytes_per_sec),
+      last_refill_(std::chrono::steady_clock::now()) {}
+
+void TokenBucket::refill_locked(std::chrono::steady_clock::time_point now) {
+  if (bytes_per_sec_ == 0) return;
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_refill_);
+  if (elapsed.count() <= 0) return;
+  const std::uint64_t earned = static_cast<std::uint64_t>(
+      static_cast<double>(elapsed.count()) * 1e-9 *
+      static_cast<double>(bytes_per_sec_));
+  if (earned == 0) return;  // keep last_refill_ so sub-token intervals accrue
+  tokens_ = std::min(burst_, tokens_ + earned);
+  last_refill_ = now;
+}
+
+bool TokenBucket::take(std::uint64_t bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (bytes_per_sec_ == 0 || bytes == 0) return !stopped_;
+  std::uint64_t need = bytes;
+  while (!stopped_) {
+    refill_locked(std::chrono::steady_clock::now());
+    if (tokens_ >= need) {
+      tokens_ -= need;
+      return true;
+    }
+    // Drain what is there and sleep out (a bounded piece of) the rest, so
+    // a request larger than the burst cap still converges.
+    need -= tokens_;
+    tokens_ = 0;
+    const std::uint64_t chunk =
+        std::min(need, std::max<std::uint64_t>(burst_, 1));
+    const std::uint64_t wait_ns = static_cast<std::uint64_t>(
+        static_cast<double>(chunk) * 1e9 / static_cast<double>(bytes_per_sec_));
+    cv_.wait_for(lock, std::chrono::nanoseconds(std::max<std::uint64_t>(
+                           wait_ns, 100'000)));
+  }
+  return false;
+}
+
+void TokenBucket::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t TokenBucket::available() {
+  std::lock_guard<std::mutex> lock(mu_);
+  refill_locked(std::chrono::steady_clock::now());
+  return bytes_per_sec_ == 0 ? ~0ull : tokens_;
+}
+
+}  // namespace rlb::repair

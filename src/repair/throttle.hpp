@@ -1,0 +1,47 @@
+// Token-bucket byte throttle for the repair plane.
+//
+// Repair traffic shares the wire with serving traffic; the throttle keeps
+// re-replication from starving the hot path.  Workers take() the byte
+// cost of a migration before streaming it; the bucket refills at
+// bytes_per_sec with a bounded burst, and take() blocks until the tokens
+// are available (or the throttle is stopped).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace rlb::repair {
+
+class TokenBucket {
+ public:
+  /// `bytes_per_sec` = refill rate; 0 disables throttling entirely (every
+  /// take() returns immediately).  `burst` caps the accumulated tokens; 0
+  /// defaults the cap to one second's refill.
+  explicit TokenBucket(std::uint64_t bytes_per_sec, std::uint64_t burst = 0);
+
+  /// Block until `bytes` tokens are available and consume them.  Returns
+  /// false when stop() interrupted the wait.  A request larger than the
+  /// burst cap is still served (the bucket just runs a deficit wait).
+  bool take(std::uint64_t bytes);
+
+  /// Release every current and future take() with a false return.
+  void stop();
+
+  /// Tokens currently available (testing / introspection).
+  std::uint64_t available();
+
+ private:
+  void refill_locked(std::chrono::steady_clock::time_point now);
+
+  const std::uint64_t bytes_per_sec_;
+  const std::uint64_t burst_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t tokens_;
+  std::chrono::steady_clock::time_point last_refill_;
+  bool stopped_ = false;
+};
+
+}  // namespace rlb::repair

@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
 
 namespace rlb::cluster {
 namespace {
@@ -164,6 +167,117 @@ TEST(Membership, ViewReportsHeartbeatCountersAndSample) {
   EXPECT_EQ(view.servers_down, 1u);
   EXPECT_EQ(view.backlog_gauge, 2u);
   EXPECT_EQ(view.load_estimate, 2u);
+}
+
+// ---- transition subscription (repair-plane feed) ----------------------
+
+using Transition = std::tuple<std::uint32_t, BackendHealth, BackendHealth>;
+
+/// Subscribe a recording sink; the shared_ptr keeps the log alive inside
+/// the std::function for the membership's lifetime.
+std::shared_ptr<std::vector<Transition>> watch(Membership& membership) {
+  auto log = std::make_shared<std::vector<Transition>>();
+  membership.subscribe([log](std::uint32_t id, BackendHealth from,
+                             BackendHealth to) {
+    log->emplace_back(id, from, to);
+  });
+  return log;
+}
+
+TEST(MembershipSubscribe, FiresOncePerStateChangeWithBothEnds) {
+  Membership membership(2, MembershipConfig{});
+  auto log_ptr = watch(membership);
+  std::vector<Transition>& log = *log_ptr;
+
+  bring_up(membership, 0);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], Transition(0, BackendHealth::kDown,
+                               BackendHealth::kProbation));
+  EXPECT_EQ(log[1], Transition(0, BackendHealth::kProbation,
+                               BackendHealth::kUp));
+
+  // Steady-state successes are not transitions.
+  membership.record_success(0, sample(1));
+  membership.record_success(0, sample(2));
+  EXPECT_EQ(log.size(), 2u);
+
+  membership.force_down(0);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[2], Transition(0, BackendHealth::kUp, BackendHealth::kDown));
+
+  // Repeated force_down on an already-down backend stays silent.
+  membership.force_down(0);
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(MembershipSubscribe, MissesBelowThresholdDoNotNotify) {
+  MembershipConfig config;
+  config.miss_threshold = 3;
+  Membership membership(1, config);
+  auto log_ptr = watch(membership);
+  std::vector<Transition>& log = *log_ptr;
+  bring_up(membership, 0);
+  log.clear();
+
+  membership.record_miss(0);
+  membership.record_miss(0);
+  EXPECT_TRUE(log.empty()) << "sub-threshold misses are not transitions";
+  membership.record_miss(0);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], Transition(0, BackendHealth::kUp, BackendHealth::kDown));
+}
+
+// The probation flap the repair plane must survive: down -> probation ->
+// down again before probation_successes accumulate.  Each leg notifies
+// exactly once and the subscriber never sees a spurious kUp — so a
+// repair coordinator fed by this stream never cancels repair for a
+// backend that merely flapped.
+TEST(MembershipSubscribe, ProbationFlapNeverReportsUp) {
+  MembershipConfig config;
+  config.probation_successes = 2;
+  Membership membership(1, config);
+  auto log_ptr = watch(membership);
+  std::vector<Transition>& log = *log_ptr;
+
+  bring_up(membership, 0);
+  membership.force_down(0);
+  log.clear();
+
+  // Flap twice: one success (probation), one miss (straight back down).
+  for (int flap = 0; flap < 2; ++flap) {
+    membership.record_success(0, sample(0));
+    membership.record_miss(0);
+  }
+  ASSERT_EQ(log.size(), 4u);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_NE(std::get<2>(log[i]), BackendHealth::kUp)
+        << "transition " << i << " must not report a flapping backend up";
+  }
+  EXPECT_EQ(log[0], Transition(0, BackendHealth::kDown,
+                               BackendHealth::kProbation));
+  EXPECT_EQ(log[1], Transition(0, BackendHealth::kProbation,
+                               BackendHealth::kDown));
+  EXPECT_FALSE(membership.is_live(0));
+
+  // Only a full probation walk reports kUp.
+  log.clear();
+  bring_up(membership, 0);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(std::get<2>(log[1]), BackendHealth::kUp);
+}
+
+TEST(MembershipSubscribe, SubscriberMayCallBackIntoAccessors) {
+  Membership membership(1, MembershipConfig{});
+  std::vector<BackendHealth> seen;
+  membership.subscribe([&membership, &seen](std::uint32_t id, BackendHealth,
+                                            BackendHealth) {
+    // view() takes the membership lock: this deadlocks unless notify()
+    // really fires after the lock is released.
+    seen.push_back(membership.view(id).health);
+  });
+  bring_up(membership, 0);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1], BackendHealth::kUp);
 }
 
 }  // namespace

@@ -69,6 +69,18 @@ StatsSnapshot make_full_snapshot() {
   snapshot.safe_set.push_back({2, 20, 16.0, 1.25});
   snapshot.safe_worst_ratio = 1.25;
   snapshot.safe_violated_level = 2;
+  // v4 repair tier: distinct values per field so any decode transposition
+  // fails the round trip.
+  snapshot.placement_epoch = 11;
+  snapshot.repair.migrations_done = 21;
+  snapshot.repair.migrations_failed = 2;
+  snapshot.repair.migrations_inflight = 1;
+  snapshot.repair.chunks_pending = 5;
+  snapshot.repair.bytes_sent = 86016;
+  snapshot.repair.migrations_in = 13;
+  snapshot.repair.migrations_out = 8;
+  snapshot.repair.migration_bytes_in = 53248;
+  snapshot.repair.migration_bytes_out = 32768;
   return snapshot;
 }
 
@@ -135,6 +147,20 @@ TEST(StatsCodec, RoundTripPreservesEveryField) {
   }
   EXPECT_DOUBLE_EQ(decoded.safe_worst_ratio, original.safe_worst_ratio);
   EXPECT_EQ(decoded.safe_violated_level, original.safe_violated_level);
+  EXPECT_EQ(decoded.placement_epoch, original.placement_epoch);
+  EXPECT_EQ(decoded.repair.migrations_done, original.repair.migrations_done);
+  EXPECT_EQ(decoded.repair.migrations_failed,
+            original.repair.migrations_failed);
+  EXPECT_EQ(decoded.repair.migrations_inflight,
+            original.repair.migrations_inflight);
+  EXPECT_EQ(decoded.repair.chunks_pending, original.repair.chunks_pending);
+  EXPECT_EQ(decoded.repair.bytes_sent, original.repair.bytes_sent);
+  EXPECT_EQ(decoded.repair.migrations_in, original.repair.migrations_in);
+  EXPECT_EQ(decoded.repair.migrations_out, original.repair.migrations_out);
+  EXPECT_EQ(decoded.repair.migration_bytes_in,
+            original.repair.migration_bytes_in);
+  EXPECT_EQ(decoded.repair.migration_bytes_out,
+            original.repair.migration_bytes_out);
 }
 
 TEST(StatsCodec, EmptySnapshotRoundTrips) {
@@ -210,6 +236,31 @@ TEST(StatsWire, StatsRequestRoundTripsThroughDecodePayload) {
   EXPECT_EQ(stats.flags, 0xDEADBEEFu);
 }
 
+TEST(StatsWire, EpochedStatsRequestCarriesEpoch) {
+  // A nonzero sender epoch switches to the extended 13-byte payload...
+  std::vector<std::uint8_t> frame;
+  encode_stats_request(StatsRequestMsg{7, 42}, frame);
+  ASSERT_EQ(frame.size(), 4 + kStatsEpochPayloadSize);
+  RequestMsg request;
+  ResponseMsg response;
+  StatsRequestMsg stats;
+  EXPECT_EQ(decode_payload(frame.data() + 4, frame.size() - 4, request,
+                           response, stats),
+            Decoded::kStats);
+  EXPECT_EQ(stats.flags, 7u);
+  EXPECT_EQ(stats.epoch, 42u);
+
+  // ...while epoch 0 keeps the legacy 5-byte form, so pre-repair peers
+  // never see the extension.
+  frame.clear();
+  encode_stats_request(StatsRequestMsg{7, 0}, frame);
+  ASSERT_EQ(frame.size(), 4 + kStatsPayloadSize);
+  EXPECT_EQ(decode_payload(frame.data() + 4, frame.size() - 4, request,
+                           response, stats),
+            Decoded::kStats);
+  EXPECT_EQ(stats.epoch, 0u);
+}
+
 TEST(StatsWire, StatsRequestWithWrongSizeIsMalformed) {
   std::vector<std::uint8_t> frame;
   encode_stats_request(StatsRequestMsg{1}, frame);
@@ -273,6 +324,10 @@ TEST(StatsRender, PrometheusExpositionIsWellFormed) {
             std::string::npos);
   EXPECT_NE(text.find("rlb_safe_set_ratio{level=\"2\"}"), std::string::npos);
   EXPECT_NE(text.find("rlb_safe_set_worst_ratio"), std::string::npos);
+  EXPECT_NE(text.find("rlb_placement_epoch 11\n"), std::string::npos);
+  EXPECT_NE(text.find("rlb_repair_migrations_done_total 21\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rlb_repair_chunks_pending 5\n"), std::string::npos);
   // Every non-comment line splits into `body value` with a numeric value.
   std::size_t start = 0;
   while (start < text.size()) {
@@ -303,6 +358,8 @@ TEST(StatsRender, JsonCarriesTotalsAndSafeSet) {
   EXPECT_NE(json.find("\"queue_wait_count\":333"), std::string::npos);
   EXPECT_NE(json.find("\"safe_worst_ratio\":1.25"), std::string::npos);
   EXPECT_NE(json.find("\"safe_violated_level\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"placement_epoch\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"migrations_done\":21"), std::string::npos);
   EXPECT_NE(json.find("\"policy\":\"greedy\""), std::string::npos);
 }
 
