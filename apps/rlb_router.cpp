@@ -18,14 +18,19 @@
 #include "cluster/router.hpp"
 #include "harness/output.hpp"
 #include "net/stats.hpp"
+#include "obs/health.hpp"
+#include "obs/journal.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
 
 void handle_signal(int) { g_stop_requested = 1; }
+
+void handle_dump_signal(int) { g_dump_requested = 1; }
 
 void usage(const char* argv0) {
   std::cerr
@@ -55,9 +60,13 @@ void usage(const char* argv0) {
       << "  --span-slow-us <us>    keep unsampled spans slower than this\n"
       << "                         (tail sampling; 0 = sampled/failed only)\n"
       << "  --stats-interval <s>   print live stats every s seconds (0=off)\n"
+      << "  --flight-recorder <path>\n"
+      << "                         flight-record JSON dump target for\n"
+      << "                         SIGQUIT / drain (default\n"
+      << "                         rlb_router_flight.json; empty disables)\n"
       << "  (plus --probes / --trace <path> from the obs layer)\n"
       << "rlb_stat polls the STATS admin opcode on the router port; add\n"
-      << "--cluster to scrape the backends too.\n";
+      << "--cluster to scrape the backends too, --events for the journal.\n";
 }
 
 bool parse_u64_flag(const char* name, const std::string& value,
@@ -85,6 +94,7 @@ int main(int argc, char** argv) {
   cluster::RouterConfig config;
   config.port = 4116;
   std::uint64_t stats_interval_s = 0;
+  std::string flight_recorder_path = "rlb_router_flight.json";
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -171,6 +181,8 @@ int main(int argc, char** argv) {
     } else if (flag == "--stats-interval" && has_value) {
       if (!parse_u64_flag("--stats-interval", value(), u64)) return 2;
       stats_interval_s = u64;
+    } else if (flag == "--flight-recorder" && has_value) {
+      flight_recorder_path = value();
     } else if (flag == "--format" || flag == "--trace") {
       ++i;  // consumed by init_output
     } else if (flag == "--probes" || flag == "--trace-detail") {
@@ -190,6 +202,7 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGQUIT, handle_dump_signal);
   std::signal(SIGPIPE, SIG_IGN);
 
   // Span recording on by default: zero cost until a request carries a wire
@@ -212,10 +225,52 @@ int main(int argc, char** argv) {
             << (config.repair.enabled ? ", repair=on" : "") << ") on "
             << config.host << ":" << router->port() << std::endl;
 
+  // Flight recorder: journal tail + cluster-view snapshot, written from
+  // ordinary context (SIGQUIT only flags).
+  auto dump_flight_record = [&](const char* why) {
+    if (flight_recorder_path.empty()) return;
+    if (obs::write_flight_record(flight_recorder_path, "router", 0,
+                                 net::render_json(router->snapshot()))) {
+      std::cout << "rlb_router: flight record (" << why << ") -> "
+                << flight_recorder_path << std::endl;
+    } else {
+      std::cerr << "rlb_router: flight record write failed: "
+                << flight_recorder_path << "\n";
+    }
+  };
+
+  // The alerting watchdog: one evaluation per second over the cluster-view
+  // windowed signals (down backends, heartbeat flaps, windowed hop-RTT p99,
+  // repair progress).
+  obs::HealthWatchdog watchdog;
+
   std::uint64_t iterations = 0;
   while (!g_stop_requested) {
     ::usleep(200 * 1000);
     ++iterations;
+    if (g_dump_requested) {
+      g_dump_requested = 0;
+      dump_flight_record("SIGQUIT");
+    }
+    if (iterations % 5 == 0) {
+      const net::StatsSnapshot snap = router->snapshot();
+      const net::ShardStats totals = snap.totals();
+      obs::HealthSample sample;
+      sample.safe_worst_ratio = snap.safe_worst_ratio;
+      sample.win_p99_us =
+          static_cast<std::uint64_t>(snap.win_hop_rtt.quantile_us(0.99));
+      sample.down_count = totals.servers_down;
+      // totals() keeps the max of max_batch; the flap rule needs the SUM of
+      // per-backend mark-down counts (row.max_batch carries them).
+      sample.transitions_down = 0;
+      for (const net::ShardStats& row : snap.shards) {
+        sample.transitions_down += row.max_batch;
+      }
+      sample.repair_pending = snap.repair.chunks_pending;
+      sample.repair_done = snap.repair.migrations_done;
+      watchdog.evaluate(sample);
+      obs::set_active_alerts(watchdog.active());
+    }
     if (stats_interval_s > 0 && iterations % (5 * stats_interval_s) == 0) {
       const cluster::RouterStats s = router->stats();
       std::cout << "rlb_router: received=" << s.received
@@ -239,6 +294,8 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "rlb_router: draining..." << std::endl;
+  // Capture the post-mortem before stop() tears down the upstream view.
+  dump_flight_record("drain");
   router->stop();
   // Flush trace sinks during the drain (atomic tmp+rename): no truncated
   // --trace / span JSONL on SIGTERM.

@@ -24,10 +24,13 @@
 
 #include "engine/engine.hpp"
 #include "harness/output.hpp"
+#include "net/events_wire.hpp"
 #include "net/server.hpp"
 #include "net/stats.hpp"
 #include "net/trace_wire.hpp"
 #include "net/wire.hpp"
+#include "obs/health.hpp"
+#include "obs/journal.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "repair/migrate_agent.hpp"
@@ -35,8 +38,11 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
 
 void handle_signal(int) { g_stop_requested = 1; }
+
+void handle_dump_signal(int) { g_dump_requested = 1; }
 
 void usage(const char* argv0) {
   std::cerr
@@ -67,8 +73,13 @@ void usage(const char* argv0) {
       << "  --stats-interval <s>   print live stats every s seconds (0=off)\n"
       << "  --safe-set-log <path>  append one safe-set JSONL record per\n"
       << "                         stats interval (forces 1s when unset)\n"
+      << "  --flight-recorder <path>\n"
+      << "                         flight-record JSON dump target for\n"
+      << "                         SIGQUIT / drain (default rlbd_flight.json;\n"
+      << "                         empty string disables)\n"
       << "  (plus --probes / --trace <path> from the obs layer)\n"
-      << "rlb_stat polls the STATS admin opcode on the same port.\n";
+      << "rlb_stat polls the STATS admin opcode on the same port;\n"
+      << "rlb_stat --events drains the control-plane journal (EVENTS).\n";
 }
 
 bool parse_u64_flag(const char* name, const std::string& value,
@@ -97,6 +108,7 @@ int main(int argc, char** argv) {
   net_config.port = 4117;
   std::uint64_t stats_interval_s = 0;
   std::string safe_set_log_path;
+  std::string flight_recorder_path = "rlbd_flight.json";
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -162,6 +174,8 @@ int main(int argc, char** argv) {
       stats_interval_s = u64;
     } else if (flag == "--safe-set-log" && has_value) {
       safe_set_log_path = value();
+    } else if (flag == "--flight-recorder" && has_value) {
+      flight_recorder_path = value();
     } else if (flag == "--span-slow-us" && has_value) {
       if (!parse_u64_flag("--span-slow-us", value(), u64)) return 2;
       rlb::obs::SpanRecorder::instance().set_slow_budget_ns(u64 * 1000);
@@ -266,6 +280,16 @@ int main(int argc, char** argv) {
                                           net::NodeRole::kBackend, backend_id));
       });
 
+  // EVENTS drains the control-plane journal by cursor (non-destructive, so
+  // any number of rlb_stat --events scrapers coexist).
+  server.set_events_handler(
+      [&server, backend_id](std::uint64_t conn_token,
+                            const net::EventsRequestMsg& msg) {
+        server.send_events(conn_token,
+                           net::make_events_snapshot(net::NodeRole::kBackend,
+                                                     backend_id, msg.cursor));
+      });
+
   std::ofstream safe_set_log;
   if (!safe_set_log_path.empty()) {
     safe_set_log.open(safe_set_log_path, std::ios::app);
@@ -278,7 +302,29 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGQUIT, handle_dump_signal);
   std::signal(SIGPIPE, SIG_IGN);
+
+  // Flight recorder: journal tail + current snapshot as one atomic JSON
+  // document.  Not async-signal-safe, so SIGQUIT only flags and the main
+  // loop calls this from ordinary context.
+  auto dump_flight_record = [&](const char* why) {
+    if (flight_recorder_path.empty()) return;
+    if (obs::write_flight_record(flight_recorder_path, "backend",
+                                 config.backend_id,
+                                 net::render_json(engine.snapshot()))) {
+      std::cout << "rlbd: flight record (" << why << ") -> "
+                << flight_recorder_path << std::endl;
+    } else {
+      std::cerr << "rlbd: flight record write failed: "
+                << flight_recorder_path << "\n";
+    }
+  };
+
+  // The alerting watchdog: one evaluation per second over this backend's
+  // own windowed signals; active rule names feed the STATS snapshot via
+  // obs::set_active_alerts().
+  obs::HealthWatchdog watchdog;
 
   engine.start();
   migration_agent.start();
@@ -306,6 +352,21 @@ int main(int argc, char** argv) {
   while (!g_stop_requested) {
     ::usleep(200 * 1000);
     ++iterations;
+    if (g_dump_requested) {
+      g_dump_requested = 0;
+      dump_flight_record("SIGQUIT");
+    }
+    if (iterations % 5 == 0) {
+      const net::StatsSnapshot snap = engine.snapshot();
+      obs::HealthSample sample;
+      sample.safe_worst_ratio = snap.safe_worst_ratio;
+      sample.win_p99_us =
+          static_cast<std::uint64_t>(snap.win_latency.quantile_us(0.99));
+      sample.down_count = snap.totals().servers_down;
+      sample.slow_consumer_drops = server.stats().slow_consumer_drops;
+      watchdog.evaluate(sample);
+      obs::set_active_alerts(watchdog.active());
+    }
     if (safe_set_log.is_open() && iterations % log_period == 0) {
       safe_set_log << net::render_json(engine.snapshot()) << "\n";
       safe_set_log.flush();
@@ -324,6 +385,9 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "rlbd: draining..." << std::endl;
+  // Capture the post-mortem before the engine stops: the snapshot still
+  // shows the state the incident left behind.
+  dump_flight_record("drain");
   // Drain order matters: the engine answers everything in flight first
   // (responses land in the listener's outbound buffers), then the listener
   // flushes those buffers and closes.  The migration agent goes first so

@@ -27,6 +27,19 @@ def load(path):
         sys.exit(2)
 
 
+def fmt_provenance(doc):
+    """One-line who/where/when for a snapshot (absent on pre-provenance
+    documents — bench_snapshot.sh stamps it since the health-plane work)."""
+    p = doc.get("provenance")
+    if not isinstance(p, dict):
+        return "no provenance recorded"
+    head = str(p.get("git_head", "unknown"))[:12]
+    dirty = "+dirty" if p.get("git_dirty") else ""
+    return (f"{head}{dirty} on {p.get('hostname', 'unknown')} "
+            f"({p.get('nproc', '?')} cpus) at "
+            f"{p.get('timestamp_utc', 'unknown')}")
+
+
 def fmt_delta(old, new, higher_is_better):
     if not old:
         return "n/a"
@@ -124,6 +137,8 @@ def main():
         return
     width = max(len(name) for name, _ in rows)
     print(f"bench_diff: {argv[1]} vs baseline {argv[0]}")
+    print(f"  baseline: {fmt_provenance(base)}")
+    print(f"  fresh:    {fmt_provenance(fresh)}")
     for name, delta in rows:
         print(f"  {name:<{width}}  {delta}")
     if threshold is None:

@@ -48,11 +48,21 @@ echo "bench_snapshot: running bench_cluster..." >&2
   --requests 100000 --connections 4 --concurrency 32 \
   > /dev/null
 
+# Provenance: a snapshot compared weeks later (or pulled from a CI
+# artifact store) must say which commit, machine, and moment produced it.
+GIT_HEAD="$(git -C "$REPO_ROOT" rev-parse HEAD 2>/dev/null || echo unknown)"
+GIT_DIRTY=0
+git -C "$REPO_ROOT" diff --quiet HEAD 2>/dev/null || GIT_DIRTY=1
+HOST="$(hostname 2>/dev/null || echo unknown)"
+NPROC="$(nproc 2>/dev/null || echo 0)"
+STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
 # Merge into the snapshot document.  Write via a temp file + rename so a
 # crash mid-merge never leaves a truncated BENCH_*.json for the diff job
 # (or a committed baseline) to trip over.
 OUT_TMP="$OUT.tmp.$$"
-python3 - "$MICRO_JSON" "$SERVING_JSON" "$CLUSTER_JSON" "$OUT_TMP" <<'EOF'
+python3 - "$MICRO_JSON" "$SERVING_JSON" "$CLUSTER_JSON" "$OUT_TMP" \
+  "$GIT_HEAD" "$GIT_DIRTY" "$HOST" "$NPROC" "$STAMP" <<'EOF'
 import json, sys
 
 micro = json.load(open(sys.argv[1]))
@@ -61,6 +71,13 @@ cluster = json.load(open(sys.argv[3]))
 
 snapshot = {
     "schema": "rlb-bench-snapshot-v1",
+    "provenance": {
+        "git_head": sys.argv[5],
+        "git_dirty": sys.argv[6] == "1",
+        "hostname": sys.argv[7],
+        "nproc": int(sys.argv[8]),
+        "timestamp_utc": sys.argv[9],
+    },
     # google-benchmark's context block carries host/clock/build info.
     "context": micro.get("context", {}),
     "micro": [

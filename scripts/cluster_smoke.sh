@@ -56,9 +56,11 @@ SPAN_FILE2="$(mktemp /tmp/rlb_cluster_spans2.XXXXXX.jsonl)"
 MERGED_JSONL="$(mktemp /tmp/rlb_cluster_merged.XXXXXX.jsonl)"
 CHROME_JSON="$(mktemp /tmp/rlb_cluster_chrome.XXXXXX.json)"
 TRACE_SUMMARY="$(mktemp /tmp/rlb_cluster_trace.XXXXXX.txt)"
+EVENTS_JSON="$(mktemp /tmp/rlb_cluster_events.XXXXXX.json)"
+FLIGHT_JSON="$(mktemp /tmp/rlb_cluster_flight.XXXXXX.json)"
 TMPFILES=("$P1_JSON" "$P2_JSON" "$P3_JSON" "$P4_JSON" "$CLUSTER_JSON" \
           "$ROUTER_JSON" "$SPAN_FILE" "$SPAN_FILE2" "$MERGED_JSONL" \
-          "$CHROME_JSON" "$TRACE_SUMMARY")
+          "$CHROME_JSON" "$TRACE_SUMMARY" "$EVENTS_JSON" "$FLIGHT_JSON")
 
 for bin in "$RLBD" "$ROUTER" "$LOADGEN" "$RLB_STAT" "$RLB_TRACE"; do
   if [[ ! -x "$bin" ]]; then
@@ -117,8 +119,13 @@ wait_port() {  # wait_port <port>
 
 wait_port "$B1_PORT"; wait_port "$B2_PORT"; wait_port "$B3_PORT"
 
-"$ROUTER" --backends "$BACKENDS" --d 2 --chunks 4096 \
-  --heartbeat-ms 50 --timeout-ms 2000 --port "$ROUTER_PORT" &
+# 512 chunks (not 4096): a SIGKILL makes the repair plane journal ~2-3
+# events per affected chunk, and the whole incident (both phase-2 and
+# phase-4 kills) must fit inside the 4096-event journal ring for the
+# incident-story scrape below to see the MEMBER_DOWN edge.
+"$ROUTER" --backends "$BACKENDS" --d 2 --chunks 512 \
+  --heartbeat-ms 50 --timeout-ms 2000 --port "$ROUTER_PORT" \
+  --repair --repair-grace-ms 200 --flight-recorder "$FLIGHT_JSON" &
 ROUTER_PID=$!
 wait_port "$ROUTER_PORT"
 
@@ -150,7 +157,7 @@ wait_all_live
 "$RLB_STAT" --cluster "127.0.0.1:$ROUTER_PORT,$BACKENDS" --json \
   > "$CLUSTER_JSON"
 
-python3 - "$P1_JSON" "$CLUSTER_JSON" <<'EOF'
+python3 - "$P1_JSON" "$CLUSTER_JSON" "$OBS_OFF" <<'EOF'
 import json, sys
 summary = json.load(open(sys.argv[1]))
 assert int(summary["protocol_errors"]) == 0, "phase 1: protocol errors"
@@ -175,6 +182,19 @@ assert int(totals["rejected"]) == int(summary["rejected"]), (
 assert int(totals["errors"]) == 0, "backends saw errors"
 roles = sorted(r["snapshot"]["role"] for r in cluster["endpoints"])
 assert roles == ["backend", "backend", "backend", "router"], roles
+
+# Windowed metrics: scraped right after the run, every node's trailing
+# window must still cover the burst — nonzero span and per-window counts
+# next to the lifetime totals.  (Compiled out with the obs plane off.)
+if sys.argv[3] != "1":
+    for row in cluster["endpoints"]:
+        win = row["snapshot"]["window"]
+        assert int(win["span_ms"]) > 0, f"{row['endpoint']}: empty window"
+        assert int(win["submitted"]) > 0, \
+            f"{row['endpoint']}: window saw no traffic just after the run"
+        if row["snapshot"]["role"] == "backend":
+            assert float(win["latency_p99_us"]) > 0, \
+                f"{row['endpoint']}: windowed p99 empty just after the run"
 print(f"cluster_smoke: phase 1 OK — {answered} answered, "
       f"conservation holds ({totals['completed']} completed)")
 EOF
@@ -253,14 +273,106 @@ print(f"cluster_smoke: phase 3 OK — backend rejoined after probation, "
       f"router conservation holds ({expected_ok} relayed ok)")
 EOF
 
+# ---- journal incident story + flight recorder ----------------------------
+# The router's control-plane event journal must tell phases 2-3 back as a
+# story: the SIGKILL surfaces as MEMBER_DOWN, the repair plane migrates the
+# dead backend's chunks (MIGRATE_DONE) and commits a new placement epoch
+# (EPOCH_COMMIT) after it, the watchdog raises backend_down after the
+# mark-down and clears it after the phase-3 recovery — all in journal
+# sequence order, scraped over the EVENTS opcode by rlb_stat --events.
+if [[ "$OBS_OFF" != "1" ]]; then
+  STORY_OK=0
+  for _ in $(seq 1 60); do
+    "$RLB_STAT" --port "$ROUTER_PORT" --events --json > "$EVENTS_JSON" \
+      2>/dev/null || true
+    if python3 - "$EVENTS_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = sorted(doc["events"], key=lambda e: int(e["seq"]))
+
+def first(pred, after=0):
+    for e in events:
+        if int(e["seq"]) > after and pred(e):
+            return int(e["seq"])
+    return None
+
+# Any DOWN edge that anchors the full chain counts (load can add transient
+# mark-down/up pairs around the real incident).
+for e in events:
+    if e["type"] != "MEMBER_DOWN":
+        continue
+    down = int(e["seq"])
+    migrate = first(lambda x: x["type"] == "MIGRATE_DONE", down)
+    if migrate is None:
+        continue
+    epoch = first(lambda x: x["type"] == "EPOCH_COMMIT", migrate)
+    raised = first(
+        lambda x: x["type"] == "ALERT_RAISED"
+        and x["detail"] == "backend_down", down)
+    if epoch is None or raised is None:
+        continue
+    cleared = first(
+        lambda x: x["type"] == "ALERT_CLEARED"
+        and x["detail"] == "backend_down", raised)
+    up = first(lambda x: x["type"] == "MEMBER_UP", down)
+    if cleared is not None and up is not None:
+        print(f"cluster_smoke: journal OK — DOWN#{down} -> "
+              f"MIGRATE_DONE#{migrate} -> EPOCH_COMMIT#{epoch}; "
+              f"alert raised#{raised} -> UP#{up} -> cleared#{cleared}")
+        sys.exit(0)
+sys.exit(1)
+EOF
+    then STORY_OK=1; break; fi
+    sleep 0.25
+  done
+  if [[ "$STORY_OK" != "1" ]]; then
+    echo "cluster_smoke: journal never told the incident story" >&2
+    "$RLB_STAT" --port "$ROUTER_PORT" --events >&2 || true
+    exit 1
+  fi
+fi
+
+# Flight recorder: SIGQUIT must dump a parseable post-mortem JSON (journal
+# tail + stats snapshot) without killing the router.
+kill -QUIT "$ROUTER_PID"
+FLIGHT_OK=0
+for _ in $(seq 1 50); do
+  if python3 - "$FLIGHT_JSON" "$OBS_OFF" <<'EOF' 2>/dev/null
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["flight_record"] == 1
+assert doc["role"] == "router"
+assert isinstance(doc["events"], list)
+assert isinstance(doc["snapshot"], dict)
+if sys.argv[2] != "1":
+    # The dump keeps the journal's last 512 events, so the phase-2
+    # MEMBER_DOWN may have scrolled past; a busy cluster just needs a
+    # non-empty tail of well-formed events.
+    assert len(doc["events"]) > 0, "flight record has an empty journal tail"
+    assert all("seq" in e and "type" in e for e in doc["events"])
+EOF
+  then FLIGHT_OK=1; break; fi
+  sleep 0.1
+done
+if [[ "$FLIGHT_OK" != "1" ]]; then
+  echo "cluster_smoke: SIGQUIT produced no parseable flight record" >&2
+  exit 1
+fi
+kill -0 "$ROUTER_PID" 2>/dev/null || {
+  echo "cluster_smoke: router died on SIGQUIT" >&2; exit 1; }
+echo "cluster_smoke: flight recorder OK — SIGQUIT dumped, router alive"
+
 # ---- phase 4: distributed tracing under a mid-run SIGKILL ----------------
 # Every request carries a wire trace context (--trace-sample > 0); ~5% get
 # the head-sampling flag, failed hops are kept by the recorders regardless
-# of sampling, and the router escalates sampling on retries.  B3 is
-# SIGKILLed mid-run again, so traces that had a hop in flight to it must
-# show the failed hop plus its retry in the merged tree.  The dead B3
-# endpoint stays on the rlb_trace scrape list to exercise the
-# partial-failure path (the merger must warn and continue).
+# of sampling, and the router escalates sampling on retries.  B2 is
+# SIGKILLed mid-run, so traces that had a hop in flight to it must show
+# the failed hop plus its retry in the merged tree.  (B2, not B3: the
+# phase-2 repair migrated every chunk referencing B3 onto B1/B2 and
+# nothing rebalances back on rejoin, so the rejoined B3 carries no
+# traffic — killing it again would fail nothing.)  The dead B2 endpoint
+# stays on the rlb_trace scrape list to exercise the partial-failure path
+# (the merger must warn and continue).
 router_completed() {
   "$RLB_STAT" --port "$ROUTER_PORT" --json 2>/dev/null \
     | python3 -c \
@@ -284,11 +396,11 @@ for _ in $(seq 1 500); do
 done
 # The gate's own STATS scrape briefly serialises with the router's event
 # loop, draining its pending-hop table; let the data plane refill so the
-# SIGKILL lands with hops actually in flight to B3.
+# SIGKILL lands with hops actually in flight to B2.
 sleep 0.08
-kill -9 "$B3_PID"
-wait_gone "$B3_PID"
-B3_PID=""
+kill -9 "$B2_PID"
+wait_gone "$B2_PID"
+B2_PID=""
 wait "$LOADGEN_PID"
 
 "$RLB_TRACE" --endpoints "127.0.0.1:$ROUTER_PORT,$BACKENDS" \
@@ -377,12 +489,12 @@ print(f"cluster_smoke: SIGTERM drain OK — span file intact "
 EOF
 
 # Graceful drain: router first (rejects nothing new), then the backends
-# (B3 died in phase 4 and stays down).
+# (B2 died in phase 4 and stays down).
 kill -INT "$ROUTER_PID"; wait_gone "$ROUTER_PID"; ROUTER_PID=""
-for pid in "$B1_PID" "$B2_PID"; do
+for pid in "$B1_PID" "$B3_PID"; do
   kill -INT "$pid"; wait_gone "$pid"
 done
-B1_PID=""; B2_PID=""
+B1_PID=""; B3_PID=""
 trap - EXIT
 rm -f "${TMPFILES[@]}"
 echo "cluster_smoke: all phases passed; router and backends drained cleanly"

@@ -17,13 +17,16 @@
 #include "core/types.hpp"
 #include "hashing/hash.hpp"
 #include "net/client.hpp"
+#include "net/events_wire.hpp"
 #include "net/server.hpp"
 #include "net/stats.hpp"
 #include "net/trace_wire.hpp"
 #include "net/upstream.hpp"
+#include "obs/journal.hpp"
 #include "obs/probes.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "repair/coordinator.hpp"
 
 namespace rlb::cluster {
@@ -110,17 +113,28 @@ struct Router::Impl {
       coordinator = std::make_unique<repair::RepairCoordinator>(
           config.repair, std::move(repair_backends), config.chunks, placement,
           std::move(hooks));
-      // Subscribed before any prober starts (start() launches them), as
-      // Membership::subscribe requires.
-      membership.subscribe([this](std::uint32_t id, BackendHealth,
-                                  BackendHealth to) {
-        if (to == BackendHealth::kDown) {
-          coordinator->on_backend_down(id);
-        } else if (to == BackendHealth::kUp) {
-          coordinator->on_backend_up(id);
-        }
-      });
     }
+    // Subscribed before any prober starts (start() launches them), as
+    // Membership::subscribe requires.  The journal records every health
+    // transition whether or not repair is on; the coordinator is only
+    // notified when it exists.
+    membership.subscribe([this](std::uint32_t id, BackendHealth,
+                                BackendHealth to) {
+      switch (to) {
+        case BackendHealth::kDown:
+          obs::Journal::instance().append(obs::JournalType::kMemberDown, id);
+          if (coordinator) coordinator->on_backend_down(id);
+          break;
+        case BackendHealth::kProbation:
+          obs::Journal::instance().append(obs::JournalType::kMemberProbation,
+                                          id);
+          break;
+        case BackendHealth::kUp:
+          obs::Journal::instance().append(obs::JournalType::kMemberUp, id);
+          if (coordinator) coordinator->on_backend_up(id);
+          break;
+      }
+    });
     // Batched data plane: all forwards for one readable burst are
     // enqueued first, then every touched upstream drains in one writev
     // chain (one syscall per backend per burst, not per request).
@@ -139,6 +153,12 @@ struct Router::Impl {
         [this](std::uint64_t token, const net::TraceRequestMsg&) {
           server.send_trace(
               token, net::make_trace_snapshot(net::NodeRole::kRouter, 0));
+        });
+    server.set_events_handler(
+        [this](std::uint64_t token, const net::EventsRequestMsg& req) {
+          server.send_events(token, net::make_events_snapshot(
+                                        net::NodeRole::kRouter, 0,
+                                        req.cursor));
         });
   }
 
@@ -349,6 +369,7 @@ struct Router::Impl {
         counters.forwarded.fetch_add(1, std::memory_order_relaxed);
         per_backend[static_cast<std::size_t>(backend)].forwarded.fetch_add(
             1, std::memory_order_relaxed);
+        win_hop_rtt.add(kWinForwarded);
         forwarded_probe.add();
         return Forward::kSent;
       }
@@ -402,6 +423,7 @@ struct Router::Impl {
                                                    std::memory_order_relaxed);
       row.rejected_timeout.fetch_add(1, std::memory_order_relaxed);
     }
+    win_hop_rtt.add(kWinRejected);
   }
 
   void handle_request(std::uint64_t conn_token,
@@ -451,6 +473,7 @@ struct Router::Impl {
     const std::uint64_t now = obs::now_ns();
     if (entry.send_ns != 0 && now > entry.send_ns) {
       hop_rtt.observe_us((now - entry.send_ns) / 1000);
+      win_hop_rtt.observe_us((now - entry.send_ns) / 1000, now);
     }
     record_span(entry.trace, "router.hop", entry.hop_span_id,
                 hop_parent(entry), entry.send_ns,
@@ -465,9 +488,11 @@ struct Router::Impl {
     if (msg.status == net::Status::kOk) {
       counters.relayed_ok.fetch_add(1, std::memory_order_relaxed);
       row.relayed_ok.fetch_add(1, std::memory_order_relaxed);
+      win_hop_rtt.add(kWinOk, 1, now);
     } else if (net::is_reject(msg.status)) {
       counters.relayed_reject.fetch_add(1, std::memory_order_relaxed);
       row.relayed_reject.fetch_add(1, std::memory_order_relaxed);
+      win_hop_rtt.add(kWinRejected, 1, now);
     } else {
       counters.relayed_error.fetch_add(1, std::memory_order_relaxed);
       row.relayed_error.fetch_add(1, std::memory_order_relaxed);
@@ -761,6 +786,20 @@ struct Router::Impl {
       row.servers_down = view.health == BackendHealth::kUp ? 0 : 1;
       snap.shards.push_back(row);
     }
+
+    // Health plane (v5): windowed hop RTT + rate deltas.  A router has no
+    // engine latency/queue-wait; those windowed histograms stay empty,
+    // mirroring the cumulative v3 convention.
+    const obs::WindowedAggregator::Snapshot win = win_hop_rtt.read();
+    snap.window_span_ms = win.span_ms;
+    snap.win_submitted = win.counters[kWinForwarded];
+    snap.win_completed = win.counters[kWinOk];
+    snap.win_rejected = win.counters[kWinRejected];
+    snap.win_hop_rtt.count = win.count;
+    snap.win_hop_rtt.sum_us = win.sum_us;
+    snap.win_hop_rtt.max_us = win.max_us;
+    snap.win_hop_rtt.buckets = win.buckets;
+    snap.active_alerts = obs::active_alerts();
     return snap;
   }
 
@@ -780,6 +819,13 @@ struct Router::Impl {
   Counters counters;
   std::vector<PerBackend> per_backend;
   net::AtomicLatency hop_rtt;  ///< per-hop upstream RTT (v3 stats)
+
+  // Health plane (v5): hop RTT over the trailing window; the counter
+  // slots carry windowed forwarded/relayed-ok/rejected.
+  static constexpr std::size_t kWinForwarded = 0;
+  static constexpr std::size_t kWinOk = 1;
+  static constexpr std::size_t kWinRejected = 2;
+  obs::WindowedAggregator win_hop_rtt;
 
   // Control plane only: the running flag and heartbeat/sweeper waits.
   mutable std::mutex mu;

@@ -20,9 +20,11 @@
 #include "core/metrics.hpp"
 #include "core/safe_distribution.hpp"
 #include "hashing/hash.hpp"
+#include "obs/journal.hpp"
 #include "obs/probes.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "policies/factory.hpp"
 #include "stats/rng.hpp"
 
@@ -255,6 +257,9 @@ struct ServingEngine::Impl {
     std::unordered_map<core::ChunkId, std::deque<Pending>> inflight;
     std::vector<std::uint8_t> up_state;
     std::uint64_t tick = 0;
+    // Shed journal rate limit: at most one kShed event per shard per
+    // ~100 ms, so an overload storm reports without flooding the ring.
+    std::uint64_t last_shed_journal_ns = 0;
 
     // Live counters (worker writes, stats()/snapshot() read).  The STATS
     // plane reads these directly, so they stay live with obs compiled out.
@@ -292,16 +297,9 @@ struct ServingEngine::Impl {
     std::unique_ptr<std::atomic<std::uint32_t>[]> backlog_by_server;
     std::vector<std::uint32_t> backlog_scratch;  // worker-private
 
-    void record_latency(std::uint64_t submit_ns) {
-      if (submit_ns == 0) return;
-      const std::uint64_t now = obs::now_ns();
-      const std::uint64_t us = now > submit_ns ? (now - submit_ns) / 1000 : 0;
-      latency.observe_us(us);
-    }
+    void record_latency(std::uint64_t submit_ns);
 
-    void record_queue_wait(std::uint64_t wait_ns) {
-      queue_wait.observe_us(wait_ns / 1000);
-    }
+    void record_queue_wait(std::uint64_t wait_ns);
 
     /// Land one engine.request span in the flight recorder (no-op for
     /// untraced requests and under RLB_OBS_DISABLED).  `cause` is the
@@ -343,6 +341,7 @@ struct ServingEngine::Impl {
       response.wait_steps =
           pending.waited + static_cast<std::uint32_t>(wait_steps);
       completed.fetch_add(1, std::memory_order_relaxed);
+      owner->win_latency.add(kWinCompleted);
       record_latency(pending.submit_ns);
       record_span(pending.trace, pending.submit_ns, pending.queue_depth,
                   kEngineOk);
@@ -357,6 +356,7 @@ struct ServingEngine::Impl {
       response.request_id = pending.request_id;
       response.status = kEngineReject;
       rejected.fetch_add(1, std::memory_order_relaxed);
+      owner->win_latency.add(kWinRejected);
       record_latency(pending.submit_ns);
       record_span(pending.trace, pending.submit_ns, pending.queue_depth,
                   kEngineReject);
@@ -420,8 +420,33 @@ struct ServingEngine::Impl {
   bool started = false;
   bool stopped = false;
 
+  // Health plane (StatsSnapshot v5): trailing-window latency/queue-wait
+  // deltas.  win_latency's counter slots double as the windowed
+  // submitted/completed/rejected counters.
+  static constexpr std::size_t kWinSubmitted = 0;
+  static constexpr std::size_t kWinCompleted = 1;
+  static constexpr std::size_t kWinRejected = 2;
+  obs::WindowedAggregator win_latency;
+  obs::WindowedAggregator win_queue_wait;
+  // Safe-set edge trigger: journal MEMBER-style transitions only when the
+  // invariant flips, not on every scrape.
+  std::atomic<bool> safe_violated{false};
+
   void respond(const EngineResponse& response) { on_response(response); }
 };
+
+void ServingEngine::Impl::Shard::record_latency(std::uint64_t submit_ns) {
+  if (submit_ns == 0) return;
+  const std::uint64_t now = obs::now_ns();
+  const std::uint64_t us = now > submit_ns ? (now - submit_ns) / 1000 : 0;
+  latency.observe_us(us);
+  owner->win_latency.observe_us(us, now);
+}
+
+void ServingEngine::Impl::Shard::record_queue_wait(std::uint64_t wait_ns) {
+  queue_wait.observe_us(wait_ns / 1000);
+  owner->win_queue_wait.observe_us(wait_ns / 1000);
+}
 
 void ServingEngine::Impl::Shard::apply_failures() {
   if (!schedule) return;
@@ -535,7 +560,15 @@ void ServingEngine::Impl::Shard::run() {
     // policy ever sees it.
     for (const Waiting& request : incoming) {
       if (waiting.size() >= owner->waiting_limit) {
-        overload_rejected.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t sheds =
+            overload_rejected.fetch_add(1, std::memory_order_relaxed) + 1;
+        owner->win_latency.add(Impl::kWinRejected);
+        const std::uint64_t shed_now = obs::now_ns();
+        if (shed_now - last_shed_journal_ns > 100'000'000) {
+          last_shed_journal_ns = shed_now;
+          obs::Journal::instance().append(obs::JournalType::kShed, index,
+                                          sheds);
+        }
         EngineResponse response;
         response.conn_token = request.conn_token;
         response.request_id = request.request_id;
@@ -782,6 +815,7 @@ bool ServingEngine::submit(std::uint64_t conn_token, std::uint64_t request_id,
   impl_->submitted.fetch_add(1, std::memory_order_relaxed);
   shard.submitted.fetch_add(1, std::memory_order_relaxed);
   shard.inbound_depth.fetch_add(1, std::memory_order_relaxed);
+  impl_->win_latency.add(Impl::kWinSubmitted);
   if (was_empty) shard.cv.notify_one();
   return true;
 }
@@ -838,6 +872,7 @@ void ServingEngine::submit_batch(const SubmitItem* items, std::size_t count,
       impl_->submitted.fetch_add(n, std::memory_order_relaxed);
       shard.submitted.fetch_add(n, std::memory_order_relaxed);
       shard.inbound_depth.fetch_add(n, std::memory_order_relaxed);
+      impl_->win_latency.add(Impl::kWinSubmitted, n, now);
       if (was_empty) shard.cv.notify_one();
     } else {
       for (const BatchEntry& entry : groups[s]) {
@@ -943,6 +978,19 @@ net::StatsSnapshot ServingEngine::snapshot() const {
   }
   safe_ratio_gauge.set(out.safe_worst_ratio);
 
+  // Edge-triggered journal entries: one event per flip of the invariant,
+  // not one per scrape.  Ratio travels in parts-per-million (the journal
+  // carries integers).
+  const bool violated_now = out.safe_violated_level != 0;
+  if (violated_now !=
+      impl_->safe_violated.exchange(violated_now, std::memory_order_relaxed)) {
+    obs::Journal::instance().append(
+        violated_now ? obs::JournalType::kSafeSetViolated
+                     : obs::JournalType::kSafeSetRecovered,
+        out.safe_violated_level,
+        static_cast<std::uint64_t>(out.safe_worst_ratio * 1e6));
+  }
+
   out.placement_epoch = impl_->placement_epoch.load(std::memory_order_relaxed);
   out.repair.migrations_in =
       impl_->migrations_in.load(std::memory_order_relaxed);
@@ -952,6 +1000,28 @@ net::StatsSnapshot ServingEngine::snapshot() const {
       impl_->migration_bytes_in.load(std::memory_order_relaxed);
   out.repair.migration_bytes_out =
       impl_->migration_bytes_out.load(std::memory_order_relaxed);
+
+  // Health plane (v5): trailing-window deltas, one clock read for both
+  // aggregators so their spans agree.
+  const std::uint64_t win_now = obs::now_ns();
+  const obs::WindowedAggregator::Snapshot win =
+      impl_->win_latency.read(win_now);
+  out.window_span_ms = win.span_ms;
+  out.win_submitted = win.counters[Impl::kWinSubmitted];
+  out.win_completed = win.counters[Impl::kWinCompleted];
+  out.win_rejected = win.counters[Impl::kWinRejected];
+  out.win_latency.count = win.count;
+  out.win_latency.sum_us = win.sum_us;
+  out.win_latency.max_us = win.max_us;
+  out.win_latency.buckets = win.buckets;
+  const obs::WindowedAggregator::Snapshot win_qw =
+      impl_->win_queue_wait.read(win_now);
+  out.win_queue_wait.count = win_qw.count;
+  out.win_queue_wait.sum_us = win_qw.sum_us;
+  out.win_queue_wait.max_us = win_qw.max_us;
+  out.win_queue_wait.buckets = win_qw.buckets;
+
+  out.active_alerts = obs::active_alerts();
   return out;
 }
 
@@ -962,6 +1032,11 @@ void ServingEngine::set_placement_epoch(std::uint64_t epoch) {
       impl_->placement_epoch.load(std::memory_order_relaxed);
   while (epoch > current && !impl_->placement_epoch.compare_exchange_weak(
                                 current, epoch, std::memory_order_relaxed)) {
+  }
+  if (epoch > current) {
+    // This call raised the epoch (the CAS loop exits with current < epoch
+    // only after a successful exchange): one journal event per adoption.
+    obs::Journal::instance().append(obs::JournalType::kEpochCommit, epoch, 0);
   }
 }
 

@@ -258,6 +258,13 @@ ReadOutcome Client::try_read_stats_response(StatsSnapshot& out) {
     throw ProtocolError("Client: expected STATS_RESP frame");
   }
   if (!decode_stats_payload(payload_.data(), payload_.size(), out)) {
+    // A well-formed header with a different version word is skew, not
+    // corruption — report which version the peer speaks.
+    std::uint32_t peer_version = 0;
+    if (peek_stats_version(payload_.data(), payload_.size(), peer_version) &&
+        peer_version != kStatsVersion) {
+      throw StatsVersionMismatch(peer_version);
+    }
     throw ProtocolError("Client: bad STATS_RESP snapshot");
   }
   return ReadOutcome::kFrame;
@@ -284,6 +291,31 @@ ReadOutcome Client::try_read_trace_response(TraceSnapshot& out) {
   }
   if (!decode_trace_payload(payload_.data(), payload_.size(), out)) {
     throw ProtocolError("Client: bad TRACE_RESP snapshot");
+  }
+  return ReadOutcome::kFrame;
+}
+
+void Client::send_events_request(std::uint64_t cursor, std::uint32_t flags) {
+  encode_events_request(EventsRequestMsg{flags, cursor}, send_buffer_);
+}
+
+bool Client::read_events_response(EventsSnapshot& out) {
+  const ReadOutcome outcome = try_read_events_response(out);
+  if (outcome == ReadOutcome::kTimeout) {
+    throw std::runtime_error("Client: read timed out");
+  }
+  return outcome == ReadOutcome::kFrame;
+}
+
+ReadOutcome Client::try_read_events_response(EventsSnapshot& out) {
+  const ReadOutcome outcome = next_frame(/*allow_timeout=*/true);
+  if (outcome != ReadOutcome::kFrame) return outcome;
+  if (payload_.empty() ||
+      payload_[0] != static_cast<std::uint8_t>(MsgType::kEventsResponse)) {
+    throw ProtocolError("Client: expected EVENTS_RESP frame");
+  }
+  if (!decode_events_payload(payload_.data(), payload_.size(), out)) {
+    throw ProtocolError("Client: bad EVENTS_RESP batch");
   }
   return ReadOutcome::kFrame;
 }

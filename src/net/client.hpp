@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "net/events_wire.hpp"
 #include "net/stats.hpp"
 #include "net/trace_wire.hpp"
 #include "net/wire.hpp"
@@ -29,6 +30,27 @@ namespace rlb::net {
 class ProtocolError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// The peer answered a STATS request with a well-formed STATS_RESP of a
+/// different snapshot version — a version-skewed daemon, not corrupt
+/// bytes.  Scrapers (rlb_stat --cluster) catch this separately to render
+/// a per-node "version mismatch" row instead of treating the node as
+/// broken or unreachable.
+class StatsVersionMismatch : public ProtocolError {
+ public:
+  explicit StatsVersionMismatch(std::uint32_t peer_version)
+      : ProtocolError("Client: STATS_RESP snapshot version v" +
+                      std::to_string(peer_version) + " (want v" +
+                      std::to_string(kStatsVersion) + ")"),
+        peer_version_(peer_version) {}
+
+  [[nodiscard]] std::uint32_t peer_version() const noexcept {
+    return peer_version_;
+  }
+
+ private:
+  std::uint32_t peer_version_;
 };
 
 /// Bounded-backoff schedule for auto-reconnect: up to `max_attempts`
@@ -120,8 +142,9 @@ class Client {
   void send_stats_request(std::uint32_t flags = 0, std::uint64_t epoch = 0);
 
   /// Block for the next STATS_RESP frame and decode it.  Returns false on
-  /// clean EOF; throws ProtocolError on framing violations, non-STATS_RESP
-  /// frames, or an undecodable/mismatched-version snapshot.
+  /// clean EOF; throws StatsVersionMismatch when the peer speaks a
+  /// different snapshot version, ProtocolError on framing violations,
+  /// non-STATS_RESP frames, or an undecodable snapshot.
   bool read_stats_response(StatsSnapshot& out);
 
   /// Timeout-aware variant of read_stats_response() (see
@@ -140,6 +163,19 @@ class Client {
 
   /// Timeout-aware variant of read_trace_response().
   ReadOutcome try_read_trace_response(TraceSnapshot& out);
+
+  /// Buffer one EVENTS admin frame (no I/O until flush()).  `cursor` is
+  /// the highest journal sequence already seen (0 = from the oldest
+  /// retained); the response resumes after it.
+  void send_events_request(std::uint64_t cursor, std::uint32_t flags = 0);
+
+  /// Block for the next EVENTS_RESP frame and decode it.  Returns false
+  /// on clean EOF; throws ProtocolError on framing violations,
+  /// non-EVENTS_RESP frames, or an undecodable batch.
+  bool read_events_response(EventsSnapshot& out);
+
+  /// Timeout-aware variant of read_events_response().
+  ReadOutcome try_read_events_response(EventsSnapshot& out);
 
   /// Buffer one MIGRATE order (coordinator -> source backend; no I/O
   /// until flush()).  Throws std::runtime_error when the message cannot

@@ -1,0 +1,170 @@
+#include "net/events_wire.hpp"
+
+#include <algorithm>
+
+#include "net/wire.hpp"
+#include "obs/journal.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace rlb::net {
+
+namespace {
+
+// Little-endian primitives, mirroring stats.cpp / trace_wire.cpp.
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+/// Bounds-checked sequential reader (same shape as the stats.cpp Cursor).
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool u8(std::uint8_t& v) {
+    if (!has(1)) return false;
+    v = data_[pos_];
+    pos_ += 1;
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) {
+    if (!has(4)) return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (!has(8)) return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return true;
+  }
+
+  bool short_str(std::string& v) {
+    std::uint8_t n = 0;
+    if (!u8(n) || !has(n)) return false;
+    v.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+
+ private:
+  [[nodiscard]] bool has(std::size_t n) const { return size_ - pos_ >= n; }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void encode_events_payload(const EventsSnapshot& snapshot,
+                           std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(MsgType::kEventsResponse));
+  put_u32(out, snapshot.version);
+  out.push_back(static_cast<std::uint8_t>(snapshot.role));
+  put_u32(out, snapshot.backend_id);
+  put_u64(out, snapshot.steady_ns);
+  put_u64(out, snapshot.wall_ns);
+  put_u64(out, snapshot.dropped);
+  put_u64(out, snapshot.next_cursor);
+  put_u64(out, snapshot.remaining);
+  const std::size_t count =
+      std::min(snapshot.events.size(), kMaxEventsPerResponse);
+  put_u32(out, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    const EventRecord& e = snapshot.events[i];
+    put_u64(out, e.seq);
+    put_u64(out, e.steady_ns);
+    put_u64(out, e.wall_ns);
+    out.push_back(e.type);
+    put_u64(out, e.a0);
+    put_u64(out, e.a1);
+    const std::size_t n = std::min<std::size_t>(e.detail.size(), 0xff);
+    out.push_back(static_cast<std::uint8_t>(n));
+    out.insert(out.end(), e.detail.begin(), e.detail.begin() + n);
+  }
+}
+
+bool decode_events_payload(const std::uint8_t* data, std::size_t size,
+                           EventsSnapshot& out) {
+  if (size == 0 ||
+      data[0] != static_cast<std::uint8_t>(MsgType::kEventsResponse)) {
+    return false;
+  }
+  Cursor c(data + 1, size - 1);
+  if (!c.u32(out.version)) return false;
+  if (out.version != kEventsVersion) return false;
+  std::uint8_t role = 0;
+  if (!c.u8(role)) return false;
+  if (role > static_cast<std::uint8_t>(NodeRole::kRouter)) return false;
+  out.role = static_cast<NodeRole>(role);
+  if (!c.u32(out.backend_id) || !c.u64(out.steady_ns) ||
+      !c.u64(out.wall_ns) || !c.u64(out.dropped) ||
+      !c.u64(out.next_cursor) || !c.u64(out.remaining)) {
+    return false;
+  }
+  std::uint32_t count = 0;
+  if (!c.u32(count)) return false;
+  if (count > kMaxEventsPerResponse) return false;
+  out.events.assign(count, EventRecord{});
+  for (EventRecord& e : out.events) {
+    if (!c.u64(e.seq) || !c.u64(e.steady_ns) || !c.u64(e.wall_ns) ||
+        !c.u8(e.type) || !c.u64(e.a0) || !c.u64(e.a1) ||
+        !c.short_str(e.detail)) {
+      return false;
+    }
+  }
+  return c.exhausted();
+}
+
+EventsSnapshot make_events_snapshot(NodeRole role, std::uint32_t backend_id,
+                                    std::uint64_t cursor) {
+  EventsSnapshot snapshot;
+  snapshot.role = role;
+  snapshot.backend_id = backend_id;
+  // The anchor is stamped whether or not any events exist: a scraper can
+  // always clock-align this node.
+  snapshot.steady_ns = obs::now_ns();
+  snapshot.wall_ns = obs::wall_now_ns();
+  snapshot.next_cursor = cursor;
+#if !defined(RLB_OBS_DISABLED)
+  std::vector<obs::JournalEvent> events;
+  const obs::JournalReadResult read =
+      obs::Journal::instance().read_from(cursor, kMaxEventsPerResponse,
+                                         events);
+  snapshot.dropped = read.dropped;
+  snapshot.next_cursor = read.next_cursor;
+  snapshot.remaining = read.remaining;
+  snapshot.events.reserve(events.size());
+  for (const obs::JournalEvent& e : events) {
+    EventRecord record;
+    record.seq = e.seq;
+    record.steady_ns = e.steady_ns;
+    record.wall_ns = e.wall_ns;
+    record.type = static_cast<std::uint8_t>(e.type);
+    record.a0 = e.a0;
+    record.a1 = e.a1;
+    record.detail.assign(e.detail_view());
+    snapshot.events.push_back(std::move(record));
+  }
+#endif
+  return snapshot;
+}
+
+}  // namespace rlb::net

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "net/buffer_pool.hpp"
+#include "obs/journal.hpp"
 #include "obs/obs.hpp"
 
 namespace rlb::net {
@@ -70,6 +71,7 @@ struct NetServer::Impl {
     std::atomic<std::uint64_t> responses_sent{0};
     std::atomic<std::uint64_t> stats_requests{0};
     std::atomic<std::uint64_t> trace_requests{0};
+    std::atomic<std::uint64_t> events_requests{0};
     std::atomic<std::uint64_t> bytes_in{0};
     std::atomic<std::uint64_t> bytes_out{0};
     std::atomic<std::uint64_t> slow_consumer_drops{0};
@@ -103,6 +105,7 @@ struct NetServer::Impl {
   RequestBatchHandler on_batch;
   StatsHandler on_stats;
   TraceHandler on_trace;
+  EventsHandler on_events;
   MigrateHandler on_migrate;
   MigrateDataHandler on_migrate_data;
 
@@ -271,9 +274,10 @@ struct NetServer::Impl {
         ResponseMsg response;
         StatsRequestMsg stats_request;
         TraceRequestMsg trace_request;
-        const Decoded decoded = decode_payload(payload.data, payload.size,
-                                               request, response,
-                                               stats_request, trace_request);
+        EventsRequestMsg events_request;
+        const Decoded decoded =
+            decode_payload(payload.data, payload.size, request, response,
+                           stats_request, trace_request, events_request);
         if (decoded == Decoded::kRequest) {
           stats.requests_decoded.fetch_add(1, std::memory_order_relaxed);
           request_counter.add();
@@ -304,6 +308,15 @@ struct NetServer::Impl {
           RLB_TRACE_EVENT(obs::EventKind::kNet, "net.trace", slot,
                           trace_request.flags);
           on_trace(token, trace_request);
+          continue;
+        }
+        if (decoded == Decoded::kEvents && on_events) {
+          static obs::Counter events_counter("net.events_requests");
+          stats.events_requests.fetch_add(1, std::memory_order_relaxed);
+          events_counter.add();
+          RLB_TRACE_EVENT(obs::EventKind::kNet, "net.events", slot,
+                          events_request.cursor);
+          on_events(token, events_request);
           continue;
         }
         if (decoded == Decoded::kMigrate && on_migrate) {
@@ -426,6 +439,9 @@ struct NetServer::Impl {
       slow_consumer_counter.add();
       RLB_TRACE_EVENT(obs::EventKind::kNet, "net.slow_consumer", slot,
                       static_cast<std::uint64_t>(queued));
+      obs::Journal::instance().append(obs::JournalType::kSlowConsumer,
+                                      static_cast<std::uint64_t>(slot),
+                                      static_cast<std::uint64_t>(queued));
       return false;
     }
     return flush_writes(slot);
@@ -786,6 +802,35 @@ bool NetServer::send_trace(std::uint64_t conn_token,
   return true;
 }
 
+void NetServer::set_events_handler(EventsHandler on_events) {
+  impl_->on_events = std::move(on_events);
+}
+
+bool NetServer::send_events(std::uint64_t conn_token,
+                            const EventsSnapshot& snapshot) {
+  std::vector<std::uint8_t> payload = global_buffer_pool().acquire();
+  encode_events_payload(snapshot, payload);
+  const std::size_t slot = static_cast<std::size_t>(conn_token & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(conn_token >> 32);
+  if (slot >= impl_->conns.size()) return false;
+  Impl::Conn& conn = *impl_->conns[slot];
+  {
+    std::lock_guard lock(conn.stage_mu);
+    if (!conn.open || conn.gen != gen) return false;
+    const std::size_t before = conn.staged.size();
+    if (!encode_events_response_frame(payload, conn.staged)) return false;
+    impl_->pending_out.fetch_add(
+        static_cast<std::int64_t>(conn.staged.size() - before),
+        std::memory_order_relaxed);
+  }
+  global_buffer_pool().release(std::move(payload));
+  if (!conn.stage_dirty.exchange(true, std::memory_order_seq_cst) &&
+      impl_->loop_asleep.load(std::memory_order_seq_cst)) {
+    impl_->wake();
+  }
+  return true;
+}
+
 void NetServer::set_migrate_handler(MigrateHandler on_migrate) {
   impl_->on_migrate = std::move(on_migrate);
 }
@@ -827,6 +872,7 @@ ServerStats NetServer::stats() const {
   out.responses_sent = a.responses_sent.load(std::memory_order_relaxed);
   out.stats_requests = a.stats_requests.load(std::memory_order_relaxed);
   out.trace_requests = a.trace_requests.load(std::memory_order_relaxed);
+  out.events_requests = a.events_requests.load(std::memory_order_relaxed);
   out.bytes_in = a.bytes_in.load(std::memory_order_relaxed);
   out.bytes_out = a.bytes_out.load(std::memory_order_relaxed);
   out.slow_consumer_drops =

@@ -29,6 +29,7 @@
 #include <functional>
 #include <string>
 
+#include "net/events_wire.hpp"
 #include "net/stats.hpp"
 #include "net/trace_wire.hpp"
 #include "net/wire.hpp"
@@ -62,6 +63,8 @@ struct ServerStats {
   std::uint64_t stats_requests = 0;
   /// TRACE admin frames served.
   std::uint64_t trace_requests = 0;
+  /// EVENTS admin frames served.
+  std::uint64_t events_requests = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   /// Connections dropped for exceeding max_outbound_bytes.
@@ -99,6 +102,12 @@ using StatsHandler =
 /// few uncontended mutexes, cheap enough for the loop thread.
 using TraceHandler =
     std::function<void(std::uint64_t conn_token, const TraceRequestMsg&)>;
+
+/// Called on the event-loop thread for every decoded EVENTS frame.  The
+/// handler answers with send_events(); building a batch is a short
+/// cursor read of the journal ring, cheap enough for the loop thread.
+using EventsHandler =
+    std::function<void(std::uint64_t conn_token, const EventsRequestMsg&)>;
 
 /// Called on the event-loop thread for every decoded MIGRATE frame (the
 /// repair coordinator ordering this backend to stream a chunk out).  The
@@ -160,6 +169,14 @@ class NetServer {
   /// Queue a TRACE_RESP span snapshot for delivery.  Thread-safe; same
   /// semantics as send_stats().
   bool send_trace(std::uint64_t conn_token, const TraceSnapshot& snapshot);
+
+  /// Install the EVENTS admin handler.  Call before start(); without one,
+  /// inbound EVENTS frames are protocol errors (connection closed).
+  void set_events_handler(EventsHandler on_events);
+
+  /// Queue an EVENTS_RESP batch for delivery.  Thread-safe; same
+  /// semantics as send_stats().
+  bool send_events(std::uint64_t conn_token, const EventsSnapshot& snapshot);
 
   /// Install the MIGRATE / MIGRATE_DATA repair handlers.  Call before
   /// start(); without them, inbound repair frames are protocol errors

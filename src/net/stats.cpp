@@ -251,6 +251,24 @@ void encode_stats_payload(const StatsSnapshot& snapshot,
   put_u64(out, snapshot.repair.migrations_out);
   put_u64(out, snapshot.repair.migration_bytes_in);
   put_u64(out, snapshot.repair.migration_bytes_out);
+
+  // v5: windowed deltas + active alerts (health plane).
+  put_u64(out, snapshot.window_span_ms);
+  put_u64(out, snapshot.win_submitted);
+  put_u64(out, snapshot.win_completed);
+  put_u64(out, snapshot.win_rejected);
+  for (const LatencyStats* h :
+       {&snapshot.win_latency, &snapshot.win_hop_rtt,
+        &snapshot.win_queue_wait}) {
+    put_u64(out, h->count);
+    put_u64(out, h->sum_us);
+    put_u64(out, h->max_us);
+    for (const std::uint64_t b : h->buckets) put_u64(out, b);
+  }
+  put_u32(out, static_cast<std::uint32_t>(snapshot.active_alerts.size()));
+  for (const std::string& alert : snapshot.active_alerts) {
+    put_string(out, alert);
+  }
 }
 
 bool decode_stats_payload(const std::uint8_t* data, std::size_t size,
@@ -315,7 +333,44 @@ bool decode_stats_payload(const std::uint8_t* data, std::size_t size,
       !c.u64(out.repair.migration_bytes_out)) {
     return false;
   }
+
+  // v5: windowed deltas + active alerts (health plane).
+  if (!c.u64(out.window_span_ms) || !c.u64(out.win_submitted) ||
+      !c.u64(out.win_completed) || !c.u64(out.win_rejected)) {
+    return false;
+  }
+  for (LatencyStats* h :
+       {&out.win_latency, &out.win_hop_rtt, &out.win_queue_wait}) {
+    if (!c.u64(h->count) || !c.u64(h->sum_us) || !c.u64(h->max_us)) {
+      return false;
+    }
+    for (std::uint64_t& b : h->buckets) {
+      if (!c.u64(b)) return false;
+    }
+  }
+  std::uint32_t alerts = 0;
+  if (!c.u32(alerts)) return false;
+  // Each alert is a short rule name; the payload can't carry more than
+  // one per two bytes (u16 length + at least nothing).
+  if (alerts > kMaxFramePayload / 2) return false;
+  out.active_alerts.assign(alerts, std::string());
+  for (std::string& alert : out.active_alerts) {
+    if (!c.str(alert)) return false;
+  }
   return c.exhausted();
+}
+
+bool peek_stats_version(const std::uint8_t* data, std::size_t size,
+                        std::uint32_t& version) {
+  if (size < 5 ||
+      data[0] != static_cast<std::uint8_t>(MsgType::kStatsResponse)) {
+    return false;
+  }
+  version = 0;
+  for (int i = 4; i >= 1; --i) {
+    version = (version << 8) | data[i];
+  }
+  return true;
 }
 
 namespace {
@@ -494,6 +549,35 @@ std::string render_prometheus(const StatsSnapshot& snapshot) {
   out += "# TYPE rlb_migration_bytes_out_total counter\n";
   append_fmt(out, "rlb_migration_bytes_out_total %" PRIu64 "\n",
              snapshot.repair.migration_bytes_out);
+
+  out +=
+      "# HELP rlb_win_span_ms Wall time covered by the windowed deltas "
+      "below (0 = no windowed data).\n# TYPE rlb_win_span_ms gauge\n";
+  append_fmt(out, "rlb_win_span_ms %" PRIu64 "\n", snapshot.window_span_ms);
+  out += "# TYPE rlb_win_submitted gauge\n";
+  append_fmt(out, "rlb_win_submitted %" PRIu64 "\n", snapshot.win_submitted);
+  out += "# TYPE rlb_win_completed gauge\n";
+  append_fmt(out, "rlb_win_completed %" PRIu64 "\n", snapshot.win_completed);
+  out += "# TYPE rlb_win_rejected gauge\n";
+  append_fmt(out, "rlb_win_rejected %" PRIu64 "\n", snapshot.win_rejected);
+  prom_histogram(out, "rlb_win_latency_us",
+                 "Wire-to-response latency over the trailing window "
+                 "(microseconds).",
+                 snapshot.win_latency);
+  prom_histogram(out, "rlb_win_hop_rtt_us",
+                 "Upstream hop round trip over the trailing window "
+                 "(microseconds).",
+                 snapshot.win_hop_rtt);
+  prom_histogram(out, "rlb_win_queue_wait_us",
+                 "Queue wait over the trailing window (microseconds).",
+                 snapshot.win_queue_wait);
+
+  out +=
+      "# HELP rlb_alert_active Watchdog alert currently raised "
+      "(absent rule = not firing).\n# TYPE rlb_alert_active gauge\n";
+  for (const std::string& alert : snapshot.active_alerts) {
+    append_fmt(out, "rlb_alert_active{rule=\"%s\"} 1\n", alert.c_str());
+  }
   return out;
 }
 
@@ -568,7 +652,23 @@ std::string render_json(const StatsSnapshot& snapshot) {
              snapshot.repair.migrations_in, snapshot.repair.migrations_out,
              snapshot.repair.migration_bytes_in,
              snapshot.repair.migration_bytes_out);
-  out += "}";
+  append_fmt(out,
+             ",\"window\":{\"span_ms\":%" PRIu64 ",\"submitted\":%" PRIu64
+             ",\"completed\":%" PRIu64 ",\"rejected\":%" PRIu64
+             ",\"latency_p50_us\":%g,\"latency_p99_us\":%g"
+             ",\"hop_rtt_p99_us\":%g,\"queue_wait_p99_us\":%g}",
+             snapshot.window_span_ms, snapshot.win_submitted,
+             snapshot.win_completed, snapshot.win_rejected,
+             snapshot.win_latency.quantile_us(0.5),
+             snapshot.win_latency.quantile_us(0.99),
+             snapshot.win_hop_rtt.quantile_us(0.99),
+             snapshot.win_queue_wait.quantile_us(0.99));
+  out += ",\"alerts\":[";
+  for (std::size_t i = 0; i < snapshot.active_alerts.size(); ++i) {
+    append_fmt(out, "%s\"%s\"", i == 0 ? "" : ",",
+               snapshot.active_alerts[i].c_str());
+  }
+  out += "]}";
   return out;
 }
 

@@ -24,7 +24,9 @@ namespace rlb::net {
 /// Bump on any layout change.  v2: role + backend_id (cluster mode).
 /// v3: per-hop latency histograms (hop_rtt, queue_wait).
 /// v4: placement epoch + repair/migration counters (self-healing tier).
-inline constexpr std::uint32_t kStatsVersion = 4;
+/// v5: windowed (trailing ~10 s) histograms + counter deltas and active
+///     watchdog alerts (health plane).
+inline constexpr std::uint32_t kStatsVersion = 5;
 
 /// Which tier produced a snapshot.
 enum class NodeRole : std::uint8_t { kBackend = 0, kRouter = 1 };
@@ -186,6 +188,24 @@ struct StatsSnapshot {
   std::uint64_t placement_epoch = 0;
   RepairStats repair;
 
+  // Health plane (v5): the same histograms again, but as deltas over the
+  // trailing window (obs::WindowedAggregator, ~10 x 1 s), so an incident's
+  // p99 spike shows up within a scrape interval instead of drowning in
+  // lifetime samples.  window_span_ms is the wall time the deltas cover
+  // (0 = no windowed data); win_submitted/completed/rejected are counter
+  // deltas over the same span, i.e. rate gauges after dividing by it.
+  std::uint64_t window_span_ms = 0;
+  std::uint64_t win_submitted = 0;
+  std::uint64_t win_completed = 0;
+  std::uint64_t win_rejected = 0;
+  LatencyStats win_latency;
+  LatencyStats win_hop_rtt;
+  LatencyStats win_queue_wait;
+
+  // Active watchdog alerts (obs::HealthWatchdog rule names), rendered as
+  // rlb_alert_active{rule=...} gauges in the Prometheus exposition.
+  std::vector<std::string> active_alerts;
+
   /// Sum of all shard rows (shard id meaningless in the result).
   [[nodiscard]] ShardStats totals() const;
 };
@@ -199,6 +219,14 @@ void encode_stats_payload(const StatsSnapshot& snapshot,
 /// version other than kStatsVersion; `out` is unspecified on failure.
 bool decode_stats_payload(const std::uint8_t* data, std::size_t size,
                           StatsSnapshot& out);
+
+/// Read just the version word of a STATS_RESP payload, without parsing
+/// the body.  True when the payload is a STATS_RESP with room for the
+/// version; lets a scraper distinguish "peer speaks snapshot v<N>" from
+/// "malformed bytes" when decode_stats_payload rejects (rlb_stat
+/// --cluster renders a version-mismatch row instead of 'unreachable').
+bool peek_stats_version(const std::uint8_t* data, std::size_t size,
+                        std::uint32_t& version);
 
 /// Prometheus text exposition (one `# TYPE` line per family, `{shard=...}`
 /// and `{level=...}` labels, log2 latency buckets as a cumulative

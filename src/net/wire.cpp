@@ -119,6 +119,25 @@ bool encode_trace_response_frame(const std::vector<std::uint8_t>& payload,
   return true;
 }
 
+void encode_events_request(const EventsRequestMsg& msg,
+                           std::vector<std::uint8_t>& out) {
+  put_u32(out, static_cast<std::uint32_t>(kEventsPayloadSize));
+  out.push_back(static_cast<std::uint8_t>(MsgType::kEvents));
+  put_u32(out, msg.flags);
+  put_u64(out, msg.cursor);
+}
+
+bool encode_events_response_frame(const std::vector<std::uint8_t>& payload,
+                                  std::vector<std::uint8_t>& out) {
+  if (payload.empty() || payload.size() > kMaxFramePayload) return false;
+  if (payload[0] != static_cast<std::uint8_t>(MsgType::kEventsResponse)) {
+    return false;
+  }
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return true;
+}
+
 bool encode_migrate(const MigrateMsg& msg, std::vector<std::uint8_t>& out) {
   const std::size_t payload = kMigrateHeaderSize + msg.target_host.size();
   if (msg.target_host.size() > 0xffff || payload > kMaxFramePayload) {
@@ -233,7 +252,8 @@ std::uint64_t migrate_checksum(const std::uint8_t* data,
 
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
                        RequestMsg& request, ResponseMsg& response,
-                       StatsRequestMsg& stats, TraceRequestMsg& trace) {
+                       StatsRequestMsg& stats, TraceRequestMsg& trace,
+                       EventsRequestMsg& events) {
   if (size == 0) return Decoded::kMalformed;
   switch (static_cast<MsgType>(data[0])) {
     case MsgType::kRequest:
@@ -300,23 +320,43 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size,
     case MsgType::kMigrateAck:
       if (size != kMigrateAckPayloadSize) return Decoded::kMalformed;
       return Decoded::kMigrateAck;
+    case MsgType::kEvents:
+      if (size != kEventsPayloadSize) return Decoded::kMalformed;
+      events.flags = get_u32(data + 1);
+      events.cursor = get_u64(data + 5);
+      return Decoded::kEvents;
+    case MsgType::kEventsResponse:
+      // Versioned event batch parsed by net/events_wire.hpp; classify
+      // only, requiring room for the version word.
+      if (size < 5) return Decoded::kMalformed;
+      return Decoded::kEventsResponse;
   }
   return Decoded::kMalformed;
 }
 
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
                        RequestMsg& request, ResponseMsg& response,
+                       StatsRequestMsg& stats, TraceRequestMsg& trace) {
+  EventsRequestMsg scratch;
+  return decode_payload(data, size, request, response, stats, trace, scratch);
+}
+
+Decoded decode_payload(const std::uint8_t* data, std::size_t size,
+                       RequestMsg& request, ResponseMsg& response,
                        StatsRequestMsg& stats) {
-  TraceRequestMsg scratch;
-  return decode_payload(data, size, request, response, stats, scratch);
+  TraceRequestMsg trace_scratch;
+  EventsRequestMsg events_scratch;
+  return decode_payload(data, size, request, response, stats, trace_scratch,
+                        events_scratch);
 }
 
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
                        RequestMsg& request, ResponseMsg& response) {
   StatsRequestMsg stats_scratch;
   TraceRequestMsg trace_scratch;
+  EventsRequestMsg events_scratch;
   return decode_payload(data, size, request, response, stats_scratch,
-                        trace_scratch);
+                        trace_scratch, events_scratch);
 }
 
 void FrameDecoder::poison() noexcept {

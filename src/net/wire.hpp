@@ -28,6 +28,11 @@
 //   MIGRATE_ACK  (rlbd -> sender):
 //                                 u8 type=9, u64 migration_id, u8 status,
 //                                 u64 bytes
+//   EVENTS     (client -> daemon): u8 type=10, u32 flags (reserved,
+//                                 send 0), u64 cursor (last-seen journal
+//                                 sequence; 0 = from the oldest retained)
+//   EVENTS_RESP (daemon -> client): u8 type=11, versioned event batch
+//                                 (see net/events_wire.hpp for the layout)
 //
 // The REQUEST trace extension is optional and version-free by size: a
 // 17-byte payload is the v1 frame (no context), a 34-byte payload appends
@@ -73,6 +78,8 @@ enum class MsgType : std::uint8_t {
   kMigrate = 7,
   kMigrateData = 8,
   kMigrateAck = 9,
+  kEvents = 10,
+  kEventsResponse = 11,
 };
 
 enum class Status : std::uint8_t {
@@ -135,6 +142,17 @@ struct TraceRequestMsg {
   std::uint32_t flags = 0;
 };
 
+/// Admin request for the control-plane event journal (obs/journal.hpp).
+/// `cursor` is the highest journal sequence the scraper has already seen
+/// (0 on first contact); the daemon answers with events AFTER it, reads
+/// are non-destructive, and the reply's next_cursor resumes the stream —
+/// so any number of scrapers (and `rlb_stat --events --follow`) drain
+/// independently.  `flags` is reserved (send 0).
+struct EventsRequestMsg {
+  std::uint32_t flags = 0;
+  std::uint64_t cursor = 0;
+};
+
 /// Repair-plane order from the coordinator to the backend currently
 /// holding a replica of `chunk`: stream `bytes` bytes of chunk state to
 /// the target backend (dial `target_host:target_port`), then MIGRATE_ACK
@@ -182,6 +200,7 @@ inline constexpr std::size_t kStatsPayloadSize = 5;
 /// STATS with the placement-epoch extension appended.
 inline constexpr std::size_t kStatsEpochPayloadSize = 13;
 inline constexpr std::size_t kTracePayloadSize = 5;
+inline constexpr std::size_t kEventsPayloadSize = 13;
 /// MIGRATE before the variable-length target host bytes.
 inline constexpr std::size_t kMigrateHeaderSize = 41;
 /// MIGRATE_DATA before the variable-length payload bytes.
@@ -207,6 +226,12 @@ bool encode_stats_response_frame(const std::vector<std::uint8_t>& payload,
 /// encode_trace_payload).
 bool encode_trace_response_frame(const std::vector<std::uint8_t>& payload,
                                  std::vector<std::uint8_t>& out);
+void encode_events_request(const EventsRequestMsg& msg,
+                           std::vector<std::uint8_t>& out);
+/// Same for an EVENTS_RESP payload (see net/events_wire.hpp
+/// encode_events_payload).
+bool encode_events_response_frame(const std::vector<std::uint8_t>& payload,
+                                  std::vector<std::uint8_t>& out);
 
 /// Repair-plane frames.  encode_migrate fails (appends nothing) when the
 /// host name would overflow the frame cap; encode_migrate_data fails when
@@ -248,11 +273,23 @@ enum class Decoded : std::uint8_t {
   kMigrate,
   kMigrateData,
   kMigrateAck,
+  /// An EVENTS journal request.
+  kEvents,
+  /// An EVENTS_RESP frame; classified only, parsed by
+  /// net/events_wire.hpp decode_events_payload.
+  kEventsResponse,
   kMalformed,
 };
 
 /// Decode one frame payload (no length prefix).  At most one of
-/// `request` / `response` / `stats` / `trace` is filled on success.
+/// `request` / `response` / `stats` / `trace` / `events` is filled on
+/// success.
+Decoded decode_payload(const std::uint8_t* data, std::size_t size,
+                       RequestMsg& request, ResponseMsg& response,
+                       StatsRequestMsg& stats, TraceRequestMsg& trace,
+                       EventsRequestMsg& events);
+
+/// Without the EVENTS out-param: EVENTS frames classify but fill nothing.
 Decoded decode_payload(const std::uint8_t* data, std::size_t size,
                        RequestMsg& request, ResponseMsg& response,
                        StatsRequestMsg& stats, TraceRequestMsg& trace);

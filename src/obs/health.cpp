@@ -1,0 +1,128 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+
+namespace rlb::obs {
+
+namespace {
+
+enum RuleIndex : std::size_t {
+  kBackendDown = 0,
+  kSafeSet,
+  kP99Jump,
+  kHeartbeatFlap,
+  kRepairStall,
+  kSlowConsumer,
+  kRuleCount,
+};
+
+}  // namespace
+
+HealthWatchdog::HealthWatchdog(HealthWatchdogConfig config, Journal* journal)
+    : config_(config),
+      journal_(journal != nullptr ? journal : &Journal::instance()) {
+  rules_.resize(kRuleCount);
+  rules_[kBackendDown].name = "backend_down";
+  rules_[kBackendDown].raise_after = 1;
+  rules_[kBackendDown].clear_after = 1;
+  rules_[kSafeSet].name = "safe_set";
+  rules_[kP99Jump].name = "p99_jump";
+  rules_[kHeartbeatFlap].name = "heartbeat_flap";
+  rules_[kRepairStall].name = "repair_stall";
+  rules_[kSlowConsumer].name = "slow_consumer";
+}
+
+void HealthWatchdog::step_rule(std::size_t index, bool breached) {
+  Rule& rule = rules_[index];
+  const unsigned raise_n =
+      rule.raise_after != 0 ? rule.raise_after : config_.raise_after;
+  const unsigned clear_n =
+      rule.clear_after != 0 ? rule.clear_after : config_.clear_after;
+  if (breached) {
+    ++rule.breach_streak;
+    rule.ok_streak = 0;
+    if (!rule.active && rule.breach_streak >= raise_n) {
+      rule.active = true;
+      ++raised_total_;
+      journal_->append(JournalType::kAlertRaised, index, rule.breach_streak,
+                       rule.name);
+    }
+  } else {
+    ++rule.ok_streak;
+    rule.breach_streak = 0;
+    if (rule.active && rule.ok_streak >= clear_n) {
+      rule.active = false;
+      journal_->append(JournalType::kAlertCleared, index, rule.ok_streak,
+                       rule.name);
+    }
+  }
+}
+
+void HealthWatchdog::evaluate(const HealthSample& sample) {
+  step_rule(kBackendDown, sample.down_count > 0);
+  step_rule(kSafeSet, sample.safe_worst_ratio > 1.0);
+
+  // p99_jump: compare against a slow EMA of the healthy windowed p99.
+  // The baseline freezes while the rule breaches, so a sustained
+  // regression cannot launder itself into the baseline and self-clear.
+  bool p99_breach = false;
+  if (sample.win_p99_us > 0) {
+    const double p99 = static_cast<double>(sample.win_p99_us);
+    if (p99_baseline_us_ > 0.0) {
+      p99_breach =
+          sample.win_p99_us >= config_.p99_min_us &&
+          p99 > config_.p99_jump_factor * p99_baseline_us_;
+    }
+    if (!p99_breach) {
+      p99_baseline_us_ = p99_baseline_us_ == 0.0
+                             ? p99
+                             : 0.9 * p99_baseline_us_ + 0.1 * p99;
+    }
+  }
+  step_rule(kP99Jump, p99_breach);
+
+  // heartbeat_flap: sliding sum of down-transition deltas.
+  std::uint64_t flap_delta = 0;
+  if (have_transitions_ &&
+      sample.transitions_down >= last_transitions_down_) {
+    flap_delta = sample.transitions_down - last_transitions_down_;
+  }
+  last_transitions_down_ = sample.transitions_down;
+  have_transitions_ = true;
+  flap_deltas_.push_back(flap_delta);
+  flap_sum_ += flap_delta;
+  while (flap_deltas_.size() > std::max(1u, config_.flap_window)) {
+    flap_sum_ -= flap_deltas_.front();
+    flap_deltas_.pop_front();
+  }
+  step_rule(kHeartbeatFlap, flap_sum_ >= config_.flap_threshold);
+
+  // repair_stall: pending work with no completions tick after tick.
+  if (sample.repair_pending > 0 && sample.repair_done == last_repair_done_) {
+    ++repair_stall_ticks_;
+  } else {
+    repair_stall_ticks_ = 0;
+  }
+  last_repair_done_ = sample.repair_done;
+  step_rule(kRepairStall, repair_stall_ticks_ >= config_.repair_stall_after);
+
+  // slow_consumer: disconnect burst within one tick.
+  std::uint64_t slow_delta = 0;
+  if (have_slow_drops_ &&
+      sample.slow_consumer_drops >= last_slow_drops_) {
+    slow_delta = sample.slow_consumer_drops - last_slow_drops_;
+  }
+  last_slow_drops_ = sample.slow_consumer_drops;
+  have_slow_drops_ = true;
+  step_rule(kSlowConsumer, slow_delta >= config_.slow_consumer_threshold);
+}
+
+std::vector<std::string> HealthWatchdog::active() const {
+  std::vector<std::string> out;
+  for (const Rule& rule : rules_) {
+    if (rule.active) out.emplace_back(rule.name);
+  }
+  return out;
+}
+
+}  // namespace rlb::obs

@@ -1,0 +1,120 @@
+// The alerting watchdog: edge-triggered health rules over windowed
+// signals.
+//
+// A daemon (rlbd / rlb_router) feeds one HealthSample per evaluation tick
+// (~1 s) from its own snapshot; the watchdog turns sustained breaches
+// into exactly one ALERT_RAISED journal event and sustained recovery into
+// exactly one ALERT_CLEARED — hysteresis on both edges, so a steady
+// signal never flaps.  Active rule names are published for the STATS
+// snapshot (rlb_alert_active{rule=...} Prometheus gauges) via
+// obs::set_active_alerts().
+//
+// Rules (names are wire/metric-stable identifiers):
+//   backend_down    servers/backends marked down            (fast: 1 tick)
+//   safe_set        Def 3.2 worst ratio > 1 sustained
+//   p99_jump        windowed p99 >> trailing baseline EMA
+//   heartbeat_flap  down-transitions accumulating too fast
+//   repair_stall    chunks pending but no migration completing
+//   slow_consumer   outbound-overflow disconnect storm
+//
+// Pure logic over explicit samples — no clocks, no globals except the
+// journal sink — so tests drive it deterministically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/journal.hpp"
+
+namespace rlb::obs {
+
+/// One evaluation tick's worth of health signals, extracted from the
+/// node's own stats snapshot.  Fields a role cannot produce stay zero.
+struct HealthSample {
+  /// Def 3.2 worst observed/bound ratio (backend).
+  double safe_worst_ratio = 0.0;
+  /// Windowed (not lifetime) p99 latency in microseconds.
+  std::uint64_t win_p99_us = 0;
+  /// Down servers (backend) or down backends (router); gauge.
+  std::uint64_t down_count = 0;
+  /// Cumulative down transitions (router heartbeat plane).
+  std::uint64_t transitions_down = 0;
+  /// Repair gauge + cumulative completions (router with repair enabled).
+  std::uint64_t repair_pending = 0;
+  std::uint64_t repair_done = 0;
+  /// Cumulative slow-consumer disconnects (net server).
+  std::uint64_t slow_consumer_drops = 0;
+};
+
+struct HealthWatchdogConfig {
+  /// Consecutive breaching / healthy ticks before raise / clear
+  /// (backend_down overrides both to 1 — a down node is an incident on
+  /// the first tick and recovery should clear as fast).
+  unsigned raise_after = 3;
+  unsigned clear_after = 3;
+  /// p99_jump: breach when windowed p99 > factor x trailing baseline and
+  /// above the absolute floor (filters noise on idle nodes).
+  double p99_jump_factor = 8.0;
+  std::uint64_t p99_min_us = 2000;
+  /// heartbeat_flap: breach when >= threshold down-transitions landed
+  /// within the trailing flap_window ticks.
+  std::uint64_t flap_threshold = 3;
+  unsigned flap_window = 60;
+  /// repair_stall: breach after this many ticks with chunks pending and
+  /// no migration completing.
+  unsigned repair_stall_after = 10;
+  /// slow_consumer: breach when >= threshold disconnects landed within
+  /// one tick.
+  std::uint64_t slow_consumer_threshold = 4;
+};
+
+class HealthWatchdog {
+ public:
+  explicit HealthWatchdog(HealthWatchdogConfig config = {},
+                          Journal* journal = nullptr);
+
+  /// Evaluate every rule against one sample; emits raise/clear journal
+  /// events on edges.  Call from one thread (the daemon main loop).
+  void evaluate(const HealthSample& sample);
+
+  /// Names of currently active (raised, not yet cleared) rules.
+  [[nodiscard]] std::vector<std::string> active() const;
+
+  /// Total raise edges so far (tests).
+  [[nodiscard]] std::uint64_t raised_total() const { return raised_total_; }
+
+ private:
+  struct Rule {
+    const char* name = "";
+    bool active = false;
+    unsigned breach_streak = 0;
+    unsigned ok_streak = 0;
+    unsigned raise_after = 0;  // 0 = use config default
+    unsigned clear_after = 0;
+  };
+
+  void step_rule(std::size_t index, bool breached);
+
+  HealthWatchdogConfig config_;
+  Journal* journal_;
+  std::vector<Rule> rules_;
+  std::uint64_t raised_total_ = 0;
+
+  // p99_jump baseline: EMA of the windowed p99 sampled while healthy.
+  double p99_baseline_us_ = 0.0;
+  // heartbeat_flap: trailing per-tick deltas of transitions_down.
+  std::deque<std::uint64_t> flap_deltas_;
+  std::uint64_t flap_sum_ = 0;
+  std::uint64_t last_transitions_down_ = 0;
+  bool have_transitions_ = false;
+  // repair_stall bookkeeping.
+  std::uint64_t last_repair_done_ = 0;
+  unsigned repair_stall_ticks_ = 0;
+  // slow_consumer delta base.
+  std::uint64_t last_slow_drops_ = 0;
+  bool have_slow_drops_ = false;
+};
+
+}  // namespace rlb::obs

@@ -1,0 +1,237 @@
+#include "obs/journal.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace rlb::obs {
+
+const char* to_string(JournalType type) noexcept {
+  switch (type) {
+    case JournalType::kNone:
+      return "NONE";
+    case JournalType::kMemberUp:
+      return "MEMBER_UP";
+    case JournalType::kMemberDown:
+      return "MEMBER_DOWN";
+    case JournalType::kMemberProbation:
+      return "MEMBER_PROBATION";
+    case JournalType::kEpochCommit:
+      return "EPOCH_COMMIT";
+    case JournalType::kMigrateStart:
+      return "MIGRATE_START";
+    case JournalType::kMigrateDone:
+      return "MIGRATE_DONE";
+    case JournalType::kMigrateFail:
+      return "MIGRATE_FAIL";
+    case JournalType::kShed:
+      return "SHED";
+    case JournalType::kSlowConsumer:
+      return "SLOW_CONSUMER";
+    case JournalType::kSafeSetViolated:
+      return "SAFESET_VIOLATED";
+    case JournalType::kSafeSetRecovered:
+      return "SAFESET_RECOVERED";
+    case JournalType::kAlertRaised:
+      return "ALERT_RAISED";
+    case JournalType::kAlertCleared:
+      return "ALERT_CLEARED";
+  }
+  return "UNKNOWN";
+}
+
+Journal::Journal(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+Journal& Journal::instance() {
+  static Journal journal;
+  return journal;
+}
+
+#if !defined(RLB_OBS_DISABLED)
+void Journal::append(JournalType type, std::uint64_t a0, std::uint64_t a1,
+                     std::string_view detail) {
+  JournalEvent event;
+  event.steady_ns = now_ns();
+  event.wall_ns = wall_now_ns();
+  event.type = type;
+  event.a0 = a0;
+  event.a1 = a1;
+  const std::size_t n = std::min(detail.size(), kJournalDetailMax);
+  if (n > 0) std::memcpy(event.detail, detail.data(), n);
+  event.detail[n] = '\0';
+  std::lock_guard lock(mu_);
+  event.seq = next_seq_++;
+  ring_[(event.seq - 1) % capacity_] = event;
+}
+#endif
+
+JournalReadResult Journal::read_from(std::uint64_t cursor, std::size_t max,
+                                     std::vector<JournalEvent>& out) const {
+  JournalReadResult result;
+  std::lock_guard lock(mu_);
+  const std::uint64_t newest = next_seq_ - 1;  // 0 when empty
+  // Oldest seq still in the ring.
+  const std::uint64_t oldest =
+      newest > capacity_ ? newest - capacity_ + 1 : (newest > 0 ? 1 : 0);
+  std::uint64_t start = cursor + 1;
+  if (newest == 0 || start > newest) {
+    result.next_cursor = cursor;
+    return result;
+  }
+  if (start < oldest) {
+    result.dropped = oldest - start;
+    start = oldest;
+  }
+  const std::uint64_t available = newest - start + 1;
+  const std::uint64_t take =
+      std::min<std::uint64_t>(available, static_cast<std::uint64_t>(max));
+  out.reserve(out.size() + take);
+  for (std::uint64_t seq = start; seq < start + take; ++seq) {
+    out.push_back(ring_[(seq - 1) % capacity_]);
+  }
+  result.next_cursor = take > 0 ? start + take - 1 : cursor;
+  result.remaining = available - take;
+  return result;
+}
+
+void Journal::tail(std::size_t max, std::vector<JournalEvent>& out) const {
+  std::lock_guard lock(mu_);
+  const std::uint64_t newest = next_seq_ - 1;
+  if (newest == 0 || max == 0) return;
+  const std::uint64_t oldest =
+      newest > capacity_ ? newest - capacity_ + 1 : 1;
+  std::uint64_t start = oldest;
+  if (newest - start + 1 > max) start = newest - max + 1;
+  out.reserve(out.size() + (newest - start + 1));
+  for (std::uint64_t seq = start; seq <= newest; ++seq) {
+    out.push_back(ring_[(seq - 1) % capacity_]);
+  }
+}
+
+std::uint64_t Journal::next_seq() const {
+  std::lock_guard lock(mu_);
+  return next_seq_;
+}
+
+std::size_t Journal::size() const {
+  std::lock_guard lock(mu_);
+  const std::uint64_t newest = next_seq_ - 1;
+  return static_cast<std::size_t>(std::min<std::uint64_t>(newest, capacity_));
+}
+
+namespace {
+
+std::mutex g_alerts_mu;
+std::vector<std::string> g_active_alerts;
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buffer, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+void set_active_alerts(std::vector<std::string> alerts) {
+  std::lock_guard lock(g_alerts_mu);
+  g_active_alerts = std::move(alerts);
+}
+
+std::vector<std::string> active_alerts() {
+  std::lock_guard lock(g_alerts_mu);
+  return g_active_alerts;
+}
+
+bool write_flight_record(const std::string& path, const std::string& role,
+                         std::uint32_t backend_id,
+                         const std::string& snapshot_json,
+                         std::size_t max_events) {
+  std::string out;
+  out.reserve(16 * 1024);
+  out += "{\"flight_record\":1,\"role\":\"";
+  json_escape_into(out, role);
+  append_fmt(out, "\",\"backend_id\":%" PRIu32 ",", backend_id);
+  append_fmt(out, "\"steady_ns\":%" PRIu64 ",\"wall_ns\":%" PRIu64 ",",
+             now_ns(), wall_now_ns());
+  out += "\"alerts\":[";
+  const std::vector<std::string> alerts = active_alerts();
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    out += i == 0 ? "\"" : ",\"";
+    json_escape_into(out, alerts[i]);
+    out += "\"";
+  }
+  out += "],\"snapshot\":";
+  out += snapshot_json.empty() ? "{}" : snapshot_json;
+  out += ",\"events\":[";
+  std::vector<JournalEvent> events;
+  Journal::instance().tail(max_events, events);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JournalEvent& e = events[i];
+    if (i > 0) out += ",";
+    append_fmt(out,
+               "{\"seq\":%" PRIu64 ",\"steady_ns\":%" PRIu64
+               ",\"wall_ns\":%" PRIu64 ",\"type\":\"%s\",\"a0\":%" PRIu64
+               ",\"a1\":%" PRIu64 ",\"detail\":\"",
+               e.seq, e.steady_ns, e.wall_ns, to_string(e.type), e.a0, e.a1);
+    json_escape_into(out, e.detail_view());
+    out += "\"}";
+  }
+  out += "]}\n";
+
+  // Atomic tmp + rename, mirroring the span/trace flush idiom: readers
+  // either see the old file or the complete new one, never a torn write.
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool wrote = std::fwrite(out.data(), 1, out.size(), file) == out.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rlb::obs

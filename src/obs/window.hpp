@@ -1,0 +1,157 @@
+// Windowed metrics: a ring of per-window histogram/counter deltas.
+//
+// Every histogram the serving stack exposed before this existed was
+// lifetime-cumulative, so a p99 spike during a 5-second incident drowns
+// in hours of quiet samples.  A WindowedAggregator keeps the last ~N
+// seconds as N one-second slots; writers record into the current slot
+// with relaxed atomics (same discipline as the engine's shard counters —
+// no locks, no ordering, telemetry-grade accuracy) and readers fold the
+// live slots into one delta histogram covering the trailing window.
+//
+// Rotation is lazy and writer-driven: the first writer to touch a slot
+// whose window index moved on claims it with a CAS and zeroes it.  A
+// sample racing that reset can be lost, and a reader can observe a slot
+// mid-reset — both are acceptable for advisory telemetry and keep the
+// hot path to a handful of relaxed atomic adds.
+//
+// The 32 log2-microsecond buckets deliberately match net::LatencyStats so
+// a window snapshot copies straight into a STATS v5 windowed histogram.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+
+#include "obs/trace.hpp"
+
+namespace rlb::obs {
+
+class WindowedAggregator {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+  /// Named counter slots; meaning is the owner's (the engine uses
+  /// submitted/completed/rejected, the router forwarded/ok/rejected).
+  static constexpr std::size_t kCounters = 4;
+
+  explicit WindowedAggregator(std::size_t windows = 10,
+                              std::uint64_t window_ns = 1'000'000'000)
+      : slots_(std::make_unique<Slot[]>(windows == 0 ? 1 : windows)),
+        nslots_(windows == 0 ? 1 : windows),
+        window_ns_(window_ns == 0 ? 1 : window_ns) {}
+
+  void observe_us(std::uint64_t us) { observe_us(us, now_ns()); }
+
+  void observe_us(std::uint64_t us, std::uint64_t now) {
+    Slot& slot = slot_for(now);
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+    slot.sum_us.fetch_add(us, std::memory_order_relaxed);
+    std::uint64_t prev = slot.max_us.load(std::memory_order_relaxed);
+    while (us > prev && !slot.max_us.compare_exchange_weak(
+                            prev, us, std::memory_order_relaxed)) {
+    }
+    std::size_t bucket =
+        us <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(us) - 1);
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+    slot.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void add(std::size_t counter, std::uint64_t delta = 1) {
+    add(counter, delta, now_ns());
+  }
+
+  void add(std::size_t counter, std::uint64_t delta, std::uint64_t now) {
+    if (counter >= kCounters) return;
+    slot_for(now).counters[counter].fetch_add(delta,
+                                              std::memory_order_relaxed);
+  }
+
+  /// The trailing window folded into one delta histogram + counter set.
+  struct Snapshot {
+    std::uint64_t windows = 0;  ///< distinct slots folded (incl. partial)
+    std::uint64_t span_ms = 0;  ///< wall time the fold covers
+    std::uint64_t count = 0;
+    std::uint64_t sum_us = 0;
+    std::uint64_t max_us = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::array<std::uint64_t, kCounters> counters{};
+  };
+
+  [[nodiscard]] Snapshot read() const { return read(now_ns()); }
+
+  [[nodiscard]] Snapshot read(std::uint64_t now) const {
+    Snapshot out;
+    const std::uint64_t current = now / window_ns_;
+    bool current_included = false;
+    for (std::size_t i = 0; i < nslots_; ++i) {
+      const Slot& slot = slots_[i];
+      const std::uint64_t epoch = slot.epoch.load(std::memory_order_acquire);
+      const std::uint64_t window = epoch == 0 ? 0 : epoch - 1;
+      // Fold only slots from the trailing nslots_ windows; a stale slot
+      // (process idle longer than the ring spans) is dead history.
+      if (epoch == 0 || window > current || current - window >= nslots_) {
+        continue;
+      }
+      ++out.windows;
+      if (window == current) current_included = true;
+      out.count += slot.count.load(std::memory_order_relaxed);
+      out.sum_us += slot.sum_us.load(std::memory_order_relaxed);
+      const std::uint64_t m = slot.max_us.load(std::memory_order_relaxed);
+      if (m > out.max_us) out.max_us = m;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        out.buckets[b] += slot.buckets[b].load(std::memory_order_relaxed);
+      }
+      for (std::size_t c = 0; c < kCounters; ++c) {
+        out.counters[c] += slot.counters[c].load(std::memory_order_relaxed);
+      }
+    }
+    if (out.windows > 0) {
+      std::uint64_t span_ns = out.windows * window_ns_;
+      if (current_included) {
+        // The newest slot is partial: count only its elapsed fraction.
+        span_ns -= window_ns_ - (now - current * window_ns_);
+      }
+      out.span_ms = span_ns / 1'000'000;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t window_ns() const { return window_ns_; }
+  [[nodiscard]] std::size_t windows() const { return nslots_; }
+
+ private:
+  struct Slot {
+    /// Window index + 1 of the data this slot holds; 0 = never written.
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_us{0};
+    std::atomic<std::uint64_t> max_us{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::array<std::atomic<std::uint64_t>, kCounters> counters{};
+  };
+
+  Slot& slot_for(std::uint64_t now) {
+    const std::uint64_t window = now / window_ns_;
+    Slot& slot = slots_[window % nslots_];
+    const std::uint64_t want = window + 1;
+    std::uint64_t have = slot.epoch.load(std::memory_order_acquire);
+    if (have != want &&
+        slot.epoch.compare_exchange_strong(have, want,
+                                           std::memory_order_acq_rel)) {
+      // This writer claimed the recycled slot; zero last window's data.
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.sum_us.store(0, std::memory_order_relaxed);
+      slot.max_us.store(0, std::memory_order_relaxed);
+      for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+      for (auto& c : slot.counters) c.store(0, std::memory_order_relaxed);
+    }
+    return slot;
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t nslots_;
+  std::uint64_t window_ns_;
+};
+
+}  // namespace rlb::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "net/client.hpp"
+#include "obs/journal.hpp"
 #include "obs/probes.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -173,6 +174,8 @@ void RepairCoordinator::planner_loop() {
         record_span("repair.commit", t0, delta.remaps.size(), 0);
         RLB_TRACE_EVENT(obs::EventKind::kMigration, "repair.commit",
                         delta.epoch, delta.remaps.size());
+        obs::Journal::instance().append(obs::JournalType::kEpochCommit,
+                                        delta.epoch, delta.remaps.size());
       } else {
         // Validation rejected the batch (e.g. a racing delta from tests);
         // dropping active_ lets the scan re-detect what still matters.
@@ -227,6 +230,8 @@ void RepairCoordinator::worker_loop() {
 
     inflight_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t t0 = obs::now_ns();
+    obs::Journal::instance().append(obs::JournalType::kMigrateStart, m.chunk,
+                                    m.from);
     Attempt outcome = Attempt::kFailed;
     core::ChunkRemap remap;
     try {
@@ -243,6 +248,8 @@ void RepairCoordinator::worker_loop() {
         done_counter.add(1);
         bytes_counter.add(config_.bytes_per_chunk);
         record_span("repair.migrate", t0, m.chunk, 0);
+        obs::Journal::instance().append(obs::JournalType::kMigrateDone,
+                                        m.chunk, remap.to);
         {
           std::lock_guard<std::mutex> lock(mu_);
           staged_.push_back(remap);
@@ -261,6 +268,8 @@ void RepairCoordinator::worker_loop() {
         failed_.fetch_add(1, std::memory_order_relaxed);
         failed_counter.add(1);
         record_span("repair.migrate", t0, m.chunk, 1);
+        obs::Journal::instance().append(obs::JournalType::kMigrateFail,
+                                        m.chunk, m.from);
         std::lock_guard<std::mutex> lock(mu_);
         active_.erase(m.chunk);
         break;

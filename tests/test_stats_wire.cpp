@@ -81,6 +81,25 @@ StatsSnapshot make_full_snapshot() {
   snapshot.repair.migrations_out = 8;
   snapshot.repair.migration_bytes_in = 53248;
   snapshot.repair.migration_bytes_out = 32768;
+  // v5 health plane: windowed deltas + alerts, distinct values per
+  // histogram so a transposed decode fails the round trip.
+  snapshot.window_span_ms = 9500;
+  snapshot.win_submitted = 4200;
+  snapshot.win_completed = 4100;
+  snapshot.win_rejected = 100;
+  snapshot.win_latency.count = 41;
+  snapshot.win_latency.sum_us = 8200;
+  snapshot.win_latency.max_us = 900;
+  snapshot.win_latency.buckets[4] = 41;
+  snapshot.win_hop_rtt.count = 7;
+  snapshot.win_hop_rtt.sum_us = 1400;
+  snapshot.win_hop_rtt.max_us = 300;
+  snapshot.win_hop_rtt.buckets[6] = 7;
+  snapshot.win_queue_wait.count = 19;
+  snapshot.win_queue_wait.sum_us = 380;
+  snapshot.win_queue_wait.max_us = 40;
+  snapshot.win_queue_wait.buckets[2] = 19;
+  snapshot.active_alerts = {"safe_set", "p99_jump"};
   return snapshot;
 }
 
@@ -161,6 +180,17 @@ TEST(StatsCodec, RoundTripPreservesEveryField) {
             original.repair.migration_bytes_in);
   EXPECT_EQ(decoded.repair.migration_bytes_out,
             original.repair.migration_bytes_out);
+  EXPECT_EQ(decoded.window_span_ms, original.window_span_ms);
+  EXPECT_EQ(decoded.win_submitted, original.win_submitted);
+  EXPECT_EQ(decoded.win_completed, original.win_completed);
+  EXPECT_EQ(decoded.win_rejected, original.win_rejected);
+  EXPECT_EQ(decoded.win_latency.count, original.win_latency.count);
+  EXPECT_EQ(decoded.win_latency.buckets, original.win_latency.buckets);
+  EXPECT_EQ(decoded.win_hop_rtt.count, original.win_hop_rtt.count);
+  EXPECT_EQ(decoded.win_hop_rtt.buckets, original.win_hop_rtt.buckets);
+  EXPECT_EQ(decoded.win_queue_wait.count, original.win_queue_wait.count);
+  EXPECT_EQ(decoded.win_queue_wait.buckets, original.win_queue_wait.buckets);
+  EXPECT_EQ(decoded.active_alerts, original.active_alerts);
 }
 
 TEST(StatsCodec, EmptySnapshotRoundTrips) {
@@ -201,6 +231,45 @@ TEST(StatsCodec, VersionMismatchIsRejected) {
   payload[1] = static_cast<std::uint8_t>(kStatsVersion + 1);
   StatsSnapshot decoded;
   EXPECT_FALSE(decode_stats_payload(payload.data(), payload.size(), decoded));
+}
+
+TEST(StatsCodec, VersionSkewIsRejectedNotMisparsed) {
+  // A v5 node scraped by a v4-only decoder (or vice versa) must fail the
+  // version check up front — never read v5 bytes as v4 fields.  The codec
+  // checks the version word before touching any other field, so ANY other
+  // version value is rejected no matter what follows.
+  std::vector<std::uint8_t> payload;
+  encode_stats_payload(make_full_snapshot(), payload);
+  for (const std::uint8_t skewed :
+       {static_cast<std::uint8_t>(kStatsVersion - 1),
+        static_cast<std::uint8_t>(kStatsVersion + 1)}) {
+    std::vector<std::uint8_t> patched = payload;
+    patched[1] = skewed;
+    StatsSnapshot decoded;
+    decoded.placement_epoch = 0xDEAD;
+    EXPECT_FALSE(
+        decode_stats_payload(patched.data(), patched.size(), decoded));
+  }
+}
+
+TEST(StatsCodec, PeekVersionReadsTheVersionWordOnly) {
+  std::vector<std::uint8_t> payload;
+  encode_stats_payload(make_full_snapshot(), payload);
+  std::uint32_t version = 0;
+  ASSERT_TRUE(peek_stats_version(payload.data(), payload.size(), version));
+  EXPECT_EQ(version, kStatsVersion);
+
+  // The peek works on a version-skewed (undecodable) payload — that is
+  // its whole point: classifying the failure for StatsVersionMismatch.
+  payload[1] = 4;
+  payload[2] = 0;
+  ASSERT_TRUE(peek_stats_version(payload.data(), payload.size(), version));
+  EXPECT_EQ(version, 4u);
+
+  // Too-short buffers and non-STATS_RESP type bytes don't peek.
+  EXPECT_FALSE(peek_stats_version(payload.data(), 4, version));
+  payload[0] = static_cast<std::uint8_t>(MsgType::kResponse);
+  EXPECT_FALSE(peek_stats_version(payload.data(), payload.size(), version));
 }
 
 TEST(StatsCodec, UnknownRoleByteIsRejected) {
@@ -328,6 +397,14 @@ TEST(StatsRender, PrometheusExpositionIsWellFormed) {
   EXPECT_NE(text.find("rlb_repair_migrations_done_total 21\n"),
             std::string::npos);
   EXPECT_NE(text.find("rlb_repair_chunks_pending 5\n"), std::string::npos);
+  EXPECT_NE(text.find("rlb_win_span_ms 9500\n"), std::string::npos);
+  EXPECT_NE(text.find("rlb_win_completed 4100\n"), std::string::npos);
+  EXPECT_NE(text.find("rlb_win_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("rlb_alert_active{rule=\"safe_set\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rlb_alert_active{rule=\"p99_jump\"} 1\n"),
+            std::string::npos);
   // Every non-comment line splits into `body value` with a numeric value.
   std::size_t start = 0;
   while (start < text.size()) {
@@ -361,6 +438,11 @@ TEST(StatsRender, JsonCarriesTotalsAndSafeSet) {
   EXPECT_NE(json.find("\"placement_epoch\":11"), std::string::npos);
   EXPECT_NE(json.find("\"migrations_done\":21"), std::string::npos);
   EXPECT_NE(json.find("\"policy\":\"greedy\""), std::string::npos);
+  // v5 additions are strictly additive keys (existing consumers keep
+  // parsing): the windowed block and the active-alert list.
+  EXPECT_NE(json.find("\"window\":{\"span_ms\":9500"), std::string::npos);
+  EXPECT_NE(json.find("\"alerts\":[\"safe_set\",\"p99_jump\"]"),
+            std::string::npos);
 }
 
 TEST(StatsRender, RoleAndBackendIdAppearInBothRenderings) {
